@@ -1,0 +1,44 @@
+# seamlesstune build targets. Everything is stdlib Go; no external tools.
+
+GO ?= go
+
+.PHONY: all build test test-short cover bench experiments examples vet fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper table/figure/claim; metrics in the output are
+# the reproduction record (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/retuning
+	$(GO) run ./examples/transfer
+	$(GO) run ./examples/slotradeoff
+	$(GO) run ./examples/whatif
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,364 @@
+package seamlesstune_test
+
+import (
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/experiments"
+	"seamlesstune/internal/gp"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/tuner"
+	"seamlesstune/internal/workload"
+)
+
+// metricName sanitizes a dynamic label for use in b.ReportMetric units
+// (no whitespace allowed).
+func metricName(label, suffix string) string {
+	clean := strings.NewReplacer(" ", "-", "(", "", ")", "").Replace(label)
+	return clean + suffix
+}
+
+// The Benchmark* functions below regenerate the paper's artifacts — one
+// benchmark per table/figure/claim (see DESIGN.md's experiment index) —
+// and report the headline numbers as custom metrics so `go test -bench`
+// output doubles as the reproduction record. The micro-benchmarks at the
+// bottom profile the substrates themselves.
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(1, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ShapeHolds() {
+			b.Fatal("Table I shape criteria violated")
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.SavingDS2*100, row.Workload+"_DS2_saving_pct")
+			b.ReportMetric(row.SavingDS3*100, row.Workload+"_DS3_saving_pct")
+		}
+	}
+}
+
+func BenchmarkFig1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1Pipeline(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Improvement*100, row.Workload+"_improvement_pct")
+		}
+	}
+}
+
+func BenchmarkFig2Architecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2Architecture(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Stages)), "stages")
+		b.ReportMetric(float64(res.Executors), "executors")
+	}
+}
+
+func BenchmarkClaimMisconfigCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C1MisconfigCost(1, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxConf, maxCluster := 0.0, 0.0
+		for _, row := range res.Rows {
+			if row.ConfDegradation > maxConf {
+				maxConf = row.ConfDegradation
+			}
+			if row.ClusterDegradation > maxCluster {
+				maxCluster = row.ClusterDegradation
+			}
+		}
+		b.ReportMetric(maxConf, "max_config_degradation_x")
+		b.ReportMetric(maxCluster, "max_cluster_degradation_x")
+	}
+}
+
+func BenchmarkTunerComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C2TunerComparison(1, 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Improvement*100, row.Tuner+"_improvement_pct")
+		}
+	}
+}
+
+func BenchmarkSearchSpaceGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C3SearchSpaceGrowth(1, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Dims == 30 {
+				b.ReportMetric(row.Log10Size, "log10_space_30params")
+			}
+		}
+	}
+}
+
+func BenchmarkCostAmortization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C4CostAmortization(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.TuningCostUSD, "tuning_bill_500runs_usd")
+		b.ReportMetric(float64(last.RunsToAmortize), "runs_to_amortize_500")
+	}
+}
+
+func BenchmarkRetuneDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C5RetuneDetection(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.DetectionRate*100, row.Detector+"_detect_pct")
+			b.ReportMetric(row.FalseAlarms*100, row.Detector+"_false_pct")
+		}
+	}
+}
+
+func BenchmarkTransferLearning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C6TransferLearning(1, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.WarmTo15 >= 0 {
+				b.ReportMetric(float64(row.WarmTo15), row.Target+"_warm_execs_to_15pct")
+			}
+			if row.ColdTo15 >= 0 {
+				b.ReportMetric(float64(row.ColdTo15), row.Target+"_cold_execs_to_15pct")
+			}
+		}
+	}
+}
+
+func BenchmarkSLOEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C7SLOEfficiency(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.GapAt[len(row.GapAt)-1]*100, row.Workload+"_final_gap_pct")
+		}
+	}
+}
+
+func BenchmarkAdditiveGPInterpret(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C8AdditiveGPInterpret(1, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Top3Overlap), "top3_overlap")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks
+
+func benchCluster(b *testing.B) cloud.ClusterSpec {
+	b.Helper()
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cloud.ClusterSpec{Instance: it, Count: 4}
+}
+
+func BenchmarkSimulatorRunPageRank(b *testing.B) {
+	cluster := benchCluster(b)
+	space := confspace.SparkSpace()
+	conf := spark.FromConfig(space, space.Default())
+	conf.ExecutorInstances = 8
+	conf.ExecutorCores = 8
+	conf.ExecutorMemoryMB = 16384
+	conf.DriverMemoryMB = 4096
+	conf.DefaultParallelism = 128
+	job := workload.PageRank{}.Job(8 << 30)
+	rng := stat.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := spark.Run(job, conf, cluster, cloud.Unit(), rng)
+		if res.Failed {
+			b.Fatal(res.Reason)
+		}
+	}
+}
+
+func BenchmarkSimulatorRunWordcount(b *testing.B) {
+	cluster := benchCluster(b)
+	space := confspace.SparkSpace()
+	conf := spark.FromConfig(space, space.Default())
+	conf.ExecutorInstances = 8
+	conf.ExecutorCores = 8
+	conf.ExecutorMemoryMB = 16384
+	conf.DriverMemoryMB = 4096
+	job := workload.Wordcount{}.Job(8 << 30)
+	rng := stat.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := spark.Run(job, conf, cluster, cloud.Unit(), rng)
+		if res.Failed {
+			b.Fatal(res.Reason)
+		}
+	}
+}
+
+func BenchmarkGPFitPredict(b *testing.B) {
+	rng := stat.NewRNG(1)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 10*x[0]+5*x[1]*x[1]+rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := gp.FitWithHypers(gp.KindMatern52, xs, ys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Predict([]float64{0.5, 0.5, 0.5, 0.5})
+	}
+}
+
+func BenchmarkBayesOptStep(b *testing.B) {
+	space := confspace.SparkSubspace(12)
+	cluster := benchCluster(b)
+	job := workload.Sort{}.Job(4 << 30)
+	rng := stat.NewRNG(1)
+	bo := tuner.NewBayesOpt(space)
+	obj := func(cfg confspace.Config) tuner.Measurement {
+		res := spark.Run(job, spark.FromConfig(space, cfg), cluster, cloud.Unit(), rng)
+		return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+	}
+	// Pre-warm the model so the benchmark measures the modelled path.
+	for i := 0; i < 12; i++ {
+		cfg := bo.Next(rng)
+		m := obj(cfg)
+		bo.Observe(tuner.Trial{Index: i, Config: cfg, Measurement: m, Objective: m.Runtime})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := bo.Next(rng)
+		m := obj(cfg)
+		bo.Observe(tuner.Trial{Index: 12 + i, Config: cfg, Measurement: m, Objective: m.Runtime})
+	}
+}
+
+func BenchmarkConfspaceEncode(b *testing.B) {
+	space := confspace.SparkSpace()
+	rng := stat.NewRNG(1)
+	cfg := space.Random(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.Encode(cfg)
+	}
+}
+
+func BenchmarkWhatIfAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C9WhatIfAccuracy(1, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.MAPE*100, row.Workload+"_mape_pct")
+		}
+	}
+}
+
+func BenchmarkParisVMSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C10ParisVMSelection(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.ParisRuntime/row.BestRuntime, row.Workload+"_paris_vs_best")
+		}
+	}
+}
+
+func BenchmarkTableIAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.A1TableIAblation(1, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.SavingDS3*100, metricName(row.Ablation, "_saving_pct"))
+		}
+	}
+}
+
+func BenchmarkDACComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C11DACComparison(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.CostUSD, metricName(row.Strategy, "_bill_usd"))
+		}
+	}
+}
+
+func BenchmarkTable1Extension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1Extension(1, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.SavingDS3*100, row.Workload+"_DS3_saving_pct")
+		}
+	}
+}
+
+func BenchmarkTuningUnderInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.C12TuningUnderInterference(1, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.RegretPct*100, row.Level+"_regret_pct")
+		}
+	}
+}
+
+func BenchmarkSeamlessLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.F3SeamlessLifecycle(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TotalStaticS-res.TotalManagedS, "production_seconds_saved")
+		b.ReportMetric(res.TuningCostUSD, "provider_bill_usd")
+	}
+}

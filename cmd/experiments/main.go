@@ -1,0 +1,80 @@
+// Command experiments regenerates the paper's tables, figures and
+// quantitative claims from the simulated substrates.
+//
+// Usage:
+//
+//	experiments -run all          # every experiment
+//	experiments -run T1           # just Table I
+//	experiments -run C2,C5 -seed 7
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"seamlesstune/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runIDs := fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+	seed := fs.Int64("seed", 1, "random seed for all simulations")
+	list := fs.Bool("list", false, "list experiments and exit")
+	outPath := fs.String("o", "", "also write results to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Fprintf(out, "%-3s  %s\n", s.ID, s.Title)
+		}
+		return nil
+	}
+
+	var specs []experiments.Spec
+	if *runIDs == "all" {
+		specs = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			s, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	for _, s := range specs {
+		start := time.Now()
+		table, err := s.Run(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.ID, err)
+		}
+		fmt.Fprintln(out, table)
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-run", "F2", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiple(t *testing.T) {
+	if err := run([]string{"-run", "C5, F2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run([]string{"-run", "ZZ"}); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := run([]string{"-run", "F2", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "== F2:") {
+		t.Errorf("output file missing table: %s", data)
+	}
+}

@@ -1,0 +1,158 @@
+// Command tunectl runs one configuration-tuning session against the
+// simulated cluster and prints the trajectory — the command-line face of
+// the tuner package.
+//
+// Usage:
+//
+//	tunectl -workload pagerank -size 8 -tuner bayesopt -budget 30
+//	tunectl -workload sort -tuner bestconfig -budget 100 -params 30
+//	tunectl -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/tuner"
+	"seamlesstune/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tunectl:", err)
+		os.Exit(1)
+	}
+}
+
+func tunerByName(name string, space *confspace.Space) (tuner.Tuner, error) {
+	switch name {
+	case "random":
+		return tuner.NewRandomSearch(space), nil
+	case "latin":
+		return tuner.NewLatinSearch(space, 0), nil
+	case "hillclimb":
+		return tuner.NewHillClimb(space), nil
+	case "bayesopt":
+		return tuner.NewBayesOpt(space), nil
+	case "genetic":
+		return tuner.NewGenetic(space), nil
+	case "bestconfig":
+		return tuner.NewBestConfig(space), nil
+	case "rtree":
+		return tuner.NewTreeSearch(space), nil
+	case "qlearn":
+		return tuner.NewQLearn(space), nil
+	default:
+		return nil, fmt.Errorf("unknown tuner %q (try -list)", name)
+	}
+}
+
+var tunerNames = []string{"random", "latin", "hillclimb", "bayesopt", "genetic", "bestconfig", "rtree", "qlearn"}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tunectl", flag.ContinueOnError)
+	wlName := fs.String("workload", "wordcount", "workload: "+strings.Join(workload.Names(), ", "))
+	sizeGB := fs.Int64("size", 8, "input size in GB")
+	tunerName := fs.String("tuner", "bayesopt", "tuning strategy: "+strings.Join(tunerNames, ", "))
+	budget := fs.Int("budget", 30, "execution budget")
+	instanceKey := fs.String("cluster", "nimbus/h1.4xlarge", "instance type (provider/name)")
+	nodes := fs.Int("nodes", 4, "cluster size in nodes")
+	params := fs.Int("params", 41, "number of Spark parameters to tune (1-41)")
+	seed := fs.Int64("seed", 1, "random seed")
+	interference := fs.String("interference", "none", "co-location level: none, low, medium, high")
+	list := fs.Bool("list", false, "list workloads and tuners, then exit")
+	verbose := fs.Bool("v", false, "print every trial")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "workloads:", strings.Join(workload.Names(), ", "))
+		fmt.Fprintln(out, "tuners:   ", strings.Join(tunerNames, ", "))
+		return nil
+	}
+
+	w, err := workload.ByName(*wlName)
+	if err != nil {
+		return err
+	}
+	it, err := cloud.DefaultCatalog().Lookup(*instanceKey)
+	if err != nil {
+		return err
+	}
+	cluster := cloud.ClusterSpec{Instance: it, Count: *nodes}
+	if err := cluster.Validate(); err != nil {
+		return err
+	}
+	space := confspace.SparkSubspace(*params)
+	tn, err := tunerByName(*tunerName, space)
+	if err != nil {
+		return err
+	}
+	level, err := parseLevel(*interference)
+	if err != nil {
+		return err
+	}
+
+	env := cloud.NewEnvironment(level, *seed)
+	rng := stat.NewRNG(*seed)
+	size := *sizeGB << 30
+	job := w.Job(size)
+	obj := func(cfg confspace.Config) tuner.Measurement {
+		res := spark.Run(job, spark.FromConfig(space, cfg), cluster, env.Next(), stat.Fork(rng))
+		return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+	}
+
+	fmt.Fprintf(out, "tuning %s (%dGB) on %s with %s, budget %d, %d params\n",
+		w.Name(), *sizeGB, cluster, tn.Name(), *budget, space.Dim())
+
+	res, err := tuner.Run(tn, obj, *budget, rng)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for _, tr := range res.Trials {
+			status := fmt.Sprintf("%.1fs", tr.Runtime)
+			if tr.Failed {
+				status = "FAILED"
+			}
+			fmt.Fprintf(out, "  run %3d: %-8s best so far %.1fs\n", tr.Index+1, status, res.BestSoFar[tr.Index])
+		}
+	}
+	if !res.Found {
+		return fmt.Errorf("no configuration succeeded in %d runs", *budget)
+	}
+	defRes := spark.Run(job, spark.FromConfig(space, space.Default()), cluster, env.Next(), stat.Fork(rng))
+	fmt.Fprintf(out, "best runtime: %.1fs after %d executions (tuning cost $%.2f)\n",
+		res.Best.Runtime, len(res.Trials), res.TotalCost)
+	if !defRes.Failed && defRes.RuntimeS > 0 {
+		fmt.Fprintf(out, "default config runtime: %.1fs (improvement %.0f%%)\n",
+			defRes.RuntimeS, (1-res.Best.Runtime/defRes.RuntimeS)*100)
+	}
+	fmt.Fprintf(out, "best configuration:\n")
+	for _, line := range strings.Split(space.FormatConfig(res.Best.Config), " ") {
+		fmt.Fprintf(out, "  %s\n", line)
+	}
+	return nil
+}
+
+func parseLevel(s string) (cloud.InterferenceLevel, error) {
+	switch s {
+	case "none":
+		return cloud.InterferenceNone, nil
+	case "low":
+		return cloud.InterferenceLow, nil
+	case "medium":
+		return cloud.InterferenceMedium, nil
+	case "high":
+		return cloud.InterferenceHigh, nil
+	default:
+		return 0, fmt.Errorf("unknown interference level %q", s)
+	}
+}

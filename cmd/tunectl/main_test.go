@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTunesAndPrints(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "wordcount", "-size", "2", "-tuner", "random",
+		"-budget", "8", "-params", "8", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tuning wordcount (2GB)", "best runtime:", "best configuration:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunVerboseShowsTrials(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "sort", "-size", "1", "-tuner", "bestconfig",
+		"-budget", "5", "-params", "6", "-v",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "run   1:") {
+		t.Errorf("verbose output missing trial lines:\n%s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "workloads:") || !strings.Contains(out.String(), "bayesopt") {
+		t.Errorf("list output = %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown workload", []string{"-workload", "nope"}},
+		{"unknown tuner", []string{"-tuner", "nope"}},
+		{"unknown instance", []string{"-cluster", "nope/zz"}},
+		{"bad nodes", []string{"-nodes", "0"}},
+		{"bad interference", []string{"-interference", "extreme"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestAllTunerNamesResolvable(t *testing.T) {
+	for _, name := range tunerNames {
+		var out bytes.Buffer
+		err := run([]string{
+			"-workload", "wordcount", "-size", "1", "-tuner", name,
+			"-budget", "3", "-params", "4",
+		}, &out)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command tuneserve exposes the seamless-tuning service over HTTP — a
+// demonstration of the paper's vision of configuration tuning offered as
+// a cloud service: tenants submit workloads and high-level objectives,
+// the provider runs both tuning stages and keeps the cross-tenant
+// execution history.
+//
+// Endpoints:
+//
+//	POST /v1/tune            {"tenant","workload","inputGB"} → pipeline result
+//	GET  /v1/workloads       registered (tenant, workload) pairs
+//	GET  /v1/history         ?tenant=&workload=&limit=
+//	GET  /v1/effectiveness   ?tenant=&workload=
+//	GET  /healthz
+//
+// Usage:
+//
+//	tuneserve -addr :8642 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"seamlesstune/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("tuneserve", flag.ExitOnError)
+	addr := fs.String("addr", ":8642", "listen address")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	params := fs.Int("params", 12, "Spark parameters tuned per session (1-41)")
+	cloudBudget := fs.Int("cloud-budget", 10, "stage-1 execution budget")
+	discBudget := fs.Int("disc-budget", 25, "stage-2 execution budget")
+	statePath := fs.String("state", "", "path for persisting the execution history (load on start, save after each tune)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := newServer(serverConfig{
+		Seed:        *seed,
+		Params:      *params,
+		CloudBudget: *cloudBudget,
+		DISCBudget:  *discBudget,
+		StatePath:   *statePath,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("tuneserve listening on %s (seed %d, %d params)", *addr, *seed, *params)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serverConfig bundles the tunables of newServer so main and tests share
+// one construction path.
+type serverConfig struct {
+	Seed        int64
+	Params      int
+	CloudBudget int
+	DISCBudget  int
+	// StatePath, when set, persists the execution history: loaded at
+	// startup (if present) and saved after every tuning request.
+	StatePath string
+}
+
+func (c serverConfig) options() []core.Option {
+	return []core.Option{
+		core.WithSeed(c.Seed),
+		core.WithBudgets(c.CloudBudget, c.DISCBudget),
+	}
+}
+
+func usageError(w http.ResponseWriter, format string, args ...interface{}) {
+	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/core"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/workload"
+)
+
+// server wraps a core.Service behind HTTP handlers. The service itself is
+// single-threaded (one deterministic RNG), so a mutex serializes tuning
+// requests; reads of the history store are safe concurrently.
+type server struct {
+	mu        sync.Mutex
+	svc       *core.Service
+	mux       *http.ServeMux
+	statePath string
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	opts := cfg.options()
+	if cfg.Params > 0 {
+		opts = append(opts, core.WithSparkSpace(confspace.SparkSubspace(cfg.Params)))
+	}
+	if cfg.StatePath != "" {
+		store := &history.Store{}
+		if _, err := os.Stat(cfg.StatePath); err == nil {
+			if err := store.LoadFile(cfg.StatePath); err != nil {
+				return nil, fmt.Errorf("loading state %s: %w", cfg.StatePath, err)
+			}
+		}
+		opts = append(opts, core.WithStore(store))
+	}
+	s := &server{
+		svc:       core.NewService(opts...),
+		mux:       http.NewServeMux(),
+		statePath: cfg.StatePath,
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/tune", s.handleTune)
+	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/v1/history", s.handleHistory)
+	s.mux.HandleFunc("/v1/effectiveness", s.handleEffectiveness)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// tuneRequest is the tenant-facing submission: just the workload and an
+// input size — no knobs, per the paper's principle 1.
+type tuneRequest struct {
+	Tenant   string  `json:"tenant"`
+	Workload string  `json:"workload"`
+	InputGB  float64 `json:"inputGB"`
+}
+
+// tuneResponse reports what the pipeline chose and achieved.
+type tuneResponse struct {
+	Cluster         string           `json:"cluster"`
+	Config          confspace.Config `json:"config"`
+	DefaultRuntimeS float64          `json:"defaultRuntimeS"`
+	TunedRuntimeS   float64          `json:"tunedRuntimeS"`
+	ImprovementPct  float64          `json:"improvementPct"`
+	TuningCostUSD   float64          `json:"tuningCostUSD"`
+	WarmStarted     bool             `json:"warmStarted"`
+	WarmSource      string           `json:"warmSource,omitempty"`
+}
+
+func (s *server) handleTune(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req tuneRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		usageError(w, "bad request body: %v", err)
+		return
+	}
+	wl, err := workload.ByName(req.Workload)
+	if err != nil {
+		usageError(w, "%v (known: %v)", err, workload.Names())
+		return
+	}
+	if req.InputGB <= 0 {
+		usageError(w, "inputGB must be positive")
+		return
+	}
+	if req.Tenant == "" {
+		usageError(w, "tenant is required")
+		return
+	}
+	reg := core.Registration{
+		Tenant:     req.Tenant,
+		Workload:   wl,
+		InputBytes: int64(req.InputGB * (1 << 30)),
+	}
+	s.mu.Lock()
+	res, err := s.svc.TunePipeline(reg)
+	s.persistLocked()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := tuneResponse{
+		Cluster:         res.Cloud.Cluster.String(),
+		Config:          res.DISC.Config,
+		DefaultRuntimeS: res.DefaultRuntimeS,
+		TunedRuntimeS:   res.TunedRuntimeS,
+		ImprovementPct:  res.Improvement() * 100,
+		TuningCostUSD:   res.TuningCostUSD,
+		WarmStarted:     res.DISC.WarmStarted,
+	}
+	if res.DISC.WarmStarted {
+		resp.WarmSource = res.DISC.Source.String()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.svc.Store().Workloads())
+}
+
+func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			usageError(w, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	recs := s.svc.Store().Query(history.Filter{
+		Tenant:   r.URL.Query().Get("tenant"),
+		Workload: r.URL.Query().Get("workload"),
+		MaxN:     limit,
+	})
+	writeJSON(w, recs)
+}
+
+func (s *server) handleEffectiveness(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	wl := r.URL.Query().Get("workload")
+	if tenant == "" || wl == "" {
+		usageError(w, "tenant and workload are required")
+		return
+	}
+	rep, err := s.svc.Effectiveness(tenant, wl)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// persistLocked saves the history store when persistence is configured.
+// Callers hold s.mu.
+func (s *server) persistLocked() {
+	if s.statePath == "" {
+		return
+	}
+	if err := s.svc.Store().SaveFile(s.statePath); err != nil {
+		log.Printf("tuneserve: persisting state to %s: %v", s.statePath, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding in-memory values cannot fail in a way the client can act
+	// on; log-less best effort is fine for a demo server.
+	_ = enc.Encode(v)
+}

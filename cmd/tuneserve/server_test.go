@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	s, err := newServer(serverConfig{Seed: 1, Params: 10, CloudBudget: 6, DISCBudget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+func TestTuneEndToEnd(t *testing.T) {
+	s := testServer(t)
+	body := `{"tenant":"acme","workload":"wordcount","inputGB":4}`
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/tune", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp tuneResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TunedRuntimeS <= 0 || resp.Cluster == "" || len(resp.Config) == 0 {
+		t.Errorf("degenerate response: %+v", resp)
+	}
+
+	// History now has records for the tenant.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/history?tenant=acme&limit=5", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("history status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "wordcount") {
+		t.Error("history missing workload records")
+	}
+
+	// Workloads lists the pair.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/workloads", nil))
+	if !strings.Contains(rec.Body.String(), "acme") {
+		t.Errorf("workloads = %s", rec.Body.String())
+	}
+
+	// Effectiveness report exists.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/effectiveness?tenant=acme&workload=wordcount", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("effectiveness status = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	s := testServer(t)
+	tests := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{nope`},
+		{"unknown workload", `{"tenant":"a","workload":"nope","inputGB":1}`},
+		{"no tenant", `{"workload":"wordcount","inputGB":1}`},
+		{"bad size", `{"tenant":"a","workload":"wordcount","inputGB":0}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/tune", strings.NewReader(tt.body)))
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", rec.Code)
+			}
+		})
+	}
+	// Wrong method.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/tune", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/tune status = %d", rec.Code)
+	}
+}
+
+func TestHistoryValidation(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/history?limit=zero", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit status = %d", rec.Code)
+	}
+}
+
+func TestEffectivenessValidation(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/effectiveness", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing params status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/effectiveness?tenant=ghost&workload=wordcount", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown tenant status = %d", rec.Code)
+	}
+}
+
+func TestStatePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	s, err := newServer(serverConfig{Seed: 1, Params: 8, CloudBudget: 5, DISCBudget: 8, StatePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/tune",
+		strings.NewReader(`{"tenant":"acme","workload":"wordcount","inputGB":2}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tune status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("state file not written: %v", err)
+	}
+
+	// A fresh server restores the history.
+	s2, err := newServer(serverConfig{Seed: 2, Params: 8, CloudBudget: 5, DISCBudget: 8, StatePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	s2.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/workloads", nil))
+	if !strings.Contains(rec.Body.String(), "acme") {
+		t.Errorf("restored server lost history: %s", rec.Body.String())
+	}
+
+	// Corrupt state fails loudly.
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(serverConfig{StatePath: path}); err == nil {
+		t.Error("corrupt state accepted")
+	}
+}

@@ -1,0 +1,19 @@
+// Package seamlesstune is a research reproduction of "Towards Seamless
+// Configuration Tuning of Big Data Analytics" (Fekry et al., ICDCS 2019):
+// a provider-side, fully automated configuration-tuning service for
+// distributed data-processing workloads, built on a simulated Spark-like
+// execution engine, a multi-provider cloud model, the tuning strategies
+// the paper surveys (CherryPick, BestConfig, DAC, MROnline, Ernest, Wang
+// et al., Bu et al.), cross-workload transfer learning, adaptive
+// re-tuning detection, and SLO accounting.
+//
+// The public surface lives in the executables and examples:
+//
+//   - cmd/experiments regenerates every table, figure and quantitative
+//     claim of the paper (see EXPERIMENTS.md);
+//   - cmd/tunectl runs individual tuning sessions;
+//   - cmd/tuneserve exposes tuning-as-a-service over HTTP;
+//   - examples/ demonstrates the library API on four scenarios.
+//
+// See DESIGN.md for the system inventory and README.md for a tour.
+package seamlesstune

@@ -1,0 +1,70 @@
+// Quickstart: tune a Wordcount workload end to end with the seamless
+// tuning service — the user supplies only the workload, an input size and
+// an objective; the service picks the cluster (stage 1) and the Spark
+// configuration (stage 2).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/core"
+	"seamlesstune/internal/slo"
+	"seamlesstune/internal/workload"
+)
+
+func main() {
+	// The service is what a cloud provider would operate: it owns the
+	// instance catalog, the execution-history store and the tuning
+	// budgets.
+	svc := core.NewService(
+		core.WithSeed(42),
+		core.WithSparkSpace(confspace.SparkSubspace(12)), // tune the 12 most important knobs
+		core.WithBudgets(10, 25),                         // stage-1 and stage-2 execution budgets
+	)
+
+	// A tenant registers a workload with a high-level objective — no
+	// cluster shapes, no Spark knobs.
+	reg := core.Registration{
+		Tenant:     "quickstart-tenant",
+		Workload:   workload.PageRank{},
+		InputBytes: 8 << 30, // an 8 GB web graph
+		Objective:  slo.Objective{WithinPctOfOptimal: 0.25},
+	}
+
+	res, err := svc.TunePipeline(reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== seamless tuning pipeline (Fig. 1) ===")
+	fmt.Printf("stage 1 chose cluster:   %s (%d candidate runs)\n",
+		res.Cloud.Cluster, len(res.Cloud.Session.Trials))
+	fmt.Printf("stage 2 tuned Spark:     %d runs, best %.1fs\n",
+		len(res.DISC.Session.Trials), res.TunedRuntimeS)
+	fmt.Printf("scaled defaults runtime: %.1fs\n", res.DefaultRuntimeS)
+	fmt.Printf("improvement:             %.0f%%\n", res.Improvement()*100)
+	fmt.Printf("total tuning bill:       $%.2f (carried by the provider)\n", res.TuningCostUSD)
+
+	fmt.Println("\nchosen configuration (excerpt):")
+	for _, name := range []string{
+		confspace.ParamExecutorInstances,
+		confspace.ParamExecutorCores,
+		confspace.ParamExecutorMemoryMB,
+		confspace.ParamDefaultParallelism,
+	} {
+		fmt.Printf("  %-28s = %d\n", name, res.DISC.Config.Int(name))
+	}
+
+	// The SLO report: how close is this tenant to the best any tenant
+	// ever achieved on this workload type?
+	rep, err := svc.Effectiveness(reg.Tenant, reg.Workload.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSLO effectiveness: %.1f s/GB achieved vs %.1f s/GB best known (gap %.0f%%)\n",
+		rep.BestOwn, rep.BestKnown, rep.Effectiveness*100)
+}

@@ -1,0 +1,142 @@
+// SLO trade-off: the §IV-D question — "do I need the results quickly no
+// matter the cost, or am I willing to wait?" The example sweeps cluster
+// choices for a Sort workload, builds the runtime/cost Pareto frontier,
+// and picks configurations for a deadline-driven and a budget-driven SLO.
+//
+//	go run ./examples/slotradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/slo"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/tuner"
+	"seamlesstune/internal/workload"
+)
+
+func main() {
+	catalog := cloud.DefaultCatalog()
+	space := confspace.SparkSpace()
+	w := workload.Sort{}
+	size := int64(16) << 30
+
+	// Candidate clusters from 2 small nodes to 12 big ones.
+	candidates := []struct {
+		key   string
+		count int
+	}{
+		{"nimbus/g5.large", 2},
+		{"nimbus/g5.xlarge", 4},
+		{"nimbus/c5.2xlarge", 4},
+		{"nimbus/g5.2xlarge", 8},
+		{"nimbus/r5.2xlarge", 8},
+		{"nimbus/h1.4xlarge", 4},
+		{"nimbus/h1.4xlarge", 12},
+	}
+
+	rng := stat.NewRNG(5)
+	var points []slo.Point
+	fmt.Println("cluster candidates for sort @16GB:")
+	for _, c := range candidates {
+		it, err := catalog.Lookup(c.key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := cloud.ClusterSpec{Instance: it, Count: c.count}
+		cfg := referenceFor(space, spec)
+		res := spark.Run(w.Job(size), spark.FromConfig(space, cfg), spec, cloud.Unit(), stat.Fork(rng))
+		if res.Failed {
+			fmt.Printf("  %-24s FAILED: %s\n", spec, res.Reason)
+			continue
+		}
+		points = append(points, slo.Point{Label: spec.String(), RuntimeS: res.RuntimeS, CostUSD: res.CostUSD})
+		fmt.Printf("  %-24s runtime %7.1fs  cost $%.3f\n", spec, res.RuntimeS, res.CostUSD)
+	}
+
+	frontier := slo.ParetoFrontier(points)
+	fmt.Println("\nPareto frontier (no point is both slower and pricier):")
+	for _, p := range frontier {
+		fmt.Printf("  %-24s %7.1fs  $%.3f\n", p.Label, p.RuntimeS, p.CostUSD)
+	}
+
+	if p, ok := slo.PickForDeadline(frontier, 120); ok {
+		fmt.Printf("\nSLO 'results within 2 minutes':   %s ($%.3f per run)\n", p.Label, p.CostUSD)
+	} else {
+		fmt.Println("\nSLO 'results within 2 minutes':   unsatisfiable with these candidates")
+	}
+	if p, ok := slo.PickForBudget(frontier, 0.10); ok {
+		fmt.Printf("SLO 'at most $0.10 per run':      %s (%.1fs per run)\n", p.Label, p.RuntimeS)
+	} else {
+		fmt.Println("SLO 'at most $0.10 per run':      unsatisfiable with these candidates")
+	}
+
+	// The same tuners can optimize for dollars instead of seconds
+	// (tuner.RunFor with a cost scorer) — the user's §IV-D choice made
+	// explicit. Tuning the *cloud* configuration is where the objectives
+	// genuinely diverge: speed wants big clusters, cost wants small ones.
+	cloudSpace, err := confspace.CloudSpace(catalog, 2, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj := func(cfg confspace.Config) tuner.Measurement {
+		spec, err := confspace.ClusterFromConfig(catalog, cloudSpace, cfg)
+		if err != nil {
+			return tuner.Measurement{Failed: true}
+		}
+		conf := spark.FromConfig(space, referenceFor(space, spec))
+		res := spark.Run(w.Job(size), conf, spec, cloud.Unit(), stat.Fork(rng))
+		return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+	}
+	describe := func(r tuner.Result) string {
+		spec, _ := confspace.ClusterFromConfig(catalog, cloudSpace, r.Best.Config)
+		return spec.String()
+	}
+	fast, err := tuner.RunFor(tuner.NewBayesOpt(cloudSpace), obj, 15, stat.NewRNG(7), tuner.MinimizeRuntime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cheap, err := tuner.RunFor(tuner.NewBayesOpt(cloudSpace), obj, 15, stat.NewRNG(7), tuner.MinimizeCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blend, err := tuner.RunFor(tuner.NewBayesOpt(cloudSpace), obj, 15, stat.NewRNG(7), tuner.MinimizeCostDelay(1.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntuning the cloud configuration for different objectives (15 runs each):")
+	fmt.Printf("  minimize runtime:       %-24s %7.1fs  $%.4f/run\n", describe(fast), fast.Best.Runtime, fast.Best.Cost)
+	fmt.Printf("  minimize cost:          %-24s %7.1fs  $%.4f/run\n", describe(cheap), cheap.Best.Runtime, cheap.Best.Cost)
+	fmt.Printf("  cost + $1/h of waiting: %-24s %7.1fs  $%.4f/run\n", describe(blend), blend.Best.Runtime, blend.Best.Cost)
+
+	// Amortization: is it worth tuning at all for a job that runs 90
+	// times before re-tuning (the paper's 3-month exemplar)?
+	ledger := slo.Ledger{TuningCostUSD: 12.0, OldRunCostUSD: 0.45, NewRunCostUSD: 0.12}
+	if n, err := ledger.RunsToAmortize(); err == nil {
+		fmt.Printf("\ntuning bill $%.2f amortizes after %d runs; net after 90 runs: $%.2f\n",
+			ledger.TuningCostUSD, n, ledger.NetSavingAfter(90))
+	}
+}
+
+// referenceFor scales Spark defaults to a cluster (executors by cores,
+// parallelism 2x total cores).
+func referenceFor(space *confspace.Space, spec cloud.ClusterSpec) confspace.Config {
+	cfg := space.Default()
+	coresPer := 4
+	if spec.Instance.VCPUs < 4 {
+		coresPer = spec.Instance.VCPUs
+	}
+	cfg[confspace.ParamExecutorCores] = float64(coresPer)
+	cfg[confspace.ParamExecutorInstances] = float64(spec.TotalCores() / coresPer)
+	p, _ := space.Param(confspace.ParamExecutorMemoryMB)
+	cfg[confspace.ParamExecutorMemoryMB] = p.Clamp(spec.Instance.MemoryGB * 1024 * 0.4)
+	cfg[confspace.ParamDriverMemoryMB] = 4096
+	pp, _ := space.Param(confspace.ParamDefaultParallelism)
+	cfg[confspace.ParamDefaultParallelism] = pp.Clamp(float64(2 * spec.TotalCores()))
+	cfg[confspace.ParamShufflePartitions] = pp.Clamp(float64(2 * spec.TotalCores()))
+	return cfg
+}

@@ -1,0 +1,113 @@
+// Transfer: cross-tenant knowledge transfer (§V-B). Tenant A tunes a
+// PageRank workload; when tenant B submits a workload with a similar
+// resource profile, the service fingerprints it from a few probe runs,
+// finds A's history in the multi-tenant store, and warm-starts B's tuning
+// from it. A dissimilar workload is refused (negative-transfer guard).
+//
+//	go run ./examples/transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/core"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/transfer"
+	"seamlesstune/internal/workload"
+)
+
+func main() {
+	svc := core.NewService(
+		core.WithSeed(11),
+		core.WithSparkSpace(confspace.SparkSubspace(12)),
+		core.WithBudgets(8, 20),
+	)
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+
+	// Tenant A tunes PageRank from scratch. Every execution lands in the
+	// provider's history store.
+	fmt.Println("tenant A tunes pagerank (cold start)...")
+	a, err := svc.TuneDISC(core.Registration{
+		Tenant: "tenant-a", Workload: workload.PageRank{}, InputBytes: 8 << 30,
+	}, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  best %.1fs in %d runs (warm-started: %v)\n",
+		a.Session.Best.Runtime, len(a.Session.Trials), a.WarmStarted)
+
+	// Tenant B submits the same workload type on a bigger graph. The
+	// service recognizes the similar profile and transfers A's knowledge.
+	fmt.Println("\ntenant B tunes pagerank at 12GB...")
+	b, err := svc.TuneDISC(core.Registration{
+		Tenant: "tenant-b", Workload: workload.PageRank{}, InputBytes: 12 << 30,
+	}, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  best %.1fs in %d runs\n", b.Session.Best.Runtime, len(b.Session.Trials))
+	if b.WarmStarted {
+		fmt.Printf("  warm-started from %s (similarity %.2f)\n", b.Source, b.Similarity)
+	} else {
+		fmt.Println("  no acceptable source found; cold start")
+	}
+
+	// Tenant C runs Wordcount — a very different profile. The similarity
+	// gate refuses the transfer rather than risking negative transfer.
+	fmt.Println("\ntenant C tunes wordcount (dissimilar profile)...")
+	c, err := svc.TuneDISC(core.Registration{
+		Tenant: "tenant-c", Workload: workload.Wordcount{}, InputBytes: 8 << 30,
+	}, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if c.WarmStarted {
+		fmt.Printf("  warm-started from %s (similarity %.2f)\n", c.Source, c.Similarity)
+	} else {
+		fmt.Println("  transfer refused (negative-transfer guard): tuned cold")
+	}
+
+	// AROMA's alternative (Lama & Zhou): cluster the historical workloads,
+	// classify the newcomer with an SVM, and reuse the matched cluster's
+	// best configuration outright.
+	fmt.Println("\nAROMA view of the same history:")
+	records := map[history.WorkloadKey][]history.Record{}
+	for _, key := range svc.Store().Workloads() {
+		records[key] = svc.Store().Query(history.Filter{Tenant: key.Tenant, Workload: key.Workload})
+	}
+	aroma, err := transfer.TrainAroma(records, 2, svc.SparkSpace(), 5, stat.NewRNG(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for cl := 0; cl < aroma.Clusters(); cl++ {
+		fmt.Printf("  cluster %d: %v\n", cl, aroma.Members(cl))
+	}
+	newFP, err := transfer.FingerprintOf(transfer.WellConfigured(
+		svc.Store().Query(history.Filter{Tenant: "tenant-b", Workload: "pagerank"})))
+	if err == nil {
+		if cfg, cl, ok := aroma.Recommend(newFP); ok {
+			fmt.Printf("  tenant-b/pagerank classified into cluster %d; reuse suggests %d executors x %d cores\n",
+				cl, cfg.Int(confspace.ParamExecutorInstances), cfg.Int(confspace.ParamExecutorCores))
+		}
+	}
+
+	// Show the fingerprints behind the decision.
+	fmt.Println("\nworkload fingerprints in the provider store:")
+	for _, key := range svc.Store().Workloads() {
+		recs := svc.Store().Query(history.Filter{Tenant: key.Tenant, Workload: key.Workload})
+		fp, err := transfer.FingerprintOf(recs)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-22s shuffle/input=%.2f spill/input=%.2f gc=%.2f s/GB=%.1f stages=%.0f\n",
+			key.String(), fp.ShufflePerInput, fp.SpillPerInput, fp.GCFrac, fp.SecondsPerGB, fp.StageDepth)
+	}
+}

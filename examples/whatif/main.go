@@ -1,0 +1,92 @@
+// Whatif: the Starfish-style question "given the profile of job A under
+// configuration c1, what will the performance of the job be with
+// configuration c2 and input y?" (§II-B) — answered without executing
+// anything, and checked against reality. The example also shows the
+// engine's documented blind spot: iterative, cache-bound workloads.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/whatif"
+	"seamlesstune/internal/workload"
+)
+
+func main() {
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+	space := confspace.SparkSpace()
+	size := int64(8) << 30
+
+	// Profile one Sort run under a sensible configuration c1.
+	c1 := space.Default()
+	c1[confspace.ParamExecutorInstances] = 8
+	c1[confspace.ParamExecutorCores] = 8
+	c1[confspace.ParamExecutorMemoryMB] = 16384
+	c1[confspace.ParamDriverMemoryMB] = 4096
+	c1[confspace.ParamDefaultParallelism] = 128
+	conf1 := spark.FromConfig(space, c1)
+
+	w := workload.Sort{}
+	profiled := spark.Run(w.Job(size), conf1, cluster, cloud.Unit(), stat.NewRNG(1))
+	profile, err := whatif.NewProfile(conf1, cluster, size, profiled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled: sort @8GB under c1 -> %.1fs\n\n", profiled.RuntimeS)
+
+	ask := func(label string, mutate func(confspace.Config), sizeQ int64) {
+		c2 := c1.Clone()
+		mutate(c2)
+		conf2 := spark.FromConfig(space, c2)
+		ans, err := profile.Predict(whatif.Question{Conf: conf2, Cluster: cluster, InputBytes: sizeQ})
+		if err != nil {
+			fmt.Printf("  %-36s prediction failed: %v\n", label, err)
+			return
+		}
+		actual := spark.Run(w.Job(sizeQ), conf2, cluster, cloud.Unit(), stat.NewRNG(2))
+		fmt.Printf("  %-36s predicted %7.1fs   actual %7.1fs\n", label, ans.RuntimeS, actual.RuntimeS)
+	}
+
+	fmt.Println("what-if questions about sort (no executions needed for the predictions):")
+	ask("same config, 32GB input?", func(confspace.Config) {}, 32<<30)
+	ask("half the executors?", func(c confspace.Config) {
+		c[confspace.ParamExecutorInstances] = 4
+	}, size)
+	ask("parallelism 16 instead of 128?", func(c confspace.Config) {
+		c[confspace.ParamDefaultParallelism] = 16
+	}, size)
+
+	// The blind spot: profile PageRank the same way and ask about a
+	// memory-starved configuration — the engine cannot see the cache
+	// cliff, so it badly underestimates.
+	pr := workload.PageRank{}
+	prRun := spark.Run(pr.Job(size), conf1, cluster, cloud.Unit(), stat.NewRNG(3))
+	prProfile, err := whatif.NewProfile(conf1, cluster, size, prRun)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiny := c1.Clone()
+	tiny[confspace.ParamExecutorMemoryMB] = 2048
+	tiny[confspace.ParamMemoryFraction] = 0.3
+	conf2 := spark.FromConfig(space, tiny)
+	ans, err := prProfile.Predict(whatif.Question{Conf: conf2, Cluster: cluster, InputBytes: size})
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := spark.Run(pr.Job(size), conf2, cluster, cloud.Unit(), stat.NewRNG(4))
+	fmt.Printf("\nthe Starfish limitation (§II-B) on iterative pagerank:\n")
+	fmt.Printf("  memory-starved config:               predicted %7.1fs   actual %7.1fs\n",
+		ans.RuntimeS, actual.RuntimeS)
+	fmt.Println("  (the profile-scaling model cannot see the cache-capacity cliff)")
+}

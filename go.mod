@@ -1,0 +1,3 @@
+module seamlesstune
+
+go 1.22

@@ -1,0 +1,198 @@
+// Package cloud simulates the infrastructure layer the paper's tuning
+// service runs against: multiple cloud providers, their instance catalogs
+// (vCPU, memory, disk and network bandwidth, hourly price), provisioned
+// virtual clusters, and the co-location interference that makes cloud
+// measurements noisy.
+//
+// The paper's experiments ran on Amazon EMR and Google Cloud; we model
+// three synthetic providers whose catalogs mirror the real families
+// (general/compute/memory/storage-optimized at several sizes), including a
+// storage-optimized 16-vCPU type with the resource ratios of the
+// h1.4xlarge instances used for Table I.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Provider identifies a cloud provider in the simulation.
+type Provider string
+
+// The three synthetic providers. Their catalogs differ slightly in pricing
+// and per-core speed so that cloud-configuration tuning has a real choice
+// to make.
+const (
+	Nimbus  Provider = "nimbus"  // AWS-like
+	Stratus Provider = "stratus" // Azure-like
+	Cumulus Provider = "cumulus" // GCP-like
+)
+
+// Family groups instance types by the resource they are provisioned for.
+type Family string
+
+// Instance families mirroring the major providers' lineups.
+const (
+	General Family = "general" // balanced vCPU:memory
+	Compute Family = "compute" // high clock, low memory per core
+	Memory  Family = "memory"  // high memory per core
+	Storage Family = "storage" // high local-disk bandwidth
+)
+
+// InstanceType describes one rentable VM shape.
+type InstanceType struct {
+	Name         string
+	Provider     Provider
+	Family       Family
+	VCPUs        int
+	MemoryGB     float64
+	DiskMBps     float64 // aggregate local disk bandwidth
+	NetworkMBps  float64 // instance network bandwidth
+	CPUFactor    float64 // relative per-core speed (1.0 = baseline)
+	PricePerHour float64 // USD per hour
+}
+
+// MemoryPerCore returns GB of memory per vCPU.
+func (t InstanceType) MemoryPerCore() float64 {
+	if t.VCPUs == 0 {
+		return 0
+	}
+	return t.MemoryGB / float64(t.VCPUs)
+}
+
+// String renders "provider/name".
+func (t InstanceType) String() string {
+	return fmt.Sprintf("%s/%s", t.Provider, t.Name)
+}
+
+// ErrUnknownInstance is returned when a catalog lookup fails.
+var ErrUnknownInstance = errors.New("cloud: unknown instance type")
+
+// Catalog is an immutable set of instance types across providers.
+type Catalog struct {
+	types  []InstanceType
+	byName map[string]InstanceType
+}
+
+// NewCatalog builds a catalog from the given types. Duplicate
+// provider/name pairs keep the last entry.
+func NewCatalog(types []InstanceType) *Catalog {
+	c := &Catalog{
+		types:  append([]InstanceType(nil), types...),
+		byName: make(map[string]InstanceType, len(types)),
+	}
+	for _, t := range c.types {
+		c.byName[t.String()] = t
+	}
+	return c
+}
+
+// Types returns all instance types, sorted by provider then price.
+func (c *Catalog) Types() []InstanceType {
+	out := append([]InstanceType(nil), c.types...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Provider != out[j].Provider {
+			return out[i].Provider < out[j].Provider
+		}
+		return out[i].PricePerHour < out[j].PricePerHour
+	})
+	return out
+}
+
+// Lookup finds a type by its "provider/name" key.
+func (c *Catalog) Lookup(key string) (InstanceType, error) {
+	t, ok := c.byName[key]
+	if !ok {
+		return InstanceType{}, fmt.Errorf("%w: %q", ErrUnknownInstance, key)
+	}
+	return t, nil
+}
+
+// ByProvider returns the types offered by one provider.
+func (c *Catalog) ByProvider(p Provider) []InstanceType {
+	var out []InstanceType
+	for _, t := range c.types {
+		if t.Provider == p {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PricePerHour < out[j].PricePerHour })
+	return out
+}
+
+// Providers returns the distinct providers present in the catalog.
+func (c *Catalog) Providers() []Provider {
+	seen := make(map[Provider]bool)
+	var out []Provider
+	for _, t := range c.types {
+		if !seen[t.Provider] {
+			seen[t.Provider] = true
+			out = append(out, t.Provider)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of instance types.
+func (c *Catalog) Len() int { return len(c.types) }
+
+// DefaultCatalog returns the standard three-provider catalog used by the
+// experiments. Shapes follow real-world ratios: general 4 GB/vCPU,
+// compute 2 GB/vCPU with faster cores, memory 8 GB/vCPU, storage 16 GB/vCPU
+// with high disk bandwidth (h1-like).
+func DefaultCatalog() *Catalog {
+	var types []InstanceType
+	// Per-provider tweaks: relative price and core speed.
+	providers := []struct {
+		p         Provider
+		priceMul  float64
+		cpuFactor float64
+	}{
+		{Nimbus, 1.00, 1.00},
+		{Stratus, 1.06, 0.97},
+		{Cumulus, 0.95, 1.02},
+	}
+	sizes := []struct {
+		suffix string
+		vcpus  int
+	}{
+		{"large", 2},
+		{"xlarge", 4},
+		{"2xlarge", 8},
+		{"4xlarge", 16},
+	}
+	families := []struct {
+		fam       Family
+		prefix    string
+		memPerCPU float64
+		diskMBps  float64 // per vCPU
+		netMBps   float64 // per vCPU
+		cpuBonus  float64
+		pricePer  float64 // USD per vCPU-hour baseline
+	}{
+		{General, "g5", 4, 20, 80, 1.00, 0.048},
+		{Compute, "c5", 2, 20, 90, 1.18, 0.043},
+		{Memory, "r5", 8, 20, 80, 1.00, 0.063},
+		{Storage, "h1", 16, 160, 100, 0.95, 0.110},
+	}
+	for _, pv := range providers {
+		for _, f := range families {
+			for _, s := range sizes {
+				types = append(types, InstanceType{
+					Name:         f.prefix + "." + s.suffix,
+					Provider:     pv.p,
+					Family:       f.fam,
+					VCPUs:        s.vcpus,
+					MemoryGB:     f.memPerCPU * float64(s.vcpus),
+					DiskMBps:     f.diskMBps * float64(s.vcpus),
+					NetworkMBps:  f.netMBps * float64(s.vcpus),
+					CPUFactor:    pv.cpuFactor * f.cpuBonus,
+					PricePerHour: pv.priceMul * f.pricePer * float64(s.vcpus),
+				})
+			}
+		}
+	}
+	return NewCatalog(types)
+}

@@ -1,0 +1,211 @@
+package cloud
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seamlesstune/internal/stat"
+)
+
+func TestDefaultCatalog(t *testing.T) {
+	c := DefaultCatalog()
+	if c.Len() != 3*4*4 {
+		t.Fatalf("catalog size = %d, want 48", c.Len())
+	}
+	if got := len(c.Providers()); got != 3 {
+		t.Errorf("providers = %d, want 3", got)
+	}
+	// The h1.4xlarge analogue used in Table I must exist with
+	// storage-optimized ratios: 16 vCPU, 256 GB, high disk bandwidth.
+	it, err := c.Lookup("nimbus/h1.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.VCPUs != 16 || it.MemoryGB != 256 || it.Family != Storage {
+		t.Errorf("h1.4xlarge = %+v, want 16 vCPU / 256 GB storage family", it)
+	}
+	if it.DiskMBps <= 4*20*16 {
+		t.Errorf("storage family disk bandwidth %v not clearly above general family", it.DiskMBps)
+	}
+}
+
+func TestCatalogLookupUnknown(t *testing.T) {
+	c := DefaultCatalog()
+	if _, err := c.Lookup("nope/zz.large"); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("err = %v, want ErrUnknownInstance", err)
+	}
+}
+
+func TestCatalogByProviderSorted(t *testing.T) {
+	c := DefaultCatalog()
+	ts := c.ByProvider(Nimbus)
+	if len(ts) != 16 {
+		t.Fatalf("nimbus types = %d, want 16", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i].PricePerHour < ts[i-1].PricePerHour {
+			t.Fatalf("ByProvider not price-sorted at %d", i)
+		}
+		if ts[i].Provider != Nimbus {
+			t.Fatalf("foreign provider in ByProvider result")
+		}
+	}
+}
+
+func TestTypesSorted(t *testing.T) {
+	c := DefaultCatalog()
+	ts := c.Types()
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Provider < ts[i-1].Provider {
+			t.Fatal("Types not provider-sorted")
+		}
+		if ts[i].Provider == ts[i-1].Provider && ts[i].PricePerHour < ts[i-1].PricePerHour {
+			t.Fatal("Types not price-sorted within provider")
+		}
+	}
+}
+
+func TestMemoryPerCore(t *testing.T) {
+	it := InstanceType{VCPUs: 4, MemoryGB: 32}
+	if got := it.MemoryPerCore(); got != 8 {
+		t.Errorf("MemoryPerCore = %v, want 8", got)
+	}
+	if got := (InstanceType{}).MemoryPerCore(); got != 0 {
+		t.Errorf("zero-value MemoryPerCore = %v, want 0", got)
+	}
+}
+
+func TestClusterSpec(t *testing.T) {
+	c := DefaultCatalog()
+	it, _ := c.Lookup("nimbus/g5.xlarge")
+	spec := ClusterSpec{Instance: it, Count: 4}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.TotalCores() != 16 {
+		t.Errorf("TotalCores = %d, want 16", spec.TotalCores())
+	}
+	if spec.TotalMemoryGB() != 64 {
+		t.Errorf("TotalMemoryGB = %v, want 64", spec.TotalMemoryGB())
+	}
+	wantHourly := it.PricePerHour * 4
+	if math.Abs(spec.CostPerHour()-wantHourly) > 1e-12 {
+		t.Errorf("CostPerHour = %v, want %v", spec.CostPerHour(), wantHourly)
+	}
+	if math.Abs(spec.CostOf(1800)-wantHourly/2) > 1e-12 {
+		t.Errorf("CostOf(1800s) = %v, want %v", spec.CostOf(1800), wantHourly/2)
+	}
+	if spec.CostOf(-5) != 0 {
+		t.Error("negative duration should cost 0")
+	}
+}
+
+func TestClusterSpecValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		spec ClusterSpec
+		ok   bool
+	}{
+		{"zero count", ClusterSpec{Instance: InstanceType{VCPUs: 2, MemoryGB: 8}}, false},
+		{"zero instance", ClusterSpec{Count: 3}, false},
+		{"valid", ClusterSpec{Instance: InstanceType{VCPUs: 2, MemoryGB: 8}, Count: 3}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if tt.ok && err != nil {
+				t.Errorf("Validate = %v, want nil", err)
+			}
+			if !tt.ok && !errors.Is(err, ErrInvalidCluster) {
+				t.Errorf("Validate = %v, want ErrInvalidCluster", err)
+			}
+		})
+	}
+}
+
+func TestResize(t *testing.T) {
+	spec := ClusterSpec{Instance: InstanceType{VCPUs: 2, MemoryGB: 8}, Count: 3}
+	grown := spec.Resize(10)
+	if grown.Count != 10 || spec.Count != 3 {
+		t.Errorf("Resize mutated original or failed: %d/%d", grown.Count, spec.Count)
+	}
+}
+
+func TestInterferenceLevels(t *testing.T) {
+	r := stat.NewRNG(1)
+	for _, level := range []InterferenceLevel{InterferenceNone, InterferenceLow, InterferenceMedium, InterferenceHigh} {
+		in := NewInterference(level)
+		mean, _ := level.params()
+		var w stat.Welford
+		for i := 0; i < 2000; i++ {
+			f := in.Step(r)
+			if f.CPU < 1 || f.Net < 1 || f.Disk < 1 {
+				t.Fatalf("level %v: factor below 1: %+v", level, f)
+			}
+			w.Add(f.CPU)
+		}
+		if math.Abs(w.Mean()-mean) > 0.06 {
+			t.Errorf("level %v: mean CPU factor %v, want ~%v", level, w.Mean(), mean)
+		}
+	}
+}
+
+func TestInterferenceNoneIsUnit(t *testing.T) {
+	r := stat.NewRNG(2)
+	in := NewInterference(InterferenceNone)
+	for i := 0; i < 10; i++ {
+		f := in.Step(r)
+		if f != Unit() {
+			t.Fatalf("none-level factors = %+v, want unit", f)
+		}
+	}
+}
+
+func TestEnvironment(t *testing.T) {
+	e := NewEnvironment(InterferenceMedium, 7)
+	f1 := e.Next()
+	if f1.CPU < 1 {
+		t.Errorf("environment factor %v < 1", f1.CPU)
+	}
+	// Same seed reproduces the same stream.
+	e2 := NewEnvironment(InterferenceMedium, 7)
+	if e2.Next() != f1 {
+		t.Error("environment stream not reproducible for equal seeds")
+	}
+	// Level change takes effect.
+	e.SetLevel(InterferenceHigh)
+	var w stat.Welford
+	for i := 0; i < 500; i++ {
+		w.Add(e.Next().CPU)
+	}
+	if w.Mean() < 1.2 {
+		t.Errorf("after SetLevel(high), mean CPU factor %v, want > 1.2", w.Mean())
+	}
+}
+
+func TestEnvironmentNilInterference(t *testing.T) {
+	e := &Environment{}
+	if e.Next() != Unit() {
+		t.Error("nil interference should yield unit factors")
+	}
+	e.SetLevel(InterferenceLow)
+	if e.Interference == nil {
+		t.Error("SetLevel on nil interference should install one")
+	}
+}
+
+func TestInterferenceLevelString(t *testing.T) {
+	if InterferenceHigh.String() != "high" || InterferenceLevel(42).String() != "level(42)" {
+		t.Error("InterferenceLevel.String wrong")
+	}
+}
+
+func TestClusterSpecString(t *testing.T) {
+	c := DefaultCatalog()
+	it, _ := c.Lookup("cumulus/r5.2xlarge")
+	spec := ClusterSpec{Instance: it, Count: 6}
+	if got := spec.String(); got != "6x cumulus/r5.2xlarge" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,188 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"seamlesstune/internal/stat"
+)
+
+// ErrInvalidCluster is returned for non-positive node counts or zero-value
+// instance types.
+var ErrInvalidCluster = errors.New("cloud: invalid cluster specification")
+
+// ClusterSpec is the cloud half of a configuration: which instance type
+// and how many of them. In the paper's framing this is what stage 1 of
+// Fig. 1 selects.
+type ClusterSpec struct {
+	Instance InstanceType
+	Count    int
+}
+
+// Validate reports whether the spec is usable.
+func (s ClusterSpec) Validate() error {
+	if s.Count <= 0 {
+		return fmt.Errorf("%w: count %d", ErrInvalidCluster, s.Count)
+	}
+	if s.Instance.VCPUs <= 0 || s.Instance.MemoryGB <= 0 {
+		return fmt.Errorf("%w: instance %q has no resources", ErrInvalidCluster, s.Instance.Name)
+	}
+	return nil
+}
+
+// TotalCores returns the cluster's total vCPU count.
+func (s ClusterSpec) TotalCores() int { return s.Instance.VCPUs * s.Count }
+
+// TotalMemoryGB returns the cluster's total memory.
+func (s ClusterSpec) TotalMemoryGB() float64 { return s.Instance.MemoryGB * float64(s.Count) }
+
+// CostPerHour returns the hourly rental cost in USD.
+func (s ClusterSpec) CostPerHour() float64 {
+	return s.Instance.PricePerHour * float64(s.Count)
+}
+
+// CostOf returns the cost of running for the given number of seconds,
+// billed per-second (modern cloud billing).
+func (s ClusterSpec) CostOf(seconds float64) float64 {
+	if seconds < 0 {
+		seconds = 0
+	}
+	return s.CostPerHour() * seconds / 3600
+}
+
+// String renders "3x nimbus/g5.xlarge".
+func (s ClusterSpec) String() string {
+	return fmt.Sprintf("%dx %s", s.Count, s.Instance)
+}
+
+// Resize returns a copy of the spec with a new node count (elasticity).
+func (s ClusterSpec) Resize(count int) ClusterSpec {
+	s.Count = count
+	return s
+}
+
+// InterferenceLevel describes how contended the underlying hosts are.
+type InterferenceLevel int
+
+// Interference levels from dedicated hosts to heavily oversubscribed ones.
+const (
+	InterferenceNone InterferenceLevel = iota
+	InterferenceLow
+	InterferenceMedium
+	InterferenceHigh
+)
+
+// String implements fmt.Stringer.
+func (l InterferenceLevel) String() string {
+	switch l {
+	case InterferenceNone:
+		return "none"
+	case InterferenceLow:
+		return "low"
+	case InterferenceMedium:
+		return "medium"
+	case InterferenceHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// interferenceParams returns the mean slowdown and volatility for a level.
+func (l InterferenceLevel) params() (mean, vol float64) {
+	switch l {
+	case InterferenceLow:
+		return 1.05, 0.03
+	case InterferenceMedium:
+		return 1.15, 0.08
+	case InterferenceHigh:
+		return 1.35, 0.15
+	default:
+		return 1.0, 0.0
+	}
+}
+
+// Interference models co-location noise as a mean-reverting (AR(1))
+// multiplicative slowdown on CPU, network and disk. Cloud providers can
+// observe this state directly (a core argument of the paper); end users
+// only see its effect on runtimes.
+type Interference struct {
+	Level InterferenceLevel
+
+	cpu, net, disk float64
+	init           bool
+}
+
+// NewInterference returns a process at the given level.
+func NewInterference(level InterferenceLevel) *Interference {
+	return &Interference{Level: level}
+}
+
+// Factors holds multiplicative slowdowns (>= 1 on average) applied to the
+// respective resource speeds during one workload execution.
+type Factors struct {
+	CPU  float64
+	Net  float64
+	Disk float64
+}
+
+// Unit is the no-interference factor set.
+func Unit() Factors { return Factors{CPU: 1, Net: 1, Disk: 1} }
+
+// Step advances the process and returns the factors in effect for the next
+// execution. The process is AR(1) with reversion 0.6 toward the level mean,
+// so consecutive runs see correlated conditions — exactly what makes
+// one-shot cloud benchmarking misleading (paper §II-A).
+func (in *Interference) Step(r *rand.Rand) Factors {
+	mean, vol := in.Level.params()
+	if !in.init {
+		in.cpu, in.net, in.disk = mean, mean, mean
+		in.init = true
+	}
+	const revert = 0.6
+	next := func(cur float64) float64 {
+		v := cur + revert*(mean-cur) + vol*r.NormFloat64()
+		return stat.Clamp(v, 1.0, mean+4*vol+0.5)
+	}
+	in.cpu = next(in.cpu)
+	in.net = next(in.net)
+	in.disk = next(in.disk)
+	return Factors{CPU: in.cpu, Net: in.net, Disk: in.disk}
+}
+
+// Environment bundles the dynamic execution conditions for one tenant's
+// runs: the interference process and its RNG stream. It is the provider-
+// side state the paper argues only the cloud can see.
+type Environment struct {
+	Interference *Interference
+	rng          *rand.Rand
+}
+
+// NewEnvironment returns an environment with the given interference level
+// and a deterministic randomness stream derived from seed.
+func NewEnvironment(level InterferenceLevel, seed int64) *Environment {
+	return &Environment{
+		Interference: NewInterference(level),
+		rng:          stat.NewRNG(seed),
+	}
+}
+
+// Next returns the interference factors for the next execution.
+func (e *Environment) Next() Factors {
+	if e.Interference == nil {
+		return Unit()
+	}
+	return e.Interference.Step(e.rng)
+}
+
+// SetLevel changes the interference level mid-stream, modelling a change
+// in co-located tenants (used by the re-tuning experiments).
+func (e *Environment) SetLevel(level InterferenceLevel) {
+	if e.Interference == nil {
+		e.Interference = NewInterference(level)
+		return
+	}
+	e.Interference.Level = level
+	e.Interference.init = false
+}

@@ -1,0 +1,60 @@
+package confspace
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/cloud"
+)
+
+// Names of the cloud configuration parameters (stage 1 of Fig. 1).
+const (
+	ParamInstanceType = "cloud.instanceType"
+	ParamNodeCount    = "cloud.nodeCount"
+)
+
+// CloudSpace builds the cloud-configuration search space over a catalog:
+// one categorical parameter per rentable instance type plus the cluster
+// size. This is the space CherryPick and PARIS search.
+func CloudSpace(cat *cloud.Catalog, minNodes, maxNodes int) (*Space, error) {
+	if cat == nil || cat.Len() == 0 {
+		return nil, fmt.Errorf("confspace: empty catalog")
+	}
+	if minNodes < 1 {
+		minNodes = 1
+	}
+	if maxNodes < minNodes {
+		maxNodes = minNodes
+	}
+	types := cat.Types()
+	keys := make([]string, len(types))
+	defIdx := 0
+	for i, t := range types {
+		keys[i] = t.String()
+		// Default to a balanced general-purpose 4-vCPU box when present.
+		if t.Family == cloud.General && t.VCPUs == 4 && defIdx == 0 {
+			defIdx = i
+		}
+	}
+	return NewSpace(
+		CatParam(ParamInstanceType, defIdx, keys...),
+		IntParam(ParamNodeCount, minNodes, maxNodes, minNodes+(maxNodes-minNodes)/4),
+	)
+}
+
+// ClusterFromConfig resolves a cloud-space configuration into a concrete
+// cluster specification.
+func ClusterFromConfig(cat *cloud.Catalog, s *Space, cfg Config) (cloud.ClusterSpec, error) {
+	key := s.ChoiceValue(cfg, ParamInstanceType)
+	if key == "" {
+		return cloud.ClusterSpec{}, fmt.Errorf("confspace: config has no %s", ParamInstanceType)
+	}
+	it, err := cat.Lookup(key)
+	if err != nil {
+		return cloud.ClusterSpec{}, err
+	}
+	spec := cloud.ClusterSpec{Instance: it, Count: cfg.Int(ParamNodeCount)}
+	if err := spec.Validate(); err != nil {
+		return cloud.ClusterSpec{}, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,77 @@
+package confspace
+
+import (
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/stat"
+)
+
+func TestCloudSpace(t *testing.T) {
+	cat := cloud.DefaultCatalog()
+	s, err := CloudSpace(cat, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 2 {
+		t.Fatalf("cloud space dim = %d, want 2", s.Dim())
+	}
+	p, err := s.Param(ParamInstanceType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Choices) != cat.Len() {
+		t.Errorf("instance choices = %d, want %d", len(p.Choices), cat.Len())
+	}
+
+	r := stat.NewRNG(1)
+	for i := 0; i < 200; i++ {
+		cfg := s.Random(r)
+		spec, err := ClusterFromConfig(cat, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Count < 2 || spec.Count > 20 {
+			t.Fatalf("node count %d outside [2, 20]", spec.Count)
+		}
+		if spec.Instance.VCPUs == 0 {
+			t.Fatal("unresolved instance type")
+		}
+	}
+}
+
+func TestCloudSpaceDefaultsToGeneralPurpose(t *testing.T) {
+	cat := cloud.DefaultCatalog()
+	s, err := CloudSpace(cat, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ClusterFromConfig(cat, s, s.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Instance.Family != cloud.General || spec.Instance.VCPUs != 4 {
+		t.Errorf("default instance = %+v, want general 4-vCPU", spec.Instance)
+	}
+}
+
+func TestCloudSpaceErrors(t *testing.T) {
+	if _, err := CloudSpace(nil, 1, 4); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	cat := cloud.DefaultCatalog()
+	s, err := CloudSpace(cat, 5, 3) // inverted bounds get repaired
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Param(ParamNodeCount)
+	if p.Min != 5 || p.Max != 5 {
+		t.Errorf("repaired node bounds = [%v, %v], want [5, 5]", p.Min, p.Max)
+	}
+
+	// Config lacking the instance parameter.
+	sparkSpace := SparkSpace()
+	if _, err := ClusterFromConfig(cat, sparkSpace, sparkSpace.Default()); err == nil {
+		t.Error("ClusterFromConfig without instance param accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package confspace_test
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/stat"
+)
+
+// Example declares a small search space, samples it, and encodes a
+// configuration for a model.
+func Example() {
+	space := confspace.MustSpace(
+		confspace.IntParam("spark.executor.cores", 1, 8, 1),
+		confspace.LogIntParam("spark.executor.memoryMB", 1024, 32768, 1024),
+		confspace.BoolParam("spark.shuffle.compress", true),
+		confspace.CatParam("spark.io.compression.codec", 0, "lz4", "snappy", "zstd"),
+	)
+	fmt.Printf("dim=%d log10(size)=%.1f\n", space.Dim(), space.Log10Size())
+
+	cfg := space.Default()
+	fmt.Println("default:", space.FormatConfig(cfg))
+
+	rng := stat.NewRNG(1)
+	sample := space.Random(rng)
+	fmt.Println("valid sample:", space.Validate(sample) == nil)
+
+	x := space.Encode(cfg)
+	fmt.Printf("unit encoding has %d coordinates\n", len(x))
+	// Output:
+	// dim=4 log10(size)=6.2
+	// default: spark.executor.cores=1 spark.executor.memoryMB=1024 spark.io.compression.codec=lz4 spark.shuffle.compress=1
+	// valid sample: true
+	// unit encoding has 4 coordinates
+}
+
+// ExampleSparkSpace shows the full paper-scale Spark space.
+func ExampleSparkSpace() {
+	space := confspace.SparkSpace()
+	fmt.Printf("parameters: %d\n", space.Dim())
+	fmt.Printf("30-knob subspace exceeds 10^40 configs: %v\n",
+		confspace.SparkSubspace(30).Log10Size() > 40)
+	// Output:
+	// parameters: 41
+	// 30-knob subspace exceeds 10^40 configs: true
+}

@@ -1,0 +1,201 @@
+// Package confspace defines typed configuration search spaces: parameter
+// declarations (integer, float, boolean, categorical — optionally
+// log-scaled), configuration values, validation, unit-cube encoding for
+// models, and the samplers used by the tuning strategies (uniform random,
+// Latin hypercube, and BestConfig-style divide-and-diverge).
+//
+// Two concrete spaces matter to the paper: the Spark space (41 tunable
+// knobs, the scale DAC tunes) and the cloud space (provider, instance
+// type, cluster size — what CherryPick and PARIS search).
+package confspace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind enumerates parameter types.
+type Kind int
+
+// Parameter kinds.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindBool
+	KindCategorical
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindCategorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Param declares one tunable parameter. All values are carried as float64
+// inside a Config; Param defines how that float is interpreted, bounded
+// and sampled.
+type Param struct {
+	Name    string
+	Kind    Kind
+	Min     float64  // inclusive lower bound (Int/Float)
+	Max     float64  // inclusive upper bound (Int/Float)
+	Log     bool     // sample and encode on a log scale (requires Min > 0)
+	Choices []string // categorical labels; value is the choice index
+	Def     float64  // default value
+}
+
+// IntParam declares an integer parameter in [min, max] with default def.
+func IntParam(name string, min, max, def int) Param {
+	return Param{Name: name, Kind: KindInt, Min: float64(min), Max: float64(max), Def: float64(def)}
+}
+
+// LogIntParam declares an integer parameter sampled on a log scale.
+func LogIntParam(name string, min, max, def int) Param {
+	p := IntParam(name, min, max, def)
+	p.Log = true
+	return p
+}
+
+// FloatParam declares a float parameter in [min, max] with default def.
+func FloatParam(name string, min, max, def float64) Param {
+	return Param{Name: name, Kind: KindFloat, Min: min, Max: max, Def: def}
+}
+
+// BoolParam declares a boolean parameter (stored as 0 or 1).
+func BoolParam(name string, def bool) Param {
+	d := 0.0
+	if def {
+		d = 1
+	}
+	return Param{Name: name, Kind: KindBool, Min: 0, Max: 1, Def: d}
+}
+
+// CatParam declares a categorical parameter over the given choices with
+// default index def.
+func CatParam(name string, def int, choices ...string) Param {
+	return Param{
+		Name: name, Kind: KindCategorical,
+		Min: 0, Max: float64(len(choices) - 1),
+		Choices: choices, Def: float64(def),
+	}
+}
+
+// Clamp snaps v to a valid value for the parameter: bounded, and rounded
+// for discrete kinds.
+func (p Param) Clamp(v float64) float64 {
+	switch p.Kind {
+	case KindBool:
+		if v >= 0.5 {
+			return 1
+		}
+		return 0
+	case KindInt, KindCategorical:
+		v = math.Round(v)
+	}
+	if v < p.Min {
+		v = p.Min
+	}
+	if v > p.Max {
+		v = p.Max
+	}
+	return v
+}
+
+// Random draws a uniform (log-uniform when p.Log) valid value.
+func (p Param) Random(r *rand.Rand) float64 {
+	switch p.Kind {
+	case KindBool:
+		if r.Float64() < 0.5 {
+			return 0
+		}
+		return 1
+	case KindCategorical:
+		return float64(r.Intn(len(p.Choices)))
+	}
+	return p.FromUnit(r.Float64())
+}
+
+// Unit maps a valid value into [0, 1] (log-aware), the encoding used by
+// the regression and GP models.
+func (p Param) Unit(v float64) float64 {
+	v = p.Clamp(v)
+	if p.Max == p.Min {
+		return 0
+	}
+	if p.Log && p.Min > 0 {
+		return (math.Log(v) - math.Log(p.Min)) / (math.Log(p.Max) - math.Log(p.Min))
+	}
+	return (v - p.Min) / (p.Max - p.Min)
+}
+
+// FromUnit maps u in [0, 1] back to a valid parameter value.
+func (p Param) FromUnit(u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	var v float64
+	if p.Log && p.Min > 0 {
+		v = math.Exp(math.Log(p.Min) + u*(math.Log(p.Max)-math.Log(p.Min)))
+	} else {
+		v = p.Min + u*(p.Max-p.Min)
+	}
+	return p.Clamp(v)
+}
+
+// Levels returns the number of distinct values the parameter can take;
+// continuous parameters report the discretization used for cardinality
+// accounting (100 levels, following BestConfig's discretized sampling).
+func (p Param) Levels() float64 {
+	switch p.Kind {
+	case KindBool:
+		return 2
+	case KindCategorical:
+		return float64(len(p.Choices))
+	case KindInt:
+		return p.Max - p.Min + 1
+	default:
+		return 100
+	}
+}
+
+// Validate reports whether the declaration itself is well formed.
+func (p Param) Validate() error {
+	if p.Name == "" {
+		return errors.New("confspace: parameter with empty name")
+	}
+	switch p.Kind {
+	case KindInt, KindFloat:
+		if p.Max < p.Min {
+			return fmt.Errorf("confspace: %s: max %v < min %v", p.Name, p.Max, p.Min)
+		}
+		if p.Log && p.Min <= 0 {
+			return fmt.Errorf("confspace: %s: log scale requires min > 0", p.Name)
+		}
+	case KindBool:
+	case KindCategorical:
+		if len(p.Choices) == 0 {
+			return fmt.Errorf("confspace: %s: categorical with no choices", p.Name)
+		}
+	default:
+		return fmt.Errorf("confspace: %s: unknown kind %v", p.Name, p.Kind)
+	}
+	if c := p.Clamp(p.Def); c != p.Def {
+		return fmt.Errorf("confspace: %s: default %v outside domain", p.Name, p.Def)
+	}
+	return nil
+}

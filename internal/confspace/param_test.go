@@ -1,0 +1,161 @@
+package confspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"seamlesstune/internal/stat"
+)
+
+func TestParamClamp(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Param
+		in   float64
+		want float64
+	}{
+		{"int rounds", IntParam("x", 0, 10, 5), 3.6, 4},
+		{"int clamps high", IntParam("x", 0, 10, 5), 99, 10},
+		{"int clamps low", IntParam("x", 0, 10, 5), -3, 0},
+		{"float passes", FloatParam("x", 0, 1, 0.5), 0.25, 0.25},
+		{"float clamps", FloatParam("x", 0, 1, 0.5), 7, 1},
+		{"bool true", BoolParam("x", false), 0.7, 1},
+		{"bool false", BoolParam("x", false), 0.3, 0},
+		{"cat rounds", CatParam("x", 0, "a", "b", "c"), 1.4, 1},
+		{"cat clamps", CatParam("x", 0, "a", "b", "c"), 9, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Clamp(tt.in); got != tt.want {
+				t.Errorf("Clamp(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParamUnitRoundTrip(t *testing.T) {
+	params := []Param{
+		IntParam("i", 2, 100, 10),
+		LogIntParam("li", 8, 1024, 64),
+		FloatParam("f", -5, 5, 0),
+		Param{Name: "lf", Kind: KindFloat, Min: 0.01, Max: 100, Log: true, Def: 1},
+		BoolParam("b", true),
+		CatParam("c", 1, "x", "y", "z"),
+	}
+	r := stat.NewRNG(1)
+	for _, p := range params {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for i := 0; i < 200; i++ {
+			v := p.Random(r)
+			if p.Clamp(v) != v {
+				t.Fatalf("%s: Random produced invalid %v", p.Name, v)
+			}
+			u := p.Unit(v)
+			if u < 0 || u > 1 {
+				t.Fatalf("%s: Unit(%v) = %v outside [0,1]", p.Name, v, u)
+			}
+			back := p.FromUnit(u)
+			// Round-trip must land on the same discrete value; floats may
+			// differ by epsilon.
+			switch p.Kind {
+			case KindFloat:
+				if math.Abs(back-v) > 1e-9*(1+math.Abs(v)) {
+					t.Fatalf("%s: round trip %v -> %v", p.Name, v, back)
+				}
+			default:
+				if back != v {
+					t.Fatalf("%s: round trip %v -> %v", p.Name, v, back)
+				}
+			}
+		}
+	}
+}
+
+func TestLogSampling(t *testing.T) {
+	// Log-scale sampling should place roughly half the mass below the
+	// geometric midpoint.
+	p := LogIntParam("x", 1, 1024, 32)
+	r := stat.NewRNG(2)
+	below := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Random(r) < 32 { // geometric midpoint of [1, 1024]
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.42 || frac > 0.58 {
+		t.Errorf("log sampling below geometric midpoint = %v, want ~0.5", frac)
+	}
+}
+
+func TestParamValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Param
+		ok   bool
+	}{
+		{"valid int", IntParam("a", 0, 5, 2), true},
+		{"empty name", IntParam("", 0, 5, 2), false},
+		{"inverted bounds", IntParam("a", 5, 0, 2), false},
+		{"log with zero min", Param{Name: "a", Kind: KindFloat, Min: 0, Max: 1, Log: true}, false},
+		{"cat no choices", Param{Name: "a", Kind: KindCategorical}, false},
+		{"default out of domain", IntParam("a", 0, 5, 9), false},
+		{"unknown kind", Param{Name: "a", Kind: Kind(99)}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if tt.ok && err != nil {
+				t.Errorf("Validate = %v, want nil", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("Validate = nil, want error")
+			}
+		})
+	}
+}
+
+func TestParamLevels(t *testing.T) {
+	if got := IntParam("a", 1, 10, 5).Levels(); got != 10 {
+		t.Errorf("int levels = %v, want 10", got)
+	}
+	if got := BoolParam("a", false).Levels(); got != 2 {
+		t.Errorf("bool levels = %v, want 2", got)
+	}
+	if got := CatParam("a", 0, "x", "y", "z").Levels(); got != 3 {
+		t.Errorf("cat levels = %v, want 3", got)
+	}
+	if got := FloatParam("a", 0, 1, 0).Levels(); got != 100 {
+		t.Errorf("float levels = %v, want 100", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindCategorical.String() != "categorical" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Error("unknown Kind.String wrong")
+	}
+}
+
+// Property: FromUnit(Unit(v)) is idempotent for any clamped value.
+func TestUnitIdempotentProperty(t *testing.T) {
+	p := LogIntParam("x", 2, 4096, 16)
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		v := p.Clamp(raw)
+		once := p.FromUnit(p.Unit(v))
+		twice := p.FromUnit(p.Unit(once))
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

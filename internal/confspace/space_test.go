@@ -1,0 +1,308 @@
+package confspace
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/stat"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(
+		IntParam("cores", 1, 8, 2),
+		LogIntParam("memMB", 512, 8192, 1024),
+		FloatParam("frac", 0.1, 0.9, 0.5),
+		BoolParam("compress", true),
+		CatParam("codec", 0, "lz4", "snappy", "zstd"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSpaceRejectsDuplicates(t *testing.T) {
+	_, err := NewSpace(IntParam("a", 0, 1, 0), IntParam("a", 0, 2, 1))
+	if err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestSpaceDefaultValid(t *testing.T) {
+	s := testSpace(t)
+	if err := s.Validate(s.Default()); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if s.Default().Int("cores") != 2 {
+		t.Error("default cores wrong")
+	}
+}
+
+func TestSpaceRandomValid(t *testing.T) {
+	s := testSpace(t)
+	r := stat.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		if err := s.Validate(s.Random(r)); err != nil {
+			t.Fatalf("random config invalid: %v", err)
+		}
+	}
+}
+
+func TestSpaceValidateErrors(t *testing.T) {
+	s := testSpace(t)
+	cfg := s.Default()
+	cfg["bogus"] = 1
+	if err := s.Validate(cfg); !errors.Is(err, ErrUnknownParam) {
+		t.Errorf("unknown param err = %v", err)
+	}
+	cfg = s.Default()
+	cfg["cores"] = 99
+	if err := s.Validate(cfg); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("invalid value err = %v", err)
+	}
+	cfg = s.Default()
+	delete(cfg, "frac")
+	if err := s.Validate(cfg); err == nil {
+		t.Error("missing param accepted")
+	}
+}
+
+func TestSpaceClamp(t *testing.T) {
+	s := testSpace(t)
+	cfg := Config{"cores": 99, "bogus": 1}
+	out := s.Clamp(cfg)
+	if out.Int("cores") != 8 {
+		t.Errorf("clamped cores = %d, want 8", out.Int("cores"))
+	}
+	if _, ok := out["bogus"]; ok {
+		t.Error("undeclared entry kept")
+	}
+	if out.Float("frac") != 0.5 {
+		t.Error("missing param did not take default")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	r := stat.NewRNG(2)
+	for i := 0; i < 200; i++ {
+		cfg := s.Random(r)
+		x := s.Encode(cfg)
+		if len(x) != s.Dim() {
+			t.Fatalf("encoded length %d, want %d", len(x), s.Dim())
+		}
+		for _, u := range x {
+			if u < 0 || u > 1 {
+				t.Fatalf("encoded value %v outside unit cube", u)
+			}
+		}
+		back := s.Decode(x)
+		for _, p := range s.Params() {
+			a, b := cfg[p.Name], back[p.Name]
+			if p.Kind == KindFloat {
+				if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+					t.Fatalf("%s: %v -> %v", p.Name, a, b)
+				}
+			} else if a != b {
+				t.Fatalf("%s: %v -> %v", p.Name, a, b)
+			}
+		}
+	}
+}
+
+func TestDecodeShortVector(t *testing.T) {
+	s := testSpace(t)
+	cfg := s.Decode([]float64{1})
+	if cfg.Int("cores") != 8 {
+		t.Errorf("first param not decoded: %v", cfg.Int("cores"))
+	}
+	if cfg.Float("frac") != 0.5 {
+		t.Error("trailing params should default")
+	}
+}
+
+func TestChoiceValue(t *testing.T) {
+	s := testSpace(t)
+	cfg := s.Default()
+	cfg["codec"] = 2
+	if got := s.ChoiceValue(cfg, "codec"); got != "zstd" {
+		t.Errorf("ChoiceValue = %q, want zstd", got)
+	}
+	if got := s.ChoiceValue(cfg, "cores"); got != "" {
+		t.Errorf("non-categorical ChoiceValue = %q, want empty", got)
+	}
+	cfg["codec"] = 99
+	if got := s.ChoiceValue(cfg, "codec"); got != "" {
+		t.Errorf("out-of-range ChoiceValue = %q, want empty", got)
+	}
+}
+
+func TestNeighborAlwaysMutates(t *testing.T) {
+	s := testSpace(t)
+	r := stat.NewRNG(3)
+	cfg := s.Default()
+	for i := 0; i < 200; i++ {
+		n := s.Neighbor(r, cfg, 0.2, 0.1)
+		if err := s.Validate(n); err != nil {
+			t.Fatalf("neighbor invalid: %v", err)
+		}
+		diff := 0
+		for k := range cfg {
+			if cfg[k] != n[k] {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Fatal("neighbor identical to origin")
+		}
+	}
+}
+
+func TestCrossoverGenesFromParents(t *testing.T) {
+	s := testSpace(t)
+	r := stat.NewRNG(4)
+	a, b := s.Random(r), s.Random(r)
+	for i := 0; i < 100; i++ {
+		child := s.Crossover(r, a, b)
+		if err := s.Validate(child); err != nil {
+			t.Fatalf("child invalid: %v", err)
+		}
+		for k := range child {
+			if child[k] != a[k] && child[k] != b[k] {
+				t.Fatalf("gene %s = %v from neither parent (%v, %v)", k, child[k], a[k], b[k])
+			}
+		}
+	}
+}
+
+func TestLatinHypercubeCoverage(t *testing.T) {
+	s := testSpace(t)
+	r := stat.NewRNG(5)
+	const n = 10
+	cfgs := s.LatinHypercube(r, n)
+	if len(cfgs) != n {
+		t.Fatalf("LHS returned %d configs, want %d", len(cfgs), n)
+	}
+	// The float parameter must have exactly one sample per stratum.
+	p, _ := s.Param("frac")
+	seen := make([]bool, n)
+	for _, c := range cfgs {
+		if err := s.Validate(c); err != nil {
+			t.Fatal(err)
+		}
+		u := p.Unit(c["frac"])
+		k := int(u * n)
+		if k == n {
+			k = n - 1
+		}
+		if seen[k] {
+			t.Fatalf("stratum %d hit twice", k)
+		}
+		seen[k] = true
+	}
+	if got := s.LatinHypercube(r, 0); got != nil {
+		t.Error("LHS(0) should be nil")
+	}
+}
+
+func TestDivideAndDiverge(t *testing.T) {
+	s := testSpace(t)
+	r := stat.NewRNG(6)
+	cfgs := s.DivideAndDiverge(r, 6, 3)
+	if len(cfgs) != 18 {
+		t.Fatalf("DDS returned %d configs, want 18", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if err := s.Validate(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.DivideAndDiverge(r, 0, 1); got != nil {
+		t.Error("DDS with k=0 should be nil")
+	}
+}
+
+func TestSubspaceAround(t *testing.T) {
+	s := testSpace(t)
+	r := stat.NewRNG(7)
+	center := s.Random(r)
+	sub := s.SubspaceAround(center, 0.25)
+	if sub.Dim() != s.Dim() {
+		t.Fatalf("subspace dim %d, want %d", sub.Dim(), s.Dim())
+	}
+	p, _ := sub.Param("frac")
+	orig, _ := s.Param("frac")
+	if p.Max-p.Min >= orig.Max-orig.Min {
+		t.Errorf("subspace did not shrink: [%v, %v]", p.Min, p.Max)
+	}
+	// Centre stays inside the shrunk domain.
+	if c := center["frac"]; c < p.Min-1e-9 || c > p.Max+1e-9 {
+		t.Errorf("centre %v outside subspace [%v, %v]", c, p.Min, p.Max)
+	}
+	// Samples from the subspace validate in the parent space.
+	for i := 0; i < 100; i++ {
+		c := sub.Random(r)
+		if err := s.Validate(c); err != nil {
+			t.Fatalf("subspace sample invalid in parent: %v", err)
+		}
+	}
+}
+
+func TestLog10Size(t *testing.T) {
+	// The §III-B claim: 30 Spark parameters exceed 10^40 configurations.
+	s := SparkSubspace(30)
+	if got := s.Log10Size(); got < 40 {
+		t.Errorf("30-param space log10 size = %v, want > 40", got)
+	}
+}
+
+func TestSparkSpace(t *testing.T) {
+	s := SparkSpace()
+	if s.Dim() != 41 {
+		t.Fatalf("Spark space has %d params, want 41 (DAC scale)", s.Dim())
+	}
+	if err := s.Validate(s.Default()); err != nil {
+		t.Fatalf("Spark default invalid: %v", err)
+	}
+	d := s.Default()
+	if d.Int(ParamExecutorMemoryMB) != 1024 || !d.Bool(ParamShuffleCompress) {
+		t.Error("Spark defaults don't match documentation values")
+	}
+	if got := s.ChoiceValue(d, ParamCompressionCodec); got != CodecLZ4 {
+		t.Errorf("default codec = %q, want lz4", got)
+	}
+}
+
+func TestSparkSubspaceBounds(t *testing.T) {
+	if got := SparkSubspace(0).Dim(); got != 1 {
+		t.Errorf("SparkSubspace(0) dim = %d, want 1", got)
+	}
+	if got := SparkSubspace(99).Dim(); got != 41 {
+		t.Errorf("SparkSubspace(99) dim = %d, want 41", got)
+	}
+}
+
+func TestFormatConfig(t *testing.T) {
+	s := testSpace(t)
+	cfg := s.Default()
+	out := s.FormatConfig(cfg)
+	if !strings.Contains(out, "codec=lz4") || !strings.Contains(out, "cores=2") {
+		t.Errorf("FormatConfig = %q", out)
+	}
+	// Deterministic ordering.
+	if out != s.FormatConfig(cfg.Clone()) {
+		t.Error("FormatConfig not deterministic")
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	c := Config{"a": 1}
+	d := c.Clone()
+	d["a"] = 2
+	if c["a"] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}

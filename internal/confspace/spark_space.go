@@ -1,0 +1,130 @@
+package confspace
+
+// Names of the Spark configuration parameters the tuners search over. The
+// set has 41 knobs — the scale DAC tunes — spanning the execution aspects
+// the paper enumerates in §III-B: processing, memory, networking and data
+// shuffling. A number of knobs (heartbeats, timeouts, periodic GC) have
+// little or no runtime effect; real spaces contain such decoys, and models
+// must learn to ignore them.
+const (
+	ParamExecutorInstances     = "spark.executor.instances"
+	ParamExecutorCores         = "spark.executor.cores"
+	ParamExecutorMemoryMB      = "spark.executor.memoryMB"
+	ParamMemoryOverheadFactor  = "spark.executor.memoryOverheadFactor"
+	ParamDriverMemoryMB        = "spark.driver.memoryMB"
+	ParamDriverCores           = "spark.driver.cores"
+	ParamDefaultParallelism    = "spark.default.parallelism"
+	ParamShufflePartitions     = "spark.sql.shuffle.partitions"
+	ParamMemoryFraction        = "spark.memory.fraction"
+	ParamStorageFraction       = "spark.memory.storageFraction"
+	ParamShuffleCompress       = "spark.shuffle.compress"
+	ParamShuffleSpillCompress  = "spark.shuffle.spill.compress"
+	ParamRDDCompress           = "spark.rdd.compress"
+	ParamBroadcastCompress     = "spark.broadcast.compress"
+	ParamCompressionCodec      = "spark.io.compression.codec"
+	ParamCompressionBlockKB    = "spark.io.compression.blockSizeKB"
+	ParamSerializer            = "spark.serializer"
+	ParamKryoBufferMaxMB       = "spark.kryoserializer.buffer.maxMB"
+	ParamReducerMaxInFlightMB  = "spark.reducer.maxSizeInFlightMB"
+	ParamShuffleFileBufferKB   = "spark.shuffle.file.bufferKB"
+	ParamShuffleBypassMerge    = "spark.shuffle.sort.bypassMergeThreshold"
+	ParamShuffleConnsPerPeer   = "spark.shuffle.io.numConnectionsPerPeer"
+	ParamShuffleServiceEnabled = "spark.shuffle.service.enabled"
+	ParamLocalityWait          = "spark.locality.wait"
+	ParamSpeculation           = "spark.speculation"
+	ParamSpeculationMultiplier = "spark.speculation.multiplier"
+	ParamSpeculationQuantile   = "spark.speculation.quantile"
+	ParamTaskCPUs              = "spark.task.cpus"
+	ParamTaskMaxFailures       = "spark.task.maxFailures"
+	ParamSchedulerMode         = "spark.scheduler.mode"
+	ParamBroadcastBlockMB      = "spark.broadcast.blockSizeMB"
+	ParamNetworkTimeout        = "spark.network.timeoutS"
+	ParamHeartbeatInterval     = "spark.executor.heartbeatIntervalS"
+	ParamMemoryMapThresholdMB  = "spark.storage.memoryMapThresholdMB"
+	ParamDynAllocEnabled       = "spark.dynamicAllocation.enabled"
+	ParamDynAllocMaxExecutors  = "spark.dynamicAllocation.maxExecutors"
+	ParamMaxPartitionBytesMB   = "spark.files.maxPartitionBytesMB"
+	ParamOffHeapEnabled        = "spark.memory.offHeap.enabled"
+	ParamOffHeapSizeMB         = "spark.memory.offHeap.sizeMB"
+	ParamPeriodicGCIntervalMin = "spark.cleaner.periodicGC.intervalMin"
+	ParamGCThreads             = "spark.jvm.gcThreads"
+)
+
+// Codec choices for ParamCompressionCodec.
+const (
+	CodecLZ4    = "lz4"
+	CodecLZF    = "lzf"
+	CodecSnappy = "snappy"
+	CodecZstd   = "zstd"
+)
+
+// Serializer choices for ParamSerializer.
+const (
+	SerializerJava = "java"
+	SerializerKryo = "kryo"
+)
+
+// sparkParams is the full 41-knob declaration list. Defaults follow the
+// Spark documentation where a default exists.
+func sparkParams() []Param {
+	return []Param{
+		IntParam(ParamExecutorInstances, 1, 48, 2),
+		IntParam(ParamExecutorCores, 1, 8, 1),
+		LogIntParam(ParamExecutorMemoryMB, 1024, 32768, 1024),
+		FloatParam(ParamMemoryOverheadFactor, 0.05, 0.30, 0.10),
+		LogIntParam(ParamDriverMemoryMB, 1024, 16384, 1024),
+		IntParam(ParamDriverCores, 1, 4, 1),
+		LogIntParam(ParamDefaultParallelism, 8, 1024, 16),
+		LogIntParam(ParamShufflePartitions, 8, 1024, 200),
+		FloatParam(ParamMemoryFraction, 0.30, 0.90, 0.60),
+		FloatParam(ParamStorageFraction, 0.10, 0.90, 0.50),
+		BoolParam(ParamShuffleCompress, true),
+		BoolParam(ParamShuffleSpillCompress, true),
+		BoolParam(ParamRDDCompress, false),
+		BoolParam(ParamBroadcastCompress, true),
+		CatParam(ParamCompressionCodec, 0, CodecLZ4, CodecLZF, CodecSnappy, CodecZstd),
+		LogIntParam(ParamCompressionBlockKB, 16, 128, 32),
+		CatParam(ParamSerializer, 0, SerializerJava, SerializerKryo),
+		LogIntParam(ParamKryoBufferMaxMB, 8, 128, 64),
+		LogIntParam(ParamReducerMaxInFlightMB, 8, 128, 48),
+		LogIntParam(ParamShuffleFileBufferKB, 16, 128, 32),
+		IntParam(ParamShuffleBypassMerge, 50, 1000, 200),
+		IntParam(ParamShuffleConnsPerPeer, 1, 5, 1),
+		BoolParam(ParamShuffleServiceEnabled, false),
+		FloatParam(ParamLocalityWait, 0, 10, 3),
+		BoolParam(ParamSpeculation, false),
+		FloatParam(ParamSpeculationMultiplier, 1.1, 5, 1.5),
+		FloatParam(ParamSpeculationQuantile, 0.5, 0.95, 0.75),
+		IntParam(ParamTaskCPUs, 1, 2, 1),
+		IntParam(ParamTaskMaxFailures, 1, 8, 4),
+		CatParam(ParamSchedulerMode, 0, "FIFO", "FAIR"),
+		IntParam(ParamBroadcastBlockMB, 1, 16, 4),
+		IntParam(ParamNetworkTimeout, 60, 600, 120),
+		IntParam(ParamHeartbeatInterval, 5, 60, 10),
+		IntParam(ParamMemoryMapThresholdMB, 1, 10, 2),
+		BoolParam(ParamDynAllocEnabled, false),
+		IntParam(ParamDynAllocMaxExecutors, 8, 64, 16),
+		LogIntParam(ParamMaxPartitionBytesMB, 16, 512, 128),
+		BoolParam(ParamOffHeapEnabled, false),
+		IntParam(ParamOffHeapSizeMB, 0, 8192, 0),
+		IntParam(ParamPeriodicGCIntervalMin, 10, 60, 30),
+		IntParam(ParamGCThreads, 1, 8, 4),
+	}
+}
+
+// SparkSpace returns the full 41-parameter Spark configuration space.
+func SparkSpace() *Space { return MustSpace(sparkParams()...) }
+
+// SparkSubspace returns the first n parameters of the Spark space — the
+// dimensionality sweeps of experiment C3 ("30 params → >10^40 configs").
+// n is clamped to [1, 41].
+func SparkSubspace(n int) *Space {
+	all := sparkParams()
+	if n < 1 {
+		n = 1
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	return MustSpace(all[:n]...)
+}

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/core"
+	"seamlesstune/internal/slo"
+	"seamlesstune/internal/workload"
+)
+
+// Example registers a workload with the seamless tuning service and runs
+// the two-stage pipeline of Fig. 1 — the tenant provides only the
+// workload, an input size and an objective.
+func Example() {
+	svc := core.NewService(
+		core.WithSeed(42),
+		core.WithSparkSpace(confspace.SparkSubspace(10)),
+		core.WithBudgets(6, 10), // provider-side execution budgets
+	)
+	reg := core.Registration{
+		Tenant:     "example-tenant",
+		Workload:   workload.Wordcount{},
+		InputBytes: 2 << 30,
+		Objective:  slo.Objective{WithinPctOfOptimal: 0.25},
+	}
+	res, err := svc.TunePipeline(reg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("cluster chosen: %v\n", res.Cloud.Cluster.Count > 0)
+	fmt.Printf("tuned no worse than scaled defaults: %v\n",
+		res.TunedRuntimeS <= res.DefaultRuntimeS*1.05)
+	fmt.Printf("every execution recorded provider-side: %v\n", svc.Store().Len() > 15)
+	// Output:
+	// cluster chosen: true
+	// tuned no worse than scaled defaults: true
+	// every execution recorded provider-side: true
+}

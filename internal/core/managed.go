@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/retune"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/tuner"
+)
+
+// Managed is a workload in production under the service's care: every
+// run's runtime streams through a re-tuning detector, and a detected
+// change (input growth, interference shift, ...) triggers a bounded
+// re-tuning — automatically, with no tenant involvement (§IV-B, §V-D).
+type Managed struct {
+	svc     *Service
+	reg     Registration
+	cluster cloud.ClusterSpec
+	current confspace.Config
+
+	detector retune.Detector
+	env      *cloud.Environment
+	rng      *rand.Rand
+
+	retuneBudget int
+	elastic      bool
+	runs         int
+	retunes      int
+	resizes      int
+}
+
+// ManagedOption configures Manage.
+type ManagedOption func(*Managed)
+
+// WithDetector overrides the re-tuning detector (default adaptive
+// Mann-Whitney).
+func WithDetector(d retune.Detector) ManagedOption {
+	return func(m *Managed) { m.detector = d }
+}
+
+// WithRetuneBudget bounds each automatic re-tuning session (default 15
+// executions — cheaper than initial tuning because it warm-starts from
+// the workload's own history).
+func WithRetuneBudget(n int) ManagedOption {
+	return func(m *Managed) { m.retuneBudget = n }
+}
+
+// WithElasticRetune lets re-tuning also reconsider the cluster size —
+// the cloud-elasticity opportunity the paper says static approaches miss
+// (§II-A). A re-tuning session first probes the current configuration on
+// half-sized and double-sized clusters (2 extra runs) and adopts a
+// clearly better size before tuning the DISC configuration.
+func WithElasticRetune() ManagedOption {
+	return func(m *Managed) { m.elastic = true }
+}
+
+// Manage places a tuned workload under continuous management.
+func (s *Service) Manage(reg Registration, cluster cloud.ClusterSpec, cfg confspace.Config, opts ...ManagedOption) *Managed {
+	m := &Managed{
+		svc:          s,
+		reg:          reg,
+		cluster:      cluster,
+		current:      cfg.Clone(),
+		detector:     retune.NewAdaptive(),
+		env:          cloud.NewEnvironment(s.interference, s.rng.Int63()),
+		rng:          stat.Fork(s.rng),
+		retuneBudget: 15,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// RunReport describes one managed production run.
+type RunReport struct {
+	Record history.Record
+	// RetuneTriggered reports that the detector fired on this run.
+	RetuneTriggered bool
+	// Retuned reports that a re-tuning session ran (and Record reflects
+	// the pre-retune execution).
+	Retuned bool
+	// NewConfig holds the configuration adopted by re-tuning.
+	NewConfig confspace.Config
+}
+
+// RunOnce executes the workload once under the current configuration,
+// feeds the detector, and re-tunes when it fires.
+func (m *Managed) RunOnce() RunReport {
+	res, _ := m.svc.execute(m.reg, m.cluster, m.current, m.env.Next(), m.rng)
+	m.runs++
+	recs := m.svc.store.Query(history.Filter{
+		Tenant: m.reg.Tenant, Workload: m.reg.Workload.Name(), MaxN: 1,
+	})
+	report := RunReport{}
+	if len(recs) > 0 {
+		report.Record = recs[0]
+	}
+	if res.Failed || m.detector.Observe(res.RuntimeS) {
+		report.RetuneTriggered = true
+		if cfg, ok := m.retune(); ok {
+			report.Retuned = true
+			report.NewConfig = cfg
+			m.current = cfg
+			m.detector.Reset()
+			m.retunes++
+		}
+	}
+	return report
+}
+
+// maybeResize probes the current configuration on half- and double-sized
+// clusters and adopts a size that is clearly (>10%) faster. It consumes
+// up to two executions.
+func (m *Managed) maybeResize() {
+	current, _ := m.svc.execute(m.reg, m.cluster, m.current, m.env.Next(), m.rng)
+	if current.Failed {
+		return
+	}
+	bestSpec, bestRT := m.cluster, current.RuntimeS
+	for _, count := range []int{m.cluster.Count / 2, m.cluster.Count * 2} {
+		if count < 1 || count == m.cluster.Count {
+			continue
+		}
+		spec := m.cluster.Resize(count)
+		res, _ := m.svc.execute(m.reg, spec, m.current, m.env.Next(), m.rng)
+		if !res.Failed && res.RuntimeS < bestRT*0.9 {
+			bestSpec, bestRT = spec, res.RuntimeS
+		}
+	}
+	if bestSpec.Count != m.cluster.Count {
+		m.cluster = bestSpec
+		m.resizes++
+	}
+}
+
+// retune runs a bounded warm-started tuning session on the workload's own
+// (recent) history and returns the adopted configuration.
+func (m *Managed) retune() (confspace.Config, bool) {
+	if m.elastic {
+		m.maybeResize()
+	}
+	bo := tuner.NewBayesOpt(m.svc.sparkSpace)
+	// Warm-start from this workload's own recent runs so the session
+	// spends its small budget refining, not rediscovering. Older records
+	// reflect outdated input sizes/conditions, so only a window is used.
+	recs := m.svc.store.Query(history.Filter{
+		Tenant: m.reg.Tenant, Workload: m.reg.Workload.Name(), MaxN: 40,
+	})
+	var warm []tuner.Trial
+	for _, r := range recs {
+		// Only runs at the current input size on the current cluster are
+		// comparable observations.
+		if r.Failed || r.InputBytes != m.reg.InputBytes || r.Cluster != m.cluster.String() {
+			continue
+		}
+		warm = append(warm, tuner.Trial{
+			Config:      m.svc.sparkSpace.Clamp(r.Config),
+			Measurement: tuner.Measurement{Runtime: r.RuntimeS, Cost: r.CostUSD},
+			Objective:   r.RuntimeS,
+		})
+	}
+	bo.WarmStart = warm
+	bo.InitSamples = 3
+	obj := func(cfg confspace.Config) tuner.Measurement {
+		_, meas := m.svc.execute(m.reg, m.cluster, cfg, m.env.Next(), m.rng)
+		return meas
+	}
+	res, err := tuner.Run(bo, obj, m.retuneBudget, m.rng)
+	if err != nil || !res.Found {
+		return nil, false
+	}
+	return res.Best.Config, true
+}
+
+// SetInput changes the workload's input size, modelling dataset growth —
+// the change Table I quantifies. The detector notices the effect on
+// runtimes; nothing else is signalled.
+func (m *Managed) SetInput(bytes int64) { m.reg.InputBytes = bytes }
+
+// SetInterference changes the co-location level of the tenant's
+// environment (something only the provider can see directly).
+func (m *Managed) SetInterference(level cloud.InterferenceLevel) { m.env.SetLevel(level) }
+
+// Config returns the configuration currently in production.
+func (m *Managed) Config() confspace.Config { return m.current.Clone() }
+
+// Runs returns the number of production executions so far.
+func (m *Managed) Runs() int { return m.runs }
+
+// Retunes returns how many automatic re-tunings have occurred.
+func (m *Managed) Retunes() int { return m.retunes }
+
+// Resizes returns how many elastic cluster resizes have occurred.
+func (m *Managed) Resizes() int { return m.resizes }
+
+// Cluster returns the cluster currently in use (it changes under
+// WithElasticRetune).
+func (m *Managed) Cluster() cloud.ClusterSpec { return m.cluster }

@@ -1,0 +1,426 @@
+// Package core implements the paper's primary contribution: a seamless,
+// provider-side configuration-tuning service for big-data analytics.
+//
+// The service realizes the four principles of §VI on top of the
+// simulated substrates:
+//
+//  1. Tuning with minimal user expertise: a tenant registers a workload
+//     and an SLO; the two-stage pipeline of Fig. 1 picks the cloud
+//     configuration (stage 1) and the DISC/Spark configuration (stage 2)
+//     automatically.
+//  2. Resilience to change: managed workloads stream their production
+//     runtimes through adaptive re-tuning detectors; input growth or
+//     interference shifts trigger bounded re-tuning automatically.
+//  3. Bounded, provider-side tuning cost: every tuning execution is
+//     accounted in the multi-tenant history store, warm-started from
+//     similar tenants' histories (transfer learning, §V-B), and budgeted.
+//  4. SLO augmentation: the service reports tuning effectiveness as the
+//     gap to the best runtime of similar workloads ever run in the cloud
+//     (§IV-D's practical substitute for the unknowable optimum).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/slo"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/transfer"
+	"seamlesstune/internal/tuner"
+	"seamlesstune/internal/workload"
+)
+
+// Service is the multi-tenant seamless-tuning service. Construct with
+// NewService.
+type Service struct {
+	catalog    *cloud.Catalog
+	store      *history.Store
+	sparkSpace *confspace.Space
+	rng        *rand.Rand
+
+	minNodes, maxNodes int
+	cloudBudget        int
+	discBudget         int
+	probeRuns          int
+	interference       cloud.InterferenceLevel
+}
+
+// Option configures a Service.
+type Option func(*Service)
+
+// WithCatalog sets the instance catalog (default cloud.DefaultCatalog).
+func WithCatalog(c *cloud.Catalog) Option { return func(s *Service) { s.catalog = c } }
+
+// WithStore supplies an existing execution-history store — e.g. one
+// restored from disk — instead of an empty one.
+func WithStore(st *history.Store) Option {
+	return func(s *Service) {
+		if st != nil {
+			s.store = st
+		}
+	}
+}
+
+// WithSeed seeds all service randomness (default 1).
+func WithSeed(seed int64) Option { return func(s *Service) { s.rng = stat.NewRNG(seed) } }
+
+// WithSparkSpace restricts stage-2 tuning to a subspace of the Spark
+// parameters (default: the full 41-knob space).
+func WithSparkSpace(space *confspace.Space) Option {
+	return func(s *Service) { s.sparkSpace = space }
+}
+
+// WithNodeRange bounds stage-1 cluster sizes (default [2, 16]).
+func WithNodeRange(min, max int) Option {
+	return func(s *Service) { s.minNodes, s.maxNodes = min, max }
+}
+
+// WithBudgets sets the stage-1 and stage-2 execution budgets (defaults
+// 12 and 30 — the bounded tuning cost of §IV-C).
+func WithBudgets(cloudRuns, discRuns int) Option {
+	return func(s *Service) { s.cloudBudget, s.discBudget = cloudRuns, discRuns }
+}
+
+// WithInterference sets the co-location level tenant environments see
+// (default none).
+func WithInterference(level cloud.InterferenceLevel) Option {
+	return func(s *Service) { s.interference = level }
+}
+
+// NewService returns a configured service.
+func NewService(opts ...Option) *Service {
+	s := &Service{
+		catalog:     cloud.DefaultCatalog(),
+		store:       &history.Store{},
+		sparkSpace:  confspace.SparkSpace(),
+		rng:         stat.NewRNG(1),
+		minNodes:    2,
+		maxNodes:    16,
+		cloudBudget: 12,
+		discBudget:  30,
+		probeRuns:   3,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Store exposes the multi-tenant execution history.
+func (s *Service) Store() *history.Store { return s.store }
+
+// SparkSpace exposes the DISC search space in use.
+func (s *Service) SparkSpace() *confspace.Space { return s.sparkSpace }
+
+// Registration describes one tenant workload submitted for tuning.
+type Registration struct {
+	Tenant     string
+	Workload   workload.Workload
+	InputBytes int64
+	Objective  slo.Objective
+}
+
+// Validate reports whether the registration is usable.
+func (r Registration) Validate() error {
+	if r.Tenant == "" {
+		return errors.New("core: registration needs a tenant")
+	}
+	if r.Workload == nil {
+		return errors.New("core: registration needs a workload")
+	}
+	if r.InputBytes <= 0 {
+		return fmt.Errorf("core: input size %d must be positive", r.InputBytes)
+	}
+	return nil
+}
+
+// execute runs one configuration on one cluster, records it in the
+// history, and returns the measurement.
+func (s *Service) execute(reg Registration, cluster cloud.ClusterSpec, cfg confspace.Config, factors cloud.Factors, rng *rand.Rand) (spark.Result, tuner.Measurement) {
+	job := reg.Workload.Job(reg.InputBytes)
+	conf := spark.FromConfig(s.sparkSpace, cfg)
+	res := spark.Run(job, conf, cluster, factors, rng)
+	s.store.Append(history.Record{
+		Tenant:     reg.Tenant,
+		Workload:   reg.Workload.Name(),
+		InputBytes: reg.InputBytes,
+		Cluster:    cluster.String(),
+		Config:     cfg,
+		RuntimeS:   res.RuntimeS,
+		CostUSD:    res.CostUSD,
+		Failed:     res.Failed,
+		Reason:     res.Reason,
+		Metrics:    history.MetricsFromResult(res),
+	})
+	return res, tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+}
+
+// CloudChoice is the outcome of stage 1 (Fig. 1): a concrete cluster.
+type CloudChoice struct {
+	Cluster cloud.ClusterSpec
+	Session tuner.Result
+}
+
+// TuneCloud runs stage 1: Bayesian optimization (CherryPick-style) over
+// the instance-type × cluster-size space, executing the workload under
+// the spark defaults-with-scaling configuration on each candidate.
+func (s *Service) TuneCloud(reg Registration) (CloudChoice, error) {
+	if err := reg.Validate(); err != nil {
+		return CloudChoice{}, err
+	}
+	cloudSpace, err := confspace.CloudSpace(s.catalog, s.minNodes, s.maxNodes)
+	if err != nil {
+		return CloudChoice{}, err
+	}
+	env := cloud.NewEnvironment(s.interference, s.rng.Int63())
+	rng := stat.Fork(s.rng)
+	bo := tuner.NewBayesOpt(cloudSpace)
+	bo.InitSamples = 4
+	obj := func(cfg confspace.Config) tuner.Measurement {
+		spec, err := confspace.ClusterFromConfig(s.catalog, cloudSpace, cfg)
+		if err != nil {
+			return tuner.Measurement{Runtime: 0, Failed: true}
+		}
+		// Stage 1 measures with a scaled reference DISC configuration so
+		// the cluster choice is not confounded by a bad Spark config.
+		_, m := s.execute(reg, spec, s.referenceConf(spec), env.Next(), rng)
+		return m
+	}
+	res, err := tuner.Run(bo, obj, s.cloudBudget, rng)
+	if err != nil {
+		return CloudChoice{}, err
+	}
+	if !res.Found {
+		return CloudChoice{}, fmt.Errorf("core: no cloud configuration succeeded for %s/%s", reg.Tenant, reg.Workload.Name())
+	}
+	spec, err := confspace.ClusterFromConfig(s.catalog, cloudSpace, res.Best.Config)
+	if err != nil {
+		return CloudChoice{}, err
+	}
+	return CloudChoice{Cluster: spec, Session: res}, nil
+}
+
+// referenceConf scales Spark defaults to a cluster: executors sized to
+// the nodes, parallelism to the cores. This mimics the provider's
+// "sensible baseline" used while the cloud choice is being made.
+func (s *Service) referenceConf(spec cloud.ClusterSpec) confspace.Config {
+	cfg := s.sparkSpace.Default()
+	set := func(name string, v float64) {
+		if _, err := s.sparkSpace.Param(name); err == nil {
+			p, _ := s.sparkSpace.Param(name)
+			cfg[name] = p.Clamp(v)
+		}
+	}
+	coresPer := 4
+	if spec.Instance.VCPUs < 4 {
+		coresPer = spec.Instance.VCPUs
+	}
+	execs := spec.TotalCores() / coresPer
+	set(confspace.ParamExecutorCores, float64(coresPer))
+	set(confspace.ParamExecutorInstances, float64(execs))
+	memPer := spec.Instance.MemoryGB * 1024 / float64(maxInt(spec.Instance.VCPUs/coresPer, 1)) * 0.55
+	set(confspace.ParamExecutorMemoryMB, memPer)
+	set(confspace.ParamDriverMemoryMB, 4096)
+	set(confspace.ParamDefaultParallelism, float64(2*spec.TotalCores()))
+	set(confspace.ParamShufflePartitions, float64(2*spec.TotalCores()))
+	return cfg
+}
+
+// DISCChoice is the outcome of stage 2: a Spark configuration.
+type DISCChoice struct {
+	Config  confspace.Config
+	Session tuner.Result
+	// WarmStarted reports whether a similar workload's history seeded the
+	// model, and Source identifies it.
+	WarmStarted bool
+	Source      history.WorkloadKey
+	Similarity  float64
+}
+
+// TuneDISC runs stage 2 on a fixed cluster: probe runs fingerprint the
+// workload, the most similar workload in the store (possibly another
+// tenant's) warm-starts a Bayesian-optimization session, and the session
+// runs to the configured budget.
+func (s *Service) TuneDISC(reg Registration, cluster cloud.ClusterSpec) (DISCChoice, error) {
+	if err := reg.Validate(); err != nil {
+		return DISCChoice{}, err
+	}
+	if err := cluster.Validate(); err != nil {
+		return DISCChoice{}, err
+	}
+	env := cloud.NewEnvironment(s.interference, s.rng.Int63())
+	rng := stat.Fork(s.rng)
+
+	// Probe with the reference configuration to fingerprint the workload.
+	ref := s.referenceConf(cluster)
+	for i := 0; i < s.probeRuns; i++ {
+		s.execute(reg, cluster, ref, env.Next(), rng)
+	}
+
+	choice := DISCChoice{}
+	bo := tuner.NewBayesOpt(s.sparkSpace)
+	if sel, trials := s.warmStart(reg); sel.Accepted && len(trials) > 0 {
+		bo.WarmStart = trials
+		bo.InitSamples = 3
+		choice.WarmStarted = true
+		choice.Source = sel.Source
+		choice.Similarity = sel.Similarity
+	}
+
+	obj := func(cfg confspace.Config) tuner.Measurement {
+		_, m := s.execute(reg, cluster, cfg, env.Next(), rng)
+		return m
+	}
+	res, err := tuner.Run(bo, obj, s.discBudget, rng)
+	if err != nil {
+		return DISCChoice{}, err
+	}
+	if !res.Found {
+		return DISCChoice{}, fmt.Errorf("core: no DISC configuration succeeded for %s/%s", reg.Tenant, reg.Workload.Name())
+	}
+	choice.Config = res.Best.Config
+	choice.Session = res
+	return choice, nil
+}
+
+// warmStart fingerprints the target from its probe runs and looks for an
+// acceptable transfer source among every other workload in the store.
+func (s *Service) warmStart(reg Registration) (transfer.SourceSelection, []tuner.Trial) {
+	own := s.store.Query(history.Filter{Tenant: reg.Tenant, Workload: reg.Workload.Name()})
+	target, err := transfer.FingerprintOf(transfer.WellConfigured(own))
+	if err != nil {
+		return transfer.SourceSelection{}, nil
+	}
+	candidates := make(map[history.WorkloadKey]transfer.Fingerprint)
+	for _, key := range s.store.Workloads() {
+		if key.Tenant == reg.Tenant && key.Workload == reg.Workload.Name() {
+			continue
+		}
+		recs := s.store.Query(history.Filter{Tenant: key.Tenant, Workload: key.Workload})
+		fp, err := transfer.FingerprintOf(transfer.WellConfigured(recs))
+		if err != nil {
+			continue
+		}
+		candidates[key] = fp
+	}
+	if len(candidates) == 0 {
+		return transfer.SourceSelection{}, nil
+	}
+	sel := transfer.SelectSource(target, candidates, 0)
+	if !sel.Accepted {
+		return sel, nil
+	}
+	recs := s.store.Query(history.Filter{Tenant: sel.Source.Tenant, Workload: sel.Source.Workload})
+	return sel, transfer.WarmStartTrials(recs, s.sparkSpace, 20)
+}
+
+// PipelineResult is the outcome of the full Fig. 1 pipeline.
+type PipelineResult struct {
+	Cloud CloudChoice
+	DISC  DISCChoice
+	// DefaultRuntimeS is the scaled-defaults runtime on the chosen
+	// cluster, the improvement baseline of §V-C.
+	DefaultRuntimeS float64
+	// TunedRuntimeS is the best runtime found.
+	TunedRuntimeS float64
+	// TuningCostUSD totals both stages' execution cost.
+	TuningCostUSD float64
+}
+
+// Improvement returns the relative runtime improvement over the scaled
+// defaults.
+func (p PipelineResult) Improvement() float64 {
+	return slo.ImprovementOverDefault(p.TunedRuntimeS, p.DefaultRuntimeS)
+}
+
+// TunePipeline runs both stages of Fig. 1 and reports the end-to-end
+// outcome.
+func (s *Service) TunePipeline(reg Registration) (PipelineResult, error) {
+	cc, err := s.TuneCloud(reg)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	dc, err := s.TuneDISC(reg, cc.Cluster)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	// Measure the baseline once for the improvement report.
+	env := cloud.NewEnvironment(s.interference, s.rng.Int63())
+	rng := stat.Fork(s.rng)
+	baseRes, _ := s.execute(reg, cc.Cluster, s.referenceConf(cc.Cluster), env.Next(), rng)
+	return PipelineResult{
+		Cloud:           cc,
+		DISC:            dc,
+		DefaultRuntimeS: baseRes.RuntimeS,
+		TunedRuntimeS:   dc.Session.Best.Runtime,
+		TuningCostUSD:   cc.Session.TotalCost + dc.Session.TotalCost,
+	}, nil
+}
+
+// BestKnownSecondsPerGB returns the best scale-normalized runtime
+// (seconds per input GB) ever recorded for a workload type across all
+// tenants — the §IV-D substitute for the unknowable optimum. ok is false
+// when the store has no successful runs of that workload.
+func (s *Service) BestKnownSecondsPerGB(workloadName string) (float64, bool) {
+	recs := s.store.Query(history.Filter{Workload: workloadName, SucceededOnly: true})
+	best, found := 0.0, false
+	for _, r := range recs {
+		if r.InputBytes <= 0 {
+			continue
+		}
+		v := r.RuntimeS / (float64(r.InputBytes) / (1 << 30))
+		if !found || v < best {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// EffectivenessReport scores a tenant's workload against the SLO metric:
+// its best achieved seconds/GB versus the cross-tenant best known.
+type EffectivenessReport struct {
+	Tenant        string
+	Workload      string
+	BestOwn       float64 // seconds per GB
+	BestKnown     float64 // seconds per GB, across tenants
+	Effectiveness float64 // relative gap (0 = at the best known)
+}
+
+// Effectiveness reports the SLO tuning-effectiveness metric for one
+// tenant workload.
+func (s *Service) Effectiveness(tenant, workloadName string) (EffectivenessReport, error) {
+	own := s.store.Query(history.Filter{Tenant: tenant, Workload: workloadName, SucceededOnly: true})
+	if len(own) == 0 {
+		return EffectivenessReport{}, fmt.Errorf("core: no successful runs for %s/%s", tenant, workloadName)
+	}
+	bestOwn, found := 0.0, false
+	for _, r := range own {
+		if r.InputBytes <= 0 {
+			continue
+		}
+		v := r.RuntimeS / (float64(r.InputBytes) / (1 << 30))
+		if !found || v < bestOwn {
+			bestOwn, found = v, true
+		}
+	}
+	bestKnown, _ := s.BestKnownSecondsPerGB(workloadName)
+	return EffectivenessReport{
+		Tenant:        tenant,
+		Workload:      workloadName,
+		BestOwn:       bestOwn,
+		BestKnown:     bestKnown,
+		Effectiveness: slo.Effectiveness(bestOwn, bestKnown),
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/slo"
+	"seamlesstune/internal/workload"
+)
+
+const gb = int64(1) << 30
+
+// smallSpace keeps integration tests fast: 12 influential Spark knobs.
+func smallSpace(t testing.TB) *confspace.Space {
+	t.Helper()
+	return confspace.SparkSubspace(12)
+}
+
+func testService(t testing.TB, seed int64) *Service {
+	t.Helper()
+	return NewService(
+		WithSeed(seed),
+		WithSparkSpace(smallSpace(t)),
+		WithBudgets(8, 15),
+		WithNodeRange(2, 8),
+	)
+}
+
+func wcReg(tenant string) Registration {
+	return Registration{
+		Tenant:     tenant,
+		Workload:   workload.Wordcount{},
+		InputBytes: 4 * gb,
+		Objective:  slo.Objective{WithinPctOfOptimal: 0.25},
+	}
+}
+
+func TestRegistrationValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		reg  Registration
+		ok   bool
+	}{
+		{"valid", wcReg("t1"), true},
+		{"no tenant", Registration{Workload: workload.Wordcount{}, InputBytes: 1}, false},
+		{"no workload", Registration{Tenant: "t", InputBytes: 1}, false},
+		{"no input", Registration{Tenant: "t", Workload: workload.Wordcount{}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.reg.Validate()
+			if tt.ok != (err == nil) {
+				t.Errorf("Validate = %v", err)
+			}
+		})
+	}
+}
+
+func TestTuneCloudPicksValidCluster(t *testing.T) {
+	svc := testService(t, 1)
+	cc, err := svc.TuneCloud(wcReg("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Cluster.Validate(); err != nil {
+		t.Fatalf("chosen cluster invalid: %v", err)
+	}
+	if cc.Cluster.Count < 2 || cc.Cluster.Count > 8 {
+		t.Errorf("cluster size %d outside configured range", cc.Cluster.Count)
+	}
+	if len(cc.Session.Trials) != 8 {
+		t.Errorf("cloud trials = %d, want 8", len(cc.Session.Trials))
+	}
+	// Every execution was recorded provider-side.
+	if svc.Store().Len() != 8 {
+		t.Errorf("store records = %d, want 8", svc.Store().Len())
+	}
+}
+
+func TestTuneDISCImprovesOverReference(t *testing.T) {
+	svc := testService(t, 2)
+	reg := wcReg("t1")
+	it, err := svc.catalog.Lookup("nimbus/g5.2xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+	dc, err := svc.TuneDISC(reg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SparkSpace().Validate(dc.Config); err != nil {
+		t.Fatalf("chosen config invalid: %v", err)
+	}
+	// The probe runs used the reference config; tuned must not be worse
+	// than the best probe.
+	probes := svc.Store().Query(history.Filter{Tenant: "t1", SucceededOnly: true})
+	bestProbe := probes[0].RuntimeS
+	for _, p := range probes[:3] {
+		if p.RuntimeS < bestProbe {
+			bestProbe = p.RuntimeS
+		}
+	}
+	if dc.Session.Best.Runtime > bestProbe*1.05 {
+		t.Errorf("tuned %.1fs worse than reference probe %.1fs", dc.Session.Best.Runtime, bestProbe)
+	}
+}
+
+func TestTunePipelineEndToEnd(t *testing.T) {
+	svc := testService(t, 3)
+	res, err := svc.TunePipeline(wcReg("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TunedRuntimeS <= 0 || res.DefaultRuntimeS <= 0 {
+		t.Fatalf("degenerate pipeline result: %+v", res)
+	}
+	if res.TunedRuntimeS > res.DefaultRuntimeS*1.05 {
+		t.Errorf("tuned %.1fs worse than scaled defaults %.1fs", res.TunedRuntimeS, res.DefaultRuntimeS)
+	}
+	if res.TuningCostUSD <= 0 {
+		t.Error("tuning cost not accounted")
+	}
+	if res.Improvement() < 0 {
+		t.Errorf("improvement = %v", res.Improvement())
+	}
+}
+
+func TestWarmStartFromSimilarTenant(t *testing.T) {
+	svc := testService(t, 4)
+	it, _ := svc.catalog.Lookup("nimbus/g5.2xlarge")
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+
+	// Tenant A tunes wordcount from scratch.
+	if _, err := svc.TuneDISC(wcReg("tenantA"), cluster); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant B submits the same workload type: the service should
+	// fingerprint it as similar and warm-start from tenant A's history.
+	dc, err := svc.TuneDISC(wcReg("tenantB"), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dc.WarmStarted {
+		t.Fatal("second tenant not warm-started from similar history")
+	}
+	if dc.Source.Tenant != "tenantA" {
+		t.Errorf("source = %+v, want tenantA", dc.Source)
+	}
+	if dc.Similarity < 0.5 {
+		t.Errorf("similarity = %v", dc.Similarity)
+	}
+}
+
+func TestNegativeTransferGuard(t *testing.T) {
+	svc := testService(t, 5)
+	it, _ := svc.catalog.Lookup("nimbus/h1.4xlarge")
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+
+	// Only a very different workload (iterative pagerank) in the store.
+	prReg := Registration{Tenant: "tenantA", Workload: workload.PageRank{}, InputBytes: 8 * gb}
+	if _, err := svc.TuneDISC(prReg, cluster); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := svc.TuneDISC(wcReg("tenantB"), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.WarmStarted {
+		t.Errorf("warm-started from dissimilar source %v (similarity %v)", dc.Source, dc.Similarity)
+	}
+}
+
+func TestEffectivenessReport(t *testing.T) {
+	svc := testService(t, 6)
+	it, _ := svc.catalog.Lookup("nimbus/g5.2xlarge")
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+	if _, err := svc.TuneDISC(wcReg("t1"), cluster); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Effectiveness("t1", "wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestOwn <= 0 || rep.BestKnown <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// t1 is the only tenant, so its best is the best known.
+	if rep.Effectiveness != 0 {
+		t.Errorf("effectiveness = %v, want 0", rep.Effectiveness)
+	}
+	if _, err := svc.Effectiveness("ghost", "wordcount"); err == nil {
+		t.Error("report for unknown tenant succeeded")
+	}
+}
+
+func TestBestKnownSecondsPerGB(t *testing.T) {
+	svc := testService(t, 7)
+	if _, ok := svc.BestKnownSecondsPerGB("wordcount"); ok {
+		t.Error("best known on empty store")
+	}
+}
+
+func TestServiceOptions(t *testing.T) {
+	// WithStore threads an existing (e.g. restored) history through.
+	pre := &history.Store{}
+	pre.Append(history.Record{Tenant: "old", Workload: "wordcount", InputBytes: gb, RuntimeS: 50})
+	svc := NewService(
+		WithStore(pre),
+		WithCatalog(cloud.DefaultCatalog()),
+		WithInterference(cloud.InterferenceLow),
+		WithSeed(9),
+	)
+	if svc.Store().Len() != 1 {
+		t.Errorf("store not adopted: len = %d", svc.Store().Len())
+	}
+	if _, ok := svc.BestKnownSecondsPerGB("wordcount"); !ok {
+		t.Error("restored history not visible to BestKnown")
+	}
+	// A nil store is ignored, not adopted.
+	svc2 := NewService(WithStore(nil))
+	if svc2.Store() == nil {
+		t.Error("nil store adopted")
+	}
+}
+
+func TestTuneDISCUnderInterference(t *testing.T) {
+	svc := NewService(
+		WithSeed(10),
+		WithSparkSpace(smallSpace(t)),
+		WithBudgets(6, 12),
+		WithInterference(cloud.InterferenceMedium),
+	)
+	it, _ := svc.catalog.Lookup("nimbus/g5.2xlarge")
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+	dc, err := svc.TuneDISC(wcReg("t1"), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Session.Best.Runtime <= 0 {
+		t.Error("no best under interference")
+	}
+}
+
+func TestTuneCloudValidatesRegistration(t *testing.T) {
+	svc := testService(t, 11)
+	if _, err := svc.TuneCloud(Registration{}); err == nil {
+		t.Error("empty registration accepted")
+	}
+	if _, err := svc.TuneDISC(Registration{}, cloud.ClusterSpec{}); err == nil {
+		t.Error("empty registration accepted by TuneDISC")
+	}
+	reg := wcReg("t")
+	if _, err := svc.TuneDISC(reg, cloud.ClusterSpec{}); err == nil {
+		t.Error("invalid cluster accepted by TuneDISC")
+	}
+}

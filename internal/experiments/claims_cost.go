@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/slo"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/tuner"
+	"seamlesstune/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// C1 — misconfiguration cost (§I: "under-provisioned cluster setups can
+// slow the analytics pipelines by up to 12X, suboptimal framework
+// configurations can lead to 89X performance degradation").
+
+// C1Row reports one workload's degradation factors.
+type C1Row struct {
+	Workload string
+	// ConfDegradation is worst-successful / best runtime across random
+	// DISC configurations on the Table-I cluster (the 89X-style claim).
+	ConfDegradation float64
+	// DefaultDegradation is default-config / best runtime.
+	DefaultDegradation float64
+	// FailFrac is the fraction of random configurations that crashed.
+	FailFrac float64
+	// ClusterDegradation is the best-achievable runtime on the worst
+	// cluster choice over the best cluster choice, with a scaled
+	// reference config (the 12X-style claim).
+	ClusterDegradation float64
+}
+
+// C1Result reproduces the misconfiguration-cost claims.
+type C1Result struct {
+	Rows    []C1Row
+	Configs int
+}
+
+// C1MisconfigCost measures both degradation factors.
+func C1MisconfigCost(seed int64, nConfigs int) (C1Result, error) {
+	if nConfigs <= 0 {
+		nConfigs = 80
+	}
+	cluster, err := TableICluster()
+	if err != nil {
+		return C1Result{}, err
+	}
+	space := confspace.SparkSpace()
+	rng := stat.NewRNG(seed)
+	catalog := cloud.DefaultCatalog()
+
+	var out C1Result
+	out.Configs = nConfigs
+	for _, name := range []string{"wordcount", "sort", "pagerank"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return C1Result{}, err
+		}
+		size := 8 * GB
+		best, worst := math.Inf(1), 0.0
+		fails := 0
+		var defRT float64
+		for ci := 0; ci < nConfigs; ci++ {
+			cfg := space.Random(rng)
+			res := runConfig(w, size, space, cfg, cluster, seed+int64(ci))
+			if res.Failed {
+				fails++
+				continue
+			}
+			if res.RuntimeS < best {
+				best = res.RuntimeS
+			}
+			if res.RuntimeS > worst {
+				worst = res.RuntimeS
+			}
+		}
+		defRes := runConfig(w, size, space, space.Default(), cluster, seed+7777)
+		if !defRes.Failed {
+			defRT = defRes.RuntimeS
+		}
+
+		// Cluster misconfiguration: same workload, scaled reference conf,
+		// across cluster choices from 2 small general nodes to 8 storage
+		// nodes.
+		clusterRatio := clusterDegradation(w, size, space, catalog, seed)
+
+		row := C1Row{
+			Workload:           name,
+			ConfDegradation:    worst / best,
+			FailFrac:           float64(fails) / float64(nConfigs),
+			ClusterDegradation: clusterRatio,
+		}
+		if defRT > 0 {
+			row.DefaultDegradation = defRT / best
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// clusterDegradation compares plausible cluster choices under a sensibly
+// scaled Spark configuration, returning worst/best runtime.
+func clusterDegradation(w workload.Workload, size int64, space *confspace.Space, catalog *cloud.Catalog, seed int64) float64 {
+	choices := []struct {
+		key   string
+		count int
+	}{
+		{"nimbus/g5.large", 2}, // plausible but underprovisioned
+		{"nimbus/c5.xlarge", 4},
+		{"nimbus/g5.2xlarge", 4},
+		{"nimbus/r5.2xlarge", 6},
+		{"nimbus/h1.4xlarge", 8},
+	}
+	best, worst := math.Inf(1), 0.0
+	for i, c := range choices {
+		it, err := catalog.Lookup(c.key)
+		if err != nil {
+			continue
+		}
+		spec := cloud.ClusterSpec{Instance: it, Count: c.count}
+		cfg := scaledConf(space, spec)
+		res := runConfig(w, size, space, cfg, spec, seed+int64(100+i))
+		if res.Failed {
+			continue
+		}
+		if res.RuntimeS < best {
+			best = res.RuntimeS
+		}
+		if res.RuntimeS > worst {
+			worst = res.RuntimeS
+		}
+	}
+	if math.IsInf(best, 1) || best <= 0 {
+		return 0
+	}
+	return worst / best
+}
+
+// scaledConf sizes Spark defaults to a cluster the way a careful operator
+// would (executors by cores, parallelism 2x cores).
+func scaledConf(space *confspace.Space, spec cloud.ClusterSpec) confspace.Config {
+	cfg := space.Default()
+	coresPer := 4
+	if spec.Instance.VCPUs < 4 {
+		coresPer = spec.Instance.VCPUs
+	}
+	cfg[confspace.ParamExecutorCores] = float64(coresPer)
+	cfg[confspace.ParamExecutorInstances] = float64(spec.TotalCores() / coresPer)
+	memMB := spec.Instance.MemoryGB * 1024 / float64(maxIntC(spec.Instance.VCPUs/coresPer, 1)) * 0.55
+	p, _ := space.Param(confspace.ParamExecutorMemoryMB)
+	cfg[confspace.ParamExecutorMemoryMB] = p.Clamp(memMB)
+	cfg[confspace.ParamDriverMemoryMB] = 4096
+	pp, _ := space.Param(confspace.ParamDefaultParallelism)
+	cfg[confspace.ParamDefaultParallelism] = pp.Clamp(float64(2 * spec.TotalCores()))
+	cfg[confspace.ParamShufflePartitions] = pp.Clamp(float64(2 * spec.TotalCores()))
+	return cfg
+}
+
+func maxIntC(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Render formats the degradation factors.
+func (r C1Result) Render() Table {
+	t := Table{
+		ID:     "C1",
+		Title:  "Misconfiguration cost (paper §I: up to 12x from cluster setup, up to 89x from DISC config)",
+		Header: []string{"workload", "worst/best conf", "default/best", "crash frac", "worst/best cluster"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Workload,
+			fmt.Sprintf("%.0fx", row.ConfDegradation),
+			fmt.Sprintf("%.1fx", row.DefaultDegradation),
+			pct(row.FailFrac),
+			fmt.Sprintf("%.1fx", row.ClusterDegradation),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d random DISC configurations at 8GB input; cluster sweep over 5 plausible setups", r.Configs))
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// C2 — tuner sample-efficiency (§II-B/§IV-C: BestConfig needs ~500
+// samples for ~80% improvement; CherryPick finds near-optimal configs
+// with a small number of samples; Bu et al. tune 8 parameters in ~25
+// runs).
+
+// C2Row is one tuner's trajectory on one workload.
+type C2Row struct {
+	Tuner       string
+	Checkpoints []int
+	// BestAt[i] is the best runtime found within Checkpoints[i]
+	// executions.
+	BestAt []float64
+	// Improvement is vs the default configuration at the final budget.
+	Improvement float64
+	// ToWithin10 is executions needed to get within 10% of the reference
+	// optimum (-1 if never).
+	ToWithin10 int
+}
+
+// C2Result compares the surveyed tuning strategies at equal budget.
+type C2Result struct {
+	Workload    string
+	Budget      int
+	DefaultRT   float64
+	ReferenceRT float64 // best known from an offline deep search
+	Rows        []C2Row
+	// QLearn8Improvement validates Bu et al.'s own operating point:
+	// Q-learning over an 8-parameter space with 25 executions.
+	QLearn8Improvement float64
+}
+
+// C2TunerComparison runs every tuner on the same workload and budget.
+func C2TunerComparison(seed int64, budget int) (C2Result, error) {
+	if budget <= 0 {
+		budget = 120
+	}
+	cluster, err := TableICluster()
+	if err != nil {
+		return C2Result{}, err
+	}
+	space := confspace.SparkSpace()
+	w := workload.Sort{}
+	size := 8 * GB
+
+	makeObjective := func() tuner.Objective {
+		i := 0
+		return func(cfg confspace.Config) tuner.Measurement {
+			i++
+			res := runConfig(w, size, space, cfg, cluster, seed+int64(i)*31)
+			return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+		}
+	}
+
+	// Reference optimum: a deep random search (3x budget).
+	refRng := stat.NewRNG(seed + 9999)
+	refObj := makeObjective()
+	ref, err := tuner.Run(tuner.NewRandomSearch(space), refObj, budget*3, refRng)
+	if err != nil {
+		return C2Result{}, err
+	}
+	defRes := runConfig(w, size, space, space.Default(), cluster, seed+5555)
+
+	out := C2Result{
+		Workload:    w.Name(),
+		Budget:      budget,
+		DefaultRT:   defRes.RuntimeS,
+		ReferenceRT: ref.Best.Runtime,
+	}
+	checkpoints := []int{10, 25, 50, budget}
+	sort.Ints(checkpoints)
+
+	tuners := []tuner.Tuner{
+		tuner.NewRandomSearch(space),
+		tuner.NewHillClimb(space),
+		tuner.NewBayesOpt(space),
+		tuner.NewGenetic(space),
+		tuner.NewBestConfig(space),
+		tuner.NewTreeSearch(space),
+		tuner.NewQLearn(space),
+	}
+	for _, tn := range tuners {
+		res, err := tuner.Run(tn, makeObjective(), budget, stat.NewRNG(seed+int64(len(tn.Name()))))
+		if err != nil {
+			return C2Result{}, err
+		}
+		row := C2Row{Tuner: tn.Name(), Checkpoints: checkpoints, ToWithin10: res.ExecutionsToReach(out.ReferenceRT * 1.1)}
+		for _, cp := range checkpoints {
+			idx := cp - 1
+			if idx >= len(res.BestSoFar) {
+				idx = len(res.BestSoFar) - 1
+			}
+			row.BestAt = append(row.BestAt, res.BestSoFar[idx])
+		}
+		if res.Found && out.DefaultRT > 0 {
+			row.Improvement = slo.ImprovementOverDefault(res.Best.Runtime, out.DefaultRT)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	// Bu et al.'s own operating point: Q-learning on an 8-parameter space
+	// with 25 executions — where the approach was designed to work.
+	sub := confspace.SparkSubspace(8)
+	i := 0
+	subObj := func(cfg confspace.Config) tuner.Measurement {
+		i++
+		res := runConfig(w, size, sub, cfg, cluster, seed+int64(i)*41)
+		return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+	}
+	q8, err := tuner.Run(tuner.NewQLearn(sub), subObj, 25, stat.NewRNG(seed+55))
+	if err != nil {
+		return C2Result{}, err
+	}
+	if q8.Found && out.DefaultRT > 0 {
+		out.QLearn8Improvement = slo.ImprovementOverDefault(q8.Best.Runtime, out.DefaultRT)
+	}
+	return out, nil
+}
+
+// Render formats the comparison.
+func (r C2Result) Render() Table {
+	t := Table{
+		ID:    "C2",
+		Title: fmt.Sprintf("Tuner sample-efficiency on %s (default %.0fs, reference best %.0fs)", r.Workload, r.DefaultRT, r.ReferenceRT),
+	}
+	t.Header = []string{"tuner"}
+	for _, cp := range r.Rows[0].Checkpoints {
+		t.Header = append(t.Header, fmt.Sprintf("best@%d", cp))
+	}
+	t.Header = append(t.Header, "improvement", "execs to ref+10%")
+	for _, row := range r.Rows {
+		cells := []string{row.Tuner}
+		for _, b := range row.BestAt {
+			if math.IsInf(b, 1) {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, secs(b))
+			}
+		}
+		within := "-"
+		if row.ToWithin10 >= 0 {
+			within = fmt.Sprint(row.ToWithin10)
+		}
+		cells = append(cells, pct(row.Improvement), within)
+		t.Rows = append(t.Rows, cells)
+	}
+	t.Notes = append(t.Notes,
+		"paper context: BestConfig used ~500 executions for ~80% improvement; model-based search is expected to reach good configs in tens of runs",
+		"qlearn walks single knobs and scales poorly to the 41-dim space",
+		fmt.Sprintf("at Bu et al.'s own operating point (8 params, 25 executions) qlearn improves %s over the default", pct(r.QLearn8Improvement)))
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// C4 — tuning-cost amortization (§IV-C: 500 tuning executions cost more
+// than 90 normal runs in 3 months).
+
+// C4Row is one tuning budget's amortization account.
+type C4Row struct {
+	Budget          int
+	TuningCostUSD   float64
+	TunedRunCostUSD float64
+	RunsToAmortize  int // -1 when tuning never pays off
+	NetAfter90Runs  float64
+}
+
+// C4Result reproduces the amortization argument.
+type C4Result struct {
+	Workload       string
+	DefaultRunCost float64
+	ProductionRuns int
+	Rows           []C4Row
+}
+
+// C4CostAmortization tunes at several budgets and accounts the bill.
+func C4CostAmortization(seed int64) (C4Result, error) {
+	cluster, err := TableICluster()
+	if err != nil {
+		return C4Result{}, err
+	}
+	space := confspace.SparkSpace()
+	w := workload.Bayes{}
+	size := 8 * GB
+
+	defRes := runConfig(w, size, space, space.Default(), cluster, seed+1)
+	out := C4Result{
+		Workload:       w.Name(),
+		DefaultRunCost: defRes.CostUSD,
+		ProductionRuns: 90, // the paper's 3-month exemplar
+	}
+	for _, budget := range []int{30, 100, 500} {
+		i := 0
+		obj := func(cfg confspace.Config) tuner.Measurement {
+			i++
+			res := runConfig(w, size, space, cfg, cluster, seed+int64(i)*13)
+			return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+		}
+		res, err := tuner.Run(tuner.NewBestConfig(space), obj, budget, stat.NewRNG(seed+int64(budget)))
+		if err != nil {
+			return C4Result{}, err
+		}
+		ledger := slo.Ledger{
+			TuningCostUSD: res.TotalCost,
+			OldRunCostUSD: defRes.CostUSD,
+			NewRunCostUSD: res.Best.Cost,
+		}
+		row := C4Row{Budget: budget, TuningCostUSD: res.TotalCost, TunedRunCostUSD: res.Best.Cost}
+		if n, err := ledger.RunsToAmortize(); err == nil {
+			row.RunsToAmortize = n
+		} else {
+			row.RunsToAmortize = -1
+		}
+		row.NetAfter90Runs = ledger.NetSavingAfter(out.ProductionRuns)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the ledger.
+func (r C4Result) Render() Table {
+	t := Table{
+		ID:     "C4",
+		Title:  fmt.Sprintf("Tuning-cost amortization on %s (default run costs $%.3f)", r.Workload, r.DefaultRunCost),
+		Header: []string{"tuning budget", "tuning bill", "tuned run cost", "runs to amortize", "net after 90 runs"},
+	}
+	for _, row := range r.Rows {
+		amort := "never"
+		if row.RunsToAmortize >= 0 {
+			amort = fmt.Sprint(row.RunsToAmortize)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(row.Budget),
+			fmt.Sprintf("$%.2f", row.TuningCostUSD),
+			fmt.Sprintf("$%.3f", row.TunedRunCostUSD),
+			amort,
+			fmt.Sprintf("$%.2f", row.NetAfter90Runs),
+		})
+	}
+	if n := len(r.Rows); n > 0 {
+		last := r.Rows[n-1]
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"the %d-run tuning bill ($%.2f) vs 90 tuned production runs ($%.2f): the paper's §IV-C point",
+			last.Budget, last.TuningCostUSD, float64(r.ProductionRuns)*last.TunedRunCostUSD))
+	}
+	t.Notes = append(t.Notes,
+		"paper §IV-C: a 500-execution tuning (BestConfig) consumes more than 90 'normal' runs over 3 months",
+		"bounded budgets amortize faster; larger budgets buy little further improvement")
+	return t
+}

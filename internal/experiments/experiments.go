@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper,
+// plus its in-text quantitative claims, as typed experiment constructors.
+// Each experiment builds its own workloads and clusters, runs fully
+// deterministic simulations from a seed, and returns rows that
+// cmd/experiments prints and the root benchmarks report. The experiment
+// ids (T1, F1, F2, C1..C8) are indexed in DESIGN.md and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/workload"
+)
+
+// GB is one gibibyte.
+const GB = int64(1) << 30
+
+// Table is a rendered experiment artifact: a titled, aligned text table
+// with optional footnotes comparing against the paper's reported values.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// TableICluster returns the Table-I experimental setup: four
+// h1.4xlarge-like storage-optimized instances.
+func TableICluster() (cloud.ClusterSpec, error) {
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	if err != nil {
+		return cloud.ClusterSpec{}, err
+	}
+	return cloud.ClusterSpec{Instance: it, Count: 4}, nil
+}
+
+// runConfig executes one (workload, size, config) triple on a cluster
+// without interference, deterministically from the given seed.
+func runConfig(w workload.Workload, size int64, space *confspace.Space, cfg confspace.Config, cluster cloud.ClusterSpec, seed int64) spark.Result {
+	job := w.Job(size)
+	conf := spark.FromConfig(space, cfg)
+	return spark.Run(job, conf, cluster, cloud.Unit(), stat.NewRNG(seed))
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+
+// secs formats seconds.
+func secs(v float64) string { return fmt.Sprintf("%.1fs", v) }

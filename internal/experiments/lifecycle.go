@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/core"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/workload"
+)
+
+// F3PhaseRow summarizes one phase of the managed lifecycle.
+type F3PhaseRow struct {
+	Phase string
+	Runs  int
+	// ManagedMean and StaticMean are the phase's mean successful runtimes
+	// under the managed service and under the never-re-tuned baseline.
+	ManagedMean float64
+	StaticMean  float64
+	// Retunes triggered during the phase (managed side).
+	Retunes int
+}
+
+// F3Result is the end-to-end "seamless" demonstration: a tenant's
+// workload lives through input growth and an interference shift; the
+// managed service re-tunes automatically while a statically-tuned
+// baseline keeps its day-one configuration. User interventions: zero.
+type F3Result struct {
+	Workload string
+	Phases   []F3PhaseRow
+	// TotalManaged and TotalStatic are the summed production hours.
+	TotalManagedS float64
+	TotalStaticS  float64
+	// TuningCostUSD is everything the provider spent tuning and
+	// re-tuning on the tenant's behalf.
+	TuningCostUSD float64
+}
+
+// F3SeamlessLifecycle runs the full story on PageRank.
+func F3SeamlessLifecycle(seed int64) (F3Result, error) {
+	svc := core.NewService(
+		core.WithSeed(seed),
+		core.WithSparkSpace(confspace.SparkSubspace(12)),
+		core.WithBudgets(8, 20),
+	)
+	cluster, err := TableICluster()
+	if err != nil {
+		return F3Result{}, err
+	}
+	reg := core.Registration{Tenant: "tenant", Workload: workload.PageRank{}, InputBytes: 8 * GB}
+
+	// Day 0: the only tuning the tenant ever "asks" for.
+	dc, err := svc.TuneDISC(reg, cluster)
+	if err != nil {
+		return F3Result{}, err
+	}
+	day0 := dc.Config
+	managed := svc.Manage(reg, cluster, day0, core.WithRetuneBudget(12))
+
+	// The static baseline runs the same schedule with the day-0 config,
+	// on its own environment stream with the same seeds.
+	staticEnv := cloud.NewEnvironment(cloud.InterferenceNone, seed+500)
+	staticRNG := stat.NewRNG(seed + 501)
+	staticSize := reg.InputBytes
+	staticLevel := cloud.InterferenceNone
+	staticConf := spark.FromConfig(svc.SparkSpace(), day0)
+	staticRun := func() spark.Result {
+		staticEnv.SetLevel(staticLevel)
+		return spark.Run(reg.Workload.Job(staticSize), staticConf, cluster, staticEnv.Next(), staticRNG)
+	}
+
+	out := F3Result{Workload: reg.Workload.Name()}
+	var prodCost float64
+	phases := []struct {
+		name  string
+		runs  int
+		size  int64
+		level cloud.InterferenceLevel
+	}{
+		{"DS1 (8GB), quiet", 12, 8 * GB, cloud.InterferenceNone},
+		{"DS2 (11GB)", 15, 11 * GB, cloud.InterferenceNone},
+		{"DS3 (32GB)", 20, 32 * GB, cloud.InterferenceNone},
+		{"DS3 + high co-location", 20, 32 * GB, cloud.InterferenceHigh},
+	}
+	for _, ph := range phases {
+		managed.SetInput(ph.size)
+		managed.SetInterference(ph.level)
+		staticSize, staticLevel = ph.size, ph.level
+
+		row := F3PhaseRow{Phase: ph.name, Runs: ph.runs}
+		retunesBefore := managed.Retunes()
+		var mSum, sSum float64
+		var mN, sN int
+		for i := 0; i < ph.runs; i++ {
+			rep := managed.RunOnce()
+			prodCost += rep.Record.CostUSD
+			if !rep.Record.Failed {
+				mSum += rep.Record.RuntimeS
+				mN++
+			}
+			sres := staticRun()
+			if !sres.Failed {
+				sSum += sres.RuntimeS
+				sN++
+			}
+			out.TotalStaticS += sres.RuntimeS
+		}
+		row.Retunes = managed.Retunes() - retunesBefore
+		if mN > 0 {
+			row.ManagedMean = mSum / float64(mN)
+		}
+		if sN > 0 {
+			row.StaticMean = sSum / float64(sN)
+		}
+		out.Phases = append(out.Phases, row)
+	}
+
+	// Accounting: production time from the phase sums. The provider-side
+	// tuning bill is everything recorded for the tenant (probes, initial
+	// tuning, automatic re-tuning sessions) minus the production runs'
+	// own cost.
+	for _, ph := range out.Phases {
+		out.TotalManagedS += ph.ManagedMean * float64(ph.Runs)
+	}
+	var allCost float64
+	for _, r := range svc.Store().Query(history.Filter{Tenant: reg.Tenant, Workload: reg.Workload.Name()}) {
+		allCost += r.CostUSD
+	}
+	out.TuningCostUSD = allCost - prodCost
+	return out, nil
+}
+
+// Render formats the lifecycle.
+func (r F3Result) Render() Table {
+	t := Table{
+		ID:     "F3",
+		Title:  "Seamless lifecycle: managed service vs statically-tuned baseline (the paper's vision, end to end)",
+		Header: []string{"phase", "runs", "managed mean", "static mean", "retunes"},
+	}
+	for _, ph := range r.Phases {
+		t.Rows = append(t.Rows, []string{
+			ph.Phase, fmt.Sprint(ph.Runs), secs(ph.ManagedMean), secs(ph.StaticMean), fmt.Sprint(ph.Retunes),
+		})
+	}
+	saved := r.TotalStaticS - r.TotalManagedS
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("production time: managed %.0fs vs static %.0fs (saved %.0fs); provider tuning bill $%.2f; tenant interventions: 0",
+			r.TotalManagedS, r.TotalStaticS, saved, r.TuningCostUSD),
+		"the managed workload is re-tuned automatically when its runtime distribution shifts (input growth, co-location)")
+	return t
+}

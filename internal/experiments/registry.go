@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec describes one runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	// Run executes the experiment at the given seed and returns the
+	// rendered table.
+	Run func(seed int64) (Table, error)
+}
+
+// All returns every experiment, ordered by id. Budgets are the defaults
+// recorded in EXPERIMENTS.md; pass nConfig-style overrides by calling the
+// typed constructors directly.
+func All() []Spec {
+	specs := []Spec{
+		{
+			ID:    "T1",
+			Title: "Table I: re-tuning savings over evolving input sizes",
+			Run: func(seed int64) (Table, error) {
+				r, err := Table1(seed, 100)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "T1X",
+			Title: "Table-I protocol on the extension workloads (join/kmeans/sort)",
+			Run: func(seed int64) (Table, error) {
+				r, err := Table1Extension(seed, 60)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.RenderGeneric("T1X", "Re-tuning savings: extension workloads (Table-I protocol)"), nil
+			},
+		},
+		{
+			ID:    "C9",
+			Title: "what-if engine accuracy (Starfish limitation)",
+			Run: func(seed int64) (Table, error) {
+				r, err := C9WhatIfAccuracy(seed, 15)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C10",
+			Title: "PARIS VM selection vs online search",
+			Run: func(seed int64) (Table, error) {
+				r, err := C10ParisVMSelection(seed)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C11",
+			Title: "DAC model-based tuning vs direct search",
+			Run: func(seed int64) (Table, error) {
+				r, err := C11DACComparison(seed)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C12",
+			Title: "tuning under co-location interference",
+			Run: func(seed int64) (Table, error) {
+				r, err := C12TuningUnderInterference(seed, 30)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "A1",
+			Title: "Table-I mechanism ablation",
+			Run: func(seed int64) (Table, error) {
+				r, err := A1TableIAblation(seed, 60)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "F1",
+			Title: "Fig. 1: two-stage tuning pipeline",
+			Run: func(seed int64) (Table, error) {
+				r, err := Fig1Pipeline(seed)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "F3",
+			Title: "seamless lifecycle: managed vs static, end to end",
+			Run: func(seed int64) (Table, error) {
+				r, err := F3SeamlessLifecycle(seed)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "F2",
+			Title: "Fig. 2: Spark internal architecture trace",
+			Run: func(seed int64) (Table, error) {
+				r, err := Fig2Architecture(seed)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C1",
+			Title: "misconfiguration cost (12x cluster / 89x config)",
+			Run: func(seed int64) (Table, error) {
+				r, err := C1MisconfigCost(seed, 80)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C2",
+			Title: "tuner sample-efficiency comparison",
+			Run: func(seed int64) (Table, error) {
+				r, err := C2TunerComparison(seed, 120)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C3",
+			Title: "search-space growth with dimensionality",
+			Run: func(seed int64) (Table, error) {
+				r, err := C3SearchSpaceGrowth(seed, 40)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C4",
+			Title: "tuning-cost amortization",
+			Run: func(seed int64) (Table, error) {
+				r, err := C4CostAmortization(seed)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C5",
+			Title: "re-tuning detection policies",
+			Run: func(seed int64) (Table, error) {
+				r, err := C5RetuneDetection(seed)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C6",
+			Title: "transfer learning across workloads",
+			Run: func(seed int64) (Table, error) {
+				r, err := C6TransferLearning(seed, 25)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C7",
+			Title: "SLO effectiveness vs tuning budget",
+			Run: func(seed int64) (Table, error) {
+				r, err := C7SLOEfficiency(seed)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "C8",
+			Title: "additive-GP interpretability",
+			Run: func(seed int64) (Table, error) {
+				r, err := C8AdditiveGPInterpret(seed, 80)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].ID < specs[j].ID })
+	return specs
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Spec, error) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,132 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seamlesstune/internal/stat"
+)
+
+// additiveSample draws noisy samples of f(x) = 40·sin(3x0) + 10·x1 + 0·x2.
+func additiveSample(n int, seed int64) ([][]float64, []float64) {
+	r := stat.NewRNG(seed)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < n; i++ {
+		x := []float64{r.Float64(), r.Float64(), r.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 40*math.Sin(3*x[0])+10*x[1]+0.3*r.NormFloat64())
+	}
+	return xs, ys
+}
+
+func TestFitAdditiveModelPredicts(t *testing.T) {
+	xs, ys := additiveSample(100, 1)
+	m, err := FitAdditiveModel(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out error well below the variance baseline.
+	r := stat.NewRNG(2)
+	var se, base float64
+	mean := stat.Mean(ys)
+	truth := func(x []float64) float64 { return 40*math.Sin(3*x[0]) + 10*x[1] }
+	for i := 0; i < 80; i++ {
+		x := []float64{r.Float64(), r.Float64(), r.Float64()}
+		p := m.Predict(x)
+		se += (p - truth(x)) * (p - truth(x))
+		base += (mean - truth(x)) * (mean - truth(x))
+	}
+	if se >= base*0.2 {
+		t.Errorf("additive model MSE %.2f not clearly below baseline %.2f", se/80, base/80)
+	}
+}
+
+func TestAdditiveModelSensitivityRanking(t *testing.T) {
+	xs, ys := additiveSample(120, 3)
+	m, err := FitAdditiveModel(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Sensitivity()
+	if len(s) != 3 {
+		t.Fatalf("sensitivity dims = %d", len(s))
+	}
+	// dim0 (strong sinusoid) > dim1 (mild linear) > dim2 (inert).
+	if !(s[0] > s[1] && s[1] > s[2]) {
+		t.Errorf("sensitivity ordering wrong: %v", s)
+	}
+	sum := s[0] + s[1] + s[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sensitivities sum to %v", sum)
+	}
+}
+
+func TestFitAdditiveModelErrors(t *testing.T) {
+	if _, err := FitAdditiveModel(nil, nil, 1); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitAdditiveModel([][]float64{{1}}, []float64{1, 2}, 1); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAdditiveModelShortQueryVector(t *testing.T) {
+	xs, ys := additiveSample(40, 4)
+	m, err := FitAdditiveModel(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing trailing dimensions are treated as zero, not a panic.
+	if p := m.Predict([]float64{0.5}); math.IsNaN(p) {
+		t.Error("short query produced NaN")
+	}
+}
+
+func TestSensitivityOnFlattensLongLengthScales(t *testing.T) {
+	// A dimension fit with a huge length scale contributes almost no
+	// functional variance even with a large variance parameter.
+	k := &AdditiveSE{
+		Variances:    []float64{1, 1},
+		LengthScales: []float64{0.1, 50},
+	}
+	r := stat.NewRNG(5)
+	var xs [][]float64
+	for i := 0; i < 60; i++ {
+		xs = append(xs, []float64{r.Float64(), r.Float64()})
+	}
+	s := k.SensitivityOn(xs)
+	if s[0] <= s[1] {
+		t.Errorf("short-scale dim share %v not above flat dim %v", s[0], s[1])
+	}
+	if s[1] > 0.05 {
+		t.Errorf("flat dim share %v, want near zero", s[1])
+	}
+	// Degenerate: fewer than two points falls back to variance shares.
+	fallback := k.SensitivityOn(xs[:1])
+	if math.Abs(fallback[0]-0.5) > 1e-9 {
+		t.Errorf("fallback shares = %v", fallback)
+	}
+}
+
+func TestGPAccessors(t *testing.T) {
+	g := New(SE{Variance: 1, LengthScale: 0.3}, 0.05)
+	if g.N() != 0 || g.LogMarginalLikelihood() != 0 {
+		t.Error("zero-state accessors wrong")
+	}
+	xs := [][]float64{{0.1}, {0.5}, {0.9}}
+	if err := g.Fit(xs, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Errorf("N = %d", g.N())
+	}
+	if g.LogMarginalLikelihood() >= 0 {
+		t.Errorf("LML = %v, want negative for 3 noisy points", g.LogMarginalLikelihood())
+	}
+	// Non-positive noise gets a jitter default.
+	if g2 := New(SE{}, -1); g2.noise <= 0 {
+		t.Error("negative noise not defaulted")
+	}
+}

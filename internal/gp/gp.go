@@ -1,0 +1,238 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"seamlesstune/internal/linalg"
+	"seamlesstune/internal/stat"
+)
+
+// ErrNoData is returned when Fit is called with an empty or mismatched
+// sample.
+var ErrNoData = errors.New("gp: empty or mismatched training data")
+
+// GP is a Gaussian-process regressor. Construct with New; the zero value
+// is not usable. Targets are standardized internally so kernels can assume
+// zero-mean unit-variance observations.
+type GP struct {
+	kernel Kernel
+	noise  float64
+
+	xs    [][]float64
+	yMean float64
+	yStd  float64
+	chol  *linalg.Cholesky
+	alpha []float64
+	lml   float64
+}
+
+// New returns a GP with the given kernel and observation-noise standard
+// deviation (in standardized target units). Non-positive noise gets a
+// small jitter.
+func New(kernel Kernel, noise float64) *GP {
+	if noise <= 0 {
+		noise = 1e-3
+	}
+	return &GP{kernel: kernel, noise: noise}
+}
+
+// Kernel returns the kernel in use.
+func (g *GP) Kernel() Kernel { return g.kernel }
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.xs) }
+
+// Fit trains the GP on (xs, ys). It copies the inputs. Fitting fails only
+// on empty/mismatched data or a numerically broken kernel.
+func (g *GP) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("%w: %d xs, %d ys", ErrNoData, len(xs), len(ys))
+	}
+	n := len(xs)
+	g.xs = make([][]float64, n)
+	for i, x := range xs {
+		g.xs[i] = append([]float64(nil), x...)
+	}
+	g.yMean = stat.Mean(ys)
+	g.yStd = stat.Std(ys)
+	if g.yStd <= 1e-12 {
+		g.yStd = 1
+	}
+	yn := make([]float64, n)
+	for i, y := range ys {
+		yn[i] = (y - g.yMean) / g.yStd
+	}
+
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel.Eval(g.xs[i], g.xs[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	k = linalg.AddDiagonal(k, g.noise*g.noise+1e-8)
+	chol, err := linalg.NewCholesky(k)
+	if err != nil {
+		return fmt.Errorf("gp: kernel matrix not SPD: %w", err)
+	}
+	alpha, err := chol.SolveVec(yn)
+	if err != nil {
+		return err
+	}
+	g.chol = chol
+	g.alpha = alpha
+
+	// Log marginal likelihood of the standardized targets.
+	g.lml = -0.5*linalg.Dot(yn, alpha) - 0.5*chol.LogDet() - float64(n)/2*math.Log(2*math.Pi)
+	return nil
+}
+
+// Fitted reports whether Fit has succeeded.
+func (g *GP) Fitted() bool { return g.chol != nil }
+
+// LogMarginalLikelihood returns the LML of the last Fit (0 if unfitted).
+func (g *GP) LogMarginalLikelihood() float64 { return g.lml }
+
+// Predict returns the posterior mean and standard deviation at x, in the
+// original target units. An unfitted GP predicts (0, +Inf).
+func (g *GP) Predict(x []float64) (mean, std float64) {
+	if !g.Fitted() {
+		return 0, math.Inf(1)
+	}
+	n := len(g.xs)
+	kx := make([]float64, n)
+	for i := range g.xs {
+		kx[i] = g.kernel.Eval(g.xs[i], x)
+	}
+	mu := linalg.Dot(kx, g.alpha)
+	v, err := g.chol.SolveForward(kx)
+	if err != nil {
+		return g.yMean, g.yStd
+	}
+	variance := g.kernel.Eval(x, x) + g.noise*g.noise - linalg.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mu*g.yStd + g.yMean, math.Sqrt(variance) * g.yStd
+}
+
+// FitWithHypers fits isotropic kernel hyperparameters (length scale,
+// variance and noise) by maximizing marginal likelihood over a log-space
+// grid, then trains the GP with the best combination. kind selects the
+// base kernel family.
+type KernelKind int
+
+// Kernel families for FitWithHypers.
+const (
+	KindSE KernelKind = iota
+	KindMatern52
+)
+
+// FitWithHypers selects hyperparameters by grid-search marginal
+// likelihood and fits the returned GP. It tries every combination from
+// small fixed grids — cheap at tuning-sample sizes (tens to hundreds of
+// points).
+func FitWithHypers(kind KernelKind, xs [][]float64, ys []float64) (*GP, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d xs, %d ys", ErrNoData, len(xs), len(ys))
+	}
+	lengthScales := []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6}
+	noises := []float64{0.01, 0.05, 0.15, 0.4}
+	var best *GP
+	bestLML := math.Inf(-1)
+	for _, l := range lengthScales {
+		for _, nz := range noises {
+			var k Kernel
+			if kind == KindMatern52 {
+				k = Matern52{Variance: 1, LengthScale: l}
+			} else {
+				k = SE{Variance: 1, LengthScale: l}
+			}
+			g := New(k, nz)
+			if err := g.Fit(xs, ys); err != nil {
+				continue
+			}
+			if g.lml > bestLML {
+				bestLML = g.lml
+				best = g
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gp: no hyperparameter combination produced a valid fit")
+	}
+	return best, nil
+}
+
+// FitAdditive fits an additive-SE GP by coordinate-wise marginal-
+// likelihood search over per-dimension variances, starting from uniform
+// shares. It returns the fitted GP; the kernel's Sensitivity exposes the
+// per-parameter influence decomposition.
+func FitAdditive(xs [][]float64, ys []float64, sweeps int) (*GP, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d xs, %d ys", ErrNoData, len(xs), len(ys))
+	}
+	dim := len(xs[0])
+	kernel := NewAdditiveSE(dim)
+	// Start deliberately underfit (tiny per-dimension variances): the
+	// marginal likelihood then rewards growing exactly the dimensions
+	// that explain the response, which is what makes the decomposition
+	// interpretable.
+	for d := range kernel.Variances {
+		kernel.Variances[d] = 0.05 / float64(dim)
+	}
+	g := New(kernel, 0.1)
+	if err := g.Fit(xs, ys); err != nil {
+		return nil, err
+	}
+	if sweeps <= 0 {
+		sweeps = 2
+	}
+	vScales := []float64{0.05, 0.2, 0.5, 1, 2, 5, 20}
+	lengths := []float64{0.15, 0.3, 0.6, 1.5, 4}
+	for s := 0; s < sweeps; s++ {
+		for d := 0; d < dim; d++ {
+			bestV, bestL, bestLML := kernel.Variances[d], kernel.LengthScales[d], g.lml
+			origV := kernel.Variances[d]
+			for _, m := range vScales {
+				for _, l := range lengths {
+					kernel.Variances[d] = origV * m
+					kernel.LengthScales[d] = l
+					if err := g.Fit(xs, ys); err != nil {
+						continue
+					}
+					if g.lml > bestLML {
+						bestLML = g.lml
+						bestV, bestL = kernel.Variances[d], kernel.LengthScales[d]
+					}
+				}
+			}
+			kernel.Variances[d], kernel.LengthScales[d] = bestV, bestL
+			if err := g.Fit(xs, ys); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// ExpectedImprovement returns EI for minimization at a point with
+// posterior (mean, std), relative to the best observed value. Zero std
+// yields max(best-mean, 0).
+func ExpectedImprovement(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean < best {
+			return best - mean
+		}
+		return 0
+	}
+	z := (best - mean) / std
+	return (best-mean)*stat.NormalCDF(z) + std*stat.NormalPDF(z)
+}
+
+// LCB returns the lower confidence bound mean - beta·std (minimization:
+// smaller is more promising).
+func LCB(mean, std, beta float64) float64 { return mean - beta*std }

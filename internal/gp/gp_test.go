@@ -1,0 +1,226 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seamlesstune/internal/stat"
+)
+
+func TestKernelsBasicProperties(t *testing.T) {
+	kernels := []Kernel{
+		SE{Variance: 1, LengthScale: 0.3},
+		Matern52{Variance: 1, LengthScale: 0.3},
+		NewAdditiveSE(3),
+	}
+	r := stat.NewRNG(1)
+	for _, k := range kernels {
+		for i := 0; i < 100; i++ {
+			x := []float64{r.Float64(), r.Float64(), r.Float64()}
+			y := []float64{r.Float64(), r.Float64(), r.Float64()}
+			kxy, kyx := k.Eval(x, y), k.Eval(y, x)
+			if math.Abs(kxy-kyx) > 1e-12 {
+				t.Fatalf("%T not symmetric", k)
+			}
+			if k.Eval(x, x) < kxy-1e-12 {
+				t.Fatalf("%T: k(x,x) < k(x,y)", k)
+			}
+			if kxy < 0 {
+				t.Fatalf("%T negative covariance", k)
+			}
+		}
+	}
+}
+
+func TestKernelDecay(t *testing.T) {
+	// Covariance decreases with distance.
+	for _, k := range []Kernel{SE{Variance: 1, LengthScale: 0.3}, Matern52{Variance: 1, LengthScale: 0.3}} {
+		near := k.Eval([]float64{0.5}, []float64{0.55})
+		far := k.Eval([]float64{0.5}, []float64{0.95})
+		if near <= far {
+			t.Errorf("%T: near %v <= far %v", k, near, far)
+		}
+	}
+}
+
+func TestZeroValueKernelDefaults(t *testing.T) {
+	// Zero-valued fields fall back to usable defaults instead of NaN.
+	if v := (SE{}).Eval([]float64{0.1}, []float64{0.2}); math.IsNaN(v) || v <= 0 {
+		t.Errorf("zero SE eval = %v", v)
+	}
+	if v := (Matern52{}).Eval([]float64{0.1}, []float64{0.2}); math.IsNaN(v) || v <= 0 {
+		t.Errorf("zero Matern52 eval = %v", v)
+	}
+}
+
+func TestGPInterpolates(t *testing.T) {
+	xs := [][]float64{{0.1}, {0.3}, {0.5}, {0.7}, {0.9}}
+	ys := []float64{10, 14, 20, 26, 30}
+	g := New(SE{Variance: 1, LengthScale: 0.3}, 0.01)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mean, _ := g.Predict(x)
+		if math.Abs(mean-ys[i]) > 0.5 {
+			t.Errorf("Predict(%v) = %v, want ~%v", x, mean, ys[i])
+		}
+	}
+	// Uncertainty grows away from data.
+	_, sNear := g.Predict([]float64{0.5})
+	_, sFar := g.Predict([]float64{2.5})
+	if sFar <= sNear {
+		t.Errorf("std far %v <= std near %v", sFar, sNear)
+	}
+}
+
+func TestGPUnfitted(t *testing.T) {
+	g := New(SE{}, 0.1)
+	if g.Fitted() {
+		t.Fatal("unfitted GP claims fitted")
+	}
+	mean, std := g.Predict([]float64{0.5})
+	if mean != 0 || !math.IsInf(std, 1) {
+		t.Errorf("unfitted Predict = (%v, %v)", mean, std)
+	}
+}
+
+func TestGPFitErrors(t *testing.T) {
+	g := New(SE{}, 0.1)
+	if err := g.Fit(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty fit err = %v", err)
+	}
+	if err := g.Fit([][]float64{{1}}, []float64{1, 2}); !errors.Is(err, ErrNoData) {
+		t.Errorf("mismatched fit err = %v", err)
+	}
+}
+
+func TestGPConstantTargets(t *testing.T) {
+	xs := [][]float64{{0.1}, {0.5}, {0.9}}
+	ys := []float64{7, 7, 7}
+	g := New(SE{Variance: 1, LengthScale: 0.3}, 0.05)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := g.Predict([]float64{0.5})
+	if math.Abs(mean-7) > 0.1 {
+		t.Errorf("constant-target mean = %v, want ~7", mean)
+	}
+}
+
+func TestFitWithHypersRecoverstructure(t *testing.T) {
+	// Noisy samples of a smooth 2-d function.
+	r := stat.NewRNG(2)
+	f := func(x []float64) float64 { return 100 + 30*math.Sin(3*x[0]) + 20*x[1]*x[1] }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, f(x)+r.NormFloat64())
+	}
+	for _, kind := range []KernelKind{KindSE, KindMatern52} {
+		g, err := FitWithHypers(kind, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Held-out accuracy.
+		var se, base float64
+		mean := stat.Mean(ys)
+		for i := 0; i < 50; i++ {
+			x := []float64{r.Float64(), r.Float64()}
+			pred, _ := g.Predict(x)
+			se += (pred - f(x)) * (pred - f(x))
+			base += (mean - f(x)) * (mean - f(x))
+		}
+		if se >= base*0.3 {
+			t.Errorf("kind %v: GP MSE %v not clearly below baseline %v", kind, se/50, base/50)
+		}
+	}
+}
+
+func TestFitWithHypersErrors(t *testing.T) {
+	if _, err := FitWithHypers(KindSE, nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFitAdditiveIdentifiesInfluentialDims(t *testing.T) {
+	// Target depends strongly on dim 0, weakly on dim 1, not on dim 2.
+	r := stat.NewRNG(3)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 80; i++ {
+		x := []float64{r.Float64(), r.Float64(), r.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 50*math.Sin(4*x[0])+5*x[1]+0*x[2]+0.5*r.NormFloat64())
+	}
+	g, err := FitAdditive(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := g.Kernel().(*AdditiveSE)
+	if !ok {
+		t.Fatalf("kernel type %T", g.Kernel())
+	}
+	sens := k.Sensitivity()
+	if len(sens) != 3 {
+		t.Fatalf("sensitivity dims = %d", len(sens))
+	}
+	if sens[0] <= sens[2] {
+		t.Errorf("influential dim 0 (%v) not above inert dim 2 (%v); full: %v", sens[0], sens[2], sens)
+	}
+	total := sens[0] + sens[1] + sens[2]
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("sensitivities sum to %v", total)
+	}
+}
+
+func TestAdditiveSensitivityDegenerate(t *testing.T) {
+	k := &AdditiveSE{Variances: []float64{0, 0}, LengthScales: []float64{1, 1}}
+	s := k.Sensitivity()
+	if s[0] != 0 || s[1] != 0 {
+		t.Errorf("degenerate sensitivity = %v", s)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// Better mean and more uncertainty both increase EI.
+	base := ExpectedImprovement(10, 1, 10)
+	better := ExpectedImprovement(8, 1, 10)
+	if better <= base {
+		t.Errorf("EI(better mean) %v <= EI(equal) %v", better, base)
+	}
+	narrow := ExpectedImprovement(10, 0.1, 10)
+	wide := ExpectedImprovement(10, 3, 10)
+	if wide <= narrow {
+		t.Errorf("EI(wide) %v <= EI(narrow) %v", wide, narrow)
+	}
+	// Deterministic cases.
+	if got := ExpectedImprovement(8, 0, 10); got != 2 {
+		t.Errorf("EI zero-std improving = %v, want 2", got)
+	}
+	if got := ExpectedImprovement(12, 0, 10); got != 0 {
+		t.Errorf("EI zero-std worse = %v, want 0", got)
+	}
+}
+
+func TestLCB(t *testing.T) {
+	if got := LCB(10, 2, 1.5); got != 7 {
+		t.Errorf("LCB = %v, want 7", got)
+	}
+}
+
+func TestGPDimensionMismatchTolerated(t *testing.T) {
+	// Shorter query vectors are evaluated over the common prefix rather
+	// than panicking.
+	g := New(SE{Variance: 1, LengthScale: 0.3}, 0.05)
+	if err := g.Fit([][]float64{{0.1, 0.2}, {0.8, 0.9}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	mean, std := g.Predict([]float64{0.5})
+	if math.IsNaN(mean) || math.IsNaN(std) {
+		t.Error("prefix query produced NaN")
+	}
+}

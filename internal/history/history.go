@@ -1,0 +1,222 @@
+// Package history implements the provider-side execution-history store
+// the paper's vision rests on (§IV-C): every workload execution — across
+// tenants, cloud configurations and DISC configurations — is recorded
+// with its observed metrics, so the tuning service can characterize
+// workloads, transfer knowledge between them, and detect the need for
+// re-tuning. The store is safe for concurrent use and serializes to JSON.
+package history
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/spark"
+)
+
+// Metrics are the provider-observable facts of one execution — what a
+// cloud can measure without understanding the workload.
+type Metrics struct {
+	ShuffleReadBytes  int64   `json:"shuffleReadBytes"`
+	ShuffleWriteBytes int64   `json:"shuffleWriteBytes"`
+	SpillBytes        int64   `json:"spillBytes"`
+	GCSeconds         float64 `json:"gcSeconds"`
+	Executors         int     `json:"executors"`
+	Stages            int     `json:"stages"`
+}
+
+// MetricsFromResult extracts metrics from a simulated run.
+func MetricsFromResult(res spark.Result) Metrics {
+	return Metrics{
+		ShuffleReadBytes:  res.TotalShuffleRead,
+		ShuffleWriteBytes: res.TotalShuffleWrite,
+		SpillBytes:        res.TotalSpillBytes,
+		GCSeconds:         res.TotalGCSeconds,
+		Executors:         res.Executors,
+		Stages:            len(res.Stages),
+	}
+}
+
+// Record is one execution history entry.
+type Record struct {
+	Seq        int              `json:"seq"`
+	Tenant     string           `json:"tenant"`
+	Workload   string           `json:"workload"`
+	InputBytes int64            `json:"inputBytes"`
+	Cluster    string           `json:"cluster"`
+	Config     confspace.Config `json:"config"`
+	RuntimeS   float64          `json:"runtimeS"`
+	CostUSD    float64          `json:"costUSD"`
+	Failed     bool             `json:"failed"`
+	Reason     string           `json:"reason,omitempty"`
+	Metrics    Metrics          `json:"metrics"`
+}
+
+// Filter selects records in queries. Zero fields match everything.
+type Filter struct {
+	Tenant        string
+	Workload      string
+	SucceededOnly bool
+	// MaxN limits the result to the most recent N records (0 = all).
+	MaxN int
+}
+
+func (f Filter) matches(r Record) bool {
+	if f.Tenant != "" && r.Tenant != f.Tenant {
+		return false
+	}
+	if f.Workload != "" && r.Workload != f.Workload {
+		return false
+	}
+	if f.SucceededOnly && r.Failed {
+		return false
+	}
+	return true
+}
+
+// Store is an append-only, concurrency-safe execution history. The zero
+// value is ready to use.
+type Store struct {
+	mu      sync.RWMutex
+	records []Record
+	nextSeq int
+}
+
+// Append adds a record, assigning its sequence number, and returns it.
+func (s *Store) Append(r Record) Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Seq = s.nextSeq
+	s.nextSeq++
+	if r.Config != nil {
+		r.Config = r.Config.Clone()
+	}
+	s.records = append(s.records, r)
+	return r
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Query returns matching records in insertion order (copies).
+func (s *Store) Query(f Filter) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, r := range s.records {
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	if f.MaxN > 0 && len(out) > f.MaxN {
+		out = out[len(out)-f.MaxN:]
+	}
+	for i := range out {
+		if out[i].Config != nil {
+			out[i].Config = out[i].Config.Clone()
+		}
+	}
+	return out
+}
+
+// Workloads returns the distinct (tenant, workload) pairs present.
+func (s *Store) Workloads() []WorkloadKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[WorkloadKey]bool)
+	var out []WorkloadKey
+	for _, r := range s.records {
+		k := WorkloadKey{Tenant: r.Tenant, Workload: r.Workload}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// WorkloadKey identifies one tenant's workload.
+type WorkloadKey struct {
+	Tenant   string `json:"tenant"`
+	Workload string `json:"workload"`
+}
+
+// String renders "tenant/workload".
+func (k WorkloadKey) String() string { return k.Tenant + "/" + k.Workload }
+
+// Best returns the fastest successful record matching f and whether one
+// exists.
+func (s *Store) Best(f Filter) (Record, bool) {
+	f.SucceededOnly = true
+	recs := s.Query(f)
+	if len(recs) == 0 {
+		return Record{}, false
+	}
+	best := recs[0]
+	for _, r := range recs[1:] {
+		if r.RuntimeS < best.RuntimeS {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// ErrBadSnapshot reports a malformed serialized store.
+var ErrBadSnapshot = errors.New("history: malformed snapshot")
+
+// Save serializes the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(s.records)
+}
+
+// Load replaces the store's contents from JSON.
+func (s *Store) Load(r io.Reader) error {
+	var records []Record
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = records
+	s.nextSeq = 0
+	for _, rec := range records {
+		if rec.Seq >= s.nextSeq {
+			s.nextSeq = rec.Seq + 1
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the store to path.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile replaces the store's contents from path.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}

@@ -1,0 +1,200 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Euclidean returns the Euclidean distance between two vectors (over the
+// common prefix when lengths differ).
+func Euclidean(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// KMedoidsResult reports a clustering: medoid indices into the input
+// sample and a cluster assignment per point.
+type KMedoidsResult struct {
+	Medoids    []int
+	Assignment []int
+	Cost       float64
+}
+
+// KMedoids clusters points into k groups with the PAM build+swap
+// heuristic — AROMA's method for grouping workloads by resource profile.
+// rng seeds the build phase; k is clamped to [1, len(points)].
+func KMedoids(points [][]float64, k int, rng *rand.Rand, maxIter int) (KMedoidsResult, error) {
+	n := len(points)
+	if n == 0 {
+		return KMedoidsResult{}, fmt.Errorf("%w: no points", ErrNoData)
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+
+	// BUILD: greedy — first medoid minimizes total distance, then each
+	// next medoid maximally reduces cost.
+	medoids := make([]int, 0, k)
+	inMedoid := make([]bool, n)
+	best, bestCost := -1, math.Inf(1)
+	for i := 0; i < n; i++ {
+		c := 0.0
+		for j := 0; j < n; j++ {
+			c += Euclidean(points[i], points[j])
+		}
+		if c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	medoids = append(medoids, best)
+	inMedoid[best] = true
+	nearest := make([]float64, n)
+	for j := 0; j < n; j++ {
+		nearest[j] = Euclidean(points[best], points[j])
+	}
+	for len(medoids) < k {
+		bestGain, bestIdx := math.Inf(-1), -1
+		for i := 0; i < n; i++ {
+			if inMedoid[i] {
+				continue
+			}
+			gain := 0.0
+			for j := 0; j < n; j++ {
+				d := Euclidean(points[i], points[j])
+				if d < nearest[j] {
+					gain += nearest[j] - d
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		medoids = append(medoids, bestIdx)
+		inMedoid[bestIdx] = true
+		for j := 0; j < n; j++ {
+			if d := Euclidean(points[bestIdx], points[j]); d < nearest[j] {
+				nearest[j] = d
+			}
+		}
+	}
+	_ = rng // build phase is deterministic; rng reserved for tie-breaking extensions
+
+	// SWAP: hill-climb medoid replacements until no improvement.
+	assign := func() ([]int, float64) {
+		a := make([]int, n)
+		cost := 0.0
+		for j := 0; j < n; j++ {
+			bi, bd := 0, math.Inf(1)
+			for mi, m := range medoids {
+				if d := Euclidean(points[m], points[j]); d < bd {
+					bi, bd = mi, d
+				}
+			}
+			a[j] = bi
+			cost += bd
+		}
+		return a, cost
+	}
+	assignment, cost := assign()
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		for mi := range medoids {
+			for cand := 0; cand < n; cand++ {
+				if inMedoid[cand] {
+					continue
+				}
+				old := medoids[mi]
+				medoids[mi] = cand
+				_, newCost := assign()
+				if newCost < cost-1e-12 {
+					inMedoid[old] = false
+					inMedoid[cand] = true
+					cost = newCost
+					improved = true
+				} else {
+					medoids[mi] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	assignment, cost = assign()
+	return KMedoidsResult{Medoids: medoids, Assignment: assignment, Cost: cost}, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering in
+// [-1, 1]; higher means tighter, better-separated clusters. Single-cluster
+// results score 0.
+func Silhouette(points [][]float64, assignment []int) float64 {
+	n := len(points)
+	if n == 0 || len(assignment) != n {
+		return 0
+	}
+	k := 0
+	for _, a := range assignment {
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	total, counted := 0.0, 0
+	for i := 0; i < n; i++ {
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[assignment[j]] += Euclidean(points[i], points[j])
+			counts[assignment[j]]++
+		}
+		own := assignment[i]
+		if counts[own] == 0 {
+			continue
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

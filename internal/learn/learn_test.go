@@ -1,0 +1,338 @@
+package learn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seamlesstune/internal/stat"
+)
+
+func TestFitTreeRecoversStep(t *testing.T) {
+	// y = 10 for x<0.5, 30 for x>=0.5 — one split suffices.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := float64(i) / 60
+		xs = append(xs, []float64{x})
+		if x < 0.5 {
+			ys = append(ys, 10)
+		} else {
+			ys = append(ys, 30)
+		}
+	}
+	tree, err := FitTree(TreeConfig{}, xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{0.2}); math.Abs(got-10) > 0.5 {
+		t.Errorf("Predict(0.2) = %v, want ~10", got)
+	}
+	if got := tree.Predict([]float64{0.8}); math.Abs(got-30) > 0.5 {
+		t.Errorf("Predict(0.8) = %v, want ~30", got)
+	}
+	if tree.Depth() < 1 {
+		t.Error("tree did not split")
+	}
+}
+
+func TestFitTreeErrors(t *testing.T) {
+	if _, err := FitTree(TreeConfig{}, nil, nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitTree(TreeConfig{}, [][]float64{{1}}, []float64{1, 2}, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTreeMinLeafRespected(t *testing.T) {
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{0, 10}
+	tree, err := FitTree(TreeConfig{MinLeaf: 3}, xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Too few samples to split: prediction is the global mean.
+	if got := tree.Predict([]float64{0}); got != 5 {
+		t.Errorf("Predict = %v, want mean 5", got)
+	}
+}
+
+func TestForestBeatsMeanOnNonlinear(t *testing.T) {
+	r := stat.NewRNG(1)
+	f := func(x []float64) float64 { return 50*math.Sin(5*x[0]) + 20*x[1] }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, f(x)+r.NormFloat64())
+	}
+	forest, err := FitForest(ForestConfig{Trees: 30}, xs, ys, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.Size() != 30 {
+		t.Fatalf("Size = %d", forest.Size())
+	}
+	var se, base float64
+	mean := stat.Mean(ys)
+	for i := 0; i < 100; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		p := forest.Predict(x)
+		se += (p - f(x)) * (p - f(x))
+		base += (mean - f(x)) * (mean - f(x))
+	}
+	if se >= base*0.4 {
+		t.Errorf("forest MSE %v not clearly below baseline %v", se/100, base/100)
+	}
+}
+
+func TestForestSpread(t *testing.T) {
+	r := stat.NewRNG(2)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		x := r.Float64() * 0.5 // train only on [0, 0.5]
+		xs = append(xs, []float64{x})
+		ys = append(ys, 10*x+r.NormFloat64()*0.1)
+	}
+	forest, err := FitForest(ForestConfig{Trees: 25}, xs, ys, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, spread := forest.PredictWithSpread([]float64{0.25})
+	if spread < 0 || math.IsNaN(mean) {
+		t.Errorf("PredictWithSpread = (%v, %v)", mean, spread)
+	}
+	// Empty forest degenerates gracefully.
+	var empty Forest
+	if m, s := empty.PredictWithSpread([]float64{0}); m != 0 || s != 0 {
+		t.Error("empty forest should predict (0, 0)")
+	}
+}
+
+func TestForestRequiresRNG(t *testing.T) {
+	if _, err := FitForest(ForestConfig{}, [][]float64{{1}}, []float64{1}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestKMedoidsSeparatesBlobs(t *testing.T) {
+	r := stat.NewRNG(3)
+	var points [][]float64
+	// Two well-separated blobs of 20 points.
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{r.NormFloat64() * 0.2, r.NormFloat64() * 0.2})
+	}
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{10 + r.NormFloat64()*0.2, 10 + r.NormFloat64()*0.2})
+	}
+	res, err := KMedoids(points, 2, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 2 {
+		t.Fatalf("medoids = %v", res.Medoids)
+	}
+	// All of the first blob in one cluster, all of the second in the other.
+	first := res.Assignment[0]
+	for i := 1; i < 20; i++ {
+		if res.Assignment[i] != first {
+			t.Fatalf("blob 1 split at %d", i)
+		}
+	}
+	second := res.Assignment[20]
+	if second == first {
+		t.Fatal("blobs merged")
+	}
+	for i := 21; i < 40; i++ {
+		if res.Assignment[i] != second {
+			t.Fatalf("blob 2 split at %d", i)
+		}
+	}
+	if s := Silhouette(points, res.Assignment); s < 0.8 {
+		t.Errorf("silhouette = %v, want > 0.8 for separated blobs", s)
+	}
+}
+
+func TestKMedoidsEdgeCases(t *testing.T) {
+	r := stat.NewRNG(4)
+	if _, err := KMedoids(nil, 2, r, 0); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	// k > n clamps.
+	res, err := KMedoids([][]float64{{1}, {2}}, 5, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 2 {
+		t.Errorf("medoids = %d, want 2", len(res.Medoids))
+	}
+	// k < 1 clamps to 1.
+	res, err = KMedoids([][]float64{{1}, {2}, {3}}, 0, r, 0)
+	if err != nil || len(res.Medoids) != 1 {
+		t.Errorf("k=0: %v, %v", res.Medoids, err)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if s := Silhouette(nil, nil); s != 0 {
+		t.Errorf("empty silhouette = %v", s)
+	}
+	pts := [][]float64{{1}, {2}}
+	if s := Silhouette(pts, []int{0, 0}); s != 0 {
+		t.Errorf("single-cluster silhouette = %v", s)
+	}
+}
+
+func TestSVMSeparable(t *testing.T) {
+	r := stat.NewRNG(5)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := []float64{r.NormFloat64(), r.NormFloat64()}
+		xs = append(xs, x)
+		if x[0]+x[1] > 0 {
+			ys = append(ys, 1)
+		} else {
+			ys = append(ys, -1)
+		}
+	}
+	m, err := FitSVM(SVMConfig{}, xs, ys, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range xs {
+		if m.Predict(xs[i]) == ys[i] {
+			correct++
+		}
+	}
+	if correct < 92 {
+		t.Errorf("SVM training accuracy %d/100, want >= 92", correct)
+	}
+}
+
+func TestSVMErrors(t *testing.T) {
+	r := stat.NewRNG(6)
+	if _, err := FitSVM(SVMConfig{}, nil, nil, r); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitSVM(SVMConfig{}, [][]float64{{1}}, []float64{1}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestNNLSRecoversNonNegative(t *testing.T) {
+	// y = 2·a + 0·b + 5·c with noise; weights must stay >= 0.
+	r := stat.NewRNG(7)
+	var a [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		row := []float64{r.Float64(), r.Float64(), r.Float64()}
+		a = append(a, row)
+		y = append(y, 2*row[0]+5*row[2]+0.01*r.NormFloat64())
+	}
+	w, err := NNLS(a, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-2) > 0.1 || math.Abs(w[2]-5) > 0.1 {
+		t.Errorf("weights = %v, want ~[2 0 5]", w)
+	}
+	for _, v := range w {
+		if v < 0 {
+			t.Errorf("negative weight %v", v)
+		}
+	}
+}
+
+func TestNNLSNegativeTruth(t *testing.T) {
+	// True weight is negative; NNLS must clamp at zero, not go negative.
+	a := [][]float64{{1}, {1}, {1}}
+	y := []float64{-1, -2, -3}
+	w, err := NNLS(a, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0 {
+		t.Errorf("w = %v, want [0]", w)
+	}
+}
+
+func TestNNLSErrors(t *testing.T) {
+	if _, err := NNLS(nil, nil, 0); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErnestFeatures(t *testing.T) {
+	f := ErnestFeatures(4, 1)
+	if len(f) != 4 || f[0] != 1 {
+		t.Fatalf("features = %v", f)
+	}
+	if f[1] != 0.25 || f[3] != 4 {
+		t.Errorf("features = %v", f)
+	}
+	// Degenerate inputs clamp.
+	f = ErnestFeatures(0, 0)
+	if f[3] != 1 {
+		t.Errorf("clamped machines = %v", f[3])
+	}
+}
+
+func TestQLearnerConvergesToBestAction(t *testing.T) {
+	// One state, three actions with rewards 1, 5, 3.
+	r := stat.NewRNG(8)
+	l := NewQLearner(1, 3, 0.2, 0, 0.2)
+	rewards := []float64{1, 5, 3}
+	for i := 0; i < 500; i++ {
+		a := l.Choose(0, r)
+		l.Update(0, a, rewards[a]+0.1*r.NormFloat64(), 0)
+	}
+	if got := l.BestAction(0); got != 1 {
+		t.Errorf("BestAction = %d, want 1 (Q: %v %v %v)", got, l.Q(0, 0), l.Q(0, 1), l.Q(0, 2))
+	}
+}
+
+func TestQLearnerBootstrapsAcrossStates(t *testing.T) {
+	// Two states: action 0 in state 0 leads to state 1 where reward is
+	// high; gamma > 0 must propagate value back.
+	r := stat.NewRNG(9)
+	l := NewQLearner(2, 2, 0.3, 0.9, 0.3)
+	for i := 0; i < 2000; i++ {
+		s := i % 2
+		a := l.Choose(s, r)
+		if s == 0 {
+			// action 0 → state 1 (no direct reward); action 1 → stay, tiny reward.
+			if a == 0 {
+				l.Update(0, 0, 0, 1)
+			} else {
+				l.Update(0, 1, 0.1, 0)
+			}
+		} else {
+			l.Update(1, a, 10, 0)
+		}
+	}
+	if l.Q(0, 0) <= l.Q(0, 1) {
+		t.Errorf("bootstrapped Q(0,0)=%v not above myopic Q(0,1)=%v", l.Q(0, 0), l.Q(0, 1))
+	}
+}
+
+func TestQLearnerClamping(t *testing.T) {
+	l := NewQLearner(2, 2, 0, 0, 0)
+	l.Update(-5, 99, 1, 99) // out-of-range indices clamp, no panic
+	if q := l.Q(0, 1); q == 0 {
+		t.Errorf("clamped update did not land: %v", q)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if d := Euclidean([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Errorf("Euclidean = %v, want 5", d)
+	}
+	if d := Euclidean([]float64{1}, []float64{1, 9}); d != 0 {
+		t.Errorf("prefix Euclidean = %v, want 0", d)
+	}
+}

@@ -1,0 +1,242 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SVM is a linear soft-margin classifier trained by stochastic
+// sub-gradient descent (Pegasos-style). Labels are ±1.
+type SVM struct {
+	Weights []float64
+	Bias    float64
+}
+
+// SVMConfig configures SVM training.
+type SVMConfig struct {
+	// Lambda is the regularization strength (default 0.01).
+	Lambda float64
+	// Epochs over the training set (default 50).
+	Epochs int
+}
+
+// FitSVM trains a linear SVM on features xs with labels ys (±1).
+func FitSVM(cfg SVMConfig, xs [][]float64, ys []float64, rng *rand.Rand) (*SVM, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d xs, %d ys", ErrNoData, len(xs), len(ys))
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("learn: FitSVM requires an rng")
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 0.01
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	dim := len(xs[0])
+	m := &SVM{Weights: make([]float64, dim)}
+	t := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(len(xs))
+		for _, i := range order {
+			t++
+			eta := 1 / (cfg.Lambda * float64(t))
+			margin := ys[i] * (dot(m.Weights, xs[i]) + m.Bias)
+			for d := range m.Weights {
+				m.Weights[d] *= 1 - eta*cfg.Lambda
+			}
+			if margin < 1 {
+				for d := 0; d < dim && d < len(xs[i]); d++ {
+					m.Weights[d] += eta * ys[i] * xs[i][d]
+				}
+				m.Bias += eta * ys[i]
+			}
+		}
+	}
+	return m, nil
+}
+
+// Score returns the signed decision value at x.
+func (m *SVM) Score(x []float64) float64 { return dot(m.Weights, x) + m.Bias }
+
+// Predict returns the predicted label (±1) at x.
+func (m *SVM) Predict(x []float64) float64 {
+	if m.Score(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+func dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// NNLS solves min ‖A·w − y‖² subject to w ≥ 0 by projected coordinate
+// descent. This is the solver behind Ernest's performance model, whose
+// feature terms (serial, per-machine, log, linear) must have non-negative
+// contributions to be physically meaningful.
+func NNLS(a [][]float64, y []float64, iters int) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrNoData, n, len(y))
+	}
+	dim := len(a[0])
+	if iters <= 0 {
+		iters = 200
+	}
+	w := make([]float64, dim)
+	// Precompute column norms.
+	colSq := make([]float64, dim)
+	for _, row := range a {
+		for d := 0; d < dim && d < len(row); d++ {
+			colSq[d] += row[d] * row[d]
+		}
+	}
+	resid := make([]float64, n)
+	copy(resid, y) // resid = y - A·w, w = 0 initially
+	for it := 0; it < iters; it++ {
+		maxDelta := 0.0
+		for d := 0; d < dim; d++ {
+			if colSq[d] == 0 {
+				continue
+			}
+			// Optimal unconstrained update for coordinate d.
+			grad := 0.0
+			for i, row := range a {
+				if d < len(row) {
+					grad += row[d] * resid[i]
+				}
+			}
+			nw := w[d] + grad/colSq[d]
+			if nw < 0 {
+				nw = 0
+			}
+			delta := nw - w[d]
+			if delta == 0 {
+				continue
+			}
+			for i, row := range a {
+				if d < len(row) {
+					resid[i] -= delta * row[d]
+				}
+			}
+			w[d] = nw
+			if math.Abs(delta) > maxDelta {
+				maxDelta = math.Abs(delta)
+			}
+		}
+		if maxDelta < 1e-12 {
+			break
+		}
+	}
+	return w, nil
+}
+
+// ErnestFeatures maps a (machines, dataFraction) pair into Ernest's model
+// terms: [1, s/m, log(m), m] — fixed cost, parallelizable work,
+// aggregation-tree depth, and per-machine overhead.
+func ErnestFeatures(machines float64, scale float64) []float64 {
+	if machines < 1 {
+		machines = 1
+	}
+	if scale <= 0 {
+		scale = 1e-9
+	}
+	return []float64{1, scale / machines, math.Log(machines + 1), machines}
+}
+
+// QLearner is a tabular Q-learning agent over discrete states and actions
+// — the strategy of Bu et al. for online web-system configuration.
+type QLearner struct {
+	States  int
+	Actions int
+	Alpha   float64 // learning rate
+	Gamma   float64 // discount
+	Epsilon float64 // exploration probability
+
+	q [][]float64
+}
+
+// NewQLearner returns an agent with the given table shape and standard
+// defaults for unset hyperparameters.
+func NewQLearner(states, actions int, alpha, gamma, epsilon float64) *QLearner {
+	if states < 1 {
+		states = 1
+	}
+	if actions < 1 {
+		actions = 1
+	}
+	if alpha <= 0 {
+		alpha = 0.3
+	}
+	if gamma < 0 {
+		gamma = 0.8
+	}
+	if epsilon < 0 {
+		epsilon = 0.1
+	}
+	q := make([][]float64, states)
+	for s := range q {
+		q[s] = make([]float64, actions)
+	}
+	return &QLearner{States: states, Actions: actions, Alpha: alpha, Gamma: gamma, Epsilon: epsilon, q: q}
+}
+
+// Choose picks an action for state s with ε-greedy exploration.
+func (l *QLearner) Choose(s int, rng *rand.Rand) int {
+	s = clampIdx(s, l.States)
+	if rng.Float64() < l.Epsilon {
+		return rng.Intn(l.Actions)
+	}
+	return l.BestAction(s)
+}
+
+// BestAction returns the greedy action for state s.
+func (l *QLearner) BestAction(s int) int {
+	s = clampIdx(s, l.States)
+	best, bestQ := 0, math.Inf(-1)
+	for a, q := range l.q[s] {
+		if q > bestQ {
+			best, bestQ = a, q
+		}
+	}
+	return best
+}
+
+// Update applies the Q-learning backup for transition (s, a, reward, s').
+func (l *QLearner) Update(s, a int, reward float64, next int) {
+	s, next = clampIdx(s, l.States), clampIdx(next, l.States)
+	a = clampIdx(a, l.Actions)
+	bestNext := math.Inf(-1)
+	for _, q := range l.q[next] {
+		if q > bestNext {
+			bestNext = q
+		}
+	}
+	l.q[s][a] += l.Alpha * (reward + l.Gamma*bestNext - l.q[s][a])
+}
+
+// Q returns the current value estimate for (s, a).
+func (l *QLearner) Q(s, a int) float64 {
+	return l.q[clampIdx(s, l.States)][clampIdx(a, l.Actions)]
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,280 @@
+// Package learn implements the classical machine-learning substrates the
+// surveyed tuning systems rely on: CART regression trees and random
+// forests (PARIS, Wang et al.), k-medoids clustering (AROMA's workload
+// grouping), a linear SVM trained by SGD (AROMA's per-cluster tuning
+// classifier), non-negative least squares (Ernest's performance model),
+// and tabular Q-learning (Bu et al.'s reinforcement-learning tuner).
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoData is returned when a learner is given an empty or mismatched
+// training set.
+var ErrNoData = errors.New("learn: empty or mismatched training data")
+
+// TreeConfig bounds regression-tree growth.
+type TreeConfig struct {
+	// MaxDepth limits tree depth (default 8).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 3).
+	MinLeaf int
+	// FeatureFrac is the fraction of features considered per split
+	// (default 1.0; random forests use less).
+	FeatureFrac float64
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 3
+	}
+	if c.FeatureFrac <= 0 || c.FeatureFrac > 1 {
+		c.FeatureFrac = 1
+	}
+	return c
+}
+
+// Tree is a CART regression tree.
+type Tree struct {
+	root *node
+	dim  int
+}
+
+type node struct {
+	feature  int
+	thresh   float64
+	value    float64
+	left     *node
+	right    *node
+	nSamples int
+}
+
+func (n *node) leaf() bool { return n.left == nil }
+
+// FitTree grows a regression tree on (xs, ys) with variance-reduction
+// splits. rng drives feature subsampling; pass nil for deterministic
+// all-feature splits.
+func FitTree(cfg TreeConfig, xs [][]float64, ys []float64, rng *rand.Rand) (*Tree, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d xs, %d ys", ErrNoData, len(xs), len(ys))
+	}
+	cfg = cfg.withDefaults()
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{dim: len(xs[0])}
+	t.root = grow(cfg, xs, ys, idx, 0, rng)
+	return t, nil
+}
+
+func grow(cfg TreeConfig, xs [][]float64, ys []float64, idx []int, depth int, rng *rand.Rand) *node {
+	n := &node{nSamples: len(idx)}
+	sum := 0.0
+	for _, i := range idx {
+		sum += ys[i]
+	}
+	n.value = sum / float64(len(idx))
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf {
+		return n
+	}
+
+	dim := len(xs[idx[0]])
+	features := featureSubset(dim, cfg.FeatureFrac, rng)
+
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	for _, f := range features {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, xs[i][f])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds at value midpoints (deduplicated).
+		for v := 1; v < len(vals); v++ {
+			if vals[v] == vals[v-1] {
+				continue
+			}
+			thresh := (vals[v] + vals[v-1]) / 2
+			score := splitScore(xs, ys, idx, f, thresh, cfg.MinLeaf)
+			if score < bestScore {
+				bestFeat, bestThresh, bestScore = f, thresh, score
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return n
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if xs[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < cfg.MinLeaf || len(ri) < cfg.MinLeaf {
+		return n
+	}
+	n.feature, n.thresh = bestFeat, bestThresh
+	n.left = grow(cfg, xs, ys, li, depth+1, rng)
+	n.right = grow(cfg, xs, ys, ri, depth+1, rng)
+	return n
+}
+
+func featureSubset(dim int, frac float64, rng *rand.Rand) []int {
+	all := make([]int, dim)
+	for i := range all {
+		all[i] = i
+	}
+	if frac >= 1 || rng == nil {
+		return all
+	}
+	k := int(math.Ceil(frac * float64(dim)))
+	if k < 1 {
+		k = 1
+	}
+	rng.Shuffle(dim, func(a, b int) { all[a], all[b] = all[b], all[a] })
+	return all[:k]
+}
+
+// splitScore is the weighted sum of child variances (lower is better),
+// +Inf for splits violating the leaf minimum.
+func splitScore(xs [][]float64, ys []float64, idx []int, f int, thresh float64, minLeaf int) float64 {
+	var ln, rn int
+	var lsum, rsum, lsq, rsq float64
+	for _, i := range idx {
+		y := ys[i]
+		if xs[i][f] <= thresh {
+			ln++
+			lsum += y
+			lsq += y * y
+		} else {
+			rn++
+			rsum += y
+			rsq += y * y
+		}
+	}
+	if ln < minLeaf || rn < minLeaf {
+		return math.Inf(1)
+	}
+	lvar := lsq - lsum*lsum/float64(ln)
+	rvar := rsq - rsum*rsum/float64(rn)
+	return lvar + rvar
+}
+
+// Predict returns the tree's estimate at x.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	for !n.leaf() {
+		if n.feature < len(x) && x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the tree's depth (0 for a stump).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n == nil || n.leaf() {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Forest is a random forest of regression trees (bagging + feature
+// subsampling), PARIS-style.
+type Forest struct {
+	trees []*Tree
+}
+
+// ForestConfig configures random-forest training.
+type ForestConfig struct {
+	Trees int // default 40
+	Tree  TreeConfig
+}
+
+// FitForest trains a random forest. rng drives bootstrap resampling and
+// feature subsampling and must not be nil.
+func FitForest(cfg ForestConfig, xs [][]float64, ys []float64, rng *rand.Rand) (*Forest, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d xs, %d ys", ErrNoData, len(xs), len(ys))
+	}
+	if rng == nil {
+		return nil, errors.New("learn: FitForest requires an rng")
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 40
+	}
+	if cfg.Tree.FeatureFrac <= 0 || cfg.Tree.FeatureFrac >= 1 {
+		cfg.Tree.FeatureFrac = 0.7
+	}
+	f := &Forest{}
+	n := len(xs)
+	for t := 0; t < cfg.Trees; t++ {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i], by[i] = xs[j], ys[j]
+		}
+		tree, err := FitTree(cfg.Tree, bx, by, rng)
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return f, nil
+}
+
+// Predict returns the forest mean at x.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// PredictWithSpread returns the forest mean and the standard deviation
+// across trees (a cheap uncertainty proxy).
+func (f *Forest) PredictWithSpread(x []float64) (mean, spread float64) {
+	if len(f.trees) == 0 {
+		return 0, 0
+	}
+	preds := make([]float64, len(f.trees))
+	sum := 0.0
+	for i, t := range f.trees {
+		preds[i] = t.Predict(x)
+		sum += preds[i]
+	}
+	mean = sum / float64(len(f.trees))
+	ss := 0.0
+	for _, p := range preds {
+		d := p - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(f.trees)))
+}
+
+// Size returns the number of trees.
+func (f *Forest) Size() int { return len(f.trees) }

@@ -1,0 +1,265 @@
+// Package linalg implements the dense linear algebra needed by the
+// Gaussian-process and regression models: column-major-free dense matrices,
+// Cholesky factorization of symmetric positive-definite systems,
+// triangular solves and log-determinants.
+//
+// The package is deliberately small: it implements exactly what the tuning
+// models need, with numerically careful but unoptimized kernels (the
+// matrices involved are at most a few hundred rows — one per workload
+// execution sample).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned by Cholesky when the input matrix is not symmetric
+// positive definite (within numerical tolerance).
+var ErrNotSPD = errors.New("linalg: matrix is not symmetric positive definite")
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("linalg: incompatible shapes")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero rows×cols matrix. Non-positive dimensions yield
+// an empty matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·b, or ErrShape when inner dimensions differ.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("%w: (%dx%d)·(%dx%d)", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.Add(i, j, a*b.At(k, j))
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·x, or ErrShape when len(x) != Cols.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("%w: (%dx%d)·vec(%d)", ErrShape, m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		sum := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+	n int
+}
+
+// NewCholesky factorizes the SPD matrix a. It returns ErrNotSPD when a is
+// not square or a pivot is non-positive.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: %dx%d is not square", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		sum := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			sum -= v * v
+		}
+		if sum <= 0 || math.IsNaN(sum) {
+			return nil, fmt.Errorf("%w: pivot %d = %g", ErrNotSPD, j, sum)
+		}
+		d := math.Sqrt(sum)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, sum/d)
+		}
+	}
+	return &Cholesky{l: l, n: n}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// SolveVec solves A·x = b given the factorization, via forward and backward
+// substitution.
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), c.n)
+	}
+	// Forward: L·y = b.
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l.At(i, k) * y[k]
+		}
+		y[i] = sum / c.l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < c.n; k++ {
+			sum -= c.l.At(k, i) * x[k]
+		}
+		x[i] = sum / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveForward solves L·y = b (forward substitution only). The GP predictive
+// variance needs this half-solve.
+func (c *Cholesky) SolveForward(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), c.n)
+	}
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l.At(i, k) * y[k]
+		}
+		y[i] = sum / c.l.At(i, i)
+	}
+	return y, nil
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	sum := 0.0
+	for i := 0; i < c.n; i++ {
+		sum += math.Log(c.l.At(i, i))
+	}
+	return 2 * sum
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// AddDiagonal returns a copy of a with v added to each diagonal element
+// (jitter/nugget regularization).
+func AddDiagonal(a *Matrix, v float64) *Matrix {
+	out := a.Clone()
+	n := a.rows
+	if a.cols < n {
+		n = a.cols
+	}
+	for i := 0; i < n; i++ {
+		out.Add(i, i, v)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 || m.At(1, 0) != 3 {
+		t.Errorf("unexpected matrix contents: %+v", m)
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged rows: err = %v, want ErrShape", err)
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Errorf("FromRows(nil) = (%v, %v)", empty, err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("mismatched Mul err = %v, want ErrShape", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v, want [6 15]", got)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("short vec err = %v, want ErrShape", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 1) != 6 {
+		t.Errorf("transpose wrong: %+v", at)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	i2 := Identity(2)
+	c, err := a.Mul(i2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != a.At(i, j) {
+				t.Errorf("A·I != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// randomSPD builds a random SPD matrix A = BᵀB + n·I.
+func randomSPD(r *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, r.NormFloat64())
+		}
+	}
+	bt := b.T()
+	a, _ := bt.Mul(b)
+	return AddDiagonal(a, float64(n))
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 20} {
+		a := randomSPD(r, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l := ch.L()
+		lt := l.T()
+		rec, _ := l.Mul(lt)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(rec.At(i, j)-a.At(i, j)) > 1e-8*(1+math.Abs(a.At(i, j))) {
+					t.Fatalf("n=%d: L·Lᵀ != A at (%d,%d): %v vs %v", n, i, j, rec.At(i, j), a.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randomSPD(r, 10)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := make([]float64, 10)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b, _ := a.MulVec(xTrue)
+	x, err := ch.SolveVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("solve mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+	if _, err := ch.SolveVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("short rhs err = %v, want ErrShape", err)
+	}
+}
+
+func TestCholeskyForward(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := randomSPD(r, 6)
+	ch, _ := NewCholesky(a)
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	y, err := ch.SolveForward(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify L·y = b.
+	got, _ := ch.L().MulVec(y)
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > 1e-9 {
+			t.Fatalf("L·y != b at %d", i)
+		}
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := NewCholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("err = %v, want ErrNotSPD", err)
+	}
+	if _, err := NewCholesky(NewMatrix(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square err = %v, want ErrShape", err)
+	}
+}
+
+func TestLogDet(t *testing.T) {
+	// diag(4, 9) has det 36, logdet = log 36.
+	a, _ := FromRows([][]float64{{4, 0}, {0, 9}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.LogDet(); math.Abs(got-math.Log(36)) > 1e-12 {
+		t.Errorf("LogDet = %v, want %v", got, math.Log(36))
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Error("Norm2 wrong")
+	}
+	// Mismatched lengths use the shorter prefix rather than panicking.
+	if Dot([]float64{1, 2}, []float64{3}) != 3 {
+		t.Error("Dot with mismatched lengths wrong")
+	}
+}
+
+// Property: solving A·x = b then multiplying back recovers b, for random
+// SPD systems.
+func TestCholeskyRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a := randomSPD(r, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64() * 10
+		}
+		x, err := ch.SolveVec(b)
+		if err != nil {
+			return false
+		}
+		back, _ := a.MulVec(x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-6*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package retune_test
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/retune"
+	"seamlesstune/internal/stat"
+)
+
+// Example contrasts the fixed-threshold strawman with the adaptive
+// detector on a noisy workload whose runtime never actually drifts.
+func Example() {
+	r := stat.NewRNG(1)
+	fixed := retune.NewFixedThreshold(0.10, 5) // "re-tune on +10%"
+	adaptive := retune.NewAdaptive()
+
+	fixedFired, adaptiveFired := false, false
+	for i := 0; i < 60; i++ {
+		// 20% run-to-run noise, stationary mean: nothing to re-tune.
+		runtime := 100 * (1 + 0.2*r.NormFloat64())
+		if fixed.Observe(runtime) {
+			fixedFired = true
+		}
+		if adaptive.Observe(runtime) {
+			adaptiveFired = true
+		}
+	}
+	fmt.Printf("fixed threshold false-alarmed: %v\n", fixedFired)
+	fmt.Printf("adaptive detector false-alarmed: %v\n", adaptiveFired)
+	// Output:
+	// fixed threshold false-alarmed: true
+	// adaptive detector false-alarmed: false
+}

@@ -1,0 +1,192 @@
+// Package retune decides when a workload needs re-tuning (paper §V-D).
+// It contrasts the strawman the paper criticizes — a fixed percentage
+// threshold on runtime, which fires too often for noisy workloads and too
+// late for quiet ones — with adaptive detectors that learn each
+// workload's own runtime distribution, plus an evaluation harness that
+// scores detectors on drift scenarios.
+package retune
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/stat"
+)
+
+// Detector watches a workload's per-run runtimes and reports when the
+// configuration should be re-tuned.
+type Detector interface {
+	// Name identifies the policy.
+	Name() string
+	// Observe folds in one run's runtime; true means "re-tune now".
+	Observe(runtime float64) bool
+	// Reset clears state after a re-tuning completes.
+	Reset()
+}
+
+// FixedThreshold fires when a run exceeds the baseline mean (learned from
+// the first Warmup runs) by more than Pct. This is the paper's example of
+// a policy that cannot be right for every workload: what is a marginal
+// change for one workload is dramatic for another.
+type FixedThreshold struct {
+	// Pct is the relative degradation trigger, e.g. 0.2 for +20%.
+	Pct float64
+	// Warmup is the number of runs used to fix the baseline (default 5).
+	Warmup int
+
+	baseline stat.Welford
+}
+
+var _ Detector = (*FixedThreshold)(nil)
+
+// NewFixedThreshold returns a fixed-percentage detector.
+func NewFixedThreshold(pct float64, warmup int) *FixedThreshold {
+	if warmup <= 0 {
+		warmup = 5
+	}
+	return &FixedThreshold{Pct: pct, Warmup: warmup}
+}
+
+// Name implements Detector.
+func (d *FixedThreshold) Name() string { return fmt.Sprintf("fixed+%d%%", int(d.Pct*100)) }
+
+// Observe implements Detector.
+func (d *FixedThreshold) Observe(runtime float64) bool {
+	if d.baseline.N() < d.Warmup {
+		d.baseline.Add(runtime)
+		return false
+	}
+	return runtime > d.baseline.Mean()*(1+d.Pct)
+}
+
+// Reset implements Detector.
+func (d *FixedThreshold) Reset() { d.baseline = stat.Welford{} }
+
+// Adaptive wraps a distribution-change detector: instead of a fixed
+// percentage, it tests whether recent runtimes come from a different
+// distribution than the reference window, so its sensitivity scales with
+// each workload's own variance.
+type Adaptive struct {
+	inner stat.ChangeDetector
+	label string
+}
+
+var _ Detector = (*Adaptive)(nil)
+
+// NewAdaptive returns the default adaptive detector: a windowed
+// Mann-Whitney test (reference 12 runs, recent 5, α = 0.002).
+func NewAdaptive() *Adaptive {
+	return &Adaptive{
+		inner: stat.NewWindowedMannWhitney(12, 5, 0.002),
+		label: "adaptive-mw",
+	}
+}
+
+// NewAdaptiveCUSUM returns an adaptive detector built on a two-sided
+// CUSUM chart (slack 0.75σ, threshold 6σ).
+func NewAdaptiveCUSUM() *Adaptive {
+	return &Adaptive{
+		inner: stat.NewCUSUM(0.75, 6, 8),
+		label: "adaptive-cusum",
+	}
+}
+
+// Name implements Detector.
+func (d *Adaptive) Name() string { return d.label }
+
+// Observe implements Detector.
+func (d *Adaptive) Observe(runtime float64) bool { return d.inner.Observe(runtime) }
+
+// Reset implements Detector.
+func (d *Adaptive) Reset() { d.inner.Reset() }
+
+// Outcome scores a detector on one runtime stream.
+type Outcome struct {
+	// Detected reports whether the detector ever fired.
+	Detected bool
+	// FireIndex is the first firing position (-1 if never).
+	FireIndex int
+	// Delay is FireIndex - changeAt when the stream drifts and the
+	// detector fired at or after the change (otherwise 0).
+	Delay int
+	// FalseAlarm marks firing before the change point (or at all, for
+	// no-change streams).
+	FalseAlarm bool
+}
+
+// Evaluate feeds a runtime stream to d and scores the result against the
+// known change point (changeAt < 0 means the stream never drifts).
+func Evaluate(d Detector, stream []float64, changeAt int) Outcome {
+	d.Reset()
+	out := Outcome{FireIndex: -1}
+	for i, v := range stream {
+		if d.Observe(v) {
+			out.Detected = true
+			out.FireIndex = i
+			break
+		}
+	}
+	if !out.Detected {
+		return out
+	}
+	if changeAt < 0 || out.FireIndex < changeAt {
+		out.FalseAlarm = true
+		return out
+	}
+	out.Delay = out.FireIndex - changeAt
+	return out
+}
+
+// Score aggregates outcomes across scenarios into the metrics the paper's
+// SLO discussion needs: detection rate on true drifts, false-alarm rate,
+// and mean detection delay.
+type Score struct {
+	Scenarios   int
+	Drifts      int
+	Detections  int
+	FalseAlarms int
+	MeanDelay   float64
+}
+
+// ScoreDetector evaluates d on each (stream, changeAt) scenario.
+func ScoreDetector(d Detector, streams [][]float64, changeAts []int) Score {
+	var s Score
+	var delaySum float64
+	for i, stream := range streams {
+		changeAt := -1
+		if i < len(changeAts) {
+			changeAt = changeAts[i]
+		}
+		out := Evaluate(d, stream, changeAt)
+		s.Scenarios++
+		if changeAt >= 0 {
+			s.Drifts++
+			if out.Detected && !out.FalseAlarm {
+				s.Detections++
+				delaySum += float64(out.Delay)
+			}
+		}
+		if out.FalseAlarm {
+			s.FalseAlarms++
+		}
+	}
+	if s.Detections > 0 {
+		s.MeanDelay = delaySum / float64(s.Detections)
+	}
+	return s
+}
+
+// DetectionRate returns detections / drifting scenarios (1 if none).
+func (s Score) DetectionRate() float64 {
+	if s.Drifts == 0 {
+		return 1
+	}
+	return float64(s.Detections) / float64(s.Drifts)
+}
+
+// FalseAlarmRate returns false alarms / all scenarios.
+func (s Score) FalseAlarmRate() float64 {
+	if s.Scenarios == 0 {
+		return 0
+	}
+	return float64(s.FalseAlarms) / float64(s.Scenarios)
+}

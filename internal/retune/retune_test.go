@@ -1,0 +1,136 @@
+package retune
+
+import (
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/stat"
+)
+
+// stream builds a runtime stream with mean m1 for n1 runs then m2 for n2,
+// with relative noise cv.
+func stream(seed int64, n1, n2 int, m1, m2, cv float64) []float64 {
+	r := stat.NewRNG(seed)
+	out := make([]float64, 0, n1+n2)
+	for i := 0; i < n1; i++ {
+		out = append(out, m1*(1+cv*r.NormFloat64()))
+	}
+	for i := 0; i < n2; i++ {
+		out = append(out, m2*(1+cv*r.NormFloat64()))
+	}
+	return out
+}
+
+func TestFixedThresholdFiresOnJump(t *testing.T) {
+	d := NewFixedThreshold(0.2, 5)
+	xs := stream(1, 20, 10, 100, 150, 0.02)
+	out := Evaluate(d, xs, 20)
+	if !out.Detected || out.FalseAlarm {
+		t.Errorf("outcome = %+v", out)
+	}
+	if out.Delay > 3 {
+		t.Errorf("delay = %d on a clean 50%% jump", out.Delay)
+	}
+}
+
+func TestFixedThresholdTooEagerOnNoisyWorkload(t *testing.T) {
+	// A workload with 25% runtime CV and NO drift: the fixed threshold
+	// false-alarms, the adaptive detector stays quiet. This is §V-D's
+	// core argument.
+	noisy := stream(2, 120, 0, 100, 100, 0.25)
+	fixed := Evaluate(NewFixedThreshold(0.2, 5), noisy, -1)
+	if !fixed.FalseAlarm {
+		t.Error("fixed threshold did not false-alarm on noisy stationary stream")
+	}
+	adaptive := Evaluate(NewAdaptive(), noisy, -1)
+	if adaptive.FalseAlarm {
+		t.Error("adaptive detector false-alarmed on noisy stationary stream")
+	}
+}
+
+func TestFixedThresholdTooLateOnQuietWorkload(t *testing.T) {
+	// A quiet workload (2% CV) degrading by 12%: below the fixed 20%
+	// threshold forever, but a clear distribution change.
+	quiet := stream(3, 30, 40, 100, 112, 0.02)
+	fixed := Evaluate(NewFixedThreshold(0.2, 5), quiet, 30)
+	if fixed.Detected {
+		t.Errorf("fixed threshold detected a 12%% drift it should miss: %+v", fixed)
+	}
+	adaptive := Evaluate(NewAdaptive(), quiet, 30)
+	if !adaptive.Detected || adaptive.FalseAlarm {
+		t.Errorf("adaptive missed the quiet drift: %+v", adaptive)
+	}
+}
+
+func TestAdaptiveCUSUMDetects(t *testing.T) {
+	xs := stream(4, 30, 30, 100, 140, 0.05)
+	out := Evaluate(NewAdaptiveCUSUM(), xs, 30)
+	if !out.Detected || out.FalseAlarm {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+func TestEvaluateResetsDetector(t *testing.T) {
+	d := NewAdaptive()
+	drift := stream(5, 20, 20, 100, 160, 0.05)
+	Evaluate(d, drift, 20)
+	// Second evaluation on a stationary stream must not inherit state.
+	calm := stream(6, 60, 0, 100, 100, 0.05)
+	out := Evaluate(d, calm, -1)
+	if out.Detected {
+		t.Errorf("state leaked across Evaluate: %+v", out)
+	}
+}
+
+func TestScoreDetector(t *testing.T) {
+	streams := [][]float64{
+		stream(7, 25, 25, 100, 150, 0.05), // drift at 25
+		stream(8, 60, 0, 100, 100, 0.05),  // no drift
+		stream(9, 25, 25, 100, 70, 0.05),  // improvement drift at 25
+	}
+	changeAts := []int{25, -1, 25}
+	s := ScoreDetector(NewAdaptive(), streams, changeAts)
+	if s.Scenarios != 3 || s.Drifts != 2 {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.DetectionRate() < 0.5 {
+		t.Errorf("detection rate = %v", s.DetectionRate())
+	}
+	if s.FalseAlarmRate() > 0.34 {
+		t.Errorf("false alarm rate = %v", s.FalseAlarmRate())
+	}
+	if s.Detections > 0 && s.MeanDelay < 0 {
+		t.Errorf("mean delay = %v", s.MeanDelay)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	s := ScoreDetector(NewAdaptive(), nil, nil)
+	if s.DetectionRate() != 1 || s.FalseAlarmRate() != 0 {
+		t.Errorf("empty score = %+v", s)
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	if got := NewFixedThreshold(0.2, 5).Name(); got != "fixed+20%" {
+		t.Errorf("name = %q", got)
+	}
+	if !strings.HasPrefix(NewAdaptive().Name(), "adaptive") {
+		t.Errorf("name = %q", NewAdaptive().Name())
+	}
+	if !strings.HasPrefix(NewAdaptiveCUSUM().Name(), "adaptive") {
+		t.Errorf("name = %q", NewAdaptiveCUSUM().Name())
+	}
+}
+
+func TestResetClearsFixedBaseline(t *testing.T) {
+	d := NewFixedThreshold(0.1, 3)
+	for _, v := range []float64{100, 100, 100, 200} {
+		d.Observe(v)
+	}
+	d.Reset()
+	// New baseline learns from scratch: first observations never fire.
+	if d.Observe(500) {
+		t.Error("fired during warmup after Reset")
+	}
+}

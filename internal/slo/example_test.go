@@ -1,0 +1,45 @@
+package slo_test
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/slo"
+)
+
+// ExampleLedger_RunsToAmortize answers the paper's §IV-C question: does a
+// tuning investment pay for itself before re-tuning is needed?
+func ExampleLedger_RunsToAmortize() {
+	ledger := slo.Ledger{
+		TuningCostUSD: 50,   // the provider's tuning bill
+		OldRunCostUSD: 2.00, // per production run before tuning
+		NewRunCostUSD: 0.75, // per production run after
+	}
+	n, err := ledger.RunsToAmortize()
+	if err != nil {
+		fmt.Println("never amortizes")
+		return
+	}
+	fmt.Printf("amortizes after %d runs; net after 90 runs: $%.2f\n", n, ledger.NetSavingAfter(90))
+	// Output:
+	// amortizes after 40 runs; net after 90 runs: $62.50
+}
+
+// ExampleParetoFrontier picks cluster choices for two different SLOs.
+func ExampleParetoFrontier() {
+	candidates := []slo.Point{
+		{Label: "2 small nodes", RuntimeS: 1800, CostUSD: 0.10},
+		{Label: "8 medium nodes", RuntimeS: 240, CostUSD: 0.22},
+		{Label: "16 big nodes", RuntimeS: 45, CostUSD: 0.55},
+		{Label: "8 big nodes (dominated)", RuntimeS: 300, CostUSD: 0.60},
+	}
+	frontier := slo.ParetoFrontier(candidates)
+	if p, ok := slo.PickForDeadline(frontier, 300); ok {
+		fmt.Println("within 5 minutes:", p.Label)
+	}
+	if p, ok := slo.PickForBudget(frontier, 0.15); ok {
+		fmt.Println("under $0.15/run: ", p.Label)
+	}
+	// Output:
+	// within 5 minutes: 8 medium nodes
+	// under $0.15/run:  2 small nodes
+}

@@ -1,0 +1,172 @@
+// Package slo implements the paper's fourth principle: augmenting
+// service-level objectives with metrics for tuning effectiveness (§IV-D,
+// §V-C). It provides the "within X% of optimal runtime" objective, the
+// candidate effectiveness metrics §V-C enumerates, tuning-cost
+// amortization accounting (§IV-C), and cost/runtime trade-off frontiers.
+package slo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Objective is a user-settable high-level goal. Zero fields are
+// unconstrained.
+type Objective struct {
+	// WithinPctOfOptimal requires best-found runtime within X% of the
+	// (estimated) optimum, e.g. 0.10 for 10%.
+	WithinPctOfOptimal float64
+	// DeadlineS caps acceptable runtime in seconds.
+	DeadlineS float64
+	// BudgetUSDPerRun caps acceptable per-run cost.
+	BudgetUSDPerRun float64
+}
+
+// Violations returns human-readable violations of the objective by an
+// achieved (runtime, cost) against a reference optimal runtime. A zero
+// reference disables the within-X% clause.
+func (o Objective) Violations(runtimeS, costUSD, optimalS float64) []string {
+	var out []string
+	if o.WithinPctOfOptimal > 0 && optimalS > 0 {
+		if gap := Effectiveness(runtimeS, optimalS); gap > o.WithinPctOfOptimal {
+			out = append(out, fmt.Sprintf("runtime %.1fs is %.0f%% above optimal %.1fs (allowed %.0f%%)",
+				runtimeS, gap*100, optimalS, o.WithinPctOfOptimal*100))
+		}
+	}
+	if o.DeadlineS > 0 && runtimeS > o.DeadlineS {
+		out = append(out, fmt.Sprintf("runtime %.1fs exceeds deadline %.1fs", runtimeS, o.DeadlineS))
+	}
+	if o.BudgetUSDPerRun > 0 && costUSD > o.BudgetUSDPerRun {
+		out = append(out, fmt.Sprintf("cost $%.4f exceeds budget $%.4f", costUSD, o.BudgetUSDPerRun))
+	}
+	return out
+}
+
+// Met reports whether the objective holds.
+func (o Objective) Met(runtimeS, costUSD, optimalS float64) bool {
+	return len(o.Violations(runtimeS, costUSD, optimalS)) == 0
+}
+
+// Effectiveness is the paper's headline tuning-efficiency metric: the
+// relative gap to the optimal runtime ((achieved-optimal)/optimal). §IV-D
+// concedes the true optimum is unknowable; callers substitute "the best
+// runtime of similar workloads ever run in the cloud".
+func Effectiveness(achievedS, optimalS float64) float64 {
+	if optimalS <= 0 {
+		return math.Inf(1)
+	}
+	g := (achievedS - optimalS) / optimalS
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// ImprovementOverDefault is the alternative metric §V-C discusses for
+// spaces that have a default configuration: the relative runtime saving
+// against it.
+func ImprovementOverDefault(achievedS, defaultS float64) float64 {
+	if defaultS <= 0 {
+		return 0
+	}
+	imp := (defaultS - achievedS) / defaultS
+	if imp < 0 {
+		return 0
+	}
+	return imp
+}
+
+// ---------------------------------------------------------------------------
+// Tuning-cost amortization (§IV-C)
+
+// Ledger tracks what tuning cost and what it saves, per workload.
+type Ledger struct {
+	// TuningCostUSD is the total cost of tuning executions.
+	TuningCostUSD float64
+	// OldRunCostUSD is the per-run cost before tuning.
+	OldRunCostUSD float64
+	// NewRunCostUSD is the per-run cost after tuning.
+	NewRunCostUSD float64
+}
+
+// ErrNeverAmortizes is returned when the tuned configuration is not
+// cheaper per run than the old one.
+var ErrNeverAmortizes = errors.New("slo: tuned configuration saves nothing per run")
+
+// RunsToAmortize returns how many production runs are needed before the
+// accumulated per-run savings repay the tuning bill — the quantity the
+// paper compares against the workload's actual run count before the next
+// re-tuning ("500 tuning runs vs 90 normal runs in 3 months").
+func (l Ledger) RunsToAmortize() (int, error) {
+	saving := l.OldRunCostUSD - l.NewRunCostUSD
+	if saving <= 0 {
+		return 0, ErrNeverAmortizes
+	}
+	return int(math.Ceil(l.TuningCostUSD / saving)), nil
+}
+
+// NetSavingAfter returns the net dollar position after n production runs
+// (negative while tuning is still being paid off).
+func (l Ledger) NetSavingAfter(n int) float64 {
+	return float64(n)*(l.OldRunCostUSD-l.NewRunCostUSD) - l.TuningCostUSD
+}
+
+// ---------------------------------------------------------------------------
+// Cost/runtime trade-off (§IV-D: "results quickly no matter the cost, or
+// wait a long time?")
+
+// Point is one configuration's achieved runtime and per-run cost.
+type Point struct {
+	Label    string
+	RuntimeS float64
+	CostUSD  float64
+}
+
+// ParetoFrontier returns the subset of points not dominated in both
+// runtime and cost, sorted by runtime ascending.
+func ParetoFrontier(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].RuntimeS != sorted[j].RuntimeS {
+			return sorted[i].RuntimeS < sorted[j].RuntimeS
+		}
+		return sorted[i].CostUSD < sorted[j].CostUSD
+	})
+	var out []Point
+	bestCost := math.Inf(1)
+	for _, p := range sorted {
+		if p.CostUSD < bestCost {
+			out = append(out, p)
+			bestCost = p.CostUSD
+		}
+	}
+	return out
+}
+
+// PickForDeadline returns the cheapest frontier point meeting the
+// deadline, or ok=false when none does.
+func PickForDeadline(frontier []Point, deadlineS float64) (Point, bool) {
+	best := Point{CostUSD: math.Inf(1)}
+	ok := false
+	for _, p := range frontier {
+		if p.RuntimeS <= deadlineS && p.CostUSD < best.CostUSD {
+			best, ok = p, true
+		}
+	}
+	return best, ok
+}
+
+// PickForBudget returns the fastest frontier point within the per-run
+// budget, or ok=false when none fits.
+func PickForBudget(frontier []Point, budgetUSD float64) (Point, bool) {
+	best := Point{RuntimeS: math.Inf(1)}
+	ok := false
+	for _, p := range frontier {
+		if p.CostUSD <= budgetUSD && p.RuntimeS < best.RuntimeS {
+			best, ok = p, true
+		}
+	}
+	return best, ok
+}

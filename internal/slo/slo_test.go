@@ -1,0 +1,120 @@
+package slo
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEffectiveness(t *testing.T) {
+	if got := Effectiveness(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Effectiveness = %v, want 0.1", got)
+	}
+	if got := Effectiveness(90, 100); got != 0 {
+		t.Errorf("better-than-optimal clamps to 0, got %v", got)
+	}
+	if got := Effectiveness(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("unknown optimum = %v, want +Inf", got)
+	}
+}
+
+func TestImprovementOverDefault(t *testing.T) {
+	if got := ImprovementOverDefault(20, 100); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("improvement = %v, want 0.8", got)
+	}
+	if got := ImprovementOverDefault(120, 100); got != 0 {
+		t.Errorf("regression clamps to 0, got %v", got)
+	}
+	if got := ImprovementOverDefault(10, 0); got != 0 {
+		t.Errorf("no default = %v, want 0", got)
+	}
+}
+
+func TestObjectiveViolations(t *testing.T) {
+	o := Objective{WithinPctOfOptimal: 0.10, DeadlineS: 200, BudgetUSDPerRun: 1}
+	// All good.
+	if v := o.Violations(105, 0.5, 100); len(v) != 0 {
+		t.Errorf("violations = %v", v)
+	}
+	if !o.Met(105, 0.5, 100) {
+		t.Error("Met = false for compliant run")
+	}
+	// All three violated.
+	v := o.Violations(250, 2, 100)
+	if len(v) != 3 {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(v[0], "above optimal") {
+		t.Errorf("first violation = %q", v[0])
+	}
+	// Unknown optimum disables the within-X% clause.
+	if v := o.Violations(250, 0.5, 0); len(v) != 1 {
+		t.Errorf("violations without optimum = %v", v)
+	}
+}
+
+func TestLedgerAmortization(t *testing.T) {
+	l := Ledger{TuningCostUSD: 100, OldRunCostUSD: 5, NewRunCostUSD: 3}
+	n, err := l.RunsToAmortize()
+	if err != nil || n != 50 {
+		t.Errorf("RunsToAmortize = %d, %v; want 50", n, err)
+	}
+	if got := l.NetSavingAfter(50); got != 0 {
+		t.Errorf("NetSavingAfter(50) = %v, want 0", got)
+	}
+	if got := l.NetSavingAfter(60); got != 20 {
+		t.Errorf("NetSavingAfter(60) = %v, want 20", got)
+	}
+	bad := Ledger{TuningCostUSD: 100, OldRunCostUSD: 3, NewRunCostUSD: 5}
+	if _, err := bad.RunsToAmortize(); !errors.Is(err, ErrNeverAmortizes) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	points := []Point{
+		{"slow-cheap", 100, 1},
+		{"fast-pricey", 10, 10},
+		{"dominated", 100, 5},  // worse cost than slow-cheap at same runtime
+		{"dominated2", 50, 12}, // slower and pricier than fast-pricey
+		{"mid", 50, 4},
+	}
+	f := ParetoFrontier(points)
+	if len(f) != 3 {
+		t.Fatalf("frontier = %+v", f)
+	}
+	// Sorted by runtime ascending with strictly decreasing cost.
+	for i := 1; i < len(f); i++ {
+		if f[i].RuntimeS < f[i-1].RuntimeS || f[i].CostUSD >= f[i-1].CostUSD {
+			t.Fatalf("frontier not monotone: %+v", f)
+		}
+	}
+	for _, p := range f {
+		if strings.HasPrefix(p.Label, "dominated") {
+			t.Errorf("dominated point %q on frontier", p.Label)
+		}
+	}
+}
+
+func TestPickForDeadline(t *testing.T) {
+	f := ParetoFrontier([]Point{{"a", 100, 1}, {"b", 50, 4}, {"c", 10, 10}})
+	p, ok := PickForDeadline(f, 60)
+	if !ok || p.Label != "b" {
+		t.Errorf("PickForDeadline = %+v, %v", p, ok)
+	}
+	if _, ok := PickForDeadline(f, 5); ok {
+		t.Error("impossible deadline satisfied")
+	}
+}
+
+func TestPickForBudget(t *testing.T) {
+	f := ParetoFrontier([]Point{{"a", 100, 1}, {"b", 50, 4}, {"c", 10, 10}})
+	p, ok := PickForBudget(f, 5)
+	if !ok || p.Label != "b" {
+		t.Errorf("PickForBudget = %+v, %v", p, ok)
+	}
+	if _, ok := PickForBudget(f, 0.5); ok {
+		t.Error("impossible budget satisfied")
+	}
+}

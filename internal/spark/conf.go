@@ -1,0 +1,249 @@
+// Package spark implements a discrete-event simulator of a Spark-like
+// DISC system, faithful to the architecture of Fig. 2 in the paper: a
+// driver turns a job's RDD lineage into a DAG of stages, each stage into a
+// set of tasks over partitions, and tasks are scheduled onto executor
+// slots spread across a provisioned cluster.
+//
+// The simulator's purpose is to expose a realistic configuration→runtime
+// response surface, with the mechanisms that make real Spark tuning hard:
+// executor sizing versus instance shapes (bin packing), a unified memory
+// manager with spill and OOM cliffs, sort-based shuffle with compression
+// trade-offs, GC pressure, data skew, stragglers and speculative
+// execution, locality wait, per-task scheduling overhead, and co-location
+// interference. Misconfigurations degrade runtime by one to two orders of
+// magnitude or crash outright — matching the 12×/89× observations the
+// paper cites.
+package spark
+
+import (
+	"seamlesstune/internal/confspace"
+)
+
+// Codec identifies a shuffle/RDD compression codec.
+type Codec int
+
+// Supported codecs. Ratios and CPU costs follow their real-world ordering:
+// snappy fastest/lightest, zstd smallest/most CPU.
+const (
+	LZ4 Codec = iota
+	LZF
+	Snappy
+	Zstd
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case LZ4:
+		return confspace.CodecLZ4
+	case LZF:
+		return confspace.CodecLZF
+	case Snappy:
+		return confspace.CodecSnappy
+	case Zstd:
+		return confspace.CodecZstd
+	default:
+		return "unknown"
+	}
+}
+
+// Serializer identifies the object serializer.
+type Serializer int
+
+// Supported serializers: Java (default, slow) and Kryo (fast, needs a
+// large-enough buffer).
+const (
+	JavaSerializer Serializer = iota
+	KryoSerializer
+)
+
+// String implements fmt.Stringer.
+func (s Serializer) String() string {
+	if s == KryoSerializer {
+		return confspace.SerializerKryo
+	}
+	return confspace.SerializerJava
+}
+
+// Conf is the typed Spark configuration consumed by the simulator —
+// the decoded form of the 41-parameter confspace.SparkSpace.
+type Conf struct {
+	ExecutorInstances    int
+	ExecutorCores        int
+	ExecutorMemoryMB     int
+	MemoryOverheadFactor float64
+	DriverMemoryMB       int
+	DriverCores          int
+	DefaultParallelism   int
+	ShufflePartitions    int
+	MemoryFraction       float64
+	StorageFraction      float64
+
+	ShuffleCompress      bool
+	ShuffleSpillCompress bool
+	RDDCompress          bool
+	BroadcastCompress    bool
+	Codec                Codec
+	CompressionBlockKB   int
+
+	Serializer      Serializer
+	KryoBufferMaxMB int
+
+	ReducerMaxInFlightMB int
+	ShuffleFileBufferKB  int
+	ShuffleBypassMerge   int
+	ShuffleConnsPerPeer  int
+	ShuffleService       bool
+
+	LocalityWaitS         float64
+	Speculation           bool
+	SpeculationMultiplier float64
+	SpeculationQuantile   float64
+
+	TaskCPUs        int
+	TaskMaxFailures int
+	SchedulerFair   bool
+
+	BroadcastBlockMB     int
+	NetworkTimeoutS      int
+	HeartbeatIntervalS   int
+	MemoryMapThresholdMB int
+
+	DynAllocEnabled      bool
+	DynAllocMaxExecutors int
+
+	MaxPartitionBytesMB int
+
+	OffHeapEnabled bool
+	OffHeapSizeMB  int
+
+	PeriodicGCIntervalMin int
+	GCThreads             int
+}
+
+// DefaultConf returns the simulator's view of Spark's documented defaults.
+func DefaultConf() Conf {
+	return FromConfig(confspace.SparkSpace(), confspace.SparkSpace().Default())
+}
+
+// FromConfig decodes a confspace configuration drawn from (a subspace of)
+// the Spark space into a typed Conf. Parameters absent from cfg keep the
+// full space's defaults, so tuners may search low-dimensional subspaces.
+func FromConfig(s *confspace.Space, cfg confspace.Config) Conf {
+	full := confspace.SparkSpace()
+	merged := full.Default()
+	for k, v := range cfg {
+		if _, err := full.Param(k); err == nil {
+			merged[k] = v
+		}
+	}
+	codec := LZ4
+	switch full.ChoiceValue(merged, confspace.ParamCompressionCodec) {
+	case confspace.CodecLZF:
+		codec = LZF
+	case confspace.CodecSnappy:
+		codec = Snappy
+	case confspace.CodecZstd:
+		codec = Zstd
+	}
+	ser := JavaSerializer
+	if full.ChoiceValue(merged, confspace.ParamSerializer) == confspace.SerializerKryo {
+		ser = KryoSerializer
+	}
+	return Conf{
+		ExecutorInstances:    merged.Int(confspace.ParamExecutorInstances),
+		ExecutorCores:        merged.Int(confspace.ParamExecutorCores),
+		ExecutorMemoryMB:     merged.Int(confspace.ParamExecutorMemoryMB),
+		MemoryOverheadFactor: merged.Float(confspace.ParamMemoryOverheadFactor),
+		DriverMemoryMB:       merged.Int(confspace.ParamDriverMemoryMB),
+		DriverCores:          merged.Int(confspace.ParamDriverCores),
+		DefaultParallelism:   merged.Int(confspace.ParamDefaultParallelism),
+		ShufflePartitions:    merged.Int(confspace.ParamShufflePartitions),
+		MemoryFraction:       merged.Float(confspace.ParamMemoryFraction),
+		StorageFraction:      merged.Float(confspace.ParamStorageFraction),
+
+		ShuffleCompress:      merged.Bool(confspace.ParamShuffleCompress),
+		ShuffleSpillCompress: merged.Bool(confspace.ParamShuffleSpillCompress),
+		RDDCompress:          merged.Bool(confspace.ParamRDDCompress),
+		BroadcastCompress:    merged.Bool(confspace.ParamBroadcastCompress),
+		Codec:                codec,
+		CompressionBlockKB:   merged.Int(confspace.ParamCompressionBlockKB),
+
+		Serializer:      ser,
+		KryoBufferMaxMB: merged.Int(confspace.ParamKryoBufferMaxMB),
+
+		ReducerMaxInFlightMB: merged.Int(confspace.ParamReducerMaxInFlightMB),
+		ShuffleFileBufferKB:  merged.Int(confspace.ParamShuffleFileBufferKB),
+		ShuffleBypassMerge:   merged.Int(confspace.ParamShuffleBypassMerge),
+		ShuffleConnsPerPeer:  merged.Int(confspace.ParamShuffleConnsPerPeer),
+		ShuffleService:       merged.Bool(confspace.ParamShuffleServiceEnabled),
+
+		LocalityWaitS:         merged.Float(confspace.ParamLocalityWait),
+		Speculation:           merged.Bool(confspace.ParamSpeculation),
+		SpeculationMultiplier: merged.Float(confspace.ParamSpeculationMultiplier),
+		SpeculationQuantile:   merged.Float(confspace.ParamSpeculationQuantile),
+
+		TaskCPUs:        merged.Int(confspace.ParamTaskCPUs),
+		TaskMaxFailures: merged.Int(confspace.ParamTaskMaxFailures),
+		SchedulerFair:   full.ChoiceValue(merged, confspace.ParamSchedulerMode) == "FAIR",
+
+		BroadcastBlockMB:     merged.Int(confspace.ParamBroadcastBlockMB),
+		NetworkTimeoutS:      merged.Int(confspace.ParamNetworkTimeout),
+		HeartbeatIntervalS:   merged.Int(confspace.ParamHeartbeatInterval),
+		MemoryMapThresholdMB: merged.Int(confspace.ParamMemoryMapThresholdMB),
+
+		DynAllocEnabled:      merged.Bool(confspace.ParamDynAllocEnabled),
+		DynAllocMaxExecutors: merged.Int(confspace.ParamDynAllocMaxExecutors),
+
+		MaxPartitionBytesMB: merged.Int(confspace.ParamMaxPartitionBytesMB),
+
+		OffHeapEnabled: merged.Bool(confspace.ParamOffHeapEnabled),
+		OffHeapSizeMB:  merged.Int(confspace.ParamOffHeapSizeMB),
+
+		PeriodicGCIntervalMin: merged.Int(confspace.ParamPeriodicGCIntervalMin),
+		GCThreads:             merged.Int(confspace.ParamGCThreads),
+	}
+}
+
+// minOverheadMB is the resource-manager floor on executor memory overhead
+// (YARN uses 384 MB).
+const minOverheadMB = 384
+
+// OverheadMB returns the executor's memory-overhead region: the configured
+// factor of the heap, floored at the resource manager's minimum.
+func (c Conf) OverheadMB() float64 {
+	m := float64(c.ExecutorMemoryMB) * c.MemoryOverheadFactor
+	if m < minOverheadMB {
+		m = minOverheadMB
+	}
+	return m
+}
+
+// ContainerMemoryMB returns the total memory footprint of one executor
+// container: heap plus overhead plus any off-heap region. This is what the
+// resource manager bin-packs onto nodes.
+func (c Conf) ContainerMemoryMB() int {
+	m := float64(c.ExecutorMemoryMB) + c.OverheadMB()
+	if c.OffHeapEnabled {
+		m += float64(c.OffHeapSizeMB)
+	}
+	return int(m)
+}
+
+// SlotsPerExecutor returns the number of concurrent tasks one executor
+// runs (cores / task.cpus, at least zero).
+func (c Conf) SlotsPerExecutor() int {
+	if c.TaskCPUs <= 0 {
+		return 0
+	}
+	return c.ExecutorCores / c.TaskCPUs
+}
+
+// RequestedExecutors returns the executor count the application asks for,
+// honouring dynamic allocation.
+func (c Conf) RequestedExecutors() int {
+	if c.DynAllocEnabled {
+		return c.DynAllocMaxExecutors
+	}
+	return c.ExecutorInstances
+}

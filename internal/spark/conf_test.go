@@ -1,0 +1,104 @@
+package spark
+
+import (
+	"testing"
+
+	"seamlesstune/internal/confspace"
+)
+
+func TestDefaultConf(t *testing.T) {
+	c := DefaultConf()
+	if c.ExecutorMemoryMB != 1024 || c.ExecutorCores != 1 || c.ExecutorInstances != 2 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if c.Codec != LZ4 || c.Serializer != JavaSerializer {
+		t.Errorf("default codec/serializer wrong: %v/%v", c.Codec, c.Serializer)
+	}
+	if !c.ShuffleCompress || c.RDDCompress {
+		t.Error("default compression flags wrong")
+	}
+	if c.MemoryFraction != 0.6 || c.StorageFraction != 0.5 {
+		t.Errorf("default memory fractions wrong: %v/%v", c.MemoryFraction, c.StorageFraction)
+	}
+}
+
+func TestFromConfigDecodesChoices(t *testing.T) {
+	s := confspace.SparkSpace()
+	cfg := s.Default()
+	cfg[confspace.ParamCompressionCodec] = 3 // zstd
+	cfg[confspace.ParamSerializer] = 1       // kryo
+	cfg[confspace.ParamSchedulerMode] = 1    // FAIR
+	c := FromConfig(s, cfg)
+	if c.Codec != Zstd {
+		t.Errorf("codec = %v, want zstd", c.Codec)
+	}
+	if c.Serializer != KryoSerializer {
+		t.Errorf("serializer = %v, want kryo", c.Serializer)
+	}
+	if !c.SchedulerFair {
+		t.Error("scheduler mode not decoded")
+	}
+}
+
+func TestFromConfigSubspaceKeepsDefaults(t *testing.T) {
+	// A 4-parameter subspace must still produce a complete Conf.
+	sub := confspace.SparkSubspace(4)
+	cfg := sub.Default()
+	cfg[confspace.ParamExecutorCores] = 8
+	c := FromConfig(sub, cfg)
+	if c.ExecutorCores != 8 {
+		t.Errorf("tuned param lost: cores = %d", c.ExecutorCores)
+	}
+	if c.ShufflePartitions != 200 {
+		t.Errorf("untuned param should default: shuffle partitions = %d", c.ShufflePartitions)
+	}
+}
+
+func TestContainerMemoryMB(t *testing.T) {
+	// Small heap: the 384 MB overhead floor applies.
+	c := Conf{ExecutorMemoryMB: 1000, MemoryOverheadFactor: 0.1}
+	if got := c.ContainerMemoryMB(); got != 1384 {
+		t.Errorf("ContainerMemoryMB = %d, want 1384", got)
+	}
+	c.OffHeapEnabled = true
+	c.OffHeapSizeMB = 500
+	if got := c.ContainerMemoryMB(); got != 1884 {
+		t.Errorf("with offheap = %d, want 1884", got)
+	}
+	// Large heap: the factor dominates the floor.
+	c = Conf{ExecutorMemoryMB: 10000, MemoryOverheadFactor: 0.1}
+	if got := c.OverheadMB(); got != 1000 {
+		t.Errorf("OverheadMB = %v, want 1000", got)
+	}
+}
+
+func TestSlotsPerExecutor(t *testing.T) {
+	c := Conf{ExecutorCores: 4, TaskCPUs: 2}
+	if got := c.SlotsPerExecutor(); got != 2 {
+		t.Errorf("SlotsPerExecutor = %d, want 2", got)
+	}
+	c.TaskCPUs = 0
+	if got := c.SlotsPerExecutor(); got != 0 {
+		t.Errorf("zero task cpus should yield 0 slots, got %d", got)
+	}
+}
+
+func TestRequestedExecutors(t *testing.T) {
+	c := Conf{ExecutorInstances: 4, DynAllocMaxExecutors: 32}
+	if got := c.RequestedExecutors(); got != 4 {
+		t.Errorf("static = %d, want 4", got)
+	}
+	c.DynAllocEnabled = true
+	if got := c.RequestedExecutors(); got != 32 {
+		t.Errorf("dynamic = %d, want 32", got)
+	}
+}
+
+func TestCodecSerializerStrings(t *testing.T) {
+	if LZ4.String() != "lz4" || Zstd.String() != "zstd" || Codec(99).String() != "unknown" {
+		t.Error("Codec.String wrong")
+	}
+	if JavaSerializer.String() != "java" || KryoSerializer.String() != "kryo" {
+		t.Error("Serializer.String wrong")
+	}
+}

@@ -1,0 +1,56 @@
+package spark_test
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/workload"
+)
+
+// ExampleRun executes a Wordcount job on a simulated four-node cluster.
+func ExampleRun() {
+	instance, err := cloud.DefaultCatalog().Lookup("nimbus/g5.2xlarge")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cluster := cloud.ClusterSpec{Instance: instance, Count: 4}
+
+	// A configuration sized to the cluster: 8 executors of 4 cores.
+	space := confspace.SparkSpace()
+	cfg := space.Default()
+	cfg[confspace.ParamExecutorInstances] = 8
+	cfg[confspace.ParamExecutorCores] = 4
+	cfg[confspace.ParamExecutorMemoryMB] = 8192
+	cfg[confspace.ParamDriverMemoryMB] = 4096
+	cfg[confspace.ParamDefaultParallelism] = 64
+
+	job := workload.Wordcount{}.Job(4 << 30) // 4 GB of text
+	res := spark.Run(job, spark.FromConfig(space, cfg), cluster, cloud.Unit(), stat.NewRNG(1))
+
+	fmt.Printf("failed=%v stages=%d executors=%d ranUnderAMinute=%v\n",
+		res.Failed, len(res.Stages), res.Executors, res.RuntimeS < 60)
+	// Output:
+	// failed=false stages=2 executors=8 ranUnderAMinute=true
+}
+
+// ExampleRun_crash shows a misconfiguration surfacing the way it does in
+// production: as a failed run, not an error.
+func ExampleRun_crash() {
+	instance, _ := cloud.DefaultCatalog().Lookup("nimbus/g5.large")
+	cluster := cloud.ClusterSpec{Instance: instance, Count: 2}
+
+	space := confspace.SparkSpace()
+	cfg := space.Default()
+	// A 32 GB executor heap cannot fit on an 8 GB node.
+	cfg[confspace.ParamExecutorMemoryMB] = 32768
+
+	job := workload.Wordcount{}.Job(1 << 30)
+	res := spark.Run(job, spark.FromConfig(space, cfg), cluster, cloud.Unit(), stat.NewRNG(1))
+	fmt.Printf("failed=%v reason=%q\n", res.Failed, res.Reason)
+	// Output:
+	// failed=true reason="cannot allocate any executor on the cluster"
+}

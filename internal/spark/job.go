@@ -1,0 +1,182 @@
+package spark
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PartitionSource selects how a stage's task count is derived, mirroring
+// Spark: input stages follow the input-split size, RDD-level shuffles
+// follow spark.default.parallelism, and SQL/aggregation shuffles follow
+// spark.sql.shuffle.partitions.
+type PartitionSource int
+
+// Partition sources.
+const (
+	FromInputSplits PartitionSource = iota
+	FromParallelism
+	FromShufflePartitions
+)
+
+// Stage describes one stage of a job's physical plan (one node of the DAG
+// of Fig. 2). All data volumes are pre-resolved by the workload builder.
+type Stage struct {
+	ID   int
+	Name string
+
+	// Deps lists parent stage IDs whose shuffle output this stage reads.
+	Deps []int
+
+	// Partitions selects the task-count rule.
+	Partitions PartitionSource
+
+	// InputBytes is external input read by this stage (input stages only).
+	InputBytes int64
+	// Records processed by the stage in total.
+	Records int64
+
+	// ComputePerRecord is CPU seconds per record on a baseline core.
+	ComputePerRecord float64
+	// MemPerRecordBytes is working memory per record held during the task
+	// (hash/aggregation structures); drives spill.
+	MemPerRecordBytes float64
+	// HardMemMB is the non-spillable per-task memory floor; a task whose
+	// execution-memory share is below this OOMs.
+	HardMemMB float64
+	// MaxRecordMB bounds the largest serialized record; Kryo needs a
+	// buffer at least this large.
+	MaxRecordMB float64
+
+	// ShuffleWriteBytes is the uncompressed shuffle output of the stage.
+	ShuffleWriteBytes int64
+
+	// SkewAlpha shapes partition-size skew (Pareto tail index). 0 means
+	// uniform partitions; smaller positive values mean heavier skew.
+	SkewAlpha float64
+
+	// CacheOutput marks the stage's RDD to be cached for later stages.
+	CacheOutput bool
+	// CacheBytes is the in-memory size of the cached RDD (uncompressed).
+	CacheBytes int64
+	// ReadsCachedFrom is the stage ID of a cached RDD consumed by this
+	// stage, or -1. A cache miss forces recomputation.
+	ReadsCachedFrom int
+	// RecomputePerRecord is CPU seconds per record to regenerate a missing
+	// cached partition from lineage.
+	RecomputePerRecord float64
+
+	// BroadcastMB is broadcast data shipped to every executor at stage
+	// start (e.g. a model or dimension table).
+	BroadcastMB float64
+
+	// CollectMB is the result volume returned to the driver at stage end.
+	CollectMB float64
+}
+
+// Job is a physical execution plan: stages in topological order, plus
+// driver-side requirements.
+type Job struct {
+	Name string
+	// Workload identifies the workload type that built this job
+	// (for history records; e.g. "pagerank").
+	Workload string
+	// InputBytes is the job's total external input (for reporting).
+	InputBytes int64
+	Stages     []Stage
+	// DriverNeedMB is the driver heap needed for bookkeeping plus
+	// collected results; exceeding driver memory fails the job.
+	DriverNeedMB float64
+}
+
+// ErrBadJob reports a malformed physical plan.
+var ErrBadJob = errors.New("spark: malformed job")
+
+// Validate checks the DAG: IDs match positions, dependencies point
+// backwards (topological order), cache references are declared.
+func (j *Job) Validate() error {
+	if len(j.Stages) == 0 {
+		return fmt.Errorf("%w: no stages", ErrBadJob)
+	}
+	cached := make(map[int]bool)
+	for i, s := range j.Stages {
+		if s.ID != i {
+			return fmt.Errorf("%w: stage %d has ID %d", ErrBadJob, i, s.ID)
+		}
+		for _, d := range s.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("%w: stage %d depends on %d (not topological)", ErrBadJob, i, d)
+			}
+		}
+		if s.ReadsCachedFrom >= 0 {
+			if !cached[s.ReadsCachedFrom] {
+				return fmt.Errorf("%w: stage %d reads cache of %d which is not cached", ErrBadJob, i, s.ReadsCachedFrom)
+			}
+		}
+		if s.Records < 0 || s.InputBytes < 0 || s.ShuffleWriteBytes < 0 {
+			return fmt.Errorf("%w: stage %d has negative volumes", ErrBadJob, i)
+		}
+		if s.CacheOutput {
+			cached[s.ID] = true
+		}
+	}
+	return nil
+}
+
+// TotalShuffleBytes sums uncompressed shuffle output across stages.
+func (j *Job) TotalShuffleBytes() int64 {
+	var sum int64
+	for _, s := range j.Stages {
+		sum += s.ShuffleWriteBytes
+	}
+	return sum
+}
+
+// StageMetrics reports what one stage did during a run.
+type StageMetrics struct {
+	ID           int
+	Name         string
+	Tasks        int
+	DurationS    float64
+	InputBytes   int64 // external input read by the stage
+	ShuffleRead  int64 // compressed bytes fetched over the network
+	ShuffleWrite int64 // compressed bytes written by the map side
+	SpillBytes   int64
+	GCSeconds    float64
+	CacheHitFrac float64 // fraction of cached input served from memory
+	FailedTasks  int
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	// RuntimeS is the job makespan in simulated seconds. For failed runs
+	// it covers the time spent before the failure.
+	RuntimeS float64
+	// CostUSD is the cluster rental cost of the run.
+	CostUSD float64
+	// Failed marks runs that crashed (OOM, allocation failure, ...).
+	Failed bool
+	Reason string
+	Stages []StageMetrics
+
+	// Aggregates across stages.
+	TotalSpillBytes   int64
+	TotalShuffleRead  int64
+	TotalShuffleWrite int64
+	TotalGCSeconds    float64
+	// Executors actually launched after bin-packing onto the cluster.
+	Executors int
+	// SlotsTotal is the cluster-wide concurrent task capacity.
+	SlotsTotal int
+	// ExecutorsLost counts executor failures injected during the run
+	// (RunOpts.ExecutorMTBFHours).
+	ExecutorsLost int
+}
+
+// String summarizes the result on one line.
+func (r Result) String() string {
+	if r.Failed {
+		return fmt.Sprintf("FAILED after %.1fs: %s", r.RuntimeS, r.Reason)
+	}
+	return fmt.Sprintf("ok runtime=%.1fs cost=$%.4f execs=%d spill=%dMB gc=%.1fs",
+		r.RuntimeS, r.CostUSD, r.Executors, r.TotalSpillBytes>>20, r.TotalGCSeconds)
+}

@@ -1,0 +1,161 @@
+package spark
+
+import (
+	"container/heap"
+	"math"
+)
+
+// codecProfile captures a compression codec's behaviour: the compressed
+// size ratio and the CPU cost (seconds per uncompressed MB on a baseline
+// core) for compress and decompress.
+type codecProfile struct {
+	ratio      float64
+	compressS  float64
+	decompress float64
+}
+
+// codecTable orders codecs by their real-world trade-off: snappy is the
+// fastest with the weakest ratio; zstd compresses hardest at the highest
+// CPU cost.
+func codecTable(c Codec) codecProfile {
+	switch c {
+	case LZF:
+		return codecProfile{ratio: 0.52, compressS: 0.0075, decompress: 0.0028}
+	case Snappy:
+		return codecProfile{ratio: 0.55, compressS: 0.0050, decompress: 0.0018}
+	case Zstd:
+		return codecProfile{ratio: 0.38, compressS: 0.0160, decompress: 0.0045}
+	default: // LZ4
+		return codecProfile{ratio: 0.50, compressS: 0.0060, decompress: 0.0020}
+	}
+}
+
+// blockSizeFactor adjusts codec efficiency for the configured block size:
+// small blocks compress worse and cost slightly more CPU per byte. The
+// effect is mild (a real second-order knob).
+func blockSizeFactor(blockKB int) (ratioMul, cpuMul float64) {
+	if blockKB <= 0 {
+		blockKB = 32
+	}
+	// 16 KB: ratio ×1.08, cpu ×1.10; 128 KB: ratio ×0.97, cpu ×0.97.
+	f := math.Log2(float64(blockKB) / 32.0) // -1 .. +2
+	return 1 - 0.035*f, 1 - 0.04*f
+}
+
+// serializerProfile returns CPU seconds per MB serialized/deserialized on
+// a baseline core. Java serialization also inflates the byte volume.
+func serializerProfile(s Serializer) (cpuPerMB, sizeMul float64) {
+	if s == KryoSerializer {
+		return 0.0045, 1.0
+	}
+	return 0.0105, 1.35
+}
+
+// gcFraction models JVM garbage-collection overhead as a fraction of
+// compute time. It grows quadratically once heap utilization passes ~55%,
+// scales with the number of mutator threads per heap and with absolute
+// heap size (bigger heaps mean longer pauses), and is relieved by
+// parallel GC threads.
+func gcFraction(heapUtil, heapMB float64, concurrentTasks, gcThreads int) float64 {
+	if heapUtil < 0 {
+		heapUtil = 0
+	}
+	if heapUtil > 1.5 {
+		heapUtil = 1.5
+	}
+	relief := 6.0 / (4.0 + float64(maxInt(gcThreads, 1)))
+	// Pause-time term: scanning a big heap costs even at low utilization —
+	// the documented reason Spark guides recommend moderate executor heaps.
+	base := 0.015 + 0.022*math.Sqrt(math.Max(heapMB, 512)/1024)*relief
+	pressure := math.Max(0, heapUtil-0.55)
+	mutators := math.Sqrt(float64(maxInt(concurrentTasks, 1)) / 2.0)
+	f := base + 0.9*pressure*pressure*mutators*relief
+	if f > 0.9 {
+		f = 0.9
+	}
+	return f
+}
+
+// inFlightFactor converts the reducer fetch knobs into a multiplier on
+// effective fetch bandwidth: starved in-flight windows halve throughput,
+// generous windows and extra connections add a little.
+func inFlightFactor(maxInFlightMB, connsPerPeer int) float64 {
+	if maxInFlightMB <= 0 {
+		maxInFlightMB = 48
+	}
+	window := float64(maxInFlightMB) * math.Sqrt(float64(maxInt(connsPerPeer, 1)))
+	f := 0.55 + 0.45*math.Min(1, window/48.0)
+	if window > 96 {
+		f += 0.05
+	}
+	return f
+}
+
+// fileBufferFactor converts the shuffle file buffer size into a disk-write
+// efficiency multiplier: tiny buffers cause more syscalls/seeks.
+func fileBufferFactor(bufferKB int) float64 {
+	if bufferKB <= 0 {
+		bufferKB = 32
+	}
+	return 0.80 + 0.20*math.Min(1, float64(bufferKB)/64.0)
+}
+
+// slotHeap is a min-heap of executor-slot free times for list scheduling.
+type slotHeap []float64
+
+func (h slotHeap) Len() int            { return len(h) }
+func (h slotHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// listSchedule assigns task durations to slots greedily (earliest-free
+// slot first) and returns the makespan. This is exactly how a stage's
+// task set drains through a fixed pool of executor slots.
+func listSchedule(durations []float64, slots int) float64 {
+	if len(durations) == 0 {
+		return 0
+	}
+	if slots <= 0 {
+		return math.Inf(1)
+	}
+	if slots > len(durations) {
+		slots = len(durations)
+	}
+	h := make(slotHeap, slots)
+	heap.Init(&h)
+	for _, d := range durations {
+		free := h[0]
+		h[0] = free + d
+		heap.Fix(&h, 0)
+	}
+	makespan := 0.0
+	for _, t := range h {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	return makespan
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+const mb = float64(1 << 20)

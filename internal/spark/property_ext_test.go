@@ -1,0 +1,86 @@
+package spark_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/workload"
+)
+
+// Property: any random configuration on any workload yields a finite,
+// positive runtime and non-negative cost — success or failure alike.
+func TestRunAlwaysWellFormedProperty(t *testing.T) {
+	space := confspace.SparkSpace()
+	cluster := func() cloud.ClusterSpec {
+		it, _ := cloud.DefaultCatalog().Lookup("nimbus/g5.2xlarge")
+		return cloud.ClusterSpec{Instance: it, Count: 4}
+	}()
+	workloads := workload.All()
+	f := func(seed int64) bool {
+		rng := stat.NewRNG(seed)
+		cfg := space.Random(rng)
+		w := workloads[rng.Intn(len(workloads))]
+		res := spark.Run(w.Job(2<<30), spark.FromConfig(space, cfg), cluster, cloud.Unit(), rng)
+		if math.IsNaN(res.RuntimeS) || math.IsInf(res.RuntimeS, 0) || res.RuntimeS <= 0 {
+			return false
+		}
+		if res.CostUSD < 0 || math.IsNaN(res.CostUSD) {
+			return false
+		}
+		if !res.Failed && res.Executors <= 0 {
+			return false
+		}
+		for _, sm := range res.Stages {
+			if sm.DurationS < 0 || math.IsNaN(sm.DurationS) {
+				return false
+			}
+			if sm.CacheHitFrac < 0 || sm.CacheHitFrac > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ablating mechanisms never makes a successful run slower —
+// each ablation removes a cost.
+func TestAblationsOnlyRemoveCostProperty(t *testing.T) {
+	space := confspace.SparkSpace()
+	it, _ := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+	job := workload.PageRank{Iterations: 3}.Job(4 << 30)
+	f := func(seed int64) bool {
+		rng := stat.NewRNG(seed)
+		cfg := space.Random(rng)
+		conf := spark.FromConfig(space, cfg)
+		base := spark.RunWith(job, conf, cluster, cloud.Unit(), spark.RunOpts{Ablate: spark.Ablate{NoNoise: true}}, stat.NewRNG(seed))
+		if base.Failed {
+			return true // crash regions are exempt: ablations don't fix OOMs
+		}
+		for _, ab := range []spark.Ablate{
+			{NoNoise: true, NoGC: true},
+			{NoNoise: true, NoSpill: true},
+			{NoNoise: true, NoCacheLimit: true},
+		} {
+			res := spark.RunWith(job, conf, cluster, cloud.Unit(), spark.RunOpts{Ablate: ab}, stat.NewRNG(seed))
+			if res.Failed {
+				continue
+			}
+			if res.RuntimeS > base.RuntimeS*1.01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

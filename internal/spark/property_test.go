@@ -1,0 +1,107 @@
+package spark
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"seamlesstune/internal/stat"
+)
+
+// Property: list scheduling satisfies the classical bounds —
+// makespan >= max duration, makespan >= total/slots, and (Graham)
+// makespan <= total/slots + max duration.
+func TestListScheduleBoundsProperty(t *testing.T) {
+	f := func(seed int64, rawSlots uint8) bool {
+		rng := stat.NewRNG(seed)
+		slots := int(rawSlots%32) + 1
+		n := rng.Intn(200) + 1
+		durations := make([]float64, n)
+		total, maxDur := 0.0, 0.0
+		for i := range durations {
+			durations[i] = rng.Float64()*10 + 0.01
+			total += durations[i]
+			if durations[i] > maxDur {
+				maxDur = durations[i]
+			}
+		}
+		m := listSchedule(durations, slots)
+		lower := math.Max(maxDur, total/float64(slots))
+		upper := total/float64(slots) + maxDur
+		return m >= lower-1e-9 && m <= upper+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more slots never increases the makespan.
+func TestListScheduleMonotoneInSlotsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stat.NewRNG(seed)
+		n := rng.Intn(100) + 2
+		durations := make([]float64, n)
+		for i := range durations {
+			durations[i] = rng.Float64() * 5
+		}
+		prev := math.Inf(1)
+		for slots := 1; slots <= 16; slots *= 2 {
+			m := listSchedule(durations, slots)
+			if m > prev+1e-9 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListScheduleEdgeCases(t *testing.T) {
+	if got := listSchedule(nil, 4); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := listSchedule([]float64{1, 2}, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero slots = %v, want +Inf", got)
+	}
+}
+
+// Property: combineWave preserves the multiset of durations in both
+// scheduler modes.
+func TestCombineWavePreservesDurationsProperty(t *testing.T) {
+	f := func(seed int64, fair bool) bool {
+		rng := stat.NewRNG(seed)
+		nStages := rng.Intn(4) + 1
+		var wave []stageWork
+		var all []float64
+		for s := 0; s < nStages; s++ {
+			n := rng.Intn(20)
+			durs := make([]float64, n)
+			for i := range durs {
+				durs[i] = rng.Float64()
+			}
+			all = append(all, durs...)
+			wave = append(wave, stageWork{durations: durs})
+		}
+		got := combineWave(wave, fair)
+		if len(got) != len(all) {
+			return false
+		}
+		a := append([]float64(nil), all...)
+		b := append([]float64(nil), got...)
+		sort.Float64s(a)
+		sort.Float64s(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,670 @@
+package spark
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/stat"
+)
+
+// Failure reasons reported in Result.Reason.
+const (
+	ReasonBadJob          = "malformed job"
+	ReasonBadCluster      = "invalid cluster"
+	ReasonNoSlots         = "executor cores smaller than task cpus"
+	ReasonNoExecutors     = "cannot allocate any executor on the cluster"
+	ReasonDriverOOM       = "driver out of memory"
+	ReasonKryoOverflow    = "kryo serialization buffer overflow"
+	ReasonContainerKilled = "executor container killed (memory overhead exceeded)"
+	ReasonTaskOOM         = "task failed repeatedly with out-of-memory"
+)
+
+// stragglerSigma is the lognormal scale of inherent task-duration noise.
+const stragglerSigma = 0.12
+
+// Ablate disables individual simulator mechanisms — for ablation studies
+// that attribute experimental results to the mechanisms that produce them
+// (experiment A1 in DESIGN.md). Production runs leave all fields false.
+type Ablate struct {
+	// NoGC removes JVM garbage-collection overhead.
+	NoGC bool
+	// NoSpill gives tasks unlimited execution memory (no spill cliff).
+	NoSpill bool
+	// NoCacheLimit gives storage memory unlimited capacity (no cache
+	// cliff, no recomputation).
+	NoCacheLimit bool
+	// NoSkew makes all partitions equal-sized.
+	NoSkew bool
+	// NoNoise removes straggler noise (deterministic task durations).
+	NoNoise bool
+}
+
+// RunOpts carries optional environment behaviours beyond interference.
+type RunOpts struct {
+	// ExecutorMTBFHours injects executor failures with the given mean
+	// time between failures per executor (0 disables). Lost executors
+	// re-run their in-flight tasks, lose their cached partitions, and —
+	// without the external shuffle service — force parents' shuffle
+	// files to be regenerated.
+	ExecutorMTBFHours float64
+	// Ablate selectively disables simulator mechanisms (A1 ablations).
+	Ablate Ablate
+}
+
+// Run simulates one execution of job under conf on the given cluster and
+// interference conditions, drawing all randomness from rng. It never
+// returns an error: misconfigurations surface the way they do in
+// production, as failed or pathologically slow runs (Result.Failed).
+func Run(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Factors, rng *rand.Rand) Result {
+	return RunWith(job, conf, cluster, factors, RunOpts{}, rng)
+}
+
+// RunWith is Run with explicit environment options.
+func RunWith(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Factors, opts RunOpts, rng *rand.Rand) Result {
+	if err := job.Validate(); err != nil {
+		return Result{Failed: true, Reason: ReasonBadJob}
+	}
+	if err := cluster.Validate(); err != nil {
+		return Result{Failed: true, Reason: ReasonBadCluster}
+	}
+	if factors == (cloud.Factors{}) {
+		factors = cloud.Unit()
+	}
+
+	alloc, failReason := allocate(conf, cluster)
+	if failReason != "" {
+		// Allocation failures surface quickly (resource manager rejects).
+		return Result{Failed: true, Reason: failReason, RuntimeS: 15, CostUSD: cluster.CostOf(15)}
+	}
+
+	// Kryo buffer must fit the largest record of any stage.
+	if conf.Serializer == KryoSerializer {
+		for _, s := range job.Stages {
+			if s.MaxRecordMB > float64(conf.KryoBufferMaxMB) {
+				t := 20.0
+				return Result{Failed: true, Reason: ReasonKryoOverflow, RuntimeS: t, CostUSD: cluster.CostOf(t)}
+			}
+		}
+	}
+
+	// Driver heap must hold bookkeeping, collected results and broadcasts.
+	driverNeed := job.DriverNeedMB
+	for _, s := range job.Stages {
+		driverNeed += s.BroadcastMB
+	}
+	if driverNeed > float64(conf.DriverMemoryMB) {
+		t := 10.0
+		return Result{Failed: true, Reason: ReasonDriverOOM, RuntimeS: t, CostUSD: cluster.CostOf(t)}
+	}
+
+	// Native shuffle buffers and JVM bookkeeping live in the overhead
+	// region; pressure there slows stages (page-cache thrash, occasional
+	// container restarts). Enabling off-heap memory with a tiny region
+	// kills containers outright.
+	if conf.OffHeapEnabled && conf.OffHeapSizeMB < 128 {
+		t := 30.0
+		return Result{Failed: true, Reason: ReasonContainerKilled, RuntimeS: t, CostUSD: cluster.CostOf(t)}
+	}
+	needOverheadMB := 256 + 0.25*float64(conf.ReducerMaxInFlightMB*conf.ShuffleConnsPerPeer) +
+		0.02*float64(conf.ExecutorMemoryMB)
+	containerPressure := stat.Clamp((needOverheadMB-conf.OverheadMB())/needOverheadMB, 0, 0.6)
+
+	sim := &runState{
+		job: job, conf: conf, cluster: cluster, factors: factors, rng: rng,
+		opts: opts, alloc: alloc, containerPressure: containerPressure,
+		cached: make(map[int]cacheEntry),
+	}
+	return sim.run()
+}
+
+// EstimateAllocation reports how many executors and task slots a
+// configuration would obtain on a cluster, without running anything —
+// the resource-manager arithmetic external models (e.g. a What-If
+// engine) need. ok is false when nothing can be allocated.
+func EstimateAllocation(conf Conf, cluster cloud.ClusterSpec) (executors, slots int, ok bool) {
+	alloc, fail := allocate(conf, cluster)
+	if fail != "" {
+		return 0, 0, false
+	}
+	return alloc.executors, alloc.slotsTotal, true
+}
+
+// allocation describes how executors were bin-packed onto the cluster.
+type allocation struct {
+	executors    int
+	slotsPer     int
+	slotsTotal   int
+	execsPerNode float64
+	nodesUsed    int
+}
+
+// allocate bin-packs requested executors onto the cluster's nodes by
+// cores and by container memory, mirroring a YARN-style resource manager.
+func allocate(conf Conf, cluster cloud.ClusterSpec) (allocation, string) {
+	slotsPer := conf.SlotsPerExecutor()
+	if slotsPer <= 0 {
+		return allocation{}, ReasonNoSlots
+	}
+	nodeMemMB := cluster.Instance.MemoryGB*1024 - 1024 // reserve for OS/daemons
+	containerMB := float64(conf.ContainerMemoryMB())
+	perNodeByMem := int(nodeMemMB / containerMB)
+	perNodeByCores := cluster.Instance.VCPUs / conf.ExecutorCores
+	perNode := minInt(perNodeByMem, perNodeByCores)
+	if perNode <= 0 {
+		return allocation{}, ReasonNoExecutors
+	}
+	executors := minInt(conf.RequestedExecutors(), perNode*cluster.Count)
+	if executors <= 0 {
+		return allocation{}, ReasonNoExecutors
+	}
+	nodesUsed := minInt(cluster.Count, executors)
+	return allocation{
+		executors:    executors,
+		slotsPer:     slotsPer,
+		slotsTotal:   executors * slotsPer,
+		execsPerNode: float64(executors) / float64(cluster.Count),
+		nodesUsed:    nodesUsed,
+	}, ""
+}
+
+type cacheEntry struct {
+	sizeMB float64
+	frac   float64 // fraction resident in storage memory
+}
+
+type runState struct {
+	job     *Job
+	conf    Conf
+	cluster cloud.ClusterSpec
+	factors cloud.Factors
+	rng     *rand.Rand
+	opts    RunOpts
+	alloc   allocation
+
+	containerPressure float64
+	cached            map[int]cacheEntry
+	storageUsedMB     float64
+
+	res Result
+}
+
+// coreSpeed returns effective baseline-seconds-per-second of one core:
+// >1 means faster than baseline.
+func (s *runState) coreSpeed() float64 {
+	return s.cluster.Instance.CPUFactor / s.factors.CPU
+}
+
+// storageCapMB returns the cluster-wide storage-memory capacity.
+func (s *runState) storageCapMB() float64 {
+	perExec := float64(s.conf.ExecutorMemoryMB) * s.conf.MemoryFraction * s.conf.StorageFraction
+	return perExec * float64(s.alloc.executors)
+}
+
+// execMemPerTaskMB returns the execution memory one task can use,
+// accounting for memory already pinned by cached RDDs (unified memory
+// manager semantics: storage above the protected region is evictable,
+// below it is not).
+func (s *runState) execMemPerTaskMB() float64 {
+	unifiedPerExec := float64(s.conf.ExecutorMemoryMB) * s.conf.MemoryFraction
+	protectedPerExec := unifiedPerExec * s.conf.StorageFraction
+	cachePerExec := s.storageUsedMB / float64(s.alloc.executors)
+	pinned := math.Min(cachePerExec, protectedPerExec)
+	execAvail := unifiedPerExec - pinned
+	if s.conf.OffHeapEnabled {
+		execAvail += float64(s.conf.OffHeapSizeMB)
+	}
+	if execAvail < 0 {
+		execAvail = 0
+	}
+	return execAvail / float64(s.alloc.slotsPer)
+}
+
+// heapUtil estimates executor heap utilization for the GC model.
+func (s *runState) heapUtil(taskWorkingMB float64) float64 {
+	heap := float64(s.conf.ExecutorMemoryMB)
+	cachePerExec := s.storageUsedMB / float64(s.alloc.executors)
+	inUse := cachePerExec + taskWorkingMB*float64(s.alloc.slotsPer) + 0.12*heap // runtime overhead
+	return inUse / heap
+}
+
+// stageWork is one prepared stage: its task durations and driver-side
+// overheads, ready for wave scheduling.
+type stageWork struct {
+	stage      *Stage
+	sm         StageMetrics
+	durations  []float64
+	overhead   float64 // broadcast + dispatch + collect
+	failReason string
+}
+
+func (s *runState) run() Result {
+	conf, alloc := s.conf, s.alloc
+	s.res.Executors = alloc.executors
+	s.res.SlotsTotal = alloc.slotsTotal
+
+	// Application submit and executor launch (staggered container starts).
+	clock := 2.0 + 0.08*float64(alloc.executors)
+	if conf.DynAllocEnabled {
+		clock += 1.5 // allocation manager ramp-up
+	}
+
+	pressureMult := 1 + 0.5*s.containerPressure
+
+	// The DAG scheduler submits every stage whose parents have finished;
+	// independent stages share the executor slots within a wave (Fig. 2's
+	// driver behaviour).
+	done := make(map[int]bool, len(s.job.Stages))
+	metricAt := make(map[int]int, len(s.job.Stages))
+	for len(done) < len(s.job.Stages) && !s.res.Failed {
+		var wave []stageWork
+		for i := range s.job.Stages {
+			stage := &s.job.Stages[i]
+			if done[stage.ID] {
+				continue
+			}
+			ready := true
+			for _, d := range stage.Deps {
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, s.prepareStage(stage))
+			}
+		}
+		if len(wave) == 0 {
+			// Unreachable for validated jobs; guard against live-lock.
+			s.res.Failed = true
+			s.res.Reason = ReasonBadJob
+			break
+		}
+
+		combined := combineWave(wave, conf.SchedulerFair)
+		waveMakespan := listSchedule(combined, alloc.slotsTotal) * pressureMult
+		overheads := 0.0
+		failReason := ""
+		for _, w := range wave {
+			overheads += w.overhead
+			own := listSchedule(w.durations, alloc.slotsTotal) * pressureMult
+			w.sm.DurationS = own + w.overhead
+			if w.failReason != "" && failReason == "" {
+				failReason = w.failReason
+			}
+			metricAt[w.stage.ID] = len(s.res.Stages)
+			s.res.Stages = append(s.res.Stages, w.sm)
+			s.res.TotalSpillBytes += w.sm.SpillBytes
+			s.res.TotalShuffleRead += w.sm.ShuffleRead
+			s.res.TotalShuffleWrite += w.sm.ShuffleWrite
+			s.res.TotalGCSeconds += w.sm.GCSeconds
+			done[w.stage.ID] = true
+		}
+		clock += waveMakespan + overheads
+		if failReason != "" {
+			s.res.Failed = true
+			s.res.Reason = failReason
+			break
+		}
+		for _, w := range wave {
+			if w.stage.CacheOutput {
+				s.admitCache(w.stage)
+			}
+		}
+
+		// Executor churn: with an MTBF configured, a lost executor
+		// re-runs its share of the wave, loses its cached partitions,
+		// and (without the external shuffle service) forces upstream
+		// shuffle files to be recomputed.
+		if s.opts.ExecutorMTBFHours > 0 && waveMakespan > 0 {
+			lossP := 1 - math.Exp(-float64(alloc.executors)*waveMakespan/3600/s.opts.ExecutorMTBFHours)
+			if s.rng.Float64() < lossP {
+				s.res.ExecutorsLost++
+				share := 1 / float64(alloc.executors)
+				penalty := 10 + waveMakespan*share
+				if !conf.ShuffleService {
+					penalty += waveMakespan * share // regenerate shuffle files
+				}
+				clock += penalty
+				for id, e := range s.cached {
+					e.frac *= 1 - share
+					s.cached[id] = e
+				}
+				// Attribute the penalty to the last stage of the wave.
+				if len(wave) > 0 {
+					idx := metricAt[wave[len(wave)-1].stage.ID]
+					s.res.Stages[idx].DurationS += penalty
+				}
+			}
+		}
+	}
+
+	s.res.RuntimeS = clock
+	s.res.CostUSD = s.cluster.CostOf(clock)
+	return s.res
+}
+
+// combineWave merges the task durations of concurrently running stages.
+// FIFO submits stage task sets head-of-line in stage order; FAIR
+// interleaves them round-robin so no stage starves.
+func combineWave(wave []stageWork, fair bool) []float64 {
+	if len(wave) == 1 {
+		return wave[0].durations
+	}
+	total := 0
+	for _, w := range wave {
+		total += len(w.durations)
+	}
+	out := make([]float64, 0, total)
+	if !fair {
+		for _, w := range wave {
+			out = append(out, w.durations...)
+		}
+		return out
+	}
+	for i := 0; len(out) < total; i++ {
+		for _, w := range wave {
+			if i < len(w.durations) {
+				out = append(out, w.durations[i])
+			}
+		}
+	}
+	return out
+}
+
+// admitCache places a stage's output RDD into storage memory, possibly
+// partially when capacity is short.
+func (s *runState) admitCache(stage *Stage) {
+	sizeMB := float64(stage.CacheBytes) / mb
+	if s.conf.RDDCompress {
+		prof := codecTable(s.conf.Codec)
+		sizeMB *= prof.ratio
+	}
+	avail := s.storageCapMB() - s.storageUsedMB
+	frac := 1.0
+	if sizeMB > 0 && !s.opts.Ablate.NoCacheLimit {
+		frac = stat.Clamp(avail/sizeMB, 0, 1)
+	}
+	s.cached[stage.ID] = cacheEntry{sizeMB: sizeMB, frac: frac}
+	s.storageUsedMB += sizeMB * frac
+}
+
+// numTasks resolves a stage's task count from its partition source.
+func (s *runState) numTasks(stage *Stage) int {
+	switch stage.Partitions {
+	case FromInputSplits:
+		splits := int(math.Ceil(float64(stage.InputBytes) / (float64(s.conf.MaxPartitionBytesMB) * mb)))
+		return maxInt(splits, 1)
+	case FromShufflePartitions:
+		return maxInt(s.conf.ShufflePartitions, 1)
+	default:
+		return maxInt(s.conf.DefaultParallelism, 1)
+	}
+}
+
+// skewMultipliers returns per-task relative partition weights with mean 1.
+// The weights are a deterministic function of the dataset and the
+// partitioning (job name, stage, task count): re-running the same job
+// sees the same skewed partitions, as real datasets do — only straggler
+// noise varies run to run.
+func (s *runState) skewMultipliers(stage *Stage, n int) []float64 {
+	w := make([]float64, n)
+	if stage.SkewAlpha <= 0 || s.opts.Ablate.NoSkew {
+		for i := range w {
+			w[i] = 1
+		}
+		return w
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d", s.job.Name, stage.ID, n)
+	skewRNG := stat.NewRNG(int64(h.Sum64()))
+	sum := 0.0
+	for i := range w {
+		w[i] = stat.Pareto(skewRNG, 1, stage.SkewAlpha)
+		sum += w[i]
+	}
+	scale := float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}
+
+// prepareStage computes a stage's per-task durations and driver-side
+// overheads. The caller schedules the tasks (possibly merged with other
+// ready stages) onto the executor slots.
+func (s *runState) prepareStage(stage *Stage) stageWork {
+	conf, alloc, inst := s.conf, s.alloc, s.cluster.Instance
+	n := s.numTasks(stage)
+	sm := StageMetrics{ID: stage.ID, Name: stage.Name, Tasks: n, InputBytes: stage.InputBytes}
+
+	// Per-node resource rates under interference, shared by the tasks
+	// concurrently resident on a node.
+	concurrentPerNode := math.Max(1, float64(minInt(n, alloc.slotsTotal))/float64(s.cluster.Count))
+	diskPerTask := inst.DiskMBps / s.factors.Disk / concurrentPerNode
+	netPerTask := inst.NetworkMBps / s.factors.Net / concurrentPerNode
+
+	coreSpeed := s.coreSpeed()
+	// Multi-core tasks get imperfect intra-task parallel speedup.
+	taskSpeed := coreSpeed * (1 + 0.6*float64(conf.TaskCPUs-1))
+
+	serCPU, serSize := serializerProfile(conf.Serializer)
+	codec := codecTable(conf.Codec)
+	ratioMul, cpuMul := blockSizeFactor(conf.CompressionBlockKB)
+	cRatio, cCPU, dCPU := codec.ratio*ratioMul, codec.compressS*cpuMul, codec.decompress*cpuMul
+
+	execMemPerTask := s.execMemPerTaskMB()
+
+	// OOM region: the per-task execution share cannot cover the stage's
+	// non-spillable floor. Tasks fail deterministically; after
+	// TaskMaxFailures attempts the stage (and job) fails.
+	if stage.HardMemMB > 0 && execMemPerTask < stage.HardMemMB {
+		attempts := maxInt(conf.TaskMaxFailures, 1)
+		// Each attempt burns a partial task's work before dying.
+		waste := 6.0 * float64(attempts)
+		sm.DurationS = waste
+		sm.FailedTasks = attempts
+		return stageWork{stage: stage, sm: sm, overhead: waste, failReason: ReasonTaskOOM}
+	}
+
+	// Broadcast distribution to every executor at stage start.
+	broadcast := 0.0
+	if stage.BroadcastMB > 0 {
+		bMB := stage.BroadcastMB
+		cpu := 0.0
+		if conf.BroadcastCompress {
+			cpu += stage.BroadcastMB * (cCPU + dCPU) / coreSpeed
+			bMB *= cRatio
+		}
+		blocks := math.Ceil(bMB / float64(maxInt(conf.BroadcastBlockMB, 1)))
+		perExecNet := inst.NetworkMBps / s.factors.Net / math.Max(1, alloc.execsPerNode)
+		// Torrent broadcast: executors fetch in a tree, depth log2(execs).
+		depth := math.Log2(float64(alloc.executors) + 1)
+		broadcast = bMB/perExecNet*depth + 0.002*blocks + cpu
+	}
+
+	// Shuffle input for this stage: compressed bytes written by parents.
+	var fetchTotalMB float64
+	for _, d := range stage.Deps {
+		for _, m := range s.res.Stages {
+			if m.ID == d {
+				fetchTotalMB += float64(m.ShuffleWrite) / mb
+			}
+		}
+	}
+
+	// Map-side input and locality.
+	inputPerTaskMB := float64(stage.InputBytes) / mb / float64(n)
+	pNonLocal := math.Max(0, 1-float64(alloc.nodesUsed)/float64(s.cluster.Count))
+
+	// Shuffle write volumes per task.
+	writePerTaskMB := float64(stage.ShuffleWriteBytes) / mb / float64(n) * serSize
+	writeDiskMB := writePerTaskMB
+	writeCPU := writePerTaskMB * serCPU / coreSpeed
+	if conf.ShuffleCompress && writePerTaskMB > 0 {
+		writeCPU += writePerTaskMB * cCPU / coreSpeed
+		writeDiskMB *= cRatio
+	}
+	// Sort-based shuffle pays a merge-sort CPU cost; the bypass path
+	// (few partitions) instead pays per-file overhead.
+	downstreamParts := float64(maxInt(conf.ShufflePartitions, conf.DefaultParallelism))
+	sortCPU := 0.0
+	if stage.ShuffleWriteBytes > 0 {
+		if int(downstreamParts) <= conf.ShuffleBypassMerge {
+			sortCPU = 0.0001 * downstreamParts / coreSpeed // file handles
+		} else {
+			sortCPU = writePerTaskMB * 0.004 / coreSpeed
+		}
+	}
+	fileFactor := fileBufferFactor(conf.ShuffleFileBufferKB)
+	inFlight := inFlightFactor(conf.ReducerMaxInFlightMB, conf.ShuffleConnsPerPeer)
+
+	// Cached-input parameters.
+	var cacheFrac float64
+	var cachedCompressed bool
+	if stage.ReadsCachedFrom >= 0 {
+		e, ok := s.cached[stage.ReadsCachedFrom]
+		if ok {
+			cacheFrac = e.frac
+		}
+		cachedCompressed = s.conf.RDDCompress
+		sm.CacheHitFrac = cacheFrac
+	}
+
+	recordsPerTask := float64(stage.Records) / float64(n)
+	workingMBBase := recordsPerTask * stage.MemPerRecordBytes / mb
+	gcFrac := gcFraction(s.heapUtil(math.Min(workingMBBase, execMemPerTask)), float64(conf.ExecutorMemoryMB), alloc.slotsPer, conf.GCThreads)
+	if s.opts.Ablate.NoGC {
+		gcFrac = 0
+	}
+
+	skew := s.skewMultipliers(stage, n)
+	durations := make([]float64, n)
+	var spillBytes int64
+	var gcSeconds float64
+
+	for i := 0; i < n; i++ {
+		w := skew[i]
+		records := recordsPerTask * w
+		dur := 0.0
+
+		// 1. Input read (map stages).
+		if inputPerTaskMB > 0 {
+			localRead := inputPerTaskMB * w / diskPerTask
+			if s.rng.Float64() < pNonLocal {
+				remoteRead := inputPerTaskMB * w / (netPerTask * 0.9)
+				waited := conf.LocalityWaitS + localRead
+				dur += math.Min(waited, remoteRead)
+			} else {
+				dur += localRead
+			}
+		}
+
+		// 2. Shuffle fetch (reduce stages).
+		if fetchTotalMB > 0 {
+			fetchMB := fetchTotalMB / float64(n) * w
+			dur += fetchMB / (netPerTask * inFlight)
+			dur += fetchMB / (diskPerTask * 2) // mapper-side disk reads
+			uncompressed := fetchMB
+			if conf.ShuffleCompress {
+				uncompressed = fetchMB / cRatio
+				dur += uncompressed * dCPU / coreSpeed
+			}
+			dur += uncompressed * serCPU / coreSpeed // deserialization
+			sm.ShuffleRead += int64(fetchMB * mb)
+		}
+
+		// 3. Cached input: hits read from memory (cheap, maybe
+		// decompressed), misses recompute from lineage.
+		if stage.ReadsCachedFrom >= 0 {
+			hit := records * cacheFrac
+			miss := records - hit
+			if cachedCompressed && hit > 0 {
+				hitMB := hit * stage.MemPerRecordBytes / mb
+				dur += hitMB * dCPU / coreSpeed
+			}
+			if miss > 0 {
+				dur += miss * stage.RecomputePerRecord / taskSpeed
+			}
+		}
+
+		// 4. Compute with GC overhead.
+		compute := records * stage.ComputePerRecord / taskSpeed
+		gc := compute * gcFrac
+		dur += compute + gc
+		gcSeconds += gc
+
+		// 5. Spill when the working set exceeds the execution share.
+		workingMB := records * stage.MemPerRecordBytes / mb
+		if workingMB > execMemPerTask && execMemPerTask > 0 && !s.opts.Ablate.NoSpill {
+			over := workingMB - execMemPerTask
+			passes := 1 + math.Floor(over/execMemPerTask)
+			spillMB := over * (1 + 0.5*math.Min(passes, 3)) // write + merge reread
+			diskMB := spillMB
+			if conf.ShuffleSpillCompress {
+				dur += spillMB * (cCPU + dCPU) / coreSpeed
+				diskMB *= cRatio
+			}
+			dur += 2 * diskMB / diskPerTask
+			spillBytes += int64(diskMB * mb)
+		}
+
+		// 6. Shuffle write.
+		if writePerTaskMB > 0 {
+			dur += writeCPU*w + sortCPU*w
+			dur += writeDiskMB * w / (diskPerTask * fileFactor)
+			sm.ShuffleWrite += int64(writeDiskMB * w * mb)
+		}
+
+		// 7. Inherent straggler noise.
+		noise := 1.0
+		if !s.opts.Ablate.NoNoise {
+			noise = stat.Lognormal(s.rng, -stragglerSigma*stragglerSigma/2, stragglerSigma)
+		}
+		durations[i] = dur * noise
+	}
+
+	// Speculative execution caps the straggler tail: clones of slow tasks
+	// launch once the configured quantile of tasks has finished.
+	if conf.Speculation && n >= 4 {
+		sorted := append([]float64(nil), durations...)
+		sort.Float64s(sorted)
+		q := stat.Quantile(sorted, conf.SpeculationQuantile)
+		limit := q*conf.SpeculationMultiplier + 0.5
+		for i := range durations {
+			if durations[i] > limit {
+				durations[i] = limit
+			}
+		}
+	}
+
+	// Driver-side task dispatch and stage bookkeeping.
+	dispatch := float64(n) * 0.002 / float64(maxInt(conf.DriverCores, 1))
+	overhead := 0.08 + dispatch
+	if conf.SchedulerFair {
+		overhead += float64(n) * 0.0002 // fair-share bookkeeping
+	}
+	// Aggressive heartbeats add driver load (second-order).
+	overhead += float64(alloc.executors) * 0.0005 * (30 / float64(maxInt(conf.HeartbeatIntervalS, 1)))
+
+	// Result collection back to the driver.
+	collect := 0.0
+	if stage.CollectMB > 0 {
+		driverNet := inst.NetworkMBps / s.factors.Net
+		collect = stage.CollectMB / driverNet
+	}
+
+	sm.SpillBytes = spillBytes
+	// Convert aggregate per-task GC seconds into wall-clock time spent
+	// collecting, assuming full slot occupancy.
+	sm.GCSeconds = gcSeconds / math.Max(1, float64(alloc.slotsTotal))
+	return stageWork{
+		stage:     stage,
+		sm:        sm,
+		durations: durations,
+		overhead:  broadcast + overhead + collect,
+	}
+}

@@ -1,0 +1,413 @@
+package spark
+
+import (
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/stat"
+)
+
+// testCluster returns 4× a general-purpose 4-vCPU/16GB node.
+func testCluster(t *testing.T) cloud.ClusterSpec {
+	t.Helper()
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/g5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cloud.ClusterSpec{Instance: it, Count: 4}
+}
+
+// bigCluster returns 4× h1.4xlarge (16 vCPU / 256 GB), the Table-I setup.
+func bigCluster(t *testing.T) cloud.ClusterSpec {
+	t.Helper()
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cloud.ClusterSpec{Instance: it, Count: 4}
+}
+
+// scanJob is a single map-heavy stage over the given input.
+func scanJob(inputMB int64) *Job {
+	return &Job{
+		Name: "scan", Workload: "scan", InputBytes: inputMB << 20,
+		DriverNeedMB: 256,
+		Stages: []Stage{{
+			ID: 0, Name: "map", Partitions: FromInputSplits,
+			InputBytes: inputMB << 20, Records: inputMB * 10000,
+			ComputePerRecord: 2e-6, MemPerRecordBytes: 20,
+			ReadsCachedFrom: -1, MaxRecordMB: 1,
+		}},
+	}
+}
+
+// shuffleJob is map → reduce with a configurable shuffle volume.
+func shuffleJob(inputMB, shuffleMB int64) *Job {
+	return &Job{
+		Name: "agg", Workload: "agg", InputBytes: inputMB << 20,
+		DriverNeedMB: 256,
+		Stages: []Stage{
+			{
+				ID: 0, Name: "map", Partitions: FromInputSplits,
+				InputBytes: inputMB << 20, Records: inputMB * 10000,
+				ComputePerRecord: 2e-6, MemPerRecordBytes: 40,
+				ShuffleWriteBytes: shuffleMB << 20,
+				ReadsCachedFrom:   -1, MaxRecordMB: 1,
+			},
+			{
+				ID: 1, Name: "reduce", Deps: []int{0}, Partitions: FromParallelism,
+				Records: shuffleMB * 5000, ComputePerRecord: 3e-6,
+				MemPerRecordBytes: 400, ReadsCachedFrom: -1, MaxRecordMB: 1,
+			},
+		},
+	}
+}
+
+// reasonable is a mid-range configuration that should run cleanly on the
+// test cluster.
+func reasonable() Conf {
+	c := DefaultConf()
+	c.ExecutorInstances = 4
+	c.ExecutorCores = 4
+	c.ExecutorMemoryMB = 8192
+	c.DriverMemoryMB = 4096
+	c.DefaultParallelism = 64
+	c.ShufflePartitions = 64
+	return c
+}
+
+func TestRunSucceedsOnReasonableConfig(t *testing.T) {
+	r := stat.NewRNG(1)
+	res := Run(shuffleJob(2048, 512), reasonable(), testCluster(t), cloud.Unit(), r)
+	if res.Failed {
+		t.Fatalf("reasonable config failed: %s", res.Reason)
+	}
+	if res.RuntimeS <= 0 || res.CostUSD <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if len(res.Stages) != 2 {
+		t.Fatalf("stage metrics = %d, want 2", len(res.Stages))
+	}
+	if res.TotalShuffleWrite == 0 || res.TotalShuffleRead == 0 {
+		t.Error("shuffle volumes not tracked")
+	}
+	if res.Executors != 4 {
+		t.Errorf("executors = %d, want 4", res.Executors)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	a := Run(shuffleJob(1024, 256), reasonable(), testCluster(t), cloud.Unit(), stat.NewRNG(7))
+	b := Run(shuffleJob(1024, 256), reasonable(), testCluster(t), cloud.Unit(), stat.NewRNG(7))
+	if a.RuntimeS != b.RuntimeS || a.TotalSpillBytes != b.TotalSpillBytes {
+		t.Errorf("same seed, different results: %v vs %v", a.RuntimeS, b.RuntimeS)
+	}
+}
+
+func TestMoreDataTakesLonger(t *testing.T) {
+	small := Run(scanJob(1024), reasonable(), testCluster(t), cloud.Unit(), stat.NewRNG(2))
+	large := Run(scanJob(8192), reasonable(), testCluster(t), cloud.Unit(), stat.NewRNG(2))
+	if small.Failed || large.Failed {
+		t.Fatalf("unexpected failure: %v / %v", small.Reason, large.Reason)
+	}
+	if large.RuntimeS <= small.RuntimeS*2 {
+		t.Errorf("8x data: runtime %v vs %v, want clearly longer", large.RuntimeS, small.RuntimeS)
+	}
+}
+
+func TestBiggerClusterIsFaster(t *testing.T) {
+	conf := reasonable()
+	conf.ExecutorInstances = 16
+	small := testCluster(t)
+	big := small.Resize(16)
+	job := shuffleJob(8192, 2048)
+	rs := Run(job, conf, small, cloud.Unit(), stat.NewRNG(3))
+	rb := Run(job, conf, big, cloud.Unit(), stat.NewRNG(3))
+	if rs.Failed || rb.Failed {
+		t.Fatalf("unexpected failure: %v / %v", rs.Reason, rb.Reason)
+	}
+	if rb.RuntimeS >= rs.RuntimeS {
+		t.Errorf("16 nodes (%vs) not faster than 4 nodes (%vs)", rb.RuntimeS, rs.RuntimeS)
+	}
+}
+
+func TestUnderProvisionedMemorySpills(t *testing.T) {
+	job := shuffleJob(4096, 2048)
+	good := reasonable()
+	tight := reasonable()
+	tight.ExecutorMemoryMB = 1024 // tiny heap → heavy spill
+	tight.DefaultParallelism = 16 // few, fat partitions
+	rGood := Run(job, good, testCluster(t), cloud.Unit(), stat.NewRNG(4))
+	rTight := Run(job, tight, testCluster(t), cloud.Unit(), stat.NewRNG(4))
+	if rGood.Failed || rTight.Failed {
+		t.Fatalf("unexpected failure: %v / %v", rGood.Reason, rTight.Reason)
+	}
+	if rTight.TotalSpillBytes <= rGood.TotalSpillBytes {
+		t.Errorf("tight memory spill %d <= good %d", rTight.TotalSpillBytes, rGood.TotalSpillBytes)
+	}
+	if rTight.RuntimeS <= rGood.RuntimeS {
+		t.Errorf("spilling config (%vs) not slower than good (%vs)", rTight.RuntimeS, rGood.RuntimeS)
+	}
+}
+
+func TestExecutorAllocationCappedByNode(t *testing.T) {
+	conf := reasonable()
+	conf.ExecutorInstances = 48
+	conf.ExecutorCores = 4
+	// 4 nodes × 4 vCPUs → at most 4 executors of 4 cores.
+	res := Run(scanJob(512), conf, testCluster(t), cloud.Unit(), stat.NewRNG(5))
+	if res.Failed {
+		t.Fatal(res.Reason)
+	}
+	if res.Executors != 4 {
+		t.Errorf("executors = %d, want capped at 4", res.Executors)
+	}
+}
+
+func TestAllocationFailures(t *testing.T) {
+	tests := []struct {
+		name   string
+		mut    func(*Conf)
+		reason string
+	}{
+		{"cores below task cpus", func(c *Conf) { c.ExecutorCores = 1; c.TaskCPUs = 2 }, ReasonNoSlots},
+		{"container exceeds node", func(c *Conf) { c.ExecutorMemoryMB = 32768 }, ReasonNoExecutors},
+		{"driver OOM", func(c *Conf) { c.DriverMemoryMB = 1024 }, ReasonDriverOOM},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			conf := reasonable()
+			tt.mut(&conf)
+			job := scanJob(512)
+			job.DriverNeedMB = 2048
+			res := Run(job, conf, testCluster(t), cloud.Unit(), stat.NewRNG(6))
+			if !res.Failed || res.Reason != tt.reason {
+				t.Errorf("result = %+v, want failure %q", res, tt.reason)
+			}
+		})
+	}
+}
+
+func TestKryoBufferOverflow(t *testing.T) {
+	conf := reasonable()
+	conf.Serializer = KryoSerializer
+	conf.KryoBufferMaxMB = 8
+	job := scanJob(512)
+	job.Stages[0].MaxRecordMB = 32
+	res := Run(job, conf, testCluster(t), cloud.Unit(), stat.NewRNG(7))
+	if !res.Failed || res.Reason != ReasonKryoOverflow {
+		t.Errorf("result = %v, want kryo overflow", res)
+	}
+	// A big-enough buffer succeeds.
+	conf.KryoBufferMaxMB = 64
+	res = Run(job, conf, testCluster(t), cloud.Unit(), stat.NewRNG(7))
+	if res.Failed {
+		t.Errorf("large buffer still failed: %s", res.Reason)
+	}
+}
+
+func TestTaskOOMRegion(t *testing.T) {
+	conf := reasonable()
+	conf.ExecutorMemoryMB = 2048
+	conf.MemoryFraction = 0.3
+	conf.ExecutorCores = 4 // 4 slots share a ~600MB pool
+	job := scanJob(512)
+	job.Stages[0].HardMemMB = 512
+	res := Run(job, conf, testCluster(t), cloud.Unit(), stat.NewRNG(8))
+	if !res.Failed || res.Reason != ReasonTaskOOM {
+		t.Errorf("result = %v, want task OOM", res)
+	}
+	if res.Stages[0].FailedTasks == 0 {
+		t.Error("failed tasks not recorded")
+	}
+}
+
+func TestContainerKillOnTinyOffHeap(t *testing.T) {
+	conf := reasonable()
+	conf.OffHeapEnabled = true
+	conf.OffHeapSizeMB = 32 // far too small once enabled
+	res := Run(scanJob(512), conf, testCluster(t), cloud.Unit(), stat.NewRNG(9))
+	if !res.Failed || res.Reason != ReasonContainerKilled {
+		t.Errorf("result = %v, want container kill", res)
+	}
+}
+
+func TestOverheadPressureSlowsStages(t *testing.T) {
+	// An undersized overhead region (relative to big in-flight windows on
+	// a large heap) slows the run without killing it.
+	job := shuffleJob(2048, 1024)
+	comfy := reasonable()
+	comfy.MemoryOverheadFactor = 0.30
+	tight := reasonable()
+	tight.MemoryOverheadFactor = 0.05
+	tight.ReducerMaxInFlightMB = 128
+	tight.ShuffleConnsPerPeer = 5
+	rComfy := Run(job, comfy, testCluster(t), cloud.Unit(), stat.NewRNG(9))
+	rTight := Run(job, tight, testCluster(t), cloud.Unit(), stat.NewRNG(9))
+	if rComfy.Failed || rTight.Failed {
+		t.Fatalf("unexpected failure: %v / %v", rComfy.Reason, rTight.Reason)
+	}
+	if rTight.RuntimeS <= rComfy.RuntimeS {
+		t.Errorf("overhead pressure did not slow run: %v vs %v", rTight.RuntimeS, rComfy.RuntimeS)
+	}
+}
+
+func TestCachingSpeedsUpIterations(t *testing.T) {
+	// Iterative job: build graph, cache it, 5 iterations read the cache.
+	iterJob := func(cacheMB int64) *Job {
+		stages := []Stage{{
+			ID: 0, Name: "build", Partitions: FromInputSplits,
+			InputBytes: 1 << 30, Records: 5e6, ComputePerRecord: 2e-6,
+			MemPerRecordBytes: 60, CacheOutput: true, CacheBytes: cacheMB << 20,
+			ReadsCachedFrom: -1, MaxRecordMB: 1,
+		}}
+		for i := 1; i <= 5; i++ {
+			stages = append(stages, Stage{
+				ID: i, Name: "iter", Deps: []int{i - 1}, Partitions: FromParallelism,
+				Records: 5e6, ComputePerRecord: 1e-6, MemPerRecordBytes: 60,
+				ShuffleWriteBytes: 64 << 20,
+				ReadsCachedFrom:   0, RecomputePerRecord: 4e-6, MaxRecordMB: 1,
+			})
+		}
+		return &Job{Name: "iter", Workload: "iter", InputBytes: 1 << 30, DriverNeedMB: 256, Stages: stages}
+	}
+
+	fits := reasonable()
+	fits.ExecutorMemoryMB = 16384
+	fits.MemoryFraction = 0.8
+	fits.ExecutorInstances = 3 // 3×16GB containers fit (node has 16GB-1GB... adjust)
+	fits.ExecutorMemoryMB = 8192
+	tiny := reasonable()
+	tiny.ExecutorMemoryMB = 2048
+	tiny.MemoryFraction = 0.3
+	tiny.StorageFraction = 0.2
+
+	big := bigCluster(t)
+	rFits := Run(iterJob(4096), fits, big, cloud.Unit(), stat.NewRNG(10))
+	rTiny := Run(iterJob(4096), tiny, big, cloud.Unit(), stat.NewRNG(10))
+	if rFits.Failed || rTiny.Failed {
+		t.Fatalf("unexpected failure: %v / %v", rFits.Reason, rTiny.Reason)
+	}
+	if rFits.Stages[1].CacheHitFrac <= rTiny.Stages[1].CacheHitFrac {
+		t.Errorf("cache hit frac %v (big mem) <= %v (tiny mem)",
+			rFits.Stages[1].CacheHitFrac, rTiny.Stages[1].CacheHitFrac)
+	}
+	if rFits.RuntimeS >= rTiny.RuntimeS {
+		t.Errorf("cached run (%vs) not faster than cache-starved (%vs)", rFits.RuntimeS, rTiny.RuntimeS)
+	}
+}
+
+func TestCompressionTradeoff(t *testing.T) {
+	// Shuffle-heavy job: compression should reduce bytes moved.
+	job := shuffleJob(2048, 4096)
+	on := reasonable()
+	on.ShuffleCompress = true
+	off := reasonable()
+	off.ShuffleCompress = false
+	rOn := Run(job, on, testCluster(t), cloud.Unit(), stat.NewRNG(11))
+	rOff := Run(job, off, testCluster(t), cloud.Unit(), stat.NewRNG(11))
+	if rOn.Failed || rOff.Failed {
+		t.Fatalf("unexpected failure: %v / %v", rOn.Reason, rOff.Reason)
+	}
+	if rOn.TotalShuffleWrite >= rOff.TotalShuffleWrite {
+		t.Errorf("compressed shuffle bytes %d >= uncompressed %d", rOn.TotalShuffleWrite, rOff.TotalShuffleWrite)
+	}
+}
+
+func TestInterferenceSlowsRuns(t *testing.T) {
+	job := shuffleJob(2048, 512)
+	conf := reasonable()
+	calm := Run(job, conf, testCluster(t), cloud.Unit(), stat.NewRNG(12))
+	noisy := Run(job, conf, testCluster(t), cloud.Factors{CPU: 1.4, Net: 1.4, Disk: 1.4}, stat.NewRNG(12))
+	if noisy.RuntimeS <= calm.RuntimeS {
+		t.Errorf("interference did not slow the run: %v vs %v", noisy.RuntimeS, calm.RuntimeS)
+	}
+}
+
+func TestSpeculationTrimsTail(t *testing.T) {
+	job := scanJob(4096)
+	job.Stages[0].SkewAlpha = 1.2 // heavy skew → long tail
+	off := reasonable()
+	on := reasonable()
+	on.Speculation = true
+	on.SpeculationQuantile = 0.75
+	on.SpeculationMultiplier = 1.5
+	// Average over seeds: speculation should help under heavy skew.
+	var sumOff, sumOn float64
+	for seed := int64(0); seed < 10; seed++ {
+		sumOff += Run(job, off, testCluster(t), cloud.Unit(), stat.NewRNG(100+seed)).RuntimeS
+		sumOn += Run(job, on, testCluster(t), cloud.Unit(), stat.NewRNG(100+seed)).RuntimeS
+	}
+	if sumOn >= sumOff {
+		t.Errorf("speculation mean runtime %v >= no-speculation %v", sumOn/10, sumOff/10)
+	}
+}
+
+func TestParallelismSweetSpot(t *testing.T) {
+	// Too few partitions underutilize slots; far too many drown in
+	// dispatch overhead. A mid value should beat both extremes.
+	job := shuffleJob(4096, 1024)
+	runWith := func(par int) float64 {
+		c := reasonable()
+		c.DefaultParallelism = par
+		c.DriverCores = 1
+		res := Run(job, c, testCluster(t), cloud.Unit(), stat.NewRNG(13))
+		if res.Failed {
+			t.Fatalf("parallelism %d failed: %s", par, res.Reason)
+		}
+		return res.RuntimeS
+	}
+	few := runWith(2)
+	mid := runWith(64)
+	if mid >= few {
+		t.Errorf("mid parallelism (%v) not faster than 2 partitions (%v)", mid, few)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	ok := Result{RuntimeS: 12.3, CostUSD: 0.5, Executors: 3}
+	if !strings.Contains(ok.String(), "runtime=12.3s") {
+		t.Errorf("String = %q", ok.String())
+	}
+	bad := Result{Failed: true, Reason: "x", RuntimeS: 1}
+	if !strings.Contains(bad.String(), "FAILED") {
+		t.Errorf("String = %q", bad.String())
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		job  *Job
+		ok   bool
+	}{
+		{"empty", &Job{}, false},
+		{"bad id", &Job{Stages: []Stage{{ID: 1, ReadsCachedFrom: -1}}}, false},
+		{"forward dep", &Job{Stages: []Stage{{ID: 0, Deps: []int{0}, ReadsCachedFrom: -1}}}, false},
+		{"uncached read", &Job{Stages: []Stage{
+			{ID: 0, ReadsCachedFrom: -1},
+			{ID: 1, Deps: []int{0}, ReadsCachedFrom: 0},
+		}}, false},
+		{"negative volume", &Job{Stages: []Stage{{ID: 0, Records: -1, ReadsCachedFrom: -1}}}, false},
+		{"valid", scanJob(10), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.job.Validate()
+			if tt.ok && err != nil {
+				t.Errorf("Validate = %v", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("Validate = nil, want error")
+			}
+		})
+	}
+}
+
+func TestTotalShuffleBytes(t *testing.T) {
+	job := shuffleJob(100, 50)
+	if got := job.TotalShuffleBytes(); got != 50<<20 {
+		t.Errorf("TotalShuffleBytes = %d, want %d", got, 50<<20)
+	}
+}

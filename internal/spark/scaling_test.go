@@ -1,0 +1,100 @@
+package spark_test
+
+import (
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/workload"
+)
+
+// scaledRun executes a workload on n nodes with a configuration sized to
+// the cluster, averaging over a few seeds.
+func scaledRun(t *testing.T, w workload.Workload, sizeGB, nodes int) float64 {
+	t.Helper()
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/g5.2xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := cloud.ClusterSpec{Instance: it, Count: nodes}
+	space := confspace.SparkSpace()
+	cfg := space.Default()
+	cfg[confspace.ParamExecutorCores] = 4
+	cfg[confspace.ParamExecutorInstances] = float64(2 * nodes)
+	cfg[confspace.ParamExecutorMemoryMB] = 12288
+	cfg[confspace.ParamDriverMemoryMB] = 4096
+	p, _ := space.Param(confspace.ParamDefaultParallelism)
+	cfg[confspace.ParamDefaultParallelism] = p.Clamp(float64(16 * nodes))
+	conf := spark.FromConfig(space, cfg)
+	job := w.Job(int64(sizeGB) << 30)
+	// Skew realizations change with partition counts and straggler noise
+	// varies per run; ablate both so the test isolates the scaling law.
+	opts := spark.RunOpts{Ablate: spark.Ablate{NoSkew: true, NoNoise: true}}
+	res := spark.RunWith(job, conf, cluster, cloud.Unit(), opts, stat.NewRNG(100))
+	if res.Failed {
+		t.Fatalf("%s on %d nodes failed: %s", w.Name(), nodes, res.Reason)
+	}
+	return res.RuntimeS
+}
+
+// The simulator must reproduce the qualitative scaling laws real DISC
+// systems obey — the laws Ernest's model is built on.
+
+func TestScalingSpeedupIsSublinear(t *testing.T) {
+	// Doubling the cluster helps, but never by a full 2x (coordination,
+	// stragglers, per-task overheads).
+	for _, w := range []workload.Workload{workload.Sort{}, workload.Wordcount{}} {
+		t2 := scaledRun(t, w, 16, 2)
+		t4 := scaledRun(t, w, 16, 4)
+		t8 := scaledRun(t, w, 16, 8)
+		if t4 >= t2 || t8 >= t4 {
+			t.Errorf("%s: no speedup from scale: %.1f / %.1f / %.1f", w.Name(), t2, t4, t8)
+		}
+		if s := t2 / t4; s >= 2.05 {
+			t.Errorf("%s: 2->4 nodes speedup %.2f, want sublinear", w.Name(), s)
+		}
+		if s := t4 / t8; s >= 2.05 {
+			t.Errorf("%s: 4->8 nodes speedup %.2f, want sublinear", w.Name(), s)
+		}
+	}
+}
+
+func TestScalingDiminishingReturns(t *testing.T) {
+	// The marginal speedup of each doubling shrinks (Amdahl-style): the
+	// serial fraction (driver overheads, stage barriers) grows relatively.
+	w := workload.Wordcount{}
+	t2 := scaledRun(t, w, 8, 2)
+	t4 := scaledRun(t, w, 8, 4)
+	t8 := scaledRun(t, w, 8, 8)
+	t16 := scaledRun(t, w, 8, 16)
+	first := t2 / t4
+	last := t8 / t16
+	if last >= first {
+		t.Errorf("marginal speedups should shrink: 2->4 gave %.2fx, 8->16 gave %.2fx", first, last)
+	}
+}
+
+func TestScalingRuntimeRoughlyLinearInData(t *testing.T) {
+	// For a streaming scan, 4x the input on the same cluster costs ~4x
+	// the time (within generous bounds).
+	w := workload.Wordcount{}
+	small := scaledRun(t, w, 4, 4)
+	big := scaledRun(t, w, 16, 4)
+	ratio := big / small
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("4x data runtime ratio = %.2f, want roughly linear", ratio)
+	}
+}
+
+func TestScalingShuffleHeavyScalesWorse(t *testing.T) {
+	// Sort (full-data shuffle) benefits less from extra nodes than the
+	// embarrassingly parallel Wordcount at the same scale step.
+	wcSpeedup := scaledRun(t, workload.Wordcount{}, 16, 4) / scaledRun(t, workload.Wordcount{}, 16, 16)
+	sortSpeedup := scaledRun(t, workload.Sort{}, 16, 4) / scaledRun(t, workload.Sort{}, 16, 16)
+	if sortSpeedup >= wcSpeedup*1.15 {
+		t.Errorf("sort speedup %.2fx clearly above wordcount %.2fx; shuffle should pay a coordination tax",
+			sortSpeedup, wcSpeedup)
+	}
+}

@@ -1,0 +1,178 @@
+package spark
+
+import (
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/stat"
+)
+
+// branchJob builds two independent scan stages feeding one join stage —
+// the driver can run the scans concurrently.
+func branchJob(perBranchMB int64) *Job {
+	return &Job{
+		Name: "branch", Workload: "branch", InputBytes: 2 * perBranchMB << 20,
+		DriverNeedMB: 256,
+		Stages: []Stage{
+			{
+				ID: 0, Name: "scan-a", Partitions: FromInputSplits,
+				InputBytes: perBranchMB << 20, Records: perBranchMB * 10000,
+				ComputePerRecord: 2e-6, MemPerRecordBytes: 20,
+				ShuffleWriteBytes: perBranchMB << 19,
+				ReadsCachedFrom:   -1, MaxRecordMB: 1,
+			},
+			{
+				ID: 1, Name: "scan-b", Partitions: FromInputSplits,
+				InputBytes: perBranchMB << 20, Records: perBranchMB * 10000,
+				ComputePerRecord: 2e-6, MemPerRecordBytes: 20,
+				ShuffleWriteBytes: perBranchMB << 19,
+				ReadsCachedFrom:   -1, MaxRecordMB: 1,
+			},
+			{
+				ID: 2, Name: "join", Deps: []int{0, 1}, Partitions: FromParallelism,
+				Records: perBranchMB * 5000, ComputePerRecord: 3e-6,
+				MemPerRecordBytes: 150, ReadsCachedFrom: -1, MaxRecordMB: 1,
+			},
+		},
+	}
+}
+
+// serialJob is the same work as branchJob but with an artificial
+// dependency forcing the scans to run one after another.
+func serialJob(perBranchMB int64) *Job {
+	j := branchJob(perBranchMB)
+	j.Stages[1].Deps = []int{0}
+	return j
+}
+
+func TestIndependentStagesRunConcurrently(t *testing.T) {
+	// With far more tasks than slots both orderings saturate the cluster
+	// and take similar time; with few fat tasks, running the branches
+	// concurrently must beat serializing them.
+	conf := reasonable()
+	conf.MaxPartitionBytesMB = 512 // few fat input tasks per scan
+	cluster := testCluster(t)
+	par := Run(branchJob(4096), conf, cluster, cloud.Unit(), stat.NewRNG(1))
+	ser := Run(serialJob(4096), conf, cluster, cloud.Unit(), stat.NewRNG(1))
+	if par.Failed || ser.Failed {
+		t.Fatalf("unexpected failure: %v / %v", par.Reason, ser.Reason)
+	}
+	if par.RuntimeS >= ser.RuntimeS {
+		t.Errorf("concurrent branches (%.1fs) not faster than serialized (%.1fs)", par.RuntimeS, ser.RuntimeS)
+	}
+}
+
+func TestWaveMetricsCoverAllStages(t *testing.T) {
+	res := Run(branchJob(1024), reasonable(), testCluster(t), cloud.Unit(), stat.NewRNG(2))
+	if res.Failed {
+		t.Fatal(res.Reason)
+	}
+	if len(res.Stages) != 3 {
+		t.Fatalf("stage metrics = %d, want 3", len(res.Stages))
+	}
+	seen := map[int]bool{}
+	for _, sm := range res.Stages {
+		seen[sm.ID] = true
+		if sm.DurationS <= 0 {
+			t.Errorf("stage %d duration %v", sm.ID, sm.DurationS)
+		}
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Errorf("missing stage metrics: %v", seen)
+	}
+}
+
+func TestFairVsFIFOBothComplete(t *testing.T) {
+	conf := reasonable()
+	fifo := Run(branchJob(2048), conf, testCluster(t), cloud.Unit(), stat.NewRNG(3))
+	conf.SchedulerFair = true
+	fair := Run(branchJob(2048), conf, testCluster(t), cloud.Unit(), stat.NewRNG(3))
+	if fifo.Failed || fair.Failed {
+		t.Fatalf("unexpected failure: %v / %v", fifo.Reason, fair.Reason)
+	}
+	// Total work is identical; makespans should be within 25%.
+	ratio := fair.RuntimeS / fifo.RuntimeS
+	if ratio < 0.75 || ratio > 1.35 {
+		t.Errorf("fair/fifo ratio = %.2f, want near 1", ratio)
+	}
+}
+
+func TestExecutorFailureInjection(t *testing.T) {
+	conf := reasonable()
+	job := scanJob(8192)
+	cluster := testCluster(t)
+	// Without churn: no losses.
+	clean := RunWith(job, conf, cluster, cloud.Unit(), RunOpts{}, stat.NewRNG(4))
+	if clean.ExecutorsLost != 0 {
+		t.Fatalf("losses without MTBF: %d", clean.ExecutorsLost)
+	}
+	// Aggressive churn: losses occur and runs slow down on average.
+	var lostTotal int
+	var cleanSum, churnSum float64
+	for seed := int64(0); seed < 12; seed++ {
+		c := RunWith(job, conf, cluster, cloud.Unit(), RunOpts{}, stat.NewRNG(100+seed))
+		f := RunWith(job, conf, cluster, cloud.Unit(), RunOpts{ExecutorMTBFHours: 0.02}, stat.NewRNG(100+seed))
+		if f.Failed || c.Failed {
+			t.Fatalf("unexpected failure: %v / %v", f.Reason, c.Reason)
+		}
+		lostTotal += f.ExecutorsLost
+		cleanSum += c.RuntimeS
+		churnSum += f.RuntimeS
+	}
+	if lostTotal == 0 {
+		t.Fatal("no executor losses under 72-second MTBF")
+	}
+	if churnSum <= cleanSum {
+		t.Errorf("churn mean %.1f not above clean mean %.1f", churnSum/12, cleanSum/12)
+	}
+}
+
+func TestShuffleServiceSoftensChurn(t *testing.T) {
+	// The external shuffle service preserves shuffle files across
+	// executor loss; with heavy churn it should help on average.
+	job := shuffleJob(4096, 2048)
+	cluster := testCluster(t)
+	opts := RunOpts{ExecutorMTBFHours: 0.01}
+	var with, without float64
+	for seed := int64(0); seed < 16; seed++ {
+		c := reasonable()
+		c.ShuffleService = false
+		without += RunWith(job, c, cluster, cloud.Unit(), opts, stat.NewRNG(200+seed)).RuntimeS
+		c.ShuffleService = true
+		with += RunWith(job, c, cluster, cloud.Unit(), opts, stat.NewRNG(200+seed)).RuntimeS
+	}
+	if with >= without {
+		t.Errorf("shuffle service mean %.1f not below no-service mean %.1f", with/16, without/16)
+	}
+}
+
+func TestChurnDegradesCacheHits(t *testing.T) {
+	// An iterative job under churn loses cached partitions.
+	stages := []Stage{{
+		ID: 0, Name: "build", Partitions: FromInputSplits,
+		InputBytes: 1 << 30, Records: 5e6, ComputePerRecord: 2e-6,
+		MemPerRecordBytes: 60, CacheOutput: true, CacheBytes: 2 << 30,
+		ReadsCachedFrom: -1, MaxRecordMB: 1,
+	}}
+	for i := 1; i <= 6; i++ {
+		stages = append(stages, Stage{
+			ID: i, Name: "iter", Deps: []int{i - 1}, Partitions: FromParallelism,
+			Records: 5e6, ComputePerRecord: 1e-6, MemPerRecordBytes: 60,
+			ShuffleWriteBytes: 64 << 20,
+			ReadsCachedFrom:   0, RecomputePerRecord: 4e-6, MaxRecordMB: 1,
+		})
+	}
+	job := &Job{Name: "iter", Workload: "iter", InputBytes: 1 << 30, DriverNeedMB: 256, Stages: stages}
+	conf := reasonable()
+	res := RunWith(job, conf, testCluster(t), cloud.Unit(), RunOpts{ExecutorMTBFHours: 0.01}, stat.NewRNG(7))
+	if res.Failed {
+		t.Fatal(res.Reason)
+	}
+	if res.ExecutorsLost == 0 {
+		t.Skip("no loss drawn for this seed")
+	}
+	last := res.Stages[len(res.Stages)-1]
+	if last.CacheHitFrac >= 1 {
+		t.Errorf("cache hit frac %.2f after %d executor losses, want < 1", last.CacheHitFrac, res.ExecutorsLost)
+	}
+}

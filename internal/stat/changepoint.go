@@ -1,0 +1,225 @@
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// ChangeDetector consumes a stream of observations (e.g. per-run workload
+// runtimes) and reports when the underlying distribution appears to have
+// shifted. Implementations are the statistical core of re-tuning detection
+// (paper §V-D).
+type ChangeDetector interface {
+	// Observe folds in one observation and reports whether a change was
+	// detected at this point.
+	Observe(x float64) bool
+	// Reset clears all state, e.g. after re-tuning completes.
+	Reset()
+}
+
+// PageHinkley implements the Page-Hinkley test for detecting an increase
+// in the mean of a stream. Delta is the magnitude of allowed fluctuation
+// (drift tolerance) and Lambda the detection threshold; larger Lambda
+// trades detection latency for fewer false alarms.
+type PageHinkley struct {
+	Delta  float64
+	Lambda float64
+
+	n    int
+	mean float64
+	mt   float64 // cumulative deviation
+	mMin float64 // running minimum of mt
+}
+
+var _ ChangeDetector = (*PageHinkley)(nil)
+
+// NewPageHinkley returns a detector with the given drift tolerance and
+// threshold.
+func NewPageHinkley(delta, lambda float64) *PageHinkley {
+	return &PageHinkley{Delta: delta, Lambda: lambda}
+}
+
+// Observe implements ChangeDetector.
+func (p *PageHinkley) Observe(x float64) bool {
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+	p.mt += x - p.mean - p.Delta
+	if p.mt < p.mMin {
+		p.mMin = p.mt
+	}
+	return p.mt-p.mMin > p.Lambda
+}
+
+// Reset implements ChangeDetector.
+func (p *PageHinkley) Reset() {
+	p.n, p.mean, p.mt, p.mMin = 0, 0, 0, 0
+}
+
+// CUSUM is a two-sided cumulative-sum detector around a reference mean
+// learned from the first Warmup observations. K is the slack (in standard
+// deviations) and H the decision threshold (in standard deviations).
+type CUSUM struct {
+	K      float64
+	H      float64
+	Warmup int
+
+	ref    Welford
+	hi, lo float64
+}
+
+var _ ChangeDetector = (*CUSUM)(nil)
+
+// NewCUSUM returns a two-sided CUSUM detector. warmup observations are used
+// to estimate the in-control mean and deviation before testing begins.
+func NewCUSUM(k, h float64, warmup int) *CUSUM {
+	if warmup < 2 {
+		warmup = 2
+	}
+	return &CUSUM{K: k, H: h, Warmup: warmup}
+}
+
+// Observe implements ChangeDetector.
+func (c *CUSUM) Observe(x float64) bool {
+	if c.ref.N() < c.Warmup {
+		c.ref.Add(x)
+		return false
+	}
+	std := c.ref.Std()
+	if std == 0 {
+		std = math.Abs(c.ref.Mean())*0.01 + 1e-9
+	}
+	z := (x - c.ref.Mean()) / std
+	c.hi = math.Max(0, c.hi+z-c.K)
+	c.lo = math.Max(0, c.lo-z-c.K)
+	return c.hi > c.H || c.lo > c.H
+}
+
+// Reset implements ChangeDetector.
+func (c *CUSUM) Reset() {
+	c.ref = Welford{}
+	c.hi, c.lo = 0, 0
+}
+
+// MannWhitneyU performs the Mann-Whitney U test (two-sided, normal
+// approximation) on samples a and b. It returns the U statistic and the
+// approximate p-value. Samples shorter than 2 yield p = 1.
+func MannWhitneyU(a, b []float64) (u float64, p float64) {
+	n1, n2 := len(a), len(b)
+	if n1 < 2 || n2 < 2 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks to ties and accumulate the tie correction term.
+	ranks := make([]float64, len(all))
+	tieCorrection := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+	u2 := float64(n1*n2) - u1
+	u = math.Min(u1, u2)
+
+	n := float64(n1 + n2)
+	mu := float64(n1*n2) / 2
+	sigma2 := float64(n1*n2) / 12 * (n + 1 - tieCorrection/(n*(n-1)))
+	if sigma2 <= 0 {
+		return u, 1
+	}
+	z := (u - mu + 0.5) / math.Sqrt(sigma2) // continuity correction
+	p = 2 * normalCDF(-math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalCDF exposes the standard normal CDF for packages that need it
+// (e.g. expected-improvement acquisition in gp).
+func NormalCDF(x float64) float64 { return normalCDF(x) }
+
+// NormalPDF is the standard normal density.
+func NormalPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// WindowedMannWhitney detects change by comparing a sliding reference
+// window against a recent window with the Mann-Whitney U test. It adapts
+// to each workload's own runtime variance, which is exactly the property
+// fixed percentage thresholds lack (§V-D).
+type WindowedMannWhitney struct {
+	RefSize    int
+	RecentSize int
+	Alpha      float64
+
+	ref, recent []float64
+}
+
+var _ ChangeDetector = (*WindowedMannWhitney)(nil)
+
+// NewWindowedMannWhitney returns a detector with the given window sizes and
+// significance level alpha.
+func NewWindowedMannWhitney(refSize, recentSize int, alpha float64) *WindowedMannWhitney {
+	if refSize < 2 {
+		refSize = 2
+	}
+	if recentSize < 2 {
+		recentSize = 2
+	}
+	return &WindowedMannWhitney{RefSize: refSize, RecentSize: recentSize, Alpha: alpha}
+}
+
+// Observe implements ChangeDetector.
+func (w *WindowedMannWhitney) Observe(x float64) bool {
+	if len(w.ref) < w.RefSize {
+		w.ref = append(w.ref, x)
+		return false
+	}
+	w.recent = append(w.recent, x)
+	if len(w.recent) > w.RecentSize {
+		w.recent = w.recent[1:]
+	}
+	if len(w.recent) < w.RecentSize {
+		return false
+	}
+	_, p := MannWhitneyU(w.ref, w.recent)
+	return p < w.Alpha
+}
+
+// Reset implements ChangeDetector.
+func (w *WindowedMannWhitney) Reset() {
+	w.ref = w.ref[:0]
+	w.recent = w.recent[:0]
+}

@@ -1,0 +1,206 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+// driftStream produces n1 observations around mean m1 then n2 around m2.
+func driftStream(seed int64, n1, n2 int, m1, m2, sigma float64) []float64 {
+	r := NewRNG(seed)
+	xs := make([]float64, 0, n1+n2)
+	for i := 0; i < n1; i++ {
+		xs = append(xs, m1+sigma*r.NormFloat64())
+	}
+	for i := 0; i < n2; i++ {
+		xs = append(xs, m2+sigma*r.NormFloat64())
+	}
+	return xs
+}
+
+// firstDetection feeds xs into d and returns the index of the first
+// detection, or -1.
+func firstDetection(d ChangeDetector, xs []float64) int {
+	for i, x := range xs {
+		if d.Observe(x) {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestPageHinkleyDetectsShift(t *testing.T) {
+	xs := driftStream(1, 50, 50, 100, 130, 5)
+	d := NewPageHinkley(2, 30)
+	got := firstDetection(d, xs)
+	if got < 50 || got > 70 {
+		t.Errorf("detection at %d, want within [50, 70]", got)
+	}
+}
+
+func TestPageHinkleyNoFalseAlarm(t *testing.T) {
+	xs := driftStream(2, 200, 0, 100, 100, 5)
+	d := NewPageHinkley(2, 50)
+	if got := firstDetection(d, xs); got != -1 {
+		t.Errorf("false alarm at %d on a stationary stream", got)
+	}
+}
+
+func TestPageHinkleyReset(t *testing.T) {
+	d := NewPageHinkley(0.1, 5)
+	for i := 0; i < 20; i++ {
+		d.Observe(float64(i * 10))
+	}
+	d.Reset()
+	if d.Observe(1) {
+		t.Error("detection immediately after Reset")
+	}
+}
+
+func TestCUSUMDetectsShiftBothDirections(t *testing.T) {
+	tests := []struct {
+		name   string
+		m2     float64
+		within int
+	}{
+		{"upward", 130, 75},
+		{"downward", 70, 75},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			xs := driftStream(3, 50, 50, 100, tt.m2, 5)
+			d := NewCUSUM(0.5, 5, 20)
+			got := firstDetection(d, xs)
+			if got < 50 || got > tt.within {
+				t.Errorf("detection at %d, want within [50, %d]", got, tt.within)
+			}
+		})
+	}
+}
+
+func TestCUSUMStationaryQuiet(t *testing.T) {
+	xs := driftStream(4, 300, 0, 100, 100, 5)
+	d := NewCUSUM(0.5, 8, 20)
+	if got := firstDetection(d, xs); got != -1 {
+		t.Errorf("false alarm at %d", got)
+	}
+}
+
+func TestCUSUMZeroVarianceReference(t *testing.T) {
+	d := NewCUSUM(0.5, 4, 3)
+	for i := 0; i < 3; i++ {
+		d.Observe(100) // constant warmup: zero variance
+	}
+	// A clear jump should still eventually be detected despite the
+	// degenerate reference deviation.
+	detected := false
+	for i := 0; i < 10; i++ {
+		if d.Observe(150) {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Error("no detection after jump with zero-variance reference")
+	}
+}
+
+func TestMannWhitneyU(t *testing.T) {
+	tests := []struct {
+		name      string
+		a, b      []float64
+		wantPLow  bool // p < 0.05
+		wantPHigh bool // p > 0.3
+	}{
+		{
+			name:     "clearly different",
+			a:        []float64{1, 2, 3, 4, 5, 6, 7, 8},
+			b:        []float64{101, 102, 103, 104, 105, 106, 107, 108},
+			wantPLow: true,
+		},
+		{
+			name:      "identical distributions",
+			a:         []float64{1, 2, 3, 4, 5, 6, 7, 8},
+			b:         []float64{1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5},
+			wantPHigh: true,
+		},
+		{
+			name:      "too short",
+			a:         []float64{1},
+			b:         []float64{2, 3},
+			wantPHigh: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, p := MannWhitneyU(tt.a, tt.b)
+			if tt.wantPLow && p >= 0.05 {
+				t.Errorf("p = %v, want < 0.05", p)
+			}
+			if tt.wantPHigh && p <= 0.3 {
+				t.Errorf("p = %v, want > 0.3", p)
+			}
+		})
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	b := []float64{5, 5, 5, 5}
+	_, p := MannWhitneyU(a, b)
+	if p < 0.99 {
+		t.Errorf("all-tie samples p = %v, want ~1", p)
+	}
+}
+
+func TestWindowedMannWhitneyDetects(t *testing.T) {
+	xs := driftStream(5, 30, 30, 100, 140, 5)
+	d := NewWindowedMannWhitney(20, 8, 0.01)
+	got := firstDetection(d, xs)
+	if got < 30 || got > 45 {
+		t.Errorf("detection at %d, want within [30, 45]", got)
+	}
+}
+
+func TestWindowedMannWhitneyQuietOnStationary(t *testing.T) {
+	xs := driftStream(6, 200, 0, 100, 100, 10)
+	d := NewWindowedMannWhitney(30, 10, 0.001)
+	if got := firstDetection(d, xs); got != -1 {
+		t.Errorf("false alarm at %d", got)
+	}
+}
+
+func TestWindowedMannWhitneyReset(t *testing.T) {
+	d := NewWindowedMannWhitney(5, 3, 0.05)
+	for i := 0; i < 20; i++ {
+		d.Observe(float64(i))
+	}
+	d.Reset()
+	if d.Observe(0) {
+		t.Error("detection right after Reset")
+	}
+}
+
+func TestNormalCDFValues(t *testing.T) {
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1.959964, 0.975},
+		{-1.959964, 0.025},
+	}
+	for _, tt := range tests {
+		if got := NormalCDF(tt.x); math.Abs(got-tt.want) > 1e-4 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestNormalPDFSymmetric(t *testing.T) {
+	if math.Abs(NormalPDF(1.3)-NormalPDF(-1.3)) > 1e-12 {
+		t.Error("NormalPDF not symmetric")
+	}
+	if math.Abs(NormalPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Error("NormalPDF(0) wrong")
+	}
+}

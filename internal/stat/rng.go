@@ -1,0 +1,131 @@
+// Package stat provides the statistical substrate used throughout
+// seamlesstune: seeded random-number plumbing, heavy-tailed distributions
+// for workload and interference modelling, summary statistics, and the
+// change-point detectors that drive re-tuning decisions.
+//
+// Everything in this package is deterministic given a seed: no function
+// reads global randomness or wall-clock time. Components that need
+// randomness accept an explicit *rand.Rand (see RNG helpers below), which
+// keeps simulation runs reproducible end to end.
+package stat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRNG returns a rand.Rand seeded with the given seed. It exists so that
+// call sites never reach for the global rand functions, which would break
+// reproducibility.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Fork derives an independent generator from r. Forking lets concurrent or
+// per-entity components (one stream per executor, per tenant, ...) consume
+// randomness without perturbing each other's sequences.
+func Fork(r *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(r.Int63()))
+}
+
+// Lognormal draws from a lognormal distribution parameterized by the
+// location mu and scale sigma of the underlying normal. It is the
+// canonical straggler model: most task durations cluster near exp(mu)
+// while a heavy right tail produces occasional slow outliers.
+func Lognormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// LognormalMean returns the mean of Lognormal(mu, sigma), useful when a
+// model needs the expected value of a noisy quantity.
+func LognormalMean(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*sigma/2)
+}
+
+// Pareto draws from a Pareto(xm, alpha) distribution: support [xm, inf),
+// shape alpha. Used for skewed partition sizes (data skew).
+func Pareto(r *rand.Rand, xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Zipf ranks items 1..n with exponent s and returns a draw in [1, n].
+// It backs the synthetic text generators (word frequencies) and the
+// power-law degree distribution of web graphs.
+type Zipf struct {
+	n   int
+	cum []float64 // cumulative normalized weights
+}
+
+// NewZipf builds a Zipf sampler over ranks 1..n with exponent s > 0.
+// n must be >= 1; otherwise a single-rank sampler is returned.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+		cum[i-1] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{n: n, cum: cum}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Draw returns a rank in [1, z.N()].
+func (z *Zipf) Draw(r *rand.Rand) int {
+	u := r.Float64()
+	// Binary search for the first cumulative weight >= u.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Prob returns the probability mass of rank k (1-based).
+func (z *Zipf) Prob(k int) float64 {
+	if k < 1 || k > z.n {
+		return 0
+	}
+	if k == 1 {
+		return z.cum[0]
+	}
+	return z.cum[k-1] - z.cum[k-2]
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampInt bounds v to [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := Fork(parent)
+	// The child must be deterministic given the parent state at fork time.
+	parent2 := NewRNG(7)
+	child2 := Fork(parent2)
+	for i := 0; i < 50; i++ {
+		if child.Float64() != child2.Float64() {
+			t.Fatalf("forked generators not reproducible at draw %d", i)
+		}
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	r := NewRNG(3)
+	const mu, sigma = 1.0, 0.5
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(Lognormal(r, mu, sigma))
+	}
+	want := LognormalMean(mu, sigma)
+	if math.Abs(w.Mean()-want)/want > 0.02 {
+		t.Errorf("empirical lognormal mean = %v, want ~%v", w.Mean(), want)
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := Pareto(r, 2.0, 1.5)
+		if v < 2.0 {
+			t.Fatalf("Pareto draw %v below xm", v)
+		}
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	const n = 100
+	z := NewZipf(n, 1.0)
+	if z.N() != n {
+		t.Fatalf("N = %d, want %d", z.N(), n)
+	}
+	r := NewRNG(11)
+	counts := make([]int, n+1)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		k := z.Draw(r)
+		if k < 1 || k > n {
+			t.Fatalf("draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Rank 1 should be the most frequent, and empirical frequency should
+	// track the analytic mass within a loose tolerance.
+	if counts[1] < counts[2] {
+		t.Errorf("rank 1 count %d < rank 2 count %d", counts[1], counts[2])
+	}
+	emp := float64(counts[1]) / draws
+	if math.Abs(emp-z.Prob(1)) > 0.02 {
+		t.Errorf("rank-1 empirical freq %v vs analytic %v", emp, z.Prob(1))
+	}
+	// Probability masses sum to 1.
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += z.Prob(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Zipf masses sum to %v, want 1", sum)
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(0, 1.2)
+	r := NewRNG(1)
+	if k := z.Draw(r); k != 1 {
+		t.Errorf("degenerate Zipf draw = %d, want 1", k)
+	}
+	if p := z.Prob(2); p != 0 {
+		t.Errorf("out-of-range Prob = %v, want 0", p)
+	}
+}

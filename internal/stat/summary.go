@@ -1,0 +1,226 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P25    float64
+	P75    float64
+	P95    float64
+}
+
+// Summarize computes descriptive statistics for xs. An empty sample yields
+// a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Min:  math.Inf(1),
+		Max:  math.Inf(-1),
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Std = Std(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P25 = quantileSorted(sorted, 0.25)
+	s.P75 = quantileSorted(sorted, 0.75)
+	s.P95 = quantileSorted(sorted, 0.95)
+	return s
+}
+
+// String renders the summary compactly for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1), or 0 for samples
+// shorter than 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// Std returns the sample standard deviation.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It copies and sorts xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MinOf returns the minimum of xs and its index, or (+Inf, -1) when empty.
+func MinOf(xs []float64) (float64, int) {
+	best, idx := math.Inf(1), -1
+	for i, x := range xs {
+		if x < best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// MaxOf returns the maximum of xs and its index, or (-Inf, -1) when empty.
+func MaxOf(xs []float64) (float64, int) {
+	best, idx := math.Inf(-1), -1
+	for i, x := range xs {
+		if x > best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0, 1]. The zero value is not usable; construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. alpha is clamped
+// to (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 1e-3
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds x into the average and returns the updated value.
+func (e *EWMA) Observe(x float64) float64 {
+	if !e.init {
+		e.value, e.init = x, true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one observation has been folded in.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Welford accumulates running mean/variance without storing the sample.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased running variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the running standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// BootstrapCI estimates a (1-alpha) confidence interval for the mean of xs
+// by resampling nboot times with the supplied generator. It returns the
+// (lo, hi) bounds; for empty samples it returns zeros.
+func BootstrapCI(r interface{ Intn(int) int }, xs []float64, nboot int, alpha float64) (lo, hi float64) {
+	if len(xs) == 0 || nboot <= 0 {
+		return 0, 0
+	}
+	means := make([]float64, nboot)
+	for b := 0; b < nboot; b++ {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[b] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	return quantileSorted(means, alpha/2), quantileSorted(means, 1-alpha/2)
+}

@@ -1,0 +1,186 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want Summary
+	}{
+		{
+			name: "empty",
+			xs:   nil,
+			want: Summary{},
+		},
+		{
+			name: "single",
+			xs:   []float64{5},
+			want: Summary{N: 1, Mean: 5, Min: 5, Max: 5, Median: 5, P25: 5, P75: 5, P95: 5},
+		},
+		{
+			name: "ordered",
+			xs:   []float64{1, 2, 3, 4, 5},
+			want: Summary{N: 5, Mean: 3, Std: math.Sqrt(2.5), Min: 1, Max: 5, Median: 3, P25: 2, P75: 4, P95: 4.8},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Summarize(tt.xs)
+			if got.N != tt.want.N || !almostEq(got.Mean, tt.want.Mean, 1e-12) ||
+				!almostEq(got.Std, tt.want.Std, 1e-12) ||
+				!almostEq(got.Median, tt.want.Median, 1e-12) ||
+				!almostEq(got.P95, tt.want.P95, 1e-12) {
+				t.Errorf("Summarize(%v) = %+v, want %+v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Quantile(q=0) = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 3 {
+		t.Errorf("Quantile(q=1) = %v, want 3", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := NewRNG(1)
+	xs := make([]float64, 200)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Welford mean = %v, batch mean = %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Welford variance = %v, batch variance = %v", w.Variance(), Variance(xs))
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("EWMA initialized before any observation")
+	}
+	if got := e.Observe(10); got != 10 {
+		t.Errorf("first Observe = %v, want 10", got)
+	}
+	if got := e.Observe(20); got != 15 {
+		t.Errorf("second Observe = %v, want 15", got)
+	}
+}
+
+func TestMinMaxOf(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if v, i := MinOf(xs); v != 1 || i != 1 {
+		t.Errorf("MinOf = (%v, %d), want (1, 1)", v, i)
+	}
+	if v, i := MaxOf(xs); v != 5 || i != 4 {
+		t.Errorf("MaxOf = (%v, %d), want (5, 4)", v, i)
+	}
+	if _, i := MinOf(nil); i != -1 {
+		t.Errorf("MinOf(nil) index = %d, want -1", i)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		s := Summarize(xs)
+		return Quantile(xs, 0) >= s.Min-1e-9 && Quantile(xs, 1) <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Welford mean is always within [min, max] of the sample.
+func TestWelfordBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var w Welford
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, v := range raw {
+			// Restrict to a range where intermediate sums of squares
+			// cannot overflow float64.
+			if math.IsNaN(v) || math.Abs(v) > 1e100 {
+				continue
+			}
+			w.Add(v)
+			n++
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		return w.Mean() >= lo-1e-9 && w.Mean() <= hi+1e-9 && w.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapCIContainsMean(t *testing.T) {
+	r := NewRNG(42)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+	}
+	lo, hi := BootstrapCI(r, xs, 500, 0.05)
+	m := Mean(xs)
+	if !(lo <= m && m <= hi) {
+		t.Errorf("CI [%v, %v] does not contain sample mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 {
+		t.Errorf("CI width = %v, want > 0", hi-lo)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp(5,0,3) = %v", got)
+	}
+	if got := Clamp(-1, 0, 3); got != 0 {
+		t.Errorf("Clamp(-1,0,3) = %v", got)
+	}
+	if got := ClampInt(2, 0, 3); got != 2 {
+		t.Errorf("ClampInt(2,0,3) = %v", got)
+	}
+}

@@ -1,0 +1,154 @@
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/learn"
+	"seamlesstune/internal/tuner"
+)
+
+// Aroma reproduces Lama & Zhou's two-phase approach (paper §II-B, §V-B):
+// offline, historical workloads are clustered by resource profile
+// (k-medoids) and a one-vs-rest SVM bank learns the cluster boundaries;
+// online, a new workload's fingerprint is classified into a cluster and
+// the cluster's accumulated tuning knowledge (its best configurations)
+// is reused directly.
+type Aroma struct {
+	k       int
+	keys    []history.WorkloadKey
+	assign  map[history.WorkloadKey]int
+	svms    []*learn.SVM
+	perClus map[int][]tuner.Trial
+}
+
+// ErrAromaUntrainable is returned when the history bank cannot support
+// training (too few workloads or clusters).
+var ErrAromaUntrainable = errors.New("transfer: aroma needs at least k workloads with history")
+
+// TrainAroma builds the clustering, the classifier bank, and each
+// cluster's best-configuration pool. records maps each workload to its
+// execution history; space clamps reused configurations; perCluster
+// bounds the reuse pool (default 10).
+func TrainAroma(records map[history.WorkloadKey][]history.Record, k int, space *confspace.Space, perCluster int, rng *rand.Rand) (*Aroma, error) {
+	if k < 2 {
+		k = 2
+	}
+	if perCluster <= 0 {
+		perCluster = 10
+	}
+	fps := make(map[history.WorkloadKey]Fingerprint, len(records))
+	for key, recs := range records {
+		fp, err := FingerprintOf(WellConfigured(recs))
+		if err != nil {
+			continue
+		}
+		fps[key] = fp
+	}
+	if len(fps) < k {
+		return nil, fmt.Errorf("%w: %d usable workloads, k=%d", ErrAromaUntrainable, len(fps), k)
+	}
+	clus, err := ClusterWorkloads(fps, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	a := &Aroma{
+		k:       k,
+		keys:    clus.Keys,
+		assign:  clus.Assignment,
+		perClus: make(map[int][]tuner.Trial, k),
+	}
+
+	// One-vs-rest SVM per cluster over fingerprint vectors.
+	xs := make([][]float64, len(clus.Keys))
+	for i, key := range clus.Keys {
+		xs[i] = fps[key].Vector()
+	}
+	for c := 0; c < k; c++ {
+		ys := make([]float64, len(clus.Keys))
+		for i, key := range clus.Keys {
+			if clus.Assignment[key] == c {
+				ys[i] = 1
+			} else {
+				ys[i] = -1
+			}
+		}
+		svm, err := learn.FitSVM(learn.SVMConfig{Epochs: 120}, xs, ys, rng)
+		if err != nil {
+			return nil, err
+		}
+		a.svms = append(a.svms, svm)
+	}
+
+	// Per-cluster reuse pool: the fastest successful configurations of
+	// the cluster's member workloads, scale-normalized for ranking.
+	for c := 0; c < k; c++ {
+		var pool []tuner.Trial
+		for _, key := range clus.Keys {
+			if clus.Assignment[key] != c {
+				continue
+			}
+			pool = append(pool, WarmStartTrials(records[key], space, perCluster)...)
+		}
+		sort.Slice(pool, func(i, j int) bool { return pool[i].Runtime < pool[j].Runtime })
+		if len(pool) > perCluster {
+			pool = pool[:perCluster]
+		}
+		a.perClus[c] = pool
+	}
+	return a, nil
+}
+
+// Classify assigns a fingerprint to a cluster by the highest SVM score.
+func (a *Aroma) Classify(fp Fingerprint) int {
+	x := fp.Vector()
+	best, bestScore := 0, math.Inf(-1)
+	for c, svm := range a.svms {
+		if s := svm.Score(x); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Clusters returns the number of clusters.
+func (a *Aroma) Clusters() int { return a.k }
+
+// Members returns the workloads assigned to a cluster.
+func (a *Aroma) Members(c int) []history.WorkloadKey {
+	var out []history.WorkloadKey
+	for _, key := range a.keys {
+		if a.assign[key] == c {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// ReusePool returns the cluster's best configurations as warm-start
+// trials (copies), fastest first.
+func (a *Aroma) ReusePool(c int) []tuner.Trial {
+	pool := a.perClus[c]
+	out := make([]tuner.Trial, len(pool))
+	for i, tr := range pool {
+		out[i] = tr
+		out[i].Config = tr.Config.Clone()
+	}
+	return out
+}
+
+// Recommend classifies the fingerprint and returns the matched cluster's
+// best configuration, with ok=false when the cluster pool is empty.
+func (a *Aroma) Recommend(fp Fingerprint) (confspace.Config, int, bool) {
+	c := a.Classify(fp)
+	pool := a.perClus[c]
+	if len(pool) == 0 {
+		return nil, c, false
+	}
+	return pool[0].Config.Clone(), c, true
+}

@@ -1,0 +1,112 @@
+package transfer
+
+import (
+	"errors"
+	"testing"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/stat"
+)
+
+// aromaBank builds a history bank of two scan-like and two iterative
+// workloads with distinguishable configs.
+func aromaBank() map[history.WorkloadKey][]history.Record {
+	bank := map[history.WorkloadKey][]history.Record{}
+	mk := func(tenant, wl string, recs []history.Record, cores float64) {
+		for i := range recs {
+			recs[i].Config = confspace.Config{"spark.executor.cores": cores}
+		}
+		bank[history.WorkloadKey{Tenant: tenant, Workload: wl}] = recs
+	}
+	mk("a", "scan1", scanRecords(8), 2)
+	mk("b", "scan2", scanRecords(6), 3)
+	mk("c", "iter1", iterRecords(8), 7)
+	mk("d", "iter2", iterRecords(6), 8)
+	return bank
+}
+
+func aromaSpace(t *testing.T) *confspace.Space {
+	t.Helper()
+	s, err := confspace.NewSpace(confspace.IntParam("spark.executor.cores", 1, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTrainAromaClassifiesNewWorkloads(t *testing.T) {
+	a, err := TrainAroma(aromaBank(), 2, aromaSpace(t), 5, stat.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Clusters() != 2 {
+		t.Fatalf("clusters = %d", a.Clusters())
+	}
+	// Members split along profile lines.
+	m0, m1 := a.Members(0), a.Members(1)
+	if len(m0)+len(m1) != 4 || len(m0) == 0 || len(m1) == 0 {
+		t.Fatalf("member split = %d/%d", len(m0), len(m1))
+	}
+
+	// A fresh scan-like workload classifies with the scan cluster.
+	scanFP, _ := FingerprintOf(scanRecords(4))
+	iterFP, _ := FingerprintOf(iterRecords(4))
+	cs, ci := a.Classify(scanFP), a.Classify(iterFP)
+	if cs == ci {
+		t.Fatalf("scan and iter classified together (cluster %d)", cs)
+	}
+	// The scan cluster contains the scan workloads.
+	names := map[string]bool{}
+	for _, k := range a.Members(cs) {
+		names[k.Workload] = true
+	}
+	if !names["scan1"] || !names["scan2"] {
+		t.Errorf("scan cluster members = %v", a.Members(cs))
+	}
+}
+
+func TestAromaRecommendReusesClusterConfig(t *testing.T) {
+	a, err := TrainAroma(aromaBank(), 2, aromaSpace(t), 5, stat.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterFP, _ := FingerprintOf(iterRecords(4))
+	cfg, c, ok := a.Recommend(iterFP)
+	if !ok {
+		t.Fatalf("no recommendation for cluster %d", c)
+	}
+	// Iterative workloads in the bank ran with 7-8 cores.
+	if got := cfg.Int("spark.executor.cores"); got < 7 {
+		t.Errorf("recommended cores = %d, want the iter cluster's 7-8", got)
+	}
+	// Pool is fastest-first and copies are independent.
+	pool := a.ReusePool(c)
+	if len(pool) == 0 {
+		t.Fatal("empty reuse pool")
+	}
+	for i := 1; i < len(pool); i++ {
+		if pool[i].Runtime < pool[i-1].Runtime {
+			t.Fatal("reuse pool not sorted")
+		}
+	}
+	pool[0].Config["spark.executor.cores"] = 99
+	again := a.ReusePool(c)
+	if again[0].Config.Int("spark.executor.cores") == 99 {
+		t.Error("ReusePool aliases internal state")
+	}
+}
+
+func TestTrainAromaErrors(t *testing.T) {
+	space := aromaSpace(t)
+	if _, err := TrainAroma(nil, 2, space, 0, stat.NewRNG(1)); !errors.Is(err, ErrAromaUntrainable) {
+		t.Errorf("err = %v", err)
+	}
+	// One workload cannot form two clusters.
+	bank := map[history.WorkloadKey][]history.Record{
+		{Tenant: "a", Workload: "w"}: scanRecords(5),
+	}
+	if _, err := TrainAroma(bank, 2, space, 0, stat.NewRNG(1)); !errors.Is(err, ErrAromaUntrainable) {
+		t.Errorf("err = %v", err)
+	}
+}

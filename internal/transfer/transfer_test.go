@@ -1,0 +1,183 @@
+package transfer
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/stat"
+)
+
+func mkRecord(wl string, input int64, runtime float64, shuffle, spill int64, gc float64, stages int, failed bool) history.Record {
+	return history.Record{
+		Tenant: "t", Workload: wl, InputBytes: input,
+		RuntimeS: runtime, Failed: failed,
+		Config: confspace.Config{"spark.executor.cores": 4},
+		Metrics: history.Metrics{
+			ShuffleReadBytes:  shuffle / 2,
+			ShuffleWriteBytes: shuffle / 2,
+			SpillBytes:        spill,
+			GCSeconds:         gc,
+			Stages:            stages,
+		},
+	}
+}
+
+const gb = int64(1) << 30
+
+// scanRecords mimics a map-heavy workload; iterRecords an iterative
+// shuffle-heavy one.
+func scanRecords(n int) []history.Record {
+	var out []history.Record
+	for i := 0; i < n; i++ {
+		out = append(out, mkRecord("scanlike", 8*gb, 50+float64(i), gb/20, 0, 1, 2, false))
+	}
+	return out
+}
+
+func iterRecords(n int) []history.Record {
+	var out []history.Record
+	for i := 0; i < n; i++ {
+		out = append(out, mkRecord("iterlike", 8*gb, 200+float64(i), 12*gb, 2*gb, 20, 11, false))
+	}
+	return out
+}
+
+func TestFingerprintOf(t *testing.T) {
+	fp, err := FingerprintOf(scanRecords(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.ShufflePerInput <= 0 || fp.SecondsPerGB <= 0 || fp.StageDepth != 2 {
+		t.Errorf("fingerprint = %+v", fp)
+	}
+	if fp.FailRate != 0 {
+		t.Errorf("FailRate = %v", fp.FailRate)
+	}
+}
+
+func TestFingerprintErrors(t *testing.T) {
+	if _, err := FingerprintOf(nil); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("err = %v", err)
+	}
+	// All-failed history also errors.
+	recs := []history.Record{mkRecord("w", gb, 10, 0, 0, 0, 1, true)}
+	if _, err := FingerprintOf(recs); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFingerprintFailRate(t *testing.T) {
+	recs := scanRecords(3)
+	recs = append(recs, mkRecord("scanlike", 8*gb, 10, 0, 0, 0, 2, true))
+	fp, err := FingerprintOf(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fp.FailRate-0.25) > 1e-9 {
+		t.Errorf("FailRate = %v, want 0.25", fp.FailRate)
+	}
+}
+
+func TestSimilarityOrdering(t *testing.T) {
+	scanA, _ := FingerprintOf(scanRecords(5))
+	scanB, _ := FingerprintOf(scanRecords(8)) // same profile, more runs
+	iter, _ := FingerprintOf(iterRecords(5))
+
+	same := Similarity(scanA, scanB)
+	diff := Similarity(scanA, iter)
+	if same <= diff {
+		t.Errorf("similar pair %v <= dissimilar pair %v", same, diff)
+	}
+	if same < DefaultSimilarityThreshold {
+		t.Errorf("same-profile similarity %v below threshold", same)
+	}
+	if diff >= DefaultSimilarityThreshold {
+		t.Errorf("cross-profile similarity %v above threshold", diff)
+	}
+	if s := Similarity(scanA, scanA); math.Abs(s-1) > 1e-9 {
+		t.Errorf("self similarity = %v", s)
+	}
+}
+
+func TestSelectSource(t *testing.T) {
+	scan, _ := FingerprintOf(scanRecords(5))
+	scan2, _ := FingerprintOf(scanRecords(9))
+	iter, _ := FingerprintOf(iterRecords(5))
+	candidates := map[history.WorkloadKey]Fingerprint{
+		{Tenant: "a", Workload: "scanlike"}: scan2,
+		{Tenant: "b", Workload: "iterlike"}: iter,
+	}
+	sel := SelectSource(scan, candidates, 0)
+	if !sel.Accepted || sel.Source.Workload != "scanlike" {
+		t.Errorf("selection = %+v", sel)
+	}
+	// Only a dissimilar candidate: must be rejected.
+	sel = SelectSource(scan, map[history.WorkloadKey]Fingerprint{
+		{Tenant: "b", Workload: "iterlike"}: iter,
+	}, 0)
+	if sel.Accepted {
+		t.Errorf("negative transfer not guarded: %+v", sel)
+	}
+}
+
+func TestClusterWorkloads(t *testing.T) {
+	scan1, _ := FingerprintOf(scanRecords(5))
+	scan2, _ := FingerprintOf(scanRecords(7))
+	iter1, _ := FingerprintOf(iterRecords(5))
+	iter2, _ := FingerprintOf(iterRecords(6))
+	fps := map[history.WorkloadKey]Fingerprint{
+		{Tenant: "a", Workload: "s1"}: scan1,
+		{Tenant: "b", Workload: "s2"}: scan2,
+		{Tenant: "c", Workload: "i1"}: iter1,
+		{Tenant: "d", Workload: "i2"}: iter2,
+	}
+	c, err := ClusterWorkloads(fps, 2, stat.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Medoids) != 2 {
+		t.Fatalf("medoids = %v", c.Medoids)
+	}
+	a1 := c.Assignment[history.WorkloadKey{Tenant: "a", Workload: "s1"}]
+	a2 := c.Assignment[history.WorkloadKey{Tenant: "b", Workload: "s2"}]
+	a3 := c.Assignment[history.WorkloadKey{Tenant: "c", Workload: "i1"}]
+	a4 := c.Assignment[history.WorkloadKey{Tenant: "d", Workload: "i2"}]
+	if a1 != a2 || a3 != a4 || a1 == a3 {
+		t.Errorf("clustering wrong: %v %v %v %v", a1, a2, a3, a4)
+	}
+}
+
+func TestClusterWorkloadsEmpty(t *testing.T) {
+	if _, err := ClusterWorkloads(nil, 2, stat.NewRNG(1)); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWarmStartTrials(t *testing.T) {
+	space, err := confspace.NewSpace(confspace.IntParam("spark.executor.cores", 1, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []history.Record{
+		mkRecord("w", gb, 30, 0, 0, 0, 1, false),
+		mkRecord("w", gb, 10, 0, 0, 0, 1, false),
+		mkRecord("w", gb, 20, 0, 0, 0, 1, false),
+		mkRecord("w", gb, 5, 0, 0, 0, 1, true), // failed: skipped
+	}
+	trials := WarmStartTrials(recs, space, 2)
+	if len(trials) != 2 {
+		t.Fatalf("trials = %d, want 2", len(trials))
+	}
+	if trials[0].Runtime != 10 || trials[1].Runtime != 20 {
+		t.Errorf("trials not fastest-first: %v, %v", trials[0].Runtime, trials[1].Runtime)
+	}
+	if err := space.Validate(trials[0].Config); err != nil {
+		t.Errorf("warm-start config invalid: %v", err)
+	}
+	if got := WarmStartTrials(nil, space, 0); len(got) != 0 {
+		t.Errorf("empty history trials = %v", got)
+	}
+}

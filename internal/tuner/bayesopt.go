@@ -1,0 +1,166 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/gp"
+)
+
+// BayesOpt is CherryPick-style Bayesian optimization: a Gaussian process
+// with a Matérn-5/2 kernel models log-runtime over the (unit-encoded)
+// space, and the next configuration maximizes expected improvement over a
+// random candidate pool. The first InitSamples evaluations come from a
+// Latin-hypercube design.
+type BayesOpt struct {
+	Space *confspace.Space
+	// InitSamples seeds the model before EI kicks in (default 2+dim/4,
+	// at least 3 — CherryPick starts from a handful of samples).
+	InitSamples int
+	// Candidates is the EI candidate-pool size (default 500).
+	Candidates int
+	// WarmStart optionally pre-seeds the model with (config, runtime)
+	// observations transferred from a similar workload (§V-B).
+	WarmStart []Trial
+	// StopEIFrac enables CherryPick's convergence rule: stop when the
+	// best expected improvement falls below this fraction of the current
+	// optimum (CherryPick uses 0.10). 0 disables early stopping.
+	StopEIFrac float64
+
+	pendingInit []confspace.Config
+	xs          [][]float64
+	ys          []float64 // log-runtime
+	model       *gp.GP
+	dirty       bool
+	lastMaxEI   float64
+	eiValid     bool
+}
+
+var _ Tuner = (*BayesOpt)(nil)
+var _ Stopper = (*BayesOpt)(nil)
+
+// NewBayesOpt returns a Bayesian-optimization tuner over space.
+func NewBayesOpt(space *confspace.Space) *BayesOpt {
+	return &BayesOpt{Space: space}
+}
+
+// Name implements Tuner.
+func (*BayesOpt) Name() string { return "bayesopt" }
+
+func (t *BayesOpt) initSamples() int {
+	if t.InitSamples > 0 {
+		return t.InitSamples
+	}
+	n := 2 + t.Space.Dim()/4
+	if n < 3 {
+		n = 3
+	}
+	return n
+}
+
+func (t *BayesOpt) candidates() int {
+	if t.Candidates > 0 {
+		return t.Candidates
+	}
+	return 500
+}
+
+// Next implements Tuner.
+func (t *BayesOpt) Next(rng *rand.Rand) confspace.Config {
+	// Absorb warm-start observations once.
+	if len(t.WarmStart) > 0 {
+		for _, tr := range t.WarmStart {
+			t.absorb(tr)
+		}
+		t.WarmStart = nil
+	}
+	if len(t.xs) < t.initSamples() {
+		if len(t.pendingInit) == 0 {
+			t.pendingInit = t.Space.LatinHypercube(rng, t.initSamples())
+		}
+		cfg := t.pendingInit[0]
+		t.pendingInit = t.pendingInit[1:]
+		return cfg
+	}
+	t.refit()
+	if t.model == nil || !t.model.Fitted() {
+		return t.Space.Random(rng)
+	}
+	best, _ := minOf(t.ys)
+	var bestCfg confspace.Config
+	bestEI := math.Inf(-1)
+	for i := 0; i < t.candidates(); i++ {
+		cfg := t.Space.Random(rng)
+		mean, std := t.model.Predict(t.Space.Encode(cfg))
+		ei := gp.ExpectedImprovement(mean, std, best)
+		if ei > bestEI {
+			bestEI, bestCfg = ei, cfg
+		}
+	}
+	t.lastMaxEI, t.eiValid = bestEI, true
+	if bestCfg == nil {
+		return t.Space.Random(rng)
+	}
+	return bestCfg
+}
+
+// ShouldStop implements Stopper: with StopEIFrac set, the search stops
+// once the best expected improvement (in multiplicative runtime terms —
+// the model works on log-runtime) drops below the fraction, CherryPick's
+// "EI < 10%" rule.
+func (t *BayesOpt) ShouldStop() bool {
+	if t.StopEIFrac <= 0 || !t.eiValid {
+		return false
+	}
+	// Give the model a few EI-guided evaluations before trusting its
+	// convergence estimate — a freshly initialized posterior can look
+	// deceptively flat.
+	if len(t.xs) < t.initSamples()+5 {
+		return false
+	}
+	threshold := -math.Log(1 - t.StopEIFrac)
+	return t.lastMaxEI < threshold
+}
+
+// Observe implements Tuner.
+func (t *BayesOpt) Observe(tr Trial) { t.absorb(tr) }
+
+func (t *BayesOpt) absorb(tr Trial) {
+	t.xs = append(t.xs, t.Space.Encode(tr.Config))
+	t.ys = append(t.ys, math.Log(math.Max(tr.Objective, 1e-6)))
+	t.dirty = true
+}
+
+func (t *BayesOpt) refit() {
+	if !t.dirty || len(t.xs) == 0 {
+		return
+	}
+	model, err := gp.FitWithHypers(gp.KindMatern52, t.xs, t.ys)
+	if err == nil {
+		t.model = model
+	}
+	t.dirty = false
+}
+
+// ModelPredict exposes the current posterior (log-runtime mean and std)
+// at cfg, for SLO estimation and diagnostics. It reports ok=false before
+// the model exists.
+func (t *BayesOpt) ModelPredict(cfg confspace.Config) (mean, std float64, ok bool) {
+	t.refit()
+	if t.model == nil || !t.model.Fitted() {
+		return 0, 0, false
+	}
+	m, s := t.model.Predict(t.Space.Encode(cfg))
+	return m, s, true
+}
+
+func minOf(xs []float64) (float64, int) {
+	best, idx := math.Inf(1), -1
+	for i, x := range xs {
+		if x < best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}

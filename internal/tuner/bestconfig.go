@@ -1,0 +1,102 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+
+	"seamlesstune/internal/confspace"
+)
+
+// BestConfig implements Zhu et al.'s strategy: divide-and-diverge sampling
+// (stratified coverage of the full space) followed by recursive
+// bound-and-search, which repeatedly shrinks the numeric bounds around
+// the best configuration found so far and re-samples inside the bounded
+// subspace. If a round fails to improve, the search diverges again from
+// the full space.
+type BestConfig struct {
+	Space *confspace.Space
+	// RoundSamples is the number of samples per DDS round (default 32).
+	RoundSamples int
+	// Shrink is the subspace width multiplier per bound step (default 0.5).
+	Shrink float64
+
+	pending  []confspace.Config
+	current  *confspace.Space
+	frac     float64
+	best     confspace.Config
+	bestVal  float64
+	roundTop float64 // best value seen in the current round
+}
+
+var _ Tuner = (*BestConfig)(nil)
+
+// NewBestConfig returns a divide-and-diverge / bound-and-search tuner.
+func NewBestConfig(space *confspace.Space) *BestConfig {
+	return &BestConfig{Space: space, bestVal: math.Inf(1), roundTop: math.Inf(1), frac: 1}
+}
+
+// Name implements Tuner.
+func (*BestConfig) Name() string { return "bestconfig" }
+
+func (t *BestConfig) roundSamples() int {
+	if t.RoundSamples > 0 {
+		return t.RoundSamples
+	}
+	return 32
+}
+
+func (t *BestConfig) shrink() float64 {
+	if t.Shrink > 0 && t.Shrink < 1 {
+		return t.Shrink
+	}
+	return 0.5
+}
+
+// Next implements Tuner.
+func (t *BestConfig) Next(rng *rand.Rand) confspace.Config {
+	if len(t.pending) == 0 {
+		t.nextRound(rng)
+	}
+	cfg := t.pending[0]
+	t.pending = t.pending[1:]
+	return cfg
+}
+
+func (t *BestConfig) nextRound(rng *rand.Rand) {
+	space := t.current
+	if space == nil {
+		space = t.Space
+	}
+	if t.best != nil {
+		if t.roundTop <= t.bestVal {
+			// The last bounded round improved (or matched): bound tighter
+			// around the new best.
+			t.frac *= t.shrink()
+		} else {
+			// No improvement: diverge back to the full space.
+			t.frac = 1
+		}
+		if t.frac < 0.02 {
+			t.frac = 1 // fully converged locally; diverge
+		}
+		if t.frac < 1 {
+			space = t.Space.SubspaceAround(t.best, t.frac)
+		} else {
+			space = t.Space
+		}
+	}
+	t.current = space
+	t.roundTop = math.Inf(1)
+	t.pending = space.DivideAndDiverge(rng, t.roundSamples(), 1)
+}
+
+// Observe implements Tuner.
+func (t *BestConfig) Observe(tr Trial) {
+	if tr.Objective < t.roundTop {
+		t.roundTop = tr.Objective
+	}
+	if tr.Objective < t.bestVal {
+		t.bestVal = tr.Objective
+		t.best = tr.Config.Clone()
+	}
+}

@@ -1,0 +1,170 @@
+package tuner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/learn"
+)
+
+// DAC implements Yu et al.'s datasize-aware configuration tuning, the
+// system behind the paper's "30-89X with 41 parameters" citation. Unlike
+// the direct genetic tuner, DAC spends its execution budget building a
+// *performance model* — a forest trained on (configuration, input-size)
+// samples, many of them at cheap reduced input sizes — and then runs the
+// genetic search against the model, executing only a handful of validation
+// runs at the full size. The paper's criticism (§II-B) is the model-build
+// cost; DAC answers with hierarchical small-size sampling.
+
+// SizedObjective executes a configuration at a chosen input size.
+type SizedObjective func(cfg confspace.Config, sizeBytes int64) Measurement
+
+// DACConfig tunes the DAC session.
+type DACConfig struct {
+	Space *confspace.Space
+	// TargetSize is the production input size to optimize for.
+	TargetSize int64
+	// SampleFractions are the input-size fractions used for model
+	// training (default 0.25, 0.5, 1.0 — the hierarchical sizes).
+	SampleFractions []float64
+	// TrainRuns is the number of model-training executions (default 30).
+	TrainRuns int
+	// ValidateRuns is the number of top model candidates executed at full
+	// size for validation (default 5).
+	ValidateRuns int
+	// Generations of the genetic search against the model (default 30).
+	Generations int
+	// PopSize of the genetic search (default 40).
+	PopSize int
+}
+
+func (c DACConfig) withDefaults() DACConfig {
+	if len(c.SampleFractions) == 0 {
+		c.SampleFractions = []float64{0.25, 0.5, 1.0}
+	}
+	if c.TrainRuns <= 0 {
+		c.TrainRuns = 30
+	}
+	if c.ValidateRuns <= 0 {
+		c.ValidateRuns = 5
+	}
+	if c.Generations <= 0 {
+		c.Generations = 30
+	}
+	if c.PopSize <= 0 {
+		c.PopSize = 40
+	}
+	return c
+}
+
+// DACResult reports a DAC session.
+type DACResult struct {
+	// Best is the best validated configuration and its full-size runtime.
+	Best Trial
+	// Found is false when every validation run failed.
+	Found bool
+	// TrainRuns and ValidateRuns count the executions actually spent.
+	TrainRuns    int
+	ValidateRuns int
+	// TotalCost is the dollar bill of all executions.
+	TotalCost float64
+	// ModelMAPE is the model's error on its own validation executions —
+	// the accuracy the paper says black-box models struggle with.
+	ModelMAPE float64
+}
+
+// ErrDACConfig reports an unusable DAC configuration.
+var ErrDACConfig = errors.New("tuner: invalid DAC configuration")
+
+// RunDAC executes a full DAC session against the sized objective.
+func RunDAC(cfg DACConfig, obj SizedObjective, rng *rand.Rand) (DACResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Space == nil || cfg.TargetSize <= 0 {
+		return DACResult{}, fmt.Errorf("%w: need a space and a positive target size", ErrDACConfig)
+	}
+
+	var out DACResult
+	// Phase 1: hierarchical sampling. Stratified configurations, cycled
+	// over the size fractions (small sizes dominate, making training
+	// cheaper than full-size search).
+	var xs [][]float64
+	var ys []float64
+	samples := cfg.Space.LatinHypercube(rng, cfg.TrainRuns)
+	for i, c := range samples {
+		frac := cfg.SampleFractions[i%len(cfg.SampleFractions)]
+		size := int64(float64(cfg.TargetSize) * frac)
+		if size < 1 {
+			size = 1
+		}
+		m := obj(c, size)
+		out.TrainRuns++
+		out.TotalCost += m.Cost
+		y := m.Runtime
+		if m.Failed {
+			y = math.Max(4*y, 3600)
+		}
+		xs = append(xs, append(cfg.Space.Encode(c), math.Log(frac)))
+		ys = append(ys, math.Log(math.Max(y, 1e-6)))
+	}
+	forest, err := learn.FitForest(learn.ForestConfig{Trees: 50}, xs, ys, rng)
+	if err != nil {
+		return DACResult{}, err
+	}
+	predict := func(c confspace.Config) float64 {
+		return forest.Predict(append(cfg.Space.Encode(c), 0 /* log(1.0) */))
+	}
+
+	// Phase 2: genetic search against the model (no executions).
+	pop := cfg.Space.LatinHypercube(rng, cfg.PopSize)
+	pop = append(pop, cfg.Space.Default())
+	for g := 0; g < cfg.Generations; g++ {
+		sort.Slice(pop, func(i, j int) bool { return predict(pop[i]) < predict(pop[j]) })
+		elite := len(pop) / 4
+		if elite < 2 {
+			elite = 2
+		}
+		next := make([]confspace.Config, 0, len(pop))
+		next = append(next, pop[:elite]...)
+		for len(next) < len(pop) {
+			a := pop[rng.Intn(elite)]
+			b := pop[rng.Intn(elite)]
+			child := cfg.Space.Crossover(rng, a, b)
+			if rng.Float64() < 0.9 {
+				child = cfg.Space.Neighbor(rng, child, 0.1, 0.15)
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	sort.Slice(pop, func(i, j int) bool { return predict(pop[i]) < predict(pop[j]) })
+
+	// Phase 3: validate the model's top candidates at full size.
+	best := math.Inf(1)
+	var mapeSum float64
+	var mapeN int
+	for i := 0; i < cfg.ValidateRuns && i < len(pop); i++ {
+		c := pop[i]
+		m := obj(c, cfg.TargetSize)
+		out.ValidateRuns++
+		out.TotalCost += m.Cost
+		if m.Failed {
+			continue
+		}
+		pred := math.Exp(predict(c))
+		mapeSum += math.Abs(pred-m.Runtime) / m.Runtime
+		mapeN++
+		if m.Runtime < best {
+			best = m.Runtime
+			out.Best = Trial{Config: c.Clone(), Measurement: m, Objective: m.Runtime}
+			out.Found = true
+		}
+	}
+	if mapeN > 0 {
+		out.ModelMAPE = mapeSum / float64(mapeN)
+	}
+	return out, nil
+}

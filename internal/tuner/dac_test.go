@@ -1,0 +1,106 @@
+package tuner
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/stat"
+)
+
+// sizedBowl scales the bowl objective linearly with size, with the
+// optimum independent of size — a friendly case for DAC's small-size
+// training.
+func sizedBowl(s *confspace.Space) SizedObjective {
+	base := bowl(s)
+	return func(cfg confspace.Config, size int64) Measurement {
+		m := base(cfg)
+		scale := float64(size) / float64(1<<30)
+		m.Runtime *= scale
+		m.Cost = m.Runtime * 0.01
+		return m
+	}
+}
+
+func TestRunDACFindsGoodConfig(t *testing.T) {
+	s := benchSpace(t)
+	obj := sizedBowl(s)
+	res, err := RunDAC(DACConfig{Space: s, TargetSize: 1 << 30, TrainRuns: 40, ValidateRuns: 5}, obj, stat.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("DAC found nothing")
+	}
+	if res.TrainRuns != 40 || res.ValidateRuns != 5 {
+		t.Errorf("runs = %d/%d", res.TrainRuns, res.ValidateRuns)
+	}
+	// The default scores ~47; DAC should land near the optimum (~10).
+	if res.Best.Runtime > 20 {
+		t.Errorf("DAC best %.1f, want near 10", res.Best.Runtime)
+	}
+	if res.ModelMAPE < 0 || math.IsNaN(res.ModelMAPE) {
+		t.Errorf("model MAPE = %v", res.ModelMAPE)
+	}
+	if res.TotalCost <= 0 {
+		t.Error("cost not accounted")
+	}
+}
+
+func TestRunDACTrainingIsCheaperThanFullSize(t *testing.T) {
+	// Training samples run mostly at reduced sizes, so the training bill
+	// must be well below TrainRuns full-size executions.
+	s := benchSpace(t)
+	var fullCost float64
+	obj := func(cfg confspace.Config, size int64) Measurement {
+		m := sizedBowl(s)(cfg, size)
+		if size == 1<<30 {
+			fullCost += m.Cost
+		}
+		return m
+	}
+	res, err := RunDAC(DACConfig{Space: s, TargetSize: 1 << 30, TrainRuns: 30, ValidateRuns: 3}, obj, stat.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("DAC found nothing")
+	}
+	// The training bill must stay below what the same number of full-size
+	// runs would have cost: with fractions {.25, .5, 1} and cost linear in
+	// size, training averages ~58% of full-size cost.
+	fullEquivalent := fullCost / float64(res.ValidateRuns) * float64(res.TrainRuns)
+	trainingCost := res.TotalCost - fullCost
+	if trainingCost >= fullEquivalent*0.8 {
+		t.Errorf("training bill $%.3f not clearly below %d full-size runs $%.3f",
+			trainingCost, res.TrainRuns, fullEquivalent)
+	}
+}
+
+func TestRunDACErrors(t *testing.T) {
+	s := benchSpace(t)
+	if _, err := RunDAC(DACConfig{}, sizedBowl(s), stat.NewRNG(1)); !errors.Is(err, ErrDACConfig) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := RunDAC(DACConfig{Space: s}, sizedBowl(s), stat.NewRNG(1)); !errors.Is(err, ErrDACConfig) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunDACAllValidationsFail(t *testing.T) {
+	s := benchSpace(t)
+	obj := func(cfg confspace.Config, size int64) Measurement {
+		if size == 1<<30 {
+			return Measurement{Runtime: 1, Failed: true} // full size always crashes
+		}
+		return sizedBowl(s)(cfg, size)
+	}
+	res, err := RunDAC(DACConfig{Space: s, TargetSize: 1 << 30, TrainRuns: 12, ValidateRuns: 3}, obj, stat.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("Found with all validations failed")
+	}
+}

@@ -1,0 +1,110 @@
+package tuner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"seamlesstune/internal/learn"
+)
+
+// ErnestModel is Venkataraman et al.'s analytic cloud-scaling model:
+// runtime(m, s) = w0 + w1·s/m + w2·log m + w3·m, with non-negative
+// weights fit by NNLS on a few small-scale training runs. It predicts how
+// a job scales with machine count, which is what stage 1 of the tuning
+// pipeline (Fig. 1) needs to size a cluster.
+//
+// The paper notes Ernest adapts poorly to workloads without the
+// machine-learning job structure (§II-A); the model inherits that: it has
+// no terms for memory cliffs or shuffle contention.
+type ErnestModel struct {
+	weights []float64
+}
+
+// ErnestSample is one training observation: runtime at a machine count
+// and input-scale fraction.
+type ErnestSample struct {
+	Machines float64
+	Scale    float64 // input fraction in (0, 1]
+	Runtime  float64
+}
+
+// ErrTooFewSamples is returned when fewer samples than model terms are
+// provided.
+var ErrTooFewSamples = errors.New("tuner: ernest needs at least 4 samples")
+
+// FitErnest fits the model by non-negative least squares.
+func FitErnest(samples []ErnestSample) (*ErnestModel, error) {
+	if len(samples) < 4 {
+		return nil, fmt.Errorf("%w: got %d", ErrTooFewSamples, len(samples))
+	}
+	a := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		a[i] = learn.ErnestFeatures(s.Machines, s.Scale)
+		y[i] = s.Runtime
+	}
+	w, err := learn.NNLS(a, y, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &ErnestModel{weights: w}, nil
+}
+
+// Predict returns the modelled runtime at the given machine count and
+// input scale.
+func (m *ErnestModel) Predict(machines, scale float64) float64 {
+	f := learn.ErnestFeatures(machines, scale)
+	sum := 0.0
+	for i, w := range m.weights {
+		if i < len(f) {
+			sum += w * f[i]
+		}
+	}
+	return sum
+}
+
+// BestMachines returns the machine count in [lo, hi] minimizing predicted
+// runtime at full scale, and that predicted runtime.
+func (m *ErnestModel) BestMachines(lo, hi int) (int, float64) {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	best, bestT := lo, math.Inf(1)
+	for n := lo; n <= hi; n++ {
+		if t := m.Predict(float64(n), 1); t < bestT {
+			best, bestT = n, t
+		}
+	}
+	return best, bestT
+}
+
+// BestMachinesUnderBudget returns the machine count minimizing predicted
+// runtime subject to a cost bound: pricePerMachineHour·machines·runtime
+// must not exceed budgetUSD. It returns ok=false when no count satisfies
+// the bound.
+func (m *ErnestModel) BestMachinesUnderBudget(lo, hi int, pricePerMachineHour, budgetUSD float64) (int, float64, bool) {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	best, bestT, ok := 0, math.Inf(1), false
+	for n := lo; n <= hi; n++ {
+		t := m.Predict(float64(n), 1)
+		cost := pricePerMachineHour * float64(n) * t / 3600
+		if cost <= budgetUSD && t < bestT {
+			best, bestT, ok = n, t, true
+		}
+	}
+	return best, bestT, ok
+}
+
+// Weights returns a copy of the fitted weights [w0, w1, w2, w3].
+func (m *ErnestModel) Weights() []float64 {
+	return append([]float64(nil), m.weights...)
+}

@@ -1,0 +1,55 @@
+package tuner_test
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/tuner"
+)
+
+// ExampleRun tunes a toy two-knob objective with Bayesian optimization.
+func ExampleRun() {
+	space := confspace.MustSpace(
+		confspace.IntParam("executors", 1, 16, 2),
+		confspace.FloatParam("memFraction", 0.2, 0.9, 0.6),
+	)
+	// A synthetic runtime: more executors help, the memory sweet spot is
+	// around 0.7.
+	objective := func(cfg confspace.Config) tuner.Measurement {
+		e := float64(cfg.Int("executors"))
+		m := cfg.Float("memFraction")
+		rt := 100/e + 50*(m-0.7)*(m-0.7)
+		return tuner.Measurement{Runtime: rt, Cost: rt * 0.01}
+	}
+
+	res, err := tuner.Run(tuner.NewBayesOpt(space), objective, 25, stat.NewRNG(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("found=%v executors=%d within25=%v\n",
+		res.Found, res.Best.Config.Int("executors"), res.Best.Runtime < 9)
+	// Output:
+	// found=true executors=16 within25=true
+}
+
+// ExampleRunFor optimizes dollar cost instead of runtime.
+func ExampleRunFor() {
+	space := confspace.MustSpace(confspace.IntParam("nodes", 1, 8, 2))
+	// Runtime improves with nodes, but the fixed per-run overhead makes
+	// big clusters cost more in node-seconds.
+	objective := func(cfg confspace.Config) tuner.Measurement {
+		n := float64(cfg.Int("nodes"))
+		rt := 120/n + 10
+		return tuner.Measurement{Runtime: rt, Cost: rt * n * 0.01}
+	}
+	// A Latin-hypercube design covers all eight node counts in eight runs.
+	fast, _ := tuner.RunFor(tuner.NewLatinSearch(space, 8), objective, 8, stat.NewRNG(2), tuner.MinimizeRuntime)
+	cheap, _ := tuner.RunFor(tuner.NewLatinSearch(space, 8), objective, 8, stat.NewRNG(2), tuner.MinimizeCost)
+	fmt.Printf("fastest picks more nodes than cheapest: %v (cheapest uses %d)\n",
+		fast.Best.Config.Int("nodes") > cheap.Best.Config.Int("nodes"),
+		cheap.Best.Config.Int("nodes"))
+	// Output:
+	// fastest picks more nodes than cheapest: true (cheapest uses 1)
+}

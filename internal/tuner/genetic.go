@@ -1,0 +1,127 @@
+package tuner
+
+import (
+	"math/rand"
+	"sort"
+
+	"seamlesstune/internal/confspace"
+)
+
+// Genetic is a DAC-style genetic algorithm: a population of
+// configurations evolves by elitist selection, uniform crossover and
+// per-gene mutation. (DAC evolves against a learned model; here each
+// individual is evaluated directly against the objective, which makes the
+// sample-efficiency comparison of experiment C2 honest.)
+type Genetic struct {
+	Space *confspace.Space
+	// PopSize is the population size (default 20).
+	PopSize int
+	// EliteFrac is the surviving fraction per generation (default 0.25).
+	EliteFrac float64
+	// MutRate is the per-gene mutation probability (default 0.1).
+	MutRate float64
+	// MutScale is the unit-cube mutation step (default 0.15).
+	MutScale float64
+
+	population []confspace.Config
+	fitness    []float64
+	cursor     int
+	generation int
+}
+
+var _ Tuner = (*Genetic)(nil)
+
+// NewGenetic returns a genetic tuner over space.
+func NewGenetic(space *confspace.Space) *Genetic {
+	return &Genetic{Space: space}
+}
+
+// Name implements Tuner.
+func (*Genetic) Name() string { return "genetic" }
+
+func (t *Genetic) popSize() int {
+	if t.PopSize > 0 {
+		return t.PopSize
+	}
+	return 20
+}
+
+func (t *Genetic) eliteCount() int {
+	f := t.EliteFrac
+	if f <= 0 || f >= 1 {
+		f = 0.25
+	}
+	n := int(f * float64(t.popSize()))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Next implements Tuner.
+func (t *Genetic) Next(rng *rand.Rand) confspace.Config {
+	if t.population == nil {
+		t.seed(rng)
+	}
+	if t.cursor >= len(t.population) {
+		t.breed(rng)
+	}
+	return t.population[t.cursor]
+}
+
+// Observe implements Tuner.
+func (t *Genetic) Observe(tr Trial) {
+	if t.cursor < len(t.fitness) {
+		t.fitness[t.cursor] = tr.Objective
+		t.cursor++
+	}
+}
+
+func (t *Genetic) seed(rng *rand.Rand) {
+	n := t.popSize()
+	t.population = make([]confspace.Config, 0, n)
+	// Include the default configuration; fill the rest with LHS coverage.
+	t.population = append(t.population, t.Space.Default())
+	t.population = append(t.population, t.Space.LatinHypercube(rng, n-1)...)
+	t.fitness = make([]float64, len(t.population))
+	t.cursor = 0
+}
+
+func (t *Genetic) breed(rng *rand.Rand) {
+	n := len(t.population)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return t.fitness[order[a]] < t.fitness[order[b]] })
+
+	elite := t.eliteCount()
+	next := make([]confspace.Config, 0, n)
+	for i := 0; i < elite; i++ {
+		next = append(next, t.population[order[i]].Clone())
+	}
+	mutRate := t.MutRate
+	if mutRate <= 0 {
+		mutRate = 0.1
+	}
+	mutScale := t.MutScale
+	if mutScale <= 0 {
+		mutScale = 0.15
+	}
+	for len(next) < n {
+		a := t.population[order[rng.Intn(elite)]]
+		b := t.population[order[rng.Intn(elite)]]
+		child := t.Space.Crossover(rng, a, b)
+		if rng.Float64() < 0.9 {
+			child = t.Space.Neighbor(rng, child, mutRate, mutScale)
+		}
+		next = append(next, child)
+	}
+	t.population = next
+	t.fitness = make([]float64, n)
+	t.cursor = 0
+	t.generation++
+}
+
+// Generation returns the number of completed generations.
+func (t *Genetic) Generation() int { return t.generation }

@@ -1,0 +1,83 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+
+	"seamlesstune/internal/confspace"
+)
+
+// HillClimb is a modified hill climber in the spirit of MROnline: walk
+// from the default configuration by single-parameter moves, accept
+// improvements, and restart from a random point after a streak of
+// rejected moves (the modification that lets it escape local optima).
+type HillClimb struct {
+	Space *confspace.Space
+	// StepScale is the unit-cube mutation scale (default 0.15).
+	StepScale float64
+	// Patience is the number of consecutive non-improving moves before a
+	// random restart (default 12).
+	Patience int
+
+	current   confspace.Config
+	best      float64
+	rejects   int
+	proposed  confspace.Config
+	evaluated int
+}
+
+var _ Tuner = (*HillClimb)(nil)
+
+// NewHillClimb returns a hill climber starting at the space's defaults.
+func NewHillClimb(space *confspace.Space) *HillClimb {
+	return &HillClimb{Space: space, StepScale: 0.15, Patience: 12, best: math.Inf(1)}
+}
+
+// Name implements Tuner.
+func (*HillClimb) Name() string { return "hillclimb" }
+
+// Next implements Tuner.
+func (t *HillClimb) Next(rng *rand.Rand) confspace.Config {
+	if t.evaluated == 0 {
+		// First evaluation measures the starting point itself.
+		t.proposed = t.Space.Default()
+		return t.proposed
+	}
+	if t.rejects >= t.patience() {
+		t.rejects = 0
+		t.proposed = t.Space.Random(rng)
+		return t.proposed
+	}
+	base := t.current
+	if base == nil {
+		base = t.Space.Default()
+	}
+	t.proposed = t.Space.Neighbor(rng, base, 1.0/float64(t.Space.Dim()), t.stepScale())
+	return t.proposed
+}
+
+// Observe implements Tuner.
+func (t *HillClimb) Observe(tr Trial) {
+	t.evaluated++
+	if tr.Objective < t.best {
+		t.best = tr.Objective
+		t.current = tr.Config.Clone()
+		t.rejects = 0
+		return
+	}
+	t.rejects++
+}
+
+func (t *HillClimb) stepScale() float64 {
+	if t.StepScale <= 0 {
+		return 0.15
+	}
+	return t.StepScale
+}
+
+func (t *HillClimb) patience() int {
+	if t.Patience <= 0 {
+		return 12
+	}
+	return t.Patience
+}

@@ -1,0 +1,182 @@
+package tuner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/learn"
+)
+
+// Paris implements Yadwadkar et al.'s VM-selection system: an offline
+// phase profiles a bank of benchmark workloads on every VM type and
+// trains a random-forest performance model; online, a new workload runs
+// on just two reference VM types, and the model predicts its performance
+// on every other type from that fingerprint — data-efficient cloud
+// configuration at the cost of an offline benchmarking investment
+// (paper §II-A).
+
+// ParisFingerprint characterizes a workload from its two reference runs,
+// the online data PARIS collects.
+type ParisFingerprint struct {
+	// SecPerGBSmall and SecPerGBLarge are scale-normalized runtimes on
+	// the small and large reference VM types.
+	SecPerGBSmall float64
+	SecPerGBLarge float64
+	// ShufflePerInput, SpillPerInput and GCFrac are utilization-style
+	// counters from the reference runs.
+	ShufflePerInput float64
+	SpillPerInput   float64
+	GCFrac          float64
+}
+
+func (f ParisFingerprint) vector() []float64 {
+	return []float64{
+		math.Log1p(f.SecPerGBSmall),
+		math.Log1p(f.SecPerGBLarge),
+		math.Log1p(f.ShufflePerInput),
+		math.Log1p(f.SpillPerInput),
+		f.GCFrac * 5,
+	}
+}
+
+// vmFeatures encodes an instance type for the model.
+func vmFeatures(it cloud.InstanceType) []float64 {
+	return []float64{
+		math.Log2(float64(it.VCPUs)),
+		math.Log2(it.MemoryPerCore()),
+		math.Log2(it.DiskMBps/float64(it.VCPUs) + 1),
+		math.Log2(it.NetworkMBps/float64(it.VCPUs) + 1),
+		it.CPUFactor,
+	}
+}
+
+// ParisSample is one offline observation: a benchmark workload's
+// fingerprint, a VM type, and the achieved normalized runtime there.
+type ParisSample struct {
+	Fingerprint ParisFingerprint
+	VM          cloud.InstanceType
+	SecPerGB    float64
+}
+
+// ParisModel predicts normalized runtime for (workload fingerprint, VM).
+type ParisModel struct {
+	forest *learn.Forest
+}
+
+// ErrTooFewProfiles is returned when the offline bank is too small to
+// train on.
+var ErrTooFewProfiles = errors.New("tuner: paris needs at least 8 offline samples")
+
+// TrainParis fits the random-forest model on the offline bank.
+func TrainParis(samples []ParisSample, rng *rand.Rand) (*ParisModel, error) {
+	if len(samples) < 8 {
+		return nil, fmt.Errorf("%w: got %d", ErrTooFewProfiles, len(samples))
+	}
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = append(s.Fingerprint.vector(), vmFeatures(s.VM)...)
+		ys[i] = math.Log(math.Max(s.SecPerGB, 1e-9))
+	}
+	forest, err := learn.FitForest(learn.ForestConfig{Trees: 60}, xs, ys, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &ParisModel{forest: forest}, nil
+}
+
+// PredictSecPerGB estimates the workload's normalized runtime on a VM.
+func (m *ParisModel) PredictSecPerGB(fp ParisFingerprint, vm cloud.InstanceType) float64 {
+	x := append(fp.vector(), vmFeatures(vm)...)
+	return math.Exp(m.forest.Predict(x))
+}
+
+// ParisChoice is a ranked VM recommendation.
+type ParisChoice struct {
+	VM                cloud.InstanceType
+	PredictedSecPerGB float64
+}
+
+// BestVM returns the candidate with the lowest predicted runtime.
+func (m *ParisModel) BestVM(fp ParisFingerprint, candidates []cloud.InstanceType) (ParisChoice, error) {
+	if len(candidates) == 0 {
+		return ParisChoice{}, errors.New("tuner: paris has no candidate VMs")
+	}
+	best := ParisChoice{PredictedSecPerGB: math.Inf(1)}
+	for _, vm := range candidates {
+		if p := m.PredictSecPerGB(fp, vm); p < best.PredictedSecPerGB {
+			best = ParisChoice{VM: vm, PredictedSecPerGB: p}
+		}
+	}
+	return best, nil
+}
+
+// BestVMForMetric returns the candidate minimizing a user-defined metric
+// of (predicted seconds/GB, instance) — PARIS's headline feature of
+// optimizing arbitrary user objectives, e.g. cost = price × runtime.
+func (m *ParisModel) BestVMForMetric(fp ParisFingerprint, candidates []cloud.InstanceType, metric func(secPerGB float64, vm cloud.InstanceType) float64) (ParisChoice, error) {
+	if len(candidates) == 0 {
+		return ParisChoice{}, errors.New("tuner: paris has no candidate VMs")
+	}
+	if metric == nil {
+		return m.BestVM(fp, candidates)
+	}
+	best := ParisChoice{PredictedSecPerGB: math.Inf(1)}
+	bestScore := math.Inf(1)
+	for _, vm := range candidates {
+		p := m.PredictSecPerGB(fp, vm)
+		if score := metric(p, vm); score < bestScore {
+			bestScore = score
+			best = ParisChoice{VM: vm, PredictedSecPerGB: p}
+		}
+	}
+	return best, nil
+}
+
+// ReferenceVMs picks PARIS's two reference types from a candidate list:
+// the cheapest and the most expensive general-purpose boxes (falling back
+// to global extremes).
+func ReferenceVMs(candidates []cloud.InstanceType) (small, large cloud.InstanceType, err error) {
+	if len(candidates) < 2 {
+		return small, large, errors.New("tuner: paris needs at least two candidate VMs")
+	}
+	pick := func(want cloud.Family) (cloud.InstanceType, cloud.InstanceType, bool) {
+		var lo, hi cloud.InstanceType
+		found := false
+		for _, it := range candidates {
+			if it.Family != want {
+				continue
+			}
+			if !found {
+				lo, hi, found = it, it, true
+				continue
+			}
+			if it.PricePerHour < lo.PricePerHour {
+				lo = it
+			}
+			if it.PricePerHour > hi.PricePerHour {
+				hi = it
+			}
+		}
+		return lo, hi, found && lo.Name != hi.Name
+	}
+	if lo, hi, ok := pick(cloud.General); ok {
+		return lo, hi, nil
+	}
+	lo, hi := candidates[0], candidates[0]
+	for _, it := range candidates {
+		if it.PricePerHour < lo.PricePerHour {
+			lo = it
+		}
+		if it.PricePerHour > hi.PricePerHour {
+			hi = it
+		}
+	}
+	if lo.String() == hi.String() {
+		return small, large, errors.New("tuner: candidates have identical prices")
+	}
+	return lo, hi, nil
+}

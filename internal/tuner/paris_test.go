@@ -1,0 +1,143 @@
+package tuner
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/stat"
+)
+
+// synthSecPerGB is a synthetic ground-truth performance law: CPU-bound
+// workloads love fast cores; memory-bound ones love memory per core.
+func synthSecPerGB(fp ParisFingerprint, it cloud.InstanceType) float64 {
+	cpuBound := fp.GCFrac < 0.05
+	base := 10.0 / it.CPUFactor / math.Sqrt(float64(it.VCPUs))
+	if cpuBound {
+		return base
+	}
+	return base * 8 / it.MemoryPerCore()
+}
+
+func parisBank(t *testing.T) ([]ParisSample, []cloud.InstanceType) {
+	t.Helper()
+	types := cloud.DefaultCatalog().ByProvider(cloud.Nimbus)
+	fps := []ParisFingerprint{
+		{SecPerGBSmall: 10, SecPerGBLarge: 3, ShufflePerInput: 0.1, GCFrac: 0.01},
+		{SecPerGBSmall: 40, SecPerGBLarge: 9, ShufflePerInput: 1.5, GCFrac: 0.02},
+		{SecPerGBSmall: 80, SecPerGBLarge: 30, ShufflePerInput: 6, SpillPerInput: 1, GCFrac: 0.2},
+		{SecPerGBSmall: 25, SecPerGBLarge: 8, ShufflePerInput: 0.4, GCFrac: 0.15},
+	}
+	var bank []ParisSample
+	for _, fp := range fps {
+		for _, it := range types {
+			bank = append(bank, ParisSample{Fingerprint: fp, VM: it, SecPerGB: synthSecPerGB(fp, it)})
+		}
+	}
+	return bank, types
+}
+
+func TestTrainParisAndPredict(t *testing.T) {
+	bank, types := parisBank(t)
+	m, err := TrainParis(bank, stat.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new memory-hungry workload: the model should rank memory-family
+	// VMs above compute-family ones.
+	fp := ParisFingerprint{SecPerGBSmall: 70, SecPerGBLarge: 25, ShufflePerInput: 5, SpillPerInput: 0.8, GCFrac: 0.18}
+	var mem, cmp cloud.InstanceType
+	for _, it := range types {
+		if it.Family == cloud.Memory && it.VCPUs == 8 {
+			mem = it
+		}
+		if it.Family == cloud.Compute && it.VCPUs == 8 {
+			cmp = it
+		}
+	}
+	pm := m.PredictSecPerGB(fp, mem)
+	pc := m.PredictSecPerGB(fp, cmp)
+	if pm >= pc {
+		t.Errorf("memory VM predicted %.2f, compute VM %.2f; want memory faster for memory-bound workload", pm, pc)
+	}
+	best, err := m.BestVM(fp, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthBest := types[0]
+	truthT := math.Inf(1)
+	for _, it := range types {
+		if v := synthSecPerGB(fp, it); v < truthT {
+			truthBest, truthT = it, v
+		}
+	}
+	if best.VM.Family != truthBest.Family {
+		t.Errorf("BestVM family = %v, truth = %v", best.VM.Family, truthBest.Family)
+	}
+}
+
+func TestParisMetricObjective(t *testing.T) {
+	bank, types := parisBank(t)
+	m, err := TrainParis(bank, stat.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := bank[0].Fingerprint
+	fast, err := m.BestVM(fp, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap, err := m.BestVMForMetric(fp, types, func(sec float64, it cloud.InstanceType) float64 {
+		return sec * it.PricePerHour // cost objective
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.VM.PricePerHour > fast.VM.PricePerHour {
+		t.Errorf("cost-objective pick ($%.3f/h) pricier than speed pick ($%.3f/h)",
+			cheap.VM.PricePerHour, fast.VM.PricePerHour)
+	}
+	// Nil metric falls back to BestVM.
+	same, err := m.BestVMForMetric(fp, types, nil)
+	if err != nil || same.VM.String() != fast.VM.String() {
+		t.Errorf("nil metric pick = %v, want %v", same.VM, fast.VM)
+	}
+}
+
+func TestTrainParisErrors(t *testing.T) {
+	if _, err := TrainParis(nil, stat.NewRNG(1)); !errors.Is(err, ErrTooFewProfiles) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBestVMErrors(t *testing.T) {
+	bank, _ := parisBank(t)
+	m, err := TrainParis(bank, stat.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.BestVM(ParisFingerprint{}, nil); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := m.BestVMForMetric(ParisFingerprint{}, nil, nil); err == nil {
+		t.Error("empty candidates accepted")
+	}
+}
+
+func TestReferenceVMs(t *testing.T) {
+	types := cloud.DefaultCatalog().ByProvider(cloud.Nimbus)
+	small, large, err := ReferenceVMs(types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Family != cloud.General || large.Family != cloud.General {
+		t.Errorf("references = %v, %v; want general-purpose pair", small, large)
+	}
+	if small.PricePerHour >= large.PricePerHour {
+		t.Errorf("small ($%.3f) not cheaper than large ($%.3f)", small.PricePerHour, large.PricePerHour)
+	}
+	if _, _, err := ReferenceVMs(types[:1]); err == nil {
+		t.Error("single candidate accepted")
+	}
+}

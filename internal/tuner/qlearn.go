@@ -1,0 +1,159 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/learn"
+)
+
+// QLearn adapts Bu et al.'s reinforcement-learning configuration tuner:
+// the agent walks the space by single-parameter increase/decrease actions,
+// the state is the current runtime's band relative to the best seen, and
+// the reward is the relative runtime change. It was designed for small
+// spaces (8 parameters, ~25 executions) and degrades in larger ones —
+// exactly the scaling limitation §II-B points out.
+type QLearn struct {
+	Space *confspace.Space
+	// Step is the unit-cube move per action (default 0.15).
+	Step float64
+	// Bands is the number of runtime-band states (default 5).
+	Bands int
+
+	agent    *learn.QLearner
+	current  confspace.Config
+	lastRun  float64
+	best     float64
+	state    int
+	action   int
+	started  bool
+	proposed confspace.Config
+}
+
+var _ Tuner = (*QLearn)(nil)
+
+// NewQLearn returns a Q-learning tuner over space.
+func NewQLearn(space *confspace.Space) *QLearn {
+	return &QLearn{Space: space, best: math.Inf(1)}
+}
+
+// Name implements Tuner.
+func (*QLearn) Name() string { return "qlearn" }
+
+func (t *QLearn) bands() int {
+	if t.Bands > 0 {
+		return t.Bands
+	}
+	return 5
+}
+
+func (t *QLearn) step() float64 {
+	if t.Step > 0 {
+		return t.Step
+	}
+	return 0.15
+}
+
+// actions: 2 per parameter (decrease, increase).
+func (t *QLearn) numActions() int { return 2 * t.Space.Dim() }
+
+// Next implements Tuner.
+func (t *QLearn) Next(rng *rand.Rand) confspace.Config {
+	if !t.started {
+		t.agent = learn.NewQLearner(t.bands(), t.numActions(), 0.4, 0.6, 0.25)
+		t.current = t.Space.Default()
+		t.proposed = t.current
+		t.started = true
+		return t.proposed
+	}
+	t.action = t.agent.Choose(t.state, rng)
+	t.proposed = t.apply(t.current, t.action, rng)
+	return t.proposed
+}
+
+// apply performs one action: move parameter (action/2) down or up by the
+// step in unit coordinates (flipping booleans, rotating categoricals).
+func (t *QLearn) apply(cfg confspace.Config, action int, rng *rand.Rand) confspace.Config {
+	params := t.Space.Params()
+	p := params[(action/2)%len(params)]
+	up := action%2 == 1
+	out := cfg.Clone()
+	switch p.Kind {
+	case confspace.KindBool:
+		if out[p.Name] >= 0.5 {
+			out[p.Name] = 0
+		} else {
+			out[p.Name] = 1
+		}
+	case confspace.KindCategorical:
+		n := float64(len(p.Choices))
+		if up {
+			out[p.Name] = math.Mod(out[p.Name]+1, n)
+		} else {
+			out[p.Name] = math.Mod(out[p.Name]-1+n, n)
+		}
+	default:
+		u := p.Unit(out[p.Name])
+		if up {
+			u += t.step()
+		} else {
+			u -= t.step()
+		}
+		out[p.Name] = p.FromUnit(u)
+		if out[p.Name] == cfg[p.Name] && p.Kind == confspace.KindInt {
+			// Force movement on coarse integer grids.
+			if up && out[p.Name] < p.Max {
+				out[p.Name]++
+			} else if !up && out[p.Name] > p.Min {
+				out[p.Name]--
+			}
+		}
+	}
+	return t.Space.Clamp(out)
+}
+
+// Observe implements Tuner.
+func (t *QLearn) Observe(tr Trial) {
+	if t.lastRun == 0 {
+		// First observation establishes the baseline.
+		t.lastRun = tr.Objective
+		t.best = tr.Objective
+		t.current = tr.Config.Clone()
+		t.state = t.bandOf(tr.Objective)
+		return
+	}
+	reward := (t.lastRun - tr.Objective) / math.Max(t.lastRun, 1e-9)
+	next := t.bandOf(tr.Objective)
+	t.agent.Update(t.state, t.action, reward, next)
+	t.state = next
+	// Greedy walk: move only on improvement (Bu et al. keep the better
+	// configuration as the new state).
+	if tr.Objective <= t.lastRun {
+		t.current = tr.Config.Clone()
+		t.lastRun = tr.Objective
+	}
+	if tr.Objective < t.best {
+		t.best = tr.Objective
+	}
+}
+
+// bandOf maps a runtime to a state band by its ratio to the best seen.
+func (t *QLearn) bandOf(runtime float64) int {
+	if math.IsInf(t.best, 1) || t.best <= 0 {
+		return 0
+	}
+	ratio := runtime / t.best
+	switch {
+	case ratio <= 1.05:
+		return 0
+	case ratio <= 1.25:
+		return 1
+	case ratio <= 1.6:
+		return 2
+	case ratio <= 2.5:
+		return 3
+	default:
+		return t.bands() - 1
+	}
+}

@@ -1,0 +1,69 @@
+package tuner
+
+import (
+	"math/rand"
+
+	"seamlesstune/internal/confspace"
+)
+
+// RandomSearch samples the space uniformly — the baseline every surveyed
+// system is compared against, and the method behind Table I's
+// 100-random-configurations protocol.
+type RandomSearch struct {
+	Space *confspace.Space
+}
+
+var _ Tuner = (*RandomSearch)(nil)
+
+// NewRandomSearch returns a uniform random tuner over space.
+func NewRandomSearch(space *confspace.Space) *RandomSearch {
+	return &RandomSearch{Space: space}
+}
+
+// Name implements Tuner.
+func (*RandomSearch) Name() string { return "random" }
+
+// Next implements Tuner.
+func (t *RandomSearch) Next(rng *rand.Rand) confspace.Config {
+	return t.Space.Random(rng)
+}
+
+// Observe implements Tuner.
+func (*RandomSearch) Observe(Trial) {}
+
+// LatinSearch samples with Latin-hypercube stratification, refreshing the
+// design whenever it is exhausted. Slightly better space coverage than
+// uniform sampling at equal cost.
+type LatinSearch struct {
+	Space *confspace.Space
+	// Block is the stratification block size (default 20).
+	Block int
+
+	pending []confspace.Config
+}
+
+var _ Tuner = (*LatinSearch)(nil)
+
+// NewLatinSearch returns an LHS tuner over space.
+func NewLatinSearch(space *confspace.Space, block int) *LatinSearch {
+	if block <= 0 {
+		block = 20
+	}
+	return &LatinSearch{Space: space, Block: block}
+}
+
+// Name implements Tuner.
+func (*LatinSearch) Name() string { return "latin" }
+
+// Next implements Tuner.
+func (t *LatinSearch) Next(rng *rand.Rand) confspace.Config {
+	if len(t.pending) == 0 {
+		t.pending = t.Space.LatinHypercube(rng, t.Block)
+	}
+	cfg := t.pending[0]
+	t.pending = t.pending[1:]
+	return cfg
+}
+
+// Observe implements Tuner.
+func (*LatinSearch) Observe(Trial) {}

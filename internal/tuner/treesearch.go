@@ -1,0 +1,112 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/learn"
+)
+
+// TreeSearch follows Wang et al.: fit a regression-tree ensemble on the
+// observed (configuration, runtime) samples, then pick the candidate with
+// the best predicted runtime from a large random pool, with an ε chance
+// of pure exploration. The first InitSamples evaluations are stratified.
+type TreeSearch struct {
+	Space *confspace.Space
+	// InitSamples seeds the model (default 10).
+	InitSamples int
+	// Candidates is the prediction pool size (default 800).
+	Candidates int
+	// Epsilon is the exploration probability (default 0.15).
+	Epsilon float64
+	// Trees is the ensemble size (default 25).
+	Trees int
+
+	pendingInit []confspace.Config
+	xs          [][]float64
+	ys          []float64
+	forest      *learn.Forest
+	dirty       bool
+}
+
+var _ Tuner = (*TreeSearch)(nil)
+
+// NewTreeSearch returns a regression-tree tuner over space.
+func NewTreeSearch(space *confspace.Space) *TreeSearch {
+	return &TreeSearch{Space: space}
+}
+
+// Name implements Tuner.
+func (*TreeSearch) Name() string { return "rtree" }
+
+func (t *TreeSearch) initSamples() int {
+	if t.InitSamples > 0 {
+		return t.InitSamples
+	}
+	return 10
+}
+
+// Next implements Tuner.
+func (t *TreeSearch) Next(rng *rand.Rand) confspace.Config {
+	if len(t.xs) < t.initSamples() {
+		if len(t.pendingInit) == 0 {
+			t.pendingInit = t.Space.LatinHypercube(rng, t.initSamples())
+		}
+		cfg := t.pendingInit[0]
+		t.pendingInit = t.pendingInit[1:]
+		return cfg
+	}
+	eps := t.Epsilon
+	if eps <= 0 {
+		eps = 0.15
+	}
+	if rng.Float64() < eps {
+		return t.Space.Random(rng)
+	}
+	t.refit(rng)
+	if t.forest == nil {
+		return t.Space.Random(rng)
+	}
+	pool := t.Candidates
+	if pool <= 0 {
+		pool = 800
+	}
+	var bestCfg confspace.Config
+	bestScore := math.Inf(1)
+	for i := 0; i < pool; i++ {
+		cfg := t.Space.Random(rng)
+		mean, spread := t.forest.PredictWithSpread(t.Space.Encode(cfg))
+		// Mild optimism: prefer candidates the ensemble disagrees about.
+		score := mean - 0.3*spread
+		if score < bestScore {
+			bestScore, bestCfg = score, cfg
+		}
+	}
+	if bestCfg == nil {
+		return t.Space.Random(rng)
+	}
+	return bestCfg
+}
+
+// Observe implements Tuner.
+func (t *TreeSearch) Observe(tr Trial) {
+	t.xs = append(t.xs, t.Space.Encode(tr.Config))
+	t.ys = append(t.ys, math.Log(math.Max(tr.Objective, 1e-6)))
+	t.dirty = true
+}
+
+func (t *TreeSearch) refit(rng *rand.Rand) {
+	if !t.dirty {
+		return
+	}
+	trees := t.Trees
+	if trees <= 0 {
+		trees = 25
+	}
+	forest, err := learn.FitForest(learn.ForestConfig{Trees: trees}, t.xs, t.ys, rng)
+	if err == nil {
+		t.forest = forest
+	}
+	t.dirty = false
+}

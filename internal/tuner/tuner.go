@@ -1,0 +1,184 @@
+// Package tuner implements the configuration-tuning strategies the paper
+// surveys, behind one Tuner interface: uniform random search, hill
+// climbing (MROnline), Bayesian optimization with expected improvement
+// (CherryPick), a genetic algorithm over a performance model (DAC),
+// divide-and-diverge sampling with recursive bound-and-search
+// (BestConfig), regression-tree guided search (Wang et al.), tabular
+// Q-learning (Bu et al.), and Ernest's analytic cloud-scaling model.
+//
+// A Session drives any Tuner against an Objective for a fixed execution
+// budget, penalizing crashed runs the way production tuning must (a crash
+// is a very bad observation, not a missing one) and recording the
+// best-so-far trajectory that the paper's efficiency arguments (§IV-C)
+// are about.
+package tuner
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"seamlesstune/internal/confspace"
+)
+
+// Measurement is the outcome of executing one configuration.
+type Measurement struct {
+	// Runtime is the observed runtime in seconds (time wasted, for failed
+	// runs).
+	Runtime float64
+	// Cost is the dollar cost of the execution.
+	Cost float64
+	// Failed marks crashed executions.
+	Failed bool
+}
+
+// Objective executes a configuration and reports the measurement. In the
+// experiments it wraps the Spark simulator; in a real deployment it would
+// wrap a cluster submission.
+type Objective func(cfg confspace.Config) Measurement
+
+// Trial is one evaluated configuration within a session.
+type Trial struct {
+	Index  int
+	Config confspace.Config
+	Measurement
+	// Objective is the penalized runtime the tuner optimizes: equal to
+	// Runtime for successful runs, a large penalty for failures.
+	Objective float64
+}
+
+// Tuner proposes configurations sequentially and learns from outcomes.
+// Implementations are stateful and single-session; create a fresh value
+// per tuning session.
+type Tuner interface {
+	// Name identifies the strategy (e.g. "bayesopt").
+	Name() string
+	// Next proposes the next configuration to evaluate.
+	Next(rng *rand.Rand) confspace.Config
+	// Observe reports the outcome of a proposed configuration.
+	Observe(t Trial)
+}
+
+// Stopper is an optional Tuner extension: a tuner that can decide it has
+// converged (e.g. CherryPick stops when the best expected improvement
+// falls below 10% of the current optimum). Run consults it after every
+// observation.
+type Stopper interface {
+	// ShouldStop reports that further evaluations are unlikely to pay off.
+	ShouldStop() bool
+}
+
+// ErrNoBudget is returned by Run for non-positive budgets.
+var ErrNoBudget = errors.New("tuner: budget must be positive")
+
+// Result reports a completed tuning session.
+type Result struct {
+	// Best is the best successful trial (zero Trial if every run failed).
+	Best Trial
+	// Found reports whether any run succeeded.
+	Found bool
+	// Trials holds every evaluation in order.
+	Trials []Trial
+	// BestSoFar[i] is the best successful runtime observed in trials
+	// [0..i]; +Inf until the first success.
+	BestSoFar []float64
+	// TotalCost sums the dollar cost of all trials (the tuning bill the
+	// paper wants bounded and offloaded, §IV-C).
+	TotalCost float64
+	// Stopped reports that the tuner converged (Stopper) before the
+	// budget was exhausted.
+	Stopped bool
+}
+
+// ExecutionsToReach returns the number of executions needed before the
+// best-so-far runtime dropped to at most target, or -1 if never.
+func (r Result) ExecutionsToReach(target float64) int {
+	for i, b := range r.BestSoFar {
+		if b <= target {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// Scorer maps a successful measurement to the scalar a session minimizes.
+// It lets the same tuners optimize the §IV-D trade-offs: runtime when the
+// user needs results fast, dollar cost when they can wait, or any blend.
+type Scorer func(m Measurement) float64
+
+// MinimizeRuntime is the default scorer.
+func MinimizeRuntime(m Measurement) float64 { return m.Runtime }
+
+// MinimizeCost optimizes the per-run dollar bill.
+func MinimizeCost(m Measurement) float64 { return m.Cost }
+
+// MinimizeCostDelay returns a scorer for the weighted blend
+// cost + dollarPerHour/3600 × runtime — the "how much is my waiting time
+// worth" objective.
+func MinimizeCostDelay(dollarPerHour float64) Scorer {
+	return func(m Measurement) float64 { return m.Cost + dollarPerHour/3600*m.Runtime }
+}
+
+// Run drives t against obj for exactly budget evaluations, minimizing
+// runtime.
+func Run(t Tuner, obj Objective, budget int, rng *rand.Rand) (Result, error) {
+	return RunFor(t, obj, budget, rng, MinimizeRuntime)
+}
+
+// RunFor drives t against obj for exactly budget evaluations, minimizing
+// the given scorer. Result.Best and the trajectory are in scorer units.
+func RunFor(t Tuner, obj Objective, budget int, rng *rand.Rand, score Scorer) (Result, error) {
+	if budget <= 0 {
+		return Result{}, ErrNoBudget
+	}
+	if score == nil {
+		score = MinimizeRuntime
+	}
+	res := Result{BestSoFar: make([]float64, 0, budget)}
+	best := math.Inf(1)
+	worstSuccess := 0.0
+	for i := 0; i < budget; i++ {
+		cfg := t.Next(rng)
+		m := obj(cfg)
+		trial := Trial{Index: i, Config: cfg, Measurement: m}
+		var v float64
+		if !m.Failed {
+			v = score(m)
+		}
+		trial.Objective = penalizeScore(m, v, worstSuccess)
+		res.Trials = append(res.Trials, trial)
+		res.TotalCost += m.Cost
+		if !m.Failed {
+			if v > worstSuccess {
+				worstSuccess = v
+			}
+			if v < best {
+				best = v
+				res.Best = trial
+				res.Found = true
+			}
+		}
+		res.BestSoFar = append(res.BestSoFar, best)
+		t.Observe(trial)
+		if s, ok := t.(Stopper); ok && s.ShouldStop() {
+			res.Stopped = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// penalizeScore converts a measurement into the scalar tuners minimize:
+// failed runs count as several times the worst success seen so far, so
+// models learn to avoid crash regions without the penalty dwarfing all
+// structure.
+func penalizeScore(m Measurement, score, worstSuccess float64) float64 {
+	if !m.Failed {
+		return score
+	}
+	p := 3 * worstSuccess
+	if p < 3600 {
+		p = 3600
+	}
+	return p
+}

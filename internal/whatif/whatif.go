@@ -1,0 +1,193 @@
+// Package whatif implements a Starfish-style What-If engine (Herodotou
+// et al., cited in paper §II-B): from a *profile* of one observed
+// execution, it answers questions of the form "given the profile of job
+// A under configuration c1, what will its runtime be under configuration
+// c2 with input y?" analytically, without running anything.
+//
+// The engine deliberately shares the limitations the paper attributes to
+// Starfish: it treats the job as a sequence of stages whose work scales
+// linearly with data, splits each stage's observed time into modelled CPU
+// and IO components, and rescales them for the new configuration. It does
+// not model RDD caching, cache-capacity cliffs, or plan changes — so its
+// predictions degrade on heterogeneous/iterative workloads (§II-B:
+// "showed less accuracy when tried with heterogeneous applications"),
+// which experiment C9 quantifies.
+package whatif
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/spark"
+)
+
+// StageProfile is the observable footprint of one executed stage.
+type StageProfile struct {
+	Tasks             int
+	DurationS         float64
+	InputBytes        int64
+	ShuffleReadBytes  int64
+	ShuffleWriteBytes int64
+	SpillBytes        int64
+}
+
+// Profile captures one profiled execution: the configuration and cluster
+// it ran on, the input size, and per-stage footprints. Everything here is
+// provider-observable.
+type Profile struct {
+	Conf       spark.Conf
+	Cluster    cloud.ClusterSpec
+	InputBytes int64
+	Stages     []StageProfile
+	// JobOverheadS is the non-stage time (submit + executor launch).
+	JobOverheadS float64
+}
+
+// ErrBadProfile reports an unusable profile.
+var ErrBadProfile = errors.New("whatif: unusable profile")
+
+// NewProfile builds a profile from a simulated run.
+func NewProfile(conf spark.Conf, cluster cloud.ClusterSpec, inputBytes int64, res spark.Result) (Profile, error) {
+	if res.Failed {
+		return Profile{}, fmt.Errorf("%w: profiling run failed: %s", ErrBadProfile, res.Reason)
+	}
+	if len(res.Stages) == 0 || inputBytes <= 0 {
+		return Profile{}, fmt.Errorf("%w: empty run", ErrBadProfile)
+	}
+	p := Profile{Conf: conf, Cluster: cluster, InputBytes: inputBytes}
+	stageTime := 0.0
+	for _, sm := range res.Stages {
+		p.Stages = append(p.Stages, StageProfile{
+			Tasks:             sm.Tasks,
+			DurationS:         sm.DurationS,
+			InputBytes:        sm.InputBytes,
+			ShuffleReadBytes:  sm.ShuffleRead,
+			ShuffleWriteBytes: sm.ShuffleWrite,
+			SpillBytes:        sm.SpillBytes,
+		})
+		stageTime += sm.DurationS
+	}
+	p.JobOverheadS = math.Max(0, res.RuntimeS-stageTime)
+	return p, nil
+}
+
+// Question is a what-if query: the hypothetical configuration, cluster
+// and input size.
+type Question struct {
+	Conf       spark.Conf
+	Cluster    cloud.ClusterSpec
+	InputBytes int64
+}
+
+// Answer is the engine's prediction.
+type Answer struct {
+	RuntimeS float64
+	Stages   []float64 // predicted per-stage seconds
+}
+
+// Predict answers the what-if question from the profile.
+func (p Profile) Predict(q Question) (Answer, error) {
+	if len(p.Stages) == 0 {
+		return Answer{}, ErrBadProfile
+	}
+	if err := q.Cluster.Validate(); err != nil {
+		return Answer{}, err
+	}
+	if q.InputBytes <= 0 {
+		q.InputBytes = p.InputBytes
+	}
+
+	_, slots1, ok := spark.EstimateAllocation(p.Conf, p.Cluster)
+	if !ok {
+		return Answer{}, fmt.Errorf("%w: profiled configuration obtains no executors", ErrBadProfile)
+	}
+	execs2, slots2, ok := spark.EstimateAllocation(q.Conf, q.Cluster)
+	if !ok || execs2 == 0 {
+		return Answer{}, errors.New("whatif: hypothetical configuration obtains no executors")
+	}
+
+	dataRatio := float64(q.InputBytes) / float64(p.InputBytes)
+	cpuRatio := p.Cluster.Instance.CPUFactor / q.Cluster.Instance.CPUFactor
+	diskRatio := perTaskRate(p.Cluster, slots1, true) / perTaskRate(q.Cluster, slots2, true)
+	netRatio := perTaskRate(p.Cluster, slots1, false) / perTaskRate(q.Cluster, slots2, false)
+
+	ans := Answer{RuntimeS: p.JobOverheadS}
+	for _, sp := range p.Stages {
+		// Decompose the observed stage time: the IO component is modelled
+		// from observed byte counts and the profiled cluster's rates; the
+		// remainder is CPU.
+		waves1 := math.Max(1, math.Ceil(float64(sp.Tasks)/float64(slots1)))
+		ioPerTask := ioSecondsPerTask(sp, p.Cluster, slots1)
+		cpuPerTask := math.Max(sp.DurationS/waves1-ioPerTask, 0.1*sp.DurationS/waves1)
+
+		// Rescale for the hypothetical run. Data volumes scale linearly
+		// (the Starfish assumption); task counts follow the configured
+		// parallelism; the wave structure follows the new slot count.
+		tasks2 := p.rescaleTasks(sp, q, dataRatio)
+		waves2 := math.Max(1, math.Ceil(float64(tasks2)/float64(slots2)))
+		perTaskData := dataRatio * float64(sp.Tasks) / float64(tasks2)
+
+		cpu2 := cpuPerTask * perTaskData * cpuRatio
+		io2 := ioPerTask * perTaskData
+		// Apportion the IO between disk and network by observed bytes.
+		diskBytes := float64(sp.InputBytes + sp.ShuffleWriteBytes + 2*sp.SpillBytes)
+		netBytes := float64(sp.ShuffleReadBytes)
+		total := diskBytes + netBytes
+		if total > 0 {
+			io2 *= (diskBytes*diskRatio + netBytes*netRatio) / total
+		}
+		stageS := (cpu2 + io2) * waves2
+		// Dispatch overhead for the new task count.
+		stageS += 0.08 + float64(tasks2)*0.002/float64(maxInt(q.Conf.DriverCores, 1))
+		ans.Stages = append(ans.Stages, stageS)
+		ans.RuntimeS += stageS
+	}
+	return ans, nil
+}
+
+// rescaleTasks guesses the hypothetical task count for a stage from the
+// configured parallelism knobs (the engine cannot see the plan, only the
+// profile).
+func (p Profile) rescaleTasks(sp StageProfile, q Question, dataRatio float64) int {
+	switch {
+	case sp.InputBytes > 0:
+		// Input stage: splits follow the split size and the data volume.
+		ratio := float64(p.Conf.MaxPartitionBytesMB) / float64(maxInt(q.Conf.MaxPartitionBytesMB, 1))
+		return maxInt(int(math.Ceil(float64(sp.Tasks)*dataRatio*ratio)), 1)
+	case sp.Tasks == p.Conf.ShufflePartitions:
+		return maxInt(q.Conf.ShufflePartitions, 1)
+	default:
+		return maxInt(q.Conf.DefaultParallelism, 1)
+	}
+}
+
+// ioSecondsPerTask estimates one task's IO seconds in the profiled stage
+// from its byte counters and the profiled cluster's per-task rates.
+func ioSecondsPerTask(sp StageProfile, cluster cloud.ClusterSpec, slots int) float64 {
+	disk := perTaskRate(cluster, slots, true)
+	net := perTaskRate(cluster, slots, false)
+	tasks := float64(maxInt(sp.Tasks, 1))
+	const mb = float64(1 << 20)
+	s := float64(sp.InputBytes+sp.ShuffleWriteBytes+2*sp.SpillBytes) / tasks / mb / disk
+	s += float64(sp.ShuffleReadBytes) / tasks / mb / net
+	return s
+}
+
+// perTaskRate returns the per-task MB/s for disk or network, assuming
+// slots spread evenly over nodes.
+func perTaskRate(cluster cloud.ClusterSpec, slots int, disk bool) float64 {
+	perNodeTasks := math.Max(1, float64(slots)/float64(cluster.Count))
+	if disk {
+		return cluster.Instance.DiskMBps / perNodeTasks
+	}
+	return cluster.Instance.NetworkMBps / perNodeTasks
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package whatif
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/workload"
+)
+
+const gb = int64(1) << 30
+
+func cluster4(t testing.TB) cloud.ClusterSpec {
+	t.Helper()
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cloud.ClusterSpec{Instance: it, Count: 4}
+}
+
+// baseConf is a sensible profiling configuration.
+func baseConf() spark.Conf {
+	c := spark.DefaultConf()
+	c.ExecutorInstances = 8
+	c.ExecutorCores = 8
+	c.ExecutorMemoryMB = 16384
+	c.DriverMemoryMB = 4096
+	c.DefaultParallelism = 128
+	c.ShufflePartitions = 128
+	return c
+}
+
+// profileOf runs a workload and builds its profile.
+func profileOf(t *testing.T, w workload.Workload, size int64, conf spark.Conf) Profile {
+	t.Helper()
+	cl := cluster4(t)
+	res := spark.Run(w.Job(size), conf, cl, cloud.Unit(), stat.NewRNG(1))
+	if res.Failed {
+		t.Fatalf("profiling run failed: %s", res.Reason)
+	}
+	p, err := NewProfile(conf, cl, size, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProfileErrors(t *testing.T) {
+	cl := cluster4(t)
+	if _, err := NewProfile(baseConf(), cl, gb, spark.Result{Failed: true}); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("failed run: err = %v", err)
+	}
+	if _, err := NewProfile(baseConf(), cl, 0, spark.Result{Stages: []spark.StageMetrics{{}}}); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("zero input: err = %v", err)
+	}
+}
+
+func TestPredictSameQuestionMatchesObservation(t *testing.T) {
+	// Asking the engine about the profiled configuration itself should
+	// come close to the observed runtime.
+	for _, w := range []workload.Workload{workload.Wordcount{}, workload.Sort{}} {
+		conf := baseConf()
+		cl := cluster4(t)
+		res := spark.Run(w.Job(8*gb), conf, cl, cloud.Unit(), stat.NewRNG(1))
+		p, err := NewProfile(conf, cl, 8*gb, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := p.Predict(Question{Conf: conf, Cluster: cl, InputBytes: 8 * gb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(ans.RuntimeS-res.RuntimeS) / res.RuntimeS
+		if rel > 0.30 {
+			t.Errorf("%s: self-prediction off by %.0f%% (%v vs %v)", w.Name(), rel*100, ans.RuntimeS, res.RuntimeS)
+		}
+	}
+}
+
+func TestPredictScalesWithData(t *testing.T) {
+	p := profileOf(t, workload.Wordcount{}, 8*gb, baseConf())
+	cl := cluster4(t)
+	small, err := p.Predict(Question{Conf: baseConf(), Cluster: cl, InputBytes: 8 * gb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := p.Predict(Question{Conf: baseConf(), Cluster: cl, InputBytes: 32 * gb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := big.RuntimeS / small.RuntimeS
+	if ratio < 2 || ratio > 6 {
+		t.Errorf("4x data predicted ratio = %.2f, want roughly linear", ratio)
+	}
+}
+
+func TestPredictAccuracyOrdering(t *testing.T) {
+	// The §II-B claim: the engine is reasonably accurate for homogeneous
+	// scan/shuffle workloads but degrades on iterative, cache-bound ones.
+	cl := cluster4(t)
+	mape := func(w workload.Workload) float64 {
+		conf := baseConf()
+		p := profileOf(t, w, 8*gb, conf)
+		rng := stat.NewRNG(3)
+		space := confspace.SparkSubspace(8)
+		var errSum float64
+		var n int
+		for i := 0; i < 12; i++ {
+			cfg := space.Random(rng)
+			c2 := spark.FromConfig(space, cfg)
+			actual := spark.Run(w.Job(8*gb), c2, cl, cloud.Unit(), stat.NewRNG(int64(100+i)))
+			if actual.Failed {
+				continue
+			}
+			ans, err := p.Predict(Question{Conf: c2, Cluster: cl, InputBytes: 8 * gb})
+			if err != nil {
+				continue
+			}
+			errSum += math.Abs(ans.RuntimeS-actual.RuntimeS) / actual.RuntimeS
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("%s: no successful predictions", w.Name())
+		}
+		return errSum / float64(n)
+	}
+	wcErr := mape(workload.Wordcount{})
+	prErr := mape(workload.PageRank{})
+	if wcErr >= prErr {
+		t.Errorf("wordcount MAPE %.2f not below pagerank MAPE %.2f (the Starfish limitation)", wcErr, prErr)
+	}
+	if wcErr > 0.6 {
+		t.Errorf("wordcount MAPE %.2f implausibly bad for a homogeneous workload", wcErr)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	p := Profile{}
+	if _, err := p.Predict(Question{}); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("empty profile: err = %v", err)
+	}
+	full := profileOf(t, workload.Wordcount{}, gb, baseConf())
+	// Hypothetical config that cannot allocate.
+	bad := baseConf()
+	bad.ExecutorMemoryMB = 1 << 20 // 1 TB heap
+	if _, err := full.Predict(Question{Conf: bad, Cluster: cluster4(t), InputBytes: gb}); err == nil {
+		t.Error("unallocatable question accepted")
+	}
+}

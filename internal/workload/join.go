@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"seamlesstune/internal/spark"
+)
+
+// Join is a SQL-style star join: scan a fact table and a dimension table
+// (two independent stages the driver runs concurrently), join them, then
+// aggregate. Like Spark SQL's planner, the physical plan depends on the
+// dimension size: small dimensions are broadcast to every executor
+// (map-side hash join, no fact shuffle); large ones force a sort-merge
+// join that shuffles both sides. The plan flip moves the workload's
+// bottleneck — and therefore its tuned configuration — as data grows.
+type Join struct {
+	// DimFraction is the dimension table's share of the input
+	// (default 0.15).
+	DimFraction float64
+	// BroadcastLimitMB is the planner's broadcast-join threshold
+	// (default 512, scaled-up analogue of spark.sql.autoBroadcastJoinThreshold).
+	BroadcastLimitMB float64
+}
+
+var _ Workload = Join{}
+
+// Name implements Workload.
+func (Join) Name() string { return "join" }
+
+// Job implements Workload.
+func (j Join) Job(sizeBytes int64) *spark.Job {
+	dimFrac := j.DimFraction
+	if dimFrac <= 0 || dimFrac >= 1 {
+		dimFrac = 0.15
+	}
+	limitMB := j.BroadcastLimitMB
+	if limitMB <= 0 {
+		limitMB = 512
+	}
+	factBytes := int64(float64(sizeBytes) * (1 - dimFrac))
+	dimBytes := sizeBytes - factBytes
+	factRows := factBytes / 120
+	dimRows := dimBytes / 80
+	dimMB := float64(dimBytes) / (1 << 20)
+	broadcastPlan := dimMB <= limitMB
+
+	stages := []spark.Stage{
+		{
+			ID: 0, Name: "scan-fact", Partitions: spark.FromInputSplits,
+			InputBytes: factBytes, Records: factRows,
+			ComputePerRecord: 1.0e-6, MemPerRecordBytes: 24,
+			ReadsCachedFrom: -1, MaxRecordMB: 1,
+		},
+		{
+			ID: 1, Name: "scan-dim", Partitions: spark.FromInputSplits,
+			InputBytes: dimBytes, Records: dimRows,
+			ComputePerRecord: 1.0e-6, MemPerRecordBytes: 24,
+			ReadsCachedFrom: -1, MaxRecordMB: 1,
+		},
+	}
+	if broadcastPlan {
+		// Broadcast hash join: the dimension ships to every executor;
+		// the fact side streams through without a shuffle. Executors must
+		// hold the hash table — a per-task memory floor.
+		stages[0].ShuffleWriteBytes = factBytes / 4 // pre-aggregated pairs
+		stages = append(stages, spark.Stage{
+			ID: 2, Name: "broadcast-hash-join", Deps: []int{0, 1},
+			Partitions: spark.FromShufflePartitions,
+			Records:    factRows,
+			// Probe the broadcast hash table per fact row.
+			ComputePerRecord: 1.4e-6, MemPerRecordBytes: 40,
+			BroadcastMB:     dimMB * 1.4, // deserialized hash table
+			HardMemMB:       dimMB * 1.4 / 8,
+			ReadsCachedFrom: -1, MaxRecordMB: 2,
+			SkewAlpha: 2.2,
+		})
+	} else {
+		// Sort-merge join: both sides shuffle on the join key.
+		stages[0].ShuffleWriteBytes = factBytes
+		stages[1].ShuffleWriteBytes = dimBytes
+		stages = append(stages, spark.Stage{
+			ID: 2, Name: "sort-merge-join", Deps: []int{0, 1},
+			Partitions: spark.FromShufflePartitions,
+			Records:    factRows + dimRows,
+			// Sort both sides and merge.
+			ComputePerRecord: 2.2e-6, MemPerRecordBytes: 170,
+			ReadsCachedFrom: -1, MaxRecordMB: 2,
+			SkewAlpha: 1.8, // join-key skew
+		})
+	}
+	stages = append(stages, spark.Stage{
+		ID: 3, Name: "aggregate", Deps: []int{2}, Partitions: spark.FromShufflePartitions,
+		Records:          factRows / 50,
+		ComputePerRecord: 1.2e-6, MemPerRecordBytes: 96,
+		ReadsCachedFrom: -1, MaxRecordMB: 1,
+		CollectMB: 6,
+	})
+	// The join stage produced shuffle output consumed by the aggregate.
+	stages[2].ShuffleWriteBytes = factBytes / 10
+
+	return &spark.Job{
+		Name:         fmt.Sprintf("join-%dMB", sizeBytes>>20),
+		Workload:     "join",
+		InputBytes:   sizeBytes,
+		DriverNeedMB: 280,
+		Stages:       stages,
+	}
+}

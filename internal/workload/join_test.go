@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestJoinPlanSwitchesWithSize(t *testing.T) {
+	// Small input: the dimension fits under the broadcast limit.
+	small := Join{}.Job(2 * gb)
+	if got := small.Stages[2].Name; got != "broadcast-hash-join" {
+		t.Errorf("2GB plan = %q, want broadcast-hash-join", got)
+	}
+	if small.Stages[2].BroadcastMB <= 0 {
+		t.Error("broadcast plan has no broadcast volume")
+	}
+	if small.Stages[1].ShuffleWriteBytes != 0 {
+		t.Error("broadcast plan should not shuffle the dimension")
+	}
+
+	// Large input: the planner falls back to sort-merge.
+	big := Join{}.Job(16 * gb)
+	if got := big.Stages[2].Name; got != "sort-merge-join" {
+		t.Errorf("16GB plan = %q, want sort-merge-join", got)
+	}
+	if big.Stages[1].ShuffleWriteBytes == 0 {
+		t.Error("sort-merge plan must shuffle the dimension side")
+	}
+}
+
+func TestJoinBranchesAreIndependent(t *testing.T) {
+	job := Join{}.Job(4 * gb)
+	if len(job.Stages[0].Deps) != 0 || len(job.Stages[1].Deps) != 0 {
+		t.Error("scan stages should have no dependencies (parallel branches)")
+	}
+	if len(job.Stages[2].Deps) != 2 {
+		t.Errorf("join deps = %v, want both scans", job.Stages[2].Deps)
+	}
+}
+
+func TestJoinDefaults(t *testing.T) {
+	j := Join{DimFraction: -1, BroadcastLimitMB: -1}
+	job := j.Job(gb)
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Custom threshold flips the plan.
+	forced := Join{BroadcastLimitMB: 1}.Job(2 * gb)
+	if got := forced.Stages[2].Name; got != "sort-merge-join" {
+		t.Errorf("tiny limit plan = %q, want sort-merge-join", got)
+	}
+}
+
+func TestJoinRunsAndScales(t *testing.T) {
+	res := runOn(t, Join{}, 8*gb, 5)
+	if res.RuntimeS <= 0 {
+		t.Fatalf("runtime = %v", res.RuntimeS)
+	}
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+)
+
+const gb = int64(1) << 30
+
+func TestAllJobsValidate(t *testing.T) {
+	for _, w := range All() {
+		for _, size := range []int64{gb, 8 * gb, 32 * gb} {
+			job := w.Job(size)
+			if err := job.Validate(); err != nil {
+				t.Errorf("%s at %d: %v", w.Name(), size, err)
+			}
+			if job.Workload != w.Name() {
+				t.Errorf("%s: job.Workload = %q", w.Name(), job.Workload)
+			}
+			if job.InputBytes != size {
+				t.Errorf("%s: InputBytes = %d, want %d", w.Name(), job.InputBytes, size)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("pagerank")
+	if err != nil || w.Name() != "pagerank" {
+		t.Errorf("ByName(pagerank) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); !errors.Is(err, ErrUnknownWorkload) {
+		t.Errorf("ByName(nope) err = %v", err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("Names = %v, want 6 workloads", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	ts := NewTextStats(1000 * 100)
+	if ts.Lines != 1000 || ts.Words != 15000 {
+		t.Errorf("TextStats = %+v", ts)
+	}
+	if ts.Vocab <= 0 || ts.Vocab >= ts.Words {
+		t.Errorf("vocab %d out of plausible range", ts.Vocab)
+	}
+	gs := NewGraphStats(4000)
+	if gs.Edges != 100 || gs.Vertices != 10 {
+		t.Errorf("GraphStats = %+v", gs)
+	}
+	ps := NewPointStats(10000)
+	if ps.Points != 100 || ps.Dim != 20 {
+		t.Errorf("PointStats = %+v", ps)
+	}
+	// Negative sizes are treated as empty.
+	if NewTextStats(-5).Lines != 0 || NewGraphStats(-5).Edges != 0 || NewPointStats(-5).Points != 0 {
+		t.Error("negative sizes should clamp to zero")
+	}
+}
+
+func TestVocabSublinear(t *testing.T) {
+	small := NewTextStats(gb).Vocab
+	big := NewTextStats(16 * gb).Vocab
+	if big <= small {
+		t.Fatal("vocabulary should grow with corpus")
+	}
+	if big >= small*16 {
+		t.Errorf("vocabulary grew linearly (%d -> %d); Heaps' law is sublinear", small, big)
+	}
+}
+
+func TestPageRankStructure(t *testing.T) {
+	job := PageRank{Iterations: 5}.Job(8 * gb)
+	// parse + build + 5 iterations + collect.
+	if len(job.Stages) != 8 {
+		t.Fatalf("stages = %d, want 8", len(job.Stages))
+	}
+	if !job.Stages[1].CacheOutput {
+		t.Error("adjacency stage should cache")
+	}
+	for i := 2; i < 7; i++ {
+		if job.Stages[i].ReadsCachedFrom != 1 {
+			t.Errorf("iteration stage %d does not read the cached graph", i)
+		}
+	}
+	// Default iteration count.
+	if got := len(PageRank{}.Job(gb).Stages); got != 11 {
+		t.Errorf("default PageRank stages = %d, want 11 (8 iters)", got)
+	}
+}
+
+func TestKMeansDefaultsAndOverrides(t *testing.T) {
+	if got := len(KMeans{}.Job(gb).Stages); got != 7 {
+		t.Errorf("default KMeans stages = %d, want 7", got)
+	}
+	if got := len(KMeans{Iterations: 2, K: 8}.Job(gb).Stages); got != 3 {
+		t.Errorf("KMeans 2 iters stages = %d, want 3", got)
+	}
+}
+
+// runOn executes a workload with a sensible config on the Table-I cluster.
+func runOn(t *testing.T, w Workload, size int64, seed int64) spark.Result {
+	t.Helper()
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+	conf := spark.DefaultConf()
+	conf.ExecutorInstances = 8
+	conf.ExecutorCores = 8
+	conf.ExecutorMemoryMB = 24576
+	conf.DriverMemoryMB = 8192
+	conf.DefaultParallelism = 128
+	conf.ShufflePartitions = 128
+	res := spark.Run(w.Job(size), conf, cluster, cloud.Unit(), stat.NewRNG(seed))
+	if res.Failed {
+		t.Fatalf("%s failed: %s", w.Name(), res.Reason)
+	}
+	return res
+}
+
+func TestWorkloadsRunOnTableICluster(t *testing.T) {
+	for _, w := range All() {
+		res := runOn(t, w, 8*gb, 42)
+		if res.RuntimeS < 10 || res.RuntimeS > 3600 {
+			t.Errorf("%s: runtime %.1fs outside plausible range", w.Name(), res.RuntimeS)
+		}
+	}
+}
+
+func TestWorkloadProfilesDiffer(t *testing.T) {
+	// Sort moves (shuffles) far more data than Wordcount per input byte.
+	sortRes := runOn(t, Sort{}, 8*gb, 1)
+	wcRes := runOn(t, Wordcount{}, 8*gb, 1)
+	if sortRes.TotalShuffleWrite <= wcRes.TotalShuffleWrite*4 {
+		t.Errorf("sort shuffle %d not clearly above wordcount %d",
+			sortRes.TotalShuffleWrite, wcRes.TotalShuffleWrite)
+	}
+}
+
+func TestScalingIsMonotone(t *testing.T) {
+	for _, w := range All() {
+		small := runOn(t, w, 4*gb, 3).RuntimeS
+		big := runOn(t, w, 16*gb, 3).RuntimeS
+		if big <= small {
+			t.Errorf("%s: 4x input did not increase runtime (%.1f -> %.1f)", w.Name(), small, big)
+		}
+	}
+}
