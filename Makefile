@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover bench experiments examples vet fmt clean
+.PHONY: all check build test test-short test-race cover bench experiments examples vet fmt clean
 
 all: build vet test
+
+# check is the tier-1 verification gate: vet, the full suite, and the
+# race detector over the concurrent engine.
+check: vet test test-race
 
 build:
 	$(GO) build ./...
@@ -20,6 +24,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -1,11 +1,14 @@
 // Command tunectl runs one configuration-tuning session against the
 // simulated cluster and prints the trajectory — the command-line face of
-// the tuner package.
+// the tuner package. With -server it instead acts as a client of a
+// tuneserve instance: it submits the workload through the async job API
+// and polls until the job finishes.
 //
 // Usage:
 //
 //	tunectl -workload pagerank -size 8 -tuner bayesopt -budget 30
 //	tunectl -workload sort -tuner bestconfig -budget 100 -params 30
+//	tunectl -server http://localhost:8642 -tenant acme -workload sort -size 8
 //	tunectl -list
 package main
 
@@ -15,6 +18,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"seamlesstune/internal/cloud"
 	"seamlesstune/internal/confspace"
@@ -69,6 +73,9 @@ func run(args []string, out io.Writer) error {
 	interference := fs.String("interference", "none", "co-location level: none, low, medium, high")
 	list := fs.Bool("list", false, "list workloads and tuners, then exit")
 	verbose := fs.Bool("v", false, "print every trial")
+	server := fs.String("server", "", "tuneserve base URL; when set, tune remotely via the job API")
+	tenant := fs.String("tenant", "", "tenant name for remote tuning (required with -server)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "job polling interval in remote mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +83,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "workloads:", strings.Join(workload.Names(), ", "))
 		fmt.Fprintln(out, "tuners:   ", strings.Join(tunerNames, ", "))
 		return nil
+	}
+	if *server != "" {
+		return runRemote(out, strings.TrimSuffix(*server, "/"), *tenant, *wlName, *sizeGB, *poll)
 	}
 
 	w, err := workload.ByName(*wlName)

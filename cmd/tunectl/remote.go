@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// remoteJob mirrors the job snapshot tuneserve returns; the result stays
+// raw so tunectl prints exactly what the server computed.
+type remoteJob struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Result json.RawMessage `json:"result"`
+	Error  string          `json:"error"`
+}
+
+// remoteError is tuneserve's {"error":{"code","message"}} envelope.
+type remoteError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// runRemote submits the workload to a tuneserve instance via the async
+// job API and polls until the job is terminal.
+func runRemote(out io.Writer, server, tenant, wlName string, sizeGB int64, poll time.Duration) error {
+	if tenant == "" {
+		return fmt.Errorf("-tenant is required with -server")
+	}
+	body, err := json.Marshal(map[string]any{
+		"tenant":   tenant,
+		"workload": wlName,
+		"inputGB":  sizeGB,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(server+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	job, err := decodeJob(resp, http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("submitting job: %w", err)
+	}
+	fmt.Fprintf(out, "submitted %s (tenant %s, %s %dGB)\n", job.ID, tenant, wlName, sizeGB)
+
+	for {
+		switch job.State {
+		case "done":
+			var pretty bytes.Buffer
+			if err := json.Indent(&pretty, job.Result, "", "  "); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "job %s done:\n%s\n", job.ID, pretty.String())
+			return nil
+		case "failed":
+			return fmt.Errorf("job %s failed: %s", job.ID, job.Error)
+		}
+		time.Sleep(poll)
+		resp, err := http.Get(server + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return err
+		}
+		job, err = decodeJob(resp, http.StatusOK)
+		if err != nil {
+			return fmt.Errorf("polling job: %w", err)
+		}
+	}
+}
+
+// decodeJob reads a job snapshot, surfacing the server's error envelope
+// on any unexpected status.
+func decodeJob(resp *http.Response, wantStatus int) (remoteJob, error) {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return remoteJob{}, err
+	}
+	if resp.StatusCode != wantStatus {
+		var env remoteError
+		if json.Unmarshal(raw, &env) == nil && env.Error.Message != "" {
+			return remoteJob{}, fmt.Errorf("%s: %s (%s)", resp.Status, env.Error.Message, env.Error.Code)
+		}
+		return remoteJob{}, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	var job remoteJob
+	if err := json.Unmarshal(raw, &job); err != nil {
+		return remoteJob{}, err
+	}
+	return job, nil
+}

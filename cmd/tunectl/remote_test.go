@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stubServe emulates tuneserve's job API: one submission that reports
+// running once before reaching the given terminal state.
+func stubServe(t *testing.T, terminalState, errMsg string) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	polls := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad submit body: %v", err)
+		}
+		if req["tenant"] != "acme" || req["workload"] != "sort" {
+			t.Errorf("unexpected submission: %v", req)
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": "job-000001", "state": "queued"})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != "job-000001" {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": map[string]string{"code": "not_found", "message": "no such job"},
+			})
+			return
+		}
+		mu.Lock()
+		polls++
+		n := polls
+		mu.Unlock()
+		job := map[string]any{"id": "job-000001", "state": "running"}
+		if n > 1 {
+			job["state"] = terminalState
+			if terminalState == "done" {
+				job["result"] = map[string]any{"cluster": "4x nimbus/g5.2xlarge", "tunedRuntimeS": 12.5}
+			} else {
+				job["error"] = errMsg
+			}
+		}
+		json.NewEncoder(w).Encode(job)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRemoteTuneSucceeds(t *testing.T) {
+	srv := stubServe(t, "done", "")
+	var out bytes.Buffer
+	err := run([]string{
+		"-server", srv.URL, "-tenant", "acme", "-workload", "sort", "-size", "8", "-poll", "1ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"submitted job-000001", "job job-000001 done", "tunedRuntimeS", "12.5"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRemoteTuneReportsFailure(t *testing.T) {
+	srv := stubServe(t, "failed", "no configuration succeeded")
+	var out bytes.Buffer
+	err := run([]string{
+		"-server", srv.URL, "-tenant", "acme", "-workload", "sort", "-size", "8", "-poll", "1ms",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no configuration succeeded") {
+		t.Fatalf("err = %v, want job failure", err)
+	}
+}
+
+func TestRemoteTuneSurfacesErrorEnvelope(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error": map[string]string{"code": "invalid_argument", "message": "unknown workload"},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	var out bytes.Buffer
+	err := run([]string{"-server", srv.URL, "-tenant", "acme", "-workload", "sort", "-size", "8"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("err = %v, want envelope message", err)
+	}
+	if !strings.Contains(err.Error(), "invalid_argument") {
+		t.Errorf("err = %v, want envelope code", err)
+	}
+}
+
+func TestRemoteTuneRequiresTenant(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-server", "http://localhost:0", "-workload", "sort"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-tenant") {
+		t.Fatalf("err = %v, want tenant requirement", err)
+	}
+}

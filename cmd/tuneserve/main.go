@@ -2,11 +2,15 @@
 // demonstration of the paper's vision of configuration tuning offered as
 // a cloud service: tenants submit workloads and high-level objectives,
 // the provider runs both tuning stages and keeps the cross-tenant
-// execution history.
+// execution history. Tuning runs on a bounded worker pool: each tenant's
+// submissions execute in FIFO order, distinct tenants tune in parallel.
 //
-// Endpoints:
+// Endpoints (all errors arrive as {"error":{"code","message"}}):
 //
-//	POST /v1/tune            {"tenant","workload","inputGB"} → pipeline result
+//	POST /v1/jobs            {"tenant","workload","inputGB"} → 202 + job; poll for the result
+//	GET  /v1/jobs/{id}       job state: queued|running|done|failed (+ result payload)
+//	GET  /v1/jobs            all jobs in submission order
+//	POST /v1/tune            synchronous wrapper: enqueues and waits for the pipeline result
 //	GET  /v1/workloads       registered (tenant, workload) pairs
 //	GET  /v1/history         ?tenant=&workload=&limit=
 //	GET  /v1/effectiveness   ?tenant=&workload=
@@ -14,15 +18,19 @@
 //
 // Usage:
 //
-//	tuneserve -addr :8642 -seed 1
+//	tuneserve -addr :8642 -seed 1 -workers 4
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"seamlesstune/internal/core"
 )
@@ -34,25 +42,45 @@ func main() {
 	params := fs.Int("params", 12, "Spark parameters tuned per session (1-41)")
 	cloudBudget := fs.Int("cloud-budget", 10, "stage-1 execution budget")
 	discBudget := fs.Int("disc-budget", 25, "stage-2 execution budget")
-	statePath := fs.String("state", "", "path for persisting the execution history (load on start, save after each tune)")
+	workers := fs.Int("workers", 4, "tuning worker pool size (concurrent pipelines)")
+	maxQueued := fs.Int("max-queued", 0, "max unfinished jobs admitted at once (0 = unbounded)")
+	transferThreshold := fs.Float64("transfer-threshold", 0,
+		"similarity gate for cross-workload warm-starting (0 = default; >1 disables transfer for strict replayability)")
+	statePath := fs.String("state", "", "path for persisting the execution history (load on start, save asynchronously)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
 
 	srv, err := newServer(serverConfig{
-		Seed:        *seed,
-		Params:      *params,
-		CloudBudget: *cloudBudget,
-		DISCBudget:  *discBudget,
-		StatePath:   *statePath,
+		Seed:              *seed,
+		Params:            *params,
+		CloudBudget:       *cloudBudget,
+		DISCBudget:        *discBudget,
+		Workers:           *workers,
+		MaxQueued:         *maxQueued,
+		TransferThreshold: *transferThreshold,
+		StatePath:         *statePath,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("tuneserve listening on %s (seed %d, %d params)", *addr, *seed, *params)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("tuneserve listening on %s (seed %d, %d params, %d workers)", *addr, *seed, *params, *workers)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	// Drain the worker pool and flush unsaved history before exiting.
+	srv.Close()
 }
 
 // serverConfig bundles the tunables of newServer so main and tests share
@@ -62,8 +90,17 @@ type serverConfig struct {
 	Params      int
 	CloudBudget int
 	DISCBudget  int
+	// Workers sizes the tuning worker pool (minimum 1).
+	Workers int
+	// MaxQueued bounds the number of unfinished jobs admitted at once
+	// (0 = unbounded); when full, submissions get 429 queue_full.
+	MaxQueued int
+	// TransferThreshold gates cross-workload warm-starting (0 = default;
+	// above 1 disables transfer, making results independent of how
+	// concurrent sessions interleave).
+	TransferThreshold float64
 	// StatePath, when set, persists the execution history: loaded at
-	// startup (if present) and saved after every tuning request.
+	// startup (if present) and saved asynchronously as jobs complete.
 	StatePath string
 }
 
@@ -71,9 +108,6 @@ func (c serverConfig) options() []core.Option {
 	return []core.Option{
 		core.WithSeed(c.Seed),
 		core.WithBudgets(c.CloudBudget, c.DISCBudget),
+		core.WithTransferThreshold(c.TransferThreshold),
 	}
-}
-
-func usageError(w http.ResponseWriter, format string, args ...interface{}) {
-	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
 }

@@ -1,28 +1,35 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"strconv"
-	"sync"
 
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/core"
 	"seamlesstune/internal/history"
+	"seamlesstune/internal/jobs"
 	"seamlesstune/internal/workload"
 )
 
-// server wraps a core.Service behind HTTP handlers. The service itself is
-// single-threaded (one deterministic RNG), so a mutex serializes tuning
-// requests; reads of the history store are safe concurrently.
+// server wraps a core.Service behind HTTP handlers. The service is safe
+// for concurrent use; tuning work runs on the job engine's worker pool
+// (per-tenant FIFO, distinct tenants in parallel), and the execution
+// history persists asynchronously off the request path.
 type server struct {
-	mu        sync.Mutex
 	svc       *core.Service
 	mux       *http.ServeMux
+	engine    *jobs.Engine
 	statePath string
+	// dirty coalesces persistence requests: completed jobs mark the
+	// store dirty, the persister goroutine saves. Capacity 1 — marking
+	// an already-dirty store is a no-op.
+	dirty       chan struct{}
+	persistDone chan struct{}
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -39,24 +46,53 @@ func newServer(cfg serverConfig) (*server, error) {
 		}
 		opts = append(opts, core.WithStore(store))
 	}
-	s := &server{
-		svc:       core.NewService(opts...),
-		mux:       http.NewServeMux(),
-		statePath: cfg.StatePath,
+	svc, err := core.NewService(opts...)
+	if err != nil {
+		return nil, err
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/tune", s.handleTune)
-	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
-	s.mux.HandleFunc("/v1/history", s.handleHistory)
-	s.mux.HandleFunc("/v1/effectiveness", s.handleEffectiveness)
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	s := &server{
+		svc:         svc,
+		mux:         http.NewServeMux(),
+		engine:      jobs.NewEngine(workers, cfg.MaxQueued),
+		statePath:   cfg.StatePath,
+		dirty:       make(chan struct{}, 1),
+		persistDone: make(chan struct{}),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
+	s.mux.HandleFunc("GET /v1/effectiveness", s.handleEffectiveness)
+	if s.statePath != "" {
+		go s.persistLoop()
+	} else {
+		close(s.persistDone)
+	}
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Close drains the worker pool and flushes any unsaved history.
+func (s *server) Close() {
+	s.engine.Close()
+	if s.statePath != "" {
+		close(s.dirty)
+		<-s.persistDone
+		s.persist() // final flush: a job may have marked dirty after the last save
+	}
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // tuneRequest is the tenant-facing submission: just the workload and an
@@ -65,6 +101,25 @@ type tuneRequest struct {
 	Tenant   string  `json:"tenant"`
 	Workload string  `json:"workload"`
 	InputGB  float64 `json:"inputGB"`
+}
+
+// registration validates the request against the workload registry.
+func (req tuneRequest) registration() (core.Registration, error) {
+	wl, err := workload.ByName(req.Workload)
+	if err != nil {
+		return core.Registration{}, fmt.Errorf("%v (known: %v)", err, workload.Names())
+	}
+	if req.InputGB <= 0 {
+		return core.Registration{}, fmt.Errorf("inputGB must be positive")
+	}
+	if req.Tenant == "" {
+		return core.Registration{}, fmt.Errorf("tenant is required")
+	}
+	return core.Registration{
+		Tenant:     req.Tenant,
+		Workload:   wl,
+		InputBytes: int64(req.InputGB * (1 << 30)),
+	}, nil
 }
 
 // tuneResponse reports what the pipeline chose and achieved.
@@ -79,42 +134,7 @@ type tuneResponse struct {
 	WarmSource      string           `json:"warmSource,omitempty"`
 }
 
-func (s *server) handleTune(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req tuneRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		usageError(w, "bad request body: %v", err)
-		return
-	}
-	wl, err := workload.ByName(req.Workload)
-	if err != nil {
-		usageError(w, "%v (known: %v)", err, workload.Names())
-		return
-	}
-	if req.InputGB <= 0 {
-		usageError(w, "inputGB must be positive")
-		return
-	}
-	if req.Tenant == "" {
-		usageError(w, "tenant is required")
-		return
-	}
-	reg := core.Registration{
-		Tenant:     req.Tenant,
-		Workload:   wl,
-		InputBytes: int64(req.InputGB * (1 << 30)),
-	}
-	s.mu.Lock()
-	res, err := s.svc.TunePipeline(reg)
-	s.persistLocked()
-	s.mu.Unlock()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
+func toTuneResponse(res core.PipelineResult) tuneResponse {
 	resp := tuneResponse{
 		Cluster:         res.Cloud.Cluster.String(),
 		Config:          res.DISC.Config,
@@ -127,27 +147,94 @@ func (s *server) handleTune(w http.ResponseWriter, r *http.Request) {
 	if res.DISC.WarmStarted {
 		resp.WarmSource = res.DISC.Source.String()
 	}
-	writeJSON(w, resp)
+	return resp
 }
 
-func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+// submit validates a tune request and enqueues the pipeline as a job.
+func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool) {
+	var req tuneRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "bad request body: %v", err)
+		return jobs.Job{}, false
+	}
+	reg, err := req.registration()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
+		return jobs.Job{}, false
+	}
+	job, err := s.engine.Submit(reg.Tenant, func(ctx context.Context) (any, error) {
+		res, err := s.svc.TunePipeline(ctx, reg)
+		if err != nil {
+			return nil, err
+		}
+		s.markDirty()
+		return toTuneResponse(res), nil
+	})
+	if err != nil {
+		code, status := "internal", http.StatusInternalServerError
+		if err == jobs.ErrQueueFull {
+			code, status = "queue_full", http.StatusTooManyRequests
+		}
+		writeError(w, status, code, "%v", err)
+		return jobs.Job{}, false
+	}
+	return job, true
+}
+
+// handleSubmitJob enqueues a tuning pipeline and returns the job
+// immediately — the asynchronous face of the service.
+func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.submit(w, r)
+	if !ok {
 		return
 	}
-	writeJSON(w, s.svc.Store().Workloads())
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.List())
+}
+
+// handleTune is the backward-compatible synchronous wrapper: it enqueues
+// a job like POST /v1/jobs and waits for the result, so one tenant's
+// synchronous calls still serialize behind the tenant's queue while
+// distinct tenants tune in parallel.
+func (s *server) handleTune(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.submit(w, r)
+	if !ok {
+		return
+	}
+	final, err := s.engine.Wait(r.Context(), job.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "waiting for job %s: %v", job.ID, err)
+		return
+	}
+	if final.State == jobs.StateFailed {
+		writeError(w, http.StatusInternalServerError, "tuning_failed", "%s", final.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, final.Result)
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Store().Workloads())
 }
 
 func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
 	limit := 50
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			usageError(w, "bad limit %q", v)
+			writeError(w, http.StatusBadRequest, "invalid_argument", "bad limit %q", v)
 			return
 		}
 		limit = n
@@ -157,44 +244,81 @@ func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		Workload: r.URL.Query().Get("workload"),
 		MaxN:     limit,
 	})
-	writeJSON(w, recs)
+	writeJSON(w, http.StatusOK, recs)
 }
 
 func (s *server) handleEffectiveness(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
 	tenant := r.URL.Query().Get("tenant")
 	wl := r.URL.Query().Get("workload")
 	if tenant == "" || wl == "" {
-		usageError(w, "tenant and workload are required")
+		writeError(w, http.StatusBadRequest, "invalid_argument", "tenant and workload are required")
 		return
 	}
 	rep, err := s.svc.Effectiveness(tenant, wl)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
 		return
 	}
-	writeJSON(w, rep)
+	writeJSON(w, http.StatusOK, rep)
 }
 
-// persistLocked saves the history store when persistence is configured.
-// Callers hold s.mu.
-func (s *server) persistLocked() {
+// markDirty requests an asynchronous save of the history store.
+func (s *server) markDirty() {
 	if s.statePath == "" {
 		return
 	}
-	if err := s.svc.Store().SaveFile(s.statePath); err != nil {
-		log.Printf("tuneserve: persisting state to %s: %v", s.statePath, err)
+	select {
+	case s.dirty <- struct{}{}:
+	default: // already dirty; the pending save will cover this change
 	}
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+// persistLoop serializes saves off the request path. Bursts of completed
+// jobs coalesce into one save instead of rewriting the file per tune.
+func (s *server) persistLoop() {
+	for range s.dirty {
+		s.persist()
+	}
+	close(s.persistDone)
+}
+
+// persist writes the store to a temporary file and renames it into
+// place, so a crash mid-save never corrupts the previous snapshot.
+func (s *server) persist() {
+	tmp := s.statePath + ".tmp"
+	if err := s.svc.Store().SaveFile(tmp); err != nil {
+		log.Printf("tuneserve: persisting state to %s: %v", tmp, err)
+		return
+	}
+	if err := os.Rename(tmp, s.statePath); err != nil {
+		log.Printf("tuneserve: installing state %s: %v", s.statePath, err)
+	}
+}
+
+// errorEnvelope is the uniform error shape of the API.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: apiError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	// Encoding in-memory values cannot fail in a way the client can act
-	// on; log-less best effort is fine for a demo server.
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is already written; all we can do is log.
+		log.Printf("tuneserve: encoding response: %v", err)
+	}
 }

@@ -2,21 +2,61 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"seamlesstune/internal/jobs"
 )
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	s, err := newServer(serverConfig{Seed: 1, Params: 10, CloudBudget: 6, DISCBudget: 10})
+	s, err := newServer(serverConfig{Seed: 1, Params: 10, CloudBudget: 6, DISCBudget: 10, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s
+}
+
+// jobView mirrors jobs.Job with the result kept raw so tests can compare
+// payload bytes.
+type jobView struct {
+	ID        string          `json:"id"`
+	Tenant    string          `json:"tenant"`
+	State     jobs.State      `json:"state"`
+	Result    json.RawMessage `json:"result"`
+	Error     string          `json:"error"`
+	StartSeq  int64           `json:"startSeq"`
+	FinishSeq int64           `json:"finishSeq"`
+}
+
+// awaitJob polls GET /v1/jobs/{id} until the job is terminal.
+func awaitJob(t *testing.T, s *server, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s status = %d: %s", id, rec.Code, rec.Body.String())
+		}
+		var jv jobView
+		if err := json.Unmarshal(rec.Body.Bytes(), &jv); err != nil {
+			t.Fatal(err)
+		}
+		if jv.State.Terminal() {
+			return jv
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return jobView{}
 }
 
 func TestHealthz(t *testing.T) {
@@ -70,6 +110,149 @@ func TestTuneEndToEnd(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("effectiveness status = %d: %s", rec.Code, rec.Body.String())
 	}
+
+	// The synchronous tune ran through the job engine, so it shows up in
+	// the job listing as done.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("jobs status = %d", rec.Code)
+	}
+	var list []jobView
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].State != jobs.StateDone {
+		t.Errorf("jobs = %+v", list)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs",
+		strings.NewReader(`{"tenant":"acme","workload":"sort","inputGB":2}`)))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var submitted jobView
+	if err := json.Unmarshal(rec.Body.Bytes(), &submitted); err != nil {
+		t.Fatal(err)
+	}
+	if submitted.ID == "" || submitted.Tenant != "acme" {
+		t.Fatalf("submitted job = %+v", submitted)
+	}
+	if submitted.State != jobs.StateQueued && submitted.State != jobs.StateRunning {
+		t.Fatalf("fresh job state = %s", submitted.State)
+	}
+
+	final := awaitJob(t, s, submitted.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("final = %+v", final)
+	}
+	var resp tuneResponse
+	if err := json.Unmarshal(final.Result, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TunedRuntimeS <= 0 {
+		t.Errorf("degenerate result: %+v", resp)
+	}
+
+	// Unknown jobs 404 with the error envelope.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/job-999999", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"not_found"`) {
+		t.Errorf("unknown job body = %s", rec.Body.String())
+	}
+}
+
+// TestConcurrentJobsMatchSequential is the load test of the redesign:
+// 8 submissions across 4 distinct tenants on a 4-worker pool must (a)
+// respect per-tenant FIFO, and (b) produce byte-identical results to the
+// same submissions on a 1-worker (sequential) pool with the same seed.
+// Run with -race to check the engine, store and service under contention.
+func TestConcurrentJobsMatchSequential(t *testing.T) {
+	submissions := []struct{ tenant, workload string }{
+		{"alpha", "wordcount"},
+		{"beta", "pagerank"},
+		{"gamma", "kmeans"},
+		{"delta", "bayes"},
+		{"alpha", "wordcount"},
+		{"beta", "pagerank"},
+		{"gamma", "kmeans"},
+		{"delta", "bayes"},
+	}
+
+	// run submits everything at once and returns each tenant's result
+	// payloads in submission order.
+	run := func(workers int) map[string][]string {
+		// TransferThreshold > 1 disables cross-workload warm-starting:
+		// transfer content depends on which other sessions have already
+		// landed in the store, which is exactly the scheduling dependence
+		// byte-identity must exclude (see docs/SERVICE.md).
+		s, err := newServer(serverConfig{
+			Seed: 7, Params: 8, CloudBudget: 5, DISCBudget: 8,
+			Workers: workers, TransferThreshold: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var ids []string
+		for _, sub := range submissions {
+			body := fmt.Sprintf(`{"tenant":%q,"workload":%q,"inputGB":2}`, sub.tenant, sub.workload)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(body)))
+			if rec.Code != http.StatusAccepted {
+				t.Fatalf("submit status = %d: %s", rec.Code, rec.Body.String())
+			}
+			var jv jobView
+			if err := json.Unmarshal(rec.Body.Bytes(), &jv); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, jv.ID)
+		}
+		results := make(map[string][]string)
+		finals := make(map[string]jobView)
+		for i, id := range ids {
+			final := awaitJob(t, s, id)
+			if final.State != jobs.StateDone {
+				t.Fatalf("job %s (%s) failed: %s", id, submissions[i].tenant, final.Error)
+			}
+			results[final.Tenant] = append(results[final.Tenant], string(final.Result))
+			finals[id] = final
+		}
+		// Per-tenant FIFO: on the engine's event clock, each job of a
+		// tenant starts strictly after the tenant's previous job finished.
+		prev := make(map[string]jobView)
+		for _, id := range ids {
+			jv := finals[id]
+			if p, ok := prev[jv.Tenant]; ok && jv.StartSeq <= p.FinishSeq {
+				t.Errorf("tenant %s: job %s started (seq %d) before %s finished (seq %d)",
+					jv.Tenant, jv.ID, jv.StartSeq, p.ID, p.FinishSeq)
+			}
+			prev[jv.Tenant] = jv
+		}
+		return results
+	}
+
+	concurrent := run(4)
+	sequential := run(1)
+	for tenant, want := range sequential {
+		got := concurrent[tenant]
+		if len(got) != len(want) {
+			t.Fatalf("tenant %s: %d concurrent results vs %d sequential", tenant, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("tenant %s submission %d: concurrent result differs from sequential\nconcurrent: %s\nsequential: %s",
+					tenant, i, got[i], want[i])
+			}
+		}
+	}
 }
 
 func TestTuneValidation(t *testing.T) {
@@ -83,20 +266,30 @@ func TestTuneValidation(t *testing.T) {
 		{"no tenant", `{"workload":"wordcount","inputGB":1}`},
 		{"bad size", `{"tenant":"a","workload":"wordcount","inputGB":0}`},
 	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			rec := httptest.NewRecorder()
-			s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/tune", strings.NewReader(tt.body)))
-			if rec.Code != http.StatusBadRequest {
-				t.Errorf("status = %d, want 400", rec.Code)
-			}
-		})
+	for _, path := range []string{"/v1/tune", "/v1/jobs"} {
+		for _, tt := range tests {
+			t.Run(path+" "+tt.name, func(t *testing.T) {
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader(tt.body)))
+				if rec.Code != http.StatusBadRequest {
+					t.Errorf("status = %d, want 400", rec.Code)
+				}
+				if !strings.Contains(rec.Body.String(), `"invalid_argument"`) {
+					t.Errorf("body = %s, want error envelope", rec.Body.String())
+				}
+			})
+		}
 	}
-	// Wrong method.
+	// Wrong method: the method-qualified routes answer 405.
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/tune", nil))
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/tune status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/jobs", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /v1/jobs status = %d", rec.Code)
 	}
 }
 
@@ -125,7 +318,7 @@ func TestEffectivenessValidation(t *testing.T) {
 
 func TestStatePersistence(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "state.json")
-	s, err := newServer(serverConfig{Seed: 1, Params: 8, CloudBudget: 5, DISCBudget: 8, StatePath: path})
+	s, err := newServer(serverConfig{Seed: 1, Params: 8, CloudBudget: 5, DISCBudget: 8, Workers: 2, StatePath: path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,15 +328,29 @@ func TestStatePersistence(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("tune status = %d: %s", rec.Code, rec.Body.String())
 	}
+	// Persistence is asynchronous: the save lands shortly after the job
+	// completes, and Close guarantees a final flush.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("state file not written within deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Close()
 	if _, err := os.Stat(path); err != nil {
-		t.Fatalf("state file not written: %v", err)
+		t.Fatalf("state file missing after Close: %v", err)
 	}
 
 	// A fresh server restores the history.
-	s2, err := newServer(serverConfig{Seed: 2, Params: 8, CloudBudget: 5, DISCBudget: 8, StatePath: path})
+	s2, err := newServer(serverConfig{Seed: 2, Params: 8, CloudBudget: 5, DISCBudget: 8, Workers: 2, StatePath: path})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s2.Close()
 	rec = httptest.NewRecorder()
 	s2.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/workloads", nil))
 	if !strings.Contains(rec.Body.String(), "acme") {

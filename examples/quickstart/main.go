@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +21,14 @@ func main() {
 	// The service is what a cloud provider would operate: it owns the
 	// instance catalog, the execution-history store and the tuning
 	// budgets.
-	svc := core.NewService(
+	svc, err := core.NewService(
 		core.WithSeed(42),
 		core.WithSparkSpace(confspace.SparkSubspace(12)), // tune the 12 most important knobs
 		core.WithBudgets(10, 25),                         // stage-1 and stage-2 execution budgets
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A tenant registers a workload with a high-level objective — no
 	// cluster shapes, no Spark knobs.
@@ -35,7 +39,7 @@ func main() {
 		Objective:  slo.Objective{WithinPctOfOptimal: 0.25},
 	}
 
-	res, err := svc.TunePipeline(reg)
+	res, err := svc.TunePipeline(context.Background(), reg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,11 +19,14 @@ import (
 )
 
 func main() {
-	svc := core.NewService(
+	svc, err := core.NewService(
 		core.WithSeed(7),
 		core.WithSparkSpace(confspace.SparkSubspace(12)),
 		core.WithBudgets(8, 20),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The Table-I cluster: four storage-optimized 16-vCPU nodes.
 	it, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
@@ -38,7 +42,7 @@ func main() {
 	}
 
 	// Initial stage-2 tuning on DS1.
-	dc, err := svc.TuneDISC(reg, cluster)
+	dc, err := svc.TuneDISC(context.Background(), reg, cluster)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,21 +22,24 @@ import (
 )
 
 func main() {
-	svc := core.NewService(
+	svc, err := core.NewService(
 		core.WithSeed(11),
 		core.WithSparkSpace(confspace.SparkSubspace(12)),
 		core.WithBudgets(8, 20),
 	)
-	it, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
 	if err != nil {
 		log.Fatal(err)
+	}
+	it, err2 := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	if err2 != nil {
+		log.Fatal(err2)
 	}
 	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
 
 	// Tenant A tunes PageRank from scratch. Every execution lands in the
 	// provider's history store.
 	fmt.Println("tenant A tunes pagerank (cold start)...")
-	a, err := svc.TuneDISC(core.Registration{
+	a, err := svc.TuneDISC(context.Background(), core.Registration{
 		Tenant: "tenant-a", Workload: workload.PageRank{}, InputBytes: 8 << 30,
 	}, cluster)
 	if err != nil {
@@ -47,7 +51,7 @@ func main() {
 	// Tenant B submits the same workload type on a bigger graph. The
 	// service recognizes the similar profile and transfers A's knowledge.
 	fmt.Println("\ntenant B tunes pagerank at 12GB...")
-	b, err := svc.TuneDISC(core.Registration{
+	b, err := svc.TuneDISC(context.Background(), core.Registration{
 		Tenant: "tenant-b", Workload: workload.PageRank{}, InputBytes: 12 << 30,
 	}, cluster)
 	if err != nil {
@@ -63,7 +67,7 @@ func main() {
 	// Tenant C runs Wordcount — a very different profile. The similarity
 	// gate refuses the transfer rather than risking negative transfer.
 	fmt.Println("\ntenant C tunes wordcount (dissimilar profile)...")
-	c, err := svc.TuneDISC(core.Registration{
+	c, err := svc.TuneDISC(context.Background(), core.Registration{
 		Tenant: "tenant-c", Workload: workload.Wordcount{}, InputBytes: 8 << 30,
 	}, cluster)
 	if err != nil {

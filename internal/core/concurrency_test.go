@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"seamlesstune/internal/slo"
+	"seamlesstune/internal/workload"
+)
+
+// concurrencyService disables cross-workload transfer so results cannot
+// depend on how concurrently running sessions interleave in the store.
+func concurrencyService(t *testing.T) *Service {
+	t.Helper()
+	svc, err := NewService(
+		WithSeed(21),
+		WithSparkSpace(smallSpace(t)),
+		WithBudgets(5, 8),
+		WithTransferThreshold(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func concurrencyRegs() []Registration {
+	wls := []workload.Workload{
+		workload.Wordcount{}, workload.PageRank{}, workload.KMeans{}, workload.Bayes{},
+	}
+	var regs []Registration
+	for i, wl := range wls {
+		regs = append(regs, Registration{
+			Tenant:     fmt.Sprintf("tenant-%d", i),
+			Workload:   wl,
+			InputBytes: 2 * gb,
+			Objective:  slo.Objective{WithinPctOfOptimal: 0.25},
+		})
+	}
+	return regs
+}
+
+// TestConcurrentPipelinesMatchSequential drives the Service itself (below
+// the HTTP/job layer) from many goroutines and checks the per-invocation
+// RNG derivation keeps results identical to a sequential run of the same
+// submissions. Run with -race.
+func TestConcurrentPipelinesMatchSequential(t *testing.T) {
+	regs := concurrencyRegs()
+
+	// Sequential reference: each tenant submits twice, in order.
+	seqSvc := concurrencyService(t)
+	sequential := make(map[string][]PipelineResult)
+	for round := 0; round < 2; round++ {
+		for _, reg := range regs {
+			res, err := seqSvc.TunePipeline(context.Background(), reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sequential[reg.Tenant] = append(sequential[reg.Tenant], res)
+		}
+	}
+
+	// Concurrent run: one goroutine per tenant, two submissions each
+	// (per-tenant order preserved by the goroutine itself).
+	concSvc := concurrencyService(t)
+	concurrent := make(map[string][]PipelineResult)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, len(regs))
+	for _, reg := range regs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 2; round++ {
+				res, err := concSvc.TunePipeline(context.Background(), reg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				concurrent[reg.Tenant] = append(concurrent[reg.Tenant], res)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, reg := range regs {
+		want, got := sequential[reg.Tenant], concurrent[reg.Tenant]
+		if len(got) != len(want) {
+			t.Fatalf("tenant %s: %d concurrent results vs %d sequential", reg.Tenant, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("tenant %s submission %d: concurrent result differs from sequential\nconcurrent: %+v\nsequential: %+v",
+					reg.Tenant, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Both services recorded every execution.
+	if concSvc.Store().Len() != seqSvc.Store().Len() {
+		t.Errorf("store sizes diverge: concurrent %d vs sequential %d",
+			concSvc.Store().Len(), seqSvc.Store().Len())
+	}
+}
+
+// TestSessionSeedIndependentOfOtherTenants pins the derivation property
+// the concurrency design rests on: a tenant's nth submission draws the
+// same seed no matter what other tenants have done in between.
+func TestSessionSeedIndependentOfOtherTenants(t *testing.T) {
+	regs := concurrencyRegs()
+	a := concurrencyService(t)
+	b := concurrencyService(t)
+
+	// Service a: tenant-0 alone. Service b: tenant-0 interleaved with the
+	// other tenants' submissions.
+	s0 := a.sessionSeed("pipeline", regs[0])
+	for _, reg := range regs[1:] {
+		b.sessionSeed("pipeline", reg)
+	}
+	if got := b.sessionSeed("pipeline", regs[0]); got != s0 {
+		t.Errorf("first submission seed changed with interleaving: %d vs %d", got, s0)
+	}
+	s1 := a.sessionSeed("pipeline", regs[0])
+	for _, reg := range regs[1:] {
+		b.sessionSeed("pipeline", reg)
+	}
+	if got := b.sessionSeed("pipeline", regs[0]); got != s1 {
+		t.Errorf("second submission seed changed with interleaving: %d vs %d", got, s1)
+	}
+	if s0 == s1 {
+		t.Error("repeated submissions drew the same seed")
+	}
+}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"seamlesstune/internal/confspace"
@@ -13,18 +14,22 @@ import (
 // the two-stage pipeline of Fig. 1 — the tenant provides only the
 // workload, an input size and an objective.
 func Example() {
-	svc := core.NewService(
+	svc, err := core.NewService(
 		core.WithSeed(42),
 		core.WithSparkSpace(confspace.SparkSubspace(10)),
 		core.WithBudgets(6, 10), // provider-side execution budgets
 	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
 	reg := core.Registration{
 		Tenant:     "example-tenant",
 		Workload:   workload.Wordcount{},
 		InputBytes: 2 << 30,
 		Objective:  slo.Objective{WithinPctOfOptimal: 0.25},
 	}
-	res, err := svc.TunePipeline(reg)
+	res, err := svc.TunePipeline(context.Background(), reg)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -57,16 +57,19 @@ func WithElasticRetune() ManagedOption {
 	return func(m *Managed) { m.elastic = true }
 }
 
-// Manage places a tuned workload under continuous management.
+// Manage places a tuned workload under continuous management. Each
+// managed workload runs on its own derived random stream, so concurrently
+// managed workloads never perturb each other.
 func (s *Service) Manage(reg Registration, cluster cloud.ClusterSpec, cfg confspace.Config, opts ...ManagedOption) *Managed {
+	base := s.sessionSeed("manage", reg)
 	m := &Managed{
 		svc:          s,
 		reg:          reg,
 		cluster:      cluster,
 		current:      cfg.Clone(),
 		detector:     retune.NewAdaptive(),
-		env:          cloud.NewEnvironment(s.interference, s.rng.Int63()),
-		rng:          stat.Fork(s.rng),
+		env:          cloud.NewEnvironment(s.interference, stat.DeriveSeed(base, "env")),
+		rng:          stat.DeriveRNG(base, "runs"),
 		retuneBudget: 15,
 	}
 	for _, o := range opts {

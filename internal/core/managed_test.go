@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"seamlesstune/internal/cloud"
@@ -18,7 +19,7 @@ func tunedManaged(t *testing.T, seed int64, opts ...ManagedOption) (*Service, *M
 	}
 	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
 	reg := wcReg("t1")
-	dc, err := svc.TuneDISC(reg, cluster)
+	dc, err := svc.TuneDISC(context.Background(), reg, cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestManagedElasticRetuneGrowsCluster(t *testing.T) {
 	// Deliberately small cluster for a growing workload.
 	cluster := cloud.ClusterSpec{Instance: it, Count: 2}
 	reg := Registration{Tenant: "t1", Workload: workload.Sort{}, InputBytes: 2 * gb}
-	dc, err := svc.TuneDISC(reg, cluster)
+	dc, err := svc.TuneDISC(context.Background(), reg, cluster)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,9 +20,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"sync"
 
 	"seamlesstune/internal/cloud"
 	"seamlesstune/internal/confspace"
@@ -37,17 +40,30 @@ import (
 
 // Service is the multi-tenant seamless-tuning service. Construct with
 // NewService.
+//
+// A Service is safe for concurrent use: it holds no mutable tuning state
+// beyond the (concurrency-safe) history store and a submission counter.
+// Every tuning session derives its own random stream from
+// (seed, entry point, tenant, workload, submission #), so sessions are
+// race-free, order-independent across tenants, and replayable.
 type Service struct {
 	catalog    *cloud.Catalog
 	store      *history.Store
 	sparkSpace *confspace.Space
-	rng        *rand.Rand
+	seed       int64
 
 	minNodes, maxNodes int
 	cloudBudget        int
 	discBudget         int
 	probeRuns          int
 	interference       cloud.InterferenceLevel
+	transferThreshold  float64
+
+	// subMu guards subs, the per-(kind, tenant, workload) submission
+	// counters that make repeated submissions of the same workload draw
+	// distinct (but still deterministic) random streams.
+	subMu sync.Mutex
+	subs  map[string]int
 }
 
 // Option configures a Service.
@@ -67,7 +83,7 @@ func WithStore(st *history.Store) Option {
 }
 
 // WithSeed seeds all service randomness (default 1).
-func WithSeed(seed int64) Option { return func(s *Service) { s.rng = stat.NewRNG(seed) } }
+func WithSeed(seed int64) Option { return func(s *Service) { s.seed = seed } }
 
 // WithSparkSpace restricts stage-2 tuning to a subspace of the Spark
 // parameters (default: the full 41-knob space).
@@ -92,23 +108,66 @@ func WithInterference(level cloud.InterferenceLevel) Option {
 	return func(s *Service) { s.interference = level }
 }
 
-// NewService returns a configured service.
-func NewService(opts ...Option) *Service {
+// WithTransferThreshold sets the similarity gate for cross-workload
+// warm-starting (0 = transfer.DefaultSimilarityThreshold). Similarity is
+// in (0, 1], so a threshold above 1 disables transfer entirely — which
+// also makes concurrent tuning results bit-identical to sequential ones,
+// since warm-start content otherwise depends on which other sessions have
+// already landed in the history store.
+func WithTransferThreshold(t float64) Option {
+	return func(s *Service) { s.transferThreshold = t }
+}
+
+// NewService returns a configured service, rejecting unusable option
+// combinations (empty node range, non-positive budgets, missing
+// substrates).
+func NewService(opts ...Option) (*Service, error) {
 	s := &Service{
 		catalog:     cloud.DefaultCatalog(),
 		store:       &history.Store{},
 		sparkSpace:  confspace.SparkSpace(),
-		rng:         stat.NewRNG(1),
+		seed:        1,
 		minNodes:    2,
 		maxNodes:    16,
 		cloudBudget: 12,
 		discBudget:  30,
 		probeRuns:   3,
+		subs:        make(map[string]int),
 	}
 	for _, o := range opts {
 		o(s)
 	}
-	return s
+	if s.catalog == nil {
+		return nil, errors.New("core: nil instance catalog")
+	}
+	if s.sparkSpace == nil {
+		return nil, errors.New("core: nil Spark configuration space")
+	}
+	if s.minNodes < 1 || s.maxNodes < s.minNodes {
+		return nil, fmt.Errorf("core: invalid node range [%d, %d]", s.minNodes, s.maxNodes)
+	}
+	if s.cloudBudget <= 0 || s.discBudget <= 0 {
+		return nil, fmt.Errorf("core: budgets must be positive (cloud %d, disc %d)", s.cloudBudget, s.discBudget)
+	}
+	if s.transferThreshold < 0 {
+		return nil, fmt.Errorf("core: negative transfer threshold %v", s.transferThreshold)
+	}
+	return s, nil
+}
+
+// sessionSeed assigns the next submission number for (kind, tenant,
+// workload) and derives the session's base seed from it. Submission
+// numbers advance per workload key, so as long as one tenant's
+// submissions keep their order (the job engine's per-tenant FIFO
+// guarantees this), every session sees the same stream regardless of how
+// sessions of different tenants interleave.
+func (s *Service) sessionSeed(kind string, reg Registration) int64 {
+	key := kind + "\x00" + reg.Tenant + "\x00" + reg.Workload.Name()
+	s.subMu.Lock()
+	n := s.subs[key]
+	s.subs[key] = n + 1
+	s.subMu.Unlock()
+	return stat.DeriveSeed(s.seed, kind, reg.Tenant, reg.Workload.Name(), strconv.Itoa(n))
 }
 
 // Store exposes the multi-tenant execution history.
@@ -169,16 +228,23 @@ type CloudChoice struct {
 // TuneCloud runs stage 1: Bayesian optimization (CherryPick-style) over
 // the instance-type × cluster-size space, executing the workload under
 // the spark defaults-with-scaling configuration on each candidate.
-func (s *Service) TuneCloud(reg Registration) (CloudChoice, error) {
+// Cancelling ctx aborts the session between executions.
+func (s *Service) TuneCloud(ctx context.Context, reg Registration) (CloudChoice, error) {
 	if err := reg.Validate(); err != nil {
 		return CloudChoice{}, err
 	}
+	return s.tuneCloud(ctx, reg, s.sessionSeed("cloud", reg))
+}
+
+// tuneCloud is TuneCloud with the session's base seed fixed by the
+// caller; TunePipeline uses it to keep both stages on one derived stream.
+func (s *Service) tuneCloud(ctx context.Context, reg Registration, base int64) (CloudChoice, error) {
 	cloudSpace, err := confspace.CloudSpace(s.catalog, s.minNodes, s.maxNodes)
 	if err != nil {
 		return CloudChoice{}, err
 	}
-	env := cloud.NewEnvironment(s.interference, s.rng.Int63())
-	rng := stat.Fork(s.rng)
+	env := cloud.NewEnvironment(s.interference, stat.DeriveSeed(base, "env"))
+	rng := stat.DeriveRNG(base, "search")
 	bo := tuner.NewBayesOpt(cloudSpace)
 	bo.InitSamples = 4
 	obj := func(cfg confspace.Config) tuner.Measurement {
@@ -191,7 +257,7 @@ func (s *Service) TuneCloud(reg Registration) (CloudChoice, error) {
 		_, m := s.execute(reg, spec, s.referenceConf(spec), env.Next(), rng)
 		return m
 	}
-	res, err := tuner.Run(bo, obj, s.cloudBudget, rng)
+	res, err := tuner.RunContext(ctx, bo, obj, s.cloudBudget, rng)
 	if err != nil {
 		return CloudChoice{}, err
 	}
@@ -245,20 +311,29 @@ type DISCChoice struct {
 // TuneDISC runs stage 2 on a fixed cluster: probe runs fingerprint the
 // workload, the most similar workload in the store (possibly another
 // tenant's) warm-starts a Bayesian-optimization session, and the session
-// runs to the configured budget.
-func (s *Service) TuneDISC(reg Registration, cluster cloud.ClusterSpec) (DISCChoice, error) {
+// runs to the configured budget. Cancelling ctx aborts the session
+// between executions.
+func (s *Service) TuneDISC(ctx context.Context, reg Registration, cluster cloud.ClusterSpec) (DISCChoice, error) {
 	if err := reg.Validate(); err != nil {
 		return DISCChoice{}, err
 	}
+	return s.tuneDISC(ctx, reg, cluster, s.sessionSeed("disc", reg))
+}
+
+// tuneDISC is TuneDISC with the session's base seed fixed by the caller.
+func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.ClusterSpec, base int64) (DISCChoice, error) {
 	if err := cluster.Validate(); err != nil {
 		return DISCChoice{}, err
 	}
-	env := cloud.NewEnvironment(s.interference, s.rng.Int63())
-	rng := stat.Fork(s.rng)
+	env := cloud.NewEnvironment(s.interference, stat.DeriveSeed(base, "env"))
+	rng := stat.DeriveRNG(base, "search")
 
 	// Probe with the reference configuration to fingerprint the workload.
 	ref := s.referenceConf(cluster)
 	for i := 0; i < s.probeRuns; i++ {
+		if err := ctx.Err(); err != nil {
+			return DISCChoice{}, err
+		}
 		s.execute(reg, cluster, ref, env.Next(), rng)
 	}
 
@@ -276,7 +351,7 @@ func (s *Service) TuneDISC(reg Registration, cluster cloud.ClusterSpec) (DISCCho
 		_, m := s.execute(reg, cluster, cfg, env.Next(), rng)
 		return m
 	}
-	res, err := tuner.Run(bo, obj, s.discBudget, rng)
+	res, err := tuner.RunContext(ctx, bo, obj, s.discBudget, rng)
 	if err != nil {
 		return DISCChoice{}, err
 	}
@@ -311,7 +386,7 @@ func (s *Service) warmStart(reg Registration) (transfer.SourceSelection, []tuner
 	if len(candidates) == 0 {
 		return transfer.SourceSelection{}, nil
 	}
-	sel := transfer.SelectSource(target, candidates, 0)
+	sel := transfer.SelectSource(target, candidates, s.transferThreshold)
 	if !sel.Accepted {
 		return sel, nil
 	}
@@ -339,19 +414,27 @@ func (p PipelineResult) Improvement() float64 {
 }
 
 // TunePipeline runs both stages of Fig. 1 and reports the end-to-end
-// outcome.
-func (s *Service) TunePipeline(reg Registration) (PipelineResult, error) {
-	cc, err := s.TuneCloud(reg)
+// outcome. The whole pipeline draws from one random stream derived from
+// (seed, tenant, workload, submission #): two services with the same seed
+// given the same submissions in the same per-tenant order produce
+// identical results, no matter how many pipelines run concurrently.
+// Cancelling ctx aborts the pipeline between executions.
+func (s *Service) TunePipeline(ctx context.Context, reg Registration) (PipelineResult, error) {
+	if err := reg.Validate(); err != nil {
+		return PipelineResult{}, err
+	}
+	base := s.sessionSeed("pipeline", reg)
+	cc, err := s.tuneCloud(ctx, reg, stat.DeriveSeed(base, "cloud"))
 	if err != nil {
 		return PipelineResult{}, err
 	}
-	dc, err := s.TuneDISC(reg, cc.Cluster)
+	dc, err := s.tuneDISC(ctx, reg, cc.Cluster, stat.DeriveSeed(base, "disc"))
 	if err != nil {
 		return PipelineResult{}, err
 	}
 	// Measure the baseline once for the improvement report.
-	env := cloud.NewEnvironment(s.interference, s.rng.Int63())
-	rng := stat.Fork(s.rng)
+	env := cloud.NewEnvironment(s.interference, stat.DeriveSeed(base, "baseline-env"))
+	rng := stat.DeriveRNG(base, "baseline")
 	baseRes, _ := s.execute(reg, cc.Cluster, s.referenceConf(cc.Cluster), env.Next(), rng)
 	return PipelineResult{
 		Cloud:           cc,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"seamlesstune/internal/cloud"
@@ -20,12 +21,16 @@ func smallSpace(t testing.TB) *confspace.Space {
 
 func testService(t testing.TB, seed int64) *Service {
 	t.Helper()
-	return NewService(
+	svc, err := NewService(
 		WithSeed(seed),
 		WithSparkSpace(smallSpace(t)),
 		WithBudgets(8, 15),
 		WithNodeRange(2, 8),
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
 }
 
 func wcReg(tenant string) Registration {
@@ -60,7 +65,7 @@ func TestRegistrationValidate(t *testing.T) {
 
 func TestTuneCloudPicksValidCluster(t *testing.T) {
 	svc := testService(t, 1)
-	cc, err := svc.TuneCloud(wcReg("t1"))
+	cc, err := svc.TuneCloud(context.Background(), wcReg("t1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +92,7 @@ func TestTuneDISCImprovesOverReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
-	dc, err := svc.TuneDISC(reg, cluster)
+	dc, err := svc.TuneDISC(context.Background(), reg, cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +115,7 @@ func TestTuneDISCImprovesOverReference(t *testing.T) {
 
 func TestTunePipelineEndToEnd(t *testing.T) {
 	svc := testService(t, 3)
-	res, err := svc.TunePipeline(wcReg("t1"))
+	res, err := svc.TunePipeline(context.Background(), wcReg("t1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,12 +139,12 @@ func TestWarmStartFromSimilarTenant(t *testing.T) {
 	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
 
 	// Tenant A tunes wordcount from scratch.
-	if _, err := svc.TuneDISC(wcReg("tenantA"), cluster); err != nil {
+	if _, err := svc.TuneDISC(context.Background(), wcReg("tenantA"), cluster); err != nil {
 		t.Fatal(err)
 	}
 	// Tenant B submits the same workload type: the service should
 	// fingerprint it as similar and warm-start from tenant A's history.
-	dc, err := svc.TuneDISC(wcReg("tenantB"), cluster)
+	dc, err := svc.TuneDISC(context.Background(), wcReg("tenantB"), cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,10 +166,10 @@ func TestNegativeTransferGuard(t *testing.T) {
 
 	// Only a very different workload (iterative pagerank) in the store.
 	prReg := Registration{Tenant: "tenantA", Workload: workload.PageRank{}, InputBytes: 8 * gb}
-	if _, err := svc.TuneDISC(prReg, cluster); err != nil {
+	if _, err := svc.TuneDISC(context.Background(), prReg, cluster); err != nil {
 		t.Fatal(err)
 	}
-	dc, err := svc.TuneDISC(wcReg("tenantB"), cluster)
+	dc, err := svc.TuneDISC(context.Background(), wcReg("tenantB"), cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +182,7 @@ func TestEffectivenessReport(t *testing.T) {
 	svc := testService(t, 6)
 	it, _ := svc.catalog.Lookup("nimbus/g5.2xlarge")
 	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
-	if _, err := svc.TuneDISC(wcReg("t1"), cluster); err != nil {
+	if _, err := svc.TuneDISC(context.Background(), wcReg("t1"), cluster); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := svc.Effectiveness("t1", "wordcount")
@@ -207,12 +212,15 @@ func TestServiceOptions(t *testing.T) {
 	// WithStore threads an existing (e.g. restored) history through.
 	pre := &history.Store{}
 	pre.Append(history.Record{Tenant: "old", Workload: "wordcount", InputBytes: gb, RuntimeS: 50})
-	svc := NewService(
+	svc, err := NewService(
 		WithStore(pre),
 		WithCatalog(cloud.DefaultCatalog()),
 		WithInterference(cloud.InterferenceLow),
 		WithSeed(9),
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if svc.Store().Len() != 1 {
 		t.Errorf("store not adopted: len = %d", svc.Store().Len())
 	}
@@ -220,22 +228,53 @@ func TestServiceOptions(t *testing.T) {
 		t.Error("restored history not visible to BestKnown")
 	}
 	// A nil store is ignored, not adopted.
-	svc2 := NewService(WithStore(nil))
+	svc2, err := NewService(WithStore(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if svc2.Store() == nil {
 		t.Error("nil store adopted")
 	}
 }
 
+func TestNewServiceRejectsBadOptions(t *testing.T) {
+	tests := []struct {
+		name string
+		opts []Option
+	}{
+		{"inverted node range", []Option{WithNodeRange(8, 2)}},
+		{"zero min nodes", []Option{WithNodeRange(0, 4)}},
+		{"zero cloud budget", []Option{WithBudgets(0, 10)}},
+		{"negative disc budget", []Option{WithBudgets(10, -1)}},
+		{"nil catalog", []Option{WithCatalog(nil)}},
+		{"nil spark space", []Option{WithSparkSpace(nil)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewService(tt.opts...); err == nil {
+				t.Error("bad options accepted")
+			}
+		})
+	}
+	// The defaults are valid.
+	if _, err := NewService(); err != nil {
+		t.Errorf("default construction failed: %v", err)
+	}
+}
+
 func TestTuneDISCUnderInterference(t *testing.T) {
-	svc := NewService(
+	svc, err := NewService(
 		WithSeed(10),
 		WithSparkSpace(smallSpace(t)),
 		WithBudgets(6, 12),
 		WithInterference(cloud.InterferenceMedium),
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	it, _ := svc.catalog.Lookup("nimbus/g5.2xlarge")
 	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
-	dc, err := svc.TuneDISC(wcReg("t1"), cluster)
+	dc, err := svc.TuneDISC(context.Background(), wcReg("t1"), cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,14 +285,14 @@ func TestTuneDISCUnderInterference(t *testing.T) {
 
 func TestTuneCloudValidatesRegistration(t *testing.T) {
 	svc := testService(t, 11)
-	if _, err := svc.TuneCloud(Registration{}); err == nil {
+	if _, err := svc.TuneCloud(context.Background(), Registration{}); err == nil {
 		t.Error("empty registration accepted")
 	}
-	if _, err := svc.TuneDISC(Registration{}, cloud.ClusterSpec{}); err == nil {
+	if _, err := svc.TuneDISC(context.Background(), Registration{}, cloud.ClusterSpec{}); err == nil {
 		t.Error("empty registration accepted by TuneDISC")
 	}
 	reg := wcReg("t")
-	if _, err := svc.TuneDISC(reg, cloud.ClusterSpec{}); err == nil {
+	if _, err := svc.TuneDISC(context.Background(), reg, cloud.ClusterSpec{}); err == nil {
 		t.Error("invalid cluster accepted by TuneDISC")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"seamlesstune/internal/cloud"
@@ -35,12 +36,15 @@ type Fig1Result struct {
 
 // Fig1Pipeline runs the pipeline for wordcount and pagerank.
 func Fig1Pipeline(seed int64) (Fig1Result, error) {
-	svc := core.NewService(
+	svc, err := core.NewService(
 		core.WithSeed(seed),
 		core.WithSparkSpace(confspace.SparkSubspace(12)),
 		core.WithBudgets(10, 25),
 		core.WithNodeRange(2, 10),
 	)
+	if err != nil {
+		return Fig1Result{}, err
+	}
 	var out Fig1Result
 	for _, w := range []workload.Workload{workload.Wordcount{}, workload.PageRank{}} {
 		reg := core.Registration{
@@ -49,7 +53,7 @@ func Fig1Pipeline(seed int64) (Fig1Result, error) {
 			InputBytes: 8 * GB,
 			Objective:  slo.Objective{WithinPctOfOptimal: 0.25},
 		}
-		res, err := svc.TunePipeline(reg)
+		res, err := svc.TunePipeline(context.Background(), reg)
 		if err != nil {
 			return Fig1Result{}, fmt.Errorf("pipeline for %s: %w", w.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"seamlesstune/internal/cloud"
@@ -41,11 +42,14 @@ type F3Result struct {
 
 // F3SeamlessLifecycle runs the full story on PageRank.
 func F3SeamlessLifecycle(seed int64) (F3Result, error) {
-	svc := core.NewService(
+	svc, err := core.NewService(
 		core.WithSeed(seed),
 		core.WithSparkSpace(confspace.SparkSubspace(12)),
 		core.WithBudgets(8, 20),
 	)
+	if err != nil {
+		return F3Result{}, err
+	}
 	cluster, err := TableICluster()
 	if err != nil {
 		return F3Result{}, err
@@ -53,7 +57,7 @@ func F3SeamlessLifecycle(seed int64) (F3Result, error) {
 	reg := core.Registration{Tenant: "tenant", Workload: workload.PageRank{}, InputBytes: 8 * GB}
 
 	// Day 0: the only tuning the tenant ever "asks" for.
-	dc, err := svc.TuneDISC(reg, cluster)
+	dc, err := svc.TuneDISC(context.Background(), reg, cluster)
 	if err != nil {
 		return F3Result{}, err
 	}

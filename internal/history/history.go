@@ -10,9 +10,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/spark"
@@ -78,43 +81,81 @@ func (f Filter) matches(r Record) bool {
 	return true
 }
 
-// Store is an append-only, concurrency-safe execution history. The zero
-// value is ready to use.
-type Store struct {
+// numShards is the fixed shard count. Records are distributed by a hash
+// of their workload key, so concurrent tuning sessions of distinct
+// tenants almost never contend on the same lock, while the dominant
+// query shape — "this tenant's runs of this workload" — touches exactly
+// one shard.
+const numShards = 16
+
+// shard is one independently locked slice of the history. Records within
+// a shard are in ascending Seq order (Append assigns the sequence number
+// while holding the shard lock).
+type shard struct {
 	mu      sync.RWMutex
 	records []Record
-	nextSeq int
+}
+
+// Store is an append-only, concurrency-safe execution history, sharded by
+// workload key. The zero value is ready to use.
+type Store struct {
+	nextSeq atomic.Int64
+	count   atomic.Int64
+	shards  [numShards]shard
+}
+
+// shardFor maps a (tenant, workload) pair to its shard.
+func (s *Store) shardFor(tenant, workload string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	h.Write([]byte{0})
+	h.Write([]byte(workload))
+	return &s.shards[h.Sum32()%numShards]
 }
 
 // Append adds a record, assigning its sequence number, and returns it.
 func (s *Store) Append(r Record) Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r.Seq = s.nextSeq
-	s.nextSeq++
 	if r.Config != nil {
 		r.Config = r.Config.Clone()
 	}
-	s.records = append(s.records, r)
+	sh := s.shardFor(r.Tenant, r.Workload)
+	sh.mu.Lock()
+	r.Seq = int(s.nextSeq.Add(1) - 1)
+	sh.records = append(sh.records, r)
+	sh.mu.Unlock()
+	s.count.Add(1)
 	return r
 }
 
 // Len returns the number of records.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.records)
-}
+func (s *Store) Len() int { return int(s.count.Load()) }
 
-// Query returns matching records in insertion order (copies).
+// Query returns matching records in insertion order (copies). Filters
+// naming both a tenant and a workload read a single shard; broader
+// filters merge all shards.
 func (s *Store) Query(f Filter) []Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Record
-	for _, r := range s.records {
-		if f.matches(r) {
-			out = append(out, r)
+	if f.Tenant != "" && f.Workload != "" {
+		sh := s.shardFor(f.Tenant, f.Workload)
+		sh.mu.RLock()
+		for _, r := range sh.records {
+			if f.matches(r) {
+				out = append(out, r)
+			}
 		}
+		sh.mu.RUnlock()
+	} else {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.RLock()
+			for _, r := range sh.records {
+				if f.matches(r) {
+					out = append(out, r)
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	}
 	if f.MaxN > 0 && len(out) > f.MaxN {
 		out = out[len(out)-f.MaxN:]
@@ -127,19 +168,26 @@ func (s *Store) Query(f Filter) []Record {
 	return out
 }
 
-// Workloads returns the distinct (tenant, workload) pairs present.
+// Workloads returns the distinct (tenant, workload) pairs present, in
+// first-appearance order.
 func (s *Store) Workloads() []WorkloadKey {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen := make(map[WorkloadKey]bool)
-	var out []WorkloadKey
-	for _, r := range s.records {
-		k := WorkloadKey{Tenant: r.Tenant, Workload: r.Workload}
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, k)
+	first := make(map[WorkloadKey]int)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.records {
+			k := WorkloadKey{Tenant: r.Tenant, Workload: r.Workload}
+			if seq, ok := first[k]; !ok || r.Seq < seq {
+				first[k] = r.Seq
+			}
 		}
+		sh.mu.RUnlock()
 	}
+	out := make([]WorkloadKey, 0, len(first))
+	for k := range first {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return first[out[i]] < first[out[j]] })
 	return out
 }
 
@@ -172,12 +220,31 @@ func (s *Store) Best(f Filter) (Record, bool) {
 // ErrBadSnapshot reports a malformed serialized store.
 var ErrBadSnapshot = errors.New("history: malformed snapshot")
 
-// Save serializes the store as JSON.
+// lockAll write-locks every shard in index order (the consistent order
+// prevents deadlock against concurrent whole-store operations) and
+// returns the matching unlock.
+func (s *Store) lockAll() func() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	return func() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// Save serializes the store as one JSON array in insertion order.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.lockAll()
+	var all []Record
+	for i := range s.shards {
+		all = append(all, s.shards[i].records...)
+	}
+	unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
 	enc := json.NewEncoder(w)
-	return enc.Encode(s.records)
+	return enc.Encode(all)
 }
 
 // Load replaces the store's contents from JSON.
@@ -186,15 +253,24 @@ func (s *Store) Load(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&records); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.records = records
-	s.nextSeq = 0
+	// Records must land in each shard in ascending Seq order, whatever
+	// order the snapshot listed them in.
+	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
+	unlock := s.lockAll()
+	defer unlock()
+	for i := range s.shards {
+		s.shards[i].records = nil
+	}
+	nextSeq := int64(0)
 	for _, rec := range records {
-		if rec.Seq >= s.nextSeq {
-			s.nextSeq = rec.Seq + 1
+		sh := s.shardFor(rec.Tenant, rec.Workload)
+		sh.records = append(sh.records, rec)
+		if int64(rec.Seq) >= nextSeq {
+			nextSeq = int64(rec.Seq) + 1
 		}
 	}
+	s.nextSeq.Store(nextSeq)
+	s.count.Store(int64(len(records)))
 	return nil
 }
 

@@ -170,6 +170,67 @@ func TestConcurrentAppendQuery(t *testing.T) {
 	}
 }
 
+func TestConcurrentDistinctTenants(t *testing.T) {
+	// Distinct tenants land on distinct shards (almost always) and must
+	// proceed without corrupting each other's histories or the global
+	// sequence order.
+	var s Store
+	var wg sync.WaitGroup
+	const tenants, perTenant = 10, 50
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := string(rune('a' + i))
+			for j := 0; j < perTenant; j++ {
+				s.Append(rec(tenant, "wc", float64(j), false))
+				s.Query(Filter{Tenant: tenant, Workload: "wc"})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != tenants*perTenant {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 0; i < tenants; i++ {
+		tenant := string(rune('a' + i))
+		recs := s.Query(Filter{Tenant: tenant, Workload: "wc"})
+		if len(recs) != perTenant {
+			t.Fatalf("tenant %s has %d records", tenant, len(recs))
+		}
+		// Per-tenant insertion order survives sharding.
+		for j, r := range recs {
+			if r.RuntimeS != float64(j) {
+				t.Fatalf("tenant %s record %d out of order: %+v", tenant, j, r)
+			}
+		}
+	}
+	// The global view is ordered by sequence number.
+	all := s.Query(Filter{})
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatalf("global order broken at %d: %d after %d", i, all[i].Seq, all[i-1].Seq)
+		}
+	}
+}
+
+func TestWorkloadsFirstAppearanceOrder(t *testing.T) {
+	var s Store
+	// Keys chosen to land on several different shards.
+	for i := 0; i < 8; i++ {
+		s.Append(rec(string(rune('z'-i)), "w", 1, false))
+	}
+	keys := s.Workloads()
+	if len(keys) != 8 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i, k := range keys {
+		if k.Tenant != string(rune('z'-i)) {
+			t.Fatalf("key %d = %v, want first-appearance order", i, keys)
+		}
+	}
+}
+
 func TestMetricsFromResult(t *testing.T) {
 	res := spark.Result{
 		TotalShuffleRead:  1,

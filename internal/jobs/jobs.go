@@ -1,0 +1,289 @@
+// Package jobs implements the asynchronous job engine behind tuneserve's
+// /v1/jobs API: a bounded worker pool drains per-tenant FIFO queues, so a
+// slow tuning session of one tenant never blocks another tenant's
+// submissions — the concurrency the paper's cloud-service vision (§VI)
+// requires — while each tenant's own submissions still run strictly in
+// order, preserving per-workload tuning semantics (warm-starting from the
+// tenant's earlier sessions, deterministic submission numbering).
+//
+// The engine is deliberately generic: a job is any function of a
+// context. cmd/tuneserve wires it to core.Service.TunePipeline.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle: Queued → Running → Done | Failed.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Task is the unit of work a job runs. The context is cancelled when the
+// engine shuts down.
+type Task func(ctx context.Context) (any, error)
+
+// Job is an immutable snapshot of one submission's state.
+type Job struct {
+	ID          string     `json:"id"`
+	Tenant      string     `json:"tenant"`
+	State       State      `json:"state"`
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+	// Result holds the task's return value once State is StateDone.
+	Result any `json:"result,omitempty"`
+	// Error holds the task's error message once State is StateFailed.
+	Error string `json:"error,omitempty"`
+	// StartSeq and FinishSeq order this job's start and finish on the
+	// engine's global event clock (1-based; 0 = not yet). Start and
+	// finish events share one clock, so "job B started after job A
+	// finished" is exactly B.StartSeq > A.FinishSeq — how tests verify
+	// scheduling properties such as per-tenant FIFO.
+	StartSeq  int64 `json:"startSeq,omitempty"`
+	FinishSeq int64 `json:"finishSeq,omitempty"`
+}
+
+// job is the engine-internal mutable record behind Job snapshots.
+type job struct {
+	Job
+	task Task
+	done chan struct{}
+}
+
+// tenantQueue is one tenant's pending work. running marks that a worker
+// currently owns the tenant, which is what serializes a tenant's jobs.
+type tenantQueue struct {
+	pending []*job
+	running bool
+}
+
+// Errors returned by Submit and Wait.
+var (
+	ErrClosed    = errors.New("jobs: engine closed")
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrNotFound  = errors.New("jobs: no such job")
+)
+
+// Engine runs submitted jobs on a fixed pool of workers with per-tenant
+// FIFO ordering. Construct with NewEngine; Close releases the workers.
+type Engine struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*job
+	order     []*job // submission order, for List
+	tenants   map[string]*tenantQueue
+	ready     []string // tenants with pending work and no active worker
+	nextID    int
+	queued    int
+	maxQueued int
+	eventSeq  int64
+	closed    bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewEngine starts an engine with the given number of workers. maxQueued
+// bounds the number of not-yet-finished jobs admitted at once (0 means
+// unbounded); when full, Submit returns ErrQueueFull — backpressure
+// instead of unbounded memory growth under heavy traffic.
+func NewEngine(workers, maxQueued int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Engine{
+		jobs:      make(map[string]*job),
+		tenants:   make(map[string]*tenantQueue),
+		maxQueued: maxQueued,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.ctx, e.cancel = context.WithCancel(context.Background())
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Submit enqueues a task for the tenant and returns the queued job
+// snapshot immediately.
+func (e *Engine) Submit(tenant string, task Task) (Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return Job{}, ErrClosed
+	}
+	if e.maxQueued > 0 && e.queued >= e.maxQueued {
+		return Job{}, ErrQueueFull
+	}
+	e.nextID++
+	j := &job{
+		Job: Job{
+			ID:          fmt.Sprintf("job-%06d", e.nextID),
+			Tenant:      tenant,
+			State:       StateQueued,
+			SubmittedAt: time.Now().UTC(),
+		},
+		task: task,
+		done: make(chan struct{}),
+	}
+	e.jobs[j.ID] = j
+	e.order = append(e.order, j)
+	e.queued++
+	tq := e.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQueue{}
+		e.tenants[tenant] = tq
+	}
+	tq.pending = append(tq.pending, j)
+	// The tenant becomes ready only when nothing of theirs is running and
+	// this is their only pending job; otherwise they are already ready or
+	// will be re-armed when their current job finishes.
+	if !tq.running && len(tq.pending) == 1 {
+		e.ready = append(e.ready, tenant)
+		e.cond.Signal()
+	}
+	return j.Job, nil
+}
+
+// worker claims ready tenants and runs the head of their queue. A tenant
+// is owned by at most one worker at a time, so a tenant's jobs run in
+// submission order even with many workers.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.ready) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.ready) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		tenant := e.ready[0]
+		e.ready = e.ready[1:]
+		tq := e.tenants[tenant]
+		j := tq.pending[0]
+		tq.pending = tq.pending[1:]
+		tq.running = true
+		j.State = StateRunning
+		now := time.Now().UTC()
+		j.StartedAt = &now
+		e.eventSeq++
+		j.StartSeq = e.eventSeq
+		e.mu.Unlock()
+
+		result, err := j.task(e.ctx)
+
+		e.mu.Lock()
+		if err != nil {
+			j.State = StateFailed
+			j.Error = err.Error()
+		} else {
+			j.State = StateDone
+			j.Result = result
+		}
+		fin := time.Now().UTC()
+		j.FinishedAt = &fin
+		e.eventSeq++
+		j.FinishSeq = e.eventSeq
+		e.queued--
+		tq.running = false
+		if len(tq.pending) > 0 {
+			e.ready = append(e.ready, tenant)
+			e.cond.Signal()
+		}
+		close(j.done)
+		e.mu.Unlock()
+	}
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (e *Engine) Get(id string) (Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.Job, true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (e *Engine) List() []Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Job, len(e.order))
+	for i, j := range e.order {
+		out[i] = j.Job
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done, and
+// returns the final snapshot.
+func (e *Engine) Wait(ctx context.Context, id string) (Job, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return e.mustGet(id), nil
+	case <-ctx.Done():
+		return e.mustGet(id), ctx.Err()
+	}
+}
+
+func (e *Engine) mustGet(id string) Job {
+	snap, _ := e.Get(id)
+	return snap
+}
+
+// Close stops accepting submissions, cancels the context running tasks
+// see, waits for the workers to exit, and fails every job still queued.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.cancel()
+	// Wake every worker so those idle in Wait observe closed. Workers
+	// still drain tenants already in the ready list; their tasks see the
+	// cancelled context and return quickly.
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := time.Now().UTC()
+	for _, j := range e.order {
+		if !j.State.Terminal() {
+			j.State = StateFailed
+			j.Error = ErrClosed.Error()
+			j.FinishedAt = &now
+			e.queued--
+			close(j.done)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitRunsAndReportsResult(t *testing.T) {
+	e := NewEngine(2, 0)
+	defer e.Close()
+	j, err := e.Submit("t1", func(ctx context.Context) (any, error) { return 41 + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.ID == "" {
+		t.Fatalf("submitted job = %+v", j)
+	}
+	final, err := e.Wait(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Result != 42 {
+		t.Fatalf("final = %+v", final)
+	}
+	if final.StartedAt == nil || final.FinishedAt == nil {
+		t.Error("timestamps not recorded")
+	}
+}
+
+func TestFailedTask(t *testing.T) {
+	e := NewEngine(1, 0)
+	defer e.Close()
+	j, _ := e.Submit("t1", func(ctx context.Context) (any, error) {
+		return nil, errors.New("boom")
+	})
+	final, err := e.Wait(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || final.Error != "boom" {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+func TestPerTenantFIFO(t *testing.T) {
+	e := NewEngine(4, 0)
+	defer e.Close()
+	var mu sync.Mutex
+	events := make(map[string][]int) // tenant → job indexes in execution order
+	var ids []string
+	for i := 0; i < 16; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i%4)
+		idx := i / 4
+		j, err := e.Submit(tenant, func(ctx context.Context) (any, error) {
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			events[tenant] = append(events[tenant], idx)
+			mu.Unlock()
+			return idx, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	for _, id := range ids {
+		if _, err := e.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tenant, seq := range events {
+		for i, idx := range seq {
+			if idx != i {
+				t.Errorf("tenant %s executed out of order: %v", tenant, seq)
+				break
+			}
+		}
+	}
+	// The engine-recorded sequences agree: within a tenant, every job
+	// finishes before the next one starts.
+	jobs := e.List()
+	byTenant := make(map[string][]Job)
+	for _, j := range jobs {
+		byTenant[j.Tenant] = append(byTenant[j.Tenant], j)
+	}
+	for tenant, js := range byTenant {
+		for i := 1; i < len(js); i++ {
+			if js[i].StartSeq <= js[i-1].FinishSeq {
+				t.Errorf("tenant %s job %d started (seq %d) before job %d finished (seq %d)",
+					tenant, i, js[i].StartSeq, i-1, js[i-1].FinishSeq)
+			}
+		}
+	}
+}
+
+func TestDistinctTenantsRunInParallel(t *testing.T) {
+	e := NewEngine(4, 0)
+	defer e.Close()
+	var running, peak atomic.Int32
+	block := make(chan struct{})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, _ := e.Submit(fmt.Sprintf("t%d", i), func(ctx context.Context) (any, error) {
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			<-block
+			running.Add(-1)
+			return nil, nil
+		})
+		ids = append(ids, j.ID)
+	}
+	// Give the pool a moment to pick everything up, then release.
+	deadline := time.Now().Add(2 * time.Second)
+	for running.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	for _, id := range ids {
+		e.Wait(context.Background(), id)
+	}
+	if peak.Load() != 4 {
+		t.Errorf("peak concurrency = %d, want 4 (distinct tenants must run in parallel)", peak.Load())
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	e := NewEngine(1, 2)
+	defer e.Close()
+	block := make(chan struct{})
+	defer close(block)
+	e.Submit("t", func(ctx context.Context) (any, error) { <-block; return nil, nil })
+	e.Submit("t", func(ctx context.Context) (any, error) { return nil, nil })
+	if _, err := e.Submit("t", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestWaitContextCancel(t *testing.T) {
+	e := NewEngine(1, 0)
+	defer e.Close()
+	block := make(chan struct{})
+	defer close(block)
+	j, _ := e.Submit("t", func(ctx context.Context) (any, error) { <-block; return nil, nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := e.Wait(ctx, j.ID); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := e.Wait(context.Background(), "job-nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown job err = %v", err)
+	}
+}
+
+func TestCloseFailsQueuedJobsAndRejectsNew(t *testing.T) {
+	e := NewEngine(1, 0)
+	started := make(chan struct{})
+	j1, _ := e.Submit("t", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	j2, _ := e.Submit("t", func(ctx context.Context) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return "ran", nil
+	})
+	<-started
+	e.Close()
+	for _, id := range []string{j1.ID, j2.ID} {
+		final, ok := e.Get(id)
+		if !ok || !final.State.Terminal() {
+			t.Errorf("job %s not terminal after Close: %+v", id, final)
+		}
+	}
+	if _, err := e.Submit("t", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close err = %v", err)
+	}
+	// Close is idempotent.
+	e.Close()
+}
+
+func TestListSubmissionOrder(t *testing.T) {
+	e := NewEngine(2, 0)
+	defer e.Close()
+	for i := 0; i < 5; i++ {
+		e.Submit(fmt.Sprintf("t%d", i), func(ctx context.Context) (any, error) { return nil, nil })
+	}
+	jobs := e.List()
+	if len(jobs) != 5 {
+		t.Fatalf("List = %d jobs", len(jobs))
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].ID <= jobs[i-1].ID {
+			t.Errorf("List out of submission order: %v before %v", jobs[i-1].ID, jobs[i].ID)
+		}
+	}
+}

@@ -10,6 +10,8 @@
 package stat
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"math/rand"
 )
@@ -26,6 +28,41 @@ func NewRNG(seed int64) *rand.Rand {
 // randomness without perturbing each other's sequences.
 func Fork(r *rand.Rand) *rand.Rand {
 	return rand.New(rand.NewSource(r.Int63()))
+}
+
+// DeriveSeed deterministically mixes a base seed with string labels into a
+// new seed. Unlike Fork, derivation is stateless: the result depends only
+// on (base, labels), never on how much randomness anyone else consumed.
+// That property is what makes concurrent tuning sessions replayable — each
+// session seeds itself from (service seed, tenant, workload, submission #)
+// and gets the same stream no matter how sessions interleave.
+//
+// Labels are length-prefixed before hashing, so ("ab", "c") and
+// ("a", "bc") derive different seeds.
+func DeriveSeed(base int64, labels ...string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(base))
+	h.Write(buf[:])
+	for _, l := range labels {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(l)))
+		h.Write(buf[:])
+		h.Write([]byte(l))
+	}
+	x := h.Sum64()
+	// SplitMix64 finalizer: FNV's low bits correlate for short inputs, and
+	// rand.NewSource keys off the full word, so scatter before returning.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// DeriveRNG returns a generator seeded with DeriveSeed(base, labels...).
+func DeriveRNG(base int64, labels ...string) *rand.Rand {
+	return NewRNG(DeriveSeed(base, labels...))
 }
 
 // Lognormal draws from a lognormal distribution parameterized by the

@@ -27,6 +27,47 @@ func TestForkIndependence(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, "tenant-a", "wordcount", "0")
+	b := DeriveSeed(42, "tenant-a", "wordcount", "0")
+	if a != b {
+		t.Fatalf("same inputs derived %d and %d", a, b)
+	}
+	r1, r2 := DeriveRNG(42, "x"), DeriveRNG(42, "x")
+	for i := 0; i < 50; i++ {
+		if r1.Float64() != r2.Float64() {
+			t.Fatalf("derived generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveSeedDistinguishesInputs(t *testing.T) {
+	base := DeriveSeed(1, "t", "w", "0")
+	for name, other := range map[string]int64{
+		"different base":       DeriveSeed(2, "t", "w", "0"),
+		"different tenant":     DeriveSeed(1, "u", "w", "0"),
+		"different submission": DeriveSeed(1, "t", "w", "1"),
+		"shifted boundary":     DeriveSeed(1, "tw", "", "0"),
+		"fewer labels":         DeriveSeed(1, "t", "w"),
+	} {
+		if other == base {
+			t.Errorf("%s derived the same seed %d", name, base)
+		}
+	}
+}
+
+func TestDeriveSeedStateless(t *testing.T) {
+	// Consuming randomness from one derived stream must not affect another
+	// derivation — the property Fork does not have.
+	r := DeriveRNG(9, "a")
+	for i := 0; i < 100; i++ {
+		r.Float64()
+	}
+	if DeriveSeed(9, "b") != DeriveSeed(9, "b") {
+		t.Error("derivation depends on hidden state")
+	}
+}
+
 func TestLognormalMean(t *testing.T) {
 	r := NewRNG(3)
 	const mu, sigma = 1.0, 0.5

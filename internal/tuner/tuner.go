@@ -14,6 +14,7 @@
 package tuner
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -125,9 +126,23 @@ func Run(t Tuner, obj Objective, budget int, rng *rand.Rand) (Result, error) {
 	return RunFor(t, obj, budget, rng, MinimizeRuntime)
 }
 
+// RunContext is Run with cancellation: the session stops between
+// evaluations when ctx is done, returning the partial result alongside
+// the context's error.
+func RunContext(ctx context.Context, t Tuner, obj Objective, budget int, rng *rand.Rand) (Result, error) {
+	return RunForContext(ctx, t, obj, budget, rng, MinimizeRuntime)
+}
+
 // RunFor drives t against obj for exactly budget evaluations, minimizing
 // the given scorer. Result.Best and the trajectory are in scorer units.
 func RunFor(t Tuner, obj Objective, budget int, rng *rand.Rand, score Scorer) (Result, error) {
+	return RunForContext(context.Background(), t, obj, budget, rng, score)
+}
+
+// RunForContext is RunFor with cancellation. Cancellation is checked
+// before every evaluation — a single execution is never interrupted, so
+// each recorded trial is a complete observation.
+func RunForContext(ctx context.Context, t Tuner, obj Objective, budget int, rng *rand.Rand, score Scorer) (Result, error) {
 	if budget <= 0 {
 		return Result{}, ErrNoBudget
 	}
@@ -138,6 +153,9 @@ func RunFor(t Tuner, obj Objective, budget int, rng *rand.Rand, score Scorer) (R
 	best := math.Inf(1)
 	worstSuccess := 0.0
 	for i := 0; i < budget; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		cfg := t.Next(rng)
 		m := obj(cfg)
 		trial := Trial{Index: i, Config: cfg, Measurement: m}

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -103,6 +104,45 @@ func TestRunSessionMechanics(t *testing.T) {
 	}
 	if res.TotalCost <= 0 {
 		t.Error("TotalCost not accumulated")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	s := benchSpace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	obj := func(cfg confspace.Config) Measurement {
+		evals++
+		if evals == 5 {
+			cancel()
+		}
+		return bowl(s)(cfg)
+	}
+	res, err := RunContext(ctx, NewRandomSearch(s), obj, 30, stat.NewRNG(3))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if evals != 5 {
+		t.Errorf("evaluations after cancel = %d, want 5", evals)
+	}
+	// The partial result reflects the completed trials.
+	if len(res.Trials) != 5 || len(res.BestSoFar) != 5 {
+		t.Errorf("partial result has %d trials, %d trajectory points", len(res.Trials), len(res.BestSoFar))
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	s := benchSpace(t)
+	a, err := Run(NewRandomSearch(s), bowl(s), 20, stat.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), NewRandomSearch(s), bowl(s), 20, stat.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Runtime != b.Best.Runtime || len(a.Trials) != len(b.Trials) {
+		t.Errorf("Run and RunContext diverged: %v vs %v", a.Best, b.Best)
 	}
 }
 
