@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-race cover bench experiments examples vet fmt clean
+.PHONY: all check build test test-short test-race cover bench bench-substrate experiments examples vet fmt clean
 
 all: build vet test
 
@@ -35,6 +35,14 @@ cover:
 # the reproduction record (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Substrate micro-benchmarks only (simulator, GP, acquisition, encoding),
+# 5 samples each, recorded as JSON for regression tracking (see
+# docs/PERFORMANCE.md).
+bench-substrate:
+	$(GO) test -run '^$$' -bench 'SimulatorRun|GPFitPredict|GPPredictBatch|BayesOptStep|ConfspaceEncode' \
+		-benchmem -count=5 . | $(GO) run ./cmd/benchjson > BENCH_substrate.json
+	@echo wrote BENCH_substrate.json
 
 # Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
 experiments:

@@ -189,6 +189,7 @@ func benchCluster(b *testing.B) cloud.ClusterSpec {
 }
 
 func BenchmarkSimulatorRunPageRank(b *testing.B) {
+	b.ReportAllocs()
 	cluster := benchCluster(b)
 	space := confspace.SparkSpace()
 	conf := spark.FromConfig(space, space.Default())
@@ -209,6 +210,7 @@ func BenchmarkSimulatorRunPageRank(b *testing.B) {
 }
 
 func BenchmarkSimulatorRunWordcount(b *testing.B) {
+	b.ReportAllocs()
 	cluster := benchCluster(b)
 	space := confspace.SparkSpace()
 	conf := spark.FromConfig(space, space.Default())
@@ -228,6 +230,7 @@ func BenchmarkSimulatorRunWordcount(b *testing.B) {
 }
 
 func BenchmarkGPFitPredict(b *testing.B) {
+	b.ReportAllocs()
 	rng := stat.NewRNG(1)
 	var xs [][]float64
 	var ys []float64
@@ -247,6 +250,7 @@ func BenchmarkGPFitPredict(b *testing.B) {
 }
 
 func BenchmarkBayesOptStep(b *testing.B) {
+	b.ReportAllocs()
 	space := confspace.SparkSubspace(12)
 	cluster := benchCluster(b)
 	job := workload.Sort{}.Job(4 << 30)
@@ -270,7 +274,32 @@ func BenchmarkBayesOptStep(b *testing.B) {
 	}
 }
 
+func BenchmarkGPPredictBatch(b *testing.B) {
+	b.ReportAllocs()
+	rng := stat.NewRNG(1)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 10*x[0]+5*x[1]*x[1]+rng.NormFloat64())
+	}
+	g, err := gp.FitWithHypers(gp.KindMatern52, xs, ys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([][]float64, 500)
+	for i := range qs {
+		qs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PredictBatch(qs)
+	}
+}
+
 func BenchmarkConfspaceEncode(b *testing.B) {
+	b.ReportAllocs()
 	space := confspace.SparkSpace()
 	rng := stat.NewRNG(1)
 	cfg := space.Random(rng)

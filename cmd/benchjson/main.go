@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, so benchmark runs can be committed and diffed
+// (make bench-substrate writes BENCH_substrate.json with it). It echoes
+// the raw benchmark lines to stderr so progress stays visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark result line.
+type Sample struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric values by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the full document.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Samples []Sample `json:"samples"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			fmt.Fprintln(os.Stderr, line)
+			s, ok := parseBenchLine(line)
+			if ok {
+				rep.Samples = append(rep.Samples, s)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parseBenchLine parses e.g.
+//
+//	BenchmarkGPFitPredict-8   500   123456 ns/op   2048 B/op   17 allocs/op
+//
+// including any custom "value unit" metric pairs.
+func parseBenchLine(line string) (Sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Sample{}, false
+	}
+	var s Sample
+	s.Name = fields[0]
+	s.Procs = 1
+	if i := strings.LastIndex(s.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(s.Name[i+1:]); err == nil {
+			s.Name, s.Procs = s.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Sample{}, false
+	}
+	s.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Sample{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			s.NsPerOp = val
+		case "B/op":
+			v := int64(val)
+			s.BytesPerOp = &v
+		case "allocs/op":
+			v := int64(val)
+			s.AllocsPerOp = &v
+		default:
+			if s.Extra == nil {
+				s.Extra = map[string]float64{}
+			}
+			s.Extra[unit] = val
+		}
+	}
+	return s, true
+}

@@ -31,6 +31,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	runIDs := fs.String("run", "all", "comma-separated experiment ids, or 'all'")
 	seed := fs.Int64("seed", 1, "random seed for all simulations")
+	reps := fs.Int("reps", 1, "repetitions per experiment at derived seeds, run in parallel")
 	list := fs.Bool("list", false, "list experiments and exit")
 	outPath := fs.String("o", "", "also write results to this file")
 	if err := fs.Parse(args); err != nil {
@@ -69,11 +70,23 @@ func run(args []string) error {
 
 	for _, s := range specs {
 		start := time.Now()
-		table, err := s.Run(*seed)
-		if err != nil {
-			return fmt.Errorf("%s: %w", s.ID, err)
+		if *reps > 1 {
+			// Repetitions run concurrently at seeds derived from
+			// (seed, experiment id, rep); output order is always rep order.
+			for _, r := range experiments.Replicate(s, *seed, *reps) {
+				if r.Err != nil {
+					return fmt.Errorf("%s rep %d (seed %d): %w", s.ID, r.Rep, r.Seed, r.Err)
+				}
+				fmt.Fprintf(out, "== %s rep %d (derived seed %d) ==\n", s.ID, r.Rep, r.Seed)
+				fmt.Fprintln(out, r.Table)
+			}
+		} else {
+			table, err := s.Run(*seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.ID, err)
+			}
+			fmt.Fprintln(out, table)
 		}
-		fmt.Fprintln(out, table)
 		fmt.Fprintf(out, "(%s completed in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil

@@ -143,11 +143,17 @@ func (s *Space) Clamp(cfg Config) Config {
 
 // Encode maps cfg to a unit-cube vector in declaration order.
 func (s *Space) Encode(cfg Config) []float64 {
-	x := make([]float64, len(s.params))
+	return s.EncodeInto(cfg, make([]float64, len(s.params)))
+}
+
+// EncodeInto encodes cfg into dst, which must have length Dim(), and
+// returns dst. Hot loops (acquisition pools encoding hundreds of
+// candidates per step) use it to reuse one backing buffer across calls.
+func (s *Space) EncodeInto(cfg Config, dst []float64) []float64 {
 	for i, p := range s.params {
-		x[i] = p.Unit(cfg[p.Name])
+		dst[i] = p.Unit(cfg[p.Name])
 	}
-	return x
+	return dst
 }
 
 // Decode maps a unit-cube vector back to a configuration. Short vectors

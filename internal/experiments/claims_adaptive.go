@@ -480,13 +480,21 @@ func C12TuningUnderInterference(seed int64, budget int) (C12Result, error) {
 
 	cleanRuntime := func(cfg confspace.Config, salt int64) float64 {
 		// Average of three clean runs: the tenant's steady-state truth.
-		sum := 0.0
-		for rep := int64(0); rep < 3; rep++ {
-			res := spark.Run(w.Job(size), spark.FromConfig(space, cfg), cluster, cloud.Unit(), stat.NewRNG(seed+salt+rep))
+		// Reps take independent arithmetic seeds, so they run in parallel;
+		// summing in rep order keeps the average bit-identical.
+		runs := parallelMap(3, func(rep int) float64 {
+			res := spark.Run(w.Job(size), spark.FromConfig(space, cfg), cluster, cloud.Unit(), stat.NewRNG(seed+salt+int64(rep)))
 			if res.Failed {
 				return math.Inf(1)
 			}
-			sum += res.RuntimeS
+			return res.RuntimeS
+		})
+		sum := 0.0
+		for _, v := range runs {
+			if math.IsInf(v, 1) {
+				return math.Inf(1)
+			}
+			sum += v
 		}
 		return sum / 3
 	}

@@ -367,15 +367,20 @@ func A1TableIAblation(seed int64, nConfigs int) (A1Result, error) {
 			}
 			return sum / reps
 		}
+		// Configurations are independent (per-rep arithmetic seeds, no
+		// shared RNG), so measuring fans out across workers; the sequential
+		// argmin below keeps the first-minimum tie-break bit-identical.
+		vals1 := parallelMap(len(configs), func(ci int) float64 { return measure(ds1, ci) })
 		best1, bi1 := math.Inf(1), -1
-		for ci := range configs {
-			if v := measure(ds1, ci); v < best1 {
+		for ci, v := range vals1 {
+			if v < best1 {
 				best1, bi1 = v, ci
 			}
 		}
+		vals3 := parallelMap(len(configs), func(ci int) float64 { return measure(ds3, ci) })
 		best3 := math.Inf(1)
-		for ci := range configs {
-			if v := measure(ds3, ci); v < best3 {
+		for _, v := range vals3 {
+			if v < best3 {
 				best3 = v
 			}
 		}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+
+	"seamlesstune/internal/stat"
+)
+
+// expWorkers bounds every experiment-level worker pool (per-configuration
+// fan-out inside protocols, replicated runs in Replicate). It defaults to
+// GOMAXPROCS and is a variable so tests can pin it to 1 and prove the
+// parallel paths bit-identical to sequential execution.
+var expWorkers = runtime.GOMAXPROCS(0)
+
+// parallelMap applies fn to every index of a length-n domain across a
+// bounded worker pool and returns the results in index order. Each fn call
+// must be independent: it receives the index and derives any randomness
+// from it (the callers pass stat.DeriveSeed- or arithmetic-seeded RNGs),
+// so the output is identical to a sequential loop regardless of worker
+// count or scheduling.
+func parallelMap[R any](n int, fn func(i int) R) []R {
+	out := make([]R, n)
+	workers := expWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Replication is one repetition of an experiment at a derived seed.
+type Replication struct {
+	Rep   int
+	Seed  int64
+	Table Table
+	Err   error
+}
+
+// Replicate runs spec reps times in parallel, each repetition at
+// stat.DeriveSeed(seed, spec.ID, rep). Derived seeds are a pure function
+// of (seed, experiment, rep) — no shared RNG is consumed — so the result
+// slice is bit-identical to running the repetitions sequentially, in rep
+// order.
+func Replicate(spec Spec, seed int64, reps int) []Replication {
+	if reps < 1 {
+		reps = 1
+	}
+	return parallelMap(reps, func(rep int) Replication {
+		s := stat.DeriveSeed(seed, spec.ID, strconv.Itoa(rep))
+		tbl, err := spec.Run(s)
+		return Replication{Rep: rep, Seed: s, Table: tbl, Err: err}
+	})
+}

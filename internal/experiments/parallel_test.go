@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Fanned-out protocols must be bit-identical to sequential execution:
+// pin the worker pool to 1, rerun with many workers, compare everything.
+func TestTable1ParallelMatchesSequential(t *testing.T) {
+	orig := expWorkers
+	defer func() { expWorkers = orig }()
+
+	expWorkers = 1
+	seq, err := Table1(1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 13} {
+		expWorkers = w
+		par, err := Table1(1, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: parallel Table1 diverges from sequential:\n%+v\nvs\n%+v", w, par, seq)
+		}
+	}
+}
+
+func TestParallelMapOrderAndCoverage(t *testing.T) {
+	orig := expWorkers
+	defer func() { expWorkers = orig }()
+	for _, w := range []int{1, 3, 16} {
+		expWorkers = w
+		got := parallelMap(37, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: index %d holds %d", w, i, v)
+			}
+		}
+	}
+	if out := parallelMap(0, func(i int) int { return i }); len(out) != 0 {
+		t.Errorf("empty domain returned %v", out)
+	}
+}
+
+func TestReplicateDerivedSeedsDeterministic(t *testing.T) {
+	orig := expWorkers
+	defer func() { expWorkers = orig }()
+
+	spec := Spec{
+		ID: "FAKE",
+		Run: func(seed int64) (Table, error) {
+			return Table{ID: "FAKE", Title: fmt.Sprintf("seed=%d", seed)}, nil
+		},
+	}
+	expWorkers = 1
+	seq := Replicate(spec, 42, 5)
+	expWorkers = 8
+	par := Replicate(spec, 42, 5)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel Replicate diverges:\n%+v\nvs\n%+v", par, seq)
+	}
+	seen := map[int64]bool{}
+	for rep, r := range seq {
+		if r.Rep != rep || r.Err != nil {
+			t.Errorf("rep %d: %+v", rep, r)
+		}
+		if seen[r.Seed] {
+			t.Errorf("derived seed %d repeated", r.Seed)
+		}
+		seen[r.Seed] = true
+	}
+	// Different base seeds and different experiment IDs derive different
+	// rep seeds.
+	other := Replicate(Spec{ID: "OTHER", Run: spec.Run}, 42, 1)
+	if other[0].Seed == seq[0].Seed {
+		t.Error("experiment ID does not enter seed derivation")
+	}
+}

@@ -1,0 +1,329 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"seamlesstune/internal/linalg"
+	"seamlesstune/internal/stat"
+)
+
+// naiveFit is the retained reference implementation of GP fitting: build
+// the kernel matrix entry by entry with Kernel.Eval and refactorize from
+// scratch. The optimized paths (distance-cache fits, incremental extends)
+// are pinned against it.
+func naiveFit(kernel Kernel, noise float64, xs [][]float64, ys []float64) (*GP, error) {
+	g := New(kernel, noise)
+	n := len(xs)
+	own := make([][]float64, n)
+	for i, x := range xs {
+		own[i] = append([]float64(nil), x...)
+	}
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := kernel.Eval(own[i], own[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	if err := g.fitPrebuilt(own, ys, k); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func sample(seed int64, n, dim int) ([][]float64, []float64) {
+	r := stat.NewRNG(seed)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = r.Float64()
+		}
+		xs[i] = x
+		ys[i] = 20*math.Sin(3*x[0]) + 5*x[dim-1] + r.NormFloat64()
+	}
+	return xs, ys
+}
+
+const tol = 1e-9
+
+func TestFitMatchesNaiveReference(t *testing.T) {
+	xs, ys := sample(1, 40, 3)
+	for _, k := range []Kernel{
+		SE{Variance: 1, LengthScale: 0.4},
+		Matern52{Variance: 1, LengthScale: 0.4},
+	} {
+		fast := New(k, 0.1)
+		if err := fast.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := naiveFit(k, 0.1, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast.lml-ref.lml) > tol {
+			t.Errorf("%T: lml %v != naive %v", k, fast.lml, ref.lml)
+		}
+		q := []float64{0.3, 0.6, 0.9}
+		fm, fs := fast.Predict(q)
+		rm, rs := ref.Predict(q)
+		if math.Abs(fm-rm) > tol || math.Abs(fs-rs) > tol {
+			t.Errorf("%T: Predict (%v,%v) != naive (%v,%v)", k, fm, fs, rm, rs)
+		}
+	}
+}
+
+// Property: refitting with appended rows via the incremental fast path
+// equals a from-scratch fit of the full sample.
+func TestFitExtendFastPathMatchesFullRefit(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		xs, ys := sample(seed, 50, 4)
+		k := Matern52{Variance: 1, LengthScale: 0.3}
+
+		inc := New(k, 0.08)
+		if err := inc.Fit(xs[:35], ys[:35]); err != nil {
+			t.Fatal(err)
+		}
+		// Grow in two uneven steps to exercise multi-row extension.
+		for _, cut := range []int{41, 50} {
+			if err := inc.Fit(xs[:cut], ys[:cut]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		full := New(k, 0.08)
+		if err := full.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		if inc.N() != full.N() {
+			t.Fatalf("seed %d: inc has %d points, full %d", seed, inc.N(), full.N())
+		}
+		if math.Abs(inc.lml-full.lml) > tol {
+			t.Errorf("seed %d: incremental lml %v != full %v", seed, inc.lml, full.lml)
+		}
+		r := stat.NewRNG(seed + 100)
+		for i := 0; i < 20; i++ {
+			q := []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+			im, is := inc.Predict(q)
+			fm, fs := full.Predict(q)
+			if math.Abs(im-fm) > tol || math.Abs(is-fs) > tol {
+				t.Fatalf("seed %d: Predict diverges: (%v,%v) vs (%v,%v)", seed, im, is, fm, fs)
+			}
+		}
+	}
+}
+
+func TestFitExtendRejectsChangedPrefixOrKernel(t *testing.T) {
+	xs, ys := sample(7, 20, 2)
+	g := New(SE{Variance: 1, LengthScale: 0.3}, 0.1)
+	if err := g.Fit(xs[:10], ys[:10]); err != nil {
+		t.Fatal(err)
+	}
+	// Changed prefix: full refit must still produce a consistent model.
+	changed := make([][]float64, 12)
+	copy(changed, xs[:12])
+	changed[0] = []float64{0.123, 0.456}
+	if err := g.Fit(changed, ys[:12]); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := naiveFit(SE{Variance: 1, LengthScale: 0.3}, 0.1, changed, ys[:12])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.lml-ref.lml) > tol {
+		t.Errorf("refit after prefix change: lml %v != %v", g.lml, ref.lml)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	xs, ys := sample(11, 45, 4)
+	for _, k := range []Kernel{
+		SE{Variance: 1, LengthScale: 0.25},
+		Matern52{Variance: 1, LengthScale: 0.25},
+		NewAdditiveSE(4),
+	} {
+		g := New(k, 0.1)
+		if err := g.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		qs, _ := sample(12, 30, 4)
+		means, stds := g.PredictBatch(qs)
+		if len(means) != len(qs) || len(stds) != len(qs) {
+			t.Fatalf("batch sizes %d/%d, want %d", len(means), len(stds), len(qs))
+		}
+		for j, q := range qs {
+			m, s := g.Predict(q)
+			if math.Abs(means[j]-m) > tol || math.Abs(stds[j]-s) > tol {
+				t.Fatalf("%T query %d: batch (%v,%v) != single (%v,%v)", k, j, means[j], stds[j], m, s)
+			}
+		}
+	}
+}
+
+func TestPredictBatchUnfitted(t *testing.T) {
+	g := New(SE{}, 0.1)
+	means, stds := g.PredictBatch([][]float64{{0.1}, {0.9}})
+	for j := range means {
+		if means[j] != 0 || !math.IsInf(stds[j], 1) {
+			t.Errorf("unfitted batch predict = (%v, %v)", means[j], stds[j])
+		}
+	}
+}
+
+// HyperFitter's incremental grid refits must match one-shot FitWithHypers
+// exactly, across several appended batches.
+func TestHyperFitterMatchesOneShot(t *testing.T) {
+	xs, ys := sample(21, 60, 3)
+	for _, kind := range []KernelKind{KindSE, KindMatern52} {
+		h := NewHyperFitter(kind)
+		for _, cut := range []int{20, 21, 35, 60} {
+			inc, err := h.Fit(xs[:cut], ys[:cut])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := FitWithHypers(kind, xs[:cut], ys[:cut])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(inc.lml-ref.lml) > tol {
+				t.Errorf("kind %v cut %d: incremental lml %v != one-shot %v", kind, cut, inc.lml, ref.lml)
+			}
+			if !kernelsEqual(inc.fitKernel, ref.fitKernel) || inc.noise != ref.noise {
+				t.Errorf("kind %v cut %d: selected hypers differ: %+v/%v vs %+v/%v",
+					kind, cut, inc.fitKernel, inc.noise, ref.fitKernel, ref.noise)
+			}
+			q := []float64{0.2, 0.5, 0.8}
+			im, is := inc.Predict(q)
+			rm, rs := ref.Predict(q)
+			if math.Abs(im-rm) > tol || math.Abs(is-rs) > tol {
+				t.Errorf("kind %v cut %d: Predict (%v,%v) != (%v,%v)", kind, cut, im, is, rm, rs)
+			}
+		}
+		// A non-appending change resets the fitter rather than corrupting it.
+		perturbed := make([][]float64, 30)
+		for i := range perturbed {
+			perturbed[i] = append([]float64(nil), xs[i]...)
+		}
+		perturbed[3][0] = 0.999
+		inc, err := h.Fit(perturbed, ys[:30])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := FitWithHypers(kind, perturbed, ys[:30])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(inc.lml-ref.lml) > tol {
+			t.Errorf("kind %v after reset: lml %v != %v", kind, inc.lml, ref.lml)
+		}
+	}
+}
+
+// Regression for the FitAdditive aliasing bug: a fitted GP used to share
+// the live *AdditiveSE being mutated by the coordinate sweep, so a
+// captured fit's predictions changed under it. Fits now snapshot the
+// kernel.
+func TestFittedGPUnaffectedByLaterKernelMutation(t *testing.T) {
+	xs, ys := sample(31, 30, 3)
+	k := NewAdditiveSE(3)
+	g := New(k, 0.1)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.4, 0.1, 0.7}
+	m0, s0 := g.Predict(q)
+	// Sweep-style mutation of the shared kernel after the fit.
+	k.Variances[0] *= 50
+	k.LengthScales[1] = 9
+	m1, s1 := g.Predict(q)
+	if m0 != m1 || s0 != s1 {
+		t.Errorf("prediction changed under kernel mutation: (%v,%v) -> (%v,%v)", m0, s0, m1, s1)
+	}
+	bm, bs := g.PredictBatch([][]float64{q})
+	if bm[0] != m0 || bs[0] != s0 {
+		t.Errorf("batch prediction uses mutated kernel: (%v,%v)", bm[0], bs[0])
+	}
+}
+
+func TestFitAdditiveMatchesNaiveSweep(t *testing.T) {
+	// The cached-term sweep must reproduce the naive implementation's
+	// selected hyperparameters and likelihood on a small instance.
+	xs, ys := sample(41, 25, 3)
+	g, err := FitAdditive(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := naiveFitAdditive(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.lml-ref.lml) > tol {
+		t.Errorf("additive lml %v != naive %v", g.lml, ref.lml)
+	}
+	gk := g.Kernel().(*AdditiveSE)
+	rk := ref.Kernel().(*AdditiveSE)
+	if !floatsEqual(gk.Variances, rk.Variances) || !floatsEqual(gk.LengthScales, rk.LengthScales) {
+		t.Errorf("additive hypers diverge: %+v vs %+v", gk, rk)
+	}
+}
+
+// naiveFitAdditive is the retained reference coordinate sweep: every
+// candidate rebuilds the kernel matrix from scratch through Kernel.Eval.
+func naiveFitAdditive(xs [][]float64, ys []float64, sweeps int) (*GP, error) {
+	dim := len(xs[0])
+	kernel := NewAdditiveSE(dim)
+	for d := range kernel.Variances {
+		kernel.Variances[d] = 0.05 / float64(dim)
+	}
+	g := New(kernel, 0.1)
+	fit := func() error {
+		own := make([][]float64, len(xs))
+		for i, x := range xs {
+			own[i] = append([]float64(nil), x...)
+		}
+		n := len(own)
+		k := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := kernel.Eval(own[i], own[j])
+				k.Set(i, j, v)
+				k.Set(j, i, v)
+			}
+		}
+		return g.fitPrebuilt(own, ys, k)
+	}
+	if err := fit(); err != nil {
+		return nil, err
+	}
+	if sweeps <= 0 {
+		sweeps = 2
+	}
+	vScales := []float64{0.05, 0.2, 0.5, 1, 2, 5, 20}
+	lengths := []float64{0.15, 0.3, 0.6, 1.5, 4}
+	for s := 0; s < sweeps; s++ {
+		for d := 0; d < dim; d++ {
+			bestV, bestL, bestLML := kernel.Variances[d], kernel.LengthScales[d], g.lml
+			origV := kernel.Variances[d]
+			for _, m := range vScales {
+				for _, l := range lengths {
+					kernel.Variances[d] = origV * m
+					kernel.LengthScales[d] = l
+					if err := fit(); err != nil {
+						continue
+					}
+					if g.lml > bestLML {
+						bestLML = g.lml
+						bestV, bestL = kernel.Variances[d], kernel.LengthScales[d]
+					}
+				}
+			}
+			kernel.Variances[d], kernel.LengthScales[d] = bestV, bestL
+			if err := fit(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

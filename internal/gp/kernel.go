@@ -28,11 +28,17 @@ var _ Kernel = SE{}
 
 // Eval implements Kernel.
 func (k SE) Eval(x, y []float64) float64 {
+	return k.evalSq(sqDist(x, y))
+}
+
+// evalSq implements sqDistKernel: SE covariance as a function of squared
+// distance alone, so a precomputed distance matrix can be reused across
+// every (length scale, noise) combination of a hyperparameter grid.
+func (k SE) evalSq(d2 float64) float64 {
 	l := k.LengthScale
 	if l <= 0 {
 		l = 0.5
 	}
-	d2 := sqDist(x, y)
 	return k.variance() * math.Exp(-d2/(2*l*l))
 }
 
@@ -55,6 +61,11 @@ var _ Kernel = Matern52{}
 
 // Eval implements Kernel.
 func (k Matern52) Eval(x, y []float64) float64 {
+	return k.evalSq(sqDist(x, y))
+}
+
+// evalSq implements sqDistKernel.
+func (k Matern52) evalSq(d2 float64) float64 {
 	l := k.LengthScale
 	if l <= 0 {
 		l = 0.5
@@ -63,10 +74,24 @@ func (k Matern52) Eval(x, y []float64) float64 {
 	if v <= 0 {
 		v = 1
 	}
-	r := math.Sqrt(sqDist(x, y)) / l
+	r := math.Sqrt(d2) / l
 	s5 := math.Sqrt(5) * r
 	return v * (1 + s5 + 5*r*r/3) * math.Exp(-s5)
 }
+
+// sqDistKernel is implemented by stationary kernels whose covariance
+// depends only on the squared distance between points. The fast fit path
+// computes the pairwise distance matrix once per training set and reuses
+// it across the whole hyperparameter grid through this interface.
+type sqDistKernel interface {
+	Kernel
+	evalSq(d2 float64) float64
+}
+
+var (
+	_ sqDistKernel = SE{}
+	_ sqDistKernel = Matern52{}
+)
 
 // AdditiveSE is a first-order additive kernel (Duvenaud et al.):
 // k(x,y) = Σ_d v_d · exp(-(x_d-y_d)²/(2·l_d²)). Because each dimension
@@ -113,6 +138,57 @@ func (k *AdditiveSE) Eval(x, y []float64) float64 {
 		sum += k.Variances[d] * math.Exp(-diff*diff/(2*l*l))
 	}
 	return sum
+}
+
+// Clone returns a deep copy. The coordinate sweeps in FitAdditive mutate
+// one shared kernel in place; fitted GPs snapshot a clone so a captured
+// best candidate cannot be invalidated by later mutations.
+func (k *AdditiveSE) Clone() *AdditiveSE {
+	return &AdditiveSE{
+		Variances:    append([]float64(nil), k.Variances...),
+		LengthScales: append([]float64(nil), k.LengthScales...),
+	}
+}
+
+// cloneKernel snapshots a kernel for use by a fitted model. Value kernels
+// (SE, Matern52) are already immutable copies; pointer kernels are deep
+// copied.
+func cloneKernel(k Kernel) Kernel {
+	if a, ok := k.(*AdditiveSE); ok {
+		return a.Clone()
+	}
+	return k
+}
+
+// kernelsEqual reports whether two kernels have identical parameters. It
+// is deliberately conservative: unknown kernel types compare unequal, which
+// only disables fast-path reuse, never correctness.
+func kernelsEqual(a, b Kernel) bool {
+	switch ka := a.(type) {
+	case SE:
+		kb, ok := b.(SE)
+		return ok && ka == kb
+	case Matern52:
+		kb, ok := b.(Matern52)
+		return ok && ka == kb
+	case *AdditiveSE:
+		kb, ok := b.(*AdditiveSE)
+		return ok && floatsEqual(ka.Variances, kb.Variances) && floatsEqual(ka.LengthScales, kb.LengthScales)
+	default:
+		return false
+	}
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Sensitivity returns the normalized per-dimension variance shares, the

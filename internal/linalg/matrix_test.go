@@ -193,10 +193,17 @@ func TestDotNorm(t *testing.T) {
 	if Norm2([]float64{3, 4}) != 5 {
 		t.Error("Norm2 wrong")
 	}
-	// Mismatched lengths use the shorter prefix rather than panicking.
-	if Dot([]float64{1, 2}, []float64{3}) != 3 {
-		t.Error("Dot with mismatched lengths wrong")
-	}
+}
+
+func TestDotMismatchedLengthsPanics(t *testing.T) {
+	// Truncating to the shorter vector silently hid shape bugs in callers;
+	// mismatched lengths are a programmer error.
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1, 2}, []float64{3})
 }
 
 // Property: solving A·x = b then multiplying back recovers b, for random

@@ -3,10 +3,20 @@ package tuner
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/gp"
 )
+
+// eiWorkers bounds the acquisition worker pool in BayesOpt.Next. It
+// defaults to GOMAXPROCS; it is a variable (not a constant) so tests can
+// pin it to 1 and to many workers and prove the results byte-identical.
+// Workers write expected improvement into disjoint index ranges and the
+// argmax is a single sequential scan, so the chosen candidate never
+// depends on scheduling.
+var eiWorkers = runtime.GOMAXPROCS(0)
 
 // BayesOpt is CherryPick-style Bayesian optimization: a Gaussian process
 // with a Matérn-5/2 kernel models log-runtime over the (unit-encoded)
@@ -31,10 +41,19 @@ type BayesOpt struct {
 	pendingInit []confspace.Config
 	xs          [][]float64
 	ys          []float64 // log-runtime
+	fitter      *gp.HyperFitter
 	model       *gp.GP
 	dirty       bool
 	lastMaxEI   float64
 	eiValid     bool
+
+	// Reused acquisition buffers: candidate pool, flat unit-cube encodings
+	// (with per-candidate views), and expected-improvement values. They are
+	// scratch space overwritten on every Next call.
+	candBuf []confspace.Config
+	encFlat []float64
+	encView [][]float64
+	eiBuf   []float64
 }
 
 var _ Tuner = (*BayesOpt)(nil)
@@ -88,21 +107,83 @@ func (t *BayesOpt) Next(rng *rand.Rand) confspace.Config {
 		return t.Space.Random(rng)
 	}
 	best, _ := minOf(t.ys)
-	var bestCfg confspace.Config
-	bestEI := math.Inf(-1)
-	for i := 0; i < t.candidates(); i++ {
-		cfg := t.Space.Random(rng)
-		mean, std := t.model.Predict(t.Space.Encode(cfg))
-		ei := gp.ExpectedImprovement(mean, std, best)
+	n := t.candidates()
+
+	// Draw the whole candidate pool up front. The model never touches the
+	// RNG, so consuming all draws first is the exact draw sequence of the
+	// old draw-predict-score loop.
+	if cap(t.candBuf) < n {
+		t.candBuf = make([]confspace.Config, n)
+	}
+	cands := t.candBuf[:n]
+	for i := range cands {
+		cands[i] = t.Space.Random(rng)
+	}
+
+	// Encode into one reused flat buffer with per-candidate views.
+	dim := t.Space.Dim()
+	if cap(t.encFlat) < n*dim {
+		t.encFlat = make([]float64, n*dim)
+		t.encView = make([][]float64, n)
+	}
+	flat, views := t.encFlat[:n*dim], t.encView[:n]
+	for i, cfg := range cands {
+		views[i] = t.Space.EncodeInto(cfg, flat[i*dim:(i+1)*dim:(i+1)*dim])
+	}
+
+	means, stds := t.model.PredictBatch(views)
+
+	// Score expected improvement across a bounded worker pool. Each worker
+	// owns a disjoint index range of eiBuf, so the fill is race-free and
+	// the values are identical regardless of worker count.
+	if cap(t.eiBuf) < n {
+		t.eiBuf = make([]float64, n)
+	}
+	eis := t.eiBuf[:n]
+	workers := eiWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := range eis {
+			eis[i] = gp.ExpectedImprovement(means[i], stds[i], best)
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					eis[i] = gp.ExpectedImprovement(means[i], stds[i], best)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic argmax: a strict > scan keeps the lowest candidate
+	// index among ties — the same winner as the old sequential loop,
+	// byte-identical regardless of GOMAXPROCS.
+	bestEI, bestIdx := math.Inf(-1), -1
+	for i, ei := range eis {
 		if ei > bestEI {
-			bestEI, bestCfg = ei, cfg
+			bestEI, bestIdx = ei, i
 		}
 	}
 	t.lastMaxEI, t.eiValid = bestEI, true
-	if bestCfg == nil {
+	if bestIdx < 0 {
 		return t.Space.Random(rng)
 	}
-	return bestCfg
+	return cands[bestIdx]
 }
 
 // ShouldStop implements Stopper: with StopEIFrac set, the search stops
@@ -136,7 +217,14 @@ func (t *BayesOpt) refit() {
 	if !t.dirty || len(t.xs) == 0 {
 		return
 	}
-	model, err := gp.FitWithHypers(gp.KindMatern52, t.xs, t.ys)
+	// The persistent HyperFitter keeps every grid model's factorization
+	// alive across refits, so appended observations cost O(n²) incremental
+	// Cholesky extensions per model instead of O(n³) refactorizations —
+	// with results identical to a from-scratch gp.FitWithHypers.
+	if t.fitter == nil {
+		t.fitter = gp.NewHyperFitter(gp.KindMatern52)
+	}
+	model, err := t.fitter.Fit(t.xs, t.ys)
 	if err == nil {
 		t.model = model
 	}

@@ -1,0 +1,110 @@
+package tuner
+
+import (
+	"fmt"
+	"testing"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/stat"
+)
+
+// traceBayesOpt runs a full BayesOpt search and returns every proposed
+// configuration rendered to a canonical string, so two runs can be
+// compared byte for byte.
+func traceBayesOpt(t *testing.T, seed int64, iters int) []string {
+	t.Helper()
+	s := benchSpace(t)
+	obj := bowl(s)
+	bo := NewBayesOpt(s)
+	bo.Candidates = 120
+	rng := stat.NewRNG(seed)
+	trace := make([]string, 0, iters)
+	for i := 0; i < iters; i++ {
+		cfg := bo.Next(rng)
+		trace = append(trace, fmt.Sprintf("%v|%.17g", s.Encode(cfg), bo.lastMaxEI))
+		m := obj(cfg)
+		bo.Observe(Trial{Config: cfg, Objective: m.Runtime})
+	}
+	return trace
+}
+
+// The parallel acquisition path must be byte-identical to single-threaded
+// execution: workers fill disjoint ranges and the argmax is a sequential
+// scan, so worker count can never change the proposed configuration.
+func TestBayesOptParallelAcquisitionDeterministic(t *testing.T) {
+	orig := eiWorkers
+	defer func() { eiWorkers = orig }()
+	for _, seed := range []int64{1, 7, 42} {
+		eiWorkers = 1
+		serial := traceBayesOpt(t, seed, 14)
+		for _, w := range []int{2, 8, 64} {
+			eiWorkers = w
+			got := traceBayesOpt(t, seed, 14)
+			if len(got) != len(serial) {
+				t.Fatalf("seed %d workers %d: trace length %d != %d", seed, w, len(got), len(serial))
+			}
+			for i := range serial {
+				if got[i] != serial[i] {
+					t.Errorf("seed %d workers %d iter %d:\n  parallel %s\n  serial   %s",
+						seed, w, i, got[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// The persistent-fitter refit path must propose exactly what a
+// from-scratch hyperparameter sweep would: force full refits by resetting
+// the fitter before every step and compare traces.
+func TestBayesOptIncrementalRefitMatchesFromScratch(t *testing.T) {
+	s := benchSpace(t)
+	obj := bowl(s)
+	run := func(resetFitter bool) []string {
+		bo := NewBayesOpt(s)
+		bo.Candidates = 120
+		rng := stat.NewRNG(3)
+		var trace []string
+		for i := 0; i < 14; i++ {
+			if resetFitter {
+				bo.fitter = nil
+				if len(bo.xs) > 0 {
+					bo.dirty = true
+				}
+			}
+			cfg := bo.Next(rng)
+			trace = append(trace, fmt.Sprintf("%v", s.Encode(cfg)))
+			m := obj(cfg)
+			bo.Observe(Trial{Config: cfg, Objective: m.Runtime})
+		}
+		return trace
+	}
+	inc, scratch := run(false), run(true)
+	for i := range scratch {
+		if inc[i] != scratch[i] {
+			t.Errorf("iter %d: incremental %s != from-scratch %s", i, inc[i], scratch[i])
+		}
+	}
+}
+
+// Reused acquisition buffers must not corrupt previously returned
+// configurations across Next calls.
+func TestBayesOptReturnedConfigsSurviveBufferReuse(t *testing.T) {
+	s := benchSpace(t)
+	obj := bowl(s)
+	bo := NewBayesOpt(s)
+	bo.Candidates = 60
+	rng := stat.NewRNG(9)
+	var cfgs []confspace.Config
+	var snaps []string
+	for i := 0; i < 10; i++ {
+		cfg := bo.Next(rng)
+		cfgs = append(cfgs, cfg)
+		snaps = append(snaps, fmt.Sprintf("%v", s.Encode(cfg)))
+		bo.Observe(Trial{Config: cfg, Objective: obj(cfg).Runtime})
+	}
+	for i, cfg := range cfgs {
+		if got := fmt.Sprintf("%v", s.Encode(cfg)); got != snaps[i] {
+			t.Errorf("config from iteration %d mutated by later Next calls: %s != %s", i, got, snaps[i])
+		}
+	}
+}
