@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-race cover bench bench-substrate experiments examples vet fmt clean
+.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs experiments examples vet fmt clean
 
 all: build vet test
 
@@ -43,6 +43,14 @@ bench-substrate:
 	$(GO) test -run '^$$' -bench 'SimulatorRun|GPFitPredict|GPPredictBatch|BayesOptStep|ConfspaceEncode' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson > BENCH_substrate.json
 	@echo wrote BENCH_substrate.json
+
+# Observability-overhead benchmarks: the cost of the hot-path metric and
+# span primitives, alongside BayesOptStep as the macro-level guard that
+# instrumentation stays under its <5% budget (see docs/OBSERVABILITY.md).
+bench-obs:
+	$(GO) test -run '^$$' -bench 'ObsOverhead|BayesOptStep' \
+		-benchmem -count=5 ./internal/obs . | $(GO) run ./cmd/benchjson > BENCH_obs.json
+	@echo wrote BENCH_obs.json
 
 # Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
 experiments:

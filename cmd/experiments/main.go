@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"seamlesstune/internal/experiments"
+	"seamlesstune/internal/obs"
 )
 
 func main() {
@@ -34,8 +35,31 @@ func run(args []string) error {
 	reps := fs.Int("reps", 1, "repetitions per experiment at derived seeds, run in parallel")
 	list := fs.Bool("list", false, "list experiments and exit")
 	outPath := fs.String("o", "", "also write results to this file")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (load at chrome://tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *traceOut != "" {
+		// Experiments call the instrumented layers through many stack
+		// frames with no context plumbed through, so the trace is
+		// installed process-wide; every span of the run lands in one ring
+		// buffer, dumped on exit.
+		tracer := obs.NewTracer(1 << 17)
+		obs.SetAmbient(obs.Trace{T: tracer, ID: tracer.NewTraceID()})
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace-out:", err)
+				return
+			}
+			defer f.Close()
+			if err := obs.WriteChromeTrace(f, tracer.Spans(0)); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace-out:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote %d spans to %s\n", tracer.Len(), *traceOut)
+		}()
 	}
 
 	var out io.Writer = os.Stdout
@@ -70,6 +94,8 @@ func run(args []string) error {
 
 	for _, s := range specs {
 		start := time.Now()
+		sp := obs.Ambient().Start(s.ID, "experiment")
+		sp.Str("title", s.Title)
 		if *reps > 1 {
 			// Repetitions run concurrently at seeds derived from
 			// (seed, experiment id, rep); output order is always rep order.
@@ -87,6 +113,7 @@ func run(args []string) error {
 			}
 			fmt.Fprintln(out, table)
 		}
+		sp.End()
 		fmt.Fprintf(out, "(%s completed in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil

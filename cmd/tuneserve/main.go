@@ -11,14 +11,16 @@
 //	GET  /v1/jobs/{id}       job state: queued|running|done|failed (+ result payload)
 //	GET  /v1/jobs            all jobs in submission order
 //	POST /v1/tune            synchronous wrapper: enqueues and waits for the pipeline result
+//	GET  /v1/jobs/{id}/trace the job's tuning trace as Chrome trace_event JSON
 //	GET  /v1/workloads       registered (tenant, workload) pairs
 //	GET  /v1/history         ?tenant=&workload=&limit=
 //	GET  /v1/effectiveness   ?tenant=&workload=
-//	GET  /healthz
+//	GET  /healthz            readiness: uptime, build info, worker-pool occupancy
+//	GET  /metrics            Prometheus text exposition (?format=json for the JSON mirror)
 //
 // Usage:
 //
-//	tuneserve -addr :8642 -seed 1 -workers 4
+//	tuneserve -addr :8642 -seed 1 -workers 4 [-debug-addr :8643]
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +41,7 @@ import (
 func main() {
 	fs := flag.NewFlagSet("tuneserve", flag.ExitOnError)
 	addr := fs.String("addr", ":8642", "listen address")
+	debugAddr := fs.String("debug-addr", "", "optional listen address for net/http/pprof profiling endpoints (kept off the API port)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	params := fs.Int("params", 12, "Spark parameters tuned per session (1-41)")
 	cloudBudget := fs.Int("cloud-budget", 10, "stage-1 execution budget")
@@ -63,6 +67,23 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		// Profiling lives on its own listener so it is never exposed on
+		// the tenant-facing port, and only when explicitly asked for.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("tuneserve pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("tuneserve: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

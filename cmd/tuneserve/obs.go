@@ -1,0 +1,143 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"seamlesstune/internal/obs"
+)
+
+// HTTP-layer metrics. The route label is the registered mux pattern (e.g.
+// "GET /v1/jobs/{id}"), never the raw path, so the label set stays
+// bounded; requests matching no pattern share the "unmatched" label.
+var (
+	mHTTPRequests = obs.Default().CounterVec("http_requests_total",
+		"HTTP requests served, by route pattern and status code.",
+		"route", "status")
+	mHTTPSeconds = obs.Default().HistogramVec("http_request_seconds",
+		"HTTP request latency, by route pattern.",
+		obs.ExpBuckets(1e-4, 4, 12), "route")
+	mHTTPInflight = obs.Default().Gauge("http_inflight_requests",
+		"HTTP requests currently being served.")
+)
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// probeWriter is a throwaway ResponseWriter: running the mux's fallback
+// handler against it reveals the status (404 vs 405) and the Allow header
+// the mux would have written, without touching the real response.
+type probeWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *probeWriter) Header() http.Header { return w.header }
+
+func (w *probeWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+}
+
+func (w *probeWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(b), nil
+}
+
+// ServeHTTP implements http.Handler: the metrics middleware around the
+// route mux. Requests matching no registered pattern get the API's JSON
+// error envelope instead of the mux's plain-text 404/405 defaults.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	handler, pattern := s.mux.Handler(r)
+	route := pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	mHTTPInflight.Add(1)
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	if pattern == "" {
+		s.serveUnmatched(sw, r, handler)
+	} else {
+		s.mux.ServeHTTP(sw, r)
+	}
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	mHTTPSeconds.With(route).Observe(time.Since(start).Seconds())
+	mHTTPRequests.With(route, strconv.Itoa(sw.status)).Inc()
+	mHTTPInflight.Add(-1)
+}
+
+// serveUnmatched converts the mux's fallback response (404 for unknown
+// paths, 405 with an Allow header for known paths with the wrong method)
+// into the API's JSON error envelope.
+func (s *server) serveUnmatched(w http.ResponseWriter, r *http.Request, fallback http.Handler) {
+	probe := &probeWriter{header: make(http.Header)}
+	fallback.ServeHTTP(probe, r)
+	switch probe.status {
+	case http.StatusMethodNotAllowed:
+		if allow := probe.header.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"method %s not allowed for %s", r.Method, r.URL.Path)
+	default:
+		writeError(w, http.StatusNotFound, "not_found", "no route for %s %s", r.Method, r.URL.Path)
+	}
+}
+
+// handleMetrics serves the process-wide metrics snapshot: Prometheus text
+// exposition by default, the JSON mirror with ?format=json.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Default().Gather()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w)
+}
+
+// handleJobTrace serves the tuning trace of one job as Chrome trace_event
+// JSON (load it at chrome://tracing or https://ui.perfetto.dev). Spans may
+// have aged out of the ring buffer for old jobs; the trace is then empty
+// or partial, never an error.
+func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.engine.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no job %q", id)
+		return
+	}
+	s.traceMu.Lock()
+	tid, ok := s.traces[id]
+	s.traceMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no trace recorded for job %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTrace(w, s.tracer.Spans(tid))
+}

@@ -7,12 +7,16 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime/debug"
 	"strconv"
+	"sync"
+	"time"
 
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/core"
 	"seamlesstune/internal/history"
 	"seamlesstune/internal/jobs"
+	"seamlesstune/internal/obs"
 	"seamlesstune/internal/workload"
 )
 
@@ -25,6 +29,12 @@ type server struct {
 	mux       *http.ServeMux
 	engine    *jobs.Engine
 	statePath string
+	started   time.Time
+	// tracer ring-buffers tuning spans; traces maps job IDs to their
+	// trace IDs for GET /v1/jobs/{id}/trace.
+	tracer  *obs.Tracer
+	traceMu sync.Mutex
+	traces  map[string]uint64
 	// dirty coalesces persistence requests: completed jobs mark the
 	// store dirty, the persister goroutine saves. Capacity 1 — marking
 	// an already-dirty store is a no-op.
@@ -59,13 +69,18 @@ func newServer(cfg serverConfig) (*server, error) {
 		mux:         http.NewServeMux(),
 		engine:      jobs.NewEngine(workers, cfg.MaxQueued),
 		statePath:   cfg.StatePath,
+		started:     time.Now(),
+		tracer:      obs.NewTracer(obs.DefaultTraceCapacity),
+		traces:      make(map[string]uint64),
 		dirty:       make(chan struct{}, 1),
 		persistDone: make(chan struct{}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
@@ -78,9 +93,6 @@ func newServer(cfg serverConfig) (*server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
 // Close drains the worker pool and flushes any unsaved history.
 func (s *server) Close() {
 	s.engine.Close()
@@ -91,8 +103,31 @@ func (s *server) Close() {
 	}
 }
 
+// healthResponse is the readiness payload: liveness plus enough state to
+// judge whether the instance can take tuning work right now.
+type healthResponse struct {
+	Status    string     `json:"status"`
+	UptimeS   float64    `json:"uptimeS"`
+	GoVersion string     `json:"goVersion,omitempty"`
+	Revision  string     `json:"revision,omitempty"`
+	Engine    jobs.Stats `json:"engine"`
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthResponse{
+		Status:  "ok",
+		UptimeS: time.Since(s.started).Seconds(),
+		Engine:  s.engine.Stats(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.GoVersion = bi.GoVersion
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // tuneRequest is the tenant-facing submission: just the workload and an
@@ -162,7 +197,11 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 		writeError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 		return jobs.Job{}, false
 	}
+	// Each job tunes under its own trace ID so GET /v1/jobs/{id}/trace
+	// can slice this job's spans out of the shared ring buffer.
+	tid := s.tracer.NewTraceID()
 	job, err := s.engine.Submit(reg.Tenant, func(ctx context.Context) (any, error) {
+		ctx = obs.NewContext(ctx, obs.Trace{T: s.tracer, ID: tid})
 		res, err := s.svc.TunePipeline(ctx, reg)
 		if err != nil {
 			return nil, err
@@ -178,6 +217,9 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 		writeError(w, status, code, "%v", err)
 		return jobs.Job{}, false
 	}
+	s.traceMu.Lock()
+	s.traces[job.ID] = tid
+	s.traceMu.Unlock()
 	return job, true
 }
 

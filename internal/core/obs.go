@@ -1,0 +1,35 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"seamlesstune/internal/obs"
+)
+
+// Service-layer metrics: executions driven through the service (every one
+// lands in the history store, so this is also the tuning bill §IV-C wants
+// bounded), end-to-end pipeline times, and per-phase times for the Fig. 1
+// stages.
+var (
+	mExecutions = obs.Default().Counter("core_executions_total",
+		"Workload executions driven by the tuning service.")
+	mPipelineSeconds = obs.Default().Histogram("core_pipeline_seconds",
+		"Wall time of full two-stage tuning pipelines.",
+		obs.ExpBuckets(1e-3, 4, 12))
+	mPhaseSeconds = obs.Default().HistogramVec("core_phase_seconds",
+		"Wall time of service phases (tune-cloud, probe, tune-disc, baseline).",
+		obs.ExpBuckets(1e-4, 4, 12), "phase")
+)
+
+// phaseSpan opens a span for one service phase on the context's trace and
+// returns the function that closes it, recording the phase duration. Use
+// as: done := phaseSpan(ctx, "tune-cloud"); defer done().
+func phaseSpan(ctx context.Context, phase string) func() {
+	start := time.Now()
+	sp := obs.FromContext(ctx).Start(phase, "core")
+	return func() {
+		mPhaseSeconds.With(phase).Observe(time.Since(start).Seconds())
+		sp.End()
+	}
+}

@@ -26,10 +26,12 @@ import (
 	"math/rand"
 	"strconv"
 	"sync"
+	"time"
 
 	"seamlesstune/internal/cloud"
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/history"
+	"seamlesstune/internal/obs"
 	"seamlesstune/internal/slo"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/stat"
@@ -199,11 +201,13 @@ func (r Registration) Validate() error {
 }
 
 // execute runs one configuration on one cluster, records it in the
-// history, and returns the measurement.
-func (s *Service) execute(reg Registration, cluster cloud.ClusterSpec, cfg confspace.Config, factors cloud.Factors, rng *rand.Rand) (spark.Result, tuner.Measurement) {
+// history, and returns the measurement. The execution inherits the
+// context's trace, so simulator spans nest under the calling phase.
+func (s *Service) execute(ctx context.Context, reg Registration, cluster cloud.ClusterSpec, cfg confspace.Config, factors cloud.Factors, rng *rand.Rand) (spark.Result, tuner.Measurement) {
+	mExecutions.Inc()
 	job := reg.Workload.Job(reg.InputBytes)
 	conf := spark.FromConfig(s.sparkSpace, cfg)
-	res := spark.Run(job, conf, cluster, factors, rng)
+	res := spark.RunWith(job, conf, cluster, factors, spark.RunOpts{Trace: obs.FromContext(ctx)}, rng)
 	s.store.Append(history.Record{
 		Tenant:     reg.Tenant,
 		Workload:   reg.Workload.Name(),
@@ -239,6 +243,7 @@ func (s *Service) TuneCloud(ctx context.Context, reg Registration) (CloudChoice,
 // tuneCloud is TuneCloud with the session's base seed fixed by the
 // caller; TunePipeline uses it to keep both stages on one derived stream.
 func (s *Service) tuneCloud(ctx context.Context, reg Registration, base int64) (CloudChoice, error) {
+	defer phaseSpan(ctx, "tune-cloud")()
 	cloudSpace, err := confspace.CloudSpace(s.catalog, s.minNodes, s.maxNodes)
 	if err != nil {
 		return CloudChoice{}, err
@@ -254,7 +259,7 @@ func (s *Service) tuneCloud(ctx context.Context, reg Registration, base int64) (
 		}
 		// Stage 1 measures with a scaled reference DISC configuration so
 		// the cluster choice is not confounded by a bad Spark config.
-		_, m := s.execute(reg, spec, s.referenceConf(spec), env.Next(), rng)
+		_, m := s.execute(ctx, reg, spec, s.referenceConf(spec), env.Next(), rng)
 		return m
 	}
 	res, err := tuner.RunContext(ctx, bo, obj, s.cloudBudget, rng)
@@ -325,17 +330,21 @@ func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.
 	if err := cluster.Validate(); err != nil {
 		return DISCChoice{}, err
 	}
+	defer phaseSpan(ctx, "tune-disc")()
 	env := cloud.NewEnvironment(s.interference, stat.DeriveSeed(base, "env"))
 	rng := stat.DeriveRNG(base, "search")
 
 	// Probe with the reference configuration to fingerprint the workload.
+	endProbe := phaseSpan(ctx, "probe")
 	ref := s.referenceConf(cluster)
 	for i := 0; i < s.probeRuns; i++ {
 		if err := ctx.Err(); err != nil {
+			endProbe()
 			return DISCChoice{}, err
 		}
-		s.execute(reg, cluster, ref, env.Next(), rng)
+		s.execute(ctx, reg, cluster, ref, env.Next(), rng)
 	}
+	endProbe()
 
 	choice := DISCChoice{}
 	bo := tuner.NewBayesOpt(s.sparkSpace)
@@ -348,7 +357,7 @@ func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.
 	}
 
 	obj := func(cfg confspace.Config) tuner.Measurement {
-		_, m := s.execute(reg, cluster, cfg, env.Next(), rng)
+		_, m := s.execute(ctx, reg, cluster, cfg, env.Next(), rng)
 		return m
 	}
 	res, err := tuner.RunContext(ctx, bo, obj, s.discBudget, rng)
@@ -423,6 +432,9 @@ func (s *Service) TunePipeline(ctx context.Context, reg Registration) (PipelineR
 	if err := reg.Validate(); err != nil {
 		return PipelineResult{}, err
 	}
+	start := time.Now()
+	defer func() { mPipelineSeconds.Observe(time.Since(start).Seconds()) }()
+	defer phaseSpan(ctx, "pipeline")()
 	base := s.sessionSeed("pipeline", reg)
 	cc, err := s.tuneCloud(ctx, reg, stat.DeriveSeed(base, "cloud"))
 	if err != nil {
@@ -433,9 +445,11 @@ func (s *Service) TunePipeline(ctx context.Context, reg Registration) (PipelineR
 		return PipelineResult{}, err
 	}
 	// Measure the baseline once for the improvement report.
+	endBaseline := phaseSpan(ctx, "baseline")
 	env := cloud.NewEnvironment(s.interference, stat.DeriveSeed(base, "baseline-env"))
 	rng := stat.DeriveRNG(base, "baseline")
-	baseRes, _ := s.execute(reg, cc.Cluster, s.referenceConf(cc.Cluster), env.Next(), rng)
+	baseRes, _ := s.execute(ctx, reg, cc.Cluster, s.referenceConf(cc.Cluster), env.Next(), rng)
+	endBaseline()
 	return PipelineResult{
 		Cloud:           cc,
 		DISC:            dc,

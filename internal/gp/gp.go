@@ -53,7 +53,7 @@ func (g *GP) Kernel() Kernel { return g.kernel }
 // N returns the number of training points.
 func (g *GP) N() int { return len(g.xs) }
 
-// Fit trains the GP on (xs, ys). It copies the inputs. Fitting fails only
+// fit trains the GP on (xs, ys). It copies the inputs. Fitting fails only
 // on empty/mismatched data or a numerically broken kernel.
 //
 // Fast path: when the kernel parameters are unchanged since the last fit
@@ -61,7 +61,7 @@ func (g *GP) N() int { return len(g.xs) }
 // Cholesky factor is grown one row at a time in O(n²) per row instead of
 // refactorized in O(n³). The incremental arithmetic is exactly the last
 // rows of a full factorization, so the fitted model is bit-identical.
-func (g *GP) Fit(xs [][]float64, ys []float64) error {
+func (g *GP) fit(xs [][]float64, ys []float64) error {
 	if len(xs) == 0 || len(xs) != len(ys) {
 		return fmt.Errorf("%w: %d xs, %d ys", ErrNoData, len(xs), len(ys))
 	}
@@ -206,9 +206,9 @@ func (g *GP) Fitted() bool { return g.chol != nil }
 // LogMarginalLikelihood returns the LML of the last Fit (0 if unfitted).
 func (g *GP) LogMarginalLikelihood() float64 { return g.lml }
 
-// Predict returns the posterior mean and standard deviation at x, in the
+// predict returns the posterior mean and standard deviation at x, in the
 // original target units. An unfitted GP predicts (0, +Inf).
-func (g *GP) Predict(x []float64) (mean, std float64) {
+func (g *GP) predict(x []float64) (mean, std float64) {
 	if !g.Fitted() {
 		return 0, math.Inf(1)
 	}
@@ -229,11 +229,11 @@ func (g *GP) Predict(x []float64) (mean, std float64) {
 	return mu*g.yStd + g.yMean, math.Sqrt(variance) * g.yStd
 }
 
-// PredictBatch returns the posterior means and standard deviations at a
+// predictBatch returns the posterior means and standard deviations at a
 // whole pool of query points at once: one n×m kernel block, one batched
 // triangular solve. The results are bit-identical to calling Predict per
 // point, at a fraction of the cost — the acquisition scoring hot path.
-func (g *GP) PredictBatch(xs [][]float64) (means, stds []float64) {
+func (g *GP) predictBatch(xs [][]float64) (means, stds []float64) {
 	m := len(xs)
 	means = make([]float64, m)
 	stds = make([]float64, m)
@@ -320,10 +320,10 @@ func NewHyperFitter(kind KernelKind) *HyperFitter {
 	return &HyperFitter{kind: kind}
 }
 
-// Fit selects hyperparameters by grid-search marginal likelihood over the
+// fit selects hyperparameters by grid-search marginal likelihood over the
 // accumulated sample and returns the best-fit GP. The returned GP is owned
 // by the fitter and remains valid (read-only) until the next Fit call.
-func (h *HyperFitter) Fit(xs [][]float64, ys []float64) (*GP, error) {
+func (h *HyperFitter) fit(xs [][]float64, ys []float64) (*GP, error) {
 	if len(xs) == 0 || len(xs) != len(ys) {
 		return nil, fmt.Errorf("%w: %d xs, %d ys", ErrNoData, len(xs), len(ys))
 	}
@@ -463,7 +463,7 @@ func FitWithHypers(kind KernelKind, xs [][]float64, ys []float64) (*GP, error) {
 	return NewHyperFitter(kind).Fit(xs, ys)
 }
 
-// FitAdditive fits an additive-SE GP by coordinate-wise marginal-
+// fitAdditive fits an additive-SE GP by coordinate-wise marginal-
 // likelihood search over per-dimension variances, starting from uniform
 // shares. It returns the fitted GP; the kernel's Sensitivity exposes the
 // per-parameter influence decomposition.
@@ -472,7 +472,7 @@ func FitWithHypers(kind KernelKind, xs [][]float64, ys []float64) (*GP, error) {
 // dimension: changing dimension d's hyperparameters re-exponentiates only
 // that dimension's term, so each candidate costs O(n²·dim) additions plus
 // O(n²) exp calls instead of O(n²·dim) exp calls.
-func FitAdditive(xs [][]float64, ys []float64, sweeps int) (*GP, error) {
+func fitAdditive(xs [][]float64, ys []float64, sweeps int) (*GP, error) {
 	if len(xs) == 0 || len(xs) != len(ys) {
 		return nil, fmt.Errorf("%w: %d xs, %d ys", ErrNoData, len(xs), len(ys))
 	}

@@ -1,0 +1,96 @@
+package gp
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Hooks receives timing callbacks from the GP entry points, so an
+// observability layer can meter model fitting and prediction without gp
+// depending on it. Callbacks run synchronously on the calling goroutine
+// and must be cheap and concurrency-safe.
+type Hooks struct {
+	// Fit is called after every model fit (GP.Fit, HyperFitter.Fit,
+	// FitAdditive) with the training-set size and the wall time spent.
+	Fit func(points int, d time.Duration)
+	// Predict is called after every posterior query (GP.Predict,
+	// GP.PredictBatch) with the number of query points and the wall time.
+	Predict func(points int, d time.Duration)
+}
+
+// hooksPtr holds the installed hooks; nil means disabled, in which case
+// the entry points skip timing entirely.
+var hooksPtr atomic.Pointer[Hooks]
+
+// SetHooks installs (or, with the zero Hooks, removes) the process-wide
+// timing hooks. Safe to call concurrently with model use.
+func SetHooks(h Hooks) {
+	if h.Fit == nil && h.Predict == nil {
+		hooksPtr.Store(nil)
+		return
+	}
+	hooksPtr.Store(&h)
+}
+
+// Fit trains the GP on (xs, ys); see fit for semantics.
+func (g *GP) Fit(xs [][]float64, ys []float64) error {
+	h := hooksPtr.Load()
+	if h == nil || h.Fit == nil {
+		return g.fit(xs, ys)
+	}
+	start := time.Now()
+	err := g.fit(xs, ys)
+	h.Fit(len(xs), time.Since(start))
+	return err
+}
+
+// Predict returns the posterior at x; see predict for semantics.
+func (g *GP) Predict(x []float64) (mean, std float64) {
+	h := hooksPtr.Load()
+	if h == nil || h.Predict == nil {
+		return g.predict(x)
+	}
+	start := time.Now()
+	mean, std = g.predict(x)
+	h.Predict(1, time.Since(start))
+	return mean, std
+}
+
+// PredictBatch returns the posterior at every query point; see
+// predictBatch for semantics.
+func (g *GP) PredictBatch(xs [][]float64) (means, stds []float64) {
+	h := hooksPtr.Load()
+	if h == nil || h.Predict == nil {
+		return g.predictBatch(xs)
+	}
+	start := time.Now()
+	means, stds = g.predictBatch(xs)
+	h.Predict(len(xs), time.Since(start))
+	return means, stds
+}
+
+// FitAdditive fits an additive-SE GP with a coordinate sweep; see
+// fitAdditive for semantics.
+func FitAdditive(xs [][]float64, ys []float64, sweeps int) (*GP, error) {
+	h := hooksPtr.Load()
+	if h == nil || h.Fit == nil {
+		return fitAdditive(xs, ys, sweeps)
+	}
+	start := time.Now()
+	g, err := fitAdditive(xs, ys, sweeps)
+	h.Fit(len(xs), time.Since(start))
+	return g, err
+}
+
+// Fit selects hyperparameters over the accumulated sample; see fit for
+// semantics.
+func (h *HyperFitter) Fit(xs [][]float64, ys []float64) (*GP, error) {
+	hk := hooksPtr.Load()
+	if hk == nil || hk.Fit == nil {
+		return h.fit(xs, ys)
+	}
+	start := time.Now()
+	g, err := h.fit(xs, ys)
+	hk.Fit(len(xs), time.Since(start))
+	return g, err
+}

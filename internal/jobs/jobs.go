@@ -89,6 +89,8 @@ type Engine struct {
 	ready     []string // tenants with pending work and no active worker
 	nextID    int
 	queued    int
+	running   int
+	workers   int
 	maxQueued int
 	eventSeq  int64
 	closed    bool
@@ -109,8 +111,10 @@ func NewEngine(workers, maxQueued int) *Engine {
 	e := &Engine{
 		jobs:      make(map[string]*job),
 		tenants:   make(map[string]*tenantQueue),
+		workers:   workers,
 		maxQueued: maxQueued,
 	}
+	mWorkers.Set(float64(workers))
 	e.cond = sync.NewCond(&e.mu)
 	e.ctx, e.cancel = context.WithCancel(context.Background())
 	e.wg.Add(workers)
@@ -145,6 +149,8 @@ func (e *Engine) Submit(tenant string, task Task) (Job, error) {
 	e.jobs[j.ID] = j
 	e.order = append(e.order, j)
 	e.queued++
+	mSubmitted.With(tenant).Inc()
+	mQueueDepth.Add(1)
 	tq := e.tenants[tenant]
 	if tq == nil {
 		tq = &tenantQueue{}
@@ -186,6 +192,10 @@ func (e *Engine) worker() {
 		j.StartedAt = &now
 		e.eventSeq++
 		j.StartSeq = e.eventSeq
+		e.running++
+		mQueueDepth.Add(-1)
+		mRunning.Add(1)
+		mWaitSeconds.With(tenant).Observe(now.Sub(j.SubmittedAt).Seconds())
 		e.mu.Unlock()
 
 		result, err := j.task(e.ctx)
@@ -203,6 +213,10 @@ func (e *Engine) worker() {
 		e.eventSeq++
 		j.FinishSeq = e.eventSeq
 		e.queued--
+		e.running--
+		mRunning.Add(-1)
+		mFinished.With(string(j.State)).Inc()
+		mRunSeconds.With(tenant).Observe(fin.Sub(now).Seconds())
 		tq.running = false
 		if len(tq.pending) > 0 {
 			e.ready = append(e.ready, tenant)
@@ -283,6 +297,8 @@ func (e *Engine) Close() {
 			j.Error = ErrClosed.Error()
 			j.FinishedAt = &now
 			e.queued--
+			mQueueDepth.Add(-1)
+			mFinished.With(string(StateFailed)).Inc()
 			close(j.done)
 		}
 	}

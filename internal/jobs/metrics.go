@@ -1,0 +1,52 @@
+package jobs
+
+import "seamlesstune/internal/obs"
+
+// Job-engine metrics. Queue depth and worker occupancy are gauges
+// reflecting the live engine; submission/finish counters and the
+// wait/run-time histograms accumulate per tenant, so /metrics shows which
+// tenants are generating load and how long their jobs sit queued — the
+// multi-tenant fairness signal the per-tenant FIFO design is about.
+var (
+	mSubmitted = obs.Default().CounterVec("jobs_submitted_total",
+		"Jobs accepted by the engine, by tenant.", "tenant")
+	mFinished = obs.Default().CounterVec("jobs_finished_total",
+		"Jobs reaching a terminal state, by final state.", "state")
+	mQueueDepth = obs.Default().Gauge("jobs_queue_depth",
+		"Jobs admitted but not yet started (waiting in a tenant queue).")
+	mRunning = obs.Default().Gauge("jobs_running",
+		"Jobs currently executing on a worker.")
+	mWorkers = obs.Default().Gauge("jobs_workers",
+		"Size of the engine's worker pool.")
+	mWaitSeconds = obs.Default().HistogramVec("jobs_wait_seconds",
+		"Time from submission to start, by tenant.",
+		obs.ExpBuckets(1e-4, 4, 12), "tenant")
+	mRunSeconds = obs.Default().HistogramVec("jobs_run_seconds",
+		"Time from start to finish, by tenant.",
+		obs.ExpBuckets(1e-4, 4, 12), "tenant")
+)
+
+// Stats is a point-in-time summary of the engine, surfaced by tuneserve's
+// readiness endpoint.
+type Stats struct {
+	// Workers is the fixed worker-pool size.
+	Workers int `json:"workers"`
+	// Queued counts admitted jobs that have not started.
+	Queued int `json:"queued"`
+	// Running counts jobs currently executing.
+	Running int `json:"running"`
+	// Jobs counts every submission the engine has accepted.
+	Jobs int `json:"jobs"`
+}
+
+// Stats returns a consistent snapshot of the engine's occupancy.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Workers: e.workers,
+		Queued:  e.queued - e.running,
+		Running: e.running,
+		Jobs:    len(e.order),
+	}
+}

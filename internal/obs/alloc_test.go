@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestHotPathAllocFree is the guard behind the PR's "leave it on"
+// promise: the per-event cost of every metric and span operation must be
+// zero heap allocations, so observability cannot silently regress the
+// tuned hot paths (BenchmarkBayesOptStep and friends).
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", DefBuckets)
+	vc := r.CounterVec("v_total", "", "route").With("/v1/jobs")
+	tracer := NewTracer(1024)
+	tr := Trace{T: tracer, ID: tracer.NewTraceID()}
+
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"counter-add", func() { c.Add(1) }},
+		{"gauge-set", func() { g.Set(3.5) }},
+		{"histogram-observe", func() { h.Observe(0.042) }},
+		{"vec-child-add", func() { vc.Inc() }},
+		{"span", func() {
+			sp := tr.Start("trial", "tuner")
+			sp.Num("best", 12.5)
+			sp.Str("state", "ok")
+			sp.End()
+		}},
+		{"event", func() { tr.Event("tick", "tuner") }},
+		{"nop-span", func() {
+			var off Trace
+			sp := off.Start("trial", "tuner")
+			sp.Num("best", 12.5)
+			sp.End()
+		}},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.op); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// BenchmarkObsOverhead measures the instrumented hot-path cost against
+// the no-op (zero-value handle) baseline — the numbers recorded in
+// BENCH_obs.json by `make bench-obs`. ReportAllocs makes any future
+// allocation regression visible in the committed record.
+func BenchmarkObsOverhead(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	h := r.Histogram("bench_seconds", "", DefBuckets)
+	tracer := NewTracer(4096)
+	tr := Trace{T: tracer, ID: tracer.NewTraceID()}
+
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i&1023) * 0.001)
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Start("trial", "tuner")
+			sp.Num("best", 1)
+			sp.End()
+		}
+	})
+	var nopC Counter
+	b.Run("counter-nop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nopC.Add(1)
+		}
+	})
+	var nopT Trace
+	b.Run("span-nop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := nopT.Start("trial", "tuner")
+			sp.Num("best", 1)
+			sp.End()
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// the chrome://tracing and Perfetto UIs load).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level document.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace encodes spans as a Chrome-loadable trace_event JSON
+// document (open with chrome://tracing or https://ui.perfetto.dev).
+// Spans of one trace share a tid, so concurrent jobs render as separate
+// rows. Timestamps are microseconds since the earliest span.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans))}
+	var epoch int64
+	if len(spans) > 0 {
+		epoch = spans[0].Start.UnixNano()
+		for _, s := range spans {
+			if ns := s.Start.UnixNano(); ns < epoch {
+				epoch = ns
+			}
+		}
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name:  s.Name,
+			Cat:   s.Cat,
+			Phase: "X",
+			TS:    float64(s.Start.UnixNano()-epoch) / 1e3,
+			Dur:   float64(s.Dur.Nanoseconds()) / 1e3,
+			PID:   1,
+			TID:   s.TraceID,
+		}
+		if s.Instant {
+			ev.Phase = "i"
+			ev.Scope = "t"
+			ev.Dur = 0
+		}
+		if s.NArgs > 0 {
+			ev.Args = make(map[string]any, s.NArgs)
+			for _, a := range s.Args[:s.NArgs] {
+				if a.IsStr {
+					ev.Args[a.Key] = a.Str
+				} else if !math.IsInf(a.Num, 0) && !math.IsNaN(a.Num) {
+					ev.Args[a.Key] = a.Num
+				}
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,408 @@
+// Package obs is the zero-dependency observability substrate of the
+// tuning service: a concurrent metrics registry (atomic counters, gauges
+// and fixed-bucket histograms with Prometheus-text and JSON encoders) and
+// a lightweight span tracer (context-propagated trace IDs, a ring buffer
+// of completed spans, Chrome trace_event export).
+//
+// Both halves are built to be left on in production and in benchmarks:
+// every hot-path operation — Counter.Add, Gauge.Set, Histogram.Observe,
+// span start/end — is allocation-free and lock-free (spans take one
+// short mutex on End). A zero-value handle (Counter{}, Trace{}) is a
+// no-op, so instrumented code needs no nil checks and disabling
+// observability costs a predictable branch.
+//
+// Metric handles are resolved once (typically in a package-level var
+// against the Default registry) and then used forever; resolving a
+// labeled child via With is a read-locked map lookup, so per-event child
+// resolution is cheap but pre-resolving children off the hot path is
+// still preferred.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the metric family types.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families. The zero value is not usable; construct
+// with NewRegistry or use Default. All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that package-level
+// instrumentation registers into and tuneserve's /metrics endpoint
+// serves.
+func Default() *Registry { return defaultRegistry }
+
+// family is one named metric family: a kind, a label schema, and the
+// series (children) materialized so far.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histogram upper bounds, strictly increasing
+
+	mu       sync.RWMutex
+	children map[string]*series
+}
+
+// series is one (family, label values) time series. Counter and gauge
+// values live in bits as IEEE-754 float bits; histograms in hist.
+type series struct {
+	labelVals []string
+	bits      atomic.Uint64
+	hist      *hist
+}
+
+// hist is the histogram state: cumulative-free per-bucket counts (the
+// last slot counts observations above every bound), plus sum and count.
+type hist struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float bits
+	count  atomic.Uint64
+}
+
+// addFloat atomically adds v to the float bits in a.
+func addFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// family returns (creating if needed) the named family, enforcing that
+// re-registrations agree on kind and label schema — the same contract as
+// Prometheus client libraries, so independent packages can safely share
+// the Default registry.
+func (r *Registry) family(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind or label schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// child returns (creating if needed) the series for the label values.
+func (f *family) child(vals []string) *series {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := ""
+	switch len(vals) {
+	case 0:
+	case 1:
+		key = vals[0]
+	default:
+		key = strings.Join(vals, "\x00")
+	}
+	f.mu.RLock()
+	s, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.children[key]; ok {
+		return s
+	}
+	s = &series{labelVals: append([]string(nil), vals...)}
+	if f.kind == KindHistogram {
+		s.hist = &hist{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+	}
+	f.children[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing value. The zero value is a valid
+// no-op counter.
+type Counter struct{ s *series }
+
+// Add increases the counter by v (negative v is ignored).
+func (c Counter) Add(v float64) {
+	if c.s == nil || v < 0 {
+		return
+	}
+	addFloat(&c.s.bits, v)
+}
+
+// Inc increases the counter by 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c Counter) Value() float64 {
+	if c.s == nil {
+		return 0
+	}
+	return math.Float64frombits(c.s.bits.Load())
+}
+
+// Gauge is a value that can go up and down. The zero value is a valid
+// no-op gauge.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) {
+	if g.s == nil {
+		return
+	}
+	g.s.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by v (negative to decrease).
+func (g Gauge) Add(v float64) {
+	if g.s == nil {
+		return
+	}
+	addFloat(&g.s.bits, v)
+}
+
+// Value returns the current gauge value.
+func (g Gauge) Value() float64 {
+	if g.s == nil {
+		return 0
+	}
+	return math.Float64frombits(g.s.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. The zero value is a
+// valid no-op histogram.
+type Histogram struct{ h *hist }
+
+// Observe records one observation.
+func (h Histogram) Observe(v float64) {
+	hh := h.h
+	if hh == nil {
+		return
+	}
+	i := 0
+	for i < len(hh.bounds) && v > hh.bounds[i] {
+		i++
+	}
+	hh.counts[i].Add(1)
+	addFloat(&hh.sum, v)
+	hh.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h Histogram) Count() uint64 {
+	if h.h == nil {
+		return 0
+	}
+	return h.h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h Histogram) Sum() float64 {
+	if h.h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.h.sum.Load())
+}
+
+// Counter registers (or finds) an unlabeled counter family and returns
+// its single series.
+func (r *Registry) Counter(name, help string) Counter {
+	return Counter{r.family(name, help, KindCounter, nil, nil).child(nil)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge family and returns its
+// single series.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return Gauge{r.family(name, help, KindGauge, nil, nil).child(nil)}
+}
+
+// Histogram registers (or finds) an unlabeled histogram family with the
+// given bucket upper bounds and returns its single series.
+func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
+	return Histogram{r.family(name, help, KindHistogram, nil, buckets).child(nil).hist}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(vals ...string) Counter { return Counter{v.f.child(vals)} }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(vals ...string) Gauge { return Gauge{v.f.child(vals)} }
+
+// HistogramVec is a histogram family with labels; all children share the
+// family's bucket layout.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, KindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(vals ...string) Histogram { return Histogram{v.f.child(vals).hist} }
+
+// DefBuckets is the default latency layout (seconds), matching the
+// Prometheus client default.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// Snapshot is a point-in-time copy of a registry's state, the input to
+// the encoders. Families and series are sorted for stable output.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one family's state.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Labels []string         `json:"labels,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one series' state. Value is set for counters and
+// gauges; Count, Sum and Buckets for histograms.
+type SeriesSnapshot struct {
+	LabelValues []string `json:"labelValues,omitempty"`
+	Value       float64  `json:"value"`
+	Count       uint64   `json:"count,omitempty"`
+	Sum         float64  `json:"sum,omitempty"`
+	// Buckets holds cumulative counts at each finite upper bound; the
+	// implicit +Inf bucket equals Count.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Gather snapshots every family and series in the registry.
+func (r *Registry) Gather() Snapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var snap Snapshot
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   f.kind.String(),
+			Labels: f.labels,
+		}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.children[k]
+			ss := SeriesSnapshot{LabelValues: s.labelVals}
+			if s.hist != nil {
+				cum := uint64(0)
+				for i, bound := range s.hist.bounds {
+					cum += s.hist.counts[i].Load()
+					ss.Buckets = append(ss.Buckets, Bucket{LE: bound, Count: cum})
+				}
+				// Count is derived from the bucket slots (not the count
+				// field) so the +Inf bucket always equals _count even when a
+				// concurrent Observe is mid-flight.
+				ss.Count = cum + s.hist.counts[len(s.hist.bounds)].Load()
+				ss.Sum = math.Float64frombits(s.hist.sum.Load())
+			} else {
+				ss.Value = math.Float64frombits(s.bits.Load())
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.RUnlock()
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestZeroValueHandlesNoOp(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("zero-value handles must be inert")
+	}
+	var tr Trace
+	sp := tr.Start("x", "y")
+	sp.Num("k", 1)
+	sp.End()
+	tr.Event("e", "y")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	snap := r.Gather()
+	if len(snap.Families) != 1 {
+		t.Fatalf("families = %d", len(snap.Families))
+	}
+	ss := snap.Families[0].Series[0]
+	want := []uint64{2, 3, 4} // cumulative at 1, 2, 4
+	for i, b := range ss.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket le=%v count = %d, want %d", b.LE, b.Count, want[i])
+		}
+	}
+	if ss.Count != 5 {
+		t.Errorf("count = %d, want 5", ss.Count)
+	}
+	if ss.Sum != 106 {
+		t.Errorf("sum = %v, want 106", ss.Sum)
+	}
+}
+
+func TestVecChildrenAndReregistration(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "", "route", "status")
+	v.With("/a", "200").Add(2)
+	v.With("/a", "500").Inc()
+	v.With("/a", "200").Inc() // same child
+	snap := r.Gather()
+	if n := len(snap.Families[0].Series); n != 2 {
+		t.Fatalf("series = %d, want 2", n)
+	}
+	// Re-registration with an identical schema returns the same family.
+	v2 := r.CounterVec("req_total", "", "route", "status")
+	if got := v2.With("/a", "200").Value(); got != 3 {
+		t.Fatalf("re-registered child = %v, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("req_total", "")
+}
+
+func TestPrometheusEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", "total runs").Add(7)
+	r.GaugeVec("depth", "queue depth", "tenant").With(`a"b\c`).Set(3)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b bytes.Buffer
+	if err := r.Gather().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE runs_total counter",
+		"runs_total 7",
+		"# TYPE depth gauge",
+		`depth{tenant="a\"b\\c"} 3`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 5.05",
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Inc()
+	g := r.Gauge("inf_gauge", "")
+	g.Set(math.Inf(1)) // must not break the JSON document
+	var b bytes.Buffer
+	if err := r.Gather().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b.Bytes(), &snap); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(snap.Families) != 2 {
+		t.Fatalf("families = %d, want 2", len(snap.Families))
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h_seconds", "", []float64{1, 10})
+	v := r.CounterVec("v_total", "", "k")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := string(rune('a' + w%4))
+			for i := 0; i < per; i++ {
+				c.Add(1)
+				h.Observe(float64(i % 20))
+				v.With(key).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %v, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	var sum float64
+	for _, ss := range r.Gather().Families {
+		if ss.Name != "v_total" {
+			continue
+		}
+		for _, s := range ss.Series {
+			sum += s.Value
+		}
+	}
+	if sum != workers*per {
+		t.Errorf("vec sum = %v, want %d", sum, workers*per)
+	}
+}
+
+func TestTracerRecordsAndFilters(t *testing.T) {
+	tr := NewTracer(64)
+	t1, t2 := tr.NewTraceID(), tr.NewTraceID()
+	a := Trace{T: tr, ID: t1}
+	b := Trace{T: tr, ID: t2}
+
+	sp := a.Start("outer", "test")
+	sp.Num("n", 42)
+	sp.Str("s", "hello")
+	inner := a.Start("inner", "test")
+	inner.End()
+	sp.End()
+	b.Event("tick", "test")
+
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("len = %d, want 3", got)
+	}
+	spans := tr.Spans(t1)
+	if len(spans) != 2 {
+		t.Fatalf("trace-1 spans = %d, want 2", len(spans))
+	}
+	// Ordered by start: outer first.
+	if spans[0].Name != "outer" || spans[1].Name != "inner" {
+		t.Fatalf("order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].NArgs != 2 || spans[0].Args[0].Num != 42 || spans[0].Args[1].Str != "hello" {
+		t.Fatalf("args not preserved: %+v", spans[0].Args[:spans[0].NArgs])
+	}
+	all := tr.Spans(0)
+	if len(all) != 3 {
+		t.Fatalf("all spans = %d, want 3", len(all))
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(8)
+	a := Trace{T: tr, ID: tr.NewTraceID()}
+	for i := 0; i < 20; i++ {
+		sp := a.Start("s", "test")
+		sp.End()
+	}
+	if got := tr.Len(); got != 8 {
+		t.Fatalf("len = %d, want ring capacity 8", got)
+	}
+	if got := len(tr.Spans(0)); got != 8 {
+		t.Fatalf("spans = %d, want 8", got)
+	}
+}
+
+func TestContextPropagationAndAmbient(t *testing.T) {
+	tr := NewTracer(16)
+	trace := Trace{T: tr, ID: tr.NewTraceID()}
+	ctx := NewContext(context.Background(), trace)
+	got := FromContext(ctx)
+	if got.T != tr || got.ID != trace.ID {
+		t.Fatal("context did not carry the trace")
+	}
+	if FromContext(context.Background()).Enabled() {
+		t.Fatal("background context must yield a disabled trace")
+	}
+	amb := NewTracer(16)
+	SetAmbient(Trace{T: amb, ID: 7})
+	defer SetAmbient(Trace{})
+	if got := FromContext(context.Background()); got.T != amb || got.ID != 7 {
+		t.Fatal("ambient fallback not used")
+	}
+	// An explicit context trace wins over ambient.
+	if got := FromContext(ctx); got.T != tr {
+		t.Fatal("context trace must win over ambient")
+	}
+}
+
+func TestChromeTraceLoadable(t *testing.T) {
+	tr := NewTracer(16)
+	a := Trace{T: tr, ID: tr.NewTraceID()}
+	sp := a.Start("pipeline", "core")
+	sp.Num("improvement", 0.25)
+	sp.Num("bad", math.Inf(1)) // must be dropped, not break JSON
+	sp.Str("tenant", "acme")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	a.Event("marker", "core")
+
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, tr.Spans(0)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Phase != "X" || ev.Dur <= 0 {
+		t.Fatalf("span event = %+v", ev)
+	}
+	if _, ok := ev.Args["bad"]; ok {
+		t.Fatal("non-finite arg must be dropped")
+	}
+	if ev.Args["tenant"] != "acme" {
+		t.Fatalf("args = %v", ev.Args)
+	}
+	if doc.TraceEvents[1].Phase != "i" {
+		t.Fatalf("instant event phase = %q", doc.TraceEvents[1].Phase)
+	}
+}
+
+func TestSpanArgOverflowDropped(t *testing.T) {
+	tr := NewTracer(4)
+	a := Trace{T: tr, ID: 1}
+	sp := a.Start("s", "test")
+	for i := 0; i < maxSpanArgs+3; i++ {
+		sp.Num("k", float64(i))
+	}
+	sp.End()
+	if got := tr.Spans(0)[0].NArgs; got != maxSpanArgs {
+		t.Fatalf("NArgs = %d, want %d", got, maxSpanArgs)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+}

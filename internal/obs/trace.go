@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpanArgs is the fixed per-span argument capacity. Keeping the
+// argument array inline in the Span value is what makes span start/end
+// allocation-free; arguments beyond the capacity are dropped.
+const maxSpanArgs = 6
+
+// Arg is one span argument: a key plus either a number or a string.
+type Arg struct {
+	Key string
+	Num float64
+	Str string
+	// IsStr selects between Num and Str.
+	IsStr bool
+}
+
+// Span is one completed (or in-flight) operation. Spans are recorded by
+// value into the tracer's ring buffer, so producing one costs no
+// allocation.
+type Span struct {
+	// TraceID groups the spans of one logical request (e.g. one tuning
+	// job). 0 means untraced.
+	TraceID uint64
+	// Name is the operation ("pipeline", "trial", "stage"...); Cat is the
+	// emitting layer ("core", "tuner", "spark"...).
+	Name string
+	Cat  string
+	// Start and Dur are wall-clock; Dur is 0 for instant events.
+	Start time.Time
+	Dur   time.Duration
+	// Instant marks point events (rendered as Chrome instant events).
+	Instant bool
+	NArgs   int
+	Args    [maxSpanArgs]Arg
+}
+
+// Tracer records completed spans into a fixed-capacity ring buffer: old
+// spans are overwritten, never freed, so tracing cannot grow memory under
+// sustained load. Construct with NewTracer. Safe for concurrent use.
+type Tracer struct {
+	mu  sync.Mutex
+	buf []Span
+	n   uint64 // total spans ever recorded
+
+	lastID atomic.Uint64
+}
+
+// DefaultTraceCapacity is the ring size NewTracer(0) uses (~16k spans,
+// a few MB).
+const DefaultTraceCapacity = 1 << 14
+
+// NewTracer returns a tracer with the given ring capacity (0 uses
+// DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Span, capacity)}
+}
+
+// NewTraceID returns a process-unique non-zero trace ID.
+func (t *Tracer) NewTraceID() uint64 { return t.lastID.Add(1) }
+
+// record copies one completed span into the ring. Span is passed by
+// value so the caller's handle never escapes to the heap.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	t.buf[t.n%uint64(len(t.buf))] = s
+	t.n++
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently retained.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < uint64(len(t.buf)) {
+		return int(t.n)
+	}
+	return len(t.buf)
+}
+
+// Spans returns the retained spans for one trace (0 = all traces),
+// ordered by start time.
+func (t *Tracer) Spans(traceID uint64) []Span {
+	t.mu.Lock()
+	retained := t.n
+	if retained > uint64(len(t.buf)) {
+		retained = uint64(len(t.buf))
+	}
+	out := make([]Span, 0, retained)
+	for i := uint64(0); i < retained; i++ {
+		s := &t.buf[i]
+		if traceID == 0 || s.TraceID == traceID {
+			out = append(out, *s)
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Trace is a tracer plus the trace ID spans are recorded under — the
+// value that flows through contexts. The zero value is disabled: spans
+// started from it are no-ops.
+type Trace struct {
+	T  *Tracer
+	ID uint64
+}
+
+// Enabled reports whether spans recorded through this trace are kept.
+func (tr Trace) Enabled() bool { return tr.T != nil }
+
+// Start begins a span. End the returned handle to record it; on a
+// disabled trace the handle is inert. The handle must stay on the
+// caller's stack (do not store it) — that is what keeps span recording
+// allocation-free.
+func (tr Trace) Start(name, cat string) SpanHandle {
+	h := SpanHandle{t: tr.T}
+	if tr.T != nil {
+		h.span.TraceID = tr.ID
+		h.span.Name = name
+		h.span.Cat = cat
+		h.span.Start = time.Now()
+	}
+	return h
+}
+
+// Event records an instant event.
+func (tr Trace) Event(name, cat string) {
+	if tr.T == nil {
+		return
+	}
+	tr.T.record(Span{TraceID: tr.ID, Name: name, Cat: cat, Start: time.Now(), Instant: true})
+}
+
+// SpanHandle is an in-flight span. Add arguments with Num/Str, then call
+// End exactly once.
+type SpanHandle struct {
+	t    *Tracer
+	span Span
+}
+
+// Num attaches a numeric argument (dropped beyond the fixed capacity).
+func (h *SpanHandle) Num(key string, v float64) {
+	if h.t == nil || h.span.NArgs >= maxSpanArgs {
+		return
+	}
+	h.span.Args[h.span.NArgs] = Arg{Key: key, Num: v}
+	h.span.NArgs++
+}
+
+// Str attaches a string argument (dropped beyond the fixed capacity).
+func (h *SpanHandle) Str(key, v string) {
+	if h.t == nil || h.span.NArgs >= maxSpanArgs {
+		return
+	}
+	h.span.Args[h.span.NArgs] = Arg{Key: key, Str: v, IsStr: true}
+	h.span.NArgs++
+}
+
+// End completes the span and records it.
+func (h *SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	h.span.Dur = time.Since(h.span.Start)
+	h.t.record(h.span)
+}
+
+type traceCtxKey struct{}
+
+// NewContext returns ctx carrying the trace; instrumented layers below
+// (core pipeline, tuner sessions, spark runs) pick it up with
+// FromContext.
+func NewContext(ctx context.Context, tr Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, falling back to the
+// process-wide ambient trace (see SetAmbient). The result is the
+// disabled zero Trace when neither is set.
+func FromContext(ctx context.Context) Trace {
+	if tr, ok := ctx.Value(traceCtxKey{}).(Trace); ok {
+		return tr
+	}
+	return Ambient()
+}
+
+// ambient holds the process-wide fallback Trace. CLIs that cannot thread
+// a context through every call path (cmd/experiments -trace-out) install
+// one here; request-scoped traces in ctx always win.
+var ambient atomic.Value // of Trace
+
+// SetAmbient installs tr as the process-wide fallback trace.
+func SetAmbient(tr Trace) { ambient.Store(tr) }
+
+// Ambient returns the process-wide fallback trace (disabled if unset).
+func Ambient() Trace {
+	if v := ambient.Load(); v != nil {
+		return v.(Trace)
+	}
+	return Trace{}
+}

@@ -1,0 +1,55 @@
+package spark
+
+import "seamlesstune/internal/obs"
+
+// Simulator-layer metrics. Every simulated execution feeds these, so
+// /metrics exposes the aggregate behaviour of the cluster substrate
+// (failure mix, spill and GC pressure) across all tenants and sessions.
+var (
+	mRuns = obs.Default().Counter("spark_runs_total",
+		"Simulated Spark application executions.")
+	mRunFailures = obs.Default().CounterVec("spark_run_failures_total",
+		"Simulated executions that failed, by failure reason.", "reason")
+	mRunSimSeconds = obs.Default().Histogram("spark_run_sim_seconds",
+		"Simulated application runtime in seconds.",
+		obs.ExpBuckets(4, 2, 12)) // 4s .. ~4.5h
+	mStages = obs.Default().Counter("spark_stages_total",
+		"Simulated stages executed.")
+	mTasks = obs.Default().Counter("spark_tasks_total",
+		"Simulated tasks executed.")
+	mSpillBytes = obs.Default().Counter("spark_spill_bytes_total",
+		"Bytes spilled to disk across all simulated executions.")
+	mGCSeconds = obs.Default().Counter("spark_gc_seconds_total",
+		"Wall-clock seconds lost to JVM garbage collection (simulated).")
+	mExecutorsLost = obs.Default().Counter("spark_executors_lost_total",
+		"Executors lost to injected failures.")
+)
+
+// observeRun records one completed simulation into the metrics above and
+// annotates the surrounding span.
+func observeRun(sp *obs.SpanHandle, res *Result) {
+	mRuns.Inc()
+	mRunSimSeconds.Observe(res.RuntimeS)
+	if res.Failed {
+		mRunFailures.With(res.Reason).Inc()
+	}
+	var tasks int
+	for i := range res.Stages {
+		tasks += res.Stages[i].Tasks
+	}
+	mStages.Add(float64(len(res.Stages)))
+	mTasks.Add(float64(tasks))
+	mSpillBytes.Add(float64(res.TotalSpillBytes))
+	mGCSeconds.Add(res.TotalGCSeconds)
+	if res.ExecutorsLost > 0 {
+		mExecutorsLost.Add(float64(res.ExecutorsLost))
+	}
+	sp.Num("sim_runtime_s", res.RuntimeS)
+	sp.Num("stages", float64(len(res.Stages)))
+	sp.Num("tasks", float64(tasks))
+	sp.Num("executors", float64(res.Executors))
+	if res.Failed {
+		sp.Str("failed", res.Reason)
+	}
+	sp.End()
+}

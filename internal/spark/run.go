@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/obs"
 	"seamlesstune/internal/stat"
 )
 
@@ -53,6 +54,11 @@ type RunOpts struct {
 	ExecutorMTBFHours float64
 	// Ablate selectively disables simulator mechanisms (A1 ablations).
 	Ablate Ablate
+	// Trace, when enabled, records a span per execution and per stage
+	// (wall time of the simulation work, with the simulated metrics as
+	// span arguments). When disabled, the process-wide ambient trace is
+	// consulted instead (see obs.SetAmbient).
+	Trace obs.Trace
 }
 
 // Run simulates one execution of job under conf on the given cluster and
@@ -63,8 +69,22 @@ func Run(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Factors, 
 	return RunWith(job, conf, cluster, factors, RunOpts{}, rng)
 }
 
-// RunWith is Run with explicit environment options.
+// RunWith is Run with explicit environment options. Every execution —
+// including ones rejected before any stage runs — is counted in the
+// spark_* metric families and, when a trace is active, recorded as a
+// "run" span.
 func RunWith(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Factors, opts RunOpts, rng *rand.Rand) Result {
+	if !opts.Trace.Enabled() {
+		opts.Trace = obs.Ambient()
+	}
+	sp := opts.Trace.Start("spark-run", "spark")
+	res := runWith(job, conf, cluster, factors, opts, rng)
+	observeRun(&sp, &res)
+	return res
+}
+
+// runWith is the uninstrumented simulation.
+func runWith(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Factors, opts RunOpts, rng *rand.Rand) Result {
 	if err := job.Validate(); err != nil {
 		return Result{Failed: true, Reason: ReasonBadJob}
 	}
@@ -116,7 +136,7 @@ func RunWith(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Facto
 	sim := &runState{
 		job: job, conf: conf, cluster: cluster, factors: factors, rng: rng,
 		opts: opts, alloc: alloc, containerPressure: containerPressure,
-		cached: make(map[int]cacheEntry),
+		cached: make(map[int]cacheEntry), trace: opts.Trace,
 	}
 	return sim.run()
 }
@@ -188,6 +208,7 @@ type runState struct {
 	containerPressure float64
 	cached            map[int]cacheEntry
 	storageUsedMB     float64
+	trace             obs.Trace
 
 	res Result
 }
@@ -274,7 +295,19 @@ func (s *runState) run() Result {
 				}
 			}
 			if ready {
-				wave = append(wave, s.prepareStage(stage))
+				// The stage span measures the wall time spent simulating the
+				// stage; the simulated metrics travel as span arguments.
+				ssp := s.trace.Start(stage.Name, "spark-stage")
+				w := s.prepareStage(stage)
+				ssp.Num("stage_id", float64(stage.ID))
+				ssp.Num("tasks", float64(w.sm.Tasks))
+				ssp.Num("spill_mb", float64(w.sm.SpillBytes)/mb)
+				ssp.Num("gc_s", w.sm.GCSeconds)
+				if w.failReason != "" {
+					ssp.Str("failed", w.failReason)
+				}
+				ssp.End()
+				wave = append(wave, w)
 			}
 		}
 		if len(wave) == 0 {

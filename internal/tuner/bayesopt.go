@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/gp"
@@ -46,6 +47,10 @@ type BayesOpt struct {
 	dirty       bool
 	lastMaxEI   float64
 	eiValid     bool
+	// lastAcqSec is the wall time of the most recent acquisition step
+	// (candidate pool, batched posterior, EI argmax); 0 for init-phase
+	// proposals. Exposed to sessions through the acqTimed interface.
+	lastAcqSec float64
 
 	// Reused acquisition buffers: candidate pool, flat unit-cube encodings
 	// (with per-candidate views), and expected-improvement values. They are
@@ -87,6 +92,7 @@ func (t *BayesOpt) candidates() int {
 
 // Next implements Tuner.
 func (t *BayesOpt) Next(rng *rand.Rand) confspace.Config {
+	t.lastAcqSec = 0
 	// Absorb warm-start observations once.
 	if len(t.WarmStart) > 0 {
 		for _, tr := range t.WarmStart {
@@ -106,6 +112,7 @@ func (t *BayesOpt) Next(rng *rand.Rand) confspace.Config {
 	if t.model == nil || !t.model.Fitted() {
 		return t.Space.Random(rng)
 	}
+	acqStart := time.Now()
 	best, _ := minOf(t.ys)
 	n := t.candidates()
 
@@ -180,11 +187,16 @@ func (t *BayesOpt) Next(rng *rand.Rand) confspace.Config {
 		}
 	}
 	t.lastMaxEI, t.eiValid = bestEI, true
+	t.lastAcqSec = time.Since(acqStart).Seconds()
+	mAcqSeconds.Observe(t.lastAcqSec)
 	if bestIdx < 0 {
 		return t.Space.Random(rng)
 	}
 	return cands[bestIdx]
 }
+
+// lastAcqSeconds implements acqTimed.
+func (t *BayesOpt) lastAcqSeconds() float64 { return t.lastAcqSec }
 
 // ShouldStop implements Stopper: with StopEIFrac set, the search stops
 // once the best expected improvement (in multiplicative runtime terms —

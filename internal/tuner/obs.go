@@ -1,0 +1,52 @@
+package tuner
+
+import (
+	"time"
+
+	"seamlesstune/internal/gp"
+	"seamlesstune/internal/obs"
+)
+
+// Tuner- and model-layer metrics. The gp_* families are fed through the
+// timing hooks of internal/gp, installed here (the tuner package
+// accompanies every GP use in the tuning service and the experiments),
+// so the model substrate itself stays observability-free.
+var (
+	mSessions = obs.Default().CounterVec("tuner_sessions_total",
+		"Tuning sessions started, by strategy.", "tuner")
+	mTrials = obs.Default().CounterVec("tuner_trials_total",
+		"Configuration evaluations, by strategy.", "tuner")
+	mTrialSeconds = obs.Default().Histogram("tuner_trial_seconds",
+		"Wall time per evaluation: propose + execute + observe.",
+		obs.ExpBuckets(1e-5, 4, 12))
+	mAcqSeconds = obs.Default().Histogram("tuner_acq_seconds",
+		"Wall time of one BayesOpt acquisition: candidate pool, batched posterior, EI argmax.",
+		obs.ExpBuckets(1e-6, 4, 12))
+
+	mGPFitSeconds = obs.Default().Histogram("gp_fit_seconds",
+		"Wall time of GP model fits (hyper-grid or additive sweeps included).",
+		obs.ExpBuckets(1e-6, 4, 13))
+	mGPPredictSeconds = obs.Default().Histogram("gp_predict_seconds",
+		"Wall time of GP posterior queries (single or batched).",
+		obs.ExpBuckets(1e-7, 4, 13))
+	mGPFitPoints = obs.Default().Histogram("gp_fit_points",
+		"Training-set size at fit time.", obs.ExpBuckets(1, 2, 11))
+)
+
+func init() {
+	gp.SetHooks(gp.Hooks{
+		Fit: func(points int, d time.Duration) {
+			mGPFitSeconds.Observe(d.Seconds())
+			mGPFitPoints.Observe(float64(points))
+		},
+		Predict: func(_ int, d time.Duration) {
+			mGPPredictSeconds.Observe(d.Seconds())
+		},
+	})
+}
+
+// acqTimed is implemented by tuners that time their acquisition step
+// (BayesOpt); sessions attach the value to the per-trial span.
+type acqTimed interface {
+	lastAcqSeconds() float64
+}

@@ -18,8 +18,10 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"time"
 
 	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/obs"
 )
 
 // Measurement is the outcome of executing one configuration.
@@ -142,6 +144,12 @@ func RunFor(t Tuner, obj Objective, budget int, rng *rand.Rand, score Scorer) (R
 // RunForContext is RunFor with cancellation. Cancellation is checked
 // before every evaluation — a single execution is never interrupted, so
 // each recorded trial is a complete observation.
+//
+// Sessions are instrumented: trial counts and wall times feed the
+// tuner_* metric families, and when the context (or the ambient trace)
+// carries an obs.Trace, every iteration records a span carrying the
+// penalized objective, the best cost so far, and — for acquisition-timed
+// tuners like BayesOpt — the time spent in the EI argmax.
 func RunForContext(ctx context.Context, t Tuner, obj Objective, budget int, rng *rand.Rand, score Scorer) (Result, error) {
 	if budget <= 0 {
 		return Result{}, ErrNoBudget
@@ -149,6 +157,10 @@ func RunForContext(ctx context.Context, t Tuner, obj Objective, budget int, rng 
 	if score == nil {
 		score = MinimizeRuntime
 	}
+	name := t.Name()
+	tr := obs.FromContext(ctx)
+	mSessions.With(name).Inc()
+	trials := mTrials.With(name)
 	res := Result{BestSoFar: make([]float64, 0, budget)}
 	best := math.Inf(1)
 	worstSuccess := 0.0
@@ -156,6 +168,8 @@ func RunForContext(ctx context.Context, t Tuner, obj Objective, budget int, rng 
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
+		sp := tr.Start(name, "tuner")
+		start := time.Now()
 		cfg := t.Next(rng)
 		m := obj(cfg)
 		trial := Trial{Index: i, Config: cfg, Measurement: m}
@@ -178,6 +192,18 @@ func RunForContext(ctx context.Context, t Tuner, obj Objective, budget int, rng 
 		}
 		res.BestSoFar = append(res.BestSoFar, best)
 		t.Observe(trial)
+		mTrialSeconds.Observe(time.Since(start).Seconds())
+		trials.Inc()
+		sp.Num("trial", float64(i))
+		sp.Num("objective", trial.Objective)
+		sp.Num("best_so_far", best)
+		if m.Failed {
+			sp.Str("failed", "true")
+		}
+		if at, ok := t.(acqTimed); ok {
+			sp.Num("acq_s", at.lastAcqSeconds())
+		}
+		sp.End()
 		if s, ok := t.(Stopper); ok && s.ShouldStop() {
 			res.Stopped = true
 			break
