@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs experiments examples vet fmt clean
+.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim experiments examples vet fmt clean
 
 all: build vet test
 
@@ -51,6 +51,14 @@ bench-obs:
 	$(GO) test -run '^$$' -bench 'ObsOverhead|BayesOptStep' \
 		-benchmem -count=5 ./internal/obs . | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@echo wrote BENCH_obs.json
+
+# Simulator fast-path benchmarks: pooled stage execution vs the frozen
+# naive reference, the memoizing evaluation cache over a full tuning
+# session, and batch objective evaluation (see docs/PERFORMANCE.md).
+bench-sim:
+	$(GO) test -run '^$$' -bench 'SimRun|SimulatorRun|SimCacheTuning|SimBatchEval' \
+		-benchmem -count=5 ./internal/spark . | $(GO) run ./cmd/benchjson > BENCH_sim.json
+	@echo wrote BENCH_sim.json
 
 # Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
 experiments:

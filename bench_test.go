@@ -1,6 +1,8 @@
 package seamlesstune_test
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -8,6 +10,7 @@ import (
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/experiments"
 	"seamlesstune/internal/gp"
+	"seamlesstune/internal/simcache"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/stat"
 	"seamlesstune/internal/tuner"
@@ -389,5 +392,88 @@ func BenchmarkSeamlessLifecycle(b *testing.B) {
 		}
 		b.ReportMetric(res.TotalStaticS-res.TotalManagedS, "production_seconds_saved")
 		b.ReportMetric(res.TuningCostUSD, "provider_bill_usd")
+	}
+}
+
+// BenchmarkSimCacheTuning measures a full genetic tuning session over the
+// Spark simulator with and without the evaluation cache. Genetic search
+// re-proposes elite configurations every generation, and a long-lived
+// service replays whole sessions, so the cached variant converges to
+// near-total hit rates; the two variants produce bit-identical
+// trajectories (internal/simcache property tests).
+func BenchmarkSimCacheTuning(b *testing.B) {
+	cluster := benchCluster(b)
+	space := confspace.SparkSpace()
+	job := workload.PageRank{}.Job(8 << 30)
+	run := func(b *testing.B, cache *simcache.Cache) {
+		b.ReportAllocs()
+		obj := func(cfg confspace.Config, seed int64) tuner.Measurement {
+			res := cache.Run(job, spark.FromConfig(space, cfg), cluster, cloud.Unit(), spark.RunOpts{}, seed)
+			return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g := tuner.NewGenetic(space)
+			if _, err := tuner.RunBatch(context.Background(), g, obj, 80, stat.NewRNG(1), tuner.BatchOptions{Workers: 1, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if cache != nil {
+			b.ReportMetric(cache.Stats().HitRate()*100, "hit_rate_pct")
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, nil) })
+	b.Run("cached", func(b *testing.B) { run(b, simcache.New(0)) })
+}
+
+// BenchmarkSimBatchEval measures the batch objective evaluator fanning a
+// fixed candidate set over the worker pool.
+func BenchmarkSimBatchEval(b *testing.B) {
+	cluster := benchCluster(b)
+	space := confspace.SparkSpace()
+	job := workload.PageRank{}.Job(8 << 30)
+	rng := stat.NewRNG(1)
+	cfgs := make([]confspace.Config, 32)
+	for i := range cfgs {
+		cfgs[i] = space.Random(rng)
+	}
+	obj := func(cfg confspace.Config, seed int64) tuner.Measurement {
+		res := spark.RunWith(job, spark.FromConfig(space, cfg), cluster, cloud.Unit(), spark.RunOpts{}, stat.NewRNG(seed))
+		return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tuner.EvaluateBatch(obj, cfgs, 1, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkSimRunCached measures a warm evaluation-cache hit for a single
+// simulated execution — the steady-state cost of re-requesting a
+// configuration point the service has already paid for.
+func BenchmarkSimRunCached(b *testing.B) {
+	b.ReportAllocs()
+	cluster := benchCluster(b)
+	space := confspace.SparkSpace()
+	conf := spark.FromConfig(space, space.Default())
+	conf.ExecutorInstances = 8
+	conf.ExecutorCores = 8
+	conf.ExecutorMemoryMB = 16384
+	conf.DriverMemoryMB = 4096
+	conf.DefaultParallelism = 128
+	job := workload.PageRank{}.Job(8 << 30)
+	cache := simcache.New(0)
+	if res := cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, 1); res.Failed {
+		b.Fatal(res.Reason)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, 1)
+		if res.Failed {
+			b.Fatal(res.Reason)
+		}
 	}
 }

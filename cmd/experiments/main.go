@@ -19,6 +19,7 @@ import (
 
 	"seamlesstune/internal/experiments"
 	"seamlesstune/internal/obs"
+	"seamlesstune/internal/simcache"
 )
 
 func main() {
@@ -36,8 +37,13 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	outPath := fs.String("o", "", "also write results to this file")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (load at chrome://tracing)")
+	useCache := fs.Bool("simcache", true, "memoize repeated simulator evaluations (tables are bit-identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *useCache {
+		experiments.SetSimCache(simcache.New(0))
 	}
 
 	if *traceOut != "" {
@@ -94,6 +100,7 @@ func run(args []string) error {
 
 	for _, s := range specs {
 		start := time.Now()
+		cacheBefore := experiments.CacheStats()
 		sp := obs.Ambient().Start(s.ID, "experiment")
 		sp.Str("title", s.Title)
 		if *reps > 1 {
@@ -114,7 +121,24 @@ func run(args []string) error {
 			fmt.Fprintln(out, table)
 		}
 		sp.End()
-		fmt.Fprintf(out, "(%s completed in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+		// The cache summary rides on the "completed in" timing line so the
+		// tables above stay byte-comparable across runs and cache settings.
+		fmt.Fprintf(out, "(%s completed in %v%s)\n\n",
+			s.ID, time.Since(start).Round(time.Millisecond), cacheDelta(cacheBefore))
 	}
 	return nil
+}
+
+// cacheDelta renders the evaluation-cache activity since before, e.g.
+// "; simcache 120 hits / 240 evals (50% hit rate)", or "" with no cache
+// or no cached evaluations.
+func cacheDelta(before simcache.Stats) string {
+	after := experiments.CacheStats()
+	hits := after.Hits - before.Hits
+	total := hits + after.Misses - before.Misses
+	if total == 0 {
+		return ""
+	}
+	return fmt.Sprintf("; simcache %d hits / %d evals (%.0f%% hit rate)",
+		hits, total, 100*float64(hits)/float64(total))
 }

@@ -51,6 +51,8 @@ func main() {
 	transferThreshold := fs.Float64("transfer-threshold", 0,
 		"similarity gate for cross-workload warm-starting (0 = default; >1 disables transfer for strict replayability)")
 	statePath := fs.String("state", "", "path for persisting the execution history (load on start, save asynchronously)")
+	simCache := fs.Bool("simcache", true, "memoize simulator executions across tenants (bit-identical results, content-derived seeds)")
+	simCacheCap := fs.Int("simcache-capacity", 0, "evaluation cache entry bound (0 = default)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
@@ -64,6 +66,8 @@ func main() {
 		MaxQueued:         *maxQueued,
 		TransferThreshold: *transferThreshold,
 		StatePath:         *statePath,
+		SimCache:          *simCache,
+		SimCacheCapacity:  *simCacheCap,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -123,6 +127,11 @@ type serverConfig struct {
 	// StatePath, when set, persists the execution history: loaded at
 	// startup (if present) and saved asynchronously as jobs complete.
 	StatePath string
+	// SimCache enables the cross-tenant simulator evaluation cache
+	// (content-derived execution seeds; see core.WithSimCache).
+	SimCache bool
+	// SimCacheCapacity bounds the cache's entry count (0 = default).
+	SimCacheCapacity int
 }
 
 func (c serverConfig) options() []core.Option {

@@ -17,6 +17,7 @@ import (
 	"seamlesstune/internal/history"
 	"seamlesstune/internal/jobs"
 	"seamlesstune/internal/obs"
+	"seamlesstune/internal/simcache"
 	"seamlesstune/internal/workload"
 )
 
@@ -47,6 +48,11 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.Params > 0 {
 		opts = append(opts, core.WithSparkSpace(confspace.SparkSubspace(cfg.Params)))
 	}
+	var cache *simcache.Cache
+	if cfg.SimCache {
+		cache = simcache.New(cfg.SimCacheCapacity)
+		opts = append(opts, core.WithSimCache(cache))
+	}
 	if cfg.StatePath != "" {
 		store := &history.Store{}
 		if _, err := os.Stat(cfg.StatePath); err == nil {
@@ -74,6 +80,9 @@ func newServer(cfg serverConfig) (*server, error) {
 		traces:      make(map[string]uint64),
 		dirty:       make(chan struct{}, 1),
 		persistDone: make(chan struct{}),
+	}
+	if cache != nil {
+		s.engine.SetCacheStats(cache.Stats)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

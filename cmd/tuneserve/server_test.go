@@ -71,6 +71,44 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// With the evaluation cache enabled, /healthz must surface hit/miss
+// stats once tuning traffic has flowed, and /metrics must expose the
+// simcache counter families.
+func TestHealthzReportsSimCache(t *testing.T) {
+	s, err := newServer(serverConfig{Seed: 1, Params: 10, CloudBudget: 5, DISCBudget: 8, Workers: 2, SimCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	rec := httptest.NewRecorder()
+	body := `{"tenant":"acme","workload":"wordcount","inputGB":2}`
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/tune", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tune status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var health struct {
+		Engine jobs.Stats `json:"engine"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Engine.Cache == nil {
+		t.Fatalf("healthz engine stats missing cache: %s", rec.Body.String())
+	}
+	if health.Engine.Cache.Misses == 0 {
+		t.Errorf("expected cache misses after tuning, got %+v", *health.Engine.Cache)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "simcache_misses_total") {
+		t.Error("/metrics missing simcache counter families")
+	}
+}
+
 func TestTuneEndToEnd(t *testing.T) {
 	s := testServer(t)
 	body := `{"tenant":"acme","workload":"wordcount","inputGB":4}`

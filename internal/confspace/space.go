@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -20,6 +21,29 @@ func (c Config) Clone() Config {
 		out[k] = v
 	}
 	return out
+}
+
+// Canonical renders the config as a deterministic string: names sorted,
+// values in exact hexadecimal float notation, so two configs canonicalize
+// equally iff they are bit-identical. It is the stable identity used for
+// content-derived evaluation seeds (tuner.CandidateSeed) and therefore
+// for simulator-cache hits on revisited points.
+func (c Config) Canonical() string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(c[k], 'x', -1, 64))
+	}
+	return b.String()
 }
 
 // Int reads a parameter as an integer (rounding).

@@ -306,3 +306,24 @@ func TestConfigClone(t *testing.T) {
 		t.Error("Clone aliases the original")
 	}
 }
+
+func TestConfigCanonical(t *testing.T) {
+	c := Config{"b": 2, "a": 1.5, "c": 0}
+	if got, want := c.Canonical(), c.Clone().Canonical(); got != want {
+		t.Errorf("Canonical not stable: %q vs %q", got, want)
+	}
+	d := c.Clone()
+	d["a"] = math.Nextafter(1.5, 2) // one ulp away must still differ
+	if c.Canonical() == d.Canonical() {
+		t.Error("Canonical lost float precision")
+	}
+	e := c.Clone()
+	delete(e, "c")
+	if c.Canonical() == e.Canonical() {
+		t.Error("Canonical ignores missing keys")
+	}
+	// Sorted key order, independent of map iteration.
+	if got := (Config{"z": 1, "a": 1}).Canonical(); got != (Config{"a": 1, "z": 1}).Canonical() {
+		t.Errorf("Canonical order unstable: %q", got)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/history"
 	"seamlesstune/internal/obs"
+	"seamlesstune/internal/simcache"
 	"seamlesstune/internal/slo"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/stat"
@@ -60,6 +61,7 @@ type Service struct {
 	probeRuns          int
 	interference       cloud.InterferenceLevel
 	transferThreshold  float64
+	simCache           *simcache.Cache
 
 	// subMu guards subs, the per-(kind, tenant, workload) submission
 	// counters that make repeated submissions of the same workload draw
@@ -120,6 +122,29 @@ func WithTransferThreshold(t float64) Option {
 	return func(s *Service) { s.transferThreshold = t }
 }
 
+// WithSimCache enables the shared simulator evaluation cache (nil —
+// the default — disables it). The trade-off is a change of determinism
+// contract, which is why caching is opt-in:
+//
+//   - Cache off (nil): every execution draws from the session's
+//     sequential random stream, the legacy behavior. Results are
+//     reproducible run-for-run against pre-cache versions of the
+//     service.
+//   - Cache on: every execution draws from a fresh stream whose seed is
+//     derived from the service seed and the execution's content
+//     (workload, input size, cluster, configuration, interference
+//     factors). Sessions remain fully deterministic and replayable —
+//     same seed, same submissions, same results — and re-evaluating a
+//     configuration point anywhere in the service (retries, elites,
+//     other tenants tuning the same workload) returns the bit-identical
+//     cached Result instead of a fresh simulation.
+//
+// Executions still land in the history store on hits: the cache
+// memoizes the simulator, not the bookkeeping.
+func WithSimCache(c *simcache.Cache) Option {
+	return func(s *Service) { s.simCache = c }
+}
+
 // NewService returns a configured service, rejecting unusable option
 // combinations (empty node range, non-positive budgets, missing
 // substrates).
@@ -175,6 +200,9 @@ func (s *Service) sessionSeed(kind string, reg Registration) int64 {
 // Store exposes the multi-tenant execution history.
 func (s *Service) Store() *history.Store { return s.store }
 
+// CacheStats snapshots the evaluation cache (zero Stats when disabled).
+func (s *Service) CacheStats() simcache.Stats { return s.simCache.Stats() }
+
 // SparkSpace exposes the DISC search space in use.
 func (s *Service) SparkSpace() *confspace.Space { return s.sparkSpace }
 
@@ -207,7 +235,18 @@ func (s *Service) execute(ctx context.Context, reg Registration, cluster cloud.C
 	mExecutions.Inc()
 	job := reg.Workload.Job(reg.InputBytes)
 	conf := spark.FromConfig(s.sparkSpace, cfg)
-	res := spark.RunWith(job, conf, cluster, factors, spark.RunOpts{Trace: obs.FromContext(ctx)}, rng)
+	opts := spark.RunOpts{Trace: obs.FromContext(ctx)}
+	var res spark.Result
+	if s.simCache != nil {
+		// Cached mode: the execution's randomness comes from a stream
+		// seeded by its content, not from the shared session stream, so
+		// identical points — across retries, tuners, and tenants — are
+		// identical executions and therefore cache hits. See WithSimCache
+		// for the determinism contract.
+		res = s.simCache.Run(job, conf, cluster, factors, opts, s.executionSeed(reg, cluster, cfg, factors))
+	} else {
+		res = spark.RunWith(job, conf, cluster, factors, opts, rng)
+	}
 	s.store.Append(history.Record{
 		Tenant:     reg.Tenant,
 		Workload:   reg.Workload.Name(),
@@ -221,6 +260,26 @@ func (s *Service) execute(ctx context.Context, reg Registration, cluster cloud.C
 		Metrics:    history.MetricsFromResult(res),
 	})
 	return res, tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+}
+
+// executionSeed derives the content-determined seed of one cached-mode
+// execution: a pure function of the service seed and everything that
+// defines the simulation point.
+func (s *Service) executionSeed(reg Registration, cluster cloud.ClusterSpec, cfg confspace.Config, factors cloud.Factors) int64 {
+	return stat.DeriveSeed(s.seed, "exec",
+		reg.Workload.Name(),
+		strconv.FormatInt(reg.InputBytes, 10),
+		cluster.String(),
+		cfg.Canonical(),
+		factorsKey(factors),
+	)
+}
+
+// factorsKey renders interference factors with exact bit precision.
+func factorsKey(f cloud.Factors) string {
+	return strconv.FormatFloat(f.CPU, 'x', -1, 64) + "," +
+		strconv.FormatFloat(f.Net, 'x', -1, 64) + "," +
+		strconv.FormatFloat(f.Disk, 'x', -1, 64)
 }
 
 // CloudChoice is the outcome of stage 1 (Fig. 1): a concrete cluster.

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/simcache"
+)
+
+// cachedService is testService with the evaluation cache enabled.
+func cachedService(t testing.TB, seed int64, c *simcache.Cache) *Service {
+	t.Helper()
+	svc, err := NewService(
+		WithSeed(seed),
+		WithSparkSpace(smallSpace(t)),
+		WithBudgets(8, 15),
+		WithNodeRange(2, 8),
+		WithSimCache(c),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// Cached-mode sessions must be deterministic and replayable: two
+// services with the same seed produce identical pipelines, whether
+// their caches are cold, warm, or shared.
+func TestSimCacheDeterministicPipelines(t *testing.T) {
+	ctx := context.Background()
+	a, err := cachedService(t, 11, simcache.New(4096)).TunePipeline(ctx, wcReg("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cachedService(t, 11, simcache.New(4096)).TunePipeline(ctx, wcReg("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("cached pipelines with equal seeds diverged")
+	}
+
+	// A shared warm cache must not change the outcome either — hits are
+	// bit-identical to the runs they memoize.
+	shared := simcache.New(4096)
+	warmup, err := cachedService(t, 11, shared).TunePipeline(ctx, wcReg("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := cachedService(t, 11, shared).TunePipeline(ctx, wcReg("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmup, replay) {
+		t.Fatal("warm-cache replay diverged from cold-cache run")
+	}
+	if shared.Stats().Hits == 0 {
+		t.Fatalf("expected cache hits on replay, got %+v", shared.Stats())
+	}
+}
+
+// CacheStats must be nil-safe and reflect traffic when enabled.
+func TestServiceCacheStats(t *testing.T) {
+	plain := testService(t, 1)
+	if st := plain.CacheStats(); st != (simcache.Stats{}) {
+		t.Fatalf("cache-less service reported stats %+v", st)
+	}
+	c := simcache.New(1024)
+	svc := cachedService(t, 3, c)
+	it, err := svc.catalog.Lookup("nimbus/g5.2xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := cloud.ClusterSpec{Instance: it, Count: 4}
+	if _, err := svc.TuneDISC(context.Background(), wcReg("t1"), cluster); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.CacheStats()
+	if st.Misses == 0 {
+		t.Fatalf("expected simulator executions to register as misses, got %+v", st)
+	}
+	// Probe runs repeat the reference configuration under identical
+	// factors (no interference), so a session produces hits on its own.
+	if st.Hits == 0 {
+		t.Fatalf("expected repeated reference runs to hit, got %+v", st)
+	}
+}

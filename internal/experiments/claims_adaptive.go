@@ -483,7 +483,7 @@ func C12TuningUnderInterference(seed int64, budget int) (C12Result, error) {
 		// Reps take independent arithmetic seeds, so they run in parallel;
 		// summing in rep order keeps the average bit-identical.
 		runs := parallelMap(3, func(rep int) float64 {
-			res := spark.Run(w.Job(size), spark.FromConfig(space, cfg), cluster, cloud.Unit(), stat.NewRNG(seed+salt+int64(rep)))
+			res := runSeeded(w.Job(size), spark.FromConfig(space, cfg), cluster, cloud.Unit(), spark.RunOpts{}, seed+salt+int64(rep))
 			if res.Failed {
 				return math.Inf(1)
 			}
@@ -508,7 +508,7 @@ func C12TuningUnderInterference(seed int64, budget int) (C12Result, error) {
 		i := 0
 		obj := func(cfg confspace.Config) tuner.Measurement {
 			i++
-			res := spark.Run(w.Job(size), spark.FromConfig(space, cfg), cluster, env.Next(), stat.NewRNG(seed+int64(li)*1000+int64(i)))
+			res := runSeeded(w.Job(size), spark.FromConfig(space, cfg), cluster, env.Next(), spark.RunOpts{}, seed+int64(li)*1000+int64(i))
 			return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
 		}
 		res, err := tuner.Run(tuner.NewBayesOpt(space), obj, budget, stat.NewRNG(seed+int64(li)*7))

@@ -55,7 +55,7 @@ func C9WhatIfAccuracy(seed int64, nConfigs int) (C9Result, error) {
 		}
 		size := 8 * GB
 		profConf := spark.FromConfig(space, scaledConf(space, cluster))
-		profRun := spark.Run(w.Job(size), profConf, cluster, cloud.Unit(), stat.NewRNG(seed))
+		profRun := runSeeded(w.Job(size), profConf, cluster, cloud.Unit(), spark.RunOpts{}, seed)
 		profile, err := whatif.NewProfile(profConf, cluster, size, profRun)
 		if err != nil {
 			return C9Result{}, fmt.Errorf("%s: %w", name, err)
@@ -67,7 +67,7 @@ func C9WhatIfAccuracy(seed int64, nConfigs int) (C9Result, error) {
 		for i := 0; i < nConfigs; i++ {
 			cfg := sub.Random(rng)
 			conf2 := spark.FromConfig(sub, cfg)
-			actual := spark.Run(w.Job(size), conf2, cluster, cloud.Unit(), stat.NewRNG(seed+int64(10+i)))
+			actual := runSeeded(w.Job(size), conf2, cluster, cloud.Unit(), spark.RunOpts{}, seed+int64(10+i))
 			if actual.Failed {
 				continue
 			}
@@ -177,7 +177,7 @@ func C10ParisVMSelection(seed int64) (C10Result, error) {
 	secPerGB := func(w workload.Workload, it cloud.InstanceType, salt int64) (float64, spark.Result) {
 		spec := cloud.ClusterSpec{Instance: it, Count: nodes}
 		conf := spark.FromConfig(space, scaledConf(space, spec))
-		res := spark.Run(w.Job(size), conf, spec, cloud.Unit(), stat.NewRNG(seed+salt))
+		res := runSeeded(w.Job(size), conf, spec, cloud.Unit(), spark.RunOpts{}, seed+salt)
 		if res.Failed {
 			return math.Inf(1), res
 		}
@@ -358,8 +358,8 @@ func A1TableIAblation(seed int64, nConfigs int) (A1Result, error) {
 			const reps = 3
 			sum := 0.0
 			for rep := 0; rep < reps; rep++ {
-				res := spark.RunWith(w.Job(size), spark.FromConfig(space, configs[ci]), cluster,
-					cloud.Unit(), spark.RunOpts{Ablate: abl.ab}, stat.NewRNG(seed+int64(1000+ci*reps+rep)))
+				res := runSeeded(w.Job(size), spark.FromConfig(space, configs[ci]), cluster,
+					cloud.Unit(), spark.RunOpts{Ablate: abl.ab}, seed+int64(1000+ci*reps+rep))
 				if res.Failed {
 					return math.Inf(1)
 				}

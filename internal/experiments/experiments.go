@@ -13,7 +13,6 @@ import (
 	"seamlesstune/internal/cloud"
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/spark"
-	"seamlesstune/internal/stat"
 	"seamlesstune/internal/workload"
 )
 
@@ -86,7 +85,7 @@ func TableICluster() (cloud.ClusterSpec, error) {
 func runConfig(w workload.Workload, size int64, space *confspace.Space, cfg confspace.Config, cluster cloud.ClusterSpec, seed int64) spark.Result {
 	job := w.Job(size)
 	conf := spark.FromConfig(space, cfg)
-	return spark.Run(job, conf, cluster, cloud.Unit(), stat.NewRNG(seed))
+	return runSeeded(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, seed)
 }
 
 // pct formats a fraction as a percentage string.

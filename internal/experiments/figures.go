@@ -9,7 +9,6 @@ import (
 	"seamlesstune/internal/core"
 	"seamlesstune/internal/slo"
 	"seamlesstune/internal/spark"
-	"seamlesstune/internal/stat"
 	"seamlesstune/internal/workload"
 )
 
@@ -132,7 +131,7 @@ func Fig2Architecture(seed int64) (Fig2Result, error) {
 
 	w := workload.PageRank{Iterations: 4}
 	job := w.Job(4 * GB)
-	res := spark.Run(job, spark.FromConfig(space, cfg), cluster, cloud.Unit(), stat.NewRNG(seed))
+	res := runSeeded(job, spark.FromConfig(space, cfg), cluster, cloud.Unit(), spark.RunOpts{}, seed)
 	if res.Failed {
 		return Fig2Result{}, fmt.Errorf("fig2 trace failed: %s", res.Reason)
 	}

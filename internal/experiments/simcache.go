@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/simcache"
+	"seamlesstune/internal/spark"
+)
+
+// simCache, when installed, memoizes the per-call-seeded simulator
+// executions the experiments perform through runSeeded. It is safe to
+// cache exactly these sites — each draws from a fresh stat.NewRNG(seed)
+// stream, so skipping the execution cannot perturb any other draw — and
+// the cached results are bit-identical to uncached ones, so every table
+// renders identically with the cache on or off. Sites that thread one
+// sequential RNG through many runs (the lifecycle and drift-window
+// experiments) deliberately bypass the cache.
+var simCache *simcache.Cache
+
+// SetSimCache installs (or, with nil, removes) the shared evaluation
+// cache used by the experiment suite. Not safe to call concurrently
+// with running experiments; cmd/experiments sets it once at startup.
+func SetSimCache(c *simcache.Cache) { simCache = c }
+
+// CacheStats snapshots the installed cache (zero Stats when none).
+func CacheStats() simcache.Stats { return simCache.Stats() }
+
+// runSeeded executes one simulation whose randomness is wholly derived
+// from seed, through the evaluation cache when one is installed.
+func runSeeded(job *spark.Job, conf spark.Conf, cluster cloud.ClusterSpec,
+	factors cloud.Factors, opts spark.RunOpts, seed int64) spark.Result {
+	return simCache.Run(job, conf, cluster, factors, opts, seed)
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"seamlesstune/internal/simcache"
 )
 
 // State is a job's lifecycle phase.
@@ -94,6 +96,9 @@ type Engine struct {
 	maxQueued int
 	eventSeq  int64
 	closed    bool
+	// cacheStats, when set, snapshots the shared simulator cache for
+	// Stats (see SetCacheStats).
+	cacheStats func() simcache.Stats
 
 	ctx    context.Context
 	cancel context.CancelFunc

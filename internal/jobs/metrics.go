@@ -1,6 +1,9 @@
 package jobs
 
-import "seamlesstune/internal/obs"
+import (
+	"seamlesstune/internal/obs"
+	"seamlesstune/internal/simcache"
+)
 
 // Job-engine metrics. Queue depth and worker occupancy are gauges
 // reflecting the live engine; submission/finish counters and the
@@ -37,16 +40,36 @@ type Stats struct {
 	Running int `json:"running"`
 	// Jobs counts every submission the engine has accepted.
 	Jobs int `json:"jobs"`
+	// Cache reports the shared simulator evaluation cache, when one is
+	// wired via SetCacheStats (nil otherwise).
+	Cache *simcache.Stats `json:"cache,omitempty"`
+}
+
+// SetCacheStats wires a simulator-cache snapshot source into Stats, so
+// readiness surfaces (tuneserve's /healthz) report hit rates alongside
+// queue occupancy. Pass nil to detach.
+func (e *Engine) SetCacheStats(fn func() simcache.Stats) {
+	e.mu.Lock()
+	e.cacheStats = fn
+	e.mu.Unlock()
 }
 
 // Stats returns a consistent snapshot of the engine's occupancy.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return Stats{
+	fn := e.cacheStats
+	st := Stats{
 		Workers: e.workers,
 		Queued:  e.queued - e.running,
 		Running: e.running,
 		Jobs:    len(e.order),
 	}
+	e.mu.Unlock()
+	// Snapshot the cache outside the engine lock: the cache has its own
+	// shard locks and no dependency back into the engine.
+	if fn != nil {
+		cs := fn()
+		st.Cache = &cs
+	}
+	return st
 }

@@ -1,0 +1,220 @@
+// Package simcache memoizes simulator executions. A tuning service
+// re-evaluates the same configuration point constantly — random search
+// revisits defaults, genetic populations carry elites forward, multiple
+// tenants tune the same workload, experiment replicates sweep identical
+// grids — and CherryPick's premise (PAPERS.md) is that runs are too
+// expensive to repeat. The cache makes the second evaluation of any
+// (job, configuration, cluster, interference, options, seed) point a
+// map lookup.
+//
+// Correctness rests on the simulator's determinism contract: RunWith is
+// a pure function of its inputs and the RNG stream, so a run started
+// from a fresh seeded RNG is fully determined by the key. The cache
+// therefore only applies where each execution owns a per-call seed
+// (stat.NewRNG(seed) call sites); callers that thread one sequential
+// RNG through many runs must not consult it, because skipping a run
+// would perturb the stream of the runs that follow. Cached and uncached
+// results are bit-identical — enforced by property tests here and in
+// internal/spark.
+package simcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/obs"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+)
+
+// shardCount is the fixed number of independently locked shards. 16
+// keeps contention negligible for the worker-pool sizes EvaluateBatch
+// uses while keeping per-shard LRU lists long enough to be useful.
+const shardCount = 16
+
+// DefaultCapacity is the entry bound used when callers pass a
+// non-positive capacity to New.
+const DefaultCapacity = 65536
+
+// key identifies one deterministic simulator execution. Every field is
+// comparable; spark.Conf, cloud.ClusterSpec, cloud.Factors and
+// spark.Ablate are flat value structs. The trace handle in RunOpts is
+// deliberately excluded: tracing observes an execution, it does not
+// change one.
+type key struct {
+	jobFP   uint64
+	conf    spark.Conf
+	cluster cloud.ClusterSpec
+	factors cloud.Factors
+	mtbf    float64
+	ablate  spark.Ablate
+	seed    int64
+}
+
+// entry is one resident result.
+type entry struct {
+	k   key
+	res spark.Result
+}
+
+// shard is an LRU-bounded segment of the cache.
+type shard struct {
+	mu    sync.Mutex
+	items map[key]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+}
+
+// Cache is a sharded, LRU-bounded memoization cache over simulator
+// executions. A nil *Cache is valid and disables memoization: every
+// method is nil-safe, so callers wire one optionally without branching.
+type Cache struct {
+	shards [shardCount]shard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// HitRate returns hits / (hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Process-wide counters (all caches aggregate into one family, matching
+// how /metrics consumers alert on hit rate).
+var (
+	mHits      = obs.Default().Counter("simcache_hits_total", "Simulator cache hits.")
+	mMisses    = obs.Default().Counter("simcache_misses_total", "Simulator cache misses (simulator executed).")
+	mEvictions = obs.Default().Counter("simcache_evictions_total", "Simulator cache LRU evictions.")
+)
+
+// New returns a cache bounded to capacity entries (DefaultCapacity when
+// capacity <= 0), spread across the shards.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	perShard := capacity / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			items: make(map[key]*list.Element),
+			order: list.New(),
+			cap:   perShard,
+		}
+	}
+	return c
+}
+
+// Run executes (or recalls) one simulation of job under conf, drawing
+// all randomness from a fresh stream seeded with seed. On a miss it
+// runs spark.RunWith with stat.NewRNG(seed) and stores the Result; on a
+// hit it returns a copy whose Stages slice is detached, so callers may
+// mutate results freely. A nil cache always runs — bit-identical either
+// way, which is the whole contract.
+func (c *Cache) Run(job *spark.Job, conf spark.Conf, cluster cloud.ClusterSpec,
+	factors cloud.Factors, opts spark.RunOpts, seed int64) spark.Result {
+	if c == nil {
+		return spark.RunWith(job, conf, cluster, factors, opts, stat.NewRNG(seed))
+	}
+	k := key{
+		jobFP:   job.Fingerprint(),
+		conf:    conf,
+		cluster: cluster,
+		factors: factors,
+		mtbf:    opts.ExecutorMTBFHours,
+		ablate:  opts.Ablate,
+		seed:    seed,
+	}
+	sh := &c.shards[shardOf(k)]
+	sh.mu.Lock()
+	if el, ok := sh.items[k]; ok {
+		sh.order.MoveToFront(el)
+		res := el.Value.(*entry).res
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		mHits.Inc()
+		return copyResult(res)
+	}
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	mMisses.Inc()
+	res := spark.RunWith(job, conf, cluster, factors, opts, stat.NewRNG(seed))
+
+	sh.mu.Lock()
+	if _, ok := sh.items[k]; !ok { // a racing miss may have stored it already
+		sh.items[k] = sh.order.PushFront(&entry{k: k, res: copyResult(res)})
+		if sh.order.Len() > sh.cap {
+			oldest := sh.order.Back()
+			sh.order.Remove(oldest)
+			delete(sh.items, oldest.Value.(*entry).k)
+			c.evictions.Add(1)
+			mEvictions.Inc()
+		}
+	}
+	sh.mu.Unlock()
+	return res
+}
+
+// Stats snapshots the cache counters and occupancy. Nil-safe: a nil
+// cache reports all zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += sh.order.Len()
+		st.Capacity += sh.cap
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// shardOf mixes the key's high-entropy fields into a shard index.
+func shardOf(k key) int {
+	h := k.jobFP
+	h ^= uint64(k.seed) * 0x9e3779b97f4a7c15
+	h ^= uint64(k.conf.ExecutorMemoryMB)<<32 | uint64(uint32(k.conf.ShufflePartitions))
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return int(h % shardCount)
+}
+
+// copyResult detaches the Stages slice so cached entries are immune to
+// caller mutation (and vice versa).
+func copyResult(r spark.Result) spark.Result {
+	if len(r.Stages) > 0 {
+		stages := make([]spark.StageMetrics, len(r.Stages))
+		copy(stages, r.Stages)
+		r.Stages = stages
+	}
+	return r
+}

@@ -1,0 +1,179 @@
+package simcache
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/workload"
+)
+
+func testCluster(t *testing.T) cloud.ClusterSpec {
+	t.Helper()
+	it, err := cloud.DefaultCatalog().Lookup("nimbus/g5.2xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cloud.ClusterSpec{Instance: it, Count: 4}
+}
+
+// Property: cached, uncached-through-cache (miss), and direct RunWith
+// results are bit-identical across randomized workloads, configurations
+// and seeds — the cache's whole correctness contract.
+func TestCachedMatchesUncachedProperty(t *testing.T) {
+	space := confspace.SparkSpace()
+	cluster := testCluster(t)
+	workloads := workload.All()
+	cache := New(1024)
+	for seed := int64(0); seed < 120; seed++ {
+		rng := stat.NewRNG(seed)
+		cfg := space.Random(rng)
+		conf := spark.FromConfig(space, cfg)
+		w := workloads[rng.Intn(len(workloads))]
+		job := w.Job(2 << 30)
+		opts := spark.RunOpts{}
+		if seed%3 == 1 {
+			opts.ExecutorMTBFHours = 2
+		}
+		if seed%3 == 2 {
+			opts.Ablate = spark.Ablate{NoNoise: true}
+		}
+
+		direct := spark.RunWith(job, conf, cluster, cloud.Unit(), opts, stat.NewRNG(seed))
+		miss := cache.Run(job, conf, cluster, cloud.Unit(), opts, seed)
+		// A rebuilt job with equal content must hit (fingerprint keying).
+		hit := cache.Run(w.Job(2<<30), conf, cluster, cloud.Unit(), opts, seed)
+		var nilCache *Cache
+		nilRes := nilCache.Run(job, conf, cluster, cloud.Unit(), opts, seed)
+
+		for name, got := range map[string]spark.Result{"miss": miss, "hit": hit, "nil": nilRes} {
+			if !reflect.DeepEqual(got, direct) {
+				t.Fatalf("seed %d: %s path diverged from direct RunWith\n got: %+v\nwant: %+v", seed, name, got, direct)
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", st)
+	}
+}
+
+// Distinct seeds, options and confs must never collide.
+func TestKeyDiscriminates(t *testing.T) {
+	cluster := testCluster(t)
+	job := workload.Wordcount{}.Job(1 << 30)
+	conf := spark.DefaultConf()
+	cache := New(64)
+
+	a := cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, 1)
+	b := cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, 2)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds returned identical results (likely a key collision)")
+	}
+	if got := cache.Stats().Misses; got != 2 {
+		t.Fatalf("expected 2 misses, got %d", got)
+	}
+	cache.Run(job, conf, cluster, cloud.Factors{CPU: 2, Net: 1, Disk: 1}, spark.RunOpts{}, 1)
+	cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{ExecutorMTBFHours: 1}, 1)
+	conf2 := conf
+	conf2.ExecutorMemoryMB *= 2
+	cache.Run(job, conf2, cluster, cloud.Unit(), spark.RunOpts{}, 1)
+	if got := cache.Stats().Misses; got != 5 {
+		t.Fatalf("expected 5 misses after varying factors/opts/conf, got %d", got)
+	}
+}
+
+// Hits must hand back detached Stages: mutating a returned result must
+// not corrupt the cached copy.
+func TestHitReturnsDetachedCopy(t *testing.T) {
+	cluster := testCluster(t)
+	job := workload.Wordcount{}.Job(1 << 30)
+	conf := spark.DefaultConf()
+	cache := New(64)
+
+	first := cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, 9)
+	second := cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, 9)
+	if len(second.Stages) == 0 {
+		t.Fatal("expected stage metrics")
+	}
+	second.Stages[0].DurationS = -1
+	third := cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, 9)
+	if third.Stages[0].DurationS == -1 {
+		t.Fatal("mutation of a returned result leaked into the cache")
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Fatal("cached result drifted")
+	}
+}
+
+// The LRU bound must hold and evictions must be counted.
+func TestLRUEviction(t *testing.T) {
+	cluster := testCluster(t)
+	job := workload.Wordcount{}.Job(1 << 30)
+	conf := spark.DefaultConf()
+	cache := New(shardCount) // one entry per shard
+	for seed := int64(0); seed < 200; seed++ {
+		cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, seed)
+	}
+	st := cache.Stats()
+	if st.Entries > st.Capacity {
+		t.Fatalf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	if st.Misses != 200 {
+		t.Fatalf("expected 200 misses, got %d", st.Misses)
+	}
+}
+
+// Concurrent mixed hit/miss traffic must be race-free and bit-identical
+// to the single-threaded answer (run under -race in CI).
+func TestConcurrentAccess(t *testing.T) {
+	cluster := testCluster(t)
+	job := workload.Wordcount{}.Job(1 << 30)
+	conf := spark.DefaultConf()
+	cache := New(256)
+
+	want := make([]spark.Result, 16)
+	for s := range want {
+		want[s] = spark.RunWith(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, stat.NewRNG(int64(s)))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				seed := int64((g + i) % 16)
+				got := cache.Run(job, conf, cluster, cloud.Unit(), spark.RunOpts{}, seed)
+				if !reflect.DeepEqual(got, want[seed]) {
+					errs <- "concurrent result diverged"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("expected hits under concurrent reuse, got %+v", st)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if got := (Stats{}).HitRate(); got != 0 {
+		t.Fatalf("empty hit rate = %v", got)
+	}
+	if got := (Stats{Hits: 3, Misses: 1}).HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}

@@ -1,0 +1,238 @@
+package spark
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/stat"
+)
+
+// randomEquivJob builds a random but Validate-clean job: IDs equal
+// positions, deps point backwards, cache reads reference cached stages.
+func randomEquivJob(rng *rand.Rand) *Job {
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	nStages := 1 + rng.Intn(6)
+	job := &Job{
+		Name:         names[rng.Intn(len(names))],
+		Workload:     "equiv",
+		DriverNeedMB: 64 + float64(rng.Intn(512)),
+	}
+	cachedIDs := []int{}
+	for i := 0; i < nStages; i++ {
+		st := Stage{
+			ID:                i,
+			Name:              "s",
+			Partitions:        PartitionSource(rng.Intn(3)),
+			Records:           int64(1+rng.Intn(2000)) * 10000,
+			ComputePerRecord:  float64(1+rng.Intn(8)) * 1e-6,
+			MemPerRecordBytes: float64(10 + rng.Intn(400)),
+			MaxRecordMB:       float64(1 + rng.Intn(4)),
+			ReadsCachedFrom:   -1,
+		}
+		if i == 0 || rng.Intn(2) == 0 {
+			st.InputBytes = int64(1+rng.Intn(4096)) << 20
+			job.InputBytes += st.InputBytes
+		}
+		// Deps: previous stage plus occasionally one extra earlier stage.
+		if i > 0 {
+			st.Deps = append(st.Deps, i-1)
+			if i > 1 && rng.Intn(3) == 0 {
+				st.Deps = append(st.Deps, rng.Intn(i-1))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			st.ShuffleWriteBytes = int64(1+rng.Intn(2048)) << 20
+		}
+		if rng.Intn(3) == 0 {
+			st.SkewAlpha = 1.1 + rng.Float64()*2
+		}
+		if rng.Intn(4) == 0 {
+			st.BroadcastMB = float64(1 + rng.Intn(256))
+		}
+		if rng.Intn(5) == 0 {
+			st.CollectMB = float64(1 + rng.Intn(64))
+		}
+		if rng.Intn(6) == 0 {
+			st.HardMemMB = float64(64 + rng.Intn(8192))
+		}
+		if rng.Intn(3) == 0 {
+			st.CacheOutput = true
+			st.CacheBytes = int64(1+rng.Intn(1024)) << 20
+			cachedIDs = append(cachedIDs, i)
+		}
+		if len(cachedIDs) > 0 && rng.Intn(3) == 0 {
+			from := cachedIDs[rng.Intn(len(cachedIDs))]
+			if from < i {
+				st.ReadsCachedFrom = from
+				st.RecomputePerRecord = float64(1+rng.Intn(5)) * 1e-6
+			}
+		}
+		job.Stages = append(job.Stages, st)
+	}
+	return job
+}
+
+// equivOpts is the set of RunOpts variants the equivalence property
+// cycles through: plain, executor churn, and each ablation.
+var equivOpts = []RunOpts{
+	{},
+	{ExecutorMTBFHours: 1.5},
+	{Ablate: Ablate{NoSkew: true}},
+	{Ablate: Ablate{NoGC: true, NoSpill: true}},
+	{Ablate: Ablate{NoCacheLimit: true, NoNoise: true}},
+	{ExecutorMTBFHours: 0.5, Ablate: Ablate{NoSkew: true, NoNoise: true}},
+}
+
+// TestPooledMatchesNaiveProperty is the tentpole's correctness contract:
+// the pooled fast path must be bit-identical to the retained naive
+// simulator across randomized jobs, configurations, clusters, seeds and
+// run options. reflect.DeepEqual over the full Result (every stage
+// metric, every float) — not approximate comparison.
+func TestPooledMatchesNaiveProperty(t *testing.T) {
+	space := confspace.SparkSpace()
+	g5, err := cloud.DefaultCatalog().Lookup("nimbus/g5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := cloud.DefaultCatalog().Lookup("nimbus/h1.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := []cloud.ClusterSpec{
+		{Instance: g5, Count: 4},
+		{Instance: h1, Count: 4},
+		{Instance: g5, Count: 10},
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		rng := stat.NewRNG(seed)
+		job := randomEquivJob(rng)
+		conf := FromConfig(space, space.Random(rng))
+		cluster := clusters[rng.Intn(len(clusters))]
+		factors := cloud.Factors{CPU: 1 + rng.Float64(), Net: 1 + rng.Float64(), Disk: 1 + rng.Float64()}
+		opts := equivOpts[int(seed)%len(equivOpts)]
+
+		got := runWith(job, conf, cluster, factors, opts, stat.NewRNG(seed))
+		want := runWithNaive(job, conf, cluster, factors, opts, stat.NewRNG(seed))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: pooled and naive results differ\npooled: %+v\nnaive:  %+v", seed, got, want)
+		}
+		// Re-run the pooled path: a reused scratch must not leak state
+		// between runs.
+		again := runWith(job, conf, cluster, factors, opts, stat.NewRNG(seed))
+		if !reflect.DeepEqual(again, want) {
+			t.Fatalf("seed %d: pooled result changed on reuse\nfirst: %+v\nagain: %+v", seed, want, again)
+		}
+	}
+}
+
+// TestPooledMatchesNaiveFailurePaths pins the early-return gates
+// (validation, allocation, Kryo, driver OOM, off-heap) to the naive
+// semantics, including the synthetic runtimes they report.
+func TestPooledMatchesNaiveFailurePaths(t *testing.T) {
+	cluster := testCluster(t)
+	cases := []struct {
+		name string
+		job  *Job
+		conf Conf
+	}{
+		{"invalid job", &Job{Name: "bad", Stages: []Stage{{ID: 1}}}, reasonable()},
+		{"empty job", &Job{Name: "empty"}, reasonable()},
+		{"kryo overflow", func() *Job { j := scanJob(1024); j.Stages[0].MaxRecordMB = 1 << 16; return j }(), func() Conf {
+			c := reasonable()
+			c.Serializer = KryoSerializer
+			c.KryoBufferMaxMB = 64
+			return c
+		}()},
+		{"driver oom", func() *Job { j := scanJob(256); j.DriverNeedMB = 1 << 20; return j }(), reasonable()},
+		{"tiny offheap", scanJob(256), func() Conf {
+			c := reasonable()
+			c.OffHeapEnabled = true
+			c.OffHeapSizeMB = 16
+			return c
+		}()},
+		{"no slots", scanJob(256), func() Conf {
+			c := reasonable()
+			c.TaskCPUs = c.ExecutorCores + 1
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		got := runWith(tc.job, tc.conf, cluster, cloud.Unit(), RunOpts{}, stat.NewRNG(7))
+		want := runWithNaive(tc.job, tc.conf, cluster, cloud.Unit(), RunOpts{}, stat.NewRNG(7))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: pooled %+v, naive %+v", tc.name, got, want)
+		}
+	}
+}
+
+// TestPlanHoistsAreDeterministic is the satellite determinism test for
+// the hoisted skewMultipliers/numTasks: the plan's computed-once values
+// must equal the naive per-run recomputation, and two fresh *Job values
+// with equal content must share one plan (fingerprint keying).
+func TestPlanHoistsAreDeterministic(t *testing.T) {
+	rng := stat.NewRNG(42)
+	for trial := 0; trial < 50; trial++ {
+		seed := rng.Int63()
+		job := randomEquivJob(stat.NewRNG(seed))
+		clone := randomEquivJob(stat.NewRNG(seed))
+		if planOf(job) != planOf(clone) {
+			t.Fatalf("trial %d: equal-content jobs did not share a plan", trial)
+		}
+		plan := planOf(job)
+		conf := reasonable()
+		naive := naiveState{job: job, conf: conf}
+		for i := range job.Stages {
+			st := &job.Stages[i]
+			n := plan.taskCount(st, &conf)
+			if got := naive.numTasks(st); got != n {
+				t.Fatalf("trial %d stage %d: taskCount %d, naive numTasks %d", trial, i, n, got)
+			}
+			w := plan.skewWeights(job, st, n)
+			wantW := naive.skewMultipliers(st, n)
+			if w == nil {
+				for _, x := range wantW {
+					if x != 1 {
+						t.Fatalf("trial %d stage %d: plan says uniform, naive weight %v", trial, i, x)
+					}
+				}
+				continue
+			}
+			if !reflect.DeepEqual(w, wantW) {
+				t.Fatalf("trial %d stage %d: skew weights differ", trial, i)
+			}
+			// Cached weights must be identical (not just equal) on re-ask.
+			if again := plan.skewWeights(job, st, n); &again[0] != &w[0] {
+				t.Fatalf("trial %d stage %d: skew weights recomputed instead of cached", trial, i)
+			}
+		}
+	}
+}
+
+// TestFingerprintSensitivity: any field change moves the fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := shuffleJob(512, 128)
+	fp := base.Fingerprint()
+	mutations := []func(*Job){
+		func(j *Job) { j.Name = "agg2" },
+		func(j *Job) { j.InputBytes++ },
+		func(j *Job) { j.DriverNeedMB++ },
+		func(j *Job) { j.Stages[0].Records++ },
+		func(j *Job) { j.Stages[0].SkewAlpha = 1.5 },
+		func(j *Job) { j.Stages[1].Deps = nil },
+		func(j *Job) { j.Stages[1].CacheOutput = true },
+		func(j *Job) { j.Stages = j.Stages[:1] },
+	}
+	for i, mut := range mutations {
+		j := shuffleJob(512, 128)
+		mut(j)
+		if j.Fingerprint() == fp {
+			t.Errorf("mutation %d did not change the fingerprint", i)
+		}
+	}
+	if shuffleJob(512, 128).Fingerprint() != fp {
+		t.Error("fingerprint not stable across rebuilds")
+	}
+}

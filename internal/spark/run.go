@@ -1,8 +1,6 @@
 package spark
 
 import (
-	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
@@ -83,9 +81,14 @@ func RunWith(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Facto
 	return res
 }
 
-// runWith is the uninstrumented simulation.
+// runWith is the uninstrumented simulation. It is the pooled fast path:
+// per-job invariants come from the shared jobPlan, and every per-run
+// buffer comes from a pooled runScratch, so a steady-state run allocates
+// only the Result it returns. It is bit-identical to the retained naive
+// path (naive.go), enforced by the equivalence tests in equiv_test.go.
 func runWith(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Factors, opts RunOpts, rng *rand.Rand) Result {
-	if err := job.Validate(); err != nil {
+	plan := planOf(job)
+	if plan.err != nil {
 		return Result{Failed: true, Reason: ReasonBadJob}
 	}
 	if err := cluster.Validate(); err != nil {
@@ -102,21 +105,13 @@ func runWith(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Facto
 	}
 
 	// Kryo buffer must fit the largest record of any stage.
-	if conf.Serializer == KryoSerializer {
-		for _, s := range job.Stages {
-			if s.MaxRecordMB > float64(conf.KryoBufferMaxMB) {
-				t := 20.0
-				return Result{Failed: true, Reason: ReasonKryoOverflow, RuntimeS: t, CostUSD: cluster.CostOf(t)}
-			}
-		}
+	if conf.Serializer == KryoSerializer && plan.maxRecordMB > float64(conf.KryoBufferMaxMB) {
+		t := 20.0
+		return Result{Failed: true, Reason: ReasonKryoOverflow, RuntimeS: t, CostUSD: cluster.CostOf(t)}
 	}
 
 	// Driver heap must hold bookkeeping, collected results and broadcasts.
-	driverNeed := job.DriverNeedMB
-	for _, s := range job.Stages {
-		driverNeed += s.BroadcastMB
-	}
-	if driverNeed > float64(conf.DriverMemoryMB) {
+	if plan.driverNeed > float64(conf.DriverMemoryMB) {
 		t := 10.0
 		return Result{Failed: true, Reason: ReasonDriverOOM, RuntimeS: t, CostUSD: cluster.CostOf(t)}
 	}
@@ -133,12 +128,19 @@ func runWith(job *Job, conf Conf, cluster cloud.ClusterSpec, factors cloud.Facto
 		0.02*float64(conf.ExecutorMemoryMB)
 	containerPressure := stat.Clamp((needOverheadMB-conf.OverheadMB())/needOverheadMB, 0, 0.6)
 
-	sim := &runState{
-		job: job, conf: conf, cluster: cluster, factors: factors, rng: rng,
-		opts: opts, alloc: alloc, containerPressure: containerPressure,
-		cached: make(map[int]cacheEntry), trace: opts.Trace,
-	}
-	return sim.run()
+	sc := scratchPool.Get().(*runScratch)
+	sc.reset(len(job.Stages))
+	sim := &sc.state
+	sim.job, sim.conf, sim.cluster, sim.factors = job, conf, cluster, factors
+	sim.rng, sim.opts, sim.alloc = rng, opts, alloc
+	sim.containerPressure = containerPressure
+	sim.cached = sc.cached
+	sim.trace = opts.Trace
+	sim.plan = plan
+	res := sim.run()
+	sim.job, sim.rng, sim.plan = nil, nil, nil // no stale references while pooled
+	scratchPool.Put(sc)
+	return res
 }
 
 // EstimateAllocation reports how many executors and task slots a
@@ -206,9 +208,14 @@ type runState struct {
 	alloc   allocation
 
 	containerPressure float64
-	cached            map[int]cacheEntry
-	storageUsedMB     float64
-	trace             obs.Trace
+	// cached is indexed by stage ID (a zero entry means "not admitted";
+	// its zero frac reads exactly like the old map's missing key).
+	cached        []cacheEntry
+	storageUsedMB float64
+	trace         obs.Trace
+
+	scratch *runScratch
+	plan    *jobPlan
 
 	res Result
 }
@@ -263,9 +270,12 @@ type stageWork struct {
 }
 
 func (s *runState) run() Result {
-	conf, alloc := s.conf, s.alloc
+	conf, alloc, sc := s.conf, s.alloc, s.scratch
 	s.res.Executors = alloc.executors
 	s.res.SlotsTotal = alloc.slotsTotal
+	// Stages escapes with the Result, so it is the one per-run allocation
+	// the fast path keeps (sized exactly once here).
+	s.res.Stages = make([]StageMetrics, 0, len(s.job.Stages))
 
 	// Application submit and executor launch (staggered container starts).
 	clock := 2.0 + 0.08*float64(alloc.executors)
@@ -277,19 +287,18 @@ func (s *runState) run() Result {
 
 	// The DAG scheduler submits every stage whose parents have finished;
 	// independent stages share the executor slots within a wave (Fig. 2's
-	// driver behaviour).
-	done := make(map[int]bool, len(s.job.Stages))
-	metricAt := make(map[int]int, len(s.job.Stages))
-	for len(done) < len(s.job.Stages) && !s.res.Failed {
-		var wave []stageWork
+	// driver behaviour). done/metricAt index by stage ID (== position).
+	doneCount := 0
+	for doneCount < len(s.job.Stages) && !s.res.Failed {
+		wave := sc.wave[:0]
 		for i := range s.job.Stages {
 			stage := &s.job.Stages[i]
-			if done[stage.ID] {
+			if sc.done[stage.ID] {
 				continue
 			}
 			ready := true
 			for _, d := range stage.Deps {
-				if !done[d] {
+				if !sc.done[d] {
 					ready = false
 					break
 				}
@@ -310,6 +319,7 @@ func (s *runState) run() Result {
 				wave = append(wave, w)
 			}
 		}
+		sc.wave = wave[:0] // keep grown capacity for the next iteration
 		if len(wave) == 0 {
 			// Unreachable for validated jobs; guard against live-lock.
 			s.res.Failed = true
@@ -317,24 +327,29 @@ func (s *runState) run() Result {
 			break
 		}
 
-		combined := combineWave(wave, conf.SchedulerFair)
-		waveMakespan := listSchedule(combined, alloc.slotsTotal) * pressureMult
+		combined := combineWaveInto(sc.combined, wave, conf.SchedulerFair)
+		if len(wave) > 1 {
+			sc.combined = combined
+		}
+		waveMakespan := listScheduleInto(combined, alloc.slotsTotal, &sc.slots) * pressureMult
 		overheads := 0.0
 		failReason := ""
 		for _, w := range wave {
 			overheads += w.overhead
-			own := listSchedule(w.durations, alloc.slotsTotal) * pressureMult
+			own := listScheduleInto(w.durations, alloc.slotsTotal, &sc.slots) * pressureMult
 			w.sm.DurationS = own + w.overhead
 			if w.failReason != "" && failReason == "" {
 				failReason = w.failReason
 			}
-			metricAt[w.stage.ID] = len(s.res.Stages)
+			sc.metricAt[w.stage.ID] = int32(len(s.res.Stages))
 			s.res.Stages = append(s.res.Stages, w.sm)
+			sc.shuffleW[w.stage.ID] = w.sm.ShuffleWrite
 			s.res.TotalSpillBytes += w.sm.SpillBytes
 			s.res.TotalShuffleRead += w.sm.ShuffleRead
 			s.res.TotalShuffleWrite += w.sm.ShuffleWrite
 			s.res.TotalGCSeconds += w.sm.GCSeconds
-			done[w.stage.ID] = true
+			sc.done[w.stage.ID] = true
+			doneCount++
 		}
 		clock += waveMakespan + overheads
 		if failReason != "" {
@@ -351,7 +366,7 @@ func (s *runState) run() Result {
 		// Executor churn: with an MTBF configured, a lost executor
 		// re-runs its share of the wave, loses its cached partitions,
 		// and (without the external shuffle service) forces upstream
-		// shuffle files to be recomputed.
+		// shuffle files to be regenerated.
 		if s.opts.ExecutorMTBFHours > 0 && waveMakespan > 0 {
 			lossP := 1 - math.Exp(-float64(alloc.executors)*waveMakespan/3600/s.opts.ExecutorMTBFHours)
 			if s.rng.Float64() < lossP {
@@ -362,13 +377,12 @@ func (s *runState) run() Result {
 					penalty += waveMakespan * share // regenerate shuffle files
 				}
 				clock += penalty
-				for id, e := range s.cached {
-					e.frac *= 1 - share
-					s.cached[id] = e
+				for id := range s.cached {
+					s.cached[id].frac *= 1 - share
 				}
 				// Attribute the penalty to the last stage of the wave.
 				if len(wave) > 0 {
-					idx := metricAt[wave[len(wave)-1].stage.ID]
+					idx := sc.metricAt[wave[len(wave)-1].stage.ID]
 					s.res.Stages[idx].DurationS += penalty
 				}
 			}
@@ -425,53 +439,14 @@ func (s *runState) admitCache(stage *Stage) {
 	s.storageUsedMB += sizeMB * frac
 }
 
-// numTasks resolves a stage's task count from its partition source.
-func (s *runState) numTasks(stage *Stage) int {
-	switch stage.Partitions {
-	case FromInputSplits:
-		splits := int(math.Ceil(float64(stage.InputBytes) / (float64(s.conf.MaxPartitionBytesMB) * mb)))
-		return maxInt(splits, 1)
-	case FromShufflePartitions:
-		return maxInt(s.conf.ShufflePartitions, 1)
-	default:
-		return maxInt(s.conf.DefaultParallelism, 1)
-	}
-}
-
-// skewMultipliers returns per-task relative partition weights with mean 1.
-// The weights are a deterministic function of the dataset and the
-// partitioning (job name, stage, task count): re-running the same job
-// sees the same skewed partitions, as real datasets do — only straggler
-// noise varies run to run.
-func (s *runState) skewMultipliers(stage *Stage, n int) []float64 {
-	w := make([]float64, n)
-	if stage.SkewAlpha <= 0 || s.opts.Ablate.NoSkew {
-		for i := range w {
-			w[i] = 1
-		}
-		return w
-	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d/%d", s.job.Name, stage.ID, n)
-	skewRNG := stat.NewRNG(int64(h.Sum64()))
-	sum := 0.0
-	for i := range w {
-		w[i] = stat.Pareto(skewRNG, 1, stage.SkewAlpha)
-		sum += w[i]
-	}
-	scale := float64(n) / sum
-	for i := range w {
-		w[i] *= scale
-	}
-	return w
-}
-
 // prepareStage computes a stage's per-task durations and driver-side
 // overheads. The caller schedules the tasks (possibly merged with other
-// ready stages) onto the executor slots.
+// ready stages) onto the executor slots. Task counts and skew weights
+// come from the shared jobPlan; the durations buffer comes from the
+// pooled scratch (per stage ID, so it stays valid for the whole wave).
 func (s *runState) prepareStage(stage *Stage) stageWork {
 	conf, alloc, inst := s.conf, s.alloc, s.cluster.Instance
-	n := s.numTasks(stage)
+	n := s.plan.taskCount(stage, &s.conf)
 	sm := StageMetrics{ID: stage.ID, Name: stage.Name, Tasks: n, InputBytes: stage.InputBytes}
 
 	// Per-node resource rates under interference, shared by the tasks
@@ -520,21 +495,19 @@ func (s *runState) prepareStage(stage *Stage) stageWork {
 	}
 
 	// Shuffle input for this stage: compressed bytes written by parents.
+	// shuffleW is indexed by stage ID and summed in dep order — the same
+	// float-summation order as the naive O(S²) scan over res.Stages.
 	var fetchTotalMB float64
 	for _, d := range stage.Deps {
-		for _, m := range s.res.Stages {
-			if m.ID == d {
-				fetchTotalMB += float64(m.ShuffleWrite) / mb
-			}
-		}
+		fetchTotalMB += float64(s.scratch.shuffleW[d]) / mb
 	}
 
 	// Map-side input and locality.
-	inputPerTaskMB := float64(stage.InputBytes) / mb / float64(n)
+	inputPerTaskMB := s.plan.stages[stage.ID].inputBytesF / mb / float64(n)
 	pNonLocal := math.Max(0, 1-float64(alloc.nodesUsed)/float64(s.cluster.Count))
 
 	// Shuffle write volumes per task.
-	writePerTaskMB := float64(stage.ShuffleWriteBytes) / mb / float64(n) * serSize
+	writePerTaskMB := s.plan.stages[stage.ID].shuffleWriteF / mb / float64(n) * serSize
 	writeDiskMB := writePerTaskMB
 	writeCPU := writePerTaskMB * serCPU / coreSpeed
 	if conf.ShuffleCompress && writePerTaskMB > 0 {
@@ -555,32 +528,38 @@ func (s *runState) prepareStage(stage *Stage) stageWork {
 	fileFactor := fileBufferFactor(conf.ShuffleFileBufferKB)
 	inFlight := inFlightFactor(conf.ReducerMaxInFlightMB, conf.ShuffleConnsPerPeer)
 
-	// Cached-input parameters.
+	// Cached-input parameters. A zero cached[] entry has frac 0, which
+	// reads exactly like the old map's missing key.
 	var cacheFrac float64
 	var cachedCompressed bool
-	if stage.ReadsCachedFrom >= 0 {
-		e, ok := s.cached[stage.ReadsCachedFrom]
-		if ok {
-			cacheFrac = e.frac
-		}
+	if stage.ReadsCachedFrom >= 0 && stage.ReadsCachedFrom < len(s.cached) {
+		cacheFrac = s.cached[stage.ReadsCachedFrom].frac
 		cachedCompressed = s.conf.RDDCompress
 		sm.CacheHitFrac = cacheFrac
 	}
 
-	recordsPerTask := float64(stage.Records) / float64(n)
+	recordsPerTask := s.plan.stages[stage.ID].recordsF / float64(n)
 	workingMBBase := recordsPerTask * stage.MemPerRecordBytes / mb
 	gcFrac := gcFraction(s.heapUtil(math.Min(workingMBBase, execMemPerTask)), float64(conf.ExecutorMemoryMB), alloc.slotsPer, conf.GCThreads)
 	if s.opts.Ablate.NoGC {
 		gcFrac = 0
 	}
 
-	skew := s.skewMultipliers(stage, n)
-	durations := make([]float64, n)
+	// nil skew means uniform: every weight is exactly 1, and multiplying
+	// by the constant 1.0 is bit-identical to the naive all-ones slice.
+	var skew []float64
+	if !s.opts.Ablate.NoSkew {
+		skew = s.plan.skewWeights(s.job, stage, n)
+	}
+	durations := s.scratch.durationsFor(stage.ID, n)
 	var spillBytes int64
 	var gcSeconds float64
 
 	for i := 0; i < n; i++ {
-		w := skew[i]
+		w := 1.0
+		if skew != nil {
+			w = skew[i]
+		}
 		records := recordsPerTask * w
 		dur := 0.0
 
@@ -663,7 +642,8 @@ func (s *runState) prepareStage(stage *Stage) stageWork {
 	// Speculative execution caps the straggler tail: clones of slow tasks
 	// launch once the configured quantile of tasks has finished.
 	if conf.Speculation && n >= 4 {
-		sorted := append([]float64(nil), durations...)
+		sorted := append(s.scratch.sorted[:0], durations...)
+		s.scratch.sorted = sorted
 		sort.Float64s(sorted)
 		q := stat.Quantile(sorted, conf.SpeculationQuantile)
 		limit := q*conf.SpeculationMultiplier + 0.5

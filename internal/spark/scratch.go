@@ -1,0 +1,136 @@
+package spark
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+)
+
+// runScratch carries every per-run buffer the simulator needs, so a
+// steady-state RunWith allocates only the Result it hands back to the
+// caller. Scratches are pooled; runWith acquires one, runs, and returns
+// it. All buffers indexed by stage ID rely on Validate's guarantee that
+// stage IDs equal their positions.
+type runScratch struct {
+	state runState
+
+	// Per-stage-ID buffers, sized to the job's stage count per run.
+	done     []bool
+	metricAt []int32
+	cached   []cacheEntry
+	shuffleW []int64 // compressed shuffle bytes written, by stage ID
+
+	// Wave-scoped buffers.
+	wave     []stageWork
+	combined []float64
+	sorted   []float64
+	slots    slotHeap
+
+	// stageDurs[id] is the reusable task-duration buffer of stage id.
+	stageDurs [][]float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return &runScratch{} }}
+
+// reset sizes the per-stage buffers for a job with n stages and clears
+// the carried-over state.
+func (sc *runScratch) reset(n int) {
+	if cap(sc.done) < n {
+		sc.done = make([]bool, n)
+		sc.metricAt = make([]int32, n)
+		sc.cached = make([]cacheEntry, n)
+		sc.shuffleW = make([]int64, n)
+		sc.stageDurs = make([][]float64, n)
+	}
+	sc.done = sc.done[:n]
+	sc.metricAt = sc.metricAt[:n]
+	sc.cached = sc.cached[:n]
+	sc.shuffleW = sc.shuffleW[:n]
+	sc.stageDurs = sc.stageDurs[:n]
+	for i := 0; i < n; i++ {
+		sc.done[i] = false
+		sc.metricAt[i] = 0
+		sc.cached[i] = cacheEntry{}
+		sc.shuffleW[i] = 0
+	}
+	// Drop stage pointers retained past the wave slice's length so a
+	// pooled scratch cannot keep a finished job alive.
+	full := sc.wave[:cap(sc.wave)]
+	for i := range full {
+		full[i] = stageWork{}
+	}
+	sc.wave = sc.wave[:0]
+	sc.state = runState{scratch: sc}
+}
+
+// durationsFor returns stage id's task-duration buffer resized to n.
+func (sc *runScratch) durationsFor(id, n int) []float64 {
+	buf := sc.stageDurs[id]
+	if cap(buf) < n {
+		buf = make([]float64, n)
+		sc.stageDurs[id] = buf
+	}
+	return buf[:n]
+}
+
+// combineWaveInto is combineWave writing into a reused buffer. The
+// merge order is identical to combineWave (append order for FIFO,
+// round-robin for FAIR), so the scheduled makespan is bit-identical.
+func combineWaveInto(dst []float64, wave []stageWork, fair bool) []float64 {
+	if len(wave) == 1 {
+		return wave[0].durations
+	}
+	total := 0
+	for _, w := range wave {
+		total += len(w.durations)
+	}
+	dst = dst[:0]
+	if !fair {
+		for _, w := range wave {
+			dst = append(dst, w.durations...)
+		}
+		return dst
+	}
+	for i := 0; len(dst) < total; i++ {
+		for _, w := range wave {
+			if i < len(w.durations) {
+				dst = append(dst, w.durations[i])
+			}
+		}
+	}
+	return dst
+}
+
+// listScheduleInto is listSchedule with a caller-owned slot heap, so the
+// hot loop schedules without allocating. Identical arithmetic, identical
+// makespan.
+func listScheduleInto(durations []float64, slots int, buf *slotHeap) float64 {
+	if len(durations) == 0 {
+		return 0
+	}
+	if slots <= 0 {
+		return math.Inf(1)
+	}
+	if slots > len(durations) {
+		slots = len(durations)
+	}
+	h := (*buf)[:0]
+	for i := 0; i < slots; i++ {
+		h = append(h, 0)
+	}
+	*buf = h
+	heap.Init(buf)
+	h = *buf
+	for _, d := range durations {
+		free := h[0]
+		h[0] = free + d
+		heap.Fix(buf, 0)
+	}
+	makespan := 0.0
+	for _, t := range h {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	return makespan
+}

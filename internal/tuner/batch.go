@@ -1,0 +1,233 @@
+package tuner
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/stat"
+)
+
+// SeededObjective executes a configuration with an explicit evaluation
+// seed. The seed fully determines the execution's randomness (the
+// simulator draws from stat.NewRNG(seed)), which is what makes batch
+// evaluation order-independent and lets a memoization cache
+// (internal/simcache) serve revisited configurations bit-identically.
+type SeededObjective func(cfg confspace.Config, seed int64) Measurement
+
+// BatchProposer is the optional Tuner extension for strategies that hold
+// a natural candidate pool: random/LHS designs, genetic populations,
+// BestConfig's divide-and-diverge rounds. ProposeBatch returns up to max
+// candidates that may be evaluated concurrently; the session then calls
+// Observe once per candidate, in the returned order, before asking for
+// the next batch. A tuner's ProposeBatch must propose exactly the
+// sequence its Next would — batch execution changes throughput, never
+// the search trajectory.
+type BatchProposer interface {
+	Tuner
+	ProposeBatch(rng *rand.Rand, max int) []confspace.Config
+}
+
+// CandidateSeed derives the deterministic evaluation seed of one
+// candidate from the session's base seed and the configuration content.
+// Content-derived seeds mean a configuration proposed twice (a genetic
+// elite, a revisited default, two tenants probing the same point) is
+// evaluated with the same randomness — the same Measurement — making it
+// a guaranteed cache hit rather than a fresh noisy sample.
+func CandidateSeed(base int64, cfg confspace.Config) int64 {
+	return stat.DeriveSeed(base, "eval", cfg.Canonical())
+}
+
+// EvaluateBatch evaluates every configuration on a bounded worker pool
+// and returns measurements in input order. Results are deterministic for
+// any worker count: candidate i always runs with CandidateSeed(baseSeed,
+// cfgs[i]) and lands in slot i. workers <= 0 means GOMAXPROCS.
+func EvaluateBatch(obj SeededObjective, cfgs []confspace.Config, baseSeed int64, workers int) []Measurement {
+	out := make([]Measurement, len(cfgs))
+	if len(cfgs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers == 1 {
+		for i, cfg := range cfgs {
+			out[i] = obj(cfg, CandidateSeed(baseSeed, cfg))
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				out[i] = obj(cfgs[i], CandidateSeed(baseSeed, cfgs[i]))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// BatchOptions configures a batch-parallel tuning session.
+type BatchOptions struct {
+	// Workers bounds the evaluation pool (<= 0 means GOMAXPROCS).
+	Workers int
+	// Seed is the base seed per-candidate evaluation seeds derive from.
+	Seed int64
+	// Score maps successful measurements to the minimized scalar
+	// (default MinimizeRuntime).
+	Score Scorer
+}
+
+// RunBatch drives a tuner for exactly budget evaluations, evaluating
+// each proposal batch on the worker pool. BatchProposer tuners evaluate
+// whole candidate pools concurrently; plain Tuners degrade to
+// batch-of-one (still correct, no speedup). Observations are fed back
+// in proposal order with the same penalization as RunForContext, so the
+// search trajectory — trials, best-so-far curve, stopping — is
+// identical for every worker count, and identical to a sequential
+// session over the same SeededObjective. Cancellation is checked
+// between batches; recorded trials are always complete observations.
+func RunBatch(ctx context.Context, t Tuner, obj SeededObjective, budget int, rng *rand.Rand, opts BatchOptions) (Result, error) {
+	if budget <= 0 {
+		return Result{}, ErrNoBudget
+	}
+	score := opts.Score
+	if score == nil {
+		score = MinimizeRuntime
+	}
+	name := t.Name()
+	mSessions.With(name).Inc()
+	trials := mTrials.With(name)
+	res := Result{BestSoFar: make([]float64, 0, budget)}
+	best := math.Inf(1)
+	worstSuccess := 0.0
+	bp, _ := t.(BatchProposer)
+	for len(res.Trials) < budget {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		remaining := budget - len(res.Trials)
+		var cfgs []confspace.Config
+		if bp != nil {
+			cfgs = bp.ProposeBatch(rng, remaining)
+		}
+		if len(cfgs) == 0 {
+			cfgs = []confspace.Config{t.Next(rng)}
+		}
+		if len(cfgs) > remaining {
+			cfgs = cfgs[:remaining]
+		}
+		ms := EvaluateBatch(obj, cfgs, opts.Seed, opts.Workers)
+		stopped := false
+		for i, m := range ms {
+			trial := Trial{Index: len(res.Trials), Config: cfgs[i], Measurement: m}
+			var v float64
+			if !m.Failed {
+				v = score(m)
+			}
+			trial.Objective = penalizeScore(m, v, worstSuccess)
+			res.Trials = append(res.Trials, trial)
+			res.TotalCost += m.Cost
+			if !m.Failed {
+				if v > worstSuccess {
+					worstSuccess = v
+				}
+				if v < best {
+					best = v
+					res.Best = trial
+					res.Found = true
+				}
+			}
+			res.BestSoFar = append(res.BestSoFar, best)
+			t.Observe(trial)
+			trials.Inc()
+			if s, ok := t.(Stopper); ok && s.ShouldStop() {
+				stopped = true
+				break
+			}
+		}
+		if stopped {
+			res.Stopped = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// ProposeBatch implements BatchProposer: uniform sampling has no state,
+// so a batch is max independent draws — the same draws max Next calls
+// would make.
+func (t *RandomSearch) ProposeBatch(rng *rand.Rand, max int) []confspace.Config {
+	if max < 1 {
+		max = 1
+	}
+	out := make([]confspace.Config, max)
+	for i := range out {
+		out[i] = t.Space.Random(rng)
+	}
+	return out
+}
+
+// ProposeBatch implements BatchProposer: the remainder of the current
+// Latin-hypercube block (refreshed when exhausted).
+func (t *LatinSearch) ProposeBatch(rng *rand.Rand, max int) []confspace.Config {
+	if len(t.pending) == 0 {
+		t.pending = t.Space.LatinHypercube(rng, t.Block)
+	}
+	n := len(t.pending)
+	if max >= 1 && max < n {
+		n = max
+	}
+	out := t.pending[:n:n]
+	t.pending = t.pending[n:]
+	return out
+}
+
+// ProposeBatch implements BatchProposer: the unevaluated remainder of
+// the current generation. The generation boundary is preserved — the
+// next breeding step still sees every fitness — so the evolution matches
+// sequential Next/Observe exactly.
+func (t *Genetic) ProposeBatch(rng *rand.Rand, max int) []confspace.Config {
+	if t.population == nil {
+		t.seed(rng)
+	}
+	if t.cursor >= len(t.population) {
+		t.breed(rng)
+	}
+	end := len(t.population)
+	if max >= 1 && t.cursor+max < end {
+		end = t.cursor + max
+	}
+	return t.population[t.cursor:end:end]
+}
+
+// ProposeBatch implements BatchProposer: the remainder of the current
+// divide-and-diverge round. Rounds stay atomic, so bound-and-search
+// decisions see the full round's observations as in sequential mode.
+func (t *BestConfig) ProposeBatch(rng *rand.Rand, max int) []confspace.Config {
+	if len(t.pending) == 0 {
+		t.nextRound(rng)
+	}
+	n := len(t.pending)
+	if max >= 1 && max < n {
+		n = max
+	}
+	out := t.pending[:n:n]
+	t.pending = t.pending[n:]
+	return out
+}

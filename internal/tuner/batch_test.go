@@ -1,0 +1,183 @@
+package tuner
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/stat"
+)
+
+// seededBowl makes bowl a SeededObjective: the deterministic surface
+// plus seed-derived noise and a crash region, so batch sessions exercise
+// penalization and per-candidate seed derivation.
+func seededBowl(s *confspace.Space) SeededObjective {
+	base := bowl(s)
+	return func(cfg confspace.Config, seed int64) Measurement {
+		m := base(cfg)
+		rng := stat.NewRNG(seed)
+		m.Runtime *= 1 + 0.05*rng.Float64()
+		if cfg.Float("a") > 0.95 && cfg.Bool("e") {
+			m.Failed = true
+		}
+		return m
+	}
+}
+
+// sequentialReference replays the exact RunForContext loop over a
+// SeededObjective — the ground truth RunBatch must reproduce.
+func sequentialReference(t Tuner, obj SeededObjective, budget int, rng *rand.Rand, baseSeed int64) Result {
+	res := Result{}
+	best := math.Inf(1)
+	worstSuccess := 0.0
+	for i := 0; i < budget; i++ {
+		cfg := t.Next(rng)
+		m := obj(cfg, CandidateSeed(baseSeed, cfg))
+		trial := Trial{Index: i, Config: cfg, Measurement: m}
+		var v float64
+		if !m.Failed {
+			v = m.Runtime
+		}
+		trial.Objective = penalizeScore(m, v, worstSuccess)
+		res.Trials = append(res.Trials, trial)
+		res.TotalCost += m.Cost
+		if !m.Failed {
+			if v > worstSuccess {
+				worstSuccess = v
+			}
+			if v < best {
+				best = v
+				res.Best = trial
+				res.Found = true
+			}
+		}
+		res.BestSoFar = append(res.BestSoFar, best)
+		t.Observe(trial)
+	}
+	return res
+}
+
+func batchTuners(s *confspace.Space) map[string]func() Tuner {
+	return map[string]func() Tuner{
+		"random":     func() Tuner { return NewRandomSearch(s) },
+		"latin":      func() Tuner { return NewLatinSearch(s, 0) },
+		"genetic":    func() Tuner { return NewGenetic(s) },
+		"bestconfig": func() Tuner { return NewBestConfig(s) },
+	}
+}
+
+// RunBatch must reproduce the sequential trajectory exactly: same
+// proposals, same measurements, same best-so-far curve — batching is a
+// throughput change, not a semantic one.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	s := benchSpace(t)
+	obj := seededBowl(s)
+	for name, mk := range batchTuners(s) {
+		for _, seed := range []int64{1, 17} {
+			want := sequentialReference(mk(), obj, 60, stat.NewRNG(seed), 99)
+			got, err := RunBatch(context.Background(), mk(), obj, 60, stat.NewRNG(seed), BatchOptions{Workers: 4, Seed: 99})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !reflect.DeepEqual(got.Trials, want.Trials) {
+				t.Fatalf("%s seed %d: batch trials diverge from sequential", name, seed)
+			}
+			if !reflect.DeepEqual(got.BestSoFar, want.BestSoFar) {
+				t.Fatalf("%s seed %d: best-so-far curves diverge", name, seed)
+			}
+		}
+	}
+}
+
+// Worker count must never change the result.
+func TestRunBatchWorkerInvariance(t *testing.T) {
+	s := benchSpace(t)
+	obj := seededBowl(s)
+	for name, mk := range batchTuners(s) {
+		var ref Result
+		for i, workers := range []int{1, 2, 8, 32} {
+			got, err := RunBatch(context.Background(), mk(), obj, 50, stat.NewRNG(5), BatchOptions{Workers: workers, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if !reflect.DeepEqual(got.Trials, ref.Trials) {
+				t.Fatalf("%s: %d workers changed the trials", name, workers)
+			}
+		}
+	}
+}
+
+// Repeated configurations must receive identical evaluation seeds
+// (content-derived), and distinct configurations distinct ones.
+func TestCandidateSeedContentDerived(t *testing.T) {
+	s := benchSpace(t)
+	cfg := s.Default()
+	if CandidateSeed(1, cfg) != CandidateSeed(1, cfg.Clone()) {
+		t.Fatal("equal configs derived different seeds")
+	}
+	other := cfg.Clone()
+	other["a"] = cfg["a"] + 0.25
+	if CandidateSeed(1, cfg) == CandidateSeed(1, other) {
+		t.Fatal("different configs collided")
+	}
+	if CandidateSeed(1, cfg) == CandidateSeed(2, cfg) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+// EvaluateBatch must preserve input order for any worker count.
+func TestEvaluateBatchOrdering(t *testing.T) {
+	s := benchSpace(t)
+	rng := stat.NewRNG(3)
+	cfgs := make([]confspace.Config, 40)
+	for i := range cfgs {
+		cfgs[i] = s.Random(rng)
+	}
+	obj := func(cfg confspace.Config, seed int64) Measurement {
+		return Measurement{Runtime: float64(seed)}
+	}
+	want := EvaluateBatch(obj, cfgs, 11, 1)
+	for _, w := range []int{0, 2, 7, 64} {
+		got := EvaluateBatch(obj, cfgs, 11, w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d reordered results", w)
+		}
+	}
+}
+
+// A plain Tuner without ProposeBatch still runs (batch-of-one).
+func TestRunBatchPlainTunerFallback(t *testing.T) {
+	s := benchSpace(t)
+	obj := seededBowl(s)
+	res, err := RunBatch(context.Background(), NewHillClimb(s), obj, 20, stat.NewRNG(2), BatchOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 20 || !res.Found {
+		t.Fatalf("unexpected result: %d trials, found=%v", len(res.Trials), res.Found)
+	}
+}
+
+func TestRunBatchBudgetAndCancel(t *testing.T) {
+	s := benchSpace(t)
+	obj := seededBowl(s)
+	if _, err := RunBatch(context.Background(), NewRandomSearch(s), obj, 0, stat.NewRNG(1), BatchOptions{}); err != ErrNoBudget {
+		t.Fatalf("want ErrNoBudget, got %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunBatch(ctx, NewRandomSearch(s), obj, 10, stat.NewRNG(1), BatchOptions{})
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if len(res.Trials) != 0 {
+		t.Fatalf("expected no trials after pre-cancelled context, got %d", len(res.Trials))
+	}
+}
