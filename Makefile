@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim experiments examples vet fmt clean
+.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim bench-check experiments examples vet fmt clean
 
 all: build vet test
 
@@ -60,6 +60,22 @@ bench-sim:
 		-benchmem -count=5 ./internal/spark . | $(GO) run ./cmd/benchjson > BENCH_sim.json
 	@echo wrote BENCH_sim.json
 
+# Bench-regression smoke: rerun the guarded hot-path benchmarks and
+# compare their median ns/op against the committed baselines, failing on
+# a >25% regression. Fewer samples than the recording targets — this is
+# a tripwire, not a measurement (see docs/OBSERVABILITY.md).
+BENCHTMP ?= .benchtmp
+bench-check:
+	@mkdir -p $(BENCHTMP)
+	$(GO) test -run '^$$' -bench 'ObsOverhead|BayesOptStep' \
+		-benchmem -count=3 ./internal/obs . | $(GO) run ./cmd/benchjson > $(BENCHTMP)/obs.json
+	$(GO) run ./cmd/benchguard -old BENCH_obs.json -new $(BENCHTMP)/obs.json \
+		-guard 'BenchmarkObsOverhead/(counter|histogram|span|event-nosub)$$|BenchmarkBayesOptStep$$' -max-regress 0.25
+	$(GO) test -run '^$$' -bench 'SimRun|SimCacheTuning|SimBatchEval' \
+		-benchmem -count=3 ./internal/spark . | $(GO) run ./cmd/benchjson > $(BENCHTMP)/sim.json
+	$(GO) run ./cmd/benchguard -old BENCH_sim.json -new $(BENCHTMP)/sim.json \
+		-guard 'BenchmarkSimRunPooled$$|BenchmarkSimCacheTuning/|BenchmarkSimBatchEval/' -max-regress 0.25
+
 # Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
 experiments:
 	$(GO) run ./cmd/experiments -run all
@@ -73,3 +89,4 @@ examples:
 
 clean:
 	$(GO) clean -testcache
+	rm -rf $(BENCHTMP)

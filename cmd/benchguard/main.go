@@ -1,0 +1,131 @@
+// Command benchguard compares a fresh benchmark run (benchjson output)
+// against a committed baseline and fails when a guarded benchmark's
+// median ns/op regressed beyond the allowed fraction — the CI tripwire
+// that keeps the observability hot paths within their budget.
+//
+// Usage:
+//
+//	benchguard -old BENCH_obs.json -new fresh.json \
+//	    -guard 'BenchmarkObsOverhead/(counter|histogram|span)$' -max-regress 0.25
+//
+// Benchmarks present in the fresh run but absent from the baseline are
+// reported and skipped (new benchmarks are not regressions); benchmarks
+// only in the baseline are ignored (deletions are reviewed in the diff
+// of the committed file itself). Medians, not means, so one noisy sample
+// out of -count=5 cannot fail or mask a run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// sample mirrors the benchjson schema (the fields benchguard needs).
+type sample struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	Samples []sample `json:"samples"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("benchguard", flag.ExitOnError)
+	oldPath := fs.String("old", "", "committed baseline (benchjson output)")
+	newPath := fs.String("new", "", "fresh run (benchjson output)")
+	guardPat := fs.String("guard", ".*", "regexp of benchmark names to guard")
+	maxRegress := fs.Float64("max-regress", 0.25, "max allowed fractional ns/op regression")
+	fs.Parse(os.Args[1:])
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -old and -new are required")
+		os.Exit(2)
+	}
+	regressions, err := guard(*oldPath, *newPath, *guardPat, *maxRegress, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Printf("FAIL: %d guarded benchmark(s) regressed more than %.0f%%\n", regressions, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("ok: no guarded benchmark regressed")
+}
+
+// medians loads a benchjson file and reduces repeated samples of each
+// benchmark to their median ns/op.
+func medians(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string][]float64)
+	for _, s := range rep.Samples {
+		byName[s.Name] = append(byName[s.Name], s.NsPerOp)
+	}
+	out := make(map[string]float64, len(byName))
+	for name, vals := range byName {
+		sort.Float64s(vals)
+		n := len(vals)
+		if n%2 == 1 {
+			out[name] = vals[n/2]
+		} else {
+			out[name] = (vals[n/2-1] + vals[n/2]) / 2
+		}
+	}
+	return out, nil
+}
+
+// guard compares the two files and reports each guarded benchmark's
+// delta, returning how many regressed beyond maxRegress.
+func guard(oldPath, newPath, guardPat string, maxRegress float64, out io.Writer) (int, error) {
+	re, err := regexp.Compile(guardPat)
+	if err != nil {
+		return 0, fmt.Errorf("bad -guard pattern: %w", err)
+	}
+	oldMed, err := medians(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newMed, err := medians(newPath)
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(newMed))
+	for name := range newMed {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, fmt.Errorf("no benchmark in %s matches guard %q", newPath, guardPat)
+	}
+	regressions := 0
+	for _, name := range names {
+		base, ok := oldMed[name]
+		if !ok {
+			fmt.Fprintf(out, "skip  %-50s no baseline (new benchmark)\n", name)
+			continue
+		}
+		delta := newMed[name]/base - 1
+		verdict := "ok   "
+		if delta > maxRegress {
+			verdict = "REGRESS"
+			regressions++
+		}
+		fmt.Fprintf(out, "%s %-50s %12.2f -> %12.2f ns/op  %+6.1f%%\n",
+			verdict, name, base, newMed[name], delta*100)
+	}
+	return regressions, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, path string, samples string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(`{"samples":[`+samples+`]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardMediansAndThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldP, newP := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	// Baseline: stable at 100 with one outlier the median must ignore.
+	writeReport(t, oldP, `
+		{"name":"BenchmarkA","ns_per_op":100},
+		{"name":"BenchmarkA","ns_per_op":101},
+		{"name":"BenchmarkA","ns_per_op":900},
+		{"name":"BenchmarkB","ns_per_op":50},
+		{"name":"BenchmarkUnguarded","ns_per_op":10}`)
+	// Fresh: A within bounds (one noisy sample), B regressed 2x,
+	// Unguarded regressed but not matched, C has no baseline.
+	writeReport(t, newP, `
+		{"name":"BenchmarkA","ns_per_op":110},
+		{"name":"BenchmarkA","ns_per_op":112},
+		{"name":"BenchmarkA","ns_per_op":5000},
+		{"name":"BenchmarkB","ns_per_op":100},
+		{"name":"BenchmarkUnguarded","ns_per_op":100},
+		{"name":"BenchmarkC","ns_per_op":1}`)
+
+	var out bytes.Buffer
+	n, err := guard(oldP, newP, `^Benchmark(A|B|C)$`, 0.25, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1 (only B):\n%s", n, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "REGRESS BenchmarkB") {
+		t.Errorf("B not flagged:\n%s", text)
+	}
+	if !strings.Contains(text, "ok    BenchmarkA") {
+		t.Errorf("A should pass on median:\n%s", text)
+	}
+	if !strings.Contains(text, "skip  BenchmarkC") {
+		t.Errorf("C should be skipped without baseline:\n%s", text)
+	}
+	if strings.Contains(text, "Unguarded") {
+		t.Errorf("unguarded benchmark leaked into report:\n%s", text)
+	}
+}
+
+func TestGuardNoMatch(t *testing.T) {
+	dir := t.TempDir()
+	oldP, newP := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeReport(t, oldP, `{"name":"BenchmarkA","ns_per_op":1}`)
+	writeReport(t, newP, `{"name":"BenchmarkA","ns_per_op":1}`)
+	if _, err := guard(oldP, newP, `^BenchmarkZ$`, 0.25, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty guard match must error, not silently pass")
+	}
+}

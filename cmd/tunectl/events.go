@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"seamlesstune/internal/obs"
+)
+
+// runEvents implements `tunectl events <job-id>`: it tails the job's
+// telemetry stream from tuneserve's SSE endpoint and pretty-prints each
+// event — or, with -json, relays the raw JSONL data lines for piping
+// into jq or a file. The stream ends when the server closes it (job
+// terminal, or shutdown).
+func runEvents(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tunectl events", flag.ContinueOnError)
+	server := fs.String("server", "http://localhost:8642", "tuneserve base URL")
+	asJSON := fs.Bool("json", false, "print raw JSONL events instead of pretty text")
+	from := fs.Uint64("from", 0, "replay from this sequence number (0 = full retained history)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// flag stops at the first positional argument; re-parse what follows
+	// the job ID so both `events -json job-1` and `events job-1 -json`
+	// work.
+	id := fs.Arg(0)
+	if fs.NArg() > 1 {
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+	}
+	if id == "" {
+		return fmt.Errorf("usage: tunectl events <job-id> [-server URL] [-json] [-from SEQ]")
+	}
+	url := fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", strings.TrimSuffix(*server, "/"), id, *from)
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope remoteError
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error.Message != "" {
+			return fmt.Errorf("%s: %s", envelope.Error.Code, envelope.Error.Message)
+		}
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return printEventStream(resp.Body, out, *asJSON)
+}
+
+// printEventStream consumes SSE frames, emitting one line per event.
+func printEventStream(r io.Reader, out io.Writer, asJSON bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		data := line[len("data: "):]
+		if asJSON {
+			fmt.Fprintln(out, data)
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			return fmt.Errorf("malformed event %q: %w", data, err)
+		}
+		fmt.Fprintln(out, formatEvent(e))
+	}
+	return sc.Err()
+}
+
+// formatEvent renders one telemetry event as a human-readable line.
+func formatEvent(e obs.Event) string {
+	switch e.Type {
+	case obs.EventSessionStart:
+		return fmt.Sprintf("session %s started: %s/%s, budget %d trials",
+			e.Session, e.Tenant, e.Workload, e.BudgetTrials)
+	case obs.EventTrial:
+		status := fmt.Sprintf("%.1fs", e.RuntimeS)
+		if e.Failed {
+			status = "FAILED"
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "trial %3d [%s] %-8s", e.Trial, e.Phase, status)
+		if e.BestSoFar != 0 {
+			fmt.Fprintf(&b, " best %.1fs", e.BestSoFar)
+		}
+		if e.Cluster != "" {
+			fmt.Fprintf(&b, " on %s", e.Cluster)
+		}
+		fmt.Fprintf(&b, " cost $%.4f (spent $%.4f)", e.CostUSD, e.SpendUSD)
+		if e.Attainment != 0 {
+			fmt.Fprintf(&b, " slo %.0f%%", e.Attainment*100)
+		}
+		return b.String()
+	case obs.EventExecution:
+		return fmt.Sprintf("%s run: %.1fs on %s cost $%.4f (spent $%.4f)",
+			e.Phase, e.RuntimeS, e.Cluster, e.CostUSD, e.SpendUSD)
+	case obs.EventSLOViolation:
+		return fmt.Sprintf("SLO VIOLATION: %s", e.Detail)
+	case obs.EventSessionEnd:
+		return fmt.Sprintf("session %s ended: %s (total spend $%.4f)",
+			e.Session, e.Detail, e.SpendUSD)
+	default:
+		return fmt.Sprintf("%s %+v", e.Type, e)
+	}
+}

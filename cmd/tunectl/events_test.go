@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/obs"
+)
+
+// cannedEvents is a miniature session stream.
+func cannedEvents() []obs.Event {
+	return []obs.Event{
+		{Seq: 1, TimeNS: 1, Type: obs.EventSessionStart, Session: "job-000001",
+			Tenant: "acme", Workload: "sort", BudgetTrials: 5},
+		{Seq: 2, TimeNS: 2, Type: obs.EventTrial, Session: "job-000001", Tenant: "acme",
+			Workload: "sort", Phase: "cloud", Trial: 1, RuntimeS: 120.5, Objective: 120.5,
+			BestSoFar: 120.5, Cluster: "4x nimbus/h1.4xlarge", CostUSD: 0.05, SpendUSD: 0.05,
+			Attainment: 0.5},
+		{Seq: 3, TimeNS: 3, Type: obs.EventTrial, Session: "job-000001", Tenant: "acme",
+			Workload: "sort", Phase: "cloud", Trial: 2, Failed: true, CostUSD: 0.01, SpendUSD: 0.06},
+		{Seq: 4, TimeNS: 4, Type: obs.EventSLOViolation, Session: "job-000001", Tenant: "acme",
+			Workload: "sort", Detail: "tuning spend $0.0600 exceeds budget $0.0500"},
+		{Seq: 5, TimeNS: 5, Type: obs.EventSessionEnd, Session: "job-000001", Tenant: "acme",
+			Workload: "sort", SpendUSD: 0.06, Detail: "ok"},
+	}
+}
+
+// sseTestServer serves the canned events as one SSE stream on the job
+// events route, honoring ?from=.
+func sseTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/job-000001/events" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"not_found","message":"no such job"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		var buf []byte
+		for _, e := range cannedEvents() {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, e.AppendJSONL(buf[:0]))
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestEventsPretty(t *testing.T) {
+	ts := sseTestServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"events", "job-000001", "-server", ts.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"session job-000001 started: acme/sort, budget 5 trials",
+		"trial   1 [cloud] 120.5s",
+		"best 120.5s",
+		"on 4x nimbus/h1.4xlarge",
+		"FAILED",
+		"SLO VIOLATION: tuning spend $0.0600 exceeds budget $0.0500",
+		"session job-000001 ended: ok (total spend $0.0600)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if lines := strings.Count(strings.TrimSpace(text), "\n") + 1; lines != len(cannedEvents()) {
+		t.Errorf("got %d lines, want %d:\n%s", lines, len(cannedEvents()), text)
+	}
+}
+
+func TestEventsJSON(t *testing.T) {
+	ts := sseTestServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"events", "job-000001", "-json", "-server", ts.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(cannedEvents()) {
+		t.Fatalf("got %d JSONL lines, want %d", len(lines), len(cannedEvents()))
+	}
+	// Raw relay: each line must be byte-identical to the wire encoding.
+	var buf []byte
+	for i, e := range cannedEvents() {
+		if want := string(e.AppendJSONL(buf[:0])); lines[i] != want {
+			t.Errorf("line %d = %s, want %s", i, lines[i], want)
+		}
+	}
+}
+
+func TestEventsErrors(t *testing.T) {
+	ts := sseTestServer(t)
+	if err := run([]string{"events"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "usage:") {
+		t.Errorf("missing job id error = %v", err)
+	}
+	err := run([]string{"events", "job-999999", "-server", ts.URL}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "not_found") {
+		t.Errorf("unknown job error = %v", err)
+	}
+}

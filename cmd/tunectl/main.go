@@ -9,6 +9,8 @@
 //	tunectl -workload pagerank -size 8 -tuner bayesopt -budget 30
 //	tunectl -workload sort -tuner bestconfig -budget 100 -params 30
 //	tunectl -server http://localhost:8642 -tenant acme -workload sort -size 8
+//	tunectl events job-000001 -server http://localhost:8642   # tail a job's telemetry
+//	tunectl events job-000001 -json                           # raw JSONL, one event per line
 //	tunectl -list
 package main
 
@@ -61,6 +63,9 @@ func tunerByName(name string, space *confspace.Space) (tuner.Tuner, error) {
 var tunerNames = []string{"random", "latin", "hillclimb", "bayesopt", "genetic", "bestconfig", "rtree", "qlearn"}
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "events" {
+		return runEvents(args[1:], out)
+	}
 	fs := flag.NewFlagSet("tunectl", flag.ContinueOnError)
 	wlName := fs.String("workload", "wordcount", "workload: "+strings.Join(workload.Names(), ", "))
 	sizeGB := fs.Int64("size", 8, "input size in GB")

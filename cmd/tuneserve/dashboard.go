@@ -1,0 +1,143 @@
+package main
+
+// dashboardHTML is the whole dashboard: one page, no external assets, no
+// build step. It subscribes to /v1/events with an EventSource (which
+// auto-reconnects and resumes via Last-Event-ID) and renders, per
+// session: the convergence curve (objective + best-so-far), cumulative
+// tuning spend against the session budget, and the SLO burn-down, plus a
+// rolling violation feed. Canvas charts are redrawn from the retained
+// points on every batch, so a page opened mid-session backfills from the
+// ring replay.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>seamlesstune — live tuning telemetry</title>
+<style>
+  :root { --bg:#11141a; --panel:#1a1f29; --ink:#d6dce8; --dim:#7a8499;
+          --accent:#5ab0f7; --best:#58d68d; --bad:#f06a6a; --grid:#262c3a; }
+  body { background:var(--bg); color:var(--ink); font:14px/1.45 system-ui,sans-serif; margin:0; padding:18px; }
+  h1 { font-size:18px; margin:0 0 2px; } h1 span { color:var(--dim); font-weight:normal; }
+  #status { color:var(--dim); margin-bottom:14px; }
+  #status.live::before { content:"●"; color:var(--best); margin-right:6px; }
+  #status.down::before { content:"●"; color:var(--bad); margin-right:6px; }
+  .session { background:var(--panel); border-radius:8px; padding:12px 14px; margin-bottom:14px; }
+  .session h2 { font-size:15px; margin:0 0 8px; }
+  .session h2 small { color:var(--dim); font-weight:normal; margin-left:8px; }
+  .charts { display:flex; gap:14px; flex-wrap:wrap; }
+  .chart { flex:1 1 260px; min-width:240px; }
+  .chart .t { color:var(--dim); font-size:12px; margin-bottom:4px; }
+  canvas { width:100%; height:130px; background:var(--bg); border-radius:4px; }
+  .kpis { display:flex; gap:18px; margin:8px 0 10px; flex-wrap:wrap; }
+  .kpi b { display:block; font-size:16px; } .kpi span { color:var(--dim); font-size:12px; }
+  .viol { color:var(--bad); font-size:12px; margin-top:8px; white-space:pre-wrap; }
+  #empty { color:var(--dim); }
+</style>
+</head>
+<body>
+<h1>seamlesstune <span>live tuning telemetry</span></h1>
+<div id="status">connecting…</div>
+<div id="sessions"><p id="empty">No sessions yet — submit a job with POST /v1/jobs.</p></div>
+<script>
+"use strict";
+const sessions = new Map();   // session id -> {events, card, dirty}
+const fmt = (v, d=2) => v == null ? "–" : v.toFixed(d);
+
+function card(id, ev) {
+  const div = document.createElement("div");
+  div.className = "session";
+  div.innerHTML =
+    '<h2>' + id + '<small>' + (ev.tenant||"") + ' / ' + (ev.workload||"") + '</small></h2>' +
+    '<div class="kpis">' +
+      '<div class="kpi"><b data-k="trial">–</b><span>trials</span></div>' +
+      '<div class="kpi"><b data-k="best">–</b><span>best runtime (s)</span></div>' +
+      '<div class="kpi"><b data-k="spend">–</b><span>spend (USD)</span></div>' +
+      '<div class="kpi"><b data-k="attain">–</b><span>SLO attainment</span></div>' +
+      '<div class="kpi"><b data-k="state">running</b><span>state</span></div>' +
+    '</div>' +
+    '<div class="charts">' +
+      '<div class="chart"><div class="t">convergence (objective · best-so-far)</div><canvas data-c="conv" width="520" height="260"></canvas></div>' +
+      '<div class="chart"><div class="t">cumulative spend · projection</div><canvas data-c="spend" width="520" height="260"></canvas></div>' +
+      '<div class="chart"><div class="t">SLO burn-down (attainment)</div><canvas data-c="slo" width="520" height="260"></canvas></div>' +
+    '</div>' +
+    '<div class="viol" data-k="viol"></div>';
+  document.getElementById("sessions").prepend(div);
+  const empty = document.getElementById("empty");
+  if (empty) empty.remove();
+  return div;
+}
+
+function line(ctx, pts, xmax, ymin, ymax, color) {
+  if (!pts.length) return;
+  const W = ctx.canvas.width, H = ctx.canvas.height, pad = 8;
+  const span = (ymax - ymin) || 1;
+  ctx.strokeStyle = color; ctx.lineWidth = 2; ctx.beginPath();
+  pts.forEach((p, i) => {
+    const x = pad + (W - 2*pad) * (p[0] / Math.max(xmax, 1));
+    const y = H - pad - (H - 2*pad) * ((p[1] - ymin) / span);
+    i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+  });
+  ctx.stroke();
+}
+
+function draw(s) {
+  const trials = s.events.filter(e => e.type === "trial");
+  const ok = trials.filter(e => !e.failed);
+  const last = s.events[s.events.length - 1] || {};
+  const lastTrial = trials[trials.length - 1];
+  const q = (k, v) => s.card.querySelector('[data-k="' + k + '"]').textContent = v;
+  q("trial", trials.length + (last.budgetTrials ? "/" + last.budgetTrials : ""));
+  q("best", fmt(lastTrial && lastTrial.bestSoFar, 1));
+  q("spend", "$" + fmt(lastTrial ? lastTrial.spendUSD : last.spendUSD, 4));
+  q("attain", lastTrial && lastTrial.bestSoFar ? fmt((lastTrial.attainment||0)*100, 0) + "%" : "–");
+  if (last.type === "session_end") q("state", "done — " + (last.detail || ""));
+  const viols = s.events.filter(e => e.type === "slo_violation");
+  q("viol", viols.slice(-3).map(v => "⚠ " + v.detail).join("\n"));
+
+  const xmax = trials.length;
+  const cv = s.card.querySelector('[data-c="conv"]').getContext("2d");
+  cv.clearRect(0, 0, cv.canvas.width, cv.canvas.height);
+  const objs = ok.map(e => e.objective).concat(ok.map(e => e.bestSoFar||0)).filter(v => v > 0);
+  if (objs.length) {
+    const ymin = Math.min(...objs), ymax = Math.max(...objs);
+    line(cv, ok.map((e,i) => [i+1, e.objective]), xmax, ymin, ymax, "#5ab0f7");
+    line(cv, ok.filter(e => e.bestSoFar).map((e,i) => [i+1, e.bestSoFar]), xmax, ymin, ymax, "#58d68d");
+  }
+  const sp = s.card.querySelector('[data-c="spend"]').getContext("2d");
+  sp.clearRect(0, 0, sp.canvas.width, sp.canvas.height);
+  const spends = trials.map(e => e.spendUSD || 0);
+  const projs = trials.map(e => e.projectedSpendUSD || 0);
+  const smax = Math.max(...spends, ...projs, 1e-9);
+  line(sp, spends.map((v,i) => [i+1, v]), xmax, 0, smax, "#5ab0f7");
+  line(sp, projs.map((v,i) => [i+1, v]), xmax, 0, smax, "#7a8499");
+  const sl = s.card.querySelector('[data-c="slo"]').getContext("2d");
+  sl.clearRect(0, 0, sl.canvas.width, sl.canvas.height);
+  line(sl, trials.map((e,i) => [i+1, e.attainment || 0]), xmax, 0, 1, viols.length ? "#f06a6a" : "#58d68d");
+}
+
+function onEvent(e) {
+  const ev = JSON.parse(e.data);
+  if (!ev.session) return;
+  let s = sessions.get(ev.session);
+  if (!s) { s = { events: [], card: card(ev.session, ev), dirty: false }; sessions.set(ev.session, s); }
+  s.events.push(ev);
+  if (s.events.length > 5000) s.events.splice(0, s.events.length - 5000);
+  s.dirty = true;
+}
+
+// Batch redraws: the stream can burst hundreds of events per second in
+// simulation; repainting at most ~5 Hz keeps the page responsive.
+setInterval(() => {
+  sessions.forEach(s => { if (s.dirty) { s.dirty = false; draw(s); } });
+}, 200);
+
+const status = document.getElementById("status");
+const src = new EventSource("/v1/events");
+["session_start","trial","execution","slo_violation","session_end"].forEach(
+  t => src.addEventListener(t, onEvent));
+src.onopen = () => { status.textContent = "streaming /v1/events"; status.className = "live"; };
+src.onerror = () => { status.textContent = "stream interrupted — retrying"; status.className = "down"; };
+</script>
+</body>
+</html>
+`

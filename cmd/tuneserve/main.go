@@ -7,16 +7,21 @@
 //
 // Endpoints (all errors arrive as {"error":{"code","message"}}):
 //
-//	POST /v1/jobs            {"tenant","workload","inputGB"} → 202 + job; poll for the result
+//	POST /v1/jobs            {"tenant","workload","inputGB"[,"objective"]} → 202 + job; poll for the result
 //	GET  /v1/jobs/{id}       job state: queued|running|done|failed (+ result payload)
 //	GET  /v1/jobs            all jobs in submission order
 //	POST /v1/tune            synchronous wrapper: enqueues and waits for the pipeline result
 //	GET  /v1/jobs/{id}/trace the job's tuning trace as Chrome trace_event JSON
+//	GET  /v1/jobs/{id}/events the job's telemetry stream as SSE (?from= or Last-Event-ID to replay)
+//	GET  /v1/events          the server-wide telemetry stream as SSE
+//	GET  /v1/tenants/{id}/usage one tenant's accrued trials/spend/attainment
+//	GET  /v1/usage           every tenant's accounting
+//	GET  /dashboard          zero-dependency live HTML dashboard over the event stream
 //	GET  /v1/workloads       registered (tenant, workload) pairs
 //	GET  /v1/history         ?tenant=&workload=&limit=
 //	GET  /v1/effectiveness   ?tenant=&workload=
-//	GET  /healthz            readiness: uptime, build info, worker-pool occupancy
-//	GET  /metrics            Prometheus text exposition (?format=json for the JSON mirror)
+//	GET  /healthz            readiness: uptime, build info, worker-pool and event-bus occupancy
+//	GET  /metrics            Prometheus text exposition (?format=json for the JSON mirror with sketch quantiles)
 //
 // Usage:
 //
@@ -53,6 +58,8 @@ func main() {
 	statePath := fs.String("state", "", "path for persisting the execution history (load on start, save asynchronously)")
 	simCache := fs.Bool("simcache", true, "memoize simulator executions across tenants (bit-identical results, content-derived seeds)")
 	simCacheCap := fs.Int("simcache-capacity", 0, "evaluation cache entry bound (0 = default)")
+	eventsCap := fs.Int("events-capacity", 0, "telemetry event ring capacity (0 = default)")
+	eventsOut := fs.String("events-out", "", "path to flush the telemetry event ring to as JSONL on shutdown")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
@@ -68,6 +75,8 @@ func main() {
 		StatePath:         *statePath,
 		SimCache:          *simCache,
 		SimCacheCapacity:  *simCacheCap,
+		EventsCapacity:    *eventsCap,
+		EventsPath:        *eventsOut,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -132,6 +141,11 @@ type serverConfig struct {
 	SimCache bool
 	// SimCacheCapacity bounds the cache's entry count (0 = default).
 	SimCacheCapacity int
+	// EventsCapacity sizes the telemetry event ring (0 = default).
+	EventsCapacity int
+	// EventsPath, when set, flushes the event ring to a JSONL file on
+	// shutdown, so a session's telemetry survives the process.
+	EventsPath string
 }
 
 func (c serverConfig) options() []core.Option {

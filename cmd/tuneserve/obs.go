@@ -15,7 +15,7 @@ var (
 	mHTTPRequests = obs.Default().CounterVec("http_requests_total",
 		"HTTP requests served, by route pattern and status code.",
 		"route", "status")
-	mHTTPSeconds = obs.Default().HistogramVec("http_request_seconds",
+	mHTTPSeconds = obs.Default().HistogramVecSketched("http_request_seconds",
 		"HTTP request latency, by route pattern.",
 		obs.ExpBuckets(1e-4, 4, 12), "route")
 	mHTTPInflight = obs.Default().Gauge("http_inflight_requests",
@@ -41,6 +41,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers (the SSE endpoints) can reach Flush through the
+// metrics middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // probeWriter is a throwaway ResponseWriter: running the mux's fallback
 // handler against it reveals the status (404 vs 405) and the Allow header

@@ -199,3 +199,64 @@ func TestJobTraceEndpoint(t *testing.T) {
 		t.Errorf("missing-job trace status = %d", rec.Code)
 	}
 }
+
+// TestMetricsJSONQuantiles: sketched histogram families (HTTP latency,
+// tuner timings) must expose p50/p90/p99 in the JSON exposition, and the
+// Prometheus text form must stay quantile-free (fixed buckets only).
+func TestMetricsJSONQuantiles(t *testing.T) {
+	s := testServer(t)
+	// Two requests: the middleware observes latency after the handler
+	// returns, so the second gather sees the first request's sample.
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("healthz status = %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	var snap struct {
+		Families []struct {
+			Name   string `json:"name"`
+			Series []struct {
+				Quantiles map[string]float64 `json:"quantiles"`
+			} `json:"series"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range snap.Families {
+		if f.Name != "http_request_seconds" {
+			continue
+		}
+		for _, se := range f.Series {
+			if len(se.Quantiles) == 0 {
+				continue
+			}
+			found = true
+			for _, q := range []string{"p50", "p90", "p99"} {
+				if _, ok := se.Quantiles[q]; !ok {
+					t.Errorf("http_request_seconds quantiles missing %s: %v", q, se.Quantiles)
+				}
+			}
+			if se.Quantiles["p50"] > se.Quantiles["p99"] {
+				t.Errorf("p50 %v > p99 %v", se.Quantiles["p50"], se.Quantiles["p99"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no http_request_seconds series carries quantiles")
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if strings.Contains(rec.Body.String(), "quantile") {
+		t.Error("Prometheus text exposition leaked quantiles")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"seamlesstune/internal/jobs"
 	"seamlesstune/internal/obs"
 	"seamlesstune/internal/simcache"
+	"seamlesstune/internal/slo"
 	"seamlesstune/internal/workload"
 )
 
@@ -36,6 +37,12 @@ type server struct {
 	tracer  *obs.Tracer
 	traceMu sync.Mutex
 	traces  map[string]uint64
+	// events is the live telemetry bus: sessions publish, SSE handlers
+	// and the usage pump subscribe. eventsPath, when set, receives the
+	// ring as JSONL on shutdown.
+	events     *obs.EventLog
+	eventsPath string
+	pumpDone   chan struct{}
 	// dirty coalesces persistence requests: completed jobs mark the
 	// store dirty, the persister goroutine saves. Capacity 1 — marking
 	// an already-dirty store is a no-op.
@@ -78,9 +85,13 @@ func newServer(cfg serverConfig) (*server, error) {
 		started:     time.Now(),
 		tracer:      obs.NewTracer(obs.DefaultTraceCapacity),
 		traces:      make(map[string]uint64),
+		events:      obs.NewEventLog(cfg.EventsCapacity),
+		eventsPath:  cfg.EventsPath,
+		pumpDone:    make(chan struct{}),
 		dirty:       make(chan struct{}, 1),
 		persistDone: make(chan struct{}),
 	}
+	go s.usagePump()
 	if cache != nil {
 		s.engine.SetCacheStats(cache.Stats)
 	}
@@ -90,6 +101,11 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/tenants/{id}/usage", s.handleTenantUsage)
+	s.mux.HandleFunc("GET /v1/usage", s.handleUsage)
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
@@ -102,9 +118,17 @@ func newServer(cfg serverConfig) (*server, error) {
 	return s, nil
 }
 
-// Close drains the worker pool and flushes any unsaved history.
+// Close drains the worker pool, flushes the event ring, releases every
+// SSE subscriber, and flushes any unsaved history — in that order, so
+// the flushed JSONL includes the final events of draining jobs and
+// in-flight SSE handlers return before the process exits.
 func (s *server) Close() {
 	s.engine.Close()
+	if s.eventsPath != "" {
+		s.flushEvents()
+	}
+	s.events.Close()
+	<-s.pumpDone
 	if s.statePath != "" {
 		close(s.dirty)
 		<-s.persistDone
@@ -112,14 +136,70 @@ func (s *server) Close() {
 	}
 }
 
+// flushEvents writes the retained event ring to eventsPath as JSONL via
+// a temp-and-rename, mirroring the history persistence strategy.
+func (s *server) flushEvents() {
+	tmp := s.eventsPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("tuneserve: creating event flush %s: %v", tmp, err)
+		return
+	}
+	err = obs.WriteEventsJSONL(f, s.events.Snapshot(0))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Printf("tuneserve: flushing events to %s: %v", tmp, err)
+		return
+	}
+	if err := os.Rename(tmp, s.eventsPath); err != nil {
+		log.Printf("tuneserve: installing events %s: %v", s.eventsPath, err)
+	}
+}
+
+// usagePump folds the event stream into the engine's per-tenant
+// accounting: every spend-bearing event accrues trials and dollars, and
+// trial events with an incumbent update the tenant's SLO attainment.
+// The subscription buffer is generous; under extreme pressure events
+// drop (counted in /healthz) rather than stall publishers.
+func (s *server) usagePump() {
+	defer close(s.pumpDone)
+	// Fold the replay before tailing: the pump goroutine may be scheduled
+	// after sessions have already published (SubscribeFrom's atomic
+	// replay+register guarantees the two halves have no gap or overlap).
+	replay, sub := s.events.SubscribeFrom(0, 4096)
+	defer sub.Close()
+	for _, e := range replay {
+		s.foldUsage(e)
+	}
+	for e := range sub.C() {
+		s.foldUsage(e)
+	}
+}
+
+// foldUsage accrues one telemetry event into the engine's accounting.
+func (s *server) foldUsage(e obs.Event) {
+	switch e.Type {
+	case obs.EventTrial:
+		s.engine.AddUsage(e.Tenant, 1, e.CostUSD)
+		if e.BestSoFar != 0 {
+			s.engine.SetAttainment(e.Tenant, e.Attainment)
+		}
+	case obs.EventExecution:
+		s.engine.AddUsage(e.Tenant, 1, e.CostUSD)
+	}
+}
+
 // healthResponse is the readiness payload: liveness plus enough state to
 // judge whether the instance can take tuning work right now.
 type healthResponse struct {
-	Status    string     `json:"status"`
-	UptimeS   float64    `json:"uptimeS"`
-	GoVersion string     `json:"goVersion,omitempty"`
-	Revision  string     `json:"revision,omitempty"`
-	Engine    jobs.Stats `json:"engine"`
+	Status    string         `json:"status"`
+	UptimeS   float64        `json:"uptimeS"`
+	GoVersion string         `json:"goVersion,omitempty"`
+	Revision  string         `json:"revision,omitempty"`
+	Engine    jobs.Stats     `json:"engine"`
+	Events    obs.EventStats `json:"events"`
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -127,6 +207,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Status:  "ok",
 		UptimeS: time.Since(s.started).Seconds(),
 		Engine:  s.engine.Stats(),
+		Events:  s.events.Stats(),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		resp.GoVersion = bi.GoVersion
@@ -139,12 +220,25 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// tuneRequest is the tenant-facing submission: just the workload and an
-// input size — no knobs, per the paper's principle 1.
+// tuneRequest is the tenant-facing submission: the workload, an input
+// size, and optionally a high-level objective — no knobs, per the
+// paper's principle 1.
 type tuneRequest struct {
 	Tenant   string  `json:"tenant"`
 	Workload string  `json:"workload"`
 	InputGB  float64 `json:"inputGB"`
+	// Objective attaches SLO clauses to the session; sessions evaluate
+	// them live and stream slo_violation events on breach.
+	Objective *objectivePayload `json:"objective,omitempty"`
+}
+
+// objectivePayload is the wire form of an slo.Objective plus the
+// session-level tuning-spend cap.
+type objectivePayload struct {
+	WithinPctOfOptimal float64 `json:"withinPctOfOptimal,omitempty"`
+	DeadlineS          float64 `json:"deadlineS,omitempty"`
+	BudgetUSDPerRun    float64 `json:"budgetUSDPerRun,omitempty"`
+	TuningBudgetUSD    float64 `json:"tuningBudgetUSD,omitempty"`
 }
 
 // registration validates the request against the workload registry.
@@ -159,11 +253,23 @@ func (req tuneRequest) registration() (core.Registration, error) {
 	if req.Tenant == "" {
 		return core.Registration{}, fmt.Errorf("tenant is required")
 	}
-	return core.Registration{
+	reg := core.Registration{
 		Tenant:     req.Tenant,
 		Workload:   wl,
 		InputBytes: int64(req.InputGB * (1 << 30)),
-	}, nil
+	}
+	if o := req.Objective; o != nil {
+		if o.WithinPctOfOptimal < 0 || o.DeadlineS < 0 || o.BudgetUSDPerRun < 0 || o.TuningBudgetUSD < 0 {
+			return core.Registration{}, fmt.Errorf("objective fields must be non-negative")
+		}
+		reg.Objective = slo.Objective{
+			WithinPctOfOptimal: o.WithinPctOfOptimal,
+			DeadlineS:          o.DeadlineS,
+			BudgetUSDPerRun:    o.BudgetUSDPerRun,
+		}
+		reg.TuningBudgetUSD = o.TuningBudgetUSD
+	}
+	return reg, nil
 }
 
 // tuneResponse reports what the pipeline chose and achieved.
@@ -207,10 +313,22 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 		return jobs.Job{}, false
 	}
 	// Each job tunes under its own trace ID so GET /v1/jobs/{id}/trace
-	// can slice this job's spans out of the shared ring buffer.
+	// can slice this job's spans out of the shared ring buffer, and under
+	// an emitter keyed by its job ID so GET /v1/jobs/{id}/events can
+	// filter the shared event stream. The job ID is only known after
+	// Submit returns, so the task blocks on idCh for it (buffered: the
+	// send below never blocks, and a task the engine discards unstarted
+	// leaks nothing).
 	tid := s.tracer.NewTraceID()
+	idCh := make(chan string, 1)
 	job, err := s.engine.Submit(reg.Tenant, func(ctx context.Context) (any, error) {
 		ctx = obs.NewContext(ctx, obs.Trace{T: s.tracer, ID: tid})
+		ctx = obs.NewEmitterContext(ctx, obs.Emitter{
+			Log:      s.events,
+			Session:  <-idCh,
+			Tenant:   reg.Tenant,
+			Workload: reg.Workload.Name(),
+		})
 		res, err := s.svc.TunePipeline(ctx, reg)
 		if err != nil {
 			return nil, err
@@ -226,6 +344,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 		writeError(w, status, code, "%v", err)
 		return jobs.Job{}, false
 	}
+	idCh <- job.ID
 	s.traceMu.Lock()
 	s.traces[job.ID] = tid
 	s.traceMu.Unlock()

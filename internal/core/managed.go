@@ -94,7 +94,7 @@ type RunReport struct {
 // RunOnce executes the workload once under the current configuration,
 // feeds the detector, and re-tunes when it fires.
 func (m *Managed) RunOnce() RunReport {
-	res, _ := m.svc.execute(context.Background(), m.reg, m.cluster, m.current, m.env.Next(), m.rng)
+	res, _ := m.svc.execute(context.Background(), m.reg, m.cluster, m.current, m.env.Next(), m.rng, nil, "managed")
 	m.runs++
 	recs := m.svc.store.Query(history.Filter{
 		Tenant: m.reg.Tenant, Workload: m.reg.Workload.Name(), MaxN: 1,
@@ -120,7 +120,7 @@ func (m *Managed) RunOnce() RunReport {
 // clusters and adopts a size that is clearly (>10%) faster. It consumes
 // up to two executions.
 func (m *Managed) maybeResize() {
-	current, _ := m.svc.execute(context.Background(), m.reg, m.cluster, m.current, m.env.Next(), m.rng)
+	current, _ := m.svc.execute(context.Background(), m.reg, m.cluster, m.current, m.env.Next(), m.rng, nil, "managed")
 	if current.Failed {
 		return
 	}
@@ -130,7 +130,7 @@ func (m *Managed) maybeResize() {
 			continue
 		}
 		spec := m.cluster.Resize(count)
-		res, _ := m.svc.execute(context.Background(), m.reg, spec, m.current, m.env.Next(), m.rng)
+		res, _ := m.svc.execute(context.Background(), m.reg, spec, m.current, m.env.Next(), m.rng, nil, "managed")
 		if !res.Failed && res.RuntimeS < bestRT*0.9 {
 			bestSpec, bestRT = spec, res.RuntimeS
 		}
@@ -170,7 +170,7 @@ func (m *Managed) retune() (confspace.Config, bool) {
 	bo.WarmStart = warm
 	bo.InitSamples = 3
 	obj := func(cfg confspace.Config) tuner.Measurement {
-		_, meas := m.svc.execute(context.Background(), m.reg, m.cluster, cfg, m.env.Next(), m.rng)
+		_, meas := m.svc.execute(context.Background(), m.reg, m.cluster, cfg, m.env.Next(), m.rng, nil, "managed")
 		return meas
 	}
 	res, err := tuner.Run(bo, obj, m.retuneBudget, m.rng)

@@ -14,10 +14,10 @@ import (
 var (
 	mExecutions = obs.Default().Counter("core_executions_total",
 		"Workload executions driven by the tuning service.")
-	mPipelineSeconds = obs.Default().Histogram("core_pipeline_seconds",
+	mPipelineSeconds = obs.Default().HistogramSketched("core_pipeline_seconds",
 		"Wall time of full two-stage tuning pipelines.",
 		obs.ExpBuckets(1e-3, 4, 12))
-	mPhaseSeconds = obs.Default().HistogramVec("core_phase_seconds",
+	mPhaseSeconds = obs.Default().HistogramVecSketched("core_phase_seconds",
 		"Wall time of service phases (tune-cloud, probe, tune-disc, baseline).",
 		obs.ExpBuckets(1e-4, 4, 12), "phase")
 )

@@ -212,6 +212,11 @@ type Registration struct {
 	Workload   workload.Workload
 	InputBytes int64
 	Objective  slo.Objective
+	// TuningBudgetUSD caps the session's total tuning spend for live SLO
+	// accounting (0 = unconstrained). Breaching it — in actual or
+	// projected spend — emits slo_violation events; it does not abort the
+	// session.
+	TuningBudgetUSD float64
 }
 
 // Validate reports whether the registration is usable.
@@ -231,7 +236,7 @@ func (r Registration) Validate() error {
 // execute runs one configuration on one cluster, records it in the
 // history, and returns the measurement. The execution inherits the
 // context's trace, so simulator spans nest under the calling phase.
-func (s *Service) execute(ctx context.Context, reg Registration, cluster cloud.ClusterSpec, cfg confspace.Config, factors cloud.Factors, rng *rand.Rand) (spark.Result, tuner.Measurement) {
+func (s *Service) execute(ctx context.Context, reg Registration, cluster cloud.ClusterSpec, cfg confspace.Config, factors cloud.Factors, rng *rand.Rand, tel *sessionTelemetry, phase string) (spark.Result, tuner.Measurement) {
 	mExecutions.Inc()
 	job := reg.Workload.Job(reg.InputBytes)
 	conf := spark.FromConfig(s.sparkSpace, cfg)
@@ -259,6 +264,7 @@ func (s *Service) execute(ctx context.Context, reg Registration, cluster cloud.C
 		Reason:     res.Reason,
 		Metrics:    history.MetricsFromResult(res),
 	})
+	tel.recordExecution(phase, cluster, res)
 	return res, tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
 }
 
@@ -296,12 +302,16 @@ func (s *Service) TuneCloud(ctx context.Context, reg Registration) (CloudChoice,
 	if err := reg.Validate(); err != nil {
 		return CloudChoice{}, err
 	}
-	return s.tuneCloud(ctx, reg, s.sessionSeed("cloud", reg))
+	tel := newSessionTelemetry(obs.EmitterFrom(ctx), reg, s.cloudBudget)
+	tel.sessionStart()
+	cc, err := s.tuneCloud(ctx, reg, s.sessionSeed("cloud", reg), tel)
+	tel.sessionEnd(sessionOutcome(err))
+	return cc, err
 }
 
 // tuneCloud is TuneCloud with the session's base seed fixed by the
 // caller; TunePipeline uses it to keep both stages on one derived stream.
-func (s *Service) tuneCloud(ctx context.Context, reg Registration, base int64) (CloudChoice, error) {
+func (s *Service) tuneCloud(ctx context.Context, reg Registration, base int64, tel *sessionTelemetry) (CloudChoice, error) {
 	defer phaseSpan(ctx, "tune-cloud")()
 	cloudSpace, err := confspace.CloudSpace(s.catalog, s.minNodes, s.maxNodes)
 	if err != nil {
@@ -318,8 +328,11 @@ func (s *Service) tuneCloud(ctx context.Context, reg Registration, base int64) (
 		}
 		// Stage 1 measures with a scaled reference DISC configuration so
 		// the cluster choice is not confounded by a bad Spark config.
-		_, m := s.execute(ctx, reg, spec, s.referenceConf(spec), env.Next(), rng)
+		_, m := s.execute(ctx, reg, spec, s.referenceConf(spec), env.Next(), rng, tel, "cloud")
 		return m
+	}
+	if h := tel.trialHook("cloud"); h != nil {
+		ctx = tuner.WithTrialHook(ctx, h)
 	}
 	res, err := tuner.RunContext(ctx, bo, obj, s.cloudBudget, rng)
 	if err != nil {
@@ -381,11 +394,15 @@ func (s *Service) TuneDISC(ctx context.Context, reg Registration, cluster cloud.
 	if err := reg.Validate(); err != nil {
 		return DISCChoice{}, err
 	}
-	return s.tuneDISC(ctx, reg, cluster, s.sessionSeed("disc", reg))
+	tel := newSessionTelemetry(obs.EmitterFrom(ctx), reg, s.probeRuns+s.discBudget)
+	tel.sessionStart()
+	dc, err := s.tuneDISC(ctx, reg, cluster, s.sessionSeed("disc", reg), tel)
+	tel.sessionEnd(sessionOutcome(err))
+	return dc, err
 }
 
 // tuneDISC is TuneDISC with the session's base seed fixed by the caller.
-func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.ClusterSpec, base int64) (DISCChoice, error) {
+func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.ClusterSpec, base int64, tel *sessionTelemetry) (DISCChoice, error) {
 	if err := cluster.Validate(); err != nil {
 		return DISCChoice{}, err
 	}
@@ -401,7 +418,7 @@ func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.
 			endProbe()
 			return DISCChoice{}, err
 		}
-		s.execute(ctx, reg, cluster, ref, env.Next(), rng)
+		s.execute(ctx, reg, cluster, ref, env.Next(), rng, tel, "probe")
 	}
 	endProbe()
 
@@ -416,8 +433,11 @@ func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.
 	}
 
 	obj := func(cfg confspace.Config) tuner.Measurement {
-		_, m := s.execute(ctx, reg, cluster, cfg, env.Next(), rng)
+		_, m := s.execute(ctx, reg, cluster, cfg, env.Next(), rng, tel, "disc")
 		return m
+	}
+	if h := tel.trialHook("disc"); h != nil {
+		ctx = tuner.WithTrialHook(ctx, h)
 	}
 	res, err := tuner.RunContext(ctx, bo, obj, s.discBudget, rng)
 	if err != nil {
@@ -494,28 +514,45 @@ func (s *Service) TunePipeline(ctx context.Context, reg Registration) (PipelineR
 	start := time.Now()
 	defer func() { mPipelineSeconds.Observe(time.Since(start).Seconds()) }()
 	defer phaseSpan(ctx, "pipeline")()
+	// The session's execution budget: both stages' trials, the probe runs,
+	// and the baseline measurement.
+	tel := newSessionTelemetry(obs.EmitterFrom(ctx), reg, s.cloudBudget+s.probeRuns+s.discBudget+1)
+	tel.sessionStart()
 	base := s.sessionSeed("pipeline", reg)
-	cc, err := s.tuneCloud(ctx, reg, stat.DeriveSeed(base, "cloud"))
+	cc, err := s.tuneCloud(ctx, reg, stat.DeriveSeed(base, "cloud"), tel)
 	if err != nil {
+		tel.sessionEnd(sessionOutcome(err))
 		return PipelineResult{}, err
 	}
-	dc, err := s.tuneDISC(ctx, reg, cc.Cluster, stat.DeriveSeed(base, "disc"))
+	dc, err := s.tuneDISC(ctx, reg, cc.Cluster, stat.DeriveSeed(base, "disc"), tel)
 	if err != nil {
+		tel.sessionEnd(sessionOutcome(err))
 		return PipelineResult{}, err
 	}
 	// Measure the baseline once for the improvement report.
 	endBaseline := phaseSpan(ctx, "baseline")
 	env := cloud.NewEnvironment(s.interference, stat.DeriveSeed(base, "baseline-env"))
 	rng := stat.DeriveRNG(base, "baseline")
-	baseRes, _ := s.execute(ctx, reg, cc.Cluster, s.referenceConf(cc.Cluster), env.Next(), rng)
+	baseRes, _ := s.execute(ctx, reg, cc.Cluster, s.referenceConf(cc.Cluster), env.Next(), rng, tel, "baseline")
 	endBaseline()
-	return PipelineResult{
+	res := PipelineResult{
 		Cloud:           cc,
 		DISC:            dc,
 		DefaultRuntimeS: baseRes.RuntimeS,
 		TunedRuntimeS:   dc.Session.Best.Runtime,
 		TuningCostUSD:   cc.Session.TotalCost + dc.Session.TotalCost,
-	}, nil
+	}
+	tel.sessionEnd(fmt.Sprintf("tuned %.1fs vs default %.1fs (%.0f%% improvement) on %s",
+		res.TunedRuntimeS, res.DefaultRuntimeS, res.Improvement()*100, cc.Cluster))
+	return res, nil
+}
+
+// sessionOutcome renders a session's terminal detail string.
+func sessionOutcome(err error) string {
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return "ok"
 }
 
 // BestKnownSecondsPerGB returns the best scale-normalized runtime

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"sync"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/obs"
+	"seamlesstune/internal/slo"
+	"seamlesstune/internal/spark"
+	"seamlesstune/internal/tuner"
+)
+
+// sessionTelemetry turns one tuning session's raw progress into the
+// structured event stream of internal/obs: per-trial events carrying
+// objective/best-so-far/regret, dollar accounting for every budgeted
+// execution (trials, probes, the baseline), and live SLO evaluation
+// with deduplicated slo_violation events. It is created per session from
+// the context's emitter; a nil *sessionTelemetry is a valid no-op, so
+// untelemetered sessions (no emitter on the context) pay nothing but a
+// nil check.
+type sessionTelemetry struct {
+	em         obs.Emitter
+	lo         slo.LiveObjective
+	totalExecs int
+
+	mu          sync.Mutex
+	execs       int     // spend-bearing executions (trials + probes + baseline)
+	trials      int     // session-wide trial counter (1-based in events)
+	spend       float64 // cumulative tuning spend, Σ Result.CostUSD
+	best        float64 // best successful penalized objective
+	bestRuntime float64
+	bestCost    float64
+	hasBest     bool
+	lastCluster string // cluster of the most recent execution
+	hasExec     bool   // an execution landed since the last trial event
+	lastViolate string // last emitted violation text, for dedupe
+}
+
+// newSessionTelemetry binds an emitter to a session. totalExecs is the
+// session's full execution budget — the denominator of spend projection.
+// Returns nil (the no-op) when the emitter is disabled.
+func newSessionTelemetry(em obs.Emitter, reg Registration, totalExecs int) *sessionTelemetry {
+	if !em.Enabled() {
+		return nil
+	}
+	return &sessionTelemetry{
+		em:         em,
+		lo:         slo.LiveObjective{Objective: reg.Objective, TuningBudgetUSD: reg.TuningBudgetUSD},
+		totalExecs: totalExecs,
+		best:       math.Inf(1),
+	}
+}
+
+func (st *sessionTelemetry) sessionStart() {
+	if st == nil {
+		return
+	}
+	st.em.Emit(obs.Event{Type: obs.EventSessionStart, BudgetTrials: st.totalExecs})
+}
+
+func (st *sessionTelemetry) sessionEnd(detail string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	ev := obs.Event{Type: obs.EventSessionEnd, Detail: detail, SpendUSD: st.spend}
+	if st.hasBest {
+		ev.BestSoFar = st.best
+		ev.Attainment = st.lo.Attainment(st.bestRuntime, st.bestCost, 0)
+	}
+	st.mu.Unlock()
+	st.em.Emit(ev)
+}
+
+// recordExecution accounts one budgeted run. Probe and baseline runs get
+// their own execution event; trial runs ("cloud"/"disc" phases) are
+// accounted here but reported by the trial hook, which fires right after
+// with the tuner's view of the same run.
+func (st *sessionTelemetry) recordExecution(phase string, cluster cloud.ClusterSpec, res spark.Result) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.execs++
+	st.spend += res.CostUSD
+	st.lastCluster = cluster.String()
+	st.hasExec = true
+	var events []obs.Event
+	if phase != "cloud" && phase != "disc" {
+		events = append(events, obs.Event{
+			Type: obs.EventExecution, Phase: phase,
+			Cluster: st.lastCluster, RuntimeS: res.RuntimeS, Failed: res.Failed,
+			CostUSD: res.CostUSD, SpendUSD: st.spend,
+		})
+	}
+	if vio := st.checkSLOLocked(); vio != nil {
+		events = append(events, *vio)
+	}
+	st.mu.Unlock()
+	for _, ev := range events {
+		st.em.Emit(ev)
+	}
+}
+
+// trialHook returns the tuner.TrialHook that reports one stage's trials,
+// or nil for the no-op telemetry.
+func (st *sessionTelemetry) trialHook(phase string) tuner.TrialHook {
+	if st == nil {
+		return nil
+	}
+	return func(tr tuner.Trial, _ float64) {
+		st.mu.Lock()
+		st.trials++
+		cluster := ""
+		if st.hasExec {
+			// The execution recorded since the last trial is this trial's
+			// run; a trial with no execution behind it (e.g. an unmappable
+			// cloud candidate) has no cluster and no cost.
+			cluster = st.lastCluster
+			st.hasExec = false
+		}
+		if !tr.Failed && (!st.hasBest || tr.Objective < st.best) {
+			st.best = tr.Objective
+			st.bestRuntime = tr.Runtime
+			st.bestCost = tr.Cost
+			st.hasBest = true
+		}
+		ev := obs.Event{
+			Type: obs.EventTrial, Phase: phase, Trial: st.trials,
+			Cluster: cluster, RuntimeS: tr.Runtime, Failed: tr.Failed,
+			Objective: tr.Objective, CostUSD: tr.Cost, SpendUSD: st.spend,
+		}
+		if st.hasBest {
+			ev.BestSoFar = st.best
+			ev.RegretS = tr.Objective - st.best
+			ev.Attainment = st.lo.Attainment(st.bestRuntime, st.bestCost, 0)
+		}
+		p := st.progressLocked()
+		ev.BurnRate = p.BurnRate()
+		ev.ProjectedSpendUSD = p.ProjectedSpend(st.totalExecs)
+		vio := st.checkSLOLocked()
+		st.mu.Unlock()
+		st.em.Emit(ev)
+		if vio != nil {
+			st.em.Emit(*vio)
+		}
+	}
+}
+
+func (st *sessionTelemetry) progressLocked() slo.Progress {
+	return slo.Progress{
+		Trials:       st.execs,
+		SpendUSD:     st.spend,
+		BestRuntimeS: st.bestRuntime,
+		BestCostUSD:  st.bestCost,
+		HasIncumbent: st.hasBest,
+	}
+}
+
+// checkSLOLocked evaluates the live contract and returns an
+// slo_violation event when the violation set changed since the last one
+// emitted (repeating the same breach every trial would drown the
+// stream).
+func (st *sessionTelemetry) checkSLOLocked() *obs.Event {
+	p := st.progressLocked()
+	v := st.lo.LiveViolations(p, st.totalExecs)
+	if len(v) == 0 {
+		return nil
+	}
+	detail := strings.Join(v, "; ")
+	if detail == st.lastViolate {
+		return nil
+	}
+	st.lastViolate = detail
+	ev := obs.Event{
+		Type: obs.EventSLOViolation, Detail: detail,
+		SpendUSD: p.SpendUSD, BurnRate: p.BurnRate(),
+		ProjectedSpendUSD: p.ProjectedSpend(st.totalExecs),
+	}
+	if st.hasBest {
+		ev.Attainment = st.lo.Attainment(st.bestRuntime, st.bestCost, 0)
+	}
+	return &ev
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/obs"
+)
+
+// runTelemetryPipeline drives one pipeline with an emitter attached and
+// returns the published events in order.
+func runTelemetryPipeline(t *testing.T, reg Registration) []obs.Event {
+	t.Helper()
+	svc := testService(t, 7)
+	log := obs.NewEventLog(1 << 12)
+	ctx := obs.NewEmitterContext(context.Background(),
+		obs.Emitter{Log: log, Session: "job-1", Tenant: reg.Tenant, Workload: reg.Workload.Name()})
+	if _, err := svc.TunePipeline(ctx, reg); err != nil {
+		t.Fatal(err)
+	}
+	return log.Snapshot(0)
+}
+
+func TestPipelineTelemetryStream(t *testing.T) {
+	reg := wcReg("acme")
+	events := runTelemetryPipeline(t, reg)
+	if len(events) == 0 {
+		t.Fatal("no events published")
+	}
+	if events[0].Type != obs.EventSessionStart {
+		t.Errorf("first event = %s, want session_start", events[0].Type)
+	}
+	last := events[len(events)-1]
+	if last.Type != obs.EventSessionEnd {
+		t.Errorf("last event = %s, want session_end", last.Type)
+	}
+	// Budget: cloud 8 + probes 3 + disc 15 + baseline 1.
+	if events[0].BudgetTrials != 27 {
+		t.Errorf("budgetTrials = %d, want 27", events[0].BudgetTrials)
+	}
+
+	var trials, execs int
+	var lastTrialNo int
+	bestPrev := math.Inf(1)
+	var spendPrev, spendFromCosts float64
+	catalog := cloud.DefaultCatalog()
+	for _, e := range events {
+		if e.Session != "job-1" || e.Tenant != "acme" || e.Workload != reg.Workload.Name() {
+			t.Fatalf("identity not stamped: %+v", e)
+		}
+		switch e.Type {
+		case obs.EventTrial:
+			trials++
+			if e.Trial != lastTrialNo+1 {
+				t.Errorf("trial numbering jumped: %d after %d", e.Trial, lastTrialNo)
+			}
+			lastTrialNo = e.Trial
+			if e.Phase != "cloud" && e.Phase != "disc" {
+				t.Errorf("trial %d: phase %q", e.Trial, e.Phase)
+			}
+			if e.BestSoFar != 0 {
+				if e.BestSoFar > bestPrev+1e-12 {
+					t.Errorf("trial %d: best-so-far rose %v -> %v", e.Trial, bestPrev, e.BestSoFar)
+				}
+				bestPrev = e.BestSoFar
+				if e.RegretS < -1e-12 {
+					t.Errorf("trial %d: negative regret %v", e.Trial, e.RegretS)
+				}
+			}
+			fallthrough
+		case obs.EventExecution:
+			if e.Type == obs.EventExecution {
+				execs++
+				if e.Phase != "probe" && e.Phase != "baseline" {
+					t.Errorf("execution phase %q", e.Phase)
+				}
+			}
+			if e.SpendUSD < spendPrev-1e-12 {
+				t.Errorf("spend decreased: %v -> %v", spendPrev, e.SpendUSD)
+			}
+			spendPrev = e.SpendUSD
+			// Re-derive the trial cost from the advertised cluster and
+			// runtime: CostUSD must be exactly ClusterSpec.CostOf.
+			if e.Cluster != "" && !e.Failed {
+				spec := parseClusterString(t, catalog, e.Cluster)
+				if want := spec.CostOf(e.RuntimeS); math.Abs(e.CostUSD-want) > 1e-9 {
+					t.Errorf("%s event cost %v != CostOf(%v) = %v on %s", e.Type, e.CostUSD, e.RuntimeS, want, e.Cluster)
+				}
+				spendFromCosts += e.CostUSD
+			} else {
+				spendFromCosts += e.CostUSD
+			}
+		}
+	}
+	if trials != 8+15 {
+		t.Errorf("trial events = %d, want 23", trials)
+	}
+	if execs != 3+1 {
+		t.Errorf("execution events = %d, want 4 (probes + baseline)", execs)
+	}
+	if math.Abs(spendPrev-spendFromCosts) > 1e-9 {
+		t.Errorf("cumulative spend %v != Σ per-event cost %v", spendPrev, spendFromCosts)
+	}
+	if last.SpendUSD != spendPrev {
+		t.Errorf("session_end spend %v != last cumulative %v", last.SpendUSD, spendPrev)
+	}
+}
+
+func TestPipelineTelemetryViolation(t *testing.T) {
+	reg := wcReg("acme")
+	reg.TuningBudgetUSD = 1e-6 // breached by the very first execution
+	events := runTelemetryPipeline(t, reg)
+	var violations []obs.Event
+	for _, e := range events {
+		if e.Type == obs.EventSLOViolation {
+			violations = append(violations, e)
+		}
+	}
+	if len(violations) == 0 {
+		t.Fatal("tiny tuning budget produced no slo_violation events")
+	}
+	if !strings.Contains(violations[0].Detail, "exceeds budget") {
+		t.Errorf("violation detail = %q", violations[0].Detail)
+	}
+	// Dedupe: identical violation text must not repeat on every trial.
+	seen := map[string]int{}
+	for _, v := range violations {
+		seen[v.Detail]++
+		if seen[v.Detail] > 1 {
+			t.Fatalf("violation %q emitted twice", v.Detail)
+		}
+	}
+}
+
+func TestPipelineNoEmitterNoEvents(t *testing.T) {
+	svc := testService(t, 7)
+	// No emitter on the context: the pipeline must run exactly as before.
+	if _, err := svc.TunePipeline(context.Background(), wcReg("acme")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// parseClusterString resolves "4x nimbus/h1.4xlarge" back to a spec.
+func parseClusterString(t *testing.T, c *cloud.Catalog, s string) cloud.ClusterSpec {
+	t.Helper()
+	i := strings.Index(s, "x ")
+	if i < 0 {
+		t.Fatalf("unparseable cluster %q", s)
+	}
+	count, err := strconv.Atoi(s[:i])
+	if err != nil {
+		t.Fatalf("unparseable cluster count in %q: %v", s, err)
+	}
+	inst, err := c.Lookup(s[i+2:])
+	if err != nil {
+		t.Fatalf("unknown instance in cluster %q: %v", s, err)
+	}
+	return cloud.ClusterSpec{Instance: inst, Count: count}
+}

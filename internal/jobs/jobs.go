@@ -88,6 +88,7 @@ type Engine struct {
 	jobs      map[string]*job
 	order     []*job // submission order, for List
 	tenants   map[string]*tenantQueue
+	usage     map[string]*tenantUsage
 	ready     []string // tenants with pending work and no active worker
 	nextID    int
 	queued    int
@@ -116,6 +117,7 @@ func NewEngine(workers, maxQueued int) *Engine {
 	e := &Engine{
 		jobs:      make(map[string]*job),
 		tenants:   make(map[string]*tenantQueue),
+		usage:     make(map[string]*tenantUsage),
 		workers:   workers,
 		maxQueued: maxQueued,
 	}
@@ -154,6 +156,7 @@ func (e *Engine) Submit(tenant string, task Task) (Job, error) {
 	e.jobs[j.ID] = j
 	e.order = append(e.order, j)
 	e.queued++
+	e.usageFor(tenant).Jobs++
 	mSubmitted.With(tenant).Inc()
 	mQueueDepth.Add(1)
 	tq := e.tenants[tenant]

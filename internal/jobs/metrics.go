@@ -21,10 +21,10 @@ var (
 		"Jobs currently executing on a worker.")
 	mWorkers = obs.Default().Gauge("jobs_workers",
 		"Size of the engine's worker pool.")
-	mWaitSeconds = obs.Default().HistogramVec("jobs_wait_seconds",
+	mWaitSeconds = obs.Default().HistogramVecSketched("jobs_wait_seconds",
 		"Time from submission to start, by tenant.",
 		obs.ExpBuckets(1e-4, 4, 12), "tenant")
-	mRunSeconds = obs.Default().HistogramVec("jobs_run_seconds",
+	mRunSeconds = obs.Default().HistogramVecSketched("jobs_run_seconds",
 		"Time from start to finish, by tenant.",
 		obs.ExpBuckets(1e-4, 4, 12), "tenant")
 )

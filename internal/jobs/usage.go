@@ -1,0 +1,88 @@
+package jobs
+
+import "sort"
+
+// Usage is the per-tenant accounting the tuning-as-a-service contract
+// needs to settle a bill and show SLO posture: how many jobs the tenant
+// submitted, how many budgeted trials their sessions burned, the
+// cumulative tuning spend in dollars, and the most recent SLO attainment
+// reported by a session.
+type Usage struct {
+	Tenant string `json:"tenant"`
+	// Jobs counts submissions accepted for the tenant.
+	Jobs int `json:"jobs"`
+	// Trials counts budgeted executions across the tenant's sessions.
+	Trials int `json:"trials"`
+	// SpendUSD is the tenant's cumulative tuning spend.
+	SpendUSD float64 `json:"spendUSD"`
+	// Attainment is the latest reported fraction of active SLO clauses the
+	// tenant's incumbent meets (0 until a session reports one).
+	Attainment float64 `json:"attainment"`
+	// HasAttainment distinguishes "no session reported yet" from a
+	// reported attainment of zero.
+	HasAttainment bool `json:"hasAttainment,omitempty"`
+}
+
+// tenantUsage is the engine-internal mutable record behind Usage.
+type tenantUsage struct {
+	Usage
+}
+
+func (e *Engine) usageFor(tenant string) *tenantUsage {
+	u := e.usage[tenant]
+	if u == nil {
+		u = &tenantUsage{Usage: Usage{Tenant: tenant}}
+		e.usage[tenant] = u
+	}
+	return u
+}
+
+// AddUsage accrues trials and spend to a tenant's account. The usage
+// pump in tuneserve calls it per telemetry event, so deltas are small
+// and frequent.
+func (e *Engine) AddUsage(tenant string, trials int, spendUSD float64) {
+	if tenant == "" {
+		return
+	}
+	e.mu.Lock()
+	u := e.usageFor(tenant)
+	u.Trials += trials
+	u.SpendUSD += spendUSD
+	e.mu.Unlock()
+}
+
+// SetAttainment records the tenant's most recent SLO attainment.
+func (e *Engine) SetAttainment(tenant string, attainment float64) {
+	if tenant == "" {
+		return
+	}
+	e.mu.Lock()
+	u := e.usageFor(tenant)
+	u.Attainment = attainment
+	u.HasAttainment = true
+	e.mu.Unlock()
+}
+
+// Usage returns every tenant's accounting, sorted by tenant.
+func (e *Engine) Usage() []Usage {
+	e.mu.Lock()
+	out := make([]Usage, 0, len(e.usage))
+	for _, u := range e.usage {
+		out = append(out, u.Usage)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// TenantUsage returns one tenant's accounting; ok is false when the
+// engine has never seen the tenant.
+func (e *Engine) TenantUsage(tenant string) (Usage, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u, ok := e.usage[tenant]
+	if !ok {
+		return Usage{}, false
+	}
+	return u.Usage, true
+}

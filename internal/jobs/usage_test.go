@@ -1,0 +1,83 @@
+package jobs
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestUsageAccounting(t *testing.T) {
+	e := NewEngine(2, 0)
+	defer e.Close()
+
+	noop := func(ctx context.Context) (any, error) { return nil, nil }
+	for i := 0; i < 3; i++ {
+		if _, err := e.Submit("acme", noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Submit("globex", noop); err != nil {
+		t.Fatal(err)
+	}
+	e.AddUsage("acme", 10, 0.5)
+	e.AddUsage("acme", 5, 0.25)
+	e.SetAttainment("acme", 0.75)
+
+	u, ok := e.TenantUsage("acme")
+	if !ok {
+		t.Fatal("acme usage missing")
+	}
+	if u.Jobs != 3 || u.Trials != 15 || math.Abs(u.SpendUSD-0.75) > 1e-12 {
+		t.Errorf("acme usage = %+v", u)
+	}
+	if !u.HasAttainment || u.Attainment != 0.75 {
+		t.Errorf("acme attainment = %+v", u)
+	}
+
+	g, ok := e.TenantUsage("globex")
+	if !ok {
+		t.Fatal("globex usage missing")
+	}
+	if g.Jobs != 1 || g.Trials != 0 || g.SpendUSD != 0 || g.HasAttainment {
+		t.Errorf("globex usage = %+v", g)
+	}
+
+	if _, ok := e.TenantUsage("nobody"); ok {
+		t.Error("unknown tenant reported usage")
+	}
+
+	all := e.Usage()
+	if len(all) != 2 || all[0].Tenant != "acme" || all[1].Tenant != "globex" {
+		t.Errorf("Usage() = %+v, want sorted [acme globex]", all)
+	}
+
+	// Empty-tenant guards.
+	e.AddUsage("", 1, 1)
+	e.SetAttainment("", 1)
+	if len(e.Usage()) != 2 {
+		t.Error("empty tenant leaked into usage")
+	}
+}
+
+func TestUsageConcurrent(t *testing.T) {
+	e := NewEngine(2, 0)
+	defer e.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				e.AddUsage("acme", 1, 0.01)
+				e.SetAttainment("acme", 0.5)
+				e.Usage()
+			}
+		}()
+	}
+	wg.Wait()
+	u, _ := e.TenantUsage("acme")
+	if u.Trials != 2000 || math.Abs(u.SpendUSD-20) > 1e-9 {
+		t.Errorf("usage after concurrent accrual = %+v", u)
+	}
+}

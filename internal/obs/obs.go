@@ -78,6 +78,9 @@ type family struct {
 	kind    Kind
 	labels  []string
 	buckets []float64 // histogram upper bounds, strictly increasing
+	// sketched histogram families feed a mergeable quantile sketch per
+	// series alongside the fixed buckets (see HistogramSketched).
+	sketched bool
 
 	mu       sync.RWMutex
 	children map[string]*series
@@ -93,11 +96,14 @@ type series struct {
 
 // hist is the histogram state: cumulative-free per-bucket counts (the
 // last slot counts observations above every bound), plus sum and count.
+// sketch, when non-nil, additionally receives every observation for
+// quantile estimation (sketched families only).
 type hist struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1
 	sum    atomic.Uint64   // float bits
 	count  atomic.Uint64
+	sketch *Sketch
 }
 
 // addFloat atomically adds v to the float bits in a.
@@ -115,13 +121,15 @@ func addFloat(a *atomic.Uint64, v float64) {
 // re-registrations agree on kind and label schema — the same contract as
 // Prometheus client libraries, so independent packages can safely share
 // the Default registry.
-func (r *Registry) family(name, help string, kind Kind, labels []string, buckets []float64) *family {
+func (r *Registry) family(name, help string, kind Kind, labels []string, buckets []float64, sketched bool) *family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.families[name]; ok {
 		if f.kind != kind || len(f.labels) != len(labels) {
 			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind or label schema", name))
 		}
+		// The first registration's sketched choice wins; disagreeing
+		// re-registrations are tolerated (sketches are an additive view).
 		return f
 	}
 	f := &family{
@@ -130,6 +138,7 @@ func (r *Registry) family(name, help string, kind Kind, labels []string, buckets
 		kind:     kind,
 		labels:   append([]string(nil), labels...),
 		buckets:  append([]float64(nil), buckets...),
+		sketched: sketched,
 		children: make(map[string]*series),
 	}
 	r.families[name] = f
@@ -163,6 +172,9 @@ func (f *family) child(vals []string) *series {
 	s = &series{labelVals: append([]string(nil), vals...)}
 	if f.kind == KindHistogram {
 		s.hist = &hist{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+		if f.sketched {
+			s.hist.sketch = NewSketch(0)
+		}
 	}
 	f.children[key] = s
 	return s
@@ -236,6 +248,9 @@ func (h Histogram) Observe(v float64) {
 	hh.counts[i].Add(1)
 	addFloat(&hh.sum, v)
 	hh.count.Add(1)
+	if hh.sketch != nil {
+		hh.sketch.Add(v)
+	}
 }
 
 // Count returns the number of observations.
@@ -257,19 +272,29 @@ func (h Histogram) Sum() float64 {
 // Counter registers (or finds) an unlabeled counter family and returns
 // its single series.
 func (r *Registry) Counter(name, help string) Counter {
-	return Counter{r.family(name, help, KindCounter, nil, nil).child(nil)}
+	return Counter{r.family(name, help, KindCounter, nil, nil, false).child(nil)}
 }
 
 // Gauge registers (or finds) an unlabeled gauge family and returns its
 // single series.
 func (r *Registry) Gauge(name, help string) Gauge {
-	return Gauge{r.family(name, help, KindGauge, nil, nil).child(nil)}
+	return Gauge{r.family(name, help, KindGauge, nil, nil, false).child(nil)}
 }
 
 // Histogram registers (or finds) an unlabeled histogram family with the
 // given bucket upper bounds and returns its single series.
 func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
-	return Histogram{r.family(name, help, KindHistogram, nil, buckets).child(nil).hist}
+	return Histogram{r.family(name, help, KindHistogram, nil, buckets, false).child(nil).hist}
+}
+
+// HistogramSketched is Histogram with a mergeable quantile sketch
+// attached: every observation also feeds a Sketch, and snapshots carry
+// p50/p90/p99 estimates (JSON exposition only). Observe pays one short
+// mutex acquisition on top of the lock-free bucket update, so reserve it
+// for families observed at per-request or per-trial rate, not per-task
+// inner loops.
+func (r *Registry) HistogramSketched(name, help string, buckets []float64) Histogram {
+	return Histogram{r.family(name, help, KindHistogram, nil, buckets, true).child(nil).hist}
 }
 
 // CounterVec is a counter family with labels.
@@ -277,7 +302,7 @@ type CounterVec struct{ f *family }
 
 // CounterVec registers (or finds) a labeled counter family.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
-	return &CounterVec{r.family(name, help, KindCounter, labels, nil)}
+	return &CounterVec{r.family(name, help, KindCounter, labels, nil, false)}
 }
 
 // With returns the counter for the given label values, creating it on
@@ -289,7 +314,7 @@ type GaugeVec struct{ f *family }
 
 // GaugeVec registers (or finds) a labeled gauge family.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
-	return &GaugeVec{r.family(name, help, KindGauge, labels, nil)}
+	return &GaugeVec{r.family(name, help, KindGauge, labels, nil, false)}
 }
 
 // With returns the gauge for the given label values.
@@ -301,7 +326,13 @@ type HistogramVec struct{ f *family }
 
 // HistogramVec registers (or finds) a labeled histogram family.
 func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
-	return &HistogramVec{r.family(name, help, KindHistogram, labels, buckets)}
+	return &HistogramVec{r.family(name, help, KindHistogram, labels, buckets, false)}
+}
+
+// HistogramVecSketched is HistogramVec with a per-series quantile sketch
+// (see HistogramSketched for the trade-off).
+func (r *Registry) HistogramVecSketched(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, KindHistogram, labels, buckets, true)}
 }
 
 // With returns the histogram for the given label values.
@@ -350,6 +381,11 @@ type SeriesSnapshot struct {
 	// Buckets holds cumulative counts at each finite upper bound; the
 	// implicit +Inf bucket equals Count.
 	Buckets []Bucket `json:"buckets,omitempty"`
+	// Quantiles holds sketch-estimated quantiles (keys p50, p90, p99) for
+	// histogram series of sketched families; nil otherwise. They appear
+	// in the JSON exposition only — the Prometheus text format stays pure
+	// cumulative-bucket histograms.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // Bucket is one cumulative histogram bucket.
@@ -396,6 +432,10 @@ func (r *Registry) Gather() Snapshot {
 				// concurrent Observe is mid-flight.
 				ss.Count = cum + s.hist.counts[len(s.hist.bounds)].Load()
 				ss.Sum = math.Float64frombits(s.hist.sum.Load())
+				if sk := s.hist.sketch; sk != nil && sk.Count() > 0 {
+					q := sk.Quantiles(0.5, 0.9, 0.99)
+					ss.Quantiles = map[string]float64{"p50": q[0], "p90": q[1], "p99": q[2]}
+				}
 			} else {
 				ss.Value = math.Float64frombits(s.bits.Load())
 			}

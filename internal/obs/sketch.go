@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Sketch is a mergeable streaming quantile sketch in the KLL family: a
+// stack of levels where level i holds samples of weight 2^i. When a
+// level fills it is sorted and every other item (random offset) is
+// promoted with doubled weight, so total weight is preserved exactly and
+// memory stays O(k · log(n/k)) regardless of stream length. It
+// complements the registry's fixed-bucket histograms: buckets give exact
+// counts at fixed bounds, the sketch gives quantiles (p50/p90/p99) with
+// rank error shrinking in k and no bucket-layout choice to get wrong.
+//
+// Construct with NewSketch. All methods are safe for concurrent use; Add
+// is a short critical section (amortized O(1), an occasional sort).
+type Sketch struct {
+	mu     sync.Mutex
+	k      int // per-level capacity
+	levels [][]float64
+	count  uint64
+	min    float64
+	max    float64
+	rng    uint64 // xorshift64 state for compaction offsets
+}
+
+// DefaultSketchK is the per-level capacity NewSketch(0) uses; rank error
+// is roughly 1/k·√levels, well under 1% for typical series lengths.
+const DefaultSketchK = 256
+
+// NewSketch returns an empty sketch with per-level capacity k (0 uses
+// DefaultSketchK).
+func NewSketch(k int) *Sketch {
+	if k <= 0 {
+		k = DefaultSketchK
+	}
+	if k < 8 {
+		k = 8
+	}
+	return &Sketch{
+		k:      k,
+		levels: [][]float64{make([]float64, 0, k)},
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+		rng:    uint64(k)*0x9e3779b97f4a7c15 + 1,
+	}
+}
+
+// Add inserts one observation. NaN is ignored.
+func (s *Sketch) Add(v float64) {
+	if s == nil || math.IsNaN(v) {
+		return
+	}
+	s.mu.Lock()
+	s.count++
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.levels[0] = append(s.levels[0], v)
+	if len(s.levels[0]) >= s.k {
+		s.compact(0)
+	}
+	s.mu.Unlock()
+}
+
+// compact halves level i by promoting every other sorted item (random
+// parity) to level i+1 with doubled weight, cascading upward as needed.
+// An odd element stays behind at its level, so Σ weight == count always.
+func (s *Sketch) compact(i int) {
+	lv := s.levels[i]
+	sort.Float64s(lv)
+	var parked float64
+	hasParked := false
+	if len(lv)%2 == 1 {
+		// Park one random-end element at this level to make the count
+		// even; alternating ends avoids always retaining one extreme.
+		idx := len(lv) - 1
+		if s.nextRand()&1 == 0 {
+			idx = 0
+		}
+		parked, hasParked = lv[idx], true
+		copy(lv[idx:], lv[idx+1:])
+		lv = lv[:len(lv)-1]
+	}
+	off := int(s.nextRand() & 1)
+	if i+1 >= len(s.levels) {
+		s.levels = append(s.levels, make([]float64, 0, s.k))
+	}
+	for j := off; j < len(lv); j += 2 {
+		s.levels[i+1] = append(s.levels[i+1], lv[j])
+	}
+	s.levels[i] = s.levels[i][:0]
+	if hasParked {
+		s.levels[i] = append(s.levels[i], parked)
+	}
+	if len(s.levels[i+1]) >= s.k {
+		s.compact(i + 1)
+	}
+}
+
+func (s *Sketch) nextRand() uint64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return x
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Merge folds o into s (o is left unchanged). Sketches of partitioned
+// streams merge into the sketch of the union with the same error
+// guarantees — the property that lets per-shard or per-process sketches
+// aggregate.
+func (s *Sketch) Merge(o *Sketch) {
+	if s == nil || o == nil {
+		return
+	}
+	// Copy o's state first so the two locks are never held together
+	// (Merge(a,b) racing Merge(b,a) must not deadlock).
+	o.mu.Lock()
+	olevels := make([][]float64, len(o.levels))
+	for i, lv := range o.levels {
+		olevels[i] = append([]float64(nil), lv...)
+	}
+	ocount, omin, omax := o.count, o.min, o.max
+	o.mu.Unlock()
+
+	s.mu.Lock()
+	s.count += ocount
+	if omin < s.min {
+		s.min = omin
+	}
+	if omax > s.max {
+		s.max = omax
+	}
+	for i, lv := range olevels {
+		for i >= len(s.levels) {
+			s.levels = append(s.levels, make([]float64, 0, s.k))
+		}
+		s.levels[i] = append(s.levels[i], lv...)
+		if len(s.levels[i]) >= s.k {
+			s.compact(i)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Quantile returns the estimated q-quantile (q clamped to [0, 1]); 0
+// and 1 return the exact min and max. An empty sketch returns 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	type wv struct {
+		v float64
+		w uint64
+	}
+	items := make([]wv, 0, s.k*2)
+	for i, lv := range s.levels {
+		w := uint64(1) << uint(i)
+		for _, v := range lv {
+			items = append(items, wv{v, w})
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].v < items[b].v })
+	target := q * float64(s.count)
+	cum := 0.0
+	for _, it := range items {
+		cum += float64(it.w)
+		if cum >= target {
+			return it.v
+		}
+	}
+	return s.max
+}
+
+// Quantiles returns estimates for several ranks in one lock acquisition
+// order (each via Quantile; the sketch is small, repeated sorts are
+// cheap relative to snapshot encoding).
+func (s *Sketch) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = s.Quantile(q)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// rankError reports |estimated rank − true rank| / n for value v against
+// the sorted reference data.
+func rankError(sorted []float64, v float64, q float64) float64 {
+	rank := sort.SearchFloat64s(sorted, v)
+	return math.Abs(float64(rank)/float64(len(sorted)) - q)
+}
+
+func TestSketchExactSmall(t *testing.T) {
+	s := NewSketch(64)
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Count(); got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+	// Below k, nothing has compacted: quantiles are exact ranks.
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Errorf("q1 = %v, want 10", got)
+	}
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("q0.5 = %v, want 5", got)
+	}
+}
+
+func TestSketchAccuracyUniform(t *testing.T) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(7))
+	s := NewSketch(0)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64() * 1000
+		s.Add(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		est := s.Quantile(q)
+		if err := rankError(data, est, q); err > 0.03 {
+			t.Errorf("q%.2f: estimate %.2f has rank error %.4f, want ≤ 0.03", q, est, err)
+		}
+	}
+	if s.Quantile(0) != data[0] || s.Quantile(1) != data[n-1] {
+		t.Error("extremes are tracked exactly and must be returned exactly")
+	}
+}
+
+func TestSketchAccuracySkewed(t *testing.T) {
+	// Heavy-tailed data — the regime where fixed buckets go blind and the
+	// sketch must not.
+	const n = 50_000
+	rng := rand.New(rand.NewSource(11))
+	s := NewSketch(0)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Exp(rng.NormFloat64() * 3)
+		s.Add(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		est := s.Quantile(q)
+		if err := rankError(data, est, q); err > 0.03 {
+			t.Errorf("q%.2f: estimate %.4g has rank error %.4f, want ≤ 0.03", q, est, err)
+		}
+	}
+}
+
+// TestSketchWeightConservation: compaction parks odd elements rather
+// than discarding, so the summed item weights always equal the count.
+func TestSketchWeightConservation(t *testing.T) {
+	s := NewSketch(16)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		s.Add(rng.Float64())
+		if i%997 == 0 {
+			var w uint64
+			s.mu.Lock()
+			for lvl, lv := range s.levels {
+				w += uint64(len(lv)) << uint(lvl)
+			}
+			count := s.count
+			s.mu.Unlock()
+			if w != count {
+				t.Fatalf("after %d adds: total weight %d != count %d", i+1, w, count)
+			}
+		}
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	const n = 40_000
+	rng := rand.New(rand.NewSource(19))
+	whole := NewSketch(0)
+	parts := []*Sketch{NewSketch(0), NewSketch(0), NewSketch(0), NewSketch(0)}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()*10 + 50
+		whole.Add(data[i])
+		parts[i%len(parts)].Add(data[i])
+	}
+	merged := NewSketch(0)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != n {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), n)
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		est := merged.Quantile(q)
+		if err := rankError(data, est, q); err > 0.03 {
+			t.Errorf("merged q%.2f: estimate %.3f has rank error %.4f, want ≤ 0.03", q, est, err)
+		}
+	}
+	// Merge must leave the source untouched.
+	if parts[0].Count() != n/4 {
+		t.Errorf("source sketch mutated by merge: count %d", parts[0].Count())
+	}
+	// Merging an empty or nil sketch is a no-op.
+	before := merged.Count()
+	merged.Merge(NewSketch(0))
+	merged.Merge(nil)
+	if merged.Count() != before {
+		t.Errorf("no-op merges changed count: %d → %d", before, merged.Count())
+	}
+}
+
+func TestSketchEdgeCases(t *testing.T) {
+	var nilS *Sketch
+	nilS.Add(1)
+	nilS.Merge(NewSketch(0))
+	if nilS.Quantile(0.5) != 0 || nilS.Count() != 0 {
+		t.Error("nil sketch must behave as empty")
+	}
+	s := NewSketch(0)
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty sketch quantile should be 0")
+	}
+	s.Add(math.NaN())
+	if s.Count() != 0 {
+		t.Error("NaN must be ignored")
+	}
+	s.Add(42)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("single-value sketch q%v = %v, want 42", q, got)
+		}
+	}
+	qs := s.Quantiles(0.5, 0.9, 0.99)
+	if len(qs) != 3 || qs[0] != 42 || qs[1] != 42 || qs[2] != 42 {
+		t.Errorf("Quantiles = %v, want [42 42 42]", qs)
+	}
+}
+
+// TestSketchConcurrency exercises concurrent Add/Merge/Quantile for the
+// -race build, including the Merge(a,b) vs Merge(b,a) lock ordering.
+func TestSketchConcurrency(t *testing.T) {
+	a, b := NewSketch(64), NewSketch(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				a.Add(rng.Float64())
+				b.Add(rng.Float64())
+			}
+		}(int64(g))
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); a.Merge(b) }()
+	go func() { defer wg.Done(); b.Merge(a) }()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			a.Quantile(0.5)
+			b.Quantiles(0.9, 0.99)
+		}
+	}()
+	wg.Wait()
+}
+
+func TestRegistrySketchedHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramSketched("lat_seconds", "", DefBuckets)
+	plain := r.Histogram("plain_seconds", "", DefBuckets)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+		plain.Observe(float64(i))
+	}
+	var sketched, plainSnap *SeriesSnapshot
+	snap := r.Gather()
+	for fi := range snap.Families {
+		fam := &snap.Families[fi]
+		for i := range fam.Series {
+			switch fam.Name {
+			case "lat_seconds":
+				sketched = &fam.Series[i]
+			case "plain_seconds":
+				plainSnap = &fam.Series[i]
+			}
+		}
+	}
+	if sketched == nil || plainSnap == nil {
+		t.Fatal("families missing from Gather")
+	}
+	if plainSnap.Quantiles != nil {
+		t.Errorf("plain histogram gained quantiles: %v", plainSnap.Quantiles)
+	}
+	q := sketched.Quantiles
+	if q == nil {
+		t.Fatal("sketched histogram has no quantiles")
+	}
+	for key, want := range map[string]float64{"p50": 500, "p90": 900, "p99": 990} {
+		got, ok := q[key]
+		if !ok {
+			t.Fatalf("quantiles missing %s: %v", key, q)
+		}
+		if math.Abs(got-want) > 30 { // 3% of 1000 ranks
+			t.Errorf("%s = %v, want ≈ %v", key, got, want)
+		}
+	}
+	// Vec variant: each child gets its own sketch.
+	hv := r.HistogramVecSketched("vec_seconds", "", DefBuckets, "phase")
+	hv.With("cloud").Observe(1)
+	hv.With("disc").Observe(100)
+	for _, fam := range r.Gather().Families {
+		if fam.Name != "vec_seconds" {
+			continue
+		}
+		if len(fam.Series) != 2 {
+			t.Fatalf("vec series = %d, want 2", len(fam.Series))
+		}
+		for _, s := range fam.Series {
+			if s.Quantiles == nil {
+				t.Errorf("vec child %v missing quantiles", s.LabelValues)
+			}
+		}
+	}
+}

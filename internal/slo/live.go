@@ -1,0 +1,108 @@
+package slo
+
+import "fmt"
+
+// Progress is a live snapshot of a running tuning session — the state
+// the telemetry layer evaluates the session's Objective against after
+// every trial.
+type Progress struct {
+	// Trials is how many budgeted executions (trials + probes + the
+	// baseline) have completed.
+	Trials int
+	// SpendUSD is the cumulative tuning spend so far.
+	SpendUSD float64
+	// BestRuntimeS / BestCostUSD describe the incumbent (best successful
+	// configuration found so far); meaningful only when HasIncumbent.
+	BestRuntimeS float64
+	BestCostUSD  float64
+	HasIncumbent bool
+}
+
+// BurnRate is the average tuning spend per completed trial — the
+// dollars-per-trial velocity a provider shows its tenants. Zero before
+// the first trial.
+func (p Progress) BurnRate() float64 {
+	if p.Trials <= 0 {
+		return 0
+	}
+	return p.SpendUSD / float64(p.Trials)
+}
+
+// ProjectedSpend linearly extrapolates the session bill at budget
+// exhaustion: spend/trials · totalTrials. Before the first trial there
+// is nothing to extrapolate from and it returns 0 — callers must not
+// declare a budget breach at trial 0.
+func (p Progress) ProjectedSpend(totalTrials int) float64 {
+	if p.Trials <= 0 || totalTrials <= 0 {
+		return 0
+	}
+	if totalTrials <= p.Trials {
+		return p.SpendUSD
+	}
+	return p.BurnRate() * float64(totalTrials)
+}
+
+// Attainment returns the fraction of the objective's active clauses the
+// achieved (runtime, cost) meets, in [0, 1]. A zero optimalS disables
+// the within-X% clause (the live path usually has no optimum estimate).
+// With no active clauses the objective is trivially attained (1).
+func (o Objective) Attainment(runtimeS, costUSD, optimalS float64) float64 {
+	active, met := 0, 0
+	if o.WithinPctOfOptimal > 0 && optimalS > 0 {
+		active++
+		if Effectiveness(runtimeS, optimalS) <= o.WithinPctOfOptimal {
+			met++
+		}
+	}
+	if o.DeadlineS > 0 {
+		active++
+		if runtimeS <= o.DeadlineS {
+			met++
+		}
+	}
+	if o.BudgetUSDPerRun > 0 {
+		active++
+		if costUSD <= o.BudgetUSDPerRun {
+			met++
+		}
+	}
+	if active == 0 {
+		return 1
+	}
+	return float64(met) / float64(active)
+}
+
+// LiveObjective pairs the per-run Objective with session-level tuning
+// constraints — the contract a tenant attaches to a tuning job.
+type LiveObjective struct {
+	Objective
+	// TuningBudgetUSD caps the total tuning spend for the session. Zero
+	// means unconstrained.
+	TuningBudgetUSD float64
+}
+
+// LiveViolations evaluates the live contract against in-flight progress
+// and returns human-readable breaches: actual spend over the tuning
+// budget, projected spend over the tuning budget (once at least one
+// trial has landed), and the incumbent missing its per-run deadline or
+// cost budget. An unconstrained contract never violates.
+func (lo LiveObjective) LiveViolations(p Progress, totalTrials int) []string {
+	var out []string
+	if lo.TuningBudgetUSD > 0 {
+		if p.SpendUSD > lo.TuningBudgetUSD {
+			out = append(out, fmt.Sprintf("tuning spend $%.4f exceeds budget $%.4f", p.SpendUSD, lo.TuningBudgetUSD))
+		} else if proj := p.ProjectedSpend(totalTrials); proj > lo.TuningBudgetUSD {
+			out = append(out, fmt.Sprintf("projected tuning spend $%.4f (%d trials at $%.4f/trial) exceeds budget $%.4f",
+				proj, totalTrials, p.BurnRate(), lo.TuningBudgetUSD))
+		}
+	}
+	if p.HasIncumbent {
+		if lo.DeadlineS > 0 && p.BestRuntimeS > lo.DeadlineS {
+			out = append(out, fmt.Sprintf("incumbent runtime %.1fs exceeds deadline %.1fs", p.BestRuntimeS, lo.DeadlineS))
+		}
+		if lo.BudgetUSDPerRun > 0 && p.BestCostUSD > lo.BudgetUSDPerRun {
+			out = append(out, fmt.Sprintf("incumbent cost $%.4f exceeds per-run budget $%.4f", p.BestCostUSD, lo.BudgetUSDPerRun))
+		}
+	}
+	return out
+}

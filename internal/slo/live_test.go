@@ -1,0 +1,150 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBurnRateAndProjectionAtTrialZeroAndOne(t *testing.T) {
+	// Trial 0: no data, no burn rate, no projection, no breach.
+	p := Progress{}
+	if got := p.BurnRate(); got != 0 {
+		t.Errorf("burn rate at trial 0 = %v, want 0", got)
+	}
+	if got := p.ProjectedSpend(30); got != 0 {
+		t.Errorf("projection at trial 0 = %v, want 0", got)
+	}
+	lo := LiveObjective{TuningBudgetUSD: 0.01}
+	if v := lo.LiveViolations(p, 30); len(v) != 0 {
+		t.Errorf("trial-0 violations = %v, want none", v)
+	}
+
+	// Trial 1: projection is the first-trial cost times the budget —
+	// deliberately aggressive so runaway spend is flagged immediately.
+	p = Progress{Trials: 1, SpendUSD: 0.5}
+	if got := p.BurnRate(); got != 0.5 {
+		t.Errorf("burn rate at trial 1 = %v, want 0.5", got)
+	}
+	if got := p.ProjectedSpend(30); got != 15 {
+		t.Errorf("projection at trial 1 = %v, want 15", got)
+	}
+	v := lo.LiveViolations(p, 30)
+	if len(v) != 1 || !strings.Contains(v[0], "exceeds budget") {
+		t.Errorf("trial-1 violations = %v, want one spend breach", v)
+	}
+}
+
+func TestProjectedSpendBounds(t *testing.T) {
+	p := Progress{Trials: 10, SpendUSD: 2}
+	// Past the budget, projection equals actual spend (no extrapolation
+	// backwards).
+	if got := p.ProjectedSpend(5); got != 2 {
+		t.Errorf("projection with totalTrials < trials = %v, want 2", got)
+	}
+	if got := p.ProjectedSpend(10); got != 2 {
+		t.Errorf("projection at exactly totalTrials = %v, want 2", got)
+	}
+	if got := p.ProjectedSpend(0); got != 0 {
+		t.Errorf("projection with zero budget = %v, want 0", got)
+	}
+	if got := p.ProjectedSpend(20); math.Abs(got-4) > 1e-12 {
+		t.Errorf("projection at 2x trials = %v, want 4", got)
+	}
+}
+
+func TestZeroBudgetObjectiveNeverViolates(t *testing.T) {
+	// All-zero contract: unconstrained, no violations no matter the state.
+	var lo LiveObjective
+	states := []Progress{
+		{},
+		{Trials: 1, SpendUSD: 1e9},
+		{Trials: 100, SpendUSD: 1e12, HasIncumbent: true, BestRuntimeS: 1e9, BestCostUSD: 1e9},
+	}
+	for _, p := range states {
+		if v := lo.LiveViolations(p, 10); len(v) != 0 {
+			t.Errorf("unconstrained contract violated at %+v: %v", p, v)
+		}
+	}
+	// Attainment with no active clauses is trivially 1.
+	if got := (Objective{}).Attainment(100, 100, 0); got != 1 {
+		t.Errorf("attainment of empty objective = %v, want 1", got)
+	}
+}
+
+func TestActualSpendBreachTakesPrecedenceOverProjection(t *testing.T) {
+	lo := LiveObjective{TuningBudgetUSD: 1}
+	p := Progress{Trials: 2, SpendUSD: 1.5}
+	v := lo.LiveViolations(p, 30)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly one", v)
+	}
+	if !strings.Contains(v[0], "tuning spend $1.5") {
+		t.Errorf("want the actual-spend breach, got %q", v[0])
+	}
+}
+
+func TestIncumbentClauseViolations(t *testing.T) {
+	lo := LiveObjective{
+		Objective: Objective{DeadlineS: 60, BudgetUSDPerRun: 0.10},
+	}
+	// No incumbent yet: per-run clauses cannot fire.
+	p := Progress{Trials: 3, SpendUSD: 0.01}
+	if v := lo.LiveViolations(p, 30); len(v) != 0 {
+		t.Errorf("no-incumbent violations = %v, want none", v)
+	}
+	p.HasIncumbent = true
+	p.BestRuntimeS, p.BestCostUSD = 90, 0.25
+	v := lo.LiveViolations(p, 30)
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want deadline + per-run cost", v)
+	}
+	if !strings.Contains(v[0], "deadline") || !strings.Contains(v[1], "per-run budget") {
+		t.Errorf("unexpected violation text: %v", v)
+	}
+}
+
+func TestAttainmentClauses(t *testing.T) {
+	o := Objective{WithinPctOfOptimal: 0.10, DeadlineS: 60, BudgetUSDPerRun: 0.10}
+	cases := []struct {
+		name                       string
+		runtime, cost, optimal, at float64
+	}{
+		{"all met", 55, 0.05, 52, 1},
+		{"deadline only (optimal unknown)", 55, 0.50, 0, 0.5},
+		{"none met", 90, 0.50, 10, 0},
+		{"within-pct breached only", 55, 0.05, 10, 2.0 / 3.0},
+	}
+	for _, tc := range cases {
+		if got := o.Attainment(tc.runtime, tc.cost, tc.optimal); math.Abs(got-tc.at) > 1e-12 {
+			t.Errorf("%s: attainment = %v, want %v", tc.name, got, tc.at)
+		}
+	}
+}
+
+func TestNeverAmortizingLedger(t *testing.T) {
+	cases := []struct {
+		name string
+		l    Ledger
+	}{
+		{"no saving", Ledger{TuningCostUSD: 10, OldRunCostUSD: 1, NewRunCostUSD: 1}},
+		{"regression", Ledger{TuningCostUSD: 10, OldRunCostUSD: 1, NewRunCostUSD: 2}},
+		{"zero costs", Ledger{}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.l.RunsToAmortize(); err != ErrNeverAmortizes {
+			t.Errorf("%s: err = %v, want ErrNeverAmortizes", tc.name, err)
+		}
+		// Net saving must be monotone non-increasing in the never-amortizing
+		// regime: more runs never dig the hole shallower.
+		if tc.l.NetSavingAfter(100) > tc.l.NetSavingAfter(10) {
+			t.Errorf("%s: net saving improved with more runs despite no per-run saving", tc.name)
+		}
+	}
+	// Sanity: a free tuning session with zero saving amortizes never, not
+	// instantly — the error is about per-run saving, not the bill.
+	free := Ledger{TuningCostUSD: 0, OldRunCostUSD: 1, NewRunCostUSD: 1}
+	if _, err := free.RunsToAmortize(); err != ErrNeverAmortizes {
+		t.Errorf("free tuning with no saving: err = %v, want ErrNeverAmortizes", err)
+	}
+}

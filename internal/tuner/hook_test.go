@@ -1,0 +1,85 @@
+package tuner
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"seamlesstune/internal/confspace"
+)
+
+// TestTrialHook checks that a context-carried hook sees every completed
+// trial, in order, with the session's running best — the contract the
+// core telemetry layer builds on.
+func TestTrialHook(t *testing.T) {
+	s := benchSpace(t)
+	obj := bowl(s)
+	var trials []Trial
+	var bests []float64
+	ctx := WithTrialHook(context.Background(), func(tr Trial, best float64) {
+		trials = append(trials, tr)
+		bests = append(bests, best)
+	})
+	const budget = 12
+	res, err := RunContext(ctx, NewRandomSearch(s), obj, budget, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != budget {
+		t.Fatalf("hook saw %d trials, want %d", len(trials), budget)
+	}
+	for i, tr := range trials {
+		if tr.Index != i {
+			t.Errorf("trial %d: index %d", i, tr.Index)
+		}
+		if bests[i] != res.BestSoFar[i] {
+			t.Errorf("trial %d: hook best %v != trajectory %v", i, bests[i], res.BestSoFar[i])
+		}
+		if i > 0 && bests[i] > bests[i-1] {
+			t.Errorf("best-so-far not monotone at trial %d: %v > %v", i, bests[i], bests[i-1])
+		}
+	}
+}
+
+// TestTrialHookFailedTrials: hooks see failed trials too, with best
+// remaining +Inf until the first success.
+func TestTrialHookFailedTrials(t *testing.T) {
+	s := benchSpace(t)
+	objFn := bowl(s)
+	n := 0
+	mixed := func(cfg confspace.Config) Measurement {
+		n++
+		if n <= 3 {
+			return Measurement{Runtime: 5, Failed: true}
+		}
+		return objFn(cfg)
+	}
+	var bests []float64
+	ctx := WithTrialHook(context.Background(), func(tr Trial, best float64) {
+		bests = append(bests, best)
+	})
+	if _, err := RunContext(ctx, NewRandomSearch(s), mixed, 6, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	if len(bests) != 6 {
+		t.Fatalf("hook saw %d trials, want 6", len(bests))
+	}
+	for i := 0; i < 3; i++ {
+		if !math.IsInf(bests[i], 1) {
+			t.Errorf("trial %d (failed): best = %v, want +Inf", i, bests[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if math.IsInf(bests[i], 1) {
+			t.Errorf("trial %d (success): best still +Inf", i)
+		}
+	}
+}
+
+// TestTrialHookFromEmptyContext: no hook, no call.
+func TestTrialHookFromEmptyContext(t *testing.T) {
+	if h := TrialHookFrom(context.Background()); h != nil {
+		t.Error("hook from empty context should be nil")
+	}
+}

@@ -16,17 +16,17 @@ var (
 		"Tuning sessions started, by strategy.", "tuner")
 	mTrials = obs.Default().CounterVec("tuner_trials_total",
 		"Configuration evaluations, by strategy.", "tuner")
-	mTrialSeconds = obs.Default().Histogram("tuner_trial_seconds",
+	mTrialSeconds = obs.Default().HistogramSketched("tuner_trial_seconds",
 		"Wall time per evaluation: propose + execute + observe.",
 		obs.ExpBuckets(1e-5, 4, 12))
-	mAcqSeconds = obs.Default().Histogram("tuner_acq_seconds",
+	mAcqSeconds = obs.Default().HistogramSketched("tuner_acq_seconds",
 		"Wall time of one BayesOpt acquisition: candidate pool, batched posterior, EI argmax.",
 		obs.ExpBuckets(1e-6, 4, 12))
 
-	mGPFitSeconds = obs.Default().Histogram("gp_fit_seconds",
+	mGPFitSeconds = obs.Default().HistogramSketched("gp_fit_seconds",
 		"Wall time of GP model fits (hyper-grid or additive sweeps included).",
 		obs.ExpBuckets(1e-6, 4, 13))
-	mGPPredictSeconds = obs.Default().Histogram("gp_predict_seconds",
+	mGPPredictSeconds = obs.Default().HistogramSketched("gp_predict_seconds",
 		"Wall time of GP posterior queries (single or batched).",
 		obs.ExpBuckets(1e-7, 4, 13))
 	mGPFitPoints = obs.Default().Histogram("gp_fit_points",

@@ -122,6 +122,31 @@ func MinimizeCostDelay(dollarPerHour float64) Scorer {
 	return func(m Measurement) float64 { return m.Cost + dollarPerHour/3600*m.Runtime }
 }
 
+// TrialHook observes completed trials as a session runs: it is called
+// after the tuner's own Observe with the finished trial and the best
+// objective seen so far in the session (+Inf until the first success).
+// Hooks run synchronously on the session goroutine — they must be cheap
+// and non-blocking (the telemetry layer publishes to a drop-not-block
+// event bus).
+type TrialHook func(t Trial, bestSoFar float64)
+
+type trialHookCtxKey struct{}
+
+// WithTrialHook returns ctx carrying a hook that RunForContext invokes
+// for every completed trial. Layered callers (core's session telemetry)
+// use this to watch trials without owning the tuning loop.
+func WithTrialHook(ctx context.Context, h TrialHook) context.Context {
+	return context.WithValue(ctx, trialHookCtxKey{}, h)
+}
+
+// TrialHookFrom returns the hook carried by ctx, or nil.
+func TrialHookFrom(ctx context.Context) TrialHook {
+	if h, ok := ctx.Value(trialHookCtxKey{}).(TrialHook); ok {
+		return h
+	}
+	return nil
+}
+
 // Run drives t against obj for exactly budget evaluations, minimizing
 // runtime.
 func Run(t Tuner, obj Objective, budget int, rng *rand.Rand) (Result, error) {
@@ -159,6 +184,7 @@ func RunForContext(ctx context.Context, t Tuner, obj Objective, budget int, rng 
 	}
 	name := t.Name()
 	tr := obs.FromContext(ctx)
+	hook := TrialHookFrom(ctx)
 	mSessions.With(name).Inc()
 	trials := mTrials.With(name)
 	res := Result{BestSoFar: make([]float64, 0, budget)}
@@ -192,6 +218,9 @@ func RunForContext(ctx context.Context, t Tuner, obj Objective, budget int, rng 
 		}
 		res.BestSoFar = append(res.BestSoFar, best)
 		t.Observe(trial)
+		if hook != nil {
+			hook(trial, best)
+		}
 		mTrialSeconds.Observe(time.Since(start).Seconds())
 		trials.Inc()
 		sp.Num("trial", float64(i))
