@@ -36,12 +36,16 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Substrate micro-benchmarks only (simulator, GP, acquisition, encoding),
-# 5 samples each, recorded as JSON for regression tracking (see
-# docs/PERFORMANCE.md).
+# Substrate micro-benchmarks only (simulator, GP, acquisition, encoding,
+# surrogate tier), 5 samples each, recorded as JSON for regression
+# tracking (see docs/PERFORMANCE.md). The warm-start pass runs one
+# iteration per sample: its exact-GP arm refits a 2000-point history from
+# scratch (~50s each) — the O(n³) ceiling the scalable surrogates remove.
 bench-substrate:
-	$(GO) test -run '^$$' -bench 'SimulatorRun|GPFitPredict|GPPredictBatch|BayesOptStep|ConfspaceEncode' \
-		-benchmem -count=5 . | $(GO) run ./cmd/benchjson > BENCH_substrate.json
+	( $(GO) test -run '^$$' -bench 'SimulatorRun|GPFitPredict|GPPredictBatch|BayesOptStep|ConfspaceEncode|SurrogateFit|SurrogatePredict' \
+		-benchmem -count=5 . ; \
+	  $(GO) test -run '^$$' -bench 'BayesOptWarmStart' -benchtime 1x -count=1 . ) \
+		| $(GO) run ./cmd/benchjson > BENCH_substrate.json
 	@echo wrote BENCH_substrate.json
 
 # Observability-overhead benchmarks: the cost of the hot-path metric and
@@ -75,6 +79,10 @@ bench-check:
 		-benchmem -count=3 ./internal/spark . | $(GO) run ./cmd/benchjson > $(BENCHTMP)/sim.json
 	$(GO) run ./cmd/benchguard -old BENCH_sim.json -new $(BENCHTMP)/sim.json \
 		-guard 'BenchmarkSimRunPooled$$|BenchmarkSimCacheTuning/|BenchmarkSimBatchEval/' -max-regress 0.25
+	$(GO) test -run '^$$' -bench 'Surrogate(Fit|Predict)/(rffgp|forest)' \
+		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > $(BENCHTMP)/surrogate.json
+	$(GO) run ./cmd/benchguard -old BENCH_substrate.json -new $(BENCHTMP)/surrogate.json \
+		-guard 'BenchmarkSurrogate(Fit|Predict)/(rffgp|forest)/' -max-regress 0.25
 
 # Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
 experiments:

@@ -13,6 +13,7 @@ import (
 	"seamlesstune/internal/simcache"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/stat"
+	"seamlesstune/internal/surrogate"
 	"seamlesstune/internal/tuner"
 	"seamlesstune/internal/workload"
 )
@@ -475,5 +476,108 @@ func BenchmarkSimRunCached(b *testing.B) {
 		if res.Failed {
 			b.Fatal(res.Reason)
 		}
+	}
+}
+
+// surrogateData draws n noisy observations of a quadratic bowl over the
+// dim-dimensional unit cube — the shape of a tuning history.
+func surrogateData(n, dim int) ([][]float64, []float64) {
+	rng := stat.NewRNG(7)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, dim)
+		y := 0.0
+		for d := range x {
+			x[d] = rng.Float64()
+			y += (x[d] - 0.5) * (x[d] - 0.5)
+		}
+		xs[i] = x
+		ys[i] = 20*y + 0.5*rng.NormFloat64()
+	}
+	return xs, ys
+}
+
+// BenchmarkSurrogateFit profiles a from-scratch fit per backend across
+// history sizes. The exact GP is skipped at n=10000: its O(n³) hyper
+// grid takes minutes per fit there — the ceiling the scalable backends
+// exist to remove (see docs/PERFORMANCE.md).
+func BenchmarkSurrogateFit(b *testing.B) {
+	for _, kind := range surrogate.Names() {
+		for _, n := range []int{100, 1000, 10000} {
+			if kind == surrogate.KindGP && n > 1000 {
+				continue
+			}
+			xs, ys := surrogateData(n, 8)
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m, err := surrogate.New(surrogate.Config{Kind: kind, Seed: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := m.Fit(xs, ys); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSurrogatePredict profiles a 500-point posterior batch over a
+// model fitted on 1000 observations — the acquisition hot path.
+func BenchmarkSurrogatePredict(b *testing.B) {
+	xs, ys := surrogateData(1000, 8)
+	qs, _ := surrogateData(500, 8)
+	for _, kind := range surrogate.Names() {
+		b.Run(kind+"/batch=500", func(b *testing.B) {
+			// Fit inside the sub-benchmark so filtered-out backends never
+			// pay their fit cost (the exact GP's is seconds at n=1000).
+			m, err := surrogate.New(surrogate.Config{Kind: kind, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Fit(xs, ys); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(qs)
+			}
+		})
+	}
+}
+
+// BenchmarkBayesOptWarmStart measures session startup against a large
+// transferred history: absorb 2000 warm-start trials, fit the surrogate,
+// and propose the first configuration. This is the acceptance number for
+// the surrogate tier — the scalable backends must beat the exact GP by
+// an order of magnitude here.
+func BenchmarkBayesOptWarmStart(b *testing.B) {
+	const n = 2000
+	space := confspace.SparkSubspace(12)
+	rng := stat.NewRNG(3)
+	warm := make([]tuner.Trial, n)
+	for i := range warm {
+		cfg := space.Random(rng)
+		y := 0.0
+		for _, e := range space.Encode(cfg) {
+			y += (e - 0.7) * (e - 0.7)
+		}
+		y = 20*y + 0.5*rng.NormFloat64()
+		warm[i] = tuner.Trial{Index: i, Config: cfg, Measurement: tuner.Measurement{Runtime: y}, Objective: y}
+	}
+	for _, kind := range surrogate.Names() {
+		b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bo := tuner.NewBayesOpt(space)
+				bo.Surrogate = kind
+				bo.SurrogateSeed = stat.DeriveSeed(3, "surrogate")
+				bo.WarmStart = warm
+				bo.Next(stat.NewRNG(4))
+			}
+		})
 	}
 }

@@ -38,10 +38,14 @@ func run(args []string) error {
 	outPath := fs.String("o", "", "also write results to this file")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (load at chrome://tracing)")
 	useCache := fs.Bool("simcache", true, "memoize repeated simulator evaluations (tables are bit-identical either way)")
+	surrogateKind := fs.String("surrogate", "", "surrogate model for BayesOpt sessions: gp (exact, default), rffgp, or forest")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if err := experiments.SetSurrogate(*surrogateKind); err != nil {
+		return err
+	}
 	if *useCache {
 		experiments.SetSimCache(simcache.New(0))
 	}
@@ -121,10 +125,11 @@ func run(args []string) error {
 			fmt.Fprintln(out, table)
 		}
 		sp.End()
-		// The cache summary rides on the "completed in" timing line so the
-		// tables above stay byte-comparable across runs and cache settings.
-		fmt.Fprintf(out, "(%s completed in %v%s)\n\n",
-			s.ID, time.Since(start).Round(time.Millisecond), cacheDelta(cacheBefore))
+		// The cache summary and surrogate tag ride on the "completed in"
+		// timing line so the tables above stay byte-comparable across runs
+		// and cache settings.
+		fmt.Fprintf(out, "(%s completed in %v, surrogate %s%s)\n\n",
+			s.ID, time.Since(start).Round(time.Millisecond), experiments.Surrogate(), cacheDelta(cacheBefore))
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"seamlesstune/internal/experiments"
 )
 
 func TestRunList(t *testing.T) {
@@ -42,5 +44,26 @@ func TestRunWritesOutputFile(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "== F2:") {
 		t.Errorf("output file missing table: %s", data)
+	}
+}
+
+// -surrogate threads through to the suite and is reported on the timing
+// line; unknown names fail before any experiment runs.
+func TestRunSurrogateFlag(t *testing.T) {
+	defer experiments.SetSurrogate("")
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := run([]string{"-run", "F2", "-surrogate", "rffgp", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "surrogate rffgp") {
+		t.Errorf("timing line missing surrogate tag: %s", data)
+	}
+	if err := run([]string{"-run", "F2", "-surrogate", "xgboost"}); err == nil ||
+		!strings.Contains(err.Error(), "gp, rffgp, forest") {
+		t.Errorf("err = %v, want accepted-list error", err)
 	}
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	tunectl -workload pagerank -size 8 -tuner bayesopt -budget 30
+//	tunectl -workload sort -tuner bayesopt -surrogate rffgp -budget 200
 //	tunectl -workload sort -tuner bestconfig -budget 100 -params 30
 //	tunectl -server http://localhost:8642 -tenant acme -workload sort -size 8
 //	tunectl events job-000001 -server http://localhost:8642   # tail a job's telemetry
@@ -26,6 +27,7 @@ import (
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/stat"
+	"seamlesstune/internal/surrogate"
 	"seamlesstune/internal/tuner"
 	"seamlesstune/internal/workload"
 )
@@ -81,16 +83,24 @@ func run(args []string, out io.Writer) error {
 	server := fs.String("server", "", "tuneserve base URL; when set, tune remotely via the job API")
 	tenant := fs.String("tenant", "", "tenant name for remote tuning (required with -server)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "job polling interval in remote mode")
+	surrogateKind := fs.String("surrogate", "",
+		"surrogate model for bayesopt: "+strings.Join(surrogate.Names(), ", ")+" (default gp; local mode requires -tuner bayesopt)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
-		fmt.Fprintln(out, "workloads:", strings.Join(workload.Names(), ", "))
-		fmt.Fprintln(out, "tuners:   ", strings.Join(tunerNames, ", "))
+		fmt.Fprintln(out, "workloads: ", strings.Join(workload.Names(), ", "))
+		fmt.Fprintln(out, "tuners:    ", strings.Join(tunerNames, ", "))
+		fmt.Fprintln(out, "surrogates:", strings.Join(surrogate.Names(), ", "))
 		return nil
 	}
+	// Fail fast on unknown surrogates in both modes, rather than letting
+	// the server (or a silently-degrading tuner) discover it later.
+	if *surrogateKind != "" && !surrogate.Valid(*surrogateKind) {
+		return fmt.Errorf("unknown surrogate %q (accepted: %s)", *surrogateKind, strings.Join(surrogate.Names(), ", "))
+	}
 	if *server != "" {
-		return runRemote(out, strings.TrimSuffix(*server, "/"), *tenant, *wlName, *sizeGB, *poll)
+		return runRemote(out, strings.TrimSuffix(*server, "/"), *tenant, *wlName, *sizeGB, *surrogateKind, *poll)
 	}
 
 	w, err := workload.ByName(*wlName)
@@ -109,6 +119,14 @@ func run(args []string, out io.Writer) error {
 	tn, err := tunerByName(*tunerName, space)
 	if err != nil {
 		return err
+	}
+	if *surrogateKind != "" {
+		bo, ok := tn.(*tuner.BayesOpt)
+		if !ok {
+			return fmt.Errorf("-surrogate applies to -tuner bayesopt, not %q", *tunerName)
+		}
+		bo.Surrogate = *surrogateKind
+		bo.SurrogateSeed = stat.DeriveSeed(*seed, "surrogate")
 	}
 	level, err := parseLevel(*interference)
 	if err != nil {

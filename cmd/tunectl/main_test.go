@@ -44,6 +44,29 @@ func TestRunList(t *testing.T) {
 	if !strings.Contains(out.String(), "workloads:") || !strings.Contains(out.String(), "bayesopt") {
 		t.Errorf("list output = %s", out.String())
 	}
+	if !strings.Contains(out.String(), "surrogates:") || !strings.Contains(out.String(), "rffgp") {
+		t.Errorf("list output missing surrogates: %s", out.String())
+	}
+}
+
+// Every surrogate backend runs a local bayesopt session end to end, and
+// unknown names fail before any tuning starts.
+func TestRunSurrogateSelection(t *testing.T) {
+	for _, kind := range []string{"gp", "rffgp", "forest"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-workload", "wordcount", "-size", "1", "-tuner", "bayesopt",
+			"-budget", "6", "-params", "4", "-surrogate", kind,
+		}, &out)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	var out bytes.Buffer
+	err := run([]string{"-tuner", "bayesopt", "-surrogate", "xgboost"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "gp, rffgp, forest") {
+		t.Errorf("err = %v, want accepted-list error", err)
+	}
 }
 
 func TestRunErrors(t *testing.T) {
@@ -56,6 +79,8 @@ func TestRunErrors(t *testing.T) {
 		{"unknown instance", []string{"-cluster", "nope/zz"}},
 		{"bad nodes", []string{"-nodes", "0"}},
 		{"bad interference", []string{"-interference", "extreme"}},
+		{"unknown surrogate", []string{"-surrogate", "xgboost"}},
+		{"surrogate without bayesopt", []string{"-tuner", "random", "-surrogate", "forest"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -28,15 +28,19 @@ type remoteError struct {
 
 // runRemote submits the workload to a tuneserve instance via the async
 // job API and polls until the job is terminal.
-func runRemote(out io.Writer, server, tenant, wlName string, sizeGB int64, poll time.Duration) error {
+func runRemote(out io.Writer, server, tenant, wlName string, sizeGB int64, surrogateKind string, poll time.Duration) error {
 	if tenant == "" {
 		return fmt.Errorf("-tenant is required with -server")
 	}
-	body, err := json.Marshal(map[string]any{
+	payload := map[string]any{
 		"tenant":   tenant,
 		"workload": wlName,
 		"inputGB":  sizeGB,
-	})
+	}
+	if surrogateKind != "" {
+		payload["surrogate"] = surrogateKind
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return err
 	}

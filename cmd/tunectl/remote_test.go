@@ -72,6 +72,47 @@ func TestRemoteTuneSucceeds(t *testing.T) {
 	}
 }
 
+// -surrogate rides along in the submission body; omitting it keeps the
+// field out entirely so the server default applies.
+func TestRemoteTuneForwardsSurrogate(t *testing.T) {
+	var mu sync.Mutex
+	var bodies []map[string]any
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad submit body: %v", err)
+		}
+		mu.Lock()
+		bodies = append(bodies, req)
+		mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": "job-000001", "state": "done",
+			"result": map[string]any{"surrogate": "forest"},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	var out bytes.Buffer
+	args := []string{"-server", srv.URL, "-tenant", "acme", "-workload", "sort", "-size", "8", "-poll", "1ms"}
+	if err := run(append(args, "-surrogate", "forest"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := bodies[0]["surrogate"]; got != "forest" {
+		t.Errorf("submission surrogate = %v, want forest", got)
+	}
+	if _, present := bodies[1]["surrogate"]; present {
+		t.Errorf("bare submission carried a surrogate field: %v", bodies[1])
+	}
+	if !strings.Contains(out.String(), `"surrogate": "forest"`) {
+		t.Errorf("result output missing surrogate echo:\n%s", out.String())
+	}
+}
+
 func TestRemoteTuneReportsFailure(t *testing.T) {
 	srv := stubServe(t, "failed", "no configuration succeeded")
 	var out bytes.Buffer

@@ -7,7 +7,7 @@
 //
 // Endpoints (all errors arrive as {"error":{"code","message"}}):
 //
-//	POST /v1/jobs            {"tenant","workload","inputGB"[,"objective"]} → 202 + job; poll for the result
+//	POST /v1/jobs            {"tenant","workload","inputGB"[,"objective"][,"surrogate"]} → 202 + job; poll for the result
 //	GET  /v1/jobs/{id}       job state: queued|running|done|failed (+ result payload)
 //	GET  /v1/jobs            all jobs in submission order
 //	POST /v1/tune            synchronous wrapper: enqueues and waits for the pipeline result
@@ -60,6 +60,7 @@ func main() {
 	simCacheCap := fs.Int("simcache-capacity", 0, "evaluation cache entry bound (0 = default)")
 	eventsCap := fs.Int("events-capacity", 0, "telemetry event ring capacity (0 = default)")
 	eventsOut := fs.String("events-out", "", "path to flush the telemetry event ring to as JSONL on shutdown")
+	surrogateKind := fs.String("surrogate", "", "default surrogate model for BayesOpt sessions: gp (exact, default), rffgp, or forest; per-request \"surrogate\" overrides")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
@@ -77,6 +78,7 @@ func main() {
 		SimCacheCapacity:  *simCacheCap,
 		EventsCapacity:    *eventsCap,
 		EventsPath:        *eventsOut,
+		Surrogate:         *surrogateKind,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -146,12 +148,19 @@ type serverConfig struct {
 	// EventsPath, when set, flushes the event ring to a JSONL file on
 	// shutdown, so a session's telemetry survives the process.
 	EventsPath string
+	// Surrogate sets the server-wide default model backend for BayesOpt
+	// sessions ("" = exact gp); individual requests may override it.
+	Surrogate string
 }
 
 func (c serverConfig) options() []core.Option {
-	return []core.Option{
+	opts := []core.Option{
 		core.WithSeed(c.Seed),
 		core.WithBudgets(c.CloudBudget, c.DISCBudget),
 		core.WithTransferThreshold(c.TransferThreshold),
 	}
+	if c.Surrogate != "" {
+		opts = append(opts, core.WithSurrogate(c.Surrogate))
+	}
+	return opts
 }

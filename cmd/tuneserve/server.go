@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"seamlesstune/internal/obs"
 	"seamlesstune/internal/simcache"
 	"seamlesstune/internal/slo"
+	"seamlesstune/internal/surrogate"
 	"seamlesstune/internal/workload"
 )
 
@@ -230,6 +232,10 @@ type tuneRequest struct {
 	// Objective attaches SLO clauses to the session; sessions evaluate
 	// them live and stream slo_violation events on breach.
 	Objective *objectivePayload `json:"objective,omitempty"`
+	// Surrogate selects the model backend BayesOpt sessions fit: "gp"
+	// (exact, the default), "rffgp", or "forest". Empty defers to the
+	// server's configured default.
+	Surrogate string `json:"surrogate,omitempty"`
 }
 
 // objectivePayload is the wire form of an slo.Objective plus the
@@ -253,10 +259,15 @@ func (req tuneRequest) registration() (core.Registration, error) {
 	if req.Tenant == "" {
 		return core.Registration{}, fmt.Errorf("tenant is required")
 	}
+	if req.Surrogate != "" && !surrogate.Valid(req.Surrogate) {
+		return core.Registration{}, fmt.Errorf("unknown surrogate %q (accepted: %s)",
+			req.Surrogate, strings.Join(surrogate.Names(), ", "))
+	}
 	reg := core.Registration{
 		Tenant:     req.Tenant,
 		Workload:   wl,
 		InputBytes: int64(req.InputGB * (1 << 30)),
+		Surrogate:  req.Surrogate,
 	}
 	if o := req.Objective; o != nil {
 		if o.WithinPctOfOptimal < 0 || o.DeadlineS < 0 || o.BudgetUSDPerRun < 0 || o.TuningBudgetUSD < 0 {
@@ -282,6 +293,7 @@ type tuneResponse struct {
 	TuningCostUSD   float64          `json:"tuningCostUSD"`
 	WarmStarted     bool             `json:"warmStarted"`
 	WarmSource      string           `json:"warmSource,omitempty"`
+	Surrogate       string           `json:"surrogate,omitempty"`
 }
 
 func toTuneResponse(res core.PipelineResult) tuneResponse {
@@ -293,6 +305,7 @@ func toTuneResponse(res core.PipelineResult) tuneResponse {
 		ImprovementPct:  res.Improvement() * 100,
 		TuningCostUSD:   res.TuningCostUSD,
 		WarmStarted:     res.DISC.WarmStarted,
+		Surrogate:       res.Surrogate,
 	}
 	if res.DISC.WarmStarted {
 		resp.WarmSource = res.DISC.Source.String()
@@ -321,7 +334,13 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 	// leaks nothing).
 	tid := s.tracer.NewTraceID()
 	idCh := make(chan string, 1)
-	job, err := s.engine.Submit(reg.Tenant, func(ctx context.Context) (any, error) {
+	// Resolve the surrogate now so the job record reflects the backend
+	// the session will actually fit, not just what the request asked for.
+	resolved := reg.Surrogate
+	if resolved == "" {
+		resolved = s.svc.Surrogate()
+	}
+	job, err := s.engine.SubmitOpts(reg.Tenant, func(ctx context.Context) (any, error) {
 		ctx = obs.NewContext(ctx, obs.Trace{T: s.tracer, ID: tid})
 		ctx = obs.NewEmitterContext(ctx, obs.Emitter{
 			Log:      s.events,
@@ -335,7 +354,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 		}
 		s.markDirty()
 		return toTuneResponse(res), nil
-	})
+	}, jobs.Options{Surrogate: resolved})
 	if err != nil {
 		code, status := "internal", http.StatusInternalServerError
 		if err == jobs.ErrQueueFull {

@@ -403,3 +403,88 @@ func TestStatePersistence(t *testing.T) {
 		t.Error("corrupt state accepted")
 	}
 }
+
+// The surrogate option threads end to end: requests select a backend,
+// the job record echoes the resolved choice (including the server-wide
+// default when the request leaves it blank), the pipeline result reports
+// what ran, and unknown names are rejected with the error envelope.
+func TestJobSurrogateSelection(t *testing.T) {
+	s, err := newServer(serverConfig{
+		Seed: 1, Params: 10, CloudBudget: 5, DISCBudget: 8, Workers: 2,
+		Surrogate: "rffgp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	submit := func(body string) jobView {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(body)))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit status = %d: %s", rec.Code, rec.Body.String())
+		}
+		var jv struct {
+			jobView
+			Surrogate string `json:"surrogate"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &jv); err != nil {
+			t.Fatal(err)
+		}
+		if want := wantSurrogate(body); jv.Surrogate != want {
+			t.Fatalf("submitted job surrogate = %q, want %q (body %s)", jv.Surrogate, want, body)
+		}
+		return jv.jobView
+	}
+
+	// Explicit request override beats the server default.
+	jv := submit(`{"tenant":"acme","workload":"sort","inputGB":2,"surrogate":"forest"}`)
+	final := awaitJob(t, s, jv.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("final = %+v", final)
+	}
+	var resp tuneResponse
+	if err := json.Unmarshal(final.Result, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Surrogate != "forest" {
+		t.Errorf("result surrogate = %q, want forest", resp.Surrogate)
+	}
+
+	// Blank request resolves to the server-wide default.
+	jv = submit(`{"tenant":"acme","workload":"sort","inputGB":2}`)
+	final = awaitJob(t, s, jv.ID)
+	if err := json.Unmarshal(final.Result, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Surrogate != "rffgp" {
+		t.Errorf("default result surrogate = %q, want server default rffgp", resp.Surrogate)
+	}
+
+	// Unknown names fail fast with the uniform envelope and accepted list.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs",
+		strings.NewReader(`{"tenant":"acme","workload":"sort","inputGB":2,"surrogate":"xgboost"}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad surrogate status = %d: %s", rec.Code, rec.Body.String())
+	}
+	for _, want := range []string{`"invalid_argument"`, "xgboost", "gp, rffgp, forest"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("bad surrogate body missing %q: %s", want, rec.Body.String())
+		}
+	}
+}
+
+// wantSurrogate extracts the expected resolved backend for a request
+// body submitted to the rffgp-default test server.
+func wantSurrogate(body string) string {
+	var req tuneRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		return ""
+	}
+	if req.Surrogate != "" {
+		return req.Surrogate
+	}
+	return "rffgp"
+}

@@ -25,6 +25,7 @@ type Managed struct {
 	detector retune.Detector
 	env      *cloud.Environment
 	rng      *rand.Rand
+	base     int64
 
 	retuneBudget int
 	elastic      bool
@@ -66,6 +67,7 @@ func (s *Service) Manage(reg Registration, cluster cloud.ClusterSpec, cfg confsp
 	m := &Managed{
 		svc:          s,
 		reg:          reg,
+		base:         base,
 		cluster:      cluster,
 		current:      cfg.Clone(),
 		detector:     retune.NewAdaptive(),
@@ -147,7 +149,7 @@ func (m *Managed) retune() (confspace.Config, bool) {
 	if m.elastic {
 		m.maybeResize()
 	}
-	bo := tuner.NewBayesOpt(m.svc.sparkSpace)
+	bo := m.svc.newBayesOpt(m.svc.sparkSpace, m.reg, m.base)
 	// Warm-start from this workload's own recent runs so the session
 	// spends its small budget refining, not rediscovering. Older records
 	// reflect outdated input sizes/conditions, so only a window is used.

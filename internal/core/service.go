@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"seamlesstune/internal/slo"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/stat"
+	"seamlesstune/internal/surrogate"
 	"seamlesstune/internal/transfer"
 	"seamlesstune/internal/tuner"
 	"seamlesstune/internal/workload"
@@ -62,6 +64,7 @@ type Service struct {
 	interference       cloud.InterferenceLevel
 	transferThreshold  float64
 	simCache           *simcache.Cache
+	surrogateKind      string
 
 	// subMu guards subs, the per-(kind, tenant, workload) submission
 	// counters that make repeated submissions of the same workload draw
@@ -122,6 +125,15 @@ func WithTransferThreshold(t float64) Option {
 	return func(s *Service) { s.transferThreshold = t }
 }
 
+// WithSurrogate sets the default surrogate model backend Bayesian-
+// optimization sessions fit — a surrogate.Names() entry: "gp" (exact
+// Gaussian process, the default), "rffgp" (random-feature GP
+// approximation), or "forest" (random forest). Per-registration choices
+// override it. NewService rejects unknown names.
+func WithSurrogate(name string) Option {
+	return func(s *Service) { s.surrogateKind = name }
+}
+
 // WithSimCache enables the shared simulator evaluation cache (nil —
 // the default — disables it). The trade-off is a change of determinism
 // contract, which is why caching is opt-in:
@@ -179,7 +191,40 @@ func NewService(opts ...Option) (*Service, error) {
 	if s.transferThreshold < 0 {
 		return nil, fmt.Errorf("core: negative transfer threshold %v", s.transferThreshold)
 	}
+	if s.surrogateKind != "" && !surrogate.Valid(s.surrogateKind) {
+		return nil, fmt.Errorf("core: unknown surrogate %q (accepted: %s)",
+			s.surrogateKind, strings.Join(surrogate.Names(), ", "))
+	}
 	return s, nil
+}
+
+// Surrogate returns the service's default surrogate backend name.
+func (s *Service) Surrogate() string {
+	if s.surrogateKind != "" {
+		return s.surrogateKind
+	}
+	return surrogate.KindGP
+}
+
+// resolveSurrogate returns the backend a session for reg will fit: the
+// registration's explicit choice, else the service default.
+func (s *Service) resolveSurrogate(reg Registration) string {
+	if reg.Surrogate != "" {
+		return reg.Surrogate
+	}
+	return s.Surrogate()
+}
+
+// newBayesOpt builds a session's tuner with the resolved surrogate
+// backend and a surrogate seed derived from the session's base seed.
+// Derivation is stateless — the session's sequential stream is never
+// consumed — so the default exact-GP path remains bit-identical to
+// pre-surrogate-tier services.
+func (s *Service) newBayesOpt(space *confspace.Space, reg Registration, base int64) *tuner.BayesOpt {
+	bo := tuner.NewBayesOpt(space)
+	bo.Surrogate = s.resolveSurrogate(reg)
+	bo.SurrogateSeed = stat.DeriveSeed(base, "surrogate")
+	return bo
 }
 
 // sessionSeed assigns the next submission number for (kind, tenant,
@@ -217,6 +262,10 @@ type Registration struct {
 	// projected spend — emits slo_violation events; it does not abort the
 	// session.
 	TuningBudgetUSD float64
+	// Surrogate optionally overrides the service's default surrogate
+	// model backend for this workload's sessions (a surrogate.Names()
+	// entry; empty = service default).
+	Surrogate string
 }
 
 // Validate reports whether the registration is usable.
@@ -229,6 +278,10 @@ func (r Registration) Validate() error {
 	}
 	if r.InputBytes <= 0 {
 		return fmt.Errorf("core: input size %d must be positive", r.InputBytes)
+	}
+	if r.Surrogate != "" && !surrogate.Valid(r.Surrogate) {
+		return fmt.Errorf("core: unknown surrogate %q (accepted: %s)",
+			r.Surrogate, strings.Join(surrogate.Names(), ", "))
 	}
 	return nil
 }
@@ -319,7 +372,7 @@ func (s *Service) tuneCloud(ctx context.Context, reg Registration, base int64, t
 	}
 	env := cloud.NewEnvironment(s.interference, stat.DeriveSeed(base, "env"))
 	rng := stat.DeriveRNG(base, "search")
-	bo := tuner.NewBayesOpt(cloudSpace)
+	bo := s.newBayesOpt(cloudSpace, reg, base)
 	bo.InitSamples = 4
 	obj := func(cfg confspace.Config) tuner.Measurement {
 		spec, err := confspace.ClusterFromConfig(s.catalog, cloudSpace, cfg)
@@ -423,7 +476,7 @@ func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.
 	endProbe()
 
 	choice := DISCChoice{}
-	bo := tuner.NewBayesOpt(s.sparkSpace)
+	bo := s.newBayesOpt(s.sparkSpace, reg, base)
 	if sel, trials := s.warmStart(reg); sel.Accepted && len(trials) > 0 {
 		bo.WarmStart = trials
 		bo.InitSamples = 3
@@ -493,6 +546,8 @@ type PipelineResult struct {
 	TunedRuntimeS float64
 	// TuningCostUSD totals both stages' execution cost.
 	TuningCostUSD float64
+	// Surrogate is the resolved surrogate backend both stages fitted.
+	Surrogate string
 }
 
 // Improvement returns the relative runtime improvement over the scaled
@@ -541,6 +596,7 @@ func (s *Service) TunePipeline(ctx context.Context, reg Registration) (PipelineR
 		DefaultRuntimeS: baseRes.RuntimeS,
 		TunedRuntimeS:   dc.Session.Best.Runtime,
 		TuningCostUSD:   cc.Session.TotalCost + dc.Session.TotalCost,
+		Surrogate:       s.resolveSurrogate(reg),
 	}
 	tel.sessionEnd(fmt.Sprintf("tuned %.1fs vs default %.1fs (%.0f%% improvement) on %s",
 		res.TunedRuntimeS, res.DefaultRuntimeS, res.Improvement()*100, cc.Cluster))

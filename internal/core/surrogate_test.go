@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/surrogate"
+	"seamlesstune/internal/workload"
+)
+
+func TestWithSurrogateValidation(t *testing.T) {
+	for _, kind := range surrogate.Names() {
+		svc, err := NewService(WithSurrogate(kind))
+		if err != nil {
+			t.Fatalf("WithSurrogate(%q): %v", kind, err)
+		}
+		if got := svc.Surrogate(); got != kind {
+			t.Errorf("Surrogate() = %q, want %q", got, kind)
+		}
+	}
+	if _, err := NewService(WithSurrogate("bogus")); err == nil {
+		t.Error("unknown surrogate accepted")
+	} else if !strings.Contains(err.Error(), "gp, rffgp, forest") {
+		t.Errorf("error %q does not name the accepted list", err)
+	}
+	svc, err := NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Surrogate(); got != surrogate.KindGP {
+		t.Errorf("default Surrogate() = %q, want %q", got, surrogate.KindGP)
+	}
+}
+
+func TestRegistrationSurrogateValidation(t *testing.T) {
+	reg := wcReg("t1")
+	reg.Surrogate = "forest"
+	if err := reg.Validate(); err != nil {
+		t.Errorf("forest registration rejected: %v", err)
+	}
+	reg.Surrogate = "nope"
+	if err := reg.Validate(); err == nil {
+		t.Error("unknown registration surrogate accepted")
+	}
+}
+
+// A registration's surrogate choice overrides the service default, and
+// the resolved backend surfaces in the pipeline result.
+func TestPipelineResolvesAndReportsSurrogate(t *testing.T) {
+	svc, err := NewService(
+		WithSeed(5),
+		WithSparkSpace(smallSpace(t)),
+		WithBudgets(6, 10),
+		WithNodeRange(2, 6),
+		WithSurrogate("rffgp"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.TunePipeline(context.Background(), wcReg("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Surrogate != "rffgp" {
+		t.Errorf("pipeline surrogate = %q, want service default rffgp", res.Surrogate)
+	}
+	reg := wcReg("t1")
+	reg.Surrogate = "forest"
+	res, err = svc.TunePipeline(context.Background(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Surrogate != "forest" {
+		t.Errorf("pipeline surrogate = %q, want registration override forest", res.Surrogate)
+	}
+}
+
+// Sessions with stochastic surrogates replay exactly: two services with
+// the same seed given the same submissions produce identical pipelines.
+func TestPipelineDeterministicWithForestSurrogate(t *testing.T) {
+	run := func() PipelineResult {
+		svc, err := NewService(
+			WithSeed(11),
+			WithSparkSpace(smallSpace(t)),
+			WithBudgets(6, 10),
+			WithNodeRange(2, 6),
+			WithSurrogate("forest"),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := Registration{Tenant: "t9", Workload: workload.Sort{}, InputBytes: 2 * gb}
+		res, err := svc.TunePipeline(context.Background(), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TunedRuntimeS != b.TunedRuntimeS || a.TuningCostUSD != b.TuningCostUSD ||
+		a.Cloud.Cluster.String() != b.Cloud.Cluster.String() {
+		t.Errorf("forest-surrogate pipelines diverged:\n  a: %+v\n  b: %+v", a, b)
+	}
+}

@@ -215,12 +215,12 @@ func C6TransferLearning(seed int64, budget int) (C6Result, error) {
 		}
 		target := ref.Best.Runtime * 1.15
 
-		cold, err := tuner.Run(tuner.NewBayesOpt(space), mkObj(100), budget, stat.NewRNG(seed+int64(pi)*7+1))
+		cold, err := tuner.Run(newBayesOpt(space, seed+int64(pi)*7+1), mkObj(100), budget, stat.NewRNG(seed+int64(pi)*7+1))
 		if err != nil {
 			return C6Result{}, err
 		}
 		warmTrials := collect(p.source, p.srcSz, 30, int64(pi)*1000+500)
-		bo := tuner.NewBayesOpt(space)
+		bo := newBayesOpt(space, seed+int64(pi)*7+1)
 		bo.WarmStart = warmTrials
 		bo.InitSamples = 2
 		warm, err := tuner.Run(bo, mkObj(100), budget, stat.NewRNG(seed+int64(pi)*7+1))
@@ -511,7 +511,7 @@ func C12TuningUnderInterference(seed int64, budget int) (C12Result, error) {
 			res := runSeeded(w.Job(size), spark.FromConfig(space, cfg), cluster, env.Next(), spark.RunOpts{}, seed+int64(li)*1000+int64(i))
 			return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
 		}
-		res, err := tuner.Run(tuner.NewBayesOpt(space), obj, budget, stat.NewRNG(seed+int64(li)*7))
+		res, err := tuner.Run(newBayesOpt(space, seed+int64(li)*7), obj, budget, stat.NewRNG(seed+int64(li)*7))
 		if err != nil {
 			return C12Result{}, err
 		}

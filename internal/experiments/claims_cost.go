@@ -263,7 +263,7 @@ func C2TunerComparison(seed int64, budget int) (C2Result, error) {
 	tuners := []tuner.Tuner{
 		tuner.NewRandomSearch(space),
 		tuner.NewHillClimb(space),
-		tuner.NewBayesOpt(space),
+		newBayesOpt(space, seed),
 		tuner.NewGenetic(space),
 		tuner.NewBestConfig(space),
 		tuner.NewTreeSearch(space),

@@ -239,7 +239,7 @@ func C10ParisVMSelection(seed int64) (C10Result, error) {
 		if err != nil {
 			return C10Result{}, err
 		}
-		bo := tuner.NewBayesOpt(vmSpace)
+		bo := newBayesOpt(vmSpace, seed)
 		bo.InitSamples = 3
 		i := 0
 		obj := func(cfg confspace.Config) tuner.Measurement {
@@ -458,7 +458,7 @@ func C11DACComparison(seed int64) (C11Result, error) {
 		Runs:     dac.TrainRuns + dac.ValidateRuns,
 		CostUSD:  dac.TotalCost,
 	})
-	for _, tn := range []tuner.Tuner{tuner.NewGenetic(space), tuner.NewBayesOpt(space)} {
+	for _, tn := range []tuner.Tuner{tuner.NewGenetic(space), newBayesOpt(space, seed)} {
 		i := 0
 		obj := func(cfg confspace.Config) tuner.Measurement {
 			i++

@@ -83,7 +83,7 @@ func C3SearchSpaceGrowth(seed int64, budget int) (C3Result, error) {
 			if k%2 == 0 {
 				v, err = run(tuner.NewRandomSearch(space), 100+rep*11)
 			} else {
-				v, err = run(tuner.NewBayesOpt(space), 200+rep*11)
+				v, err = run(newBayesOpt(space, seed+200+rep*11), 200+rep*11)
 			}
 			return searchOut{v, err}
 		})
@@ -195,7 +195,7 @@ func C7SLOEfficiency(seed int64) (C7Result, error) {
 			return C7Result{}, err
 		}
 		// Tuned trajectory.
-		session, err := tuner.Run(tuner.NewBayesOpt(space), obj, budgets[len(budgets)-1], stat.NewRNG(seed+202))
+		session, err := tuner.Run(newBayesOpt(space, seed+202), obj, budgets[len(budgets)-1], stat.NewRNG(seed+202))
 		if err != nil {
 			return C7Result{}, err
 		}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/surrogate"
+	"seamlesstune/internal/tuner"
+)
+
+// surrogateKind selects the model backend for every BayesOpt session the
+// experiment suite builds. Empty means the exact GP, keeping every table
+// bit-identical to the published baselines. Like the evaluation cache,
+// it is not safe to change concurrently with running experiments;
+// cmd/experiments sets it once at startup.
+var surrogateKind string
+
+// SetSurrogate installs the suite-wide surrogate backend. Empty restores
+// the default exact GP; unknown names are rejected.
+func SetSurrogate(kind string) error {
+	if kind != "" && !surrogate.Valid(kind) {
+		return fmt.Errorf("unknown surrogate %q (accepted: %s)", kind, strings.Join(surrogate.Names(), ", "))
+	}
+	surrogateKind = kind
+	return nil
+}
+
+// Surrogate reports the backend BayesOpt sessions will fit ("gp" when
+// none was installed) — surfaced on the per-experiment timing lines.
+func Surrogate() string {
+	if surrogateKind == "" {
+		return surrogate.KindGP
+	}
+	return surrogateKind
+}
+
+// newBayesOpt builds a BayesOpt over space honoring the installed
+// surrogate selection. The surrogate's own randomness derives from the
+// session seed, so stochastic backends replay deterministically without
+// perturbing the session's proposal stream.
+func newBayesOpt(space *confspace.Space, seed int64) *tuner.BayesOpt {
+	bo := tuner.NewBayesOpt(space)
+	bo.Surrogate = surrogateKind
+	bo.SurrogateSeed = stat.DeriveSeed(seed, "surrogate")
+	return bo
+}

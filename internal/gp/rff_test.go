@@ -1,0 +1,194 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"seamlesstune/internal/stat"
+)
+
+// rffSample draws a smooth test function over the unit cube: a sum of a
+// quadratic bowl and a low-frequency sinusoid, with a little seeded noise.
+func rffSample(seed int64, n, dim int) (xs [][]float64, ys []float64) {
+	rng := stat.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		y := 0.0
+		for d, v := range x {
+			y += (v - 0.5) * (v - 0.5)
+			y += 0.3 * math.Sin(2*math.Pi*v*float64(d+1)/float64(dim))
+		}
+		y += 0.05 * rng.NormFloat64()
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys
+}
+
+// With hyperparameters pinned to a single grid cell and a generous
+// feature count, the RFF posterior must track the exact GP posterior
+// closely on a small sample — the approximation-quality contract the
+// surrogate tier rests on.
+func TestRFFMatchesExactGPPosterior(t *testing.T) {
+	const (
+		n, dim = 40, 3
+		l, nz  = 0.4, 0.15
+	)
+	xs, ys := rffSample(1, n, dim)
+	exact := New(Matern52{Variance: 1, LengthScale: l}, nz)
+	if err := exact.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	rff := NewRFF(KindMatern52, 99)
+	rff.Features = 2048
+	rff.LengthScales = []float64{l}
+	rff.Noises = []float64{nz}
+	if err := rff.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := rffSample(2, 60, dim)
+	var meanErr, stdErr, meanScale float64
+	for _, q := range qs {
+		em, es := exact.Predict(q)
+		am, as := rff.Predict(q)
+		meanErr += (em - am) * (em - am)
+		stdErr += (es - as) * (es - as)
+		meanScale += em * em
+	}
+	meanRMS := math.Sqrt(meanErr / float64(len(qs)))
+	stdRMS := math.Sqrt(stdErr / float64(len(qs)))
+	// The targets span roughly ±1; demand posterior means within a few
+	// percent of that scale and stds similarly close.
+	if meanRMS > 0.08 {
+		t.Errorf("posterior mean RMS divergence %.4f vs exact GP (scale %.3f)",
+			meanRMS, math.Sqrt(meanScale/float64(len(qs))))
+	}
+	if stdRMS > 0.08 {
+		t.Errorf("posterior std RMS divergence %.4f vs exact GP", stdRMS)
+	}
+}
+
+// Incremental extension shares the absorption code path with full fits,
+// so growing the sample row by row must be bit-identical to one fit over
+// the final sample — including the grid-selected hyperparameters.
+func TestRFFIncrementalExtendMatchesFromScratch(t *testing.T) {
+	xs, ys := rffSample(3, 50, 4)
+	inc := NewRFF(KindMatern52, 7)
+	for i := 10; i <= len(xs); i += 5 {
+		if err := inc.Fit(xs[:i], ys[:i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratch := NewRFF(KindMatern52, 7)
+	if err := scratch.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := rffSample(4, 25, 4)
+	im, is := inc.PredictBatch(qs)
+	sm, ss := scratch.PredictBatch(qs)
+	for j := range qs {
+		if im[j] != sm[j] || is[j] != ss[j] {
+			t.Fatalf("query %d: incremental (%v, %v) != from-scratch (%v, %v)",
+				j, im[j], is[j], sm[j], ss[j])
+		}
+	}
+	if inc.LogMarginalLikelihood() != scratch.LogMarginalLikelihood() {
+		t.Error("incremental LML diverges from from-scratch LML")
+	}
+}
+
+// A Reset rebuilds the accumulated statistics from scratch over the same
+// seed-deterministic features, so the refreshed posterior is identical
+// when rows re-arrive in the same order.
+func TestRFFResetRefitIdentical(t *testing.T) {
+	xs, ys := rffSample(5, 30, 3)
+	r := NewRFF(KindMatern52, 11)
+	if err := r.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := rffSample(6, 10, 3)
+	bm, bs := r.PredictBatch(qs)
+	r.Reset()
+	if r.Fitted() {
+		t.Fatal("Fitted after Reset")
+	}
+	if err := r.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	am, as := r.PredictBatch(qs)
+	for j := range qs {
+		if bm[j] != am[j] || bs[j] != as[j] {
+			t.Fatalf("query %d changed across Reset+Fit: (%v, %v) != (%v, %v)",
+				j, am[j], as[j], bm[j], bs[j])
+		}
+	}
+}
+
+// Two RFFs with the same seed are bit-identical; different seeds draw
+// different features and must differ.
+func TestRFFSeedDeterminism(t *testing.T) {
+	xs, ys := rffSample(8, 35, 3)
+	qs, _ := rffSample(9, 15, 3)
+	fit := func(seed int64) ([]float64, []float64) {
+		r := NewRFF(KindMatern52, seed)
+		if err := r.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		return r.PredictBatch(qs)
+	}
+	m1, s1 := fit(42)
+	m2, s2 := fit(42)
+	for j := range qs {
+		if m1[j] != m2[j] || s1[j] != s2[j] {
+			t.Fatalf("same seed diverged at query %d", j)
+		}
+	}
+	m3, _ := fit(43)
+	same := true
+	for j := range qs {
+		if m1[j] != m3[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical posteriors")
+	}
+}
+
+// PredictBatch must be bit-identical to per-point Predict.
+func TestRFFPredictBatchMatchesPredict(t *testing.T) {
+	xs, ys := rffSample(10, 30, 4)
+	r := NewRFF(KindMatern52, 5)
+	if err := r.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := rffSample(11, 20, 4)
+	bm, bs := r.PredictBatch(qs)
+	for j, q := range qs {
+		m, s := r.Predict(q)
+		if m != bm[j] || s != bs[j] {
+			t.Fatalf("query %d: batch (%v, %v) != single (%v, %v)", j, bm[j], bs[j], m, s)
+		}
+	}
+}
+
+// Unfitted and error behavior mirrors the exact GP.
+func TestRFFUnfittedAndErrors(t *testing.T) {
+	r := NewRFF(KindMatern52, 1)
+	if r.Fitted() {
+		t.Error("zero RFF claims fitted")
+	}
+	if m, s := r.Predict([]float64{0.5}); m != 0 || !math.IsInf(s, 1) {
+		t.Errorf("unfitted Predict = (%v, %v), want (0, +Inf)", m, s)
+	}
+	if err := r.Fit(nil, nil); err == nil {
+		t.Error("empty fit did not error")
+	}
+	if err := r.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched fit did not error")
+	}
+}

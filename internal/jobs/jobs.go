@@ -57,6 +57,18 @@ type Job struct {
 	// scheduling properties such as per-tenant FIFO.
 	StartSeq  int64 `json:"startSeq,omitempty"`
 	FinishSeq int64 `json:"finishSeq,omitempty"`
+	// Surrogate echoes the resolved surrogate model backend the job's
+	// tuning sessions fit (from SubmitOpts; empty when the caller did not
+	// record one).
+	Surrogate string `json:"surrogate,omitempty"`
+}
+
+// Options carries caller-visible metadata attached to a submission and
+// echoed verbatim in every Job snapshot.
+type Options struct {
+	// Surrogate is the resolved surrogate model backend the job's tuning
+	// sessions will use.
+	Surrogate string
 }
 
 // job is the engine-internal mutable record behind Job snapshots.
@@ -134,6 +146,11 @@ func NewEngine(workers, maxQueued int) *Engine {
 // Submit enqueues a task for the tenant and returns the queued job
 // snapshot immediately.
 func (e *Engine) Submit(tenant string, task Task) (Job, error) {
+	return e.SubmitOpts(tenant, task, Options{})
+}
+
+// SubmitOpts is Submit with caller-visible metadata attached to the job.
+func (e *Engine) SubmitOpts(tenant string, task Task, opts Options) (Job, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -149,6 +166,7 @@ func (e *Engine) Submit(tenant string, task Task) (Job, error) {
 			Tenant:      tenant,
 			State:       StateQueued,
 			SubmittedAt: time.Now().UTC(),
+			Surrogate:   opts.Surrogate,
 		},
 		task: task,
 		done: make(chan struct{}),

@@ -206,3 +206,32 @@ func TestListSubmissionOrder(t *testing.T) {
 		}
 	}
 }
+
+// SubmitOpts metadata must survive into every snapshot of the job's
+// lifecycle, and plain Submit must leave it empty.
+func TestSubmitOptsSurrogateEchoed(t *testing.T) {
+	e := NewEngine(1, 0)
+	defer e.Close()
+	j, err := e.SubmitOpts("t1", func(ctx context.Context) (any, error) { return "ok", nil },
+		Options{Surrogate: "rffgp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Surrogate != "rffgp" {
+		t.Fatalf("submitted snapshot surrogate = %q", j.Surrogate)
+	}
+	final, err := e.Wait(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Surrogate != "rffgp" {
+		t.Errorf("final snapshot surrogate = %q", final.Surrogate)
+	}
+	plain, err := e.Submit("t1", func(ctx context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Surrogate != "" {
+		t.Errorf("plain Submit recorded surrogate %q", plain.Surrogate)
+	}
+}

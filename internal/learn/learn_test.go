@@ -336,3 +336,48 @@ func TestEuclidean(t *testing.T) {
 		t.Errorf("prefix Euclidean = %v, want 0", d)
 	}
 }
+
+// SampleCap bounds each bootstrap without changing the uncapped path:
+// a cap at (or above) n consumes exactly the draws of the classical
+// n-of-n bootstrap, so predictions are bit-identical, while a binding
+// cap still yields a usable forest.
+func TestForestSampleCap(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	r := stat.NewRNG(3)
+	for i := 0; i < 120; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 5*x[0]-3*x[1]+0.1*r.NormFloat64())
+	}
+	uncapped, err := FitForest(ForestConfig{Trees: 10}, xs, ys, stat.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	atN, err := FitForest(ForestConfig{Trees: 10, SampleCap: len(xs)}, xs, ys, stat.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		q := []float64{r.Float64(), r.Float64()}
+		if uncapped.Predict(q) != atN.Predict(q) {
+			t.Fatal("SampleCap=n diverges from the uncapped bootstrap")
+		}
+	}
+	capped, err := FitForest(ForestConfig{Trees: 10, SampleCap: 32}, xs, ys, stat.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se, base float64
+	mean := stat.Mean(ys)
+	for i := 0; i < 50; i++ {
+		q := []float64{r.Float64(), r.Float64()}
+		want := 5*q[0] - 3*q[1]
+		p := capped.Predict(q)
+		se += (p - want) * (p - want)
+		base += (mean - want) * (mean - want)
+	}
+	if se >= base*0.5 {
+		t.Errorf("capped forest MSE %v not clearly below baseline %v", se/50, base/50)
+	}
+}

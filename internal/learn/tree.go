@@ -208,6 +208,11 @@ type Forest struct {
 type ForestConfig struct {
 	Trees int // default 40
 	Tree  TreeConfig
+	// SampleCap bounds each tree's bootstrap sample (0 = len(xs), the
+	// classical n-of-n bootstrap). CART split search is quadratic in the
+	// node sample, so callers fitting forests over large histories (the
+	// surrogate tier) cap per-tree samples to keep fits near-linear in n.
+	SampleCap int
 }
 
 // FitForest trains a random forest. rng drives bootstrap resampling and
@@ -227,10 +232,14 @@ func FitForest(cfg ForestConfig, xs [][]float64, ys []float64, rng *rand.Rand) (
 	}
 	f := &Forest{}
 	n := len(xs)
+	boot := n
+	if cfg.SampleCap > 0 && cfg.SampleCap < n {
+		boot = cfg.SampleCap
+	}
 	for t := 0; t < cfg.Trees; t++ {
-		bx := make([][]float64, n)
-		by := make([]float64, n)
-		for i := 0; i < n; i++ {
+		bx := make([][]float64, boot)
+		by := make([]float64, boot)
+		for i := 0; i < boot; i++ {
 			j := rng.Intn(n)
 			bx[i], by[i] = xs[j], ys[j]
 		}

@@ -1,0 +1,265 @@
+// Package surrogate defines the pluggable posterior-model tier behind
+// the service's Bayesian-optimization tuners. BayesOpt historically hard-
+// depended on the exact Gaussian process, whose O(n³) refits cap how much
+// execution history a session can warm-start from; this package carves
+// that dependency into a small Model interface with three backends:
+//
+//   - "gp"     — the exact Matérn-5/2 GP with grid hyper-search, the
+//     reference implementation (bit-identical to the pre-interface tuner);
+//   - "rffgp"  — a random-Fourier-feature GP approximation with O(n·D²)
+//     fits and history-size-independent predictions;
+//   - "forest" — a random forest whose across-tree spread supplies the
+//     EI uncertainty (Tuneful-style), with capped per-tree bootstraps.
+//
+// Stochastic backends take an explicit seed, so a surrogate is a pure
+// function of (seed, training data): trajectories replay bit-for-bit
+// regardless of scheduling or worker counts.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"seamlesstune/internal/gp"
+	"seamlesstune/internal/learn"
+	"seamlesstune/internal/stat"
+)
+
+// Model is a posterior regressor over unit-encoded configurations. A
+// tuner fits it on the observations so far and queries mean/std to score
+// acquisition candidates. Implementations are stateful and single-
+// session; they keep their last good posterior when a Fit fails, so a
+// transient numerical failure degrades to stale predictions rather than
+// no predictions.
+type Model interface {
+	// Name returns the backend's registry name (one of Names()).
+	Name() string
+	// Fit trains on the full sample. Implementations may recognize that
+	// xs/ys extend the previously fitted sample and update incrementally.
+	Fit(xs [][]float64, ys []float64) error
+	// Predict returns the posterior mean and standard deviation at x (in
+	// target units). An unfitted model predicts (0, +Inf).
+	Predict(x []float64) (mean, std float64)
+	// PredictBatch returns the posterior at every query point, bit-
+	// identical to per-point Predict calls but batched for the
+	// acquisition hot path.
+	PredictBatch(xs [][]float64) (means, stds []float64)
+	// Fitted reports whether the model holds a usable posterior.
+	Fitted() bool
+}
+
+// Extender is an optional Model capability: absorbing appended
+// observations incrementally, cheaper than a from-scratch Fit. Extend
+// reports false when (xs, ys) does not extend the fitted sample or the
+// backend cannot extend — the caller should fall back to Fit.
+type Extender interface {
+	Extend(xs [][]float64, ys []float64) bool
+}
+
+// HyperRefitter is an optional Model capability: discarding all cached
+// factorizations and hyperparameter state and refitting from scratch.
+// Periodic refreshers use it to bound numerical drift in long sessions.
+type HyperRefitter interface {
+	RefitHypers(xs [][]float64, ys []float64) error
+}
+
+// Registry names of the built-in backends.
+const (
+	KindGP     = "gp"
+	KindRFFGP  = "rffgp"
+	KindForest = "forest"
+)
+
+// Names returns the accepted backend names, in documentation order.
+func Names() []string { return []string{KindGP, KindRFFGP, KindForest} }
+
+// Valid reports whether name is a known backend name. The empty string
+// is not valid here — callers resolve "" to their default before
+// validating.
+func Valid(name string) bool {
+	switch name {
+	case KindGP, KindRFFGP, KindForest:
+		return true
+	}
+	return false
+}
+
+// Config selects and seeds a surrogate backend.
+type Config struct {
+	// Kind is a Names() entry; empty selects KindGP.
+	Kind string
+	// Seed drives the stochastic backends (random-feature draws, forest
+	// resampling). Derive it from the session seed (e.g.
+	// stat.DeriveSeed(seed, "surrogate")) for replayable sessions. The
+	// exact GP ignores it.
+	Seed int64
+}
+
+// New constructs the configured backend. Unknown kinds return an error
+// naming the accepted list (the same list layered validation surfaces to
+// API clients).
+func New(cfg Config) (Model, error) {
+	switch cfg.Kind {
+	case "", KindGP:
+		return &exactGP{fitter: gp.NewHyperFitter(gp.KindMatern52)}, nil
+	case KindRFFGP:
+		return &rffGP{rff: gp.NewRFF(gp.KindMatern52, cfg.Seed)}, nil
+	case KindForest:
+		return newForest(cfg.Seed), nil
+	default:
+		return nil, fmt.Errorf("surrogate: unknown kind %q (accepted: %s)",
+			cfg.Kind, strings.Join(Names(), ", "))
+	}
+}
+
+// exactGP adapts the persistent grid-search HyperFitter — the reference
+// implementation the approximate backends are tested against. Fit keeps
+// the previous posterior when the sweep fails, exactly reproducing the
+// pre-interface BayesOpt refit semantics.
+type exactGP struct {
+	fitter *gp.HyperFitter
+	model  *gp.GP
+}
+
+func (s *exactGP) Name() string { return KindGP }
+
+func (s *exactGP) Fit(xs [][]float64, ys []float64) error {
+	m, err := s.fitter.Fit(xs, ys)
+	if err == nil {
+		s.model = m
+	}
+	return err
+}
+
+// Extend implements Extender. The HyperFitter already detects appended
+// samples and grows every grid factorization in O(n²) per row, so
+// extension is a Fit call; results are bit-identical to a from-scratch
+// sweep.
+func (s *exactGP) Extend(xs [][]float64, ys []float64) bool {
+	return s.Fit(xs, ys) == nil
+}
+
+// RefitHypers implements HyperRefitter by dropping every cached grid
+// factorization and sweeping from scratch.
+func (s *exactGP) RefitHypers(xs [][]float64, ys []float64) error {
+	s.fitter = gp.NewHyperFitter(gp.KindMatern52)
+	s.model = nil
+	return s.Fit(xs, ys)
+}
+
+func (s *exactGP) Fitted() bool { return s.model != nil && s.model.Fitted() }
+
+func (s *exactGP) Predict(x []float64) (float64, float64) {
+	if s.model == nil {
+		return 0, math.Inf(1)
+	}
+	return s.model.Predict(x)
+}
+
+func (s *exactGP) PredictBatch(xs [][]float64) ([]float64, []float64) {
+	if s.model == nil {
+		means := make([]float64, len(xs))
+		stds := make([]float64, len(xs))
+		for j := range stds {
+			stds[j] = math.Inf(1)
+		}
+		return means, stds
+	}
+	return s.model.PredictBatch(xs)
+}
+
+// rffGP adapts the random-Fourier-feature approximation. The RFF keeps
+// its last good posterior internally, so the adapter is a thin rename.
+type rffGP struct {
+	rff *gp.RFF
+}
+
+func (s *rffGP) Name() string { return KindRFFGP }
+
+func (s *rffGP) Fit(xs [][]float64, ys []float64) error { return s.rff.Fit(xs, ys) }
+
+// Extend implements Extender; RFF fits absorb appended rows into running
+// feature Grams, paying O(Δn·D²).
+func (s *rffGP) Extend(xs [][]float64, ys []float64) bool {
+	return s.rff.Fit(xs, ys) == nil
+}
+
+// RefitHypers implements HyperRefitter: the accumulated feature Grams
+// are dropped and rebuilt from scratch (the drawn features are seed-
+// deterministic, so the refreshed posterior differs only by bounded
+// floating-point accumulation drift).
+func (s *rffGP) RefitHypers(xs [][]float64, ys []float64) error {
+	s.rff.Reset()
+	return s.rff.Fit(xs, ys)
+}
+
+func (s *rffGP) Fitted() bool { return s.rff.Fitted() }
+
+func (s *rffGP) Predict(x []float64) (float64, float64) { return s.rff.Predict(x) }
+
+func (s *rffGP) PredictBatch(xs [][]float64) ([]float64, []float64) {
+	return s.rff.PredictBatch(xs)
+}
+
+// forest is the random-forest surrogate: every Fit retrains from a seed
+// derived from (surrogate seed, sample size), making the fitted forest a
+// pure function of (seed, data) — byte-identical across reruns, worker
+// counts, and scheduling. Per-tree bootstraps are capped so fits stay
+// near-linear in history size.
+type forest struct {
+	seed  int64
+	cfg   learn.ForestConfig
+	model *learn.Forest
+}
+
+// forestSampleCap bounds each tree's bootstrap sample. 512 points per
+// tree across 40 trees sees far more than any single exact-GP-feasible
+// history while keeping the quadratic CART split search bounded.
+const forestSampleCap = 512
+
+func newForest(seed int64) *forest {
+	return &forest{
+		seed: seed,
+		cfg: learn.ForestConfig{
+			Trees:     40,
+			SampleCap: forestSampleCap,
+		},
+	}
+}
+
+func (s *forest) Name() string { return KindForest }
+
+func (s *forest) Fit(xs [][]float64, ys []float64) error {
+	rng := stat.NewRNG(stat.DeriveSeed(s.seed, "forest", strconv.Itoa(len(xs))))
+	m, err := learn.FitForest(s.cfg, xs, ys, rng)
+	if err == nil {
+		s.model = m
+	}
+	return err
+}
+
+func (s *forest) Fitted() bool { return s.model != nil }
+
+func (s *forest) Predict(x []float64) (float64, float64) {
+	if s.model == nil {
+		return 0, math.Inf(1)
+	}
+	return s.model.PredictWithSpread(x)
+}
+
+func (s *forest) PredictBatch(xs [][]float64) ([]float64, []float64) {
+	means := make([]float64, len(xs))
+	stds := make([]float64, len(xs))
+	if s.model == nil {
+		for j := range stds {
+			stds[j] = math.Inf(1)
+		}
+		return means, stds
+	}
+	for j, x := range xs {
+		means[j], stds[j] = s.model.PredictWithSpread(x)
+	}
+	return means, stds
+}

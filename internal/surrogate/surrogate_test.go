@@ -1,0 +1,228 @@
+package surrogate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/stat"
+)
+
+func sample(seed int64, n, dim int) (xs [][]float64, ys []float64) {
+	rng := stat.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		y := 0.0
+		for d := range x {
+			x[d] = rng.Float64()
+			y += (x[d] - 0.5) * (x[d] - 0.5)
+		}
+		xs = append(xs, x)
+		ys = append(ys, y+0.02*rng.NormFloat64())
+	}
+	return xs, ys
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"gp", "rffgp", "forest"}
+	got := Names()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		if !Valid(name) {
+			t.Errorf("Valid(%q) = false", name)
+		}
+		m, err := New(Config{Kind: name, Seed: 1})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if Valid("") || Valid("bogus") {
+		t.Error("Valid accepted an unknown name")
+	}
+	// Empty kind resolves to the default exact GP.
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != KindGP {
+		t.Errorf("default kind = %q, want %q", m.Name(), KindGP)
+	}
+	if _, err := New(Config{Kind: "bogus"}); err == nil {
+		t.Error("New(bogus) did not error")
+	} else if !strings.Contains(err.Error(), "gp, rffgp, forest") {
+		t.Errorf("error %q does not name the accepted list", err)
+	}
+}
+
+// Every backend honors the Model contract: unfitted predictions are
+// (0, +Inf), fits succeed on real data, PredictBatch matches Predict,
+// and the posterior mean roughly tracks the target function.
+func TestModelContract(t *testing.T) {
+	xs, ys := sample(1, 60, 3)
+	qs, qys := sample(2, 30, 3)
+	for _, name := range Names() {
+		m, err := New(Config{Kind: name, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Fitted() {
+			t.Errorf("%s: fitted before Fit", name)
+		}
+		if mean, std := m.Predict(qs[0]); mean != 0 || !math.IsInf(std, 1) {
+			t.Errorf("%s: unfitted Predict = (%v, %v), want (0, +Inf)", name, mean, std)
+		}
+		if _, stds := m.PredictBatch(qs[:2]); !math.IsInf(stds[0], 1) {
+			t.Errorf("%s: unfitted PredictBatch std = %v, want +Inf", name, stds[0])
+		}
+		if err := m.Fit(xs, ys); err != nil {
+			t.Fatalf("%s: Fit: %v", name, err)
+		}
+		if !m.Fitted() {
+			t.Fatalf("%s: not fitted after Fit", name)
+		}
+		bm, bs := m.PredictBatch(qs)
+		var sse, sst, meanY float64
+		for _, y := range qys {
+			meanY += y
+		}
+		meanY /= float64(len(qys))
+		for j, q := range qs {
+			pm, ps := m.Predict(q)
+			if pm != bm[j] || ps != bs[j] {
+				t.Fatalf("%s: PredictBatch diverges from Predict at %d", name, j)
+			}
+			sse += (bm[j] - qys[j]) * (bm[j] - qys[j])
+			sst += (qys[j] - meanY) * (qys[j] - meanY)
+		}
+		if sse >= sst {
+			t.Errorf("%s: posterior mean no better than predicting the mean (SSE %.3f >= SST %.3f)",
+				name, sse, sst)
+		}
+	}
+}
+
+// Capability surfaces: the GP-family backends extend and hyper-refit;
+// the forest (which retrains wholesale every Fit) exposes neither.
+func TestCapabilities(t *testing.T) {
+	for _, tc := range []struct {
+		kind       string
+		ext, refit bool
+	}{
+		{KindGP, true, true},
+		{KindRFFGP, true, true},
+		{KindForest, false, false},
+	} {
+		m, err := New(Config{Kind: tc.kind, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.(Extender); ok != tc.ext {
+			t.Errorf("%s: Extender = %v, want %v", tc.kind, ok, tc.ext)
+		}
+		if _, ok := m.(HyperRefitter); ok != tc.refit {
+			t.Errorf("%s: HyperRefitter = %v, want %v", tc.kind, ok, tc.refit)
+		}
+	}
+}
+
+// Extending with appended rows then hyper-refitting from scratch must
+// produce identical posteriors for the GP-family backends — the
+// incremental paths are exact, not approximate.
+func TestExtendThenRefitHypersIdentical(t *testing.T) {
+	xs, ys := sample(3, 45, 3)
+	qs, _ := sample(4, 20, 3)
+	for _, kind := range []string{KindGP, KindRFFGP} {
+		m, err := New(Config{Kind: kind, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 10; i <= len(xs); i += 7 {
+			hi := i
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			if !m.(Extender).Extend(xs[:hi], ys[:hi]) {
+				t.Fatalf("%s: Extend(%d rows) failed", kind, hi)
+			}
+		}
+		if !m.(Extender).Extend(xs, ys) {
+			t.Fatalf("%s: final Extend failed", kind)
+		}
+		im, is := m.PredictBatch(qs)
+		if err := m.(HyperRefitter).RefitHypers(xs, ys); err != nil {
+			t.Fatalf("%s: RefitHypers: %v", kind, err)
+		}
+		rm, rs := m.PredictBatch(qs)
+		for j := range qs {
+			if im[j] != rm[j] || is[j] != rs[j] {
+				t.Fatalf("%s: query %d: incremental (%v, %v) != refit (%v, %v)",
+					kind, j, im[j], is[j], rm[j], rs[j])
+			}
+		}
+	}
+}
+
+// The forest surrogate is a pure function of (seed, data): refitting on
+// the same sample reproduces the posterior bit for bit, and different
+// seeds differ.
+func TestForestSurrogateDeterminism(t *testing.T) {
+	xs, ys := sample(5, 80, 4)
+	qs, _ := sample(6, 25, 4)
+	fit := func(seed int64) ([]float64, []float64) {
+		m, err := New(Config{Kind: KindForest, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		return m.PredictBatch(qs)
+	}
+	m1, s1 := fit(7)
+	m2, s2 := fit(7)
+	for j := range qs {
+		if m1[j] != m2[j] || s1[j] != s2[j] {
+			t.Fatalf("same seed diverged at query %d", j)
+		}
+	}
+	m3, _ := fit(8)
+	same := true
+	for j := range qs {
+		if m1[j] != m3[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical forests")
+	}
+}
+
+// A failed fit must keep the previous posterior (stale beats absent).
+func TestFitFailureKeepsPosterior(t *testing.T) {
+	xs, ys := sample(9, 30, 3)
+	for _, name := range Names() {
+		m, err := New(Config{Kind: name, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		before, _ := m.Predict(xs[0])
+		if err := m.Fit(nil, nil); err == nil {
+			t.Errorf("%s: empty Fit did not error", name)
+		}
+		if !m.Fitted() {
+			t.Fatalf("%s: posterior lost after failed Fit", name)
+		}
+		if after, _ := m.Predict(xs[0]); after != before {
+			t.Errorf("%s: posterior changed after failed Fit", name)
+		}
+	}
+}

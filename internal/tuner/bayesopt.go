@@ -9,6 +9,7 @@ import (
 
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/gp"
+	"seamlesstune/internal/surrogate"
 )
 
 // eiWorkers bounds the acquisition worker pool in BayesOpt.Next. It
@@ -38,12 +39,23 @@ type BayesOpt struct {
 	// best expected improvement falls below this fraction of the current
 	// optimum (CherryPick uses 0.10). 0 disables early stopping.
 	StopEIFrac float64
+	// Surrogate selects the posterior backend by surrogate registry name:
+	// "gp" (exact GP, the default — empty means the same), "rffgp"
+	// (random-feature GP approximation), or "forest" (random forest).
+	// Unknown names leave the tuner modelless, degrading every proposal to
+	// a random draw; layered callers (core, tuneserve, tunectl) validate
+	// names before a session starts.
+	Surrogate string
+	// SurrogateSeed drives the stochastic surrogate backends (random-
+	// feature draws, forest resampling). Layered callers derive it from
+	// the session seed — stat.DeriveSeed(seed, "surrogate") — so
+	// trajectories replay bit-for-bit. The exact GP ignores it.
+	SurrogateSeed int64
 
 	pendingInit []confspace.Config
 	xs          [][]float64
 	ys          []float64 // log-runtime
-	fitter      *gp.HyperFitter
-	model       *gp.GP
+	model       surrogate.Model
 	dirty       bool
 	lastMaxEI   float64
 	eiValid     bool
@@ -229,16 +241,23 @@ func (t *BayesOpt) refit() {
 	if !t.dirty || len(t.xs) == 0 {
 		return
 	}
-	// The persistent HyperFitter keeps every grid model's factorization
-	// alive across refits, so appended observations cost O(n²) incremental
-	// Cholesky extensions per model instead of O(n³) refactorizations —
-	// with results identical to a from-scratch gp.FitWithHypers.
-	if t.fitter == nil {
-		t.fitter = gp.NewHyperFitter(gp.KindMatern52)
+	if t.model == nil {
+		m, err := surrogate.New(surrogate.Config{Kind: t.Surrogate, Seed: t.SurrogateSeed})
+		if err != nil {
+			// Unknown backend names are rejected by layered validation; a
+			// tuner driven directly with one degrades to random proposals.
+			t.dirty = false
+			return
+		}
+		t.model = m
 	}
-	model, err := t.fitter.Fit(t.xs, t.ys)
-	if err == nil {
-		t.model = model
+	// The observation log is append-only, so backends with an incremental
+	// path (the persistent grid GP, the RFF running Grams) absorb only the
+	// new rows; everything else refits from scratch. Either way the model
+	// keeps its previous posterior when fitting fails — a failed refit
+	// degrades to stale predictions, never to no predictions.
+	if ext, ok := t.model.(surrogate.Extender); !ok || !ext.Extend(t.xs, t.ys) {
+		_ = t.model.Fit(t.xs, t.ys)
 	}
 	t.dirty = false
 }

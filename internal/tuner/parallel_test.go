@@ -53,20 +53,20 @@ func TestBayesOptParallelAcquisitionDeterministic(t *testing.T) {
 	}
 }
 
-// The persistent-fitter refit path must propose exactly what a
-// from-scratch hyperparameter sweep would: force full refits by resetting
-// the fitter before every step and compare traces.
+// The incremental refit path must propose exactly what a from-scratch
+// hyperparameter sweep would: force full refits by discarding the
+// surrogate before every step and compare traces.
 func TestBayesOptIncrementalRefitMatchesFromScratch(t *testing.T) {
 	s := benchSpace(t)
 	obj := bowl(s)
-	run := func(resetFitter bool) []string {
+	run := func(resetModel bool) []string {
 		bo := NewBayesOpt(s)
 		bo.Candidates = 120
 		rng := stat.NewRNG(3)
 		var trace []string
 		for i := 0; i < 14; i++ {
-			if resetFitter {
-				bo.fitter = nil
+			if resetModel {
+				bo.model = nil
 				if len(bo.xs) > 0 {
 					bo.dirty = true
 				}

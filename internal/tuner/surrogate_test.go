@@ -1,0 +1,202 @@
+package tuner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/surrogate"
+)
+
+// goldenBayesOpt holds full proposal traces captured from the tuner
+// before the surrogate interface existed (hard-wired HyperFitter/GP),
+// over benchSpace+bowl with Candidates=120. Each line is the unit-cube
+// encoding of the proposed configuration and the observed objective at
+// %.17g. The default "gp" surrogate path must reproduce them bit for
+// bit — the redesign's central compatibility guarantee.
+var goldenBayesOpt = map[int64][]string{
+	5: {
+		"[0.993128522293382 0.9526448084757466 0.5555555555555556 0.8041938028685156 0 0.5]|40.503104399001096",
+		"[0.26794827649917613 0.48964730378407223 0.8412698412698413 0.5420594094785864 1 0.5]|27.508336245264807",
+		"[0.5065397490756834 0.2334223852556935 0 0.1000628168772989 1 1]|40.887721360035869",
+		"[0.3374323070854277 0.5870616381017345 0.8888888888888888 0.6161261364691936 1 0.5]|26.358342364508648",
+		"[0.5662657095007283 0.4673795751246907 0.9841269841269841 0.7999875488838754 1 0.5]|20.030678517942704",
+		"[0.6550378881110078 0.07592591220449219 0.8888888888888888 0.9251047758523424 1 0.5]|21.583077513234681",
+		"[0.9515427571512163 0.30470704889885725 0.8253968253968254 0.7885194646918876 1 0.5]|19.557024673728279",
+		"[0.9895588036220956 0.14213101138225717 0.9047619047619048 0.8839074390286423 1 0]|23.326926584544143",
+		"[0.86181071087544 0.4426385614922588 0.9047619047619048 0.6763870886036912 1 1]|15.861541980884482",
+		"[0.9347958141728067 0.1795102276584027 0.8253968253968254 0.44704043099213814 1 1]|19.706235451336482",
+		"[0.9283448521489462 0.8489987779927309 0.8571428571428571 0.16713214306318747 1 1]|35.474383612053984",
+		"[0.8999645453640177 0.3583458662078888 0.9682539682539683 0.8377408778077543 1 1]|17.40421507462559",
+		"[0.8148433928275418 0.09039312845207102 0.8412698412698413 0.7190604287910642 1 1]|15.376132545284168",
+		"[0.05898369525286837 0.08739273394420904 0.38095238095238093 0.9344423736213604 1 1]|32.971075232191211",
+		"[0.814815526374595 0.22843319702298745 0.9365079365079365 0.9415124357021477 1 1]|17.768139699081612",
+		"[0.7992541590911723 0.33592789872238915 0.8095238095238095 0.7946060606030104 1 1]|14.45225214746389",
+	},
+	11: {
+		"[0.03049248833369245 0.9729356901346278 0.8888888888888888 0.9949058382560598 1 1]|53.584171965597292",
+		"[0.9386569741722158 0.03802299894958164 0.015873015873015872 0.664435955882704 1 0]|34.771310392061494",
+		"[0.6016431686247223 0.594932380655622 0.4126984126984127 0.04598972784105184 0 0.5]|32.871256805511166",
+		"[0.6236402387462009 0.4071649522582321 0.2222222222222222 0.1000628168772989 0 0.5]|32.278386683942017",
+		"[0.9750114144959804 0.4768993583338994 0.30158730158730157 0.2982089773214771 0 0]|31.230425118195118",
+		"[0.048823019193938104 0.029424246215706183 0.2857142857142857 0.024275000206044693 0 0]|51.248158612126183",
+		"[0.923638405345824 0.7287849816466448 0.14285714285714285 0.19890248896839435 0 0]|41.797863873463818",
+		"[0.7415273290373866 0.4890096330140934 0.3968253968253968 0.40469857345210597 0 0]|25.340014657103822",
+		"[0.9621257075049217 0.5115019510578629 0.5238095238095238 0.6068467876347979 0 0]|24.499153738214638",
+		"[0.860464902122449 0.355194287393993 0.4444444444444444 0.489466393528871 0 0]|23.09218159780627",
+		"[0.6777081476911627 0.061118254609760635 0.47619047619047616 0.7583341471627724 0 0]|21.146397850010217",
+		"[0.6592064093079275 0.21299590453735065 0.6666666666666666 0.7378438466679554 0 0]|20.427784191295054",
+		"[0.43730820545032517 0.45217370447841576 0.9523809523809523 0.820209569485878 0 0]|26.998359788590513",
+		"[0.8024662250863395 0.20898110252423374 0.7142857142857143 0.8856674778337662 0 0.5]|23.416324956694766",
+		"[0.8250277183653079 0.09842672691962667 0.7142857142857143 0.5286342454487274 0 0]|25.129568447981633",
+		"[0.6584167258048041 0.6891484416880086 0.015873015873015872 0.9949058382560598 0 0]|44.335928993995111",
+	},
+}
+
+// The default (and explicit "gp") surrogate path must be bit-identical
+// to the pre-interface tuner.
+func TestBayesOptDefaultPathMatchesPreInterfaceGolden(t *testing.T) {
+	for _, kind := range []string{"", "gp"} {
+		for seed, want := range goldenBayesOpt {
+			s := benchSpace(t)
+			obj := bowl(s)
+			bo := NewBayesOpt(s)
+			bo.Candidates = 120
+			bo.Surrogate = kind
+			// SurrogateSeed must be inert for the exact GP: derive one the
+			// way layered callers do and expect no trace change.
+			bo.SurrogateSeed = stat.DeriveSeed(seed, "surrogate")
+			rng := stat.NewRNG(seed)
+			for i, w := range want {
+				cfg := bo.Next(rng)
+				m := obj(cfg)
+				got := fmt.Sprintf("%v|%.17g", s.Encode(cfg), m.Runtime)
+				if got != w {
+					t.Fatalf("surrogate %q seed %d iter %d:\n  got  %s\n  want %s", kind, seed, i, got, w)
+				}
+				bo.Observe(Trial{Index: i, Config: cfg, Measurement: m, Objective: m.Runtime})
+			}
+		}
+	}
+}
+
+// traceBayesOptSurrogate runs a full search with the named surrogate and
+// returns the canonical per-iteration trace.
+func traceBayesOptSurrogate(t *testing.T, kind string, seed int64, iters int) []string {
+	t.Helper()
+	s := benchSpace(t)
+	obj := bowl(s)
+	bo := NewBayesOpt(s)
+	bo.Candidates = 120
+	bo.Surrogate = kind
+	bo.SurrogateSeed = stat.DeriveSeed(seed, "surrogate")
+	rng := stat.NewRNG(seed)
+	trace := make([]string, 0, iters)
+	for i := 0; i < iters; i++ {
+		cfg := bo.Next(rng)
+		m := obj(cfg)
+		trace = append(trace, fmt.Sprintf("%v|%.17g", s.Encode(cfg), m.Runtime))
+		bo.Observe(Trial{Index: i, Config: cfg, Measurement: m, Objective: m.Runtime})
+	}
+	return trace
+}
+
+// Stochastic surrogates must be pure functions of (seed, data): reruns
+// and different acquisition worker counts produce byte-identical traces.
+func TestBayesOptSurrogatesDeterministicAcrossRerunsAndWorkers(t *testing.T) {
+	orig := eiWorkers
+	defer func() { eiWorkers = orig }()
+	for _, kind := range []string{"rffgp", "forest"} {
+		eiWorkers = 1
+		base := traceBayesOptSurrogate(t, kind, 7, 12)
+		rerun := traceBayesOptSurrogate(t, kind, 7, 12)
+		for i := range base {
+			if base[i] != rerun[i] {
+				t.Fatalf("%s rerun iter %d: %s != %s", kind, i, rerun[i], base[i])
+			}
+		}
+		for _, w := range []int{2, 8, 64} {
+			eiWorkers = w
+			got := traceBayesOptSurrogate(t, kind, 7, 12)
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("%s workers %d iter %d: %s != %s", kind, w, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// Different surrogate seeds must actually change the stochastic
+// backends' trajectories (the seed is load-bearing, not decorative).
+func TestBayesOptSurrogateSeedMatters(t *testing.T) {
+	for _, kind := range []string{"rffgp", "forest"} {
+		s := benchSpace(t)
+		obj := bowl(s)
+		run := func(sseed int64) string {
+			bo := NewBayesOpt(s)
+			bo.Candidates = 120
+			bo.Surrogate = kind
+			bo.SurrogateSeed = sseed
+			rng := stat.NewRNG(3)
+			var b strings.Builder
+			for i := 0; i < 12; i++ {
+				cfg := bo.Next(rng)
+				m := obj(cfg)
+				fmt.Fprintf(&b, "%v\n", s.Encode(cfg))
+				bo.Observe(Trial{Index: i, Config: cfg, Measurement: m, Objective: m.Runtime})
+			}
+			return b.String()
+		}
+		if run(1) == run(2) {
+			t.Errorf("%s: traces identical under different surrogate seeds", kind)
+		}
+	}
+}
+
+// Every backend must actually optimize: after a modest budget the best
+// observed objective should land deep in the bowl, far below the ~35-40
+// a typical random draw scores. The runs are fully seeded, so the
+// assertion is deterministic.
+func TestBayesOptSurrogatesOptimizeBowl(t *testing.T) {
+	for _, kind := range surrogate.Names() {
+		s := benchSpace(t)
+		obj := bowl(s)
+		bo := NewBayesOpt(s)
+		bo.Candidates = 200
+		bo.Surrogate = kind
+		bo.SurrogateSeed = stat.DeriveSeed(1, "surrogate")
+		res, err := Run(bo, obj, 24, stat.NewRNG(1))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !res.Found {
+			t.Fatalf("%s: no successful trial", kind)
+		}
+		if res.Best.Objective > 22 {
+			t.Errorf("%s: best objective %.3f, want well under a typical random draw (~35)",
+				kind, res.Best.Objective)
+		}
+	}
+}
+
+// An unknown surrogate name must not wedge the tuner: proposals degrade
+// to random draws and the session still completes.
+func TestBayesOptUnknownSurrogateDegradesToRandom(t *testing.T) {
+	s := benchSpace(t)
+	obj := bowl(s)
+	bo := NewBayesOpt(s)
+	bo.Candidates = 50
+	bo.Surrogate = "bogus"
+	res, err := Run(bo, obj, 10, stat.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Trials) != 10 {
+		t.Fatalf("degraded session incomplete: found=%v trials=%d", res.Found, len(res.Trials))
+	}
+	if _, _, ok := bo.ModelPredict(res.Best.Config); ok {
+		t.Error("ModelPredict reported a posterior despite an unknown surrogate")
+	}
+}
