@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim bench-check experiments examples vet fmt clean
+.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim bench-prune bench-check experiments examples vet fmt clean
 
 all: build vet test
 
@@ -64,6 +64,15 @@ bench-sim:
 		-benchmem -count=5 ./internal/spark . | $(GO) run ./cmd/benchjson > BENCH_sim.json
 	@echo wrote BENCH_sim.json
 
+# Config-space pruning benchmarks: one modelled BayesOpt step at equal
+# trial count, full 41-parameter space vs the adopted significant
+# subspace. The acceptance number for the pruning tier: the pruned step
+# must hold a >=2x ns/op advantage (see docs/PERFORMANCE.md).
+bench-prune:
+	$(GO) test -run '^$$' -bench 'PrunedBayesOptStep' \
+		-benchmem -count=5 . | $(GO) run ./cmd/benchjson > BENCH_prune.json
+	@echo wrote BENCH_prune.json
+
 # Bench-regression smoke: rerun the guarded hot-path benchmarks and
 # compare their median ns/op against the committed baselines, failing on
 # a >25% regression. Fewer samples than the recording targets — this is
@@ -83,6 +92,10 @@ bench-check:
 		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > $(BENCHTMP)/surrogate.json
 	$(GO) run ./cmd/benchguard -old BENCH_substrate.json -new $(BENCHTMP)/surrogate.json \
 		-guard 'BenchmarkSurrogate(Fit|Predict)/(rffgp|forest)/' -max-regress 0.25
+	$(GO) test -run '^$$' -bench 'PrunedBayesOptStep' \
+		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > $(BENCHTMP)/prune.json
+	$(GO) run ./cmd/benchguard -old BENCH_prune.json -new $(BENCHTMP)/prune.json \
+		-guard 'BenchmarkPrunedBayesOptStep/(full|pruned)$$' -max-regress 0.25
 
 # Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
 experiments:

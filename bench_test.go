@@ -10,6 +10,7 @@ import (
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/experiments"
 	"seamlesstune/internal/gp"
+	"seamlesstune/internal/sensitivity"
 	"seamlesstune/internal/simcache"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/stat"
@@ -548,6 +549,58 @@ func BenchmarkSurrogatePredict(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPrunedBayesOptStep is the acceptance number for the pruning
+// tier (make bench-prune, BENCH_prune.json): one modelled BayesOpt step
+// — surrogate fit plus acquisition argmax — at equal trial count over
+// the full 41-parameter Spark space, full-space versus the significant
+// subspace a pruning session adopts. The sensitivity analysis itself re-runs only
+// every k trials, so the per-step comparison below is what dominates a
+// session; the pruned step must come out >=2x faster.
+func BenchmarkPrunedBayesOptStep(b *testing.B) {
+	const dims = 41
+	const warmN = 40
+	space := confspace.SparkSubspace(dims)
+	rng := stat.NewRNG(5)
+	// A session history whose objective is dominated by the first three
+	// encoded knobs — the shape pruning exists for.
+	trials := make([]tuner.Trial, warmN)
+	for i := range trials {
+		cfg := space.Random(rng)
+		e := space.Encode(cfg)
+		y := 120 - 50*e[0] - 30*e[1]*e[1] - 10*e[2] + 0.5*rng.NormFloat64()
+		trials[i] = tuner.Trial{Index: i, Config: cfg, Measurement: tuner.Measurement{Runtime: y}, Objective: y}
+	}
+	// Drive a pruning session over the history until it adopts a subspace.
+	pb := tuner.NewPrunedBayesOpt(space)
+	pb.Prune = sensitivity.Config{Seed: 7, Every: 4, MinSamples: 32}
+	for _, tr := range trials {
+		pb.Observe(tr)
+	}
+	sub := pb.Subspace()
+	if sub == nil || sub.Dim() >= dims {
+		b.Fatalf("session did not prune: %s", pb.Describe())
+	}
+	proj := make([]tuner.Trial, len(trials))
+	for i, tr := range trials {
+		p := tr
+		p.Config = sub.Project(tr.Config)
+		proj[i] = p
+	}
+	step := func(sp *confspace.Space, warm []tuner.Trial) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bo := tuner.NewBayesOpt(sp)
+				bo.WarmStart = warm
+				bo.Next(stat.NewRNG(6))
+			}
+			b.ReportMetric(float64(sp.Dim()), "dims")
+		}
+	}
+	b.Run("full", step(space, trials))
+	b.Run("pruned", step(sub.Space(), proj))
 }
 
 // BenchmarkBayesOptWarmStart measures session startup against a large

@@ -103,6 +103,16 @@ func formatEvent(e obs.Event) string {
 	case obs.EventExecution:
 		return fmt.Sprintf("%s run: %.1fs on %s cost $%.4f (spent $%.4f)",
 			e.Phase, e.RuntimeS, e.Cluster, e.CostUSD, e.SpendUSD)
+	case obs.EventPrune:
+		var b strings.Builder
+		fmt.Fprintf(&b, "prune [%s] %d/%d dims active (%s)", e.Phase, e.ActiveDims, e.TotalDims, e.Detail)
+		if e.Dropped != "" {
+			fmt.Fprintf(&b, " dropped %s", e.Dropped)
+		}
+		if e.Importance != "" {
+			fmt.Fprintf(&b, " top %s", e.Importance)
+		}
+		return b.String()
 	case obs.EventSLOViolation:
 		return fmt.Sprintf("SLO VIOLATION: %s", e.Detail)
 	case obs.EventSessionEnd:

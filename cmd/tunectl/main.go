@@ -25,6 +25,7 @@ import (
 
 	"seamlesstune/internal/cloud"
 	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/sensitivity"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/stat"
 	"seamlesstune/internal/surrogate"
@@ -85,6 +86,8 @@ func run(args []string, out io.Writer) error {
 	poll := fs.Duration("poll", 500*time.Millisecond, "job polling interval in remote mode")
 	surrogateKind := fs.String("surrogate", "",
 		"surrogate model for bayesopt: "+strings.Join(surrogate.Names(), ", ")+" (default gp; local mode requires -tuner bayesopt)")
+	prune := fs.Bool("prune", false,
+		"significance-aware config-space pruning: analyze knob importances during the session and tune only the knobs that matter (requires -tuner bayesopt)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,7 +103,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown surrogate %q (accepted: %s)", *surrogateKind, strings.Join(surrogate.Names(), ", "))
 	}
 	if *server != "" {
-		return runRemote(out, strings.TrimSuffix(*server, "/"), *tenant, *wlName, *sizeGB, *surrogateKind, *poll)
+		return runRemote(out, strings.TrimSuffix(*server, "/"), *tenant, *wlName, *sizeGB, *surrogateKind, *prune, *poll)
 	}
 
 	w, err := workload.ByName(*wlName)
@@ -120,13 +123,31 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *prune {
+		if _, ok := tn.(*tuner.BayesOpt); !ok {
+			return fmt.Errorf("-prune applies to -tuner bayesopt, not %q", *tunerName)
+		}
+		pb := tuner.NewPrunedBayesOpt(space)
+		pb.Prune = sensitivity.Config{Seed: stat.DeriveSeed(*seed, "prune")}
+		pb.Hook = func(trial int, dec sensitivity.Decision) {
+			if dec.Changed {
+				fmt.Fprintf(out, "  prune @%d (%s): %d/%d dims active\n", trial, dec.Reason, len(dec.Active), space.Dim())
+			}
+		}
+		tn = pb
+	}
 	if *surrogateKind != "" {
-		bo, ok := tn.(*tuner.BayesOpt)
-		if !ok {
+		sseed := stat.DeriveSeed(*seed, "surrogate")
+		switch bo := tn.(type) {
+		case *tuner.BayesOpt:
+			bo.Surrogate = *surrogateKind
+			bo.SurrogateSeed = sseed
+		case *tuner.PrunedBayesOpt:
+			bo.Surrogate = *surrogateKind
+			bo.SurrogateSeed = sseed
+		default:
 			return fmt.Errorf("-surrogate applies to -tuner bayesopt, not %q", *tunerName)
 		}
-		bo.Surrogate = *surrogateKind
-		bo.SurrogateSeed = stat.DeriveSeed(*seed, "surrogate")
 	}
 	level, err := parseLevel(*interference)
 	if err != nil {
@@ -148,6 +169,13 @@ func run(args []string, out io.Writer) error {
 	res, err := tuner.Run(tn, obj, *budget, rng)
 	if err != nil {
 		return err
+	}
+	if pb, ok := tn.(*tuner.PrunedBayesOpt); ok {
+		if sub := pb.Subspace(); sub != nil {
+			fmt.Fprintf(out, "pruned search space: %s (pinned: %s)\n", sub.Describe(), strings.Join(sub.PrunedNames(), ", "))
+		} else {
+			fmt.Fprintf(out, "pruned search space: importances never converged, full space kept\n")
+		}
 	}
 	if *verbose {
 		for _, tr := range res.Trials {

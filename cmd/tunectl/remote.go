@@ -28,7 +28,7 @@ type remoteError struct {
 
 // runRemote submits the workload to a tuneserve instance via the async
 // job API and polls until the job is terminal.
-func runRemote(out io.Writer, server, tenant, wlName string, sizeGB int64, surrogateKind string, poll time.Duration) error {
+func runRemote(out io.Writer, server, tenant, wlName string, sizeGB int64, surrogateKind string, pruning bool, poll time.Duration) error {
 	if tenant == "" {
 		return fmt.Errorf("-tenant is required with -server")
 	}
@@ -39,6 +39,9 @@ func runRemote(out io.Writer, server, tenant, wlName string, sizeGB int64, surro
 	}
 	if surrogateKind != "" {
 		payload["surrogate"] = surrogateKind
+	}
+	if pruning {
+		payload["pruning"] = true
 	}
 	body, err := json.Marshal(payload)
 	if err != nil {

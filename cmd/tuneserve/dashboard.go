@@ -53,6 +53,7 @@ function card(id, ev) {
       '<div class="kpi"><b data-k="best">–</b><span>best runtime (s)</span></div>' +
       '<div class="kpi"><b data-k="spend">–</b><span>spend (USD)</span></div>' +
       '<div class="kpi"><b data-k="attain">–</b><span>SLO attainment</span></div>' +
+      '<div class="kpi"><b data-k="dims">–</b><span>active dims</span></div>' +
       '<div class="kpi"><b data-k="state">running</b><span>state</span></div>' +
     '</div>' +
     '<div class="charts">' +
@@ -90,6 +91,12 @@ function draw(s) {
   q("best", fmt(lastTrial && lastTrial.bestSoFar, 1));
   q("spend", "$" + fmt(lastTrial ? lastTrial.spendUSD : last.spendUSD, 4));
   q("attain", lastTrial && lastTrial.bestSoFar ? fmt((lastTrial.attainment||0)*100, 0) + "%" : "–");
+  // Active search dimension: the latest prune event wins; trial events
+  // re-stamp it once a subspace is adopted. Sessions without pruning
+  // never carry either, so the KPI stays at the dash.
+  const prunes = s.events.filter(e => e.type === "prune");
+  const dimSrc = prunes[prunes.length - 1] || (lastTrial && lastTrial.activeDims ? lastTrial : null);
+  q("dims", dimSrc ? dimSrc.activeDims + "/" + dimSrc.totalDims : "–");
   if (last.type === "session_end") q("state", "done — " + (last.detail || ""));
   const viols = s.events.filter(e => e.type === "slo_violation");
   q("viol", viols.slice(-3).map(v => "⚠ " + v.detail).join("\n"));
@@ -133,7 +140,7 @@ setInterval(() => {
 
 const status = document.getElementById("status");
 const src = new EventSource("/v1/events");
-["session_start","trial","execution","slo_violation","session_end"].forEach(
+["session_start","trial","execution","prune","slo_violation","session_end"].forEach(
   t => src.addEventListener(t, onEvent));
 src.onopen = () => { status.textContent = "streaming /v1/events"; status.className = "live"; };
 src.onerror = () => { status.textContent = "stream interrupted — retrying"; status.className = "down"; };

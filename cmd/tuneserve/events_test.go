@@ -432,6 +432,11 @@ func TestDashboardServed(t *testing.T) {
 			t.Errorf("dashboard references external assets: found %q", banned)
 		}
 	}
+	// The pruning KPI: the page must subscribe to prune events and render
+	// the active-dimension count.
+	if !strings.Contains(body, `"prune"`) || !strings.Contains(body, `data-k="dims"`) {
+		t.Error("dashboard missing the active-dims KPI wired to prune events")
+	}
 }
 
 // TestHealthzReportsEvents: the readiness payload must surface event-bus

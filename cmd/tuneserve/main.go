@@ -7,7 +7,7 @@
 //
 // Endpoints (all errors arrive as {"error":{"code","message"}}):
 //
-//	POST /v1/jobs            {"tenant","workload","inputGB"[,"objective"][,"surrogate"]} → 202 + job; poll for the result
+//	POST /v1/jobs            {"tenant","workload","inputGB"[,"objective"][,"surrogate"][,"pruning"]} → 202 + job; poll for the result
 //	GET  /v1/jobs/{id}       job state: queued|running|done|failed (+ result payload)
 //	GET  /v1/jobs            all jobs in submission order
 //	POST /v1/tune            synchronous wrapper: enqueues and waits for the pipeline result
@@ -61,6 +61,7 @@ func main() {
 	eventsCap := fs.Int("events-capacity", 0, "telemetry event ring capacity (0 = default)")
 	eventsOut := fs.String("events-out", "", "path to flush the telemetry event ring to as JSONL on shutdown")
 	surrogateKind := fs.String("surrogate", "", "default surrogate model for BayesOpt sessions: gp (exact, default), rffgp, or forest; per-request \"surrogate\" overrides")
+	prune := fs.Bool("prune", false, "enable significance-aware config-space pruning for every stage-2 session (per-request \"pruning\" opts in individually)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
@@ -79,6 +80,7 @@ func main() {
 		EventsCapacity:    *eventsCap,
 		EventsPath:        *eventsOut,
 		Surrogate:         *surrogateKind,
+		Pruning:           *prune,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -151,6 +153,10 @@ type serverConfig struct {
 	// Surrogate sets the server-wide default model backend for BayesOpt
 	// sessions ("" = exact gp); individual requests may override it.
 	Surrogate string
+	// Pruning turns on significance-aware config-space pruning for every
+	// stage-2 session (default off; individual requests opt in with
+	// "pruning": true).
+	Pruning bool
 }
 
 func (c serverConfig) options() []core.Option {
@@ -161,6 +167,9 @@ func (c serverConfig) options() []core.Option {
 	}
 	if c.Surrogate != "" {
 		opts = append(opts, core.WithSurrogate(c.Surrogate))
+	}
+	if c.Pruning {
+		opts = append(opts, core.WithPruning(true))
 	}
 	return opts
 }

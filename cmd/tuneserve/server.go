@@ -236,6 +236,11 @@ type tuneRequest struct {
 	// (exact, the default), "rffgp", or "forest". Empty defers to the
 	// server's configured default.
 	Surrogate string `json:"surrogate,omitempty"`
+	// Pruning opts the job's stage-2 session into significance-aware
+	// config-space pruning: the tuner analyzes knob importances as
+	// evidence accumulates and collapses the search onto the significant
+	// knobs. Off by default (or on, if the server runs with -prune).
+	Pruning bool `json:"pruning,omitempty"`
 }
 
 // objectivePayload is the wire form of an slo.Objective plus the
@@ -268,6 +273,7 @@ func (req tuneRequest) registration() (core.Registration, error) {
 		Workload:   wl,
 		InputBytes: int64(req.InputGB * (1 << 30)),
 		Surrogate:  req.Surrogate,
+		Pruning:    req.Pruning,
 	}
 	if o := req.Objective; o != nil {
 		if o.WithinPctOfOptimal < 0 || o.DeadlineS < 0 || o.BudgetUSDPerRun < 0 || o.TuningBudgetUSD < 0 {
@@ -294,6 +300,13 @@ type tuneResponse struct {
 	WarmStarted     bool             `json:"warmStarted"`
 	WarmSource      string           `json:"warmSource,omitempty"`
 	Surrogate       string           `json:"surrogate,omitempty"`
+	// Pruning echoes whether stage 2 ran with config-space pruning;
+	// ActiveDims/TotalDims report the final search dimension and
+	// PrunedKnobs the knobs pinned at session end.
+	Pruning     bool     `json:"pruning,omitempty"`
+	ActiveDims  int      `json:"activeDims,omitempty"`
+	TotalDims   int      `json:"totalDims,omitempty"`
+	PrunedKnobs []string `json:"prunedKnobs,omitempty"`
 }
 
 func toTuneResponse(res core.PipelineResult) tuneResponse {
@@ -306,6 +319,10 @@ func toTuneResponse(res core.PipelineResult) tuneResponse {
 		TuningCostUSD:   res.TuningCostUSD,
 		WarmStarted:     res.DISC.WarmStarted,
 		Surrogate:       res.Surrogate,
+		Pruning:         res.Pruning,
+		ActiveDims:      res.DISC.ActiveDims,
+		TotalDims:       res.DISC.TotalDims,
+		PrunedKnobs:     res.DISC.PrunedKnobs,
 	}
 	if res.DISC.WarmStarted {
 		resp.WarmSource = res.DISC.Source.String()
@@ -340,6 +357,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 	if resolved == "" {
 		resolved = s.svc.Surrogate()
 	}
+	pruning := reg.Pruning || s.svc.Pruning()
 	job, err := s.engine.SubmitOpts(reg.Tenant, func(ctx context.Context) (any, error) {
 		ctx = obs.NewContext(ctx, obs.Trace{T: s.tracer, ID: tid})
 		ctx = obs.NewEmitterContext(ctx, obs.Emitter{
@@ -354,7 +372,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 		}
 		s.markDirty()
 		return toTuneResponse(res), nil
-	}, jobs.Options{Surrogate: resolved})
+	}, jobs.Options{Surrogate: resolved, Pruning: pruning})
 	if err != nil {
 		code, status := "internal", http.StatusInternalServerError
 		if err == jobs.ErrQueueFull {

@@ -488,3 +488,78 @@ func wantSurrogate(body string) string {
 	}
 	return "rffgp"
 }
+
+// The pruning option threads end to end: an opting-in request is echoed
+// on the job record and the pipeline result, the default stays off, and
+// a server started with -prune applies it to every submission.
+func TestJobPruningSelection(t *testing.T) {
+	s := testServer(t)
+
+	submit := func(srv *server, body string) (jobView, bool) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(body)))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit status = %d: %s", rec.Code, rec.Body.String())
+		}
+		var jv struct {
+			jobView
+			Pruning bool `json:"pruning"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &jv); err != nil {
+			t.Fatal(err)
+		}
+		return jv.jobView, jv.Pruning
+	}
+
+	// Request opt-in: echoed on the job record and the result payload.
+	jv, pruning := submit(s, `{"tenant":"acme","workload":"sort","inputGB":2,"pruning":true}`)
+	if !pruning {
+		t.Error("job record does not echo pruning opt-in")
+	}
+	final := awaitJob(t, s, jv.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("final = %+v", final)
+	}
+	var resp tuneResponse
+	if err := json.Unmarshal(final.Result, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Pruning {
+		t.Errorf("result pruning = false, want true: %s", final.Result)
+	}
+	if resp.TotalDims != 10 {
+		t.Errorf("result totalDims = %d, want 10 (params 10)", resp.TotalDims)
+	}
+	if resp.ActiveDims < 1 || resp.ActiveDims > resp.TotalDims {
+		t.Errorf("result activeDims = %d out of range (total %d)", resp.ActiveDims, resp.TotalDims)
+	}
+
+	// Default stays off: no pruning field on the job or the result.
+	jv, pruning = submit(s, `{"tenant":"acme","workload":"sort","inputGB":2}`)
+	if pruning {
+		t.Error("default submission reports pruning")
+	}
+	final = awaitJob(t, s, jv.ID)
+	if strings.Contains(string(final.Result), `"pruning"`) {
+		t.Errorf("default result carries a pruning field: %s", final.Result)
+	}
+
+	// Server-wide -prune applies to submissions that do not mention it.
+	sp, err := newServer(serverConfig{Seed: 1, Params: 10, CloudBudget: 6, DISCBudget: 10, Workers: 2, Pruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sp.Close)
+	jv, pruning = submit(sp, `{"tenant":"acme","workload":"sort","inputGB":2}`)
+	if !pruning {
+		t.Error("server-wide pruning default not echoed on the job record")
+	}
+	final = awaitJob(t, sp, jv.ID)
+	if err := json.Unmarshal(final.Result, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Pruning {
+		t.Errorf("server-wide pruning default missing from result: %s", final.Result)
+	}
+}

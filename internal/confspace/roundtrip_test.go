@@ -1,0 +1,109 @@
+package confspace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// propertySpace covers every parameter kind and encoding variant: linear
+// and log integers, linear and log floats (including degenerate and
+// negative ranges), booleans, and categoricals of several widths.
+func propertySpace() *Space {
+	return MustSpace(
+		IntParam("int.lin", -20, 137, 0),
+		IntParam("int.one", 4, 4, 4), // degenerate single-value domain
+		LogIntParam("int.log", 1, 1<<20, 256),
+		FloatParam("float.lin", -2.5, 7.5, 0),
+		FloatParam("float.one", 3.25, 3.25, 3.25),
+		Param{Name: "float.log", Kind: KindFloat, Min: 1e-4, Max: 1e3, Log: true, Def: 1},
+		BoolParam("bool.t", true),
+		BoolParam("bool.f", false),
+		CatParam("cat.two", 0, "a", "b"),
+		CatParam("cat.five", 3, "v", "w", "x", "y", "z"),
+	)
+}
+
+// TestEncodeDecodeRoundTripProperty is the property test guarding
+// Space.Encode/Decode (and, through the same Param.Unit/FromUnit pair,
+// Subspace's projection): for randomly drawn valid configurations of
+// every parameter kind,
+//
+//  1. discrete parameters (int, bool, categorical) survive one round trip
+//     exactly;
+//  2. one round trip always lands on a valid configuration;
+//  3. a second round trip is the identity (the codec is idempotent) —
+//     bit-for-bit, which is what the evaluation cache's canonical config
+//     keys rely on;
+//  4. the unit encoding is always inside [0, 1].
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	space := propertySpace()
+	rng := rand.New(rand.NewSource(31))
+	discrete := map[string]bool{}
+	for _, p := range space.Params() {
+		if p.Kind != KindFloat {
+			discrete[p.Name] = true
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		cfg := space.Random(rng)
+		if err := space.Validate(cfg); err != nil {
+			t.Fatalf("trial %d: Random produced invalid config: %v", trial, err)
+		}
+		enc := space.Encode(cfg)
+		if len(enc) != space.Dim() {
+			t.Fatalf("trial %d: encoded length %d, want %d", trial, len(enc), space.Dim())
+		}
+		for i, u := range enc {
+			if u < 0 || u > 1 {
+				t.Fatalf("trial %d: unit coordinate %d = %v outside [0,1]", trial, i, u)
+			}
+		}
+		once := space.Decode(enc)
+		if err := space.Validate(once); err != nil {
+			t.Fatalf("trial %d: decoded config invalid: %v", trial, err)
+		}
+		for name := range discrete {
+			if once[name] != cfg[name] {
+				t.Fatalf("trial %d: discrete %s = %v after round trip, want %v", trial, name, once[name], cfg[name])
+			}
+		}
+		twice := space.Decode(space.Encode(once))
+		if !reflect.DeepEqual(once, twice) {
+			t.Fatalf("trial %d: round trip not idempotent:\nonce  %v\ntwice %v", trial, once, twice)
+		}
+	}
+}
+
+// TestParamUnitRoundTripProperty drills into the per-parameter codec:
+// FromUnit(Unit(v)) is idempotent for every kind, and Unit is monotone
+// over each parameter's domain (the ordering models learn on matches the
+// parameter's natural ordering).
+func TestParamUnitRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, p := range propertySpace().Params() {
+		for trial := 0; trial < 200; trial++ {
+			v := p.Random(rng)
+			once := p.FromUnit(p.Unit(v))
+			twice := p.FromUnit(p.Unit(once))
+			if once != twice {
+				t.Fatalf("%s: FromUnit∘Unit not idempotent: %v -> %v -> %v", p.Name, v, once, twice)
+			}
+			if p.Kind != KindFloat && once != v {
+				t.Fatalf("%s: discrete value %v round-tripped to %v", p.Name, v, once)
+			}
+		}
+		// Monotonicity of the unit map over a sweep of the domain.
+		prevU := -1.0
+		for i := 0; i <= 50; i++ {
+			v := p.FromUnit(float64(i) / 50)
+			u := p.Unit(v)
+			if u < prevU-1e-12 {
+				t.Fatalf("%s: Unit not monotone at %v (u=%v < prev %v)", p.Name, v, u, prevU)
+			}
+			if u > prevU {
+				prevU = u
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package confspace
+
+import "fmt"
+
+// Subspace is a projection of a parent Space onto a subset of its
+// parameters — the search-space view significance-aware pruning tunes
+// inside (Tuneful's "tune only the knobs that matter"). The active
+// parameters keep their full domains; every pruned parameter is pinned to
+// a fixed value (its default, or the best-known value when the caller has
+// one). Encoding and decoding run over only the active dims, so a model
+// fitted through a Subspace sees a unit cube of dimension Dim() —
+// directly shrinking the surrogate's input dimension — while Lift
+// restores full parent-space configurations losslessly: pinned values
+// round-trip bit-for-bit, and active values round-trip exactly like the
+// parent Space's own Encode/Decode.
+//
+// A Subspace is immutable after construction and safe for concurrent use.
+type Subspace struct {
+	parent *Space
+	proj   *Space // Space over the active params, in parent declaration order
+	active []int  // indices of active params in the parent
+	pins   Config // full-dim config; inactive entries are the pinned values
+}
+
+// NewSubspace builds the projection of parent onto the named active
+// parameters. pins optionally overrides the pinned value of inactive
+// parameters (clamped into domain); parameters absent from pins pin to
+// their declared defaults. Unknown names — active or pinned — are
+// rejected, as is an empty active set. Active-name order does not matter:
+// dimensions always follow the parent's declaration order, so two
+// subspaces over the same set encode identically.
+func NewSubspace(parent *Space, activeNames []string, pins Config) (*Subspace, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("confspace: nil parent space")
+	}
+	if len(activeNames) == 0 {
+		return nil, fmt.Errorf("confspace: subspace needs at least one active parameter")
+	}
+	want := make(map[string]bool, len(activeNames))
+	for _, name := range activeNames {
+		if _, err := parent.Param(name); err != nil {
+			return nil, err
+		}
+		want[name] = true
+	}
+	for name := range pins {
+		if _, err := parent.Param(name); err != nil {
+			return nil, err
+		}
+	}
+	sub := &Subspace{parent: parent, pins: parent.Clamp(pins)}
+	var activeParams []Param
+	for i, p := range parent.params {
+		if want[p.Name] {
+			sub.active = append(sub.active, i)
+			activeParams = append(activeParams, p)
+		}
+	}
+	// Parameter declarations lifted from a valid space remain valid.
+	proj, err := NewSpace(activeParams...)
+	if err != nil {
+		return nil, err
+	}
+	sub.proj = proj
+	return sub, nil
+}
+
+// Parent returns the space the subspace projects.
+func (s *Subspace) Parent() *Space { return s.parent }
+
+// Space returns the projected Space over the active parameters only —
+// what samplers and tuners operate on. Its declaration order is the
+// parent's.
+func (s *Subspace) Space() *Space { return s.proj }
+
+// Dim returns the number of active dimensions.
+func (s *Subspace) Dim() int { return len(s.active) }
+
+// ActiveNames returns the active parameter names in parent declaration
+// order.
+func (s *Subspace) ActiveNames() []string { return s.proj.Names() }
+
+// PrunedNames returns the pinned parameter names in parent declaration
+// order.
+func (s *Subspace) PrunedNames() []string {
+	out := make([]string, 0, s.parent.Dim()-len(s.active))
+	activeSet := make(map[int]bool, len(s.active))
+	for _, i := range s.active {
+		activeSet[i] = true
+	}
+	for i, p := range s.parent.params {
+		if !activeSet[i] {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// Pins returns the full pinned configuration: every parameter at its pin
+// (inactive) or pin-default (active) value. Lift starts from a copy of it.
+func (s *Subspace) Pins() Config { return s.pins.Clone() }
+
+// Project restricts a full parent-space configuration to the active
+// parameters — the Config shape the projected Space validates and
+// encodes. Missing entries fall back to the pinned (clamped) defaults.
+func (s *Subspace) Project(full Config) Config {
+	out := make(Config, len(s.active))
+	for _, i := range s.active {
+		name := s.parent.params[i].Name
+		if v, ok := full[name]; ok {
+			out[name] = v
+		} else {
+			out[name] = s.pins[name]
+		}
+	}
+	return out
+}
+
+// Lift merges an active-dims configuration with the pinned values into a
+// full parent-space configuration. Active values pass through untouched
+// (Lift∘Project is the identity on active entries); pruned parameters take
+// their pinned values bit-for-bit.
+func (s *Subspace) Lift(sub Config) Config {
+	out := s.pins.Clone()
+	for _, i := range s.active {
+		name := s.parent.params[i].Name
+		if v, ok := sub[name]; ok {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// Encode maps a configuration (full or already-projected — extra entries
+// are ignored) to the active-dims unit-cube vector.
+func (s *Subspace) Encode(cfg Config) []float64 {
+	return s.EncodeInto(cfg, make([]float64, len(s.active)))
+}
+
+// EncodeInto encodes into dst, which must have length Dim(). It mirrors
+// Space.EncodeInto for the acquisition hot path.
+func (s *Subspace) EncodeInto(cfg Config, dst []float64) []float64 {
+	for j, i := range s.active {
+		p := s.parent.params[i]
+		dst[j] = p.Unit(cfg[p.Name])
+	}
+	return dst
+}
+
+// Decode maps an active-dims unit vector back to a full parent-space
+// configuration: active parameters from the vector, pruned parameters at
+// their pins. Short vectors leave trailing active parameters pinned.
+func (s *Subspace) Decode(x []float64) Config {
+	out := s.pins.Clone()
+	for j, i := range s.active {
+		if j >= len(x) {
+			break
+		}
+		p := s.parent.params[i]
+		out[p.Name] = p.FromUnit(x[j])
+	}
+	return out
+}
+
+// Describe renders the subspace compactly for logs and events.
+func (s *Subspace) Describe() string {
+	return fmt.Sprintf("%d/%d dims active", len(s.active), s.parent.Dim())
+}

@@ -1,0 +1,163 @@
+package confspace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func subspaceFixture(t *testing.T) (*Space, *Subspace) {
+	t.Helper()
+	parent := MustSpace(
+		IntParam("a.int", 1, 64, 8),
+		LogIntParam("b.logint", 1, 4096, 128),
+		FloatParam("c.float", 0, 1, 0.6),
+		FloatParam("d.logfloat", 0.001, 10, 0.1),
+		BoolParam("e.bool", true),
+		CatParam("f.cat", 1, "x", "y", "z"),
+		IntParam("g.decoy", 0, 100, 50),
+	)
+	sub, err := NewSubspace(parent, []string{"c.float", "a.int", "f.cat"}, Config{"g.decoy": 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parent, sub
+}
+
+func TestSubspaceConstruction(t *testing.T) {
+	parent, sub := subspaceFixture(t)
+	if sub.Dim() != 3 {
+		t.Fatalf("Dim() = %d, want 3", sub.Dim())
+	}
+	// Active dims follow parent declaration order regardless of the order
+	// the caller listed them.
+	want := []string{"a.int", "c.float", "f.cat"}
+	if got := sub.ActiveNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ActiveNames() = %v, want %v", got, want)
+	}
+	wantPruned := []string{"b.logint", "d.logfloat", "e.bool", "g.decoy"}
+	if got := sub.PrunedNames(); !reflect.DeepEqual(got, wantPruned) {
+		t.Fatalf("PrunedNames() = %v, want %v", got, wantPruned)
+	}
+	pins := sub.Pins()
+	if pins["g.decoy"] != 75 {
+		t.Errorf("pin override g.decoy = %v, want 75", pins["g.decoy"])
+	}
+	if pins["b.logint"] != 128 {
+		t.Errorf("unpinned pruned param b.logint = %v, want default 128", pins["b.logint"])
+	}
+	if sub.Parent() != parent {
+		t.Error("Parent() lost the parent space")
+	}
+
+	// Invalid constructions are rejected.
+	if _, err := NewSubspace(parent, nil, nil); err == nil {
+		t.Error("empty active set accepted")
+	}
+	if _, err := NewSubspace(parent, []string{"nope"}, nil); err == nil {
+		t.Error("unknown active name accepted")
+	}
+	if _, err := NewSubspace(parent, []string{"a.int"}, Config{"nope": 1}); err == nil {
+		t.Error("unknown pin name accepted")
+	}
+	if _, err := NewSubspace(nil, []string{"a.int"}, nil); err == nil {
+		t.Error("nil parent accepted")
+	}
+}
+
+// TestSubspaceRoundTrip is the lossless-round-trip contract: for any
+// valid full configuration, Lift(Project(cfg)) restores the active
+// entries bit-for-bit and pins the rest; Decode(Encode(cfg)) is stable
+// under a second round trip for every parameter kind.
+func TestSubspaceRoundTrip(t *testing.T) {
+	parent, sub := subspaceFixture(t)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		full := parent.Random(rng)
+		lifted := sub.Lift(sub.Project(full))
+		for _, name := range sub.ActiveNames() {
+			if lifted[name] != full[name] {
+				t.Fatalf("trial %d: active %s = %v after Lift∘Project, want %v", trial, name, lifted[name], full[name])
+			}
+		}
+		for _, name := range sub.PrunedNames() {
+			if lifted[name] != sub.Pins()[name] {
+				t.Fatalf("trial %d: pruned %s = %v after Lift∘Project, want pin %v", trial, name, lifted[name], sub.Pins()[name])
+			}
+		}
+		if err := parent.Validate(lifted); err != nil {
+			t.Fatalf("trial %d: lifted config invalid: %v", trial, err)
+		}
+
+		// Encode/Decode: one round trip may clamp/discretize, but a second
+		// must be the identity (and exact for discrete kinds immediately).
+		once := sub.Decode(sub.Encode(full))
+		twice := sub.Decode(sub.Encode(once))
+		if !reflect.DeepEqual(once, twice) {
+			t.Fatalf("trial %d: encode/decode not idempotent:\nonce  %v\ntwice %v", trial, once, twice)
+		}
+		for _, name := range []string{"a.int", "f.cat"} { // discrete active params decode exactly
+			if once[name] != full[name] {
+				t.Fatalf("trial %d: discrete %s = %v after round trip, want %v", trial, name, once[name], full[name])
+			}
+		}
+		if err := parent.Validate(once); err != nil {
+			t.Fatalf("trial %d: decoded config invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestSubspaceEncodeMatchesParentDims(t *testing.T) {
+	parent, sub := subspaceFixture(t)
+	rng := rand.New(rand.NewSource(9))
+	full := parent.Random(rng)
+	enc := sub.Encode(full)
+	if len(enc) != sub.Dim() {
+		t.Fatalf("encoded length %d, want %d", len(enc), sub.Dim())
+	}
+	// The subspace encoding of an active param equals the parent's unit
+	// encoding of the same value.
+	fullEnc := parent.Encode(full)
+	names := parent.Names()
+	for j, name := range sub.ActiveNames() {
+		for i, pn := range names {
+			if pn == name && enc[j] != fullEnc[i] {
+				t.Errorf("active %s: subspace unit %v != parent unit %v", name, enc[j], fullEnc[i])
+			}
+		}
+	}
+	// Short vectors leave trailing actives pinned.
+	dec := sub.Decode(enc[:1])
+	if dec["c.float"] != sub.Pins()["c.float"] {
+		t.Errorf("short decode c.float = %v, want pin %v", dec["c.float"], sub.Pins()["c.float"])
+	}
+}
+
+func TestSubspaceSamplersStayInside(t *testing.T) {
+	_, sub := subspaceFixture(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		cfg := sub.Space().Random(rng)
+		if err := sub.Space().Validate(cfg); err != nil {
+			t.Fatalf("projected-space sample invalid: %v", err)
+		}
+		lifted := sub.Lift(cfg)
+		if err := sub.Parent().Validate(lifted); err != nil {
+			t.Fatalf("lifted sample invalid in parent: %v", err)
+		}
+	}
+}
+
+func TestSubspacePinsAreClamped(t *testing.T) {
+	parent := MustSpace(
+		IntParam("a", 0, 10, 5),
+		FloatParam("b", 0, 1, 0.5),
+	)
+	sub, err := NewSubspace(parent, []string{"a"}, Config{"b": 7}) // out of domain
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Pins()["b"]; got != 1 {
+		t.Errorf("pin b = %v, want clamped 1", got)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"seamlesstune/internal/obs"
+)
+
+func TestWithPruningResolution(t *testing.T) {
+	svc, err := NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Pruning() {
+		t.Error("pruning enabled by default")
+	}
+	if svc.resolvePruning(wcReg("t1")) {
+		t.Error("plain registration prunes on a default service")
+	}
+	reg := wcReg("t1")
+	reg.Pruning = true
+	if !svc.resolvePruning(reg) {
+		t.Error("registration opt-in ignored")
+	}
+	svc, err = NewService(WithPruning(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Pruning() || !svc.resolvePruning(wcReg("t1")) {
+		t.Error("WithPruning(true) not honored")
+	}
+}
+
+// The analyzer's default warmup is max(2·dim, 20) samples; with a DISC
+// budget below that, a pruning session never adopts a subspace, and its
+// trajectory must be bit-identical to the plain BayesOpt session —
+// trial for trial, config for config. This pins the wrapper's
+// no-divergence contract at the service layer.
+func TestPipelinePruningDormantMatchesPlain(t *testing.T) {
+	run := func(pruning bool) PipelineResult {
+		opts := []Option{
+			WithSeed(5),
+			WithSparkSpace(smallSpace(t)),
+			WithBudgets(6, 10),
+			WithNodeRange(2, 6),
+		}
+		if pruning {
+			opts = append(opts, WithPruning(true))
+		}
+		svc, err := NewService(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := svc.TunePipeline(context.Background(), wcReg("t1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, pruned := run(false), run(true)
+	if plain.Pruning || !pruned.Pruning {
+		t.Fatalf("Pruning flags = %v/%v, want false/true", plain.Pruning, pruned.Pruning)
+	}
+	if !pruned.DISC.Pruned {
+		t.Error("pruning session did not report DISC.Pruned")
+	}
+	if pruned.DISC.ActiveDims != pruned.DISC.TotalDims {
+		t.Errorf("dormant analyzer shrank the space: %d/%d dims",
+			pruned.DISC.ActiveDims, pruned.DISC.TotalDims)
+	}
+	if len(pruned.DISC.PrunedKnobs) != 0 {
+		t.Errorf("dormant analyzer pinned knobs: %v", pruned.DISC.PrunedKnobs)
+	}
+	if plain.TunedRuntimeS != pruned.TunedRuntimeS || plain.TuningCostUSD != pruned.TuningCostUSD {
+		t.Errorf("trajectories diverged: plain %.6f/$%.6f, pruned %.6f/$%.6f",
+			plain.TunedRuntimeS, plain.TuningCostUSD, pruned.TunedRuntimeS, pruned.TuningCostUSD)
+	}
+	a, b := plain.DISC.Session.Trials, pruned.DISC.Session.Trials
+	if len(a) != len(b) {
+		t.Fatalf("trial counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Runtime != b[i].Runtime || a[i].Config.Canonical() != b[i].Config.Canonical() {
+			t.Fatalf("trial %d diverged:\n  plain:  %s (%.3fs)\n  pruned: %s (%.3fs)",
+				i, a[i].Config.Canonical(), a[i].Runtime, b[i].Config.Canonical(), b[i].Runtime)
+		}
+	}
+}
+
+// A pruning session with budget past the analyzer warmup publishes
+// prune telemetry, and once a subspace is adopted the later trial
+// events carry the active-dimension count.
+func TestPipelinePruningEmitsPruneEvents(t *testing.T) {
+	svc, err := NewService(
+		WithSeed(9),
+		WithSparkSpace(smallSpace(t)),
+		WithBudgets(6, 60),
+		WithNodeRange(2, 6),
+		WithPruning(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := obs.NewEventLog(1 << 12)
+	ctx := obs.NewEmitterContext(context.Background(),
+		obs.Emitter{Log: log, Session: "job-p", Tenant: "t1", Workload: "wordcount"})
+	res, err := svc.TunePipeline(ctx, wcReg("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pruning || !res.DISC.Pruned {
+		t.Fatalf("pruning not reported: Pruning=%v DISC.Pruned=%v", res.Pruning, res.DISC.Pruned)
+	}
+	total := smallSpace(t).Dim()
+	if res.DISC.TotalDims != total {
+		t.Errorf("TotalDims = %d, want %d", res.DISC.TotalDims, total)
+	}
+	var prunes []obs.Event
+	for _, e := range log.Snapshot(0) {
+		if e.Type == obs.EventPrune {
+			prunes = append(prunes, e)
+		}
+	}
+	if len(prunes) == 0 {
+		t.Fatal("no prune events with a 60-trial budget (warmup is 24 samples)")
+	}
+	reasons := map[string]bool{"warmup": true, "unstable": true, "converged": true, "resurgence": true, "steady": true}
+	for _, e := range prunes {
+		if e.Phase != "disc" {
+			t.Errorf("prune event phase = %q, want disc", e.Phase)
+		}
+		if e.ActiveDims < 1 || e.ActiveDims > total || e.TotalDims != total {
+			t.Errorf("prune event dims %d/%d out of range", e.ActiveDims, e.TotalDims)
+		}
+		if !reasons[e.Detail] {
+			t.Errorf("prune event detail = %q, not an analyzer reason", e.Detail)
+		}
+		if e.Importance == "" {
+			t.Error("prune event missing importance summary")
+		}
+	}
+	// DISCChoice echoes the final view; if a subspace was adopted, the
+	// pinned knobs and the trial-event stamps must agree with it.
+	if res.DISC.ActiveDims < total {
+		if len(res.DISC.PrunedKnobs) != total-res.DISC.ActiveDims {
+			t.Errorf("PrunedKnobs = %v, want %d names", res.DISC.PrunedKnobs, total-res.DISC.ActiveDims)
+		}
+		var stamped bool
+		for _, e := range log.Snapshot(0) {
+			if e.Type == obs.EventTrial && e.ActiveDims > 0 {
+				stamped = true
+				if e.TotalDims != total || e.ActiveDims > total {
+					t.Errorf("trial event dims %d/%d inconsistent", e.ActiveDims, e.TotalDims)
+				}
+			}
+		}
+		if !stamped {
+			t.Error("subspace adopted but no trial event carries ActiveDims")
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"seamlesstune/internal/confspace"
 	"seamlesstune/internal/history"
 	"seamlesstune/internal/obs"
+	"seamlesstune/internal/sensitivity"
 	"seamlesstune/internal/simcache"
 	"seamlesstune/internal/slo"
 	"seamlesstune/internal/spark"
@@ -65,6 +66,7 @@ type Service struct {
 	transferThreshold  float64
 	simCache           *simcache.Cache
 	surrogateKind      string
+	pruning            bool
 
 	// subMu guards subs, the per-(kind, tenant, workload) submission
 	// counters that make repeated submissions of the same workload draw
@@ -134,6 +136,17 @@ func WithSurrogate(name string) Option {
 	return func(s *Service) { s.surrogateKind = name }
 }
 
+// WithPruning sets the service-wide default for significance-aware
+// config-space pruning of stage-2 (DISC) sessions: when enabled, the
+// Bayesian-optimization session runs a Tuneful-style sensitivity analysis
+// alongside the search and collapses onto the significant knobs once the
+// importances converge. Default off — sessions without pruning keep
+// trajectories bit-identical to pre-pruning services. Per-registration
+// choices override it.
+func WithPruning(enabled bool) Option {
+	return func(s *Service) { s.pruning = enabled }
+}
+
 // WithSimCache enables the shared simulator evaluation cache (nil —
 // the default — disables it). The trade-off is a change of determinism
 // contract, which is why caching is opt-in:
@@ -198,6 +211,10 @@ func NewService(opts ...Option) (*Service, error) {
 	return s, nil
 }
 
+// Pruning returns the service-wide default for significance-aware
+// config-space pruning.
+func (s *Service) Pruning() bool { return s.pruning }
+
 // Surrogate returns the service's default surrogate backend name.
 func (s *Service) Surrogate() string {
 	if s.surrogateKind != "" {
@@ -213,6 +230,12 @@ func (s *Service) resolveSurrogate(reg Registration) string {
 		return reg.Surrogate
 	}
 	return s.Surrogate()
+}
+
+// resolvePruning reports whether reg's stage-2 session prunes: the
+// registration's opt-in, else the service default.
+func (s *Service) resolvePruning(reg Registration) bool {
+	return reg.Pruning || s.pruning
 }
 
 // newBayesOpt builds a session's tuner with the resolved surrogate
@@ -266,6 +289,11 @@ type Registration struct {
 	// model backend for this workload's sessions (a surrogate.Names()
 	// entry; empty = service default).
 	Surrogate string
+	// Pruning opts this workload's stage-2 sessions into significance-
+	// aware config-space pruning (see WithPruning). Off by default: an
+	// unpruned session's trajectory is bit-identical to pre-pruning
+	// services.
+	Pruning bool
 }
 
 // Validate reports whether the registration is usable.
@@ -436,6 +464,14 @@ type DISCChoice struct {
 	WarmStarted bool
 	Source      history.WorkloadKey
 	Similarity  float64
+	// Pruned reports the session ran with significance-aware config-space
+	// pruning; ActiveDims/TotalDims give the final search dimension
+	// against the full space, and PrunedKnobs the knobs pinned when the
+	// session ended (empty if the analysis never converged on a shrink).
+	Pruned      bool
+	ActiveDims  int
+	TotalDims   int
+	PrunedKnobs []string
 }
 
 // TuneDISC runs stage 2 on a fixed cluster: probe runs fingerprint the
@@ -476,13 +512,38 @@ func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.
 	endProbe()
 
 	choice := DISCChoice{}
-	bo := s.newBayesOpt(s.sparkSpace, reg, base)
-	if sel, trials := s.warmStart(reg); sel.Accepted && len(trials) > 0 {
-		bo.WarmStart = trials
-		bo.InitSamples = 3
+	sel, trials := s.warmStart(reg)
+	if sel.Accepted && len(trials) > 0 {
 		choice.WarmStarted = true
 		choice.Source = sel.Source
 		choice.Similarity = sel.Similarity
+	} else {
+		trials = nil
+	}
+
+	// Pruning sessions wrap BayesOpt in the significance-analysis tier;
+	// plain sessions construct BayesOpt exactly as before, so their
+	// trajectories stay bit-identical to pre-pruning services.
+	var tn tuner.Tuner
+	var pruned *tuner.PrunedBayesOpt
+	if s.resolvePruning(reg) {
+		pb := tuner.NewPrunedBayesOpt(s.sparkSpace)
+		pb.Surrogate = s.resolveSurrogate(reg)
+		pb.SurrogateSeed = stat.DeriveSeed(base, "surrogate")
+		pb.Prune = sensitivity.Config{Seed: stat.DeriveSeed(base, "prune")}
+		pb.Hook = tel.pruneHook("disc", s.sparkSpace.Names())
+		if choice.WarmStarted {
+			pb.WarmStart = trials
+			pb.InitSamples = 3
+		}
+		pruned, tn = pb, pb
+	} else {
+		bo := s.newBayesOpt(s.sparkSpace, reg, base)
+		if choice.WarmStarted {
+			bo.WarmStart = trials
+			bo.InitSamples = 3
+		}
+		tn = bo
 	}
 
 	obj := func(cfg confspace.Config) tuner.Measurement {
@@ -492,7 +553,7 @@ func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.
 	if h := tel.trialHook("disc"); h != nil {
 		ctx = tuner.WithTrialHook(ctx, h)
 	}
-	res, err := tuner.RunContext(ctx, bo, obj, s.discBudget, rng)
+	res, err := tuner.RunContext(ctx, tn, obj, s.discBudget, rng)
 	if err != nil {
 		return DISCChoice{}, err
 	}
@@ -501,6 +562,13 @@ func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.
 	}
 	choice.Config = res.Best.Config
 	choice.Session = res
+	if pruned != nil {
+		choice.Pruned = true
+		choice.ActiveDims, choice.TotalDims = pruned.ActiveDims()
+		if sub := pruned.Subspace(); sub != nil {
+			choice.PrunedKnobs = sub.PrunedNames()
+		}
+	}
 	return choice, nil
 }
 
@@ -548,6 +616,9 @@ type PipelineResult struct {
 	TuningCostUSD float64
 	// Surrogate is the resolved surrogate backend both stages fitted.
 	Surrogate string
+	// Pruning reports whether stage 2 ran with significance-aware
+	// config-space pruning (see DISC.ActiveDims for the outcome).
+	Pruning bool
 }
 
 // Improvement returns the relative runtime improvement over the scaled
@@ -597,6 +668,7 @@ func (s *Service) TunePipeline(ctx context.Context, reg Registration) (PipelineR
 		TunedRuntimeS:   dc.Session.Best.Runtime,
 		TuningCostUSD:   cc.Session.TotalCost + dc.Session.TotalCost,
 		Surrogate:       s.resolveSurrogate(reg),
+		Pruning:         s.resolvePruning(reg),
 	}
 	tel.sessionEnd(fmt.Sprintf("tuned %.1fs vs default %.1fs (%.0f%% improvement) on %s",
 		res.TunedRuntimeS, res.DefaultRuntimeS, res.Improvement()*100, cc.Cluster))

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 
 	"seamlesstune/internal/cloud"
 	"seamlesstune/internal/obs"
+	"seamlesstune/internal/sensitivity"
 	"seamlesstune/internal/slo"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/tuner"
@@ -36,6 +39,8 @@ type sessionTelemetry struct {
 	lastCluster string // cluster of the most recent execution
 	hasExec     bool   // an execution landed since the last trial event
 	lastViolate string // last emitted violation text, for dedupe
+	activeDims  int    // pruned search dimension (0 = full space / no pruning)
+	totalDims   int
 }
 
 // newSessionTelemetry binds an emitter to a session. totalExecs is the
@@ -140,6 +145,10 @@ func (st *sessionTelemetry) trialHook(phase string) tuner.TrialHook {
 		p := st.progressLocked()
 		ev.BurnRate = p.BurnRate()
 		ev.ProjectedSpendUSD = p.ProjectedSpend(st.totalExecs)
+		if st.activeDims > 0 {
+			ev.ActiveDims = st.activeDims
+			ev.TotalDims = st.totalDims
+		}
 		vio := st.checkSLOLocked()
 		st.mu.Unlock()
 		st.em.Emit(ev)
@@ -147,6 +156,62 @@ func (st *sessionTelemetry) trialHook(phase string) tuner.TrialHook {
 			st.em.Emit(*vio)
 		}
 	}
+}
+
+// pruneHook returns the sensitivity-analysis observer for a pruning
+// session: every analysis round becomes a prune event carrying the
+// active dimension, the dropped knobs, and the leading importances, and
+// subsequent trial events are stamped with the active dimension. names
+// is the full space's knob order (matching Decision.Importance). Returns
+// nil for the no-op telemetry.
+func (st *sessionTelemetry) pruneHook(phase string, names []string) func(int, sensitivity.Decision) {
+	if st == nil {
+		return nil
+	}
+	return func(trial int, dec sensitivity.Decision) {
+		active := len(names)
+		if dec.Active != nil {
+			active = len(dec.Active)
+		}
+		st.mu.Lock()
+		st.activeDims = active
+		st.totalDims = len(names)
+		st.mu.Unlock()
+		st.em.Emit(obs.Event{
+			Type: obs.EventPrune, Phase: phase, Trial: trial,
+			ActiveDims: active, TotalDims: len(names),
+			Dropped:    strings.Join(dec.Dropped, ","),
+			Importance: topImportances(names, dec.Importance, 8),
+			Detail:     dec.Reason,
+		})
+	}
+}
+
+// topImportances renders the k largest knob importances as "name=share"
+// pairs, comma-separated, largest first (declaration order breaks ties).
+func topImportances(names []string, imp []float64, k int) string {
+	type kv struct {
+		name string
+		v    float64
+	}
+	ranked := make([]kv, 0, len(imp))
+	for i, v := range imp {
+		if i < len(names) && v > 0 {
+			ranked = append(ranked, kv{names[i], v})
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].v > ranked[j].v })
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	var b strings.Builder
+	for i, r := range ranked {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%.3f", r.name, r.v)
+	}
+	return b.String()
 }
 
 func (st *sessionTelemetry) progressLocked() slo.Progress {

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/sensitivity"
+	"seamlesstune/internal/stat"
+	"seamlesstune/internal/tuner"
+	"seamlesstune/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// C13 — significance-aware config-space pruning (the Tuneful approach,
+// arXiv 2001.08002) on the Table-I workloads: a session that collapses
+// onto the significant knobs mid-search must end no worse than the
+// full-space session, while the acquisition runs at a fraction of the
+// dimension.
+
+// C13Row compares one workload's full-space and pruned sessions at equal
+// execution budget.
+type C13Row struct {
+	Workload   string
+	FullBest   float64
+	PrunedBest float64
+	// ActiveDims/TotalDims is the pruned session's final search view.
+	ActiveDims int
+	TotalDims  int
+	// Delta is (pruned - full) / full: near zero (or negative) means the
+	// pruned session matched the full-space optimum from a far smaller
+	// space.
+	Delta float64
+}
+
+// C13Result holds the pruned-vs-full sweep.
+type C13Result struct {
+	Budget int
+	Rows   []C13Row
+}
+
+// C13PrunedVsFull runs both sessions per workload over the 30-parameter
+// Spark subspace — the dimensionality at which §III-B's explosion bites.
+func C13PrunedVsFull(seed int64, budget int) (C13Result, error) {
+	if budget <= 0 {
+		budget = 80
+	}
+	cluster, err := TableICluster()
+	if err != nil {
+		return C13Result{}, err
+	}
+	space := confspace.SparkSubspace(30)
+	size := 8 * GB
+	names := []string{"wordcount", "sort", "pagerank"}
+	out := C13Result{Budget: budget}
+
+	type sessionOut struct {
+		best   float64
+		active int
+		total  int
+		err    error
+	}
+	run := func(wi int, prune bool) sessionOut {
+		w, err := workload.ByName(names[wi])
+		if err != nil {
+			return sessionOut{err: err}
+		}
+		salt := int64(wi)*31 + 5
+		i := 0
+		obj := func(cfg confspace.Config) tuner.Measurement {
+			i++
+			res := runConfig(w, size, space, cfg, cluster, seed+int64(i)*13+salt)
+			return tuner.Measurement{Runtime: res.RuntimeS, Cost: res.CostUSD, Failed: res.Failed}
+		}
+		var tn tuner.Tuner
+		var pb *tuner.PrunedBayesOpt
+		if prune {
+			pb = tuner.NewPrunedBayesOpt(space)
+			pb.Surrogate = surrogateKind
+			pb.SurrogateSeed = stat.DeriveSeed(seed+salt, "surrogate")
+			// Re-analyze every 10 trials once 30 samples exist, so the
+			// session can adopt a subspace within the Table-I-scale budget.
+			pb.Prune = sensitivity.Config{
+				Seed:       stat.DeriveSeed(seed+salt, "prune"),
+				Every:      10,
+				MinSamples: 30,
+			}
+			tn = pb
+		} else {
+			tn = newBayesOpt(space, seed+salt)
+		}
+		res, err := tuner.Run(tn, obj, budget, stat.NewRNG(seed+salt))
+		if err != nil {
+			return sessionOut{err: err}
+		}
+		o := sessionOut{best: math.Inf(1), active: space.Dim(), total: space.Dim()}
+		if res.Found {
+			o.best = res.Best.Runtime
+		}
+		if pb != nil {
+			o.active, o.total = pb.ActiveDims()
+		}
+		return o
+	}
+
+	// Both sessions of every workload are independent; fan them out.
+	runs := parallelMap(2*len(names), func(k int) sessionOut {
+		return run(k/2, k%2 == 1)
+	})
+	for wi := range names {
+		full, pruned := runs[2*wi], runs[2*wi+1]
+		if full.err != nil {
+			return C13Result{}, full.err
+		}
+		if pruned.err != nil {
+			return C13Result{}, pruned.err
+		}
+		delta := math.Inf(1)
+		if full.best > 0 && !math.IsInf(full.best, 1) && !math.IsInf(pruned.best, 1) {
+			delta = (pruned.best - full.best) / full.best
+		}
+		out.Rows = append(out.Rows, C13Row{
+			Workload:   names[wi],
+			FullBest:   full.best,
+			PrunedBest: pruned.best,
+			ActiveDims: pruned.active,
+			TotalDims:  pruned.total,
+			Delta:      delta,
+		})
+	}
+	return out, nil
+}
+
+// Render formats the pruned-vs-full comparison.
+func (r C13Result) Render() Table {
+	t := Table{
+		ID:     "C13",
+		Title:  fmt.Sprintf("Significance-aware pruning vs full-space tuning (budget %d executions, 30 params)", r.Budget),
+		Header: []string{"workload", "full best", "pruned best", "delta", "active dims"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Workload,
+			secs(row.FullBest),
+			secs(row.PrunedBest),
+			pct(row.Delta),
+			fmt.Sprintf("%d/%d", row.ActiveDims, row.TotalDims),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"pruning follows Tuneful (arXiv 2001.08002): forest importances over the session's own samples collapse the search onto the significant knobs",
+		"claim: the pruned session's final objective is no worse than full-space search while the acquisition runs at a fraction of the dimension")
+	return t
+}

@@ -262,8 +262,8 @@ func TestC8AdditiveGPInterpret(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	specs := All()
-	if len(specs) != 18 {
-		t.Fatalf("specs = %d, want 18", len(specs))
+	if len(specs) != 19 {
+		t.Fatalf("specs = %d, want 19", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {
@@ -430,6 +430,37 @@ func TestC12TuningUnderInterference(t *testing.T) {
 	// High interference must cost more regret than none.
 	if byLevel["high"].RegretPct < byLevel["none"].RegretPct {
 		t.Errorf("high-noise regret %.2f below clean %.2f", byLevel["high"].RegretPct, byLevel["none"].RegretPct)
+	}
+}
+
+func TestC13PrunedVsFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := C13PrunedVsFull(1, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	prunedSomewhere := false
+	for _, row := range res.Rows {
+		// The claim: pruning never costs more than a small tolerance of the
+		// full-space optimum at equal budget.
+		if row.PrunedBest > row.FullBest*1.10 {
+			t.Errorf("%s: pruned best %.1fs worse than full-space %.1fs (+%.0f%%)",
+				row.Workload, row.PrunedBest, row.FullBest, row.Delta*100)
+		}
+		if row.TotalDims != 30 {
+			t.Errorf("%s: total dims = %d, want 30", row.Workload, row.TotalDims)
+		}
+		if row.ActiveDims < row.TotalDims {
+			prunedSomewhere = true
+		}
+	}
+	if !prunedSomewhere {
+		t.Error("no workload's session adopted a subspace within the budget")
 	}
 }
 

@@ -207,6 +207,17 @@ func All() []Spec {
 			},
 		},
 		{
+			ID:    "C13",
+			Title: "significance-aware pruning vs full-space tuning",
+			Run: func(seed int64) (Table, error) {
+				r, err := C13PrunedVsFull(seed, 80)
+				if err != nil {
+					return Table{}, err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
 			ID:    "C8",
 			Title: "additive-GP interpretability",
 			Run: func(seed int64) (Table, error) {

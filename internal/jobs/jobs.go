@@ -61,6 +61,9 @@ type Job struct {
 	// tuning sessions fit (from SubmitOpts; empty when the caller did not
 	// record one).
 	Surrogate string `json:"surrogate,omitempty"`
+	// Pruning echoes whether the job's tuning sessions run with
+	// significance-aware config-space pruning (from SubmitOpts).
+	Pruning bool `json:"pruning,omitempty"`
 }
 
 // Options carries caller-visible metadata attached to a submission and
@@ -69,6 +72,9 @@ type Options struct {
 	// Surrogate is the resolved surrogate model backend the job's tuning
 	// sessions will use.
 	Surrogate string
+	// Pruning marks the job's sessions as running with significance-aware
+	// config-space pruning.
+	Pruning bool
 }
 
 // job is the engine-internal mutable record behind Job snapshots.
@@ -167,6 +173,7 @@ func (e *Engine) SubmitOpts(tenant string, task Task, opts Options) (Job, error)
 			State:       StateQueued,
 			SubmittedAt: time.Now().UTC(),
 			Surrogate:   opts.Surrogate,
+			Pruning:     opts.Pruning,
 		},
 		task: task,
 		done: make(chan struct{}),

@@ -1,0 +1,106 @@
+package learn
+
+import "math"
+
+// Feature importances — the significance signal Tuneful-style config-space
+// pruning runs on. Importance here is impurity-based: every split node
+// credits its feature with the sum-of-squares decrease the split achieved,
+// weighted naturally by the node's sample mass (the decrease is computed
+// in absolute, unnormalized terms). Per-tree vectors are normalized to sum
+// to one, so forests average comparable quantities across trees and the
+// across-tree standard deviation doubles as a convergence/confidence
+// signal: a feature whose importance varies wildly between bootstrap
+// resamples has not been pinned down by the data yet.
+//
+// Everything below is a pure, sequential function of the fitted trees —
+// no randomness, no goroutines — so importances are bit-identical across
+// reruns and GOMAXPROCS settings whenever the forest itself is (FitForest
+// is a pure function of (cfg, data, rng stream)).
+
+// Dim returns the feature dimensionality the tree was grown on.
+func (t *Tree) Dim() int { return t.dim }
+
+// Importances returns the tree's normalized impurity-based feature
+// importances (length Dim(), summing to 1; all zeros for a stump or a
+// tree whose splits achieved no impurity decrease).
+func (t *Tree) Importances() []float64 {
+	imp := make([]float64, t.dim)
+	accumGains(t.root, imp)
+	normalize(imp)
+	return imp
+}
+
+// accumGains walks the tree crediting each split feature with its
+// impurity decrease.
+func accumGains(n *node, imp []float64) {
+	if n == nil || n.leaf() {
+		return
+	}
+	if n.feature >= 0 && n.feature < len(imp) {
+		imp[n.feature] += n.gain
+	}
+	accumGains(n.left, imp)
+	accumGains(n.right, imp)
+}
+
+// normalize scales v to sum to 1 in place (no-op for an all-zero vector).
+func normalize(v []float64) {
+	total := 0.0
+	for _, x := range v {
+		total += x
+	}
+	if total <= 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= total
+	}
+}
+
+// Dim returns the feature dimensionality the forest was trained on (0 for
+// an empty forest).
+func (f *Forest) Dim() int {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	return f.trees[0].dim
+}
+
+// Importances returns the forest's feature importances: the mean of the
+// per-tree normalized impurity importances, and the across-tree standard
+// deviation of each feature's importance. The mean vector sums to 1 when
+// at least one tree found informative splits; the std vector is the
+// confidence signal sensitivity analysis uses — importances have
+// "converged" when they are large relative to their spread.
+func (f *Forest) Importances() (mean, std []float64) {
+	dim := f.Dim()
+	mean = make([]float64, dim)
+	std = make([]float64, dim)
+	if dim == 0 {
+		return mean, std
+	}
+	perTree := make([][]float64, len(f.trees))
+	for i, t := range f.trees {
+		perTree[i] = t.Importances()
+		for d := 0; d < dim && d < len(perTree[i]); d++ {
+			mean[d] += perTree[i][d]
+		}
+	}
+	nT := float64(len(f.trees))
+	for d := range mean {
+		mean[d] /= nT
+	}
+	for _, imp := range perTree {
+		for d := 0; d < dim && d < len(imp); d++ {
+			diff := imp[d] - mean[d]
+			std[d] += diff * diff
+		}
+	}
+	for d := range std {
+		std[d] = math.Sqrt(std[d] / nT)
+	}
+	// Trees whose splits found no impurity decrease contribute zero
+	// vectors; rescale so the reported mean still sums to one.
+	normalize(mean)
+	return mean, std
+}

@@ -1,0 +1,146 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// importanceData draws n samples of a function dominated by features 0
+// and 2 with pure-noise decoys elsewhere.
+func importanceData(n, dim int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = 12*x[0] + 6*x[2]*x[2] + 0.2*rng.NormFloat64()
+	}
+	return xs, ys
+}
+
+func TestTreeImportancesRankSignal(t *testing.T) {
+	xs, ys := importanceData(300, 6, 1)
+	tree, err := FitTree(TreeConfig{}, xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.Importances()
+	if len(imp) != 6 {
+		t.Fatalf("importances length %d, want 6", len(imp))
+	}
+	sum := 0.0
+	for d, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v at dim %d", v, d)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("importances sum to %v, want 1", sum)
+	}
+	for _, decoy := range []int{1, 3, 4, 5} {
+		if imp[decoy] >= imp[0] {
+			t.Errorf("decoy dim %d importance %v >= signal dim 0 importance %v", decoy, imp[decoy], imp[0])
+		}
+	}
+	if imp[0] < imp[2] {
+		t.Errorf("dominant dim 0 (%v) ranked below dim 2 (%v)", imp[0], imp[2])
+	}
+}
+
+func TestForestImportancesSignalAndConfidence(t *testing.T) {
+	xs, ys := importanceData(400, 8, 3)
+	f, err := FitForest(ForestConfig{Trees: 30}, xs, ys, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, std := f.Importances()
+	if len(mean) != 8 || len(std) != 8 {
+		t.Fatalf("importance lengths %d/%d, want 8/8", len(mean), len(std))
+	}
+	sum := 0.0
+	for _, v := range mean {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mean importances sum to %v, want 1", sum)
+	}
+	// The two signal dims should dominate every decoy, and clearly so:
+	// their importances should exceed the decoys by more than the
+	// across-tree spread (the confidence criterion sensitivity analysis
+	// applies).
+	for _, sig := range []int{0, 2} {
+		for _, decoy := range []int{1, 3, 4, 5, 6, 7} {
+			if mean[sig]-std[sig] <= mean[decoy]+std[decoy] {
+				t.Errorf("signal dim %d (%.4f±%.4f) not separated from decoy %d (%.4f±%.4f)",
+					sig, mean[sig], std[sig], decoy, mean[decoy], std[decoy])
+			}
+		}
+	}
+}
+
+// TestForestImportancesDeterministic is the reproducibility contract the
+// pruning tier depends on: the same seed and the same samples produce a
+// bit-identical importance vector no matter how many CPUs the process
+// runs on. The forest fit and the importance walk are sequential pure
+// functions, so the test pins GOMAXPROCS to several values — including
+// 1 and many — and requires exact float equality.
+func TestForestImportancesDeterministic(t *testing.T) {
+	xs, ys := importanceData(250, 10, 11)
+	fit := func() ([]float64, []float64) {
+		f, err := FitForest(ForestConfig{Trees: 25}, xs, ys, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Importances()
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var refMean, refStd []float64
+	for _, procs := range []int{1, 2, prev, 16} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 2; rep++ {
+			mean, std := fit()
+			if refMean == nil {
+				refMean, refStd = mean, std
+				continue
+			}
+			for d := range refMean {
+				if mean[d] != refMean[d] || std[d] != refStd[d] {
+					t.Fatalf("GOMAXPROCS=%d rep=%d: importance[%d] = (%v, %v), want bit-identical (%v, %v)",
+						procs, rep, d, mean[d], std[d], refMean[d], refStd[d])
+				}
+			}
+		}
+	}
+}
+
+func TestImportancesEdgeCases(t *testing.T) {
+	// A stump (constant target) has zero importances everywhere.
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}, {0.2, 0.8}}
+	ys := []float64{3, 3, 3, 3, 3, 3}
+	tree, err := FitTree(TreeConfig{}, xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, v := range tree.Importances() {
+		if v != 0 {
+			t.Errorf("constant-target tree importance[%d] = %v, want 0", d, v)
+		}
+	}
+	var empty Forest
+	mean, std := empty.Importances()
+	if len(mean) != 0 || len(std) != 0 {
+		t.Errorf("empty forest importances %v/%v, want empty", mean, std)
+	}
+	if empty.Dim() != 0 {
+		t.Errorf("empty forest Dim() = %d, want 0", empty.Dim())
+	}
+}

@@ -55,6 +55,10 @@ type node struct {
 	left     *node
 	right    *node
 	nSamples int
+	// gain is the impurity decrease the split achieved: the node's sum of
+	// squares about its mean minus the children's (split nodes only). It
+	// feeds the feature-importance accounting in importance.go.
+	gain float64
 }
 
 func (n *node) leaf() bool { return n.left == nil }
@@ -78,9 +82,10 @@ func FitTree(cfg TreeConfig, xs [][]float64, ys []float64, rng *rand.Rand) (*Tre
 
 func grow(cfg TreeConfig, xs [][]float64, ys []float64, idx []int, depth int, rng *rand.Rand) *node {
 	n := &node{nSamples: len(idx)}
-	sum := 0.0
+	sum, sq := 0.0, 0.0
 	for _, i := range idx {
 		sum += ys[i]
+		sq += ys[i] * ys[i]
 	}
 	n.value = sum / float64(len(idx))
 	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf {
@@ -125,6 +130,11 @@ func grow(cfg TreeConfig, xs [][]float64, ys []float64, idx []int, depth int, rn
 		return n
 	}
 	n.feature, n.thresh = bestFeat, bestThresh
+	// Impurity decrease: node sum-of-squares about the mean minus the
+	// children's. Clamped at zero against floating-point cancellation.
+	if g := (sq - sum*sum/float64(len(idx))) - bestScore; g > 0 {
+		n.gain = g
+	}
 	n.left = grow(cfg, xs, ys, li, depth+1, rng)
 	n.right = grow(cfg, xs, ys, ri, depth+1, rng)
 	return n

@@ -23,6 +23,10 @@ const (
 	EventExecution    EventType = "execution"
 	EventSLOViolation EventType = "slo_violation"
 	EventSessionEnd   EventType = "session_end"
+	// EventPrune reports a significance-analysis round of a pruning
+	// session: the active search dimension, the knobs dropped (or
+	// restored), and the leading knob importances.
+	EventPrune EventType = "prune"
 )
 
 // Event is one structured telemetry record. Every field is a value type
@@ -80,8 +84,19 @@ type Event struct {
 	BurnRate          float64 `json:"burnRate,omitempty"`
 	ProjectedSpendUSD float64 `json:"projectedSpendUSD,omitempty"`
 
+	// ActiveDims and TotalDims report a pruning session's current search
+	// dimension against the full space (prune events; ActiveDims also
+	// rides on trial events of pruning sessions once the space shrank).
+	ActiveDims int `json:"activeDims,omitempty"`
+	TotalDims  int `json:"totalDims,omitempty"`
+	// Dropped lists the pruned knob names, comma-separated; Importance the
+	// leading knob importances as "name=share" pairs, comma-separated.
+	// Both are prune-event fields, pre-rendered to keep Event value-only.
+	Dropped    string `json:"dropped,omitempty"`
+	Importance string `json:"importance,omitempty"`
+
 	// Detail carries human-readable context (violation text, session
-	// outcome).
+	// outcome, prune-round reason).
 	Detail string `json:"detail,omitempty"`
 }
 
@@ -319,6 +334,10 @@ func (e Event) AppendJSONL(b []byte) []byte {
 	b = appendNumField(b, "attainment", e.Attainment)
 	b = appendNumField(b, "burnRate", e.BurnRate)
 	b = appendNumField(b, "projectedSpendUSD", e.ProjectedSpendUSD)
+	b = appendIntField(b, "activeDims", e.ActiveDims)
+	b = appendIntField(b, "totalDims", e.TotalDims)
+	b = appendStrField(b, "dropped", e.Dropped)
+	b = appendStrField(b, "importance", e.Importance)
 	b = appendStrField(b, "detail", e.Detail)
 	return append(b, '}')
 }

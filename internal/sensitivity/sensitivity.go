@@ -1,0 +1,428 @@
+// Package sensitivity implements incremental significance analysis of
+// configuration knobs — the Tuneful-style front end of config-space
+// pruning. A tuning session (or a workload class's accumulated history)
+// streams (configuration, objective) observations into an Analyzer; every
+// k observations the analyzer refits a random forest on the full-dimension
+// unit encodings, reads off impurity-based feature importances with
+// across-tree confidence, and proposes the small set of knobs that carry
+// a target fraction of the total importance mass. The active set only
+// shrinks once consecutive evaluations agree (a stability test over the
+// proposed sets — importances must have converged before dimensions are
+// dropped), and it re-expands immediately when a previously pruned knob's
+// importance resurges into the significant set.
+//
+// Everything is a pure function of (seed, observation sequence): forest
+// seeds derive from the analyzer seed and the sample size, ordering ties
+// break on declaration index, and no goroutines are involved — so two
+// replays of the same session propose identical active sets.
+package sensitivity
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/learn"
+	"seamlesstune/internal/stat"
+)
+
+// Config tunes the analyzer. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// Every is the re-evaluation cadence: the analysis reruns after this
+	// many new observations (default 10).
+	Every int
+	// MinSamples gates the first analysis: no pruning before this many
+	// observations have landed (default 2×dim, at least 20).
+	MinSamples int
+	// Mass is the cumulative importance mass the significant set must
+	// carry (default 0.95). Knobs are admitted in decreasing importance
+	// order until the running total reaches it or RelMin cuts them off.
+	Mass float64
+	// RelMin is the significance cutoff relative to the strongest knob:
+	// a knob whose importance falls below RelMin × the maximum importance
+	// never counts as significant (default 0.1). This keeps churning
+	// noise knobs out of the proposal so the stability test can converge.
+	RelMin float64
+	// TopK caps the active set size (0 = no cap beyond Mass).
+	TopK int
+	// MinActive floors the active set size (default 4): pruning below a
+	// handful of knobs saves nothing and risks pinning real signal.
+	MinActive int
+	// StableRounds is how many consecutive evaluations must agree (per
+	// Overlap) before the active set is allowed to shrink (default 2).
+	StableRounds int
+	// Overlap is the minimum Jaccard overlap between consecutive proposed
+	// sets that counts as agreement (default 0.6).
+	Overlap float64
+	// Trees sizes the importance forest (default 40).
+	Trees int
+	// Seed drives forest resampling. Derive it from the session seed so
+	// sessions replay bit-for-bit.
+	Seed int64
+}
+
+func (c Config) withDefaults(dim int) Config {
+	if c.Every <= 0 {
+		c.Every = 10
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 2 * dim
+		if c.MinSamples < 20 {
+			c.MinSamples = 20
+		}
+	}
+	if c.Mass <= 0 || c.Mass > 1 {
+		c.Mass = 0.95
+	}
+	if c.RelMin <= 0 || c.RelMin >= 1 {
+		c.RelMin = 0.1
+	}
+	if c.MinActive <= 0 {
+		c.MinActive = 4
+	}
+	if c.StableRounds <= 0 {
+		c.StableRounds = 2
+	}
+	if c.Overlap <= 0 || c.Overlap > 1 {
+		c.Overlap = 0.6
+	}
+	if c.Trees <= 0 {
+		c.Trees = 40
+	}
+	return c
+}
+
+// Decision is the outcome of one analysis round.
+type Decision struct {
+	// Epoch counts adopted active-set changes (0 = still full space).
+	Epoch int
+	// Samples is the observation count the analysis ran on.
+	Samples int
+	// Active is the current active knob set in declaration order; nil
+	// means the full space (no pruning adopted yet).
+	Active []string
+	// Dropped is the complement of Active in declaration order (empty
+	// while unpruned).
+	Dropped []string
+	// Importance is the full-dimension importance vector in declaration
+	// order (sums to 1 once the forest finds signal).
+	Importance []float64
+	// Confidence scores each importance in [0, 1]: mean/(mean+std) across
+	// the forest's trees — 1 when every tree agrees, 0 for no signal.
+	Confidence []float64
+	// Stable reports that the latest proposed set agreed with its
+	// predecessor (the stability test passed this round).
+	Stable bool
+	// Changed reports that this round adopted a new active set.
+	Changed bool
+	// Reason explains the round: "warmup", "unstable", "converged",
+	// "resurgence", "steady".
+	Reason string
+}
+
+// Analyzer accumulates observations and runs the incremental analysis.
+// It is single-session state, like a Tuner: not safe for concurrent use.
+type Analyzer struct {
+	space *confspace.Space
+	cfg   Config
+	names []string
+
+	xs        [][]float64 // full-dim unit encodings
+	ys        []float64   // log-objective
+	sinceEval int
+
+	proposed    map[string]bool // last proposed significant set
+	stableRuns  int
+	active      []string // adopted active set; nil = full space
+	activeSet   map[string]bool
+	epoch       int
+	lastDec     Decision
+	hasDecision bool
+}
+
+// New returns an analyzer over the given full configuration space.
+func New(space *confspace.Space, cfg Config) *Analyzer {
+	return &Analyzer{
+		space: space,
+		cfg:   cfg.withDefaults(space.Dim()),
+		names: space.Names(),
+	}
+}
+
+// Observe appends one (configuration, objective) sample. Configurations
+// are full-space; objectives are in scorer units (the analyzer works on
+// log-objective internally, matching the tuners' runtime modeling).
+func (a *Analyzer) Observe(cfg confspace.Config, objective float64) {
+	a.xs = append(a.xs, a.space.Encode(cfg))
+	a.ys = append(a.ys, math.Log(math.Max(objective, 1e-6)))
+	a.sinceEval++
+}
+
+// Samples returns the number of observations absorbed.
+func (a *Analyzer) Samples() int { return len(a.xs) }
+
+// Active returns the adopted active set (nil while the full space is in
+// play) in declaration order.
+func (a *Analyzer) Active() []string { return a.active }
+
+// Epoch counts adopted active-set changes.
+func (a *Analyzer) Epoch() int { return a.epoch }
+
+// LastDecision returns the most recent analysis outcome (ok=false before
+// the first evaluation).
+func (a *Analyzer) LastDecision() (Decision, bool) { return a.lastDec, a.hasDecision }
+
+// Due reports whether enough new observations have accumulated for the
+// next analysis round.
+func (a *Analyzer) Due() bool {
+	return len(a.xs) >= a.cfg.MinSamples && a.sinceEval >= a.cfg.Every
+}
+
+// Evaluate runs one analysis round: fit the importance forest, propose
+// the significant set, apply the stability test, and adopt shrinks (when
+// converged) or re-expansions (immediately, when a pruned knob resurges).
+// The returned Decision reports the adopted state either way.
+func (a *Analyzer) Evaluate() Decision {
+	a.sinceEval = 0
+	dec := Decision{Epoch: a.epoch, Samples: len(a.xs), Reason: "warmup"}
+	if len(a.xs) < a.cfg.MinSamples {
+		a.finish(&dec)
+		return dec
+	}
+
+	imp, conf := a.importances()
+	dec.Importance = imp
+	dec.Confidence = conf
+
+	order := rank(imp)
+	sig := a.significant(order, imp)
+	sigSet := a.nameSet(sig)
+
+	// Stability test on the significant set: it must agree with its
+	// predecessor for StableRounds consecutive evaluations before a shrink
+	// is adopted. (The MinActive padding is deliberately excluded — filler
+	// knobs near the noise floor churn between rounds and would otherwise
+	// keep the gate from ever passing.)
+	if a.proposed != nil && jaccard(sigSet, a.proposed) >= a.cfg.Overlap {
+		a.stableRuns++
+		dec.Stable = true
+	} else {
+		a.stableRuns = 1
+	}
+	a.proposed = sigSet
+
+	switch {
+	case a.active != nil && !subset(sigSet, a.activeSet):
+		// A pruned knob's importance resurged into the significant set:
+		// re-expand immediately — exploration safety beats dimension savings.
+		a.adopt(union(a.activeSet, sigSet))
+		dec.Reason = "resurgence"
+		dec.Changed = true
+	case a.stableRuns >= a.cfg.StableRounds:
+		// Converged: adopt the significant set padded up to MinActive with
+		// the next-ranked knobs, if that actually shrinks the space.
+		cand := a.nameSet(pad(sig, order, a.minActive(len(imp))))
+		if len(cand) < a.activeDim() {
+			a.adopt(cand)
+			dec.Reason = "converged"
+			dec.Changed = true
+		} else if a.active == nil {
+			dec.Reason = "unstable"
+		} else {
+			dec.Reason = "steady"
+		}
+	case a.active == nil:
+		dec.Reason = "unstable"
+	default:
+		dec.Reason = "steady"
+	}
+	a.finish(&dec)
+	return dec
+}
+
+// finish stamps the adopted state onto dec and records it.
+func (a *Analyzer) finish(dec *Decision) {
+	dec.Epoch = a.epoch
+	if a.active != nil {
+		dec.Active = append([]string(nil), a.active...)
+		dec.Dropped = a.dropped()
+	}
+	a.lastDec = *dec
+	a.hasDecision = true
+}
+
+// importances fits the forest and reads mean/confidence vectors. The
+// forest seed derives from (analyzer seed, sample size), so the analysis
+// is a pure function of the observation sequence.
+func (a *Analyzer) importances() (imp, conf []float64) {
+	dim := a.space.Dim()
+	imp = make([]float64, dim)
+	conf = make([]float64, dim)
+	rng := stat.NewRNG(stat.DeriveSeed(a.cfg.Seed, "sensitivity", strconv.Itoa(len(a.xs))))
+	f, err := learn.FitForest(learn.ForestConfig{Trees: a.cfg.Trees, SampleCap: 1024}, a.xs, a.ys, rng)
+	if err != nil {
+		return imp, conf
+	}
+	mean, std := f.Importances()
+	copy(imp, mean)
+	for d := range conf {
+		if d < len(std) && mean[d]+std[d] > 0 {
+			conf[d] = mean[d] / (mean[d] + std[d])
+		}
+	}
+	return imp, conf
+}
+
+// rank orders dimension indices by decreasing importance, declaration
+// index breaking ties — fully deterministic.
+func rank(imp []float64) []int {
+	order := make([]int, len(imp))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if imp[order[i]] != imp[order[j]] {
+			return imp[order[i]] > imp[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// significant walks the ranked dims admitting knobs until the cumulative
+// mass target is met, the RelMin noise cutoff triggers, or TopK caps the
+// set. Returns indices in rank order (a prefix of order).
+func (a *Analyzer) significant(order []int, imp []float64) []int {
+	limit := len(imp)
+	if a.cfg.TopK > 0 && a.cfg.TopK < limit {
+		limit = a.cfg.TopK
+	}
+	cut := 0.0
+	if len(order) > 0 {
+		cut = a.cfg.RelMin * imp[order[0]]
+	}
+	total := 0.0
+	sig := make([]int, 0, limit)
+	for _, idx := range order {
+		if len(sig) >= limit || total >= a.cfg.Mass {
+			break
+		}
+		if imp[idx] < cut || imp[idx] <= 0 {
+			break
+		}
+		sig = append(sig, idx)
+		total += imp[idx]
+	}
+	return sig
+}
+
+// pad extends a rank-order prefix with the next-ranked dims up to floor.
+func pad(sig, order []int, floor int) []int {
+	if len(sig) >= floor {
+		return sig
+	}
+	out := append([]int(nil), sig...)
+	for _, idx := range order[len(sig):] {
+		if len(out) >= floor {
+			break
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
+func (a *Analyzer) minActive(dim int) int {
+	if a.cfg.MinActive > dim {
+		return dim
+	}
+	return a.cfg.MinActive
+}
+
+// nameSet converts dimension indices to a knob-name set.
+func (a *Analyzer) nameSet(idxs []int) map[string]bool {
+	s := make(map[string]bool, len(idxs))
+	for _, idx := range idxs {
+		s[a.names[idx]] = true
+	}
+	return s
+}
+
+// adopt installs a new active set (given as a name set) in declaration
+// order and advances the epoch.
+func (a *Analyzer) adopt(set map[string]bool) {
+	a.active = a.active[:0]
+	for _, name := range a.names {
+		if set[name] {
+			a.active = append(a.active, name)
+		}
+	}
+	a.activeSet = set
+	a.epoch++
+	a.stableRuns = 0
+}
+
+// activeDim returns the adopted active dimension (full dim while
+// unpruned).
+func (a *Analyzer) activeDim() int {
+	if a.active == nil {
+		return a.space.Dim()
+	}
+	return len(a.active)
+}
+
+// dropped returns the pruned knob names in declaration order.
+func (a *Analyzer) dropped() []string {
+	if a.active == nil {
+		return nil
+	}
+	out := make([]string, 0, len(a.names)-len(a.active))
+	for _, name := range a.names {
+		if !a.activeSet[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func toSet(names []string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}

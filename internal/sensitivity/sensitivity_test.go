@@ -1,0 +1,239 @@
+package sensitivity
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seamlesstune/internal/confspace"
+)
+
+// benchSpace builds a dim-wide space where only the first nSignal knobs
+// move the objective.
+func benchSpace(dim int) *confspace.Space {
+	params := make([]confspace.Param, dim)
+	for i := range params {
+		params[i] = confspace.FloatParam(name(i), 0, 1, 0.5)
+	}
+	return confspace.MustSpace(params...)
+}
+
+func name(i int) string {
+	return string(rune('a'+i/10)) + string(rune('0'+i%10)) + ".knob"
+}
+
+// objective is dominated by knobs 0 and 1, with a weak contribution from
+// knob 2 and pure noise elsewhere.
+func objective(cfg confspace.Config, rng *rand.Rand) float64 {
+	return 60 +
+		40*cfg[name(0)] +
+		25*cfg[name(1)]*cfg[name(1)] +
+		6*cfg[name(2)] +
+		0.5*rng.NormFloat64()
+}
+
+// feed streams n random observations into the analyzer, evaluating
+// whenever it falls due, and returns every decision made.
+func feed(a *Analyzer, space *confspace.Space, n int, seed int64) []Decision {
+	rng := rand.New(rand.NewSource(seed))
+	var decs []Decision
+	for i := 0; i < n; i++ {
+		cfg := space.Random(rng)
+		a.Observe(cfg, objective(cfg, rng))
+		if a.Due() {
+			decs = append(decs, a.Evaluate())
+		}
+	}
+	return decs
+}
+
+func TestAnalyzerConvergesToSignalKnobs(t *testing.T) {
+	space := benchSpace(12)
+	a := New(space, Config{Seed: 7, Every: 10, MinSamples: 24, MinActive: 3})
+	decs := feed(a, space, 80, 3)
+	if len(decs) == 0 {
+		t.Fatal("no evaluations ran")
+	}
+	active := a.Active()
+	if active == nil {
+		t.Fatalf("analyzer never pruned; last decision %+v", decs[len(decs)-1])
+	}
+	if len(active) >= space.Dim() {
+		t.Fatalf("active set %v did not shrink the space", active)
+	}
+	got := map[string]bool{}
+	for _, n := range active {
+		got[n] = true
+	}
+	for _, sig := range []string{name(0), name(1)} {
+		if !got[sig] {
+			t.Errorf("dominant knob %s pruned; active = %v", sig, active)
+		}
+	}
+	// Declaration order.
+	want := append([]string(nil), active...)
+	idx := map[string]int{}
+	for i, n := range space.Names() {
+		idx[n] = i
+	}
+	for i := 1; i < len(want); i++ {
+		if idx[want[i-1]] > idx[want[i]] {
+			t.Fatalf("active set %v not in declaration order", want)
+		}
+	}
+	// The final decision exposes the importance/confidence vectors.
+	last := decs[len(decs)-1]
+	if len(last.Importance) != space.Dim() || len(last.Confidence) != space.Dim() {
+		t.Fatalf("decision vectors %d/%d, want %d", len(last.Importance), len(last.Confidence), space.Dim())
+	}
+	if last.Importance[0] <= last.Importance[5] {
+		t.Errorf("signal knob importance %v not above decoy %v", last.Importance[0], last.Importance[5])
+	}
+}
+
+// TestAnalyzerStabilityGate verifies no shrink is adopted on the very
+// first evaluation: the stability test needs StableRounds consecutive
+// agreeing proposals.
+func TestAnalyzerStabilityGate(t *testing.T) {
+	space := benchSpace(10)
+	a := New(space, Config{Seed: 11, Every: 5, MinSamples: 20, StableRounds: 2, MinActive: 3})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		cfg := space.Random(rng)
+		a.Observe(cfg, objective(cfg, rng))
+	}
+	dec := a.Evaluate()
+	if dec.Changed || a.Active() != nil {
+		t.Fatalf("first evaluation adopted a prune: %+v", dec)
+	}
+	if dec.Reason != "unstable" {
+		t.Fatalf("first evaluation reason %q, want unstable", dec.Reason)
+	}
+	// Second agreeing evaluation may shrink.
+	for i := 0; i < 5; i++ {
+		cfg := space.Random(rng)
+		a.Observe(cfg, objective(cfg, rng))
+	}
+	dec = a.Evaluate()
+	if !dec.Stable {
+		t.Fatalf("second evaluation on same signal not stable: %+v", dec)
+	}
+	if !dec.Changed || a.Active() == nil {
+		t.Fatalf("stable second evaluation did not shrink: %+v", dec)
+	}
+	if dec.Reason != "converged" {
+		t.Fatalf("shrink reason %q, want converged", dec.Reason)
+	}
+	if dec.Epoch != 1 || a.Epoch() != 1 {
+		t.Fatalf("epoch %d/%d after first shrink, want 1", dec.Epoch, a.Epoch())
+	}
+	if len(dec.Active)+len(dec.Dropped) != space.Dim() {
+		t.Fatalf("active %v + dropped %v do not partition the space", dec.Active, dec.Dropped)
+	}
+}
+
+// TestAnalyzerResurgence drives a regime change — a knob that was noise
+// during pruning starts dominating — and checks the active set re-expands.
+func TestAnalyzerResurgence(t *testing.T) {
+	space := benchSpace(10)
+	a := New(space, Config{Seed: 5, Every: 8, MinSamples: 24, MinActive: 3, TopK: 4})
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 60; i++ {
+		cfg := space.Random(rng)
+		a.Observe(cfg, objective(cfg, rng))
+		if a.Due() {
+			a.Evaluate()
+		}
+	}
+	if a.Active() == nil {
+		t.Fatal("setup: analyzer never pruned")
+	}
+	pre := len(a.Active())
+	dormant := name(7)
+	if toSet(a.Active())[dormant] {
+		t.Skipf("decoy %s landed in the active set; fixture needs reseeding", dormant)
+	}
+	// Regime change: the dormant knob now dominates the objective. Keep
+	// feeding until re-expansion pulls it back into the active set.
+	var resurged bool
+	for i := 0; i < 400 && !toSet(a.Active())[dormant]; i++ {
+		cfg := space.Random(rng)
+		a.Observe(cfg, 60+120*cfg[dormant]+0.5*rng.NormFloat64())
+		if a.Due() {
+			dec := a.Evaluate()
+			if dec.Reason == "resurgence" {
+				resurged = true
+				if !dec.Changed {
+					t.Error("resurgence decision not marked Changed")
+				}
+			}
+		}
+	}
+	if !resurged {
+		t.Fatal("dominant dormant knob never triggered re-expansion")
+	}
+	if !toSet(a.Active())[dormant] {
+		t.Fatalf("resurged knob %s absent from active set %v", dormant, a.Active())
+	}
+	if len(a.Active()) <= pre-1 {
+		t.Fatalf("active set %v did not grow on resurgence (was %d)", a.Active(), pre)
+	}
+}
+
+// TestAnalyzerDeterministic replays the same observation stream twice and
+// requires identical decisions — the same contract the tuners keep.
+func TestAnalyzerDeterministic(t *testing.T) {
+	space := benchSpace(14)
+	run := func() []Decision {
+		a := New(space, Config{Seed: 13, Every: 7, MinSamples: 21})
+		return feed(a, space, 70, 17)
+	}
+	first, second := run(), run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("replay diverged:\nfirst  %+v\nsecond %+v", first, second)
+	}
+}
+
+func TestAnalyzerTopKAndFloor(t *testing.T) {
+	space := benchSpace(12)
+	a := New(space, Config{Seed: 3, Every: 6, MinSamples: 24, TopK: 5, MinActive: 5})
+	feed(a, space, 60, 29)
+	if a.Active() == nil {
+		t.Fatal("analyzer never pruned")
+	}
+	if got := len(a.Active()); got != 5 {
+		t.Fatalf("active set size %d, want exactly TopK=MinActive=5", got)
+	}
+}
+
+func TestAnalyzerWarmupAndDue(t *testing.T) {
+	space := benchSpace(6)
+	a := New(space, Config{Seed: 1, Every: 4, MinSamples: 10})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 9; i++ {
+		cfg := space.Random(rng)
+		a.Observe(cfg, objective(cfg, rng))
+		if a.Due() {
+			t.Fatalf("Due() before MinSamples at %d observations", a.Samples())
+		}
+	}
+	if _, ok := a.LastDecision(); ok {
+		t.Fatal("LastDecision reported before any evaluation")
+	}
+	dec := a.Evaluate() // forced early: must report warmup, adopt nothing
+	if dec.Reason != "warmup" || dec.Changed || a.Active() != nil {
+		t.Fatalf("forced early evaluation %+v, want warmup no-op", dec)
+	}
+	cfg := space.Random(rng)
+	a.Observe(cfg, objective(cfg, rng))
+	for i := 0; i < 3; i++ {
+		if a.Due() {
+			t.Fatalf("Due() only %d observations after an evaluation", i)
+		}
+		cfg := space.Random(rng)
+		a.Observe(cfg, objective(cfg, rng))
+	}
+	if !a.Due() {
+		t.Fatal("Due() false after Every new observations past MinSamples")
+	}
+}

@@ -1,0 +1,187 @@
+package tuner
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/sensitivity"
+)
+
+// prunedTestSpace is a wide space where only three knobs move the
+// objective; the rest is noise the pruning tier should discard.
+func prunedTestSpace(dim int) *confspace.Space {
+	params := make([]confspace.Param, dim)
+	for i := range params {
+		params[i] = confspace.FloatParam(fmt.Sprintf("k%02d", i), 0, 1, 0.5)
+	}
+	return confspace.MustSpace(params...)
+}
+
+func prunedObjective(rng *rand.Rand) Objective {
+	return func(cfg confspace.Config) Measurement {
+		rt := 120 - 50*cfg["k00"] - 30*cfg["k01"]*cfg["k01"] - 10*cfg["k02"] + rng.NormFloat64()
+		return Measurement{Runtime: rt, Cost: rt / 3600}
+	}
+}
+
+func TestPrunedBayesOptPrunesAndKeepsQuality(t *testing.T) {
+	space := prunedTestSpace(20)
+	var events []sensitivity.Decision
+	pt := NewPrunedBayesOpt(space)
+	pt.Prune = sensitivity.Config{Seed: 9, Every: 8, MinSamples: 24, MinActive: 4, TopK: 6}
+	pt.Hook = func(trial int, dec sensitivity.Decision) {
+		if trial <= 0 {
+			t.Errorf("hook fired with trial count %d", trial)
+		}
+		events = append(events, dec)
+	}
+	rng := rand.New(rand.NewSource(41))
+	res, err := Run(pt, prunedObjective(rand.New(rand.NewSource(8))), 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no successful trial")
+	}
+	active, total := pt.ActiveDims()
+	if total != 20 {
+		t.Fatalf("total dims %d, want 20", total)
+	}
+	if active >= total {
+		t.Fatalf("session never pruned: %d/%d dims active", active, total)
+	}
+	if pt.Subspace() == nil {
+		t.Fatal("Subspace() nil after pruning")
+	}
+	got := map[string]bool{}
+	for _, n := range pt.Subspace().ActiveNames() {
+		got[n] = true
+	}
+	for _, sig := range []string{"k00", "k01"} {
+		if !got[sig] {
+			t.Errorf("dominant knob %s pruned; active = %v", sig, pt.Subspace().ActiveNames())
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("prune hook never fired")
+	}
+	if dec, ok := pt.LastDecision(); !ok || dec.Samples == 0 {
+		t.Fatalf("LastDecision() = %+v, %v", dec, ok)
+	}
+	// Proposals after pruning still span the full space (pins included)
+	// and the best config beats the default's expected ~76s runtime.
+	if len(res.Best.Config) != space.Dim() {
+		t.Fatalf("best config has %d entries, want full-space %d", len(res.Best.Config), space.Dim())
+	}
+	if res.Best.Objective > 76 {
+		t.Errorf("best runtime %.1f did not improve on the default region", res.Best.Objective)
+	}
+}
+
+// TestPrunedBayesOptDeterministic replays a session twice with identical
+// seeds and requires identical trajectories and pruning decisions.
+func TestPrunedBayesOptDeterministic(t *testing.T) {
+	space := prunedTestSpace(16)
+	run := func() (Result, []string) {
+		pt := NewPrunedBayesOpt(space)
+		pt.Prune = sensitivity.Config{Seed: 3, Every: 6, MinSamples: 18}
+		pt.Surrogate = "gp"
+		res, err := Run(pt, prunedObjective(rand.New(rand.NewSource(5))), 40, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var active []string
+		if s := pt.Subspace(); s != nil {
+			active = s.ActiveNames()
+		}
+		return res, active
+	}
+	res1, act1 := run()
+	res2, act2 := run()
+	if !reflect.DeepEqual(act1, act2) {
+		t.Fatalf("active sets diverged: %v vs %v", act1, act2)
+	}
+	if len(res1.Trials) != len(res2.Trials) {
+		t.Fatalf("trial counts diverged: %d vs %d", len(res1.Trials), len(res2.Trials))
+	}
+	for i := range res1.Trials {
+		if res1.Trials[i].Config.Canonical() != res2.Trials[i].Config.Canonical() {
+			t.Fatalf("trial %d config diverged", i)
+		}
+		if res1.Trials[i].Objective != res2.Trials[i].Objective {
+			t.Fatalf("trial %d objective diverged", i)
+		}
+	}
+}
+
+// TestPrunedBayesOptWarmStartBootstrapsPruning feeds enough warm-start
+// history that the analyzer can prune before the first proposal.
+func TestPrunedBayesOptWarmStartBootstrapsPruning(t *testing.T) {
+	space := prunedTestSpace(14)
+	hist := rand.New(rand.NewSource(23))
+	obj := prunedObjective(rand.New(rand.NewSource(2)))
+	var warm []Trial
+	for i := 0; i < 40; i++ {
+		cfg := space.Random(hist)
+		m := obj(cfg)
+		warm = append(warm, Trial{Index: i, Config: cfg, Measurement: m, Objective: m.Runtime})
+	}
+	pt := NewPrunedBayesOpt(space)
+	pt.WarmStart = warm
+	pt.Prune = sensitivity.Config{Seed: 7, Every: 10, MinSamples: 20, TopK: 5}
+	cfg := pt.Next(rand.New(rand.NewSource(1)))
+	if len(cfg) != space.Dim() {
+		t.Fatalf("proposal has %d entries, want %d", len(cfg), space.Dim())
+	}
+	// Two evaluations' worth of history: with agreeing proposals the
+	// warm-started analyzer may or may not shrink immediately (one
+	// evaluation runs at ensure time), but the analyzer must have absorbed
+	// every warm-start sample.
+	if pt.analyzer.Samples() != 40 {
+		t.Fatalf("analyzer absorbed %d samples, want 40", pt.analyzer.Samples())
+	}
+	// Keep observing: pruning must engage within a modest budget.
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 30 && pt.Subspace() == nil; i++ {
+		c := pt.Next(rng)
+		m := obj(c)
+		pt.Observe(Trial{Index: i, Config: c, Measurement: m, Objective: m.Runtime})
+	}
+	if pt.Subspace() == nil {
+		t.Fatal("warm-started session never pruned")
+	}
+	// Pins come from the best-known configuration once one exists.
+	best := pt.best.Config
+	for _, name := range pt.Subspace().PrunedNames() {
+		if got := pt.Subspace().Pins()[name]; got != best[name] {
+			t.Fatalf("pin %s = %v, want best-known %v", name, got, best[name])
+		}
+	}
+}
+
+// TestPrunedBayesOptFallbackUnpruned checks the wrapper behaves like a
+// plain BayesOpt when the analyzer never reaches its sample floor.
+func TestPrunedBayesOptFallbackUnpruned(t *testing.T) {
+	space := prunedTestSpace(8)
+	pt := NewPrunedBayesOpt(space)
+	pt.Prune = sensitivity.Config{MinSamples: 1000}
+	res, err := Run(pt, prunedObjective(rand.New(rand.NewSource(4))), 15, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no successful trial")
+	}
+	if pt.Subspace() != nil {
+		t.Fatal("pruned despite MinSamples floor")
+	}
+	if active, total := pt.ActiveDims(); active != total {
+		t.Fatalf("ActiveDims() = %d/%d, want full", active, total)
+	}
+	if _, _, ok := pt.ModelPredict(space.Default()); !ok {
+		t.Error("ModelPredict unavailable after 15 trials")
+	}
+}
