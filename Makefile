@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim bench-prune bench-check experiments examples vet fmt clean
+.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim bench-prune bench-diag bench-check experiments examples vet staticcheck fmt clean
 
 all: build vet test
 
@@ -15,6 +15,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is advisory locally (the toolchain ships without it) and
+# enforced in CI, which installs it first.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 \
+		&& staticcheck ./... \
+		|| echo "staticcheck not installed; skipping (CI runs it)"
 
 fmt:
 	gofmt -l -w .
@@ -73,6 +80,15 @@ bench-prune:
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson > BENCH_prune.json
 	@echo wrote BENCH_prune.json
 
+# Diagnostics-overhead benchmarks: one modelled BayesOpt step bare, with
+# a decision hook, and with the full calibration monitor behind it. The
+# acceptance number for the explainability tier: the hook path must stay
+# within 1% of the bare step (see docs/OBSERVABILITY.md).
+bench-diag:
+	$(GO) test -run '^$$' -bench 'DecisionRecordOverhead' \
+		-benchmem -count=5 . | $(GO) run ./cmd/benchjson > BENCH_diag.json
+	@echo wrote BENCH_diag.json
+
 # Bench-regression smoke: rerun the guarded hot-path benchmarks and
 # compare their median ns/op against the committed baselines, failing on
 # a >25% regression. Fewer samples than the recording targets — this is
@@ -96,6 +112,10 @@ bench-check:
 		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > $(BENCHTMP)/prune.json
 	$(GO) run ./cmd/benchguard -old BENCH_prune.json -new $(BENCHTMP)/prune.json \
 		-guard 'BenchmarkPrunedBayesOptStep/(full|pruned)$$' -max-regress 0.25
+	$(GO) test -run '^$$' -bench 'DecisionRecordOverhead' \
+		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > $(BENCHTMP)/diag.json
+	$(GO) run ./cmd/benchguard -old BENCH_diag.json -new $(BENCHTMP)/diag.json \
+		-guard 'BenchmarkDecisionRecordOverhead/(off|on|diagnosed)$$' -max-regress 0.25
 
 # Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
 experiments:

@@ -8,6 +8,7 @@ import (
 
 	"seamlesstune/internal/cloud"
 	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/diagnose"
 	"seamlesstune/internal/experiments"
 	"seamlesstune/internal/gp"
 	"seamlesstune/internal/sensitivity"
@@ -633,4 +634,60 @@ func BenchmarkBayesOptWarmStart(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDecisionRecordOverhead prices the explainability layer: one
+// modelled BayesOpt step (fresh fit over a fixed 30-trial history, one
+// proposal) bare, with a decision hook installed, and with the full
+// diagnostics consumer (decision record â calibration monitor â trial
+// scoring) behind it. The acceptance number for the introspection tier:
+// the hook path must stay within 1% of the bare step (see
+// docs/OBSERVABILITY.md), since every EI-guided proposal in every
+// session pays it.
+func BenchmarkDecisionRecordOverhead(b *testing.B) {
+	const warmN = 30
+	space := confspace.SparkSubspace(12)
+	rng := stat.NewRNG(1)
+	warm := make([]tuner.Trial, warmN)
+	for i := range warm {
+		cfg := space.Random(rng)
+		y := 0.0
+		for _, e := range space.Encode(cfg) {
+			y += (e - 0.7) * (e - 0.7)
+		}
+		y = 20*y + 0.5*rng.NormFloat64()
+		warm[i] = tuner.Trial{Index: i, Config: cfg, Measurement: tuner.Measurement{Runtime: y}, Objective: y}
+	}
+	step := func(attach func(*tuner.BayesOpt) func()) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bo := tuner.NewBayesOpt(space)
+				bo.WarmStart = warm
+				after := attach(bo)
+				bo.Next(stat.NewRNG(2))
+				if after != nil {
+					after()
+				}
+			}
+		}
+	}
+	b.Run("off", step(func(*tuner.BayesOpt) func() { return nil }))
+	var sink tuner.DecisionRecord
+	b.Run("on", step(func(bo *tuner.BayesOpt) func() {
+		bo.SetDecisionHook(func(r tuner.DecisionRecord) { sink = r })
+		return nil
+	}))
+	// The full consumer, including scoring the proposal against an
+	// observed outcome â what a diagnosed session pays per trial.
+	mon := diagnose.New(diagnose.Config{})
+	b.Run("diagnosed", step(func(bo *tuner.BayesOpt) func() {
+		bo.SetDecisionHook(func(r tuner.DecisionRecord) {
+			mon.OnDecision(r.Chosen.Mean, r.Chosen.Std, r.Chosen.EI)
+		})
+		return func() {
+			mon.OnTrial(tuner.ModelTarget(42), false)
+		}
+	}))
+	_ = sink
 }

@@ -7,16 +7,34 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"seamlesstune/internal/obs"
+)
+
+// reconnectDelay paces stream reconnection attempts; a variable so tests
+// retry fast. maxReconnectFailures bounds consecutive attempts that make
+// no progress (no connection, or connected but received nothing) before
+// the tail gives up — a long outage should fail loudly, not spin.
+var (
+	reconnectDelay       = time.Second
+	maxReconnectFailures = 5
 )
 
 // runEvents implements `tunectl events <job-id>`: it tails the job's
 // telemetry stream from tuneserve's SSE endpoint and pretty-prints each
 // event — or, with -json, relays the raw JSONL data lines for piping
-// into jq or a file. The stream ends when the server closes it (job
-// terminal, or shutdown).
+// into jq or a file.
+//
+// The tail survives stream drops: every SSE frame carries its sequence
+// number as the event ID, and on a dropped connection the client
+// reconnects asking for `?from=<last-seen>` (the same resumption
+// contract as the Last-Event-ID header), so the ring replay fills the
+// gap and no event is printed twice. The loop ends when the job is
+// terminal (or, with -follow=false semantics of a closed stream on a
+// finished job, when the server closes a completed stream).
 func runEvents(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tunectl events", flag.ContinueOnError)
 	server := fs.String("server", "http://localhost:8642", "tuneserve base URL")
@@ -37,43 +55,138 @@ func runEvents(args []string, out io.Writer) error {
 	if id == "" {
 		return fmt.Errorf("usage: tunectl events <job-id> [-server URL] [-json] [-from SEQ]")
 	}
-	url := fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", strings.TrimSuffix(*server, "/"), id, *from)
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var envelope remoteError
-		if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error.Message != "" {
-			return fmt.Errorf("%s: %s", envelope.Error.Code, envelope.Error.Message)
+	base := strings.TrimSuffix(*server, "/")
+	lastSeq := *from
+	failures := 0
+	for {
+		url := fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", base, id, lastSeq)
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return err
 		}
-		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		if lastSeq > 0 {
+			// Belt and braces: send the standard SSE resumption header too,
+			// for proxies that strip query strings.
+			req.Header.Set("Last-Event-ID", strconv.FormatUint(lastSeq, 10))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			failures++
+			if failures >= maxReconnectFailures {
+				return fmt.Errorf("stream unreachable after %d attempts: %w", failures, err)
+			}
+			time.Sleep(reconnectDelay)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var envelope remoteError
+			if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error.Message != "" {
+				resp.Body.Close()
+				return fmt.Errorf("%s: %s", envelope.Error.Code, envelope.Error.Message)
+			}
+			resp.Body.Close()
+			return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		}
+		seen, streamErr := printEventStream(resp.Body, out, *asJSON, &lastSeq)
+		resp.Body.Close()
+		if streamErr != nil && !seen {
+			// A decode error is terminal; a transport drop with no events
+			// counts as a failed attempt.
+			if _, ok := streamErr.(*malformedEventError); ok {
+				return streamErr
+			}
+			failures++
+			if failures >= maxReconnectFailures {
+				return fmt.Errorf("stream kept dropping (%d attempts): %w", failures, streamErr)
+			}
+			time.Sleep(reconnectDelay)
+			continue
+		}
+		if streamErr != nil {
+			if _, ok := streamErr.(*malformedEventError); ok {
+				return streamErr
+			}
+			// Progress was made; reset the failure budget and resume from
+			// the last acknowledged sequence number.
+			failures = 0
+			time.Sleep(reconnectDelay)
+			continue
+		}
+		// Clean EOF: the server closed the stream. For a terminal job that
+		// is the end of the tail; otherwise (server restart, shutdown) keep
+		// following until the job finishes.
+		if done, err := jobTerminal(base, id); done || err != nil {
+			return err
+		}
+		failures++
+		if failures >= maxReconnectFailures {
+			return fmt.Errorf("stream closed %d times with job still running", failures)
+		}
+		time.Sleep(reconnectDelay)
 	}
-	return printEventStream(resp.Body, out, *asJSON)
 }
 
-// printEventStream consumes SSE frames, emitting one line per event.
-func printEventStream(r io.Reader, out io.Writer, asJSON bool) error {
+// jobTerminal reports whether the job reached a terminal state. A
+// missing job (404 — e.g. the server restarted with empty state) ends
+// the tail with the server's error.
+func jobTerminal(base, id string) (bool, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return false, nil // server briefly down; the caller keeps retrying
+	}
+	job, err := decodeJob(resp, http.StatusOK)
+	if err != nil {
+		return false, err
+	}
+	return job.State == "done" || job.State == "failed", nil
+}
+
+// malformedEventError marks a decode failure — terminal, unlike
+// transport drops.
+type malformedEventError struct{ err error }
+
+func (e *malformedEventError) Error() string { return e.err.Error() }
+func (e *malformedEventError) Unwrap() error { return e.err }
+
+// printEventStream consumes SSE frames, emitting one line per event. It
+// advances *lastSeq past every event it prints (from the frame's id:
+// field), so a caller can resume a dropped stream without gaps or
+// duplicates, and reports whether any event was seen.
+func printEventStream(r io.Reader, out io.Writer, asJSON bool, lastSeq *uint64) (seen bool, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var id uint64
 	for sc.Scan() {
 		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			if v, perr := strconv.ParseUint(line[len("id: "):], 10, 64); perr == nil {
+				id = v
+			}
+			continue
+		}
 		if !strings.HasPrefix(line, "data: ") {
 			continue
 		}
 		data := line[len("data: "):]
 		if asJSON {
 			fmt.Fprintln(out, data)
-			continue
+		} else {
+			var e obs.Event
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
+				return seen, &malformedEventError{fmt.Errorf("malformed event %q: %w", data, err)}
+			}
+			if id == 0 {
+				id = e.Seq
+			}
+			fmt.Fprintln(out, formatEvent(e))
 		}
-		var e obs.Event
-		if err := json.Unmarshal([]byte(data), &e); err != nil {
-			return fmt.Errorf("malformed event %q: %w", data, err)
+		seen = true
+		if id > *lastSeq {
+			*lastSeq = id
 		}
-		fmt.Fprintln(out, formatEvent(e))
+		id = 0
 	}
-	return sc.Err()
+	return seen, sc.Err()
 }
 
 // formatEvent renders one telemetry event as a human-readable line.
@@ -113,6 +226,15 @@ func formatEvent(e obs.Event) string {
 			fmt.Fprintf(&b, " top %s", e.Importance)
 		}
 		return b.String()
+	case obs.EventDecide:
+		return fmt.Sprintf("decide [%s] trial %d: EI %.4g (exploit %.3g + explore %.3g) rank %d/%d via %s, μ %.3f σ %.3f",
+			e.Phase, e.Trial, e.EI, e.EIExploit, e.EIExplore, e.Rank, e.Candidates, e.Surrogate, e.PredMean, e.PredStd)
+	case obs.EventModelHealth:
+		return fmt.Sprintf("model health [%s] %s: 1σ %.0f%% / 2σ %.0f%% coverage, rmse %.3f, nlpd %.3f over %d scores — %s",
+			e.Phase, strings.ToUpper(e.Severity), e.Coverage1*100, e.Coverage2*100, e.RMSE, e.NLPD, e.Scores, e.Detail)
+	case obs.EventStall:
+		return fmt.Sprintf("stall [%s] %s: plateau %d, EI at %.0f%% of peak — %s",
+			e.Phase, strings.ToUpper(e.Severity), e.Plateau, e.EIDecay*100, e.Detail)
 	case obs.EventSLOViolation:
 		return fmt.Sprintf("SLO VIOLATION: %s", e.Detail)
 	case obs.EventSessionEnd:

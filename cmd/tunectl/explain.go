@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// explainDoc mirrors tuneserve's /v1/jobs/{id}/explain payload.
+type explainDoc struct {
+	Job         string `json:"job"`
+	State       string `json:"state"`
+	Diagnostics bool   `json:"diagnostics"`
+	Surrogate   string `json:"surrogate"`
+	Events      int    `json:"events"`
+	Phases      []struct {
+		Phase        string  `json:"phase"`
+		Trials       int     `json:"trials"`
+		Failed       int     `json:"failed"`
+		BestSoFar    float64 `json:"bestSoFar"`
+		Plateau      int     `json:"plateau"`
+		Decisions    int     `json:"decisions"`
+		LastEI       float64 `json:"lastEI"`
+		PeakEI       float64 `json:"peakEI"`
+		EIDecay      float64 `json:"eiDecay"`
+		ExploitShare float64 `json:"exploitShare"`
+		Calibration  *struct {
+			Scores    int     `json:"scores"`
+			Coverage1 float64 `json:"coverage1"`
+			Coverage2 float64 `json:"coverage2"`
+			RMSE      float64 `json:"rmse"`
+			NLPD      float64 `json:"nlpd"`
+			Severity  string  `json:"severity"`
+			Detail    string  `json:"detail"`
+		} `json:"calibration"`
+		Stall *struct {
+			Plateau  int     `json:"plateau"`
+			EIDecay  float64 `json:"eiDecay"`
+			Severity string  `json:"severity"`
+			Detail   string  `json:"detail"`
+		} `json:"stall"`
+	} `json:"phases"`
+}
+
+// runExplain implements `tunectl explain <job-id>`: it fetches the
+// tuner-introspection summary from tuneserve and renders it as a short
+// operator report — per-phase search progress, acquisition decay,
+// surrogate calibration, and stall verdicts. -json prints the raw
+// document instead.
+func runExplain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tunectl explain", flag.ContinueOnError)
+	server := fs.String("server", "http://localhost:8642", "tuneserve base URL")
+	asJSON := fs.Bool("json", false, "print the raw explain document")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if fs.NArg() > 1 {
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+	}
+	if id == "" {
+		return fmt.Errorf("usage: tunectl explain <job-id> [-server URL] [-json]")
+	}
+	url := strings.TrimSuffix(*server, "/") + "/v1/jobs/" + id + "/explain"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env remoteError
+		if json.Unmarshal(raw, &env) == nil && env.Error.Message != "" {
+			return fmt.Errorf("%s: %s (%s)", resp.Status, env.Error.Message, env.Error.Code)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	if *asJSON {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, pretty.String())
+		return nil
+	}
+	var doc explainDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("malformed explain document: %w", err)
+	}
+	printExplain(out, doc)
+	return nil
+}
+
+// printExplain renders the explain document for humans.
+func printExplain(out io.Writer, doc explainDoc) {
+	fmt.Fprintf(out, "job %s (%s)", doc.Job, doc.State)
+	if doc.Surrogate != "" {
+		fmt.Fprintf(out, ", surrogate %s", doc.Surrogate)
+	}
+	fmt.Fprintf(out, ", %d events retained\n", doc.Events)
+	if !doc.Diagnostics {
+		fmt.Fprintln(out, "diagnostics were disabled for this job; only trial-level telemetry is available")
+	}
+	if len(doc.Phases) == 0 {
+		fmt.Fprintln(out, "no per-phase telemetry retained (job too old for the event ring, or not started)")
+		return
+	}
+	for _, p := range doc.Phases {
+		fmt.Fprintf(out, "\nphase %s: %d trials (%d failed)", p.Phase, p.Trials, p.Failed)
+		if p.BestSoFar > 0 {
+			fmt.Fprintf(out, ", best %.1fs", p.BestSoFar)
+		}
+		if p.Plateau > 0 {
+			fmt.Fprintf(out, ", %d since improvement", p.Plateau)
+		}
+		fmt.Fprintln(out)
+		if p.Decisions > 0 {
+			fmt.Fprintf(out, "  acquisition: %d EI-guided decisions, last EI %.4g (peak %.4g, decayed to %.0f%%), exploit share %.0f%%\n",
+				p.Decisions, p.LastEI, p.PeakEI, p.EIDecay*100, p.ExploitShare*100)
+		}
+		if c := p.Calibration; c != nil {
+			fmt.Fprintf(out, "  calibration [%s]: 1σ %.0f%% / 2σ %.0f%% coverage over %d scores, rmse %.3f, nlpd %.3f",
+				strings.ToUpper(c.Severity), c.Coverage1*100, c.Coverage2*100, c.Scores, c.RMSE, c.NLPD)
+			if c.Detail != "" {
+				fmt.Fprintf(out, " — %s", c.Detail)
+			}
+			fmt.Fprintln(out)
+		}
+		if s := p.Stall; s != nil {
+			fmt.Fprintf(out, "  stall [%s]: plateau %d, EI at %.0f%% of peak", strings.ToUpper(s.Severity), s.Plateau, s.EIDecay*100)
+			if s.Detail != "" {
+				fmt.Fprintf(out, " — %s", s.Detail)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+}

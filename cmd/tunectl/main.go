@@ -12,6 +12,7 @@
 //	tunectl -server http://localhost:8642 -tenant acme -workload sort -size 8
 //	tunectl events job-000001 -server http://localhost:8642   # tail a job's telemetry
 //	tunectl events job-000001 -json                           # raw JSONL, one event per line
+//	tunectl explain job-000001 -server http://localhost:8642  # tuner decision process, calibration, stalls
 //	tunectl -list
 package main
 
@@ -68,6 +69,9 @@ var tunerNames = []string{"random", "latin", "hillclimb", "bayesopt", "genetic",
 func run(args []string, out io.Writer) error {
 	if len(args) > 0 && args[0] == "events" {
 		return runEvents(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "explain" {
+		return runExplain(args[1:], out)
 	}
 	fs := flag.NewFlagSet("tunectl", flag.ContinueOnError)
 	wlName := fs.String("workload", "wordcount", "workload: "+strings.Join(workload.Names(), ", "))

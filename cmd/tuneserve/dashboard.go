@@ -4,10 +4,12 @@ package main
 // build step. It subscribes to /v1/events with an EventSource (which
 // auto-reconnects and resumes via Last-Event-ID) and renders, per
 // session: the convergence curve (objective + best-so-far), cumulative
-// tuning spend against the session budget, and the SLO burn-down, plus a
-// rolling violation feed. Canvas charts are redrawn from the retained
-// points on every batch, so a page opened mid-session backfills from the
-// ring replay.
+// tuning spend against the session budget, the SLO burn-down, the
+// acquisition EI-decay trace (decide events, exploit vs total), and the
+// surrogate-calibration coverage (model_health events against the
+// 68%/95% ideals), plus a model-health KPI and a rolling violation
+// feed. Canvas charts are redrawn from the retained points on every
+// batch, so a page opened mid-session backfills from the ring replay.
 const dashboardHTML = `<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -54,12 +56,15 @@ function card(id, ev) {
       '<div class="kpi"><b data-k="spend">–</b><span>spend (USD)</span></div>' +
       '<div class="kpi"><b data-k="attain">–</b><span>SLO attainment</span></div>' +
       '<div class="kpi"><b data-k="dims">–</b><span>active dims</span></div>' +
+      '<div class="kpi"><b data-k="health">–</b><span>model health</span></div>' +
       '<div class="kpi"><b data-k="state">running</b><span>state</span></div>' +
     '</div>' +
     '<div class="charts">' +
       '<div class="chart"><div class="t">convergence (objective · best-so-far)</div><canvas data-c="conv" width="520" height="260"></canvas></div>' +
       '<div class="chart"><div class="t">cumulative spend · projection</div><canvas data-c="spend" width="520" height="260"></canvas></div>' +
       '<div class="chart"><div class="t">SLO burn-down (attainment)</div><canvas data-c="slo" width="520" height="260"></canvas></div>' +
+      '<div class="chart"><div class="t">acquisition EI decay (total · exploit)</div><canvas data-c="ei" width="520" height="260"></canvas></div>' +
+      '<div class="chart"><div class="t">calibration coverage (1σ · 2σ vs 68/95%)</div><canvas data-c="cal" width="520" height="260"></canvas></div>' +
     '</div>' +
     '<div class="viol" data-k="viol"></div>';
   document.getElementById("sessions").prepend(div);
@@ -98,6 +103,16 @@ function draw(s) {
   const dimSrc = prunes[prunes.length - 1] || (lastTrial && lastTrial.activeDims ? lastTrial : null);
   q("dims", dimSrc ? dimSrc.activeDims + "/" + dimSrc.totalDims : "–");
   if (last.type === "session_end") q("state", "done — " + (last.detail || ""));
+  // Model health: worst of the latest model_health and stall verdicts.
+  const healths = s.events.filter(e => e.type === "model_health");
+  const stalls = s.events.filter(e => e.type === "stall");
+  const lastHealth = healths[healths.length - 1], lastStall = stalls[stalls.length - 1];
+  const sev = v => v === "critical" ? 2 : v === "warn" ? 1 : 0;
+  if (lastHealth || lastStall) {
+    const worst = [lastHealth, lastStall].filter(Boolean)
+      .sort((a, b) => sev(b.severity) - sev(a.severity))[0];
+    q("health", worst.severity || "ok");
+  }
   const viols = s.events.filter(e => e.type === "slo_violation");
   q("viol", viols.slice(-3).map(v => "⚠ " + v.detail).join("\n"));
 
@@ -120,6 +135,29 @@ function draw(s) {
   const sl = s.card.querySelector('[data-c="slo"]').getContext("2d");
   sl.clearRect(0, 0, sl.canvas.width, sl.canvas.height);
   line(sl, trials.map((e,i) => [i+1, e.attainment || 0]), xmax, 0, 1, viols.length ? "#f06a6a" : "#58d68d");
+
+  // EI decay: the chosen candidate's EI per decide event, with its
+  // exploitation component underneath — the gap between the lines is the
+  // exploration term. A trace sinking toward zero is convergence.
+  const decides = s.events.filter(e => e.type === "decide");
+  const ei = s.card.querySelector('[data-c="ei"]').getContext("2d");
+  ei.clearRect(0, 0, ei.canvas.width, ei.canvas.height);
+  if (decides.length) {
+    const emax = Math.max(...decides.map(e => e.ei || 0), 1e-9);
+    line(ei, decides.map((e,i) => [i+1, e.ei || 0]), decides.length, 0, emax, "#5ab0f7");
+    line(ei, decides.map((e,i) => [i+1, e.eiExploit || 0]), decides.length, 0, emax, "#58d68d");
+  }
+
+  // Calibration coverage on [0,1]: observed 1σ/2σ coverage per
+  // model_health event against the 68%/95% ideals (dim guide lines).
+  const cal = s.card.querySelector('[data-c="cal"]').getContext("2d");
+  cal.clearRect(0, 0, cal.canvas.width, cal.canvas.height);
+  if (healths.length) {
+    line(cal, [[1, 0.683], [healths.length, 0.683]], healths.length, 0, 1, "#262c3a");
+    line(cal, [[1, 0.954], [healths.length, 0.954]], healths.length, 0, 1, "#262c3a");
+    line(cal, healths.map((e,i) => [i+1, e.coverage1 || 0]), healths.length, 0, 1, "#5ab0f7");
+    line(cal, healths.map((e,i) => [i+1, e.coverage2 || 0]), healths.length, 0, 1, "#58d68d");
+  }
 }
 
 function onEvent(e) {
@@ -140,7 +178,7 @@ setInterval(() => {
 
 const status = document.getElementById("status");
 const src = new EventSource("/v1/events");
-["session_start","trial","execution","prune","slo_violation","session_end"].forEach(
+["session_start","trial","execution","prune","decide","model_health","stall","slo_violation","session_end"].forEach(
   t => src.addEventListener(t, onEvent));
 src.onopen = () => { status.textContent = "streaming /v1/events"; status.className = "live"; };
 src.onerror = () => { status.textContent = "stream interrupted — retrying"; status.className = "down"; };

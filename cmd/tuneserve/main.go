@@ -13,6 +13,7 @@
 //	POST /v1/tune            synchronous wrapper: enqueues and waits for the pipeline result
 //	GET  /v1/jobs/{id}/trace the job's tuning trace as Chrome trace_event JSON
 //	GET  /v1/jobs/{id}/events the job's telemetry stream as SSE (?from= or Last-Event-ID to replay)
+//	GET  /v1/jobs/{id}/explain the tuner's decision process: per-phase EI trace, surrogate calibration, stall verdicts
 //	GET  /v1/events          the server-wide telemetry stream as SSE
 //	GET  /v1/tenants/{id}/usage one tenant's accrued trials/spend/attainment
 //	GET  /v1/usage           every tenant's accounting
@@ -62,25 +63,27 @@ func main() {
 	eventsOut := fs.String("events-out", "", "path to flush the telemetry event ring to as JSONL on shutdown")
 	surrogateKind := fs.String("surrogate", "", "default surrogate model for BayesOpt sessions: gp (exact, default), rffgp, or forest; per-request \"surrogate\" overrides")
 	prune := fs.Bool("prune", false, "enable significance-aware config-space pruning for every stage-2 session (per-request \"pruning\" opts in individually)")
+	diagnostics := fs.Bool("diagnostics", true, "publish tuner explainability diagnostics (decide/model_health/stall events, /v1/jobs/{id}/explain); trajectories are identical either way")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
 
 	srv, err := newServer(serverConfig{
-		Seed:              *seed,
-		Params:            *params,
-		CloudBudget:       *cloudBudget,
-		DISCBudget:        *discBudget,
-		Workers:           *workers,
-		MaxQueued:         *maxQueued,
-		TransferThreshold: *transferThreshold,
-		StatePath:         *statePath,
-		SimCache:          *simCache,
-		SimCacheCapacity:  *simCacheCap,
-		EventsCapacity:    *eventsCap,
-		EventsPath:        *eventsOut,
-		Surrogate:         *surrogateKind,
-		Pruning:           *prune,
+		Seed:               *seed,
+		Params:             *params,
+		CloudBudget:        *cloudBudget,
+		DISCBudget:         *discBudget,
+		Workers:            *workers,
+		MaxQueued:          *maxQueued,
+		TransferThreshold:  *transferThreshold,
+		StatePath:          *statePath,
+		SimCache:           *simCache,
+		SimCacheCapacity:   *simCacheCap,
+		EventsCapacity:     *eventsCap,
+		EventsPath:         *eventsOut,
+		Surrogate:          *surrogateKind,
+		Pruning:            *prune,
+		DisableDiagnostics: !*diagnostics,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -157,6 +160,11 @@ type serverConfig struct {
 	// stage-2 session (default off; individual requests opt in with
 	// "pruning": true).
 	Pruning bool
+	// DisableDiagnostics silences the tuner explainability diagnostics —
+	// decide, model_health, and stall events and the per-phase content of
+	// /v1/jobs/{id}/explain. The zero value keeps them on, matching the
+	// core default (-diagnostics=false sets this).
+	DisableDiagnostics bool
 }
 
 func (c serverConfig) options() []core.Option {
@@ -170,6 +178,9 @@ func (c serverConfig) options() []core.Option {
 	}
 	if c.Pruning {
 		opts = append(opts, core.WithPruning(true))
+	}
+	if c.DisableDiagnostics {
+		opts = append(opts, core.WithDiagnostics(false))
 	}
 	return opts
 }

@@ -104,6 +104,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/tenants/{id}/usage", s.handleTenantUsage)
 	s.mux.HandleFunc("GET /v1/usage", s.handleUsage)
@@ -372,7 +373,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 		}
 		s.markDirty()
 		return toTuneResponse(res), nil
-	}, jobs.Options{Surrogate: resolved, Pruning: pruning})
+	}, jobs.Options{Surrogate: resolved, Pruning: pruning, Diagnostics: s.svc.Diagnostics()})
 	if err != nil {
 		code, status := "internal", http.StatusInternalServerError
 		if err == jobs.ErrQueueFull {

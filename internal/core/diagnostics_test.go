@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"seamlesstune/internal/obs"
+)
+
+// runDiagPipeline runs one pipeline on a fresh service with diagnostics
+// set as given, returning the result and the published events.
+func runDiagPipeline(t *testing.T, seed int64, diagnostics, withEmitter bool) (PipelineResult, []obs.Event) {
+	t.Helper()
+	opts := []Option{
+		WithSeed(seed),
+		WithSparkSpace(smallSpace(t)),
+		WithBudgets(8, 15),
+		WithNodeRange(2, 8),
+	}
+	if !diagnostics {
+		opts = append(opts, WithDiagnostics(false))
+	}
+	svc, err := NewService(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var log *obs.EventLog
+	if withEmitter {
+		log = obs.NewEventLog(1 << 12)
+		reg := wcReg("acme")
+		ctx = obs.NewEmitterContext(ctx,
+			obs.Emitter{Log: log, Session: "job-1", Tenant: reg.Tenant, Workload: reg.Workload.Name()})
+	}
+	res, err := svc.TunePipeline(ctx, wcReg("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log == nil {
+		return res, nil
+	}
+	return res, log.Snapshot(0)
+}
+
+// The central promise of the diagnostics layer: it observes, never
+// steers. Pipelines with diagnostics on, off, and without any telemetry
+// at all must produce identical results.
+func TestDiagnosticsDoNotPerturbPipeline(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		on, _ := runDiagPipeline(t, seed, true, true)
+		off, _ := runDiagPipeline(t, seed, false, true)
+		bare, _ := runDiagPipeline(t, seed, true, false)
+		if !reflect.DeepEqual(on, off) {
+			t.Errorf("seed %d: diagnostics on vs off diverged\n on  %+v\n off %+v", seed, on, off)
+		}
+		if !reflect.DeepEqual(on, bare) {
+			t.Errorf("seed %d: telemetry vs bare diverged\n with %+v\n bare %+v", seed, on, bare)
+		}
+	}
+}
+
+func TestDiagnosticsEventsPublished(t *testing.T) {
+	_, events := runDiagPipeline(t, 7, true, true)
+	var decides, healths int
+	phases := map[string]bool{}
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventDecide:
+			decides++
+			phases[e.Phase] = true
+			if e.Surrogate == "" || e.Candidates == 0 || e.Rank != 1 {
+				t.Errorf("decide event missing provenance: %+v", e)
+			}
+			if e.EI < 0 || e.Trial == 0 {
+				t.Errorf("decide event malformed: %+v", e)
+			}
+			if e.TopK == "" {
+				t.Errorf("decide event without topK: %+v", e)
+			}
+		case obs.EventModelHealth:
+			healths++
+			if e.Severity == "" || e.Scores == 0 {
+				t.Errorf("model_health event malformed: %+v", e)
+			}
+		case obs.EventStall:
+			if e.Severity == "" || e.Detail == "" {
+				t.Errorf("stall event malformed: %+v", e)
+			}
+		}
+	}
+	if decides == 0 {
+		t.Fatal("no decide events over a full pipeline")
+	}
+	if !phases["cloud"] || !phases["disc"] {
+		t.Errorf("decide events cover phases %v, want both cloud and disc", phases)
+	}
+	if healths == 0 {
+		t.Fatal("no model_health events over a full pipeline")
+	}
+}
+
+func TestDiagnosticsDisabledSilencesEvents(t *testing.T) {
+	_, events := runDiagPipeline(t, 7, false, true)
+	if len(events) == 0 {
+		t.Fatal("no events at all — trial telemetry should survive WithDiagnostics(false)")
+	}
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventDecide, obs.EventModelHealth, obs.EventStall:
+			t.Fatalf("diagnostics event leaked with diagnostics off: %+v", e)
+		}
+	}
+}
+
+// Decide events must interleave correctly with trials: each decide
+// carries the trial number of the proposal it explains, and arrives
+// before that trial's completion event.
+func TestDecideEventsPrecedeTheirTrials(t *testing.T) {
+	_, events := runDiagPipeline(t, 5, true, true)
+	completed := map[string]int{} // phase → highest completed trial
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventDecide:
+			if e.Trial <= completed[e.Phase] {
+				t.Fatalf("decide for %s trial %d arrived after %d trials completed", e.Phase, e.Trial, completed[e.Phase])
+			}
+		case obs.EventTrial:
+			if e.Phase != "" && e.Trial > completed[e.Phase] {
+				completed[e.Phase] = e.Trial
+			}
+		}
+	}
+}

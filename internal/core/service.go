@@ -67,6 +67,7 @@ type Service struct {
 	simCache           *simcache.Cache
 	surrogateKind      string
 	pruning            bool
+	diagnostics        bool
 
 	// subMu guards subs, the per-(kind, tenant, workload) submission
 	// counters that make repeated submissions of the same workload draw
@@ -147,6 +148,18 @@ func WithPruning(enabled bool) Option {
 	return func(s *Service) { s.pruning = enabled }
 }
 
+// WithDiagnostics toggles tuner explainability and model-health
+// diagnostics (default on): Bayesian-optimization sessions with an
+// emitter on the context publish a decide event per EI-guided proposal
+// and an internal/diagnose monitor scores the surrogate online, adding
+// model_health and stall events. Diagnostics observe the tuner — they
+// never touch its random stream — so trajectories are bit-identical
+// with them on or off; turning them off only silences the extra event
+// families.
+func WithDiagnostics(enabled bool) Option {
+	return func(s *Service) { s.diagnostics = enabled }
+}
+
 // WithSimCache enables the shared simulator evaluation cache (nil —
 // the default — disables it). The trade-off is a change of determinism
 // contract, which is why caching is opt-in:
@@ -184,6 +197,7 @@ func NewService(opts ...Option) (*Service, error) {
 		cloudBudget: 12,
 		discBudget:  30,
 		probeRuns:   3,
+		diagnostics: true,
 		subs:        make(map[string]int),
 	}
 	for _, o := range opts {
@@ -214,6 +228,9 @@ func NewService(opts ...Option) (*Service, error) {
 // Pruning returns the service-wide default for significance-aware
 // config-space pruning.
 func (s *Service) Pruning() bool { return s.pruning }
+
+// Diagnostics reports whether tuner explainability diagnostics are on.
+func (s *Service) Diagnostics() bool { return s.diagnostics }
 
 // Surrogate returns the service's default surrogate backend name.
 func (s *Service) Surrogate() string {
@@ -383,7 +400,7 @@ func (s *Service) TuneCloud(ctx context.Context, reg Registration) (CloudChoice,
 	if err := reg.Validate(); err != nil {
 		return CloudChoice{}, err
 	}
-	tel := newSessionTelemetry(obs.EmitterFrom(ctx), reg, s.cloudBudget)
+	tel := newSessionTelemetry(obs.EmitterFrom(ctx), reg, s.cloudBudget, s.diagnostics)
 	tel.sessionStart()
 	cc, err := s.tuneCloud(ctx, reg, s.sessionSeed("cloud", reg), tel)
 	tel.sessionEnd(sessionOutcome(err))
@@ -402,6 +419,7 @@ func (s *Service) tuneCloud(ctx context.Context, reg Registration, base int64, t
 	rng := stat.DeriveRNG(base, "search")
 	bo := s.newBayesOpt(cloudSpace, reg, base)
 	bo.InitSamples = 4
+	tel.attachDiagnostics(bo, "cloud")
 	obj := func(cfg confspace.Config) tuner.Measurement {
 		spec, err := confspace.ClusterFromConfig(s.catalog, cloudSpace, cfg)
 		if err != nil {
@@ -483,7 +501,7 @@ func (s *Service) TuneDISC(ctx context.Context, reg Registration, cluster cloud.
 	if err := reg.Validate(); err != nil {
 		return DISCChoice{}, err
 	}
-	tel := newSessionTelemetry(obs.EmitterFrom(ctx), reg, s.probeRuns+s.discBudget)
+	tel := newSessionTelemetry(obs.EmitterFrom(ctx), reg, s.probeRuns+s.discBudget, s.diagnostics)
 	tel.sessionStart()
 	dc, err := s.tuneDISC(ctx, reg, cluster, s.sessionSeed("disc", reg), tel)
 	tel.sessionEnd(sessionOutcome(err))
@@ -545,6 +563,7 @@ func (s *Service) tuneDISC(ctx context.Context, reg Registration, cluster cloud.
 		}
 		tn = bo
 	}
+	tel.attachDiagnostics(tn, "disc")
 
 	obj := func(cfg confspace.Config) tuner.Measurement {
 		_, m := s.execute(ctx, reg, cluster, cfg, env.Next(), rng, tel, "disc")
@@ -642,7 +661,7 @@ func (s *Service) TunePipeline(ctx context.Context, reg Registration) (PipelineR
 	defer phaseSpan(ctx, "pipeline")()
 	// The session's execution budget: both stages' trials, the probe runs,
 	// and the baseline measurement.
-	tel := newSessionTelemetry(obs.EmitterFrom(ctx), reg, s.cloudBudget+s.probeRuns+s.discBudget+1)
+	tel := newSessionTelemetry(obs.EmitterFrom(ctx), reg, s.cloudBudget+s.probeRuns+s.discBudget+1, s.diagnostics)
 	tel.sessionStart()
 	base := s.sessionSeed("pipeline", reg)
 	cc, err := s.tuneCloud(ctx, reg, stat.DeriveSeed(base, "cloud"), tel)

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"seamlesstune/internal/cloud"
+	"seamlesstune/internal/diagnose"
 	"seamlesstune/internal/obs"
 	"seamlesstune/internal/sensitivity"
 	"seamlesstune/internal/slo"
@@ -24,9 +25,10 @@ import (
 // untelemetered sessions (no emitter on the context) pay nothing but a
 // nil check.
 type sessionTelemetry struct {
-	em         obs.Emitter
-	lo         slo.LiveObjective
-	totalExecs int
+	em          obs.Emitter
+	lo          slo.LiveObjective
+	totalExecs  int
+	diagnostics bool
 
 	mu          sync.Mutex
 	execs       int     // spend-bearing executions (trials + probes + baseline)
@@ -41,21 +43,82 @@ type sessionTelemetry struct {
 	lastViolate string // last emitted violation text, for dedupe
 	activeDims  int    // pruned search dimension (0 = full space / no pruning)
 	totalDims   int
+	// diags holds one diagnose.Monitor per phase with diagnostics
+	// attached ("cloud", "disc"); trial hooks score the phase's monitor
+	// and relay its model_health/stall verdicts onto the stream.
+	diags map[string]*diagnose.Monitor
 }
 
 // newSessionTelemetry binds an emitter to a session. totalExecs is the
 // session's full execution budget — the denominator of spend projection.
-// Returns nil (the no-op) when the emitter is disabled.
-func newSessionTelemetry(em obs.Emitter, reg Registration, totalExecs int) *sessionTelemetry {
+// diagnostics opts the session into tuner explainability (decide /
+// model_health / stall events; see attachDiagnostics). Returns nil (the
+// no-op) when the emitter is disabled.
+func newSessionTelemetry(em obs.Emitter, reg Registration, totalExecs int, diagnostics bool) *sessionTelemetry {
 	if !em.Enabled() {
 		return nil
 	}
 	return &sessionTelemetry{
-		em:         em,
-		lo:         slo.LiveObjective{Objective: reg.Objective, TuningBudgetUSD: reg.TuningBudgetUSD},
-		totalExecs: totalExecs,
-		best:       math.Inf(1),
+		em:          em,
+		lo:          slo.LiveObjective{Objective: reg.Objective, TuningBudgetUSD: reg.TuningBudgetUSD},
+		totalExecs:  totalExecs,
+		diagnostics: diagnostics,
+		best:        math.Inf(1),
 	}
+}
+
+// attachDiagnostics installs the tuner introspection layer on one
+// stage's tuner: every EI-guided proposal becomes a decide event, and a
+// diagnose.Monitor scores the surrogate's predictions as trials land,
+// emitting model_health and stall events from the trial hook. The hook
+// only reads the record the tuner already assembled and never touches
+// the session RNG, so trajectories are bit-identical with diagnostics
+// on or off. No-op for the nil telemetry, for sessions with diagnostics
+// disabled, and for tuners that cannot explain themselves.
+func (st *sessionTelemetry) attachDiagnostics(tn tuner.Tuner, phase string) {
+	if st == nil || !st.diagnostics {
+		return
+	}
+	dr, ok := tn.(tuner.DecisionRecorder)
+	if !ok {
+		return
+	}
+	mon := diagnose.New(diagnose.Config{})
+	st.mu.Lock()
+	if st.diags == nil {
+		st.diags = make(map[string]*diagnose.Monitor)
+	}
+	st.diags[phase] = mon
+	st.mu.Unlock()
+	dr.SetDecisionHook(func(rec tuner.DecisionRecord) {
+		mon.OnDecision(rec.Chosen.Mean, rec.Chosen.Std, rec.Chosen.EI)
+		st.mu.Lock()
+		trial := st.trials + 1 // the proposal being decided is the next trial
+		st.mu.Unlock()
+		st.em.Emit(obs.Event{
+			Type: obs.EventDecide, Phase: phase, Trial: trial,
+			Surrogate:  rec.Surrogate,
+			Candidates: rec.Candidates,
+			Rank:       rec.Chosen.Rank,
+			PredMean:   rec.Chosen.Mean,
+			PredStd:    rec.Chosen.Std,
+			EI:         rec.Chosen.EI,
+			EIExploit:  rec.Chosen.Exploit,
+			EIExplore:  rec.Chosen.Explore,
+			TopK:       rec.TopKString(),
+		})
+	})
+}
+
+// monitorFor returns the phase's diagnostics monitor (nil when none is
+// attached).
+func (st *sessionTelemetry) monitorFor(phase string) *diagnose.Monitor {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.diags[phase]
 }
 
 func (st *sessionTelemetry) sessionStart() {
@@ -117,6 +180,7 @@ func (st *sessionTelemetry) trialHook(phase string) tuner.TrialHook {
 	}
 	return func(tr tuner.Trial, _ float64) {
 		st.mu.Lock()
+		mon := st.diags[phase]
 		st.trials++
 		cluster := ""
 		if st.hasExec {
@@ -150,10 +214,41 @@ func (st *sessionTelemetry) trialHook(phase string) tuner.TrialHook {
 			ev.TotalDims = st.totalDims
 		}
 		vio := st.checkSLOLocked()
+		trialNo := st.trials
 		st.mu.Unlock()
 		st.em.Emit(ev)
 		if vio != nil {
 			st.em.Emit(*vio)
+		}
+		if mon == nil {
+			return
+		}
+		// Score the surrogate's pending prediction against this outcome
+		// (in the model-target space the posterior works in) and relay
+		// any due diagnostics verdicts.
+		health, stall := mon.OnTrial(tuner.ModelTarget(tr.Objective), tr.Failed)
+		if health != nil {
+			st.em.Emit(obs.Event{
+				Type: obs.EventModelHealth, Phase: phase, Trial: trialNo,
+				Scores:    health.Scores,
+				Coverage1: health.Coverage1,
+				Coverage2: health.Coverage2,
+				RMSE:      health.RMSE,
+				NLPD:      health.NLPD,
+				Severity:  string(health.Severity),
+				Detail:    health.Reason,
+			})
+		}
+		if stall != nil {
+			st.em.Emit(obs.Event{
+				Type: obs.EventStall, Phase: phase, Trial: trialNo,
+				Plateau:  stall.Plateau,
+				EI:       stall.EIMax,
+				EIPeak:   stall.EIPeak,
+				EIDecay:  stall.EIDecay,
+				Severity: string(stall.Severity),
+				Detail:   stall.Reason,
+			})
 		}
 	}
 }

@@ -1,0 +1,424 @@
+// Package diagnose scores a tuner's surrogate model online and watches
+// the search for convergence or stall. It closes the loop the decision
+// records open: every modelled proposal carries a posterior prediction
+// for the chosen configuration, and when that trial completes the
+// Monitor compares prediction to outcome — standardized residuals,
+// z-score coverage of the 1σ/2σ intervals, and rolling negative log
+// predictive density — while an EI trace and a best-so-far plateau
+// counter track whether the search is still making progress.
+//
+// The package is deliberately decoupled from the tuner: a Monitor
+// consumes plain numbers (posterior mean/std, max EI, observed model
+// target) so it can diagnose any Bayesian tuner, and it only ever
+// observes — it holds no reference back into the search and cannot
+// steer it.
+package diagnose
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"seamlesstune/internal/obs"
+)
+
+// Severity grades a diagnostic verdict.
+type Severity string
+
+const (
+	SeverityOK       Severity = "ok"
+	SeverityWarn     Severity = "warn"
+	SeverityCritical Severity = "critical"
+)
+
+// rank orders severities for transition bookkeeping.
+func (s Severity) rank() int {
+	switch s {
+	case SeverityWarn:
+		return 1
+	case SeverityCritical:
+		return 2
+	}
+	return 0
+}
+
+// Config tunes a Monitor. The zero value selects the defaults.
+type Config struct {
+	// Window is the rolling residual window for coverage and RMSE
+	// (default 25 scores).
+	Window int
+	// MinScores is how many scored predictions calibration verdicts
+	// need before they grade anything but ok (default 5 — coverage over
+	// two residuals means nothing).
+	MinScores int
+	// HealthEvery re-emits an unchanged health verdict every this many
+	// scores, so stream consumers see liveness (default 5).
+	HealthEvery int
+	// PlateauWarn / PlateauCritical are the best-so-far plateau lengths
+	// (trials without improvement) that grade a stall (defaults 8 / 16).
+	PlateauWarn     int
+	PlateauCritical int
+	// EIDecayFloor is the fraction of peak max-EI below which a plateau
+	// reads as convergence rather than a struggling model (default 0.05).
+	EIDecayFloor float64
+}
+
+func (c Config) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 25
+}
+
+func (c Config) minScores() int {
+	if c.MinScores > 0 {
+		return c.MinScores
+	}
+	return 5
+}
+
+func (c Config) healthEvery() int {
+	if c.HealthEvery > 0 {
+		return c.HealthEvery
+	}
+	return 5
+}
+
+func (c Config) plateauWarn() int {
+	if c.PlateauWarn > 0 {
+		return c.PlateauWarn
+	}
+	return 8
+}
+
+func (c Config) plateauCritical() int {
+	if c.PlateauCritical > 0 {
+		return c.PlateauCritical
+	}
+	return 16
+}
+
+func (c Config) eiDecayFloor() float64 {
+	if c.EIDecayFloor > 0 {
+		return c.EIDecayFloor
+	}
+	return 0.05
+}
+
+// Health is a calibration snapshot: how well the surrogate's predictive
+// distribution matches what the trials actually delivered. All values
+// are in model-target (log-objective) units.
+type Health struct {
+	// Scores is how many predictions have been graded so far.
+	Scores int
+	// Coverage1 / Coverage2 are the windowed fractions of observations
+	// inside the predicted 1σ / 2σ intervals (a calibrated Gaussian
+	// posterior gives 0.683 / 0.954).
+	Coverage1 float64
+	Coverage2 float64
+	// RMSE is the windowed root-mean-square residual.
+	RMSE float64
+	// NLPD is the running median negative log predictive density
+	// (lower is better; tracked on a quantile sketch).
+	NLPD     float64
+	Severity Severity
+	Reason   string
+}
+
+// Stall is a search-progress snapshot.
+type Stall struct {
+	// Plateau is the number of completed trials since the best-so-far
+	// last improved.
+	Plateau int
+	// EIMax / EIPeak are the latest and the largest max-EI the
+	// acquisition reported; EIDecay is their ratio (1 = at peak).
+	EIMax    float64
+	EIPeak   float64
+	EIDecay  float64
+	Severity Severity
+	Reason   string
+}
+
+// Monitor scores one tuning stage. It is safe for concurrent use,
+// though sessions drive it from a single goroutine (decision hook and
+// trial hook both run on the session loop).
+type Monitor struct {
+	cfg Config
+
+	mu sync.Mutex
+	// Pending prediction for the in-flight trial. The session loop is
+	// strictly propose → execute → observe, so at most one prediction is
+	// outstanding and it pairs with the next completed trial.
+	hasPending         bool
+	predMean, predStd  float64
+	resid              []float64 // standardized-residual ring
+	residN             int       // valid entries in resid
+	residAt            int       // next write position
+	scores             int       // lifetime scored predictions
+	sumSq              float64   // Σ residual² over the window (raw residuals)
+	rawResid           []float64 // raw-residual ring, parallel to resid
+	nlpd               *obs.Sketch
+	trials             int
+	plateau            int
+	best               float64
+	hasBest            bool
+	eiPeak, eiLast     float64
+	eiSeen             bool
+	lastHealthSeverity Severity
+	healthEmitted      bool
+	scoresAtHealth     int
+	lastStallSeverity  Severity
+	stallEmitted       bool
+}
+
+// New returns a Monitor with cfg (zero value = defaults).
+func New(cfg Config) *Monitor {
+	return &Monitor{
+		cfg:      cfg,
+		resid:    make([]float64, cfg.window()),
+		rawResid: make([]float64, cfg.window()),
+		nlpd:     obs.NewSketch(0),
+	}
+}
+
+// OnDecision notes a modelled proposal: the chosen candidate's posterior
+// (model-target units) becomes the pending prediction scored when the
+// trial lands, and maxEI feeds the convergence trace.
+func (m *Monitor) OnDecision(predMean, predStd, maxEI float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if isFinite(predMean) && isFinite(predStd) {
+		m.hasPending = true
+		m.predMean, m.predStd = predMean, predStd
+	}
+	if isFinite(maxEI) && maxEI >= 0 {
+		m.eiLast, m.eiSeen = maxEI, true
+		if maxEI > m.eiPeak {
+			m.eiPeak = maxEI
+		}
+	}
+}
+
+// OnTrial scores the completed trial against the pending prediction (if
+// any) and advances the plateau counter. target is the observed model
+// target — tuner.ModelTarget(objective) — and failed marks trials whose
+// objective is a penalty, which clear the pending prediction unscored
+// (the surrogate trains on the penalty, but grading calibration against
+// synthetic values would poison the verdict).
+//
+// The returned pointers are non-nil when a model_health / stall event is
+// due: on any severity change, and for health additionally every
+// HealthEvery scores.
+func (m *Monitor) OnTrial(target float64, failed bool) (*Health, *Stall) {
+	if m == nil {
+		return nil, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	m.trials++
+	if !failed && isFinite(target) {
+		if !m.hasBest || target < m.best {
+			m.best, m.hasBest = target, true
+			m.plateau = 0
+		} else {
+			m.plateau++
+		}
+	} else if m.hasBest {
+		// A failed trial is a trial that didn't improve anything.
+		m.plateau++
+	}
+
+	if m.hasPending {
+		m.hasPending = false
+		if !failed && isFinite(target) {
+			m.scoreLocked(target)
+		}
+	}
+
+	return m.maybeHealthLocked(), m.maybeStallLocked()
+}
+
+// scoreLocked grades one (prediction, outcome) pair.
+func (m *Monitor) scoreLocked(target float64) {
+	r := target - m.predMean
+	z := math.Inf(1)
+	if m.predStd > 0 {
+		z = r / m.predStd
+	} else if r == 0 {
+		z = 0
+	}
+	// Ring update: retire the evicted raw residual from the running Σr².
+	if m.residN == len(m.resid) {
+		old := m.rawResid[m.residAt]
+		m.sumSq -= old * old
+	} else {
+		m.residN++
+	}
+	m.resid[m.residAt] = z
+	m.rawResid[m.residAt] = r
+	m.sumSq += r * r
+	m.residAt = (m.residAt + 1) % len(m.resid)
+	m.scores++
+
+	if m.predStd > 0 {
+		nlpd := 0.5*math.Log(2*math.Pi*m.predStd*m.predStd) + r*r/(2*m.predStd*m.predStd)
+		m.nlpd.Add(nlpd) // Add ignores non-finite values
+		mNLPD.Observe(nlpd)
+	}
+	if isFinite(z) {
+		mAbsZ.Observe(math.Abs(z))
+	}
+}
+
+// healthLocked computes the current calibration snapshot.
+func (m *Monitor) healthLocked() Health {
+	h := Health{Scores: m.scores, Severity: SeverityOK, Reason: "calibration nominal"}
+	if m.residN > 0 {
+		in1, in2 := 0, 0
+		for i := 0; i < m.residN; i++ {
+			az := math.Abs(m.resid[i])
+			if az <= 1 {
+				in1++
+			}
+			if az <= 2 {
+				in2++
+			}
+		}
+		n := float64(m.residN)
+		h.Coverage1 = float64(in1) / n
+		h.Coverage2 = float64(in2) / n
+		h.RMSE = math.Sqrt(math.Max(m.sumSq, 0) / n)
+	}
+	if m.nlpd.Count() > 0 {
+		h.NLPD = m.nlpd.Quantile(0.5)
+	}
+	if m.scores < m.cfg.minScores() {
+		h.Reason = fmt.Sprintf("warming up (%d/%d scored predictions)", m.scores, m.cfg.minScores())
+		return h
+	}
+	switch {
+	case h.Coverage2 < 0.5:
+		h.Severity = SeverityCritical
+		h.Reason = fmt.Sprintf("surrogate badly overconfident: only %.0f%% of outcomes inside 2σ (ideal 95%%)", h.Coverage2*100)
+	case h.Coverage1 < 0.35 || h.Coverage2 < 0.75:
+		h.Severity = SeverityWarn
+		h.Reason = fmt.Sprintf("surrogate overconfident: %.0f%% inside 1σ / %.0f%% inside 2σ (ideal 68%%/95%%)", h.Coverage1*100, h.Coverage2*100)
+	case h.Coverage1 > 0.95 && h.Coverage2 > 0.99 && m.residN >= m.cfg.window():
+		h.Severity = SeverityWarn
+		h.Reason = fmt.Sprintf("surrogate underconfident: %.0f%% inside 1σ (ideal 68%%) — predicted uncertainty looks inflated", h.Coverage1*100)
+	}
+	return h
+}
+
+// stallLocked computes the current progress snapshot.
+func (m *Monitor) stallLocked() Stall {
+	s := Stall{Plateau: m.plateau, Severity: SeverityOK, Reason: "search progressing"}
+	if m.eiSeen {
+		s.EIMax, s.EIPeak = m.eiLast, m.eiPeak
+		if m.eiPeak > 0 {
+			s.EIDecay = m.eiLast / m.eiPeak
+		}
+	}
+	warn, crit := m.cfg.plateauWarn(), m.cfg.plateauCritical()
+	if m.plateau < warn {
+		return s
+	}
+	if m.plateau >= crit {
+		s.Severity = SeverityCritical
+	} else {
+		s.Severity = SeverityWarn
+	}
+	if m.eiSeen && m.eiPeak > 0 && s.EIDecay <= m.cfg.eiDecayFloor() {
+		s.Reason = fmt.Sprintf("no improvement for %d trials and EI decayed to %.1f%% of peak — likely converged", m.plateau, s.EIDecay*100)
+	} else if m.eiSeen {
+		s.Reason = fmt.Sprintf("no improvement for %d trials but EI still at %.0f%% of peak — model expects gains it isn't delivering", m.plateau, s.EIDecay*100)
+	} else {
+		s.Reason = fmt.Sprintf("no improvement for %d trials", m.plateau)
+	}
+	return s
+}
+
+// maybeHealthLocked applies the emission policy: emit on severity
+// change, and re-emit every HealthEvery scores once enough predictions
+// are graded.
+func (m *Monitor) maybeHealthLocked() *Health {
+	if m.scores < m.cfg.minScores() {
+		return nil
+	}
+	h := m.healthLocked()
+	due := !m.healthEmitted ||
+		h.Severity != m.lastHealthSeverity ||
+		m.scores-m.scoresAtHealth >= m.cfg.healthEvery()
+	if !due {
+		return nil
+	}
+	m.healthEmitted = true
+	m.lastHealthSeverity = h.Severity
+	m.scoresAtHealth = m.scores
+	mHealth.With(string(h.Severity)).Inc()
+	return &h
+}
+
+// maybeStallLocked emits on severity transitions only — including the
+// recovery back to ok, so consumers can clear alerts.
+func (m *Monitor) maybeStallLocked() *Stall {
+	s := m.stallLocked()
+	if s.Severity == SeverityOK && !m.stallEmitted {
+		return nil
+	}
+	if m.stallEmitted && s.Severity == m.lastStallSeverity {
+		return nil
+	}
+	if s.Severity == SeverityOK {
+		s.Reason = fmt.Sprintf("search progressing again after a %s stall", m.lastStallSeverity)
+	}
+	m.stallEmitted = true
+	m.lastStallSeverity = s.Severity
+	mStalls.With(string(s.Severity)).Inc()
+	return &s
+}
+
+// Health returns the current calibration snapshot (for explain
+// endpoints; emission bookkeeping is untouched).
+func (m *Monitor) Health() Health {
+	if m == nil {
+		return Health{Severity: SeverityOK}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.healthLocked()
+}
+
+// Stall returns the current progress snapshot.
+func (m *Monitor) Stall() Stall {
+	if m == nil {
+		return Stall{Severity: SeverityOK}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stallLocked()
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Diagnostics-layer metric families, fed by every Monitor in the
+// process (sessions are the natural aggregation for the /metrics view;
+// per-job slicing lives on the event stream).
+var (
+	mAbsZ = obs.Default().HistogramSketched("tuner_calibration_abs_z",
+		"Absolute standardized residual |observed-predicted|/σ per scored prediction (calibrated ≈ half-normal).",
+		obs.ExpBuckets(0.0625, 2, 10))
+	mNLPD = obs.Default().HistogramSketched("tuner_calibration_nlpd",
+		"Negative log predictive density per scored prediction (lower is better).",
+		obs.ExpBuckets(0.0625, 2, 10))
+	mHealth = obs.Default().CounterVec("tuner_model_health_total",
+		"model_health verdicts emitted, by severity.", "severity")
+	mStalls = obs.Default().CounterVec("tuner_stall_transitions_total",
+		"stall severity transitions emitted, by severity.", "severity")
+)

@@ -1,0 +1,276 @@
+package diagnose
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// drive feeds n (prediction, outcome) pairs with the given standardized
+// residual pattern: outcome = predMean + z·predStd, each a new best so
+// the plateau never trips.
+func drive(m *Monitor, zs []float64) (healths []*Health, stalls []*Stall) {
+	target := 100.0
+	for _, z := range zs {
+		target -= 1 // strictly improving
+		m.OnDecision(target-z*0.5, 0.5, 0.1)
+		h, s := m.OnTrial(target, false)
+		if h != nil {
+			healths = append(healths, h)
+		}
+		if s != nil {
+			stalls = append(stalls, s)
+		}
+		// shift so the realized standardized residual is exactly z:
+		// observed target vs predicted mean target-z*0.5 gives r = z*0.5.
+	}
+	return
+}
+
+func TestCalibrationCoverage(t *testing.T) {
+	m := New(Config{Window: 50})
+	// 10 perfectly-predicted trials: residual 0, full coverage.
+	drive(m, make([]float64, 10))
+	h := m.Health()
+	if h.Scores != 10 {
+		t.Fatalf("scores = %d, want 10", h.Scores)
+	}
+	if h.Coverage1 != 1 || h.Coverage2 != 1 {
+		t.Errorf("perfect predictions: coverage (%g, %g), want (1, 1)", h.Coverage1, h.Coverage2)
+	}
+	if h.RMSE != 0 {
+		t.Errorf("perfect predictions: RMSE %g, want 0", h.RMSE)
+	}
+}
+
+func TestOverconfidentSurrogateGradesCritical(t *testing.T) {
+	m := New(Config{MinScores: 5})
+	// Residuals at 3σ — far outside the 2σ interval, every time.
+	zs := []float64{3, 3, -3, 3, -3, 3, 3, -3}
+	_, _ = drive(m, zs)
+	h := m.Health()
+	if h.Severity != SeverityCritical {
+		t.Fatalf("severity = %s, want critical (coverage2 = %g)", h.Severity, h.Coverage2)
+	}
+	if !strings.Contains(h.Reason, "overconfident") {
+		t.Errorf("reason %q should name overconfidence", h.Reason)
+	}
+}
+
+func TestUnderconfidentSurrogateWarns(t *testing.T) {
+	// Needs a full window of tiny residuals.
+	m := New(Config{Window: 10, MinScores: 5})
+	zs := make([]float64, 12)
+	for i := range zs {
+		zs[i] = 0.01
+	}
+	drive(m, zs)
+	h := m.Health()
+	if h.Severity != SeverityWarn || !strings.Contains(h.Reason, "underconfident") {
+		t.Fatalf("severity = %s (%q), want warn/underconfident", h.Severity, h.Reason)
+	}
+}
+
+func TestWarmupStaysOK(t *testing.T) {
+	m := New(Config{MinScores: 5})
+	drive(m, []float64{5, -5}) // terrible, but only 2 scores
+	h := m.Health()
+	if h.Severity != SeverityOK || !strings.Contains(h.Reason, "warming up") {
+		t.Fatalf("warm-up verdict = %s (%q), want ok/warming up", h.Severity, h.Reason)
+	}
+}
+
+func TestFailedTrialsClearPendingUnscored(t *testing.T) {
+	m := New(Config{})
+	m.OnDecision(4.0, 0.5, 0.1)
+	m.OnTrial(99, true) // penalty objective: must not grade calibration
+	if h := m.Health(); h.Scores != 0 {
+		t.Fatalf("failed trial was scored: %d scores", h.Scores)
+	}
+	// The next success pairs with its own prediction only.
+	m.OnDecision(4.0, 0.5, 0.1)
+	m.OnTrial(4.0, false)
+	if h := m.Health(); h.Scores != 1 {
+		t.Fatalf("scores = %d, want 1", h.Scores)
+	}
+}
+
+func TestUnpredictedTrialsNotScored(t *testing.T) {
+	m := New(Config{})
+	// Init-phase trials arrive with no decision record.
+	m.OnTrial(5.0, false)
+	m.OnTrial(4.0, false)
+	if h := m.Health(); h.Scores != 0 {
+		t.Fatalf("unpredicted trials scored: %d", h.Scores)
+	}
+}
+
+func TestRollingWindowEvictsOldResiduals(t *testing.T) {
+	m := New(Config{Window: 4, MinScores: 1})
+	// 4 bad scores fill the window, then 4 perfect ones push them out.
+	drive(m, []float64{4, 4, 4, 4})
+	if h := m.Health(); h.Coverage2 != 0 {
+		t.Fatalf("after bad scores coverage2 = %g, want 0", h.Coverage2)
+	}
+	drive(m, []float64{0, 0, 0, 0})
+	h := m.Health()
+	if h.Coverage1 != 1 || h.RMSE != 0 {
+		t.Fatalf("window did not evict: coverage1 %g RMSE %g, want 1 and 0", h.Coverage1, h.RMSE)
+	}
+	if h.Scores != 8 {
+		t.Fatalf("lifetime scores = %d, want 8", h.Scores)
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	m := New(Config{PlateauWarn: 3, PlateauCritical: 6})
+	var stalls []*Stall
+	m.OnTrial(10, false) // establishes the incumbent
+	for i := 0; i < 7; i++ {
+		m.OnDecision(10, 0.5, 0.001) // EI never recovers
+		_, s := m.OnTrial(11, false) // never improves
+		if s != nil {
+			stalls = append(stalls, s)
+		}
+	}
+	if len(stalls) != 2 {
+		t.Fatalf("got %d stall transitions, want 2 (warn then critical): %+v", len(stalls), stalls)
+	}
+	if stalls[0].Severity != SeverityWarn || stalls[0].Plateau != 3 {
+		t.Errorf("first transition = %+v, want warn at plateau 3", stalls[0])
+	}
+	if stalls[1].Severity != SeverityCritical || stalls[1].Plateau != 6 {
+		t.Errorf("second transition = %+v, want critical at plateau 6", stalls[1])
+	}
+	// Recovery: a new best emits the all-clear exactly once.
+	m.OnDecision(9, 0.5, 0.2)
+	_, s := m.OnTrial(9, false)
+	if s == nil || s.Severity != SeverityOK || !strings.Contains(s.Reason, "progressing again") {
+		t.Fatalf("recovery transition = %+v, want ok with recovery reason", s)
+	}
+	_, s = m.OnTrial(8, false)
+	if s != nil {
+		t.Fatalf("steady progress re-emitted a stall verdict: %+v", s)
+	}
+}
+
+func TestStallReasonDistinguishesConvergenceFromStruggle(t *testing.T) {
+	// EI decayed to nothing: the plateau reads as convergence.
+	m := New(Config{PlateauWarn: 2})
+	m.OnTrial(10, false)
+	m.OnDecision(10, 0.5, 1.0) // peak EI
+	m.OnTrial(11, false)
+	m.OnDecision(10, 0.5, 0.001) // 0.1% of peak
+	_, s := m.OnTrial(11, false)
+	if s == nil || !strings.Contains(s.Reason, "likely converged") {
+		t.Fatalf("decayed-EI stall = %+v, want convergence reason", s)
+	}
+
+	// EI still high: the model expects gains it isn't delivering.
+	m2 := New(Config{PlateauWarn: 2})
+	m2.OnTrial(10, false)
+	for i := 0; i < 2; i++ {
+		m2.OnDecision(10, 0.5, 1.0)
+	}
+	m2.OnTrial(11, false)
+	_, s2 := m2.OnTrial(11, false)
+	if s2 == nil || !strings.Contains(s2.Reason, "isn't delivering") {
+		t.Fatalf("high-EI stall = %+v, want struggling-model reason", s2)
+	}
+}
+
+func TestFailedTrialsExtendPlateau(t *testing.T) {
+	m := New(Config{PlateauWarn: 3})
+	m.OnTrial(10, false)
+	var got *Stall
+	for i := 0; i < 3; i++ {
+		_, s := m.OnTrial(0, true)
+		if s != nil {
+			got = s
+		}
+	}
+	if got == nil || got.Severity != SeverityWarn {
+		t.Fatalf("3 failures after an incumbent should warn, got %+v", got)
+	}
+	// Failures before any incumbent don't count as a plateau.
+	m2 := New(Config{PlateauWarn: 2})
+	for i := 0; i < 5; i++ {
+		if _, s := m2.OnTrial(0, true); s != nil {
+			t.Fatalf("plateau without an incumbent: %+v", s)
+		}
+	}
+}
+
+func TestHealthEmissionPolicy(t *testing.T) {
+	m := New(Config{MinScores: 3, HealthEvery: 4, Window: 50})
+	var emitted []*Health
+	hs, _ := drive(m, make([]float64, 12))
+	emitted = append(emitted, hs...)
+	// First verdict at score 3 (min reached), then every 4 scores: 3, 7, 11.
+	if len(emitted) != 3 {
+		t.Fatalf("got %d health emissions over 12 scores, want 3", len(emitted))
+	}
+	for i, want := range []int{3, 7, 11} {
+		if emitted[i].Scores != want {
+			t.Errorf("emission %d at %d scores, want %d", i, emitted[i].Scores, want)
+		}
+	}
+}
+
+func TestNonFiniteInputsIgnored(t *testing.T) {
+	m := New(Config{})
+	m.OnDecision(math.NaN(), 0.5, math.Inf(1))
+	if m.hasPending {
+		t.Fatal("NaN prediction accepted as pending")
+	}
+	m.OnDecision(4, 0.5, -1) // negative EI ignored for the trace
+	if m.eiSeen {
+		t.Fatal("negative EI accepted into the trace")
+	}
+	m.OnTrial(math.Inf(1), false)
+	if h := m.Health(); h.Scores != 0 {
+		t.Fatalf("non-finite target scored: %d", h.Scores)
+	}
+	// Zero predicted std with a nonzero residual: infinite z lands
+	// outside both intervals but must not poison RMSE or NLPD.
+	m.OnDecision(4, 0, 0.1)
+	m.OnTrial(5, false)
+	h := m.Health()
+	if h.Scores != 1 || h.Coverage2 != 0 {
+		t.Fatalf("degenerate-std score: %+v, want 1 score outside 2σ", h)
+	}
+	if !isFinite(h.RMSE) || !isFinite(h.NLPD) {
+		t.Fatalf("degenerate-std score produced non-finite summary: %+v", h)
+	}
+}
+
+func TestNilMonitorIsInert(t *testing.T) {
+	var m *Monitor
+	m.OnDecision(1, 1, 1)
+	if h, s := m.OnTrial(1, false); h != nil || s != nil {
+		t.Fatal("nil monitor emitted verdicts")
+	}
+	if h := m.Health(); h.Severity != SeverityOK {
+		t.Fatal("nil monitor unhealthy")
+	}
+	if s := m.Stall(); s.Severity != SeverityOK {
+		t.Fatal("nil monitor stalled")
+	}
+}
+
+func TestNLPDTracksSharpness(t *testing.T) {
+	// Same residuals, tighter predicted std → the penalty term r²/2σ²
+	// dominates and NLPD is worse for the overconfident model.
+	tight := New(Config{})
+	wide := New(Config{})
+	for i := 0; i < 10; i++ {
+		tight.OnDecision(4, 0.1, 0.1)
+		tight.OnTrial(4.5, false)
+		wide.OnDecision(4, 0.5, 0.1)
+		wide.OnTrial(4.5, false)
+	}
+	ht, hw := tight.Health(), wide.Health()
+	if ht.NLPD <= hw.NLPD {
+		t.Fatalf("overconfident NLPD %g should exceed calibrated %g", ht.NLPD, hw.NLPD)
+	}
+}

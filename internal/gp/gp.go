@@ -631,6 +631,22 @@ func ExpectedImprovement(mean, std, best float64) float64 {
 	return (best-mean)*stat.NormalCDF(z) + std*stat.NormalPDF(z)
 }
 
+// ExpectedImprovementParts splits EI into its exploitation term
+// (best-mean)·Φ(z) — improvement the posterior mean already promises —
+// and its exploration term std·φ(z) — improvement bought by posterior
+// uncertainty. The parts sum exactly to ExpectedImprovement; zero std
+// attributes everything to exploitation, matching its degenerate case.
+func ExpectedImprovementParts(mean, std, best float64) (exploit, explore float64) {
+	if std <= 0 {
+		if mean < best {
+			return best - mean, 0
+		}
+		return 0, 0
+	}
+	z := (best - mean) / std
+	return (best - mean) * stat.NormalCDF(z), std * stat.NormalPDF(z)
+}
+
 // LCB returns the lower confidence bound mean - beta·std (minimization:
 // smaller is more promising).
 func LCB(mean, std, beta float64) float64 { return mean - beta*std }

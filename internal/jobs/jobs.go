@@ -64,6 +64,9 @@ type Job struct {
 	// Pruning echoes whether the job's tuning sessions run with
 	// significance-aware config-space pruning (from SubmitOpts).
 	Pruning bool `json:"pruning,omitempty"`
+	// Diagnostics echoes whether the job's tuning sessions publish tuner
+	// explainability diagnostics (decide/model_health/stall events).
+	Diagnostics bool `json:"diagnostics,omitempty"`
 }
 
 // Options carries caller-visible metadata attached to a submission and
@@ -75,6 +78,9 @@ type Options struct {
 	// Pruning marks the job's sessions as running with significance-aware
 	// config-space pruning.
 	Pruning bool
+	// Diagnostics marks the job's sessions as publishing tuner
+	// explainability diagnostics.
+	Diagnostics bool
 }
 
 // job is the engine-internal mutable record behind Job snapshots.
@@ -174,6 +180,7 @@ func (e *Engine) SubmitOpts(tenant string, task Task, opts Options) (Job, error)
 			SubmittedAt: time.Now().UTC(),
 			Surrogate:   opts.Surrogate,
 			Pruning:     opts.Pruning,
+			Diagnostics: opts.Diagnostics,
 		},
 		task: task,
 		done: make(chan struct{}),

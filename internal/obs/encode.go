@@ -114,6 +114,11 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 			ss := &s.Families[fi].Series[si]
 			ss.Value = finite(ss.Value)
 			ss.Sum = finite(ss.Sum)
+			for q, v := range ss.Quantiles {
+				if math.IsInf(v, 0) || math.IsNaN(v) {
+					ss.Quantiles[q] = 0
+				}
+			}
 		}
 	}
 	enc := json.NewEncoder(w)

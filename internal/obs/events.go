@@ -27,6 +27,18 @@ const (
 	// session: the active search dimension, the knobs dropped (or
 	// restored), and the leading knob importances.
 	EventPrune EventType = "prune"
+	// EventDecide explains one EI-guided proposal: the chosen candidate's
+	// posterior and expected improvement decomposed into exploitation and
+	// exploration, its rank, the pool size, and the surrogate backend.
+	EventDecide EventType = "decide"
+	// EventModelHealth reports online surrogate calibration: z-score
+	// coverage of the 1σ/2σ predictive intervals, windowed residual RMSE,
+	// and rolling median NLPD, graded by severity.
+	EventModelHealth EventType = "model_health"
+	// EventStall reports convergence/stall detection transitions: the
+	// best-so-far plateau length with EI-decay context, graded by
+	// severity (emitted again on recovery, so consumers can clear).
+	EventStall EventType = "stall"
 )
 
 // Event is one structured telemetry record. Every field is a value type
@@ -95,8 +107,48 @@ type Event struct {
 	Dropped    string `json:"dropped,omitempty"`
 	Importance string `json:"importance,omitempty"`
 
+	// Surrogate names the posterior backend behind a decide event
+	// ("gp", "rffgp", "forest").
+	Surrogate string `json:"surrogate,omitempty"`
+	// Candidates is the acquisition pool size scored for a decide event;
+	// Rank the chosen candidate's EI rank within it (1 = best).
+	Candidates int `json:"candidates,omitempty"`
+	Rank       int `json:"rank,omitempty"`
+	// PredMean/PredStd are the chosen candidate's posterior in
+	// model-target (log-objective) units; EI its expected improvement,
+	// decomposed exactly as EI = EIExploit + EIExplore.
+	PredMean  float64 `json:"predMean,omitempty"`
+	PredStd   float64 `json:"predStd,omitempty"`
+	EI        float64 `json:"ei,omitempty"`
+	EIExploit float64 `json:"eiExploit,omitempty"`
+	EIExplore float64 `json:"eiExplore,omitempty"`
+	// TopK renders the leading candidates as "rank:ei(exploit+explore)"
+	// pairs, comma-separated — pre-rendered to keep Event value-only.
+	TopK string `json:"topK,omitempty"`
+
+	// Calibration fields (model_health events): Scores is the number of
+	// graded predictions; Coverage1/Coverage2 the windowed fractions of
+	// outcomes inside the predicted 1σ/2σ intervals (ideal 0.683/0.954);
+	// RMSE the windowed root-mean-square residual; NLPD the rolling
+	// median negative log predictive density.
+	Scores    int     `json:"scores,omitempty"`
+	Coverage1 float64 `json:"coverage1,omitempty"`
+	Coverage2 float64 `json:"coverage2,omitempty"`
+	RMSE      float64 `json:"rmse,omitempty"`
+	NLPD      float64 `json:"nlpd,omitempty"`
+
+	// Stall fields: Plateau is the best-so-far plateau length (trials
+	// without improvement); EIPeak the largest max-EI seen; EIDecay the
+	// latest max-EI as a fraction of that peak (the latest max-EI itself
+	// rides in EI).
+	Plateau int     `json:"plateau,omitempty"`
+	EIPeak  float64 `json:"eiPeak,omitempty"`
+	EIDecay float64 `json:"eiDecay,omitempty"`
+	// Severity grades model_health and stall events: ok, warn, critical.
+	Severity string `json:"severity,omitempty"`
+
 	// Detail carries human-readable context (violation text, session
-	// outcome, prune-round reason).
+	// outcome, prune-round reason, diagnostic verdicts).
 	Detail string `json:"detail,omitempty"`
 }
 
@@ -338,6 +390,24 @@ func (e Event) AppendJSONL(b []byte) []byte {
 	b = appendIntField(b, "totalDims", e.TotalDims)
 	b = appendStrField(b, "dropped", e.Dropped)
 	b = appendStrField(b, "importance", e.Importance)
+	b = appendStrField(b, "surrogate", e.Surrogate)
+	b = appendIntField(b, "candidates", e.Candidates)
+	b = appendIntField(b, "rank", e.Rank)
+	b = appendNumField(b, "predMean", e.PredMean)
+	b = appendNumField(b, "predStd", e.PredStd)
+	b = appendNumField(b, "ei", e.EI)
+	b = appendNumField(b, "eiExploit", e.EIExploit)
+	b = appendNumField(b, "eiExplore", e.EIExplore)
+	b = appendStrField(b, "topK", e.TopK)
+	b = appendIntField(b, "scores", e.Scores)
+	b = appendNumField(b, "coverage1", e.Coverage1)
+	b = appendNumField(b, "coverage2", e.Coverage2)
+	b = appendNumField(b, "rmse", e.RMSE)
+	b = appendNumField(b, "nlpd", e.NLPD)
+	b = appendIntField(b, "plateau", e.Plateau)
+	b = appendNumField(b, "eiPeak", e.EIPeak)
+	b = appendNumField(b, "eiDecay", e.EIDecay)
+	b = appendStrField(b, "severity", e.Severity)
 	b = appendStrField(b, "detail", e.Detail)
 	return append(b, '}')
 }

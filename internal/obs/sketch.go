@@ -49,9 +49,11 @@ func NewSketch(k int) *Sketch {
 	}
 }
 
-// Add inserts one observation. NaN is ignored.
+// Add inserts one observation. Non-finite values (NaN, ±Inf) are
+// ignored: an infinity would pin min/max and poison every quantile, and
+// the JSON exposition requires finite numbers.
 func (s *Sketch) Add(v float64) {
-	if s == nil || math.IsNaN(v) {
+	if s == nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	s.mu.Lock()

@@ -51,6 +51,11 @@ type BayesOpt struct {
 	// the session seed — stat.DeriveSeed(seed, "surrogate") — so
 	// trajectories replay bit-for-bit. The exact GP ignores it.
 	SurrogateSeed int64
+	// DecisionHook, when set, receives a DecisionRecord for every
+	// EI-guided proposal, synchronously on the session goroutine. The
+	// hook observes the decision after it is made and never touches the
+	// RNG, so installing it cannot change a trajectory.
+	DecisionHook DecisionHook
 
 	pendingInit []confspace.Config
 	xs          [][]float64
@@ -71,6 +76,8 @@ type BayesOpt struct {
 	encFlat []float64
 	encView [][]float64
 	eiBuf   []float64
+	// topBuf is the DecisionRecord top-k scratch, reused per decision.
+	topBuf []CandidateScore
 }
 
 var _ Tuner = (*BayesOpt)(nil)
@@ -203,6 +210,9 @@ func (t *BayesOpt) Next(rng *rand.Rand) confspace.Config {
 	mAcqSeconds.Observe(t.lastAcqSec)
 	if bestIdx < 0 {
 		return t.Space.Random(rng)
+	}
+	if t.DecisionHook != nil {
+		t.recordDecision(means, stds, eis, best, bestIdx)
 	}
 	return cands[bestIdx]
 }

@@ -1,0 +1,169 @@
+package tuner
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"seamlesstune/internal/gp"
+)
+
+// DecisionTopK is how many leading candidates a DecisionRecord carries.
+// Enough to see whether the acquisition surface is peaked or flat,
+// small enough to render on one event line.
+const DecisionTopK = 5
+
+// CandidateScore is one acquisition candidate's view of the posterior:
+// its EI rank, the predicted log-objective (mean ± std), and expected
+// improvement decomposed into the exploitation and exploration terms
+// (Exploit + Explore == EI exactly; see gp.ExpectedImprovementParts).
+type CandidateScore struct {
+	// Rank is the 1-based EI rank within the scored pool.
+	Rank int
+	// Index is the candidate's position in the acquisition pool — the
+	// order candidates were drawn, which is deterministic per seed.
+	Index   int
+	Mean    float64
+	Std     float64
+	EI      float64
+	Exploit float64
+	Explore float64
+}
+
+// DecisionRecord explains one modelled acquisition step: which
+// candidates the expected-improvement argmax favored and why. The tuner
+// emits one per EI-guided proposal (init-phase and degenerate random
+// proposals carry no model opinion and record nothing).
+//
+// Records are delivered through DecisionHook synchronously on the
+// session goroutine. TopK aliases a buffer the tuner reuses on the next
+// Next call — hooks must copy it if they keep it.
+type DecisionRecord struct {
+	// Observations is the training-set size behind the posterior.
+	Observations int
+	// Candidates is the size of the scored acquisition pool.
+	Candidates int
+	// Surrogate names the active posterior backend ("gp", "rffgp", ...).
+	Surrogate string
+	// Incumbent is the best observed model target (log-objective) the
+	// improvement is measured against.
+	Incumbent float64
+	// AcqSeconds is the wall time of this acquisition step.
+	AcqSeconds float64
+	// Chosen is the proposed candidate — TopK[0], since the argmax and
+	// the top-k selection break ties identically (lowest index wins).
+	Chosen CandidateScore
+	// TopK holds the DecisionTopK best candidates by EI, rank order.
+	TopK []CandidateScore
+}
+
+// DecisionHook observes DecisionRecords. A nil hook costs one branch per
+// proposal and nothing else: record assembly is skipped entirely, so
+// trajectories are bit-identical with or without a hook installed — the
+// hook path never touches the session RNG.
+type DecisionHook func(DecisionRecord)
+
+// DecisionRecorder is implemented by tuners that can explain their
+// proposals. Telemetry layers type-assert against it so plain tuners
+// (random, genetic) opt out implicitly.
+type DecisionRecorder interface {
+	SetDecisionHook(DecisionHook)
+}
+
+// SetDecisionHook implements DecisionRecorder.
+func (t *BayesOpt) SetDecisionHook(h DecisionHook) { t.DecisionHook = h }
+
+// SetDecisionHook implements DecisionRecorder: the hook survives inner
+// rebuilds on subspace changes.
+func (t *PrunedBayesOpt) SetDecisionHook(h DecisionHook) {
+	t.decisionHook = h
+	if t.inner != nil {
+		t.inner.DecisionHook = h
+	}
+}
+
+// ModelTarget maps a raw objective to the surrogate's training target —
+// log-objective with the same floor absorb applies. Diagnostics use it
+// to score predictions in the space the model actually works in.
+func ModelTarget(objective float64) float64 {
+	return math.Log(math.Max(objective, 1e-6))
+}
+
+// recordDecision assembles the decision record for the proposal at
+// bestIdx and delivers it to the hook. Only called with a non-nil hook;
+// everything it touches is scratch reused across calls, so the steady
+// state allocates nothing.
+func (t *BayesOpt) recordDecision(means, stds, eis []float64, best float64, bestIdx int) {
+	// Partial selection of the top k by EI: insertion into a fixed-size
+	// array, strict > so the lowest index wins ties — the same tie policy
+	// as the argmax, which guarantees topBuf[0] is the chosen candidate.
+	k := DecisionTopK
+	if k > len(eis) {
+		k = len(eis)
+	}
+	top := t.topBuf[:0]
+	for i, ei := range eis {
+		pos := len(top)
+		for pos > 0 && ei > top[pos-1].EI {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		if len(top) < k {
+			top = append(top, CandidateScore{})
+		}
+		copy(top[pos+1:], top[pos:])
+		top[pos] = CandidateScore{Index: i, EI: ei}
+	}
+	for r := range top {
+		i := top[r].Index
+		exploit, explore := gp.ExpectedImprovementParts(means[i], stds[i], best)
+		top[r].Rank = r + 1
+		top[r].Mean = means[i]
+		top[r].Std = stds[i]
+		top[r].Exploit = exploit
+		top[r].Explore = explore
+	}
+	t.topBuf = top
+
+	rec := DecisionRecord{
+		Observations: len(t.xs),
+		Candidates:   len(eis),
+		Surrogate:    t.model.Name(),
+		Incumbent:    best,
+		AcqSeconds:   t.lastAcqSec,
+		Chosen:       top[0],
+		TopK:         top,
+	}
+	if rec.Chosen.Index != bestIdx {
+		// Unreachable while the tie policies match; keep the proposal
+		// truthful if they ever drift.
+		rec.Chosen = CandidateScore{Index: bestIdx, Mean: means[bestIdx], Std: stds[bestIdx], EI: eis[bestIdx]}
+		rec.Chosen.Exploit, rec.Chosen.Explore = gp.ExpectedImprovementParts(means[bestIdx], stds[bestIdx], best)
+	}
+	mDecisions.With(rec.Surrogate).Inc()
+	mDecisionEI.Observe(rec.Chosen.EI)
+	t.DecisionHook(rec)
+}
+
+// TopKString renders the leading candidates as
+// "rank:ei(exploit+explore)" pairs, comma-separated — the compact wire
+// form carried on decide events.
+func (r DecisionRecord) TopKString() string {
+	var b strings.Builder
+	for i, c := range r.TopK {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c.Rank))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(c.EI, 'g', 4, 64))
+		b.WriteByte('(')
+		b.WriteString(strconv.FormatFloat(c.Exploit, 'g', 3, 64))
+		b.WriteByte('+')
+		b.WriteString(strconv.FormatFloat(c.Explore, 'g', 3, 64))
+		b.WriteByte(')')
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"seamlesstune/internal/gp"
+	"seamlesstune/internal/sensitivity"
+	"seamlesstune/internal/stat"
+)
+
+// runTrace runs the tuner for n steps against obj and returns the
+// proposal/observation trace.
+func runTrace(t *testing.T, tn Tuner, obj Objective, n int, seed int64) []string {
+	t.Helper()
+	rng := stat.NewRNG(seed)
+	trace := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := tn.Next(rng)
+		m := obj(cfg)
+		trace = append(trace, fmt.Sprintf("%v|%.17g", cfg, m.Runtime))
+		tn.Observe(Trial{Index: i, Config: cfg, Measurement: m, Objective: m.Runtime})
+	}
+	return trace
+}
+
+// Installing a decision hook must not perturb the search: the hook path
+// never touches the session RNG, so trajectories are bit-identical with
+// and without one.
+func TestDecisionHookTrajectoryBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 5, 11} {
+		s := benchSpace(t)
+		plain := NewBayesOpt(s)
+		hooked := NewBayesOpt(s)
+		hooks := 0
+		hooked.SetDecisionHook(func(DecisionRecord) { hooks++ })
+		want := runTrace(t, plain, bowl(s), 20, seed)
+		got := runTrace(t, hooked, bowl(s), 20, seed)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d iter %d diverged with hook installed:\n  got  %s\n  want %s", seed, i, got[i], want[i])
+			}
+		}
+		if hooks == 0 {
+			t.Fatalf("seed %d: hook never fired over 20 trials", seed)
+		}
+	}
+}
+
+// The record must be internally consistent: chosen is rank 1 and
+// TopK[0], ranks ascend, EIs descend, ties break toward the lower pool
+// index, and each candidate's Exploit+Explore reproduces its EI exactly
+// (same float operations as the acquisition argmax).
+func TestDecisionRecordConsistency(t *testing.T) {
+	s := benchSpace(t)
+	bo := NewBayesOpt(s)
+	var recs []DecisionRecord
+	bo.SetDecisionHook(func(r DecisionRecord) {
+		// TopK aliases tuner scratch; deep-copy before retaining.
+		r.TopK = append([]CandidateScore(nil), r.TopK...)
+		recs = append(recs, r)
+	})
+	runTrace(t, bo, bowl(s), 25, 7)
+	if len(recs) == 0 {
+		t.Fatal("no decision records emitted")
+	}
+	for n, r := range recs {
+		if r.Chosen.Rank != 1 {
+			t.Errorf("record %d: chosen rank %d, want 1", n, r.Chosen.Rank)
+		}
+		if len(r.TopK) == 0 || r.TopK[0] != r.Chosen {
+			t.Errorf("record %d: chosen %+v is not TopK[0] %+v", n, r.Chosen, r.TopK)
+		}
+		if len(r.TopK) > DecisionTopK {
+			t.Errorf("record %d: %d topK entries, cap is %d", n, len(r.TopK), DecisionTopK)
+		}
+		if r.Surrogate == "" || r.Candidates == 0 || r.Observations == 0 {
+			t.Errorf("record %d: missing provenance %+v", n, r)
+		}
+		for i, c := range r.TopK {
+			if c.Rank != i+1 {
+				t.Errorf("record %d topK[%d]: rank %d, want %d", n, i, c.Rank, i+1)
+			}
+			if i > 0 {
+				prev := r.TopK[i-1]
+				if c.EI > prev.EI {
+					t.Errorf("record %d topK[%d]: EI %g above rank %d's %g", n, i, c.EI, i, prev.EI)
+				}
+				if c.EI == prev.EI && c.Index < prev.Index {
+					t.Errorf("record %d topK[%d]: tie broke toward higher index (%d before %d)", n, i, prev.Index, c.Index)
+				}
+			}
+			if got := c.Exploit + c.Explore; got != c.EI {
+				t.Errorf("record %d topK[%d]: exploit %g + explore %g = %g, want EI %g", n, i, c.Exploit, c.Explore, got, c.EI)
+			}
+			if want := gp.ExpectedImprovement(c.Mean, c.Std, r.Incumbent); c.EI != want {
+				t.Errorf("record %d topK[%d]: EI %g, recomputed %g from mean/std/incumbent", n, i, c.EI, want)
+			}
+		}
+	}
+}
+
+// The pruned wrapper forwards the hook into every inner tuner it builds,
+// including rebuilds after a subspace change.
+func TestPrunedBayesOptForwardsDecisionHook(t *testing.T) {
+	s := benchSpace(t)
+	pb := NewPrunedBayesOpt(s)
+	pb.Prune = sensitivity.Config{Seed: stat.DeriveSeed(3, "prune"), MinSamples: 12, Every: 4, StableRounds: 1}
+	var surrogates []string
+	rebuilt := false
+	pb.Hook = func(trial int, dec sensitivity.Decision) {
+		if dec.Changed {
+			rebuilt = true
+		}
+	}
+	pb.SetDecisionHook(func(r DecisionRecord) { surrogates = append(surrogates, r.Surrogate) })
+	before := 0
+	rng := stat.NewRNG(3)
+	obj := bowl(s)
+	for i := 0; i < 40; i++ {
+		cfg := pb.Next(rng)
+		m := obj(cfg)
+		pb.Observe(Trial{Index: i, Config: cfg, Measurement: m, Objective: m.Runtime})
+		if !rebuilt {
+			before = len(surrogates)
+		}
+	}
+	if !rebuilt {
+		t.Skip("pruning never converged in 40 trials; rebuild path not exercised")
+	}
+	if len(surrogates) <= before {
+		t.Fatalf("no decision records after the subspace rebuild (%d before, %d total)", before, len(surrogates))
+	}
+	for _, name := range surrogates {
+		if name == "" {
+			t.Fatal("record with empty surrogate name")
+		}
+	}
+}
+
+func TestModelTarget(t *testing.T) {
+	if got, want := ModelTarget(math.E), 1.0; math.Abs(got-want) > 1e-15 {
+		t.Errorf("ModelTarget(e) = %g, want 1", got)
+	}
+	// The floor keeps failed/zero objectives finite, matching absorb.
+	if got, want := ModelTarget(0), math.Log(1e-6); got != want {
+		t.Errorf("ModelTarget(0) = %g, want %g", got, want)
+	}
+	if got := ModelTarget(-5); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("ModelTarget(-5) = %g, want finite", got)
+	}
+}
+
+func TestTopKString(t *testing.T) {
+	r := DecisionRecord{TopK: []CandidateScore{
+		{Rank: 1, EI: 0.05, Exploit: 0.03, Explore: 0.02},
+		{Rank: 2, EI: 0.04, Exploit: 0.01, Explore: 0.03},
+	}}
+	got := r.TopKString()
+	if want := "1:0.05(0.03+0.02),2:0.04(0.01+0.03)"; got != want {
+		t.Errorf("TopKString() = %q, want %q", got, want)
+	}
+	if (DecisionRecord{}).TopKString() != "" {
+		t.Error("empty record should render as empty string")
+	}
+	if n := strings.Count(got, ","); n != 1 {
+		t.Errorf("separator count = %d, want 1", n)
+	}
+}
+
+// gp.ExpectedImprovementParts edge cases: degenerate std attributes
+// everything to exploitation.
+func TestExpectedImprovementPartsDegenerate(t *testing.T) {
+	if ex, er := gp.ExpectedImprovementParts(1.0, 0, 3.0); ex != 2.0 || er != 0 {
+		t.Errorf("zero std below incumbent: got (%g,%g), want (2,0)", ex, er)
+	}
+	if ex, er := gp.ExpectedImprovementParts(5.0, 0, 3.0); ex != 0 || er != 0 {
+		t.Errorf("zero std above incumbent: got (%g,%g), want (0,0)", ex, er)
+	}
+	if ex, er := gp.ExpectedImprovementParts(5.0, -1, 3.0); ex != 0 || er != 0 {
+		t.Errorf("negative std: got (%g,%g), want (0,0)", ex, er)
+	}
+}

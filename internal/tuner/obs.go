@@ -22,6 +22,11 @@ var (
 	mAcqSeconds = obs.Default().HistogramSketched("tuner_acq_seconds",
 		"Wall time of one BayesOpt acquisition: candidate pool, batched posterior, EI argmax.",
 		obs.ExpBuckets(1e-6, 4, 12))
+	mDecisions = obs.Default().CounterVec("tuner_decisions_total",
+		"Explained EI-guided proposals (decision records), by surrogate backend.", "surrogate")
+	mDecisionEI = obs.Default().HistogramSketched("tuner_decision_ei",
+		"Chosen candidate's expected improvement (log-objective units) per decision record.",
+		obs.ExpBuckets(1e-6, 4, 14))
 
 	mGPFitSeconds = obs.Default().HistogramSketched("gp_fit_seconds",
 		"Wall time of GP model fits (hyper-grid or additive sweeps included).",

@@ -40,6 +40,10 @@ type PrunedBayesOpt struct {
 	// it runs synchronously on the session goroutine.
 	Hook func(trial int, dec sensitivity.Decision)
 
+	// decisionHook is installed on every inner tuner (SetDecisionHook),
+	// surviving the rebuilds a subspace change triggers.
+	decisionHook DecisionHook
+
 	inner    *BayesOpt
 	analyzer *sensitivity.Analyzer
 	sub      *confspace.Subspace // nil while the full space is active
@@ -92,6 +96,7 @@ func (t *PrunedBayesOpt) newInner(space *confspace.Space) *BayesOpt {
 		StopEIFrac:    t.StopEIFrac,
 		Surrogate:     t.Surrogate,
 		SurrogateSeed: t.SurrogateSeed,
+		DecisionHook:  t.decisionHook,
 	}
 }
 
