@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim bench-prune bench-diag bench-check experiments examples vet staticcheck fmt clean
+.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim bench-prune bench-diag bench-wal bench-check fuzz experiments examples vet staticcheck fmt clean
 
 all: build vet test
 
@@ -89,6 +89,24 @@ bench-diag:
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson > BENCH_diag.json
 	@echo wrote BENCH_diag.json
 
+# WAL persistence benchmarks: append throughput (async, sync-acked, and
+# group-committed with real fsyncs), 100k-record recovery replay, and
+# the snapshot-per-write baseline the WAL replaces. The acceptance
+# numbers for the persistence tier: appends must beat snapshot-per-write
+# at 10k-trial history by >=50x, recovery must stay well under a second
+# (see docs/PERFORMANCE.md).
+bench-wal:
+	$(GO) test -run '^$$' -bench 'WALAppend|WALReplay|SnapshotPerWrite' \
+		-benchmem -count=5 ./internal/wal | $(GO) run ./cmd/benchjson > BENCH_wal.json
+	@echo wrote BENCH_wal.json
+
+# Short fuzz pass over the WAL record decoder — the parser that faces
+# arbitrary on-disk bytes after a crash. CI runs the same smoke; longer
+# runs extend -fuzztime.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeRecord' -fuzztime $(FUZZTIME) ./internal/wal
+
 # Bench-regression smoke: rerun the guarded hot-path benchmarks and
 # compare their median ns/op against the committed baselines, failing on
 # a >25% regression. Fewer samples than the recording targets — this is
@@ -116,6 +134,10 @@ bench-check:
 		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > $(BENCHTMP)/diag.json
 	$(GO) run ./cmd/benchguard -old BENCH_diag.json -new $(BENCHTMP)/diag.json \
 		-guard 'BenchmarkDecisionRecordOverhead/(off|on|diagnosed)$$' -max-regress 0.25
+	$(GO) test -run '^$$' -bench 'WALAppend/async$$|WALReplay' \
+		-benchmem -count=3 ./internal/wal | $(GO) run ./cmd/benchjson > $(BENCHTMP)/wal.json
+	$(GO) run ./cmd/benchguard -old BENCH_wal.json -new $(BENCHTMP)/wal.json \
+		-guard 'BenchmarkWALAppend/async$$|BenchmarkWALReplay$$' -max-regress 0.5
 
 # Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
 experiments:

@@ -13,6 +13,8 @@
 //	tunectl events job-000001 -server http://localhost:8642   # tail a job's telemetry
 //	tunectl events job-000001 -json                           # raw JSONL, one event per line
 //	tunectl explain job-000001 -server http://localhost:8642  # tuner decision process, calibration, stalls
+//	tunectl storage -server http://localhost:8642             # persistence tier: segments, fsync latency
+//	tunectl storage -compact                                  # force a WAL compaction, then report
 //	tunectl -list
 package main
 
@@ -72,6 +74,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "explain" {
 		return runExplain(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "storage" {
+		return runStorage(args[1:], out)
 	}
 	fs := flag.NewFlagSet("tunectl", flag.ContinueOnError)
 	wlName := fs.String("workload", "wordcount", "workload: "+strings.Join(workload.Names(), ", "))

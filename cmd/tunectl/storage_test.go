@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const cannedStorageStats = `{
+  "backend": "wal", "dir": "/var/lib/tuneserve", "records": 1200, "events": 3400,
+  "eventsDropped": 2, "segments": 3, "sealedSegments": 2, "activeSegment": 7,
+  "diskBytes": 5242880, "queueDepth": 12, "queueCap": 1024, "fsyncs": 480,
+  "compactions": 4, "lastCompactionUnix": 1754600000,
+  "recoveredRecords": 900, "recoveredEvents": 256, "recoverySeconds": 0.012
+}`
+
+const cannedMetricsJSON = `{
+  "families": [
+    {"name": "wal_fsync_seconds", "kind": "histogram", "series": [
+      {"count": 480, "sum": 0.9,
+       "quantiles": {"p50": 0.0011, "p90": 0.0025, "p99": 0.0092}}
+    ]},
+    {"name": "wal_appends_total", "kind": "counter", "series": [{"value": 4600}]}
+  ]
+}`
+
+func storageTestServer(t *testing.T) (*httptest.Server, *int) {
+	t.Helper()
+	compactions := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/admin/storage":
+			fmt.Fprint(w, cannedStorageStats)
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/admin/compact":
+			compactions++
+			fmt.Fprint(w, cannedStorageStats)
+		case r.URL.Path == "/metrics" && r.URL.Query().Get("format") == "json":
+			fmt.Fprint(w, cannedMetricsJSON)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"not_found","message":"no such route"}}`)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &compactions
+}
+
+func TestStoragePretty(t *testing.T) {
+	ts, compactions := storageTestServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"storage", "-server", ts.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"backend: wal",
+		"segments:    3 (2 sealed, active #7)",
+		"disk:        5.0 MiB",
+		"appended:    1200 records, 3400 events (2 dropped)",
+		"queue:       12/1024",
+		"fsyncs:      480",
+		"compactions: 4",
+		"recovery:    900 records, 256 events in 0.012s",
+		"p50 1.100ms, p90 2.500ms, p99 9.200ms (n=480)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if *compactions != 0 {
+		t.Errorf("plain report triggered %d compactions", *compactions)
+	}
+}
+
+func TestStorageCompact(t *testing.T) {
+	ts, compactions := storageTestServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"storage", "-server", ts.URL, "-compact"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if *compactions != 1 {
+		t.Errorf("compactions = %d, want 1", *compactions)
+	}
+	if !strings.Contains(out.String(), "compaction complete (4 total)") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestStorageJSON(t *testing.T) {
+	ts, _ := storageTestServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"storage", "-server", ts.URL, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"backend": "wal"`) {
+		t.Errorf("json output = %s", out.String())
+	}
+}
+
+func TestStorageErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"code":"unavailable","message":"backend closed"}}`)
+	}))
+	t.Cleanup(ts.Close)
+	err := run([]string{"storage", "-server", ts.URL}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unavailable: backend closed") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -56,7 +56,12 @@ func main() {
 	maxQueued := fs.Int("max-queued", 0, "max unfinished jobs admitted at once (0 = unbounded)")
 	transferThreshold := fs.Float64("transfer-threshold", 0,
 		"similarity gate for cross-workload warm-starting (0 = default; >1 disables transfer for strict replayability)")
-	statePath := fs.String("state", "", "path for persisting the execution history (load on start, save asynchronously)")
+	statePath := fs.String("state", "", "path for persisting the execution history as a JSON snapshot (load on start, save asynchronously; selects the snapshot backend)")
+	dataDir := fs.String("data-dir", "", "directory for the write-ahead log (selects the wal backend: O(1) durable appends, group commit, compaction, crash recovery)")
+	backendName := fs.String("backend", "", "persistence backend: wal, snapshot, or memory (default: inferred from -data-dir / -state)")
+	fsyncInterval := fs.Duration("fsync-interval", 0, "WAL group-commit window: how long concurrent appends coalesce before one fsync (0 = 2ms)")
+	segmentBytes := fs.Int64("segment-bytes", 0, "WAL segment roll threshold in bytes (0 = 8 MiB)")
+	compactSegments := fs.Int("compact-segments", 0, "sealed WAL segments that trigger a background compaction (0 = 4; negative disables)")
 	simCache := fs.Bool("simcache", true, "memoize simulator executions across tenants (bit-identical results, content-derived seeds)")
 	simCacheCap := fs.Int("simcache-capacity", 0, "evaluation cache entry bound (0 = default)")
 	eventsCap := fs.Int("events-capacity", 0, "telemetry event ring capacity (0 = default)")
@@ -77,6 +82,11 @@ func main() {
 		MaxQueued:          *maxQueued,
 		TransferThreshold:  *transferThreshold,
 		StatePath:          *statePath,
+		DataDir:            *dataDir,
+		Backend:            *backendName,
+		FsyncInterval:      *fsyncInterval,
+		SegmentBytes:       *segmentBytes,
+		CompactSegments:    *compactSegments,
 		SimCache:           *simCache,
 		SimCacheCapacity:   *simCacheCap,
 		EventsCapacity:     *eventsCap,
@@ -140,9 +150,23 @@ type serverConfig struct {
 	// above 1 disables transfer, making results independent of how
 	// concurrent sessions interleave).
 	TransferThreshold float64
-	// StatePath, when set, persists the execution history: loaded at
-	// startup (if present) and saved asynchronously as jobs complete.
+	// StatePath, when set, persists the execution history as a whole-store
+	// JSON snapshot: loaded at startup (if present) and saved
+	// asynchronously as records land (the snapshot backend).
 	StatePath string
+	// DataDir, when set, persists history and events through the
+	// segmented write-ahead log (the wal backend).
+	DataDir string
+	// Backend forces a persistence backend ("wal", "snapshot", "memory");
+	// empty infers one from DataDir/StatePath/EventsPath.
+	Backend string
+	// FsyncInterval bounds the WAL group-commit window (0 = 2ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL segment roll threshold (0 = 8 MiB).
+	SegmentBytes int64
+	// CompactSegments is the sealed-segment count that triggers background
+	// WAL compaction (0 = 4; negative disables).
+	CompactSegments int
 	// SimCache enables the cross-tenant simulator evaluation cache
 	// (content-derived execution seeds; see core.WithSimCache).
 	SimCache bool

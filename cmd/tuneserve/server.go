@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"os"
 	"runtime/debug"
 	"strconv"
 	"strings"
@@ -20,6 +19,7 @@ import (
 	"seamlesstune/internal/obs"
 	"seamlesstune/internal/simcache"
 	"seamlesstune/internal/slo"
+	"seamlesstune/internal/storage"
 	"seamlesstune/internal/surrogate"
 	"seamlesstune/internal/workload"
 )
@@ -27,29 +27,27 @@ import (
 // server wraps a core.Service behind HTTP handlers. The service is safe
 // for concurrent use; tuning work runs on the job engine's worker pool
 // (per-tenant FIFO, distinct tenants in parallel), and the execution
-// history persists asynchronously off the request path.
+// history persists through a pluggable storage backend — WAL appends,
+// coalesced snapshots, or nothing.
 type server struct {
-	svc       *core.Service
-	mux       *http.ServeMux
-	engine    *jobs.Engine
-	statePath string
-	started   time.Time
+	svc     *core.Service
+	mux     *http.ServeMux
+	engine  *jobs.Engine
+	started time.Time
 	// tracer ring-buffers tuning spans; traces maps job IDs to their
 	// trace IDs for GET /v1/jobs/{id}/trace.
 	tracer  *obs.Tracer
 	traceMu sync.Mutex
 	traces  map[string]uint64
 	// events is the live telemetry bus: sessions publish, SSE handlers
-	// and the usage pump subscribe. eventsPath, when set, receives the
-	// ring as JSONL on shutdown.
-	events     *obs.EventLog
-	eventsPath string
-	pumpDone   chan struct{}
-	// dirty coalesces persistence requests: completed jobs mark the
-	// store dirty, the persister goroutine saves. Capacity 1 — marking
-	// an already-dirty store is a no-op.
-	dirty       chan struct{}
-	persistDone chan struct{}
+	// and the usage pump subscribe. The storage backend taps the stream
+	// via SetSink and receives the ring on shutdown via FlushEvents.
+	events   *obs.EventLog
+	pumpDone chan struct{}
+	// storage is the persistence tier: history records append through the
+	// store's persist hook, events through the log's sink, and admission
+	// control sheds submissions when it saturates.
+	storage storage.Backend
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -62,17 +60,22 @@ func newServer(cfg serverConfig) (*server, error) {
 		cache = simcache.New(cfg.SimCacheCapacity)
 		opts = append(opts, core.WithSimCache(cache))
 	}
-	if cfg.StatePath != "" {
-		store := &history.Store{}
-		if _, err := os.Stat(cfg.StatePath); err == nil {
-			if err := store.LoadFile(cfg.StatePath); err != nil {
-				return nil, fmt.Errorf("loading state %s: %w", cfg.StatePath, err)
-			}
-		}
-		opts = append(opts, core.WithStore(store))
+	backend, err := storage.Open(storage.Config{
+		Backend:         cfg.Backend,
+		DataDir:         cfg.DataDir,
+		StatePath:       cfg.StatePath,
+		EventsPath:      cfg.EventsPath,
+		FsyncInterval:   cfg.FsyncInterval,
+		SegmentBytes:    cfg.SegmentBytes,
+		CompactSegments: cfg.CompactSegments,
+	})
+	if err != nil {
+		return nil, err
 	}
+	opts = append(opts, core.WithStorage(backend))
 	svc, err := core.NewService(opts...)
 	if err != nil {
+		backend.Close()
 		return nil, err
 	}
 	workers := cfg.Workers
@@ -80,19 +83,23 @@ func newServer(cfg serverConfig) (*server, error) {
 		workers = 1
 	}
 	s := &server{
-		svc:         svc,
-		mux:         http.NewServeMux(),
-		engine:      jobs.NewEngine(workers, cfg.MaxQueued),
-		statePath:   cfg.StatePath,
-		started:     time.Now(),
-		tracer:      obs.NewTracer(obs.DefaultTraceCapacity),
-		traces:      make(map[string]uint64),
-		events:      obs.NewEventLog(cfg.EventsCapacity),
-		eventsPath:  cfg.EventsPath,
-		pumpDone:    make(chan struct{}),
-		dirty:       make(chan struct{}, 1),
-		persistDone: make(chan struct{}),
+		svc:      svc,
+		mux:      http.NewServeMux(),
+		engine:   jobs.NewEngine(workers, cfg.MaxQueued),
+		started:  time.Now(),
+		tracer:   obs.NewTracer(obs.DefaultTraceCapacity),
+		traces:   make(map[string]uint64),
+		events:   obs.NewEventLog(cfg.EventsCapacity),
+		pumpDone: make(chan struct{}),
+		storage:  backend,
 	}
+	if backend.Name() == "wal" {
+		// Tap the event stream into the WAL (asynchronous, bounded, shed
+		// at the queue bound). The snapshot backend instead receives the
+		// ring via FlushEvents at shutdown, matching its legacy contract.
+		s.events.SetSink(func(e obs.Event) { backend.AppendEvent(e) })
+	}
+	s.engine.SetBackpressure(backend.Saturated)
 	go s.usagePump()
 	if cache != nil {
 		s.engine.SetCacheStats(cache.Stats)
@@ -113,52 +120,43 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
 	s.mux.HandleFunc("GET /v1/effectiveness", s.handleEffectiveness)
-	if s.statePath != "" {
-		go s.persistLoop()
-	} else {
-		close(s.persistDone)
-	}
+	s.mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
+	s.mux.HandleFunc("GET /v1/admin/storage", s.handleStorage)
 	return s, nil
 }
 
-// Close drains the worker pool, flushes the event ring, releases every
-// SSE subscriber, and flushes any unsaved history — in that order, so
-// the flushed JSONL includes the final events of draining jobs and
-// in-flight SSE handlers return before the process exits.
+// Close drains the worker pool, flushes the event ring to the storage
+// backend, releases every SSE subscriber, and closes the backend (its
+// final flush) — in that order, so the flushed events include the final
+// ones of draining jobs and in-flight SSE handlers return before the
+// process exits.
 func (s *server) Close() {
 	s.engine.Close()
-	if s.eventsPath != "" {
-		s.flushEvents()
+	if err := s.storage.FlushEvents(s.events.Snapshot(0)); err != nil {
+		log.Printf("tuneserve: flushing events: %v", err)
 	}
 	s.events.Close()
 	<-s.pumpDone
-	if s.statePath != "" {
-		close(s.dirty)
-		<-s.persistDone
-		s.persist() // final flush: a job may have marked dirty after the last save
+	if err := s.storage.Close(); err != nil {
+		log.Printf("tuneserve: closing storage: %v", err)
 	}
 }
 
-// flushEvents writes the retained event ring to eventsPath as JSONL via
-// a temp-and-rename, mirroring the history persistence strategy.
-func (s *server) flushEvents() {
-	tmp := s.eventsPath + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		log.Printf("tuneserve: creating event flush %s: %v", tmp, err)
+// handleCompact forces a storage compaction: the WAL backend folds its
+// sealed segments into a snapshot record; the snapshot backend saves
+// synchronously. Returns the post-compaction storage stats.
+func (s *server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	if err := s.storage.Compact(); err != nil {
+		writeError(w, http.StatusInternalServerError, "compact_failed", "%v", err)
 		return
 	}
-	err = obs.WriteEventsJSONL(f, s.events.Snapshot(0))
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		log.Printf("tuneserve: flushing events to %s: %v", tmp, err)
-		return
-	}
-	if err := os.Rename(tmp, s.eventsPath); err != nil {
-		log.Printf("tuneserve: installing events %s: %v", s.eventsPath, err)
-	}
+	writeJSON(w, http.StatusOK, s.storage.Stats())
+}
+
+// handleStorage reports the storage backend's stats — the data behind
+// tunectl storage.
+func (s *server) handleStorage(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.storage.Stats())
 }
 
 // usagePump folds the event stream into the engine's per-tenant
@@ -203,6 +201,7 @@ type healthResponse struct {
 	Revision  string         `json:"revision,omitempty"`
 	Engine    jobs.Stats     `json:"engine"`
 	Events    obs.EventStats `json:"events"`
+	Storage   storage.Stats  `json:"storage"`
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -211,6 +210,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		UptimeS: time.Since(s.started).Seconds(),
 		Engine:  s.engine.Stats(),
 		Events:  s.events.Stats(),
+		Storage: s.storage.Stats(),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		resp.GoVersion = bi.GoVersion
@@ -371,13 +371,23 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (jobs.Job, bool)
 		if err != nil {
 			return nil, err
 		}
-		s.markDirty()
 		return toTuneResponse(res), nil
 	}, jobs.Options{Surrogate: resolved, Pruning: pruning, Diagnostics: s.svc.Diagnostics()})
 	if err != nil {
 		code, status := "internal", http.StatusInternalServerError
-		if err == jobs.ErrQueueFull {
+		switch err {
+		case jobs.ErrQueueFull:
 			code, status = "queue_full", http.StatusTooManyRequests
+		case jobs.ErrBackpressure:
+			// The persistence tier is saturated: shed with a retry hint
+			// instead of queueing work whose results cannot be made
+			// durable at the current rate.
+			code, status = "storage_backpressure", http.StatusTooManyRequests
+			_, retry := s.engine.Backpressure()
+			if retry <= 0 {
+				retry = time.Second
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 		}
 		writeError(w, status, code, "%v", err)
 		return jobs.Job{}, false
@@ -468,39 +478,6 @@ func (s *server) handleEffectiveness(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
-}
-
-// markDirty requests an asynchronous save of the history store.
-func (s *server) markDirty() {
-	if s.statePath == "" {
-		return
-	}
-	select {
-	case s.dirty <- struct{}{}:
-	default: // already dirty; the pending save will cover this change
-	}
-}
-
-// persistLoop serializes saves off the request path. Bursts of completed
-// jobs coalesce into one save instead of rewriting the file per tune.
-func (s *server) persistLoop() {
-	for range s.dirty {
-		s.persist()
-	}
-	close(s.persistDone)
-}
-
-// persist writes the store to a temporary file and renames it into
-// place, so a crash mid-save never corrupts the previous snapshot.
-func (s *server) persist() {
-	tmp := s.statePath + ".tmp"
-	if err := s.svc.Store().SaveFile(tmp); err != nil {
-		log.Printf("tuneserve: persisting state to %s: %v", tmp, err)
-		return
-	}
-	if err := os.Rename(tmp, s.statePath); err != nil {
-		log.Printf("tuneserve: installing state %s: %v", s.statePath, err)
-	}
 }
 
 // errorEnvelope is the uniform error shape of the API.

@@ -38,6 +38,7 @@ import (
 	"seamlesstune/internal/slo"
 	"seamlesstune/internal/spark"
 	"seamlesstune/internal/stat"
+	"seamlesstune/internal/storage"
 	"seamlesstune/internal/surrogate"
 	"seamlesstune/internal/transfer"
 	"seamlesstune/internal/tuner"
@@ -69,6 +70,12 @@ type Service struct {
 	pruning            bool
 	diagnostics        bool
 
+	// storage, when set, is the durable persistence backend: NewService
+	// recovers the store from it and hooks appends into it.
+	// recoveredEvents are the telemetry events the backend replayed.
+	storage         storage.Backend
+	recoveredEvents []obs.Event
+
 	// subMu guards subs, the per-(kind, tenant, workload) submission
 	// counters that make repeated submissions of the same workload draw
 	// distinct (but still deterministic) random streams.
@@ -90,6 +97,15 @@ func WithStore(st *history.Store) Option {
 			s.store = st
 		}
 	}
+}
+
+// WithStorage attaches a persistence backend: NewService recovers the
+// history store from it, then hooks the store so every appended record
+// is persisted as it lands. The service owns neither the backend's
+// lifecycle nor the event stream — close the backend after the service,
+// and wire the event sink separately (obs.EventLog.SetSink).
+func WithStorage(b storage.Backend) Option {
+	return func(s *Service) { s.storage = b }
 }
 
 // WithSeed seeds all service randomness (default 1).
@@ -222,8 +238,32 @@ func NewService(opts ...Option) (*Service, error) {
 		return nil, fmt.Errorf("core: unknown surrogate %q (accepted: %s)",
 			s.surrogateKind, strings.Join(surrogate.Names(), ", "))
 	}
+	if s.storage != nil {
+		// Recover before hooking: replayed records were already persisted
+		// and must not be re-appended to the backend.
+		events, err := s.storage.Recover(s.store)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering history: %w", err)
+		}
+		s.recoveredEvents = events
+		b := s.storage
+		s.store.SetPersist(func(r history.Record) {
+			// A failed append is already counted in the backend's stats;
+			// the in-memory store stays authoritative for this process.
+			_ = b.AppendRecord(r)
+		})
+	}
 	return s, nil
 }
+
+// Storage returns the attached persistence backend (nil without one).
+func (s *Service) Storage() storage.Backend { return s.storage }
+
+// RecoveredEvents returns the telemetry events the storage backend
+// replayed at construction, oldest first. They are history, not live
+// traffic: republishing them to an event log would re-stamp sequence
+// numbers and re-persist them.
+func (s *Service) RecoveredEvents() []obs.Event { return s.recoveredEvents }
 
 // Pruning returns the service-wide default for significance-aware
 // config-space pruning.

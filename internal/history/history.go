@@ -101,7 +101,22 @@ type shard struct {
 type Store struct {
 	nextSeq atomic.Int64
 	count   atomic.Int64
+	// persist, when set, observes every appended record (with its
+	// assigned sequence number) — the storage tier's write-ahead hook.
+	persist atomic.Pointer[func(Record)]
 	shards  [numShards]shard
+}
+
+// SetPersist installs fn to be called after every Append with the
+// appended record (sequence number assigned, config cloned). Passing nil
+// removes the hook. The call happens outside the shard lock, so fn may
+// block (e.g. on a group-committed fsync) without stalling other shards.
+func (s *Store) SetPersist(fn func(Record)) {
+	if fn == nil {
+		s.persist.Store(nil)
+		return
+	}
+	s.persist.Store(&fn)
 }
 
 // shardFor maps a (tenant, workload) pair to its shard.
@@ -124,6 +139,9 @@ func (s *Store) Append(r Record) Record {
 	sh.records = append(sh.records, r)
 	sh.mu.Unlock()
 	s.count.Add(1)
+	if fn := s.persist.Load(); fn != nil {
+		(*fn)(r)
+	}
 	return r
 }
 
@@ -253,8 +271,17 @@ func (s *Store) Load(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&records); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	// Records must land in each shard in ascending Seq order, whatever
-	// order the snapshot listed them in.
+	s.Reset(records)
+	return nil
+}
+
+// Reset replaces the store's contents with records — the recovery
+// entry point. Records may arrive in any order; they land in each shard
+// in ascending Seq order and the next sequence number continues past the
+// highest seen. The persist hook is not called: these records were
+// already persisted.
+func (s *Store) Reset(records []Record) {
+	records = append([]Record(nil), records...)
 	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
 	unlock := s.lockAll()
 	defer unlock()
@@ -271,10 +298,11 @@ func (s *Store) Load(r io.Reader) error {
 	}
 	s.nextSeq.Store(nextSeq)
 	s.count.Store(int64(len(records)))
-	return nil
 }
 
-// SaveFile writes the store to path.
+// SaveFile writes the store to path and fsyncs it: when SaveFile
+// returns, the bytes are durable, not merely in the page cache — the
+// half of crash safety the temp-and-rename idiom alone doesn't provide.
 func (s *Store) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -282,6 +310,9 @@ func (s *Store) SaveFile(path string) error {
 	}
 	defer f.Close()
 	if err := s.Save(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		return err
 	}
 	return f.Close()

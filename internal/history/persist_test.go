@@ -1,0 +1,91 @@
+package history
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The persist hook observes every append with its assigned sequence
+// number — the storage tier's contract.
+func TestPersistHook(t *testing.T) {
+	st := &Store{}
+	var mu sync.Mutex
+	var seen []Record
+	st.SetPersist(func(r Record) {
+		mu.Lock()
+		seen = append(seen, r)
+		mu.Unlock()
+	})
+	const n = 20
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st.Append(Record{Tenant: "t", Workload: "w", RuntimeS: float64(i)})
+		}(i)
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("hook saw %d appends, want %d", len(seen), n)
+	}
+	seqs := map[int]bool{}
+	for _, r := range seen {
+		if r.Seq < 0 || r.Seq >= n || seqs[r.Seq] {
+			t.Fatalf("hook saw bad or duplicate Seq %d", r.Seq)
+		}
+		seqs[r.Seq] = true
+	}
+	// Detaching stops the callbacks.
+	st.SetPersist(nil)
+	st.Append(Record{Tenant: "t", Workload: "w"})
+	if len(seen) != n {
+		t.Errorf("hook called after SetPersist(nil)")
+	}
+}
+
+// Reset replaces contents without invoking the persist hook (recovered
+// records are already persisted) and continues numbering past the
+// highest recovered Seq.
+func TestResetSkipsPersistHook(t *testing.T) {
+	st := &Store{}
+	calls := 0
+	st.SetPersist(func(Record) { calls++ })
+	recs := []Record{
+		{Seq: 4, Tenant: "a", Workload: "w"},
+		{Seq: 2, Tenant: "b", Workload: "w"},
+	}
+	st.Reset(recs)
+	if calls != 0 {
+		t.Errorf("Reset invoked the persist hook %d times", calls)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	got := st.Query(Filter{})
+	if got[0].Seq != 2 || got[1].Seq != 4 {
+		t.Fatalf("Reset order = %v", got)
+	}
+	next := st.Append(Record{Tenant: "c", Workload: "w"})
+	if next.Seq != 5 {
+		t.Errorf("post-Reset Seq = %d, want 5", next.Seq)
+	}
+	if calls != 1 {
+		t.Errorf("Append after Reset: hook calls = %d, want 1", calls)
+	}
+}
+
+// Reset must not alias the caller's slice.
+func TestResetCopies(t *testing.T) {
+	st := &Store{}
+	recs := []Record{{Seq: 0, Tenant: "a", Workload: "w", RuntimeS: 1}}
+	st.Reset(recs)
+	recs[0].RuntimeS = 99
+	if got := st.Query(Filter{}); got[0].RuntimeS != 1 {
+		t.Errorf("Reset aliased caller slice: %v", got[0])
+	}
+	if !reflect.DeepEqual(st.Query(Filter{}), st.Query(Filter{})) {
+		t.Error("Query not stable")
+	}
+}

@@ -1,0 +1,73 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Admission control: a saturated storage backend sheds submissions with
+// ErrBackpressure instead of queuing work whose results could not be
+// persisted, and the shed count and saturation state surface in Stats.
+func TestBackpressureShedsSubmissions(t *testing.T) {
+	e := NewEngine(1, 0)
+	defer e.Close()
+	var saturated atomic.Bool
+	e.SetBackpressure(func() (bool, time.Duration) {
+		return saturated.Load(), 2 * time.Second
+	})
+
+	j, err := e.Submit("t1", func(ctx context.Context) (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatalf("unsaturated submit rejected: %v", err)
+	}
+	if _, err := e.Wait(context.Background(), j.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	saturated.Store(true)
+	if _, err := e.Submit("t1", func(ctx context.Context) (any, error) { return 2, nil }); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("saturated submit error = %v, want ErrBackpressure", err)
+	}
+	if ok, retry := e.Backpressure(); !ok || retry != 2*time.Second {
+		t.Fatalf("Backpressure() = %v, %v", ok, retry)
+	}
+	st := e.Stats()
+	if st.Shed != 1 {
+		t.Errorf("Stats.Shed = %d, want 1", st.Shed)
+	}
+	if !st.Backpressure {
+		t.Error("Stats.Backpressure = false under saturation")
+	}
+
+	// Pressure clears; admission resumes and the flag drops.
+	saturated.Store(false)
+	j, err = e.Submit("t1", func(ctx context.Context) (any, error) { return 3, nil })
+	if err != nil {
+		t.Fatalf("submit after pressure cleared: %v", err)
+	}
+	if _, err := e.Wait(context.Background(), j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Backpressure {
+		t.Error("Stats.Backpressure still set after pressure cleared")
+	}
+}
+
+// A nil probe (the default) never sheds.
+func TestBackpressureDefaultsOff(t *testing.T) {
+	e := NewEngine(1, 0)
+	defer e.Close()
+	if ok, _ := e.Backpressure(); ok {
+		t.Error("Backpressure() = true with no probe installed")
+	}
+	j, err := e.Submit("t1", func(ctx context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Wait(context.Background(), j.ID); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -102,6 +102,10 @@ var (
 	ErrClosed    = errors.New("jobs: engine closed")
 	ErrQueueFull = errors.New("jobs: queue full")
 	ErrNotFound  = errors.New("jobs: no such job")
+	// ErrBackpressure means the persistence tier behind the engine is
+	// saturated and the submission was shed — the client should retry
+	// after the delay Backpressure reports.
+	ErrBackpressure = errors.New("jobs: storage backpressure")
 )
 
 // Engine runs submitted jobs on a fixed pool of workers with per-tenant
@@ -124,6 +128,11 @@ type Engine struct {
 	// cacheStats, when set, snapshots the shared simulator cache for
 	// Stats (see SetCacheStats).
 	cacheStats func() simcache.Stats
+	// backpressure, when set, probes the persistence tier's admission
+	// state before accepting a job (see SetBackpressure); shed counts
+	// submissions rejected by it.
+	backpressure func() (bool, time.Duration)
+	shed         int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -170,6 +179,13 @@ func (e *Engine) SubmitOpts(tenant string, task Task, opts Options) (Job, error)
 	}
 	if e.maxQueued > 0 && e.queued >= e.maxQueued {
 		return Job{}, ErrQueueFull
+	}
+	if e.backpressure != nil {
+		if saturated, _ := e.backpressure(); saturated {
+			e.shed++
+			mShed.Inc()
+			return Job{}, ErrBackpressure
+		}
 	}
 	e.nextID++
 	j := &job{

@@ -1,6 +1,8 @@
 package jobs
 
 import (
+	"time"
+
 	"seamlesstune/internal/obs"
 	"seamlesstune/internal/simcache"
 )
@@ -27,6 +29,8 @@ var (
 	mRunSeconds = obs.Default().HistogramVecSketched("jobs_run_seconds",
 		"Time from start to finish, by tenant.",
 		obs.ExpBuckets(1e-4, 4, 12), "tenant")
+	mShed = obs.Default().Counter("jobs_shed_total",
+		"Submissions rejected because the persistence tier was saturated.")
 )
 
 // Stats is a point-in-time summary of the engine, surfaced by tuneserve's
@@ -43,6 +47,35 @@ type Stats struct {
 	// Cache reports the shared simulator evaluation cache, when one is
 	// wired via SetCacheStats (nil otherwise).
 	Cache *simcache.Stats `json:"cache,omitempty"`
+	// Shed counts submissions rejected under storage backpressure;
+	// Backpressure reports whether the persistence tier is saturated
+	// right now (both zero without SetBackpressure).
+	Shed         int64 `json:"shed,omitempty"`
+	Backpressure bool  `json:"backpressure,omitempty"`
+}
+
+// SetBackpressure wires an admission probe: when fn reports saturation,
+// Submit sheds the job with ErrBackpressure instead of queueing work the
+// persistence tier cannot absorb. fn is called with the engine lock held
+// and must not block (the storage backends' probes are channel-depth
+// checks). The returned delay is surfaced by Backpressure for
+// Retry-After headers. Pass nil to detach.
+func (e *Engine) SetBackpressure(fn func() (bool, time.Duration)) {
+	e.mu.Lock()
+	e.backpressure = fn
+	e.mu.Unlock()
+}
+
+// Backpressure reports whether submissions are currently being shed and
+// the suggested client retry delay.
+func (e *Engine) Backpressure() (bool, time.Duration) {
+	e.mu.Lock()
+	fn := e.backpressure
+	e.mu.Unlock()
+	if fn == nil {
+		return false, 0
+	}
+	return fn()
 }
 
 // SetCacheStats wires a simulator-cache snapshot source into Stats, so
@@ -58,11 +91,13 @@ func (e *Engine) SetCacheStats(fn func() simcache.Stats) {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	fn := e.cacheStats
+	bp := e.backpressure
 	st := Stats{
 		Workers: e.workers,
 		Queued:  e.queued - e.running,
 		Running: e.running,
 		Jobs:    len(e.order),
+		Shed:    e.shed,
 	}
 	e.mu.Unlock()
 	// Snapshot the cache outside the engine lock: the cache has its own
@@ -70,6 +105,9 @@ func (e *Engine) Stats() Stats {
 	if fn != nil {
 		cs := fn()
 		st.Cache = &cs
+	}
+	if bp != nil {
+		st.Backpressure, _ = bp()
 	}
 	return st
 }

@@ -165,6 +165,23 @@ type EventLog struct {
 	subs      map[*EventSub]struct{}
 	closed    bool
 	dropTotal uint64
+	// sink, when set, observes every published event after its sequence
+	// number is assigned — the storage tier's append hook. It runs under
+	// the publish lock, so it must not block (WAL appends go through a
+	// bounded asynchronous queue).
+	sink func(Event)
+}
+
+// SetSink installs fn to observe every published event (with Seq and
+// TimeNS assigned), or removes it when nil. The callback runs under the
+// publish lock and must not block; drop rather than stall.
+func (l *EventLog) SetSink(fn func(Event)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = fn
+	l.mu.Unlock()
 }
 
 // DefaultEventCapacity is the ring size NewEventLog(0) uses.
@@ -202,6 +219,9 @@ func (l *EventLog) Publish(e Event) {
 		e.TimeNS = now
 	}
 	l.buf[(l.n-1)%uint64(len(l.buf))] = e
+	if l.sink != nil {
+		l.sink(e)
+	}
 	for sub := range l.subs {
 		select {
 		case sub.ch <- e:

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The sink observes every published event after sequence assignment —
+// the storage tier's tap on the telemetry stream.
+func TestEventSink(t *testing.T) {
+	l := NewEventLog(8)
+	var seen []Event
+	l.SetSink(func(e Event) { seen = append(seen, e) })
+	l.Publish(Event{Type: EventTrial, Trial: 1})
+	l.Publish(Event{Type: EventTrial, Trial: 2})
+	if len(seen) != 2 {
+		t.Fatalf("sink saw %d events, want 2", len(seen))
+	}
+	if seen[0].Seq != 1 || seen[1].Seq != 2 {
+		t.Errorf("sink saw seqs %d, %d — want 1, 2", seen[0].Seq, seen[1].Seq)
+	}
+	if seen[0].TimeNS == 0 {
+		t.Error("sink saw unstamped event")
+	}
+	l.SetSink(nil)
+	l.Publish(Event{Type: EventTrial, Trial: 3})
+	if len(seen) != 2 {
+		t.Error("sink called after SetSink(nil)")
+	}
+	// A nil log ignores SetSink.
+	var nilLog *EventLog
+	nilLog.SetSink(func(Event) {})
+}
+
+// Events encoded by the hot-path JSONL encoder round-trip through
+// encoding/json — the WAL backend's recovery path.
+func TestEventJSONLRoundTripForStorage(t *testing.T) {
+	want := Event{
+		Seq: 7, TimeNS: 123456789, Type: EventTrial, Session: "job-000001",
+		Tenant: "acme", Workload: "wordcount", Trial: 3, RuntimeS: 12.5,
+		Objective: 12.5, BestSoFar: 11.1, CostUSD: 0.25,
+	}
+	var got Event
+	if err := json.Unmarshal(want.AppendJSONL(nil), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+}

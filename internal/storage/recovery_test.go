@@ -1,0 +1,105 @@
+package storage_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"seamlesstune/internal/confspace"
+	"seamlesstune/internal/core"
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/storage"
+	"seamlesstune/internal/workload"
+)
+
+// TestKillAndRestartEquivalence is the durability acceptance bar: a
+// WAL-backed service killed mid-session (no graceful shutdown) and
+// restarted recovers a history store whose replayed trajectories are
+// DeepEqual to an uninterrupted run's — and tuning continued on the
+// recovered store stays bit-identical too, because the determinism
+// contract derives every session's randomness from stable keys, not
+// from process lifetime.
+func TestKillAndRestartEquivalence(t *testing.T) {
+	ctx := context.Background()
+	opts := func() []core.Option {
+		return []core.Option{
+			core.WithSeed(7),
+			core.WithSparkSpace(confspace.SparkSubspace(8)),
+			core.WithBudgets(5, 8),
+		}
+	}
+	regA := core.Registration{Tenant: "acme", Workload: workload.Wordcount{}, InputBytes: 2 << 30}
+	regB := core.Registration{Tenant: "beta", Workload: workload.Sort{}, InputBytes: 1 << 30}
+
+	// The uninterrupted reference: both sessions in one process.
+	ref, err := core.NewService(opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.TunePipeline(ctx, regA); err != nil {
+		t.Fatal(err)
+	}
+	midWant := ref.Store().Query(history.Filter{})
+	if _, err := ref.TunePipeline(ctx, regB); err != nil {
+		t.Fatal(err)
+	}
+	finalWant := ref.Store().Query(history.Filter{})
+
+	// The WAL-backed run: session A, then a kill — the backend is
+	// abandoned, never closed. Real fsyncs: every acknowledged append is
+	// on disk.
+	dir := t.TempDir()
+	b1, err := storage.Open(storage.Config{Backend: "wal", DataDir: dir, CompactSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, err := core.NewService(append(opts(), core.WithStorage(b1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc1.TunePipeline(ctx, regA); err != nil {
+		t.Fatal(err)
+	}
+	// Crash here: no svc1/b1 shutdown. Restart against the same dir.
+	b2, err := storage.Open(storage.Config{Backend: "wal", DataDir: dir, CompactSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := core.NewService(append(opts(), core.WithStorage(b2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := svc2.Store().Query(history.Filter{})
+	if !reflect.DeepEqual(got, midWant) {
+		t.Fatalf("recovered store diverged from uninterrupted run: %d records, want %d", len(got), len(midWant))
+	}
+	if b2.Stats().RecoveredRecords != len(midWant) {
+		t.Errorf("RecoveredRecords = %d, want %d", b2.Stats().RecoveredRecords, len(midWant))
+	}
+
+	// Tuning continues on the recovered store, identically.
+	if _, err := svc2.TunePipeline(ctx, regB); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc2.Store().Query(history.Filter{}); !reflect.DeepEqual(got, finalWant) {
+		t.Fatalf("post-recovery tuning diverged: %d records, want %d", len(got), len(finalWant))
+	}
+	b1.Close()
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And one more restart round-trips the combined history.
+	b3, err := storage.Open(storage.Config{Backend: "wal", DataDir: dir, CompactSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b3.Close()
+	st := &history.Store{}
+	if _, err := b3.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Query(history.Filter{}); !reflect.DeepEqual(got, finalWant) {
+		t.Fatalf("final recovery diverged: %d records, want %d", len(got), len(finalWant))
+	}
+}

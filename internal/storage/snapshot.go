@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/obs"
+	"seamlesstune/internal/wal"
+)
+
+// snapshotBackend is the legacy persistence strategy: the whole history
+// store rewritten as one JSON snapshot via temp-and-rename, coalescing
+// bursts of appends into one save, plus a shutdown-time events.jsonl
+// flush. The state file's bytes are identical to what the service wrote
+// before the storage tier existed; the difference is durability — the
+// temp file is fsynced before the rename and the parent directory after
+// it, so a crash right after "save returned" can no longer lose or tear
+// the snapshot.
+type snapshotBackend struct {
+	cfg Config
+
+	records atomic.Int64
+	errors  atomic.Int64
+
+	mu    sync.Mutex
+	store *history.Store
+
+	// dirty coalesces persistence requests (capacity 1 — marking an
+	// already-dirty store is a no-op); the persister goroutine saves.
+	dirty       chan struct{}
+	persistDone chan struct{}
+	closeOnce   sync.Once
+}
+
+func newSnapshotBackend(cfg Config) *snapshotBackend {
+	b := &snapshotBackend{
+		cfg:         cfg,
+		dirty:       make(chan struct{}, 1),
+		persistDone: make(chan struct{}),
+	}
+	if cfg.StatePath != "" {
+		go b.persistLoop()
+	} else {
+		close(b.persistDone)
+	}
+	return b
+}
+
+func (b *snapshotBackend) Name() string { return "snapshot" }
+
+// Recover loads the snapshot file if it exists. Events are not
+// recovered: the legacy contract flushes the ring at shutdown for
+// offline analysis, not for replay.
+func (b *snapshotBackend) Recover(st *history.Store) ([]obs.Event, error) {
+	b.mu.Lock()
+	b.store = st
+	b.mu.Unlock()
+	if b.cfg.StatePath == "" {
+		return nil, nil
+	}
+	if _, err := os.Stat(b.cfg.StatePath); err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if err := st.LoadFile(b.cfg.StatePath); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// AppendRecord marks the store dirty; the persister goroutine rewrites
+// the snapshot off the request path. The record itself is already in the
+// store — this backend persists state, not a log.
+func (b *snapshotBackend) AppendRecord(history.Record) error {
+	b.records.Add(1)
+	if b.cfg.StatePath == "" {
+		return nil
+	}
+	select {
+	case b.dirty <- struct{}{}:
+	default: // already dirty; the pending save will cover this change
+	}
+	return nil
+}
+
+// AppendEvent is a no-op: the legacy contract persists events only via
+// the shutdown flush.
+func (b *snapshotBackend) AppendEvent(obs.Event) error { return nil }
+
+// FlushEvents durably writes the retained event ring to EventsPath as
+// JSONL via temp-fsync-rename.
+func (b *snapshotBackend) FlushEvents(events []obs.Event) error {
+	if b.cfg.EventsPath == "" {
+		return nil
+	}
+	tmp := b.cfg.EventsPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = obs.WriteEventsJSONL(f, events)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, b.cfg.EventsPath); err != nil {
+		return err
+	}
+	return wal.SyncDir(filepath.Dir(b.cfg.EventsPath))
+}
+
+// Saturated never sheds: snapshot writes are already coalesced.
+func (b *snapshotBackend) Saturated() (bool, time.Duration) { return false, 0 }
+
+// Compact forces a synchronous snapshot save.
+func (b *snapshotBackend) Compact() error {
+	if b.cfg.StatePath == "" {
+		return nil
+	}
+	return b.persist()
+}
+
+func (b *snapshotBackend) Stats() Stats {
+	return Stats{
+		Backend: "snapshot",
+		Path:    b.cfg.StatePath,
+		Records: b.records.Load(),
+		Errors:  b.errors.Load(),
+	}
+}
+
+// Close stops the persister and writes a final snapshot — a record may
+// have marked the store dirty after the last coalesced save.
+func (b *snapshotBackend) Close() error {
+	var err error
+	b.closeOnce.Do(func() {
+		if b.cfg.StatePath == "" {
+			return
+		}
+		close(b.dirty)
+		<-b.persistDone
+		err = b.persist()
+	})
+	return err
+}
+
+// persistLoop serializes saves off the request path. Bursts of completed
+// jobs coalesce into one save instead of rewriting the file per tune.
+func (b *snapshotBackend) persistLoop() {
+	for range b.dirty {
+		if err := b.persist(); err != nil {
+			b.errors.Add(1)
+		}
+	}
+	close(b.persistDone)
+}
+
+// persist writes the store to a temporary file, fsyncs it, renames it
+// into place, and fsyncs the parent directory — a crash at any point
+// leaves either the old snapshot or the new one, both complete.
+func (b *snapshotBackend) persist() error {
+	b.mu.Lock()
+	st := b.store
+	b.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	tmp := b.cfg.StatePath + ".tmp"
+	if err := st.SaveFile(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, b.cfg.StatePath); err != nil {
+		return err
+	}
+	return wal.SyncDir(filepath.Dir(b.cfg.StatePath))
+}
+
+// memoryBackend persists nothing.
+type memoryBackend struct{}
+
+func (memoryBackend) Name() string                                { return "memory" }
+func (memoryBackend) Recover(*history.Store) ([]obs.Event, error) { return nil, nil }
+func (memoryBackend) AppendRecord(history.Record) error           { return nil }
+func (memoryBackend) AppendEvent(obs.Event) error                 { return nil }
+func (memoryBackend) FlushEvents([]obs.Event) error               { return nil }
+func (memoryBackend) Saturated() (bool, time.Duration)            { return false, 0 }
+func (memoryBackend) Compact() error                              { return nil }
+func (memoryBackend) Stats() Stats                                { return Stats{Backend: "memory"} }
+func (memoryBackend) Close() error                                { return nil }

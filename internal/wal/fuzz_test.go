@@ -1,0 +1,49 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecord holds the decoder to its contract on arbitrary bytes:
+// it never panics, never reads past the buffer, never accepts a frame
+// whose re-encoding differs (the checksum covers type and payload), and
+// classifies every failure as short or corrupt.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRecord(nil, 1, []byte("seed")))
+	f.Add(AppendRecord(nil, 3, nil))
+	f.Add(AppendRecord(AppendRecord(nil, 1, []byte("two")), 2, []byte("records")))
+	truncated := AppendRecord(nil, 1, []byte("torn-tail"))
+	f.Add(truncated[:len(truncated)-3])
+	corrupt := AppendRecord(nil, 2, []byte("bitrot"))
+	corrupt[len(corrupt)-1] ^= 0x01
+	f.Add(corrupt)
+	huge := AppendRecord(nil, 1, nil)
+	huge[4] = 0xff
+	huge[5] = 0xff
+	huge[6] = 0xff
+	huge[7] = 0xff // length far beyond MaxRecordBytes
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		typ, payload, n, err := DecodeRecord(b)
+		if err != nil {
+			if err != ErrShortRecord && err != ErrCorrupt {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n < recordOverhead || n > len(b) {
+			t.Fatalf("accepted frame length %d out of range [%d, %d]", n, recordOverhead, len(b))
+		}
+		if len(payload) > MaxRecordBytes {
+			t.Fatalf("accepted payload of %d bytes beyond MaxRecordBytes", len(payload))
+		}
+		// A frame the decoder accepts must be exactly what the encoder
+		// produces for (typ, payload) — no malleability.
+		if re := AppendRecord(nil, typ, payload); !bytes.Equal(re, b[:n]) {
+			t.Fatalf("decode/encode mismatch:\n got %x\nwant %x", b[:n], re)
+		}
+	})
+}

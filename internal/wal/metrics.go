@@ -1,0 +1,28 @@
+package wal
+
+import "seamlesstune/internal/obs"
+
+// WAL metrics. Appends and fsyncs are the amortization story — their
+// ratio is the achieved group-commit batch size; the fsync latency
+// sketch feeds the p50/p99 quantiles tunectl storage reports; the
+// segment and disk gauges are the compactor's effect made visible.
+var (
+	mAppends = obs.Default().Counter("wal_appends_total",
+		"Records appended to the write-ahead log.")
+	mAppendErrors = obs.Default().Counter("wal_append_errors_total",
+		"Records that reached the WAL writer but failed to persist.")
+	mAsyncDropped = obs.Default().Counter("wal_async_dropped_total",
+		"Asynchronous appends rejected at the queue bound.")
+	mFsyncs = obs.Default().Counter("wal_fsyncs_total",
+		"Group-commit fsync batches flushed to disk.")
+	mFsyncSeconds = obs.Default().HistogramSketched("wal_fsync_seconds",
+		"Latency of each group-commit fsync.", obs.ExpBuckets(1e-5, 4, 10))
+	mBatchRecords = obs.Default().HistogramSketched("wal_batch_records",
+		"Records coalesced into each group commit.", obs.ExpBuckets(1, 2, 10))
+	mQueueDepth = obs.Default().Gauge("wal_queue_depth",
+		"Appends waiting for the WAL writer.")
+	mSegments = obs.Default().Gauge("wal_segments",
+		"On-disk WAL segments, including the active one.")
+	mDiskBytes = obs.Default().Gauge("wal_disk_bytes",
+		"Total bytes across all WAL segments.")
+)

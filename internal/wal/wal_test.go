@@ -1,0 +1,319 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectAll replays dir into a slice of (typ, payload) pairs.
+func collectAll(t *testing.T, dir string) (recs []struct {
+	typ     byte
+	payload []byte
+}, st ReplayStats) {
+	t.Helper()
+	st, err := Replay(dir, func(_ uint64, typ byte, payload []byte) error {
+		recs = append(recs, struct {
+			typ     byte
+			payload []byte
+		}{typ, append([]byte(nil), payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs, st
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, 0, 100)
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%03d-%s", i, bytes.Repeat([]byte{byte(i)}, i%17)))
+		if err := l.Append(byte(1+i%3), p); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		want = append(want, p)
+	}
+	if err := l.Sync(); err != nil { // noop record; Replay must drop it
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, st := collectAll(t, dir)
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if !bytes.Equal(r.payload, want[i]) {
+			t.Fatalf("record %d payload = %q, want %q", i, r.payload, want[i])
+		}
+		if wantTyp := byte(1 + i%3); r.typ != wantTyp {
+			t.Fatalf("record %d type = %d, want %d", i, r.typ, wantTyp)
+		}
+	}
+	if st.Truncated != 0 {
+		t.Errorf("clean log replayed with %d truncated segments", st.Truncated)
+	}
+}
+
+func TestSegmentRoll(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 100)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := l.Append(1, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Stats().Segments; got < 3 {
+		t.Errorf("Segments = %d after %d oversized appends, want rolling", got, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collectAll(t, dir)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records across rolled segments, want %d", len(recs), n)
+	}
+}
+
+func TestRotateAndRemoveThrough(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	sealedThrough, err := l.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := l.Append(1, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RemoveThrough(sealedThrough); err != nil {
+		t.Fatalf("RemoveThrough: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collectAll(t, dir)
+	if len(recs) != 1 || string(recs[0].payload) != "new" {
+		t.Fatalf("after fold, replay = %+v, want just %q", recs, "new")
+	}
+}
+
+func TestRestartNeverAppendsToOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := l.Stats().ActiveIndex
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Stats().ActiveIndex; got <= gen1 {
+		t.Errorf("second generation active index = %d, want > %d", got, gen1)
+	}
+	if err := l2.Append(1, []byte("gen2")); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collectAll(t, dir)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records across generations, want 2", len(recs))
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := l.Append(1, []byte("late")); err != ErrClosed {
+		t.Errorf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := l.AppendAsync(1, []byte("late")); err != ErrClosed {
+		t.Errorf("AppendAsync after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseFlushesQueuedAsyncAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := l.AppendAsync(1, []byte{byte(i)}); err != nil {
+			t.Fatalf("AppendAsync %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collectAll(t, dir)
+	if len(recs) != n {
+		t.Fatalf("replayed %d async records after Close, want %d", len(recs), n)
+	}
+}
+
+// TestQueueBoundAndSaturation stalls the writer's fsync via the SyncFunc
+// seam, fills the bounded queue, and verifies AppendAsync fails fast
+// while Saturated trips — the admission-control contract.
+func TestQueueBoundAndSaturation(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	var stall atomic.Bool // Open fsyncs the segment header; only stall appends
+	var once sync.Once
+	blocked := make(chan struct{})
+	l, err := Open(dir, Options{
+		QueueDepth: 8,
+		SyncFunc: func(f *os.File) error {
+			if stall.Load() {
+				once.Do(func() { close(blocked) })
+				<-release
+			}
+			return f.Sync()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall.Store(true)
+	// First append occupies the writer inside the stalled fsync.
+	go l.Append(1, []byte("stall"))
+	<-blocked
+	// Fill the queue; the writer cannot drain it.
+	sawFull := false
+	for i := 0; i < 64 && !sawFull; i++ {
+		if err := l.AppendAsync(1, []byte("fill")); err == ErrQueueFull {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Error("AppendAsync never returned ErrQueueFull at the bound")
+	}
+	if !l.Saturated() {
+		t.Error("Saturated() = false with a full queue")
+	}
+	if l.Stats().AsyncDropped == 0 {
+		t.Error("Stats().AsyncDropped = 0 after shedding")
+	}
+	close(release)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitAmortization drives concurrent sync appends through a
+// slow fsync and verifies batches formed: fewer fsyncs than appends, and
+// every record durable.
+func TestGroupCommitAmortization(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{
+		FsyncInterval: time.Millisecond,
+		SyncFunc: func(f *os.File) error {
+			time.Sleep(200 * time.Microsecond) // make fsync the bottleneck
+			return f.Sync()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := l.Append(1, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != workers*per {
+		t.Errorf("Appends = %d, want %d", st.Appends, workers*per)
+	}
+	if st.Fsyncs >= st.Appends {
+		t.Errorf("no group commit: %d fsyncs for %d appends", st.Fsyncs, st.Appends)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collectAll(t, dir)
+	if len(recs) != workers*per {
+		t.Fatalf("replayed %d records, want %d", len(recs), workers*per)
+	}
+}
+
+func TestReplayMissingDir(t *testing.T) {
+	st, err := Replay(filepath.Join(t.TempDir(), "nope"), func(uint64, byte, []byte) error {
+		t.Fatal("callback on missing dir")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay on missing dir: %v", err)
+	}
+	if st.Segments != 0 || st.Records != 0 {
+		t.Errorf("missing dir stats = %+v, want zeros", st)
+	}
+}
+
+func TestRecordFraming(t *testing.T) {
+	frame := AppendRecord(nil, 7, []byte("hello"))
+	typ, payload, n, err := DecodeRecord(frame)
+	if err != nil || typ != 7 || string(payload) != "hello" || n != len(frame) {
+		t.Fatalf("round trip = (%d, %q, %d, %v)", typ, payload, n, err)
+	}
+	// Truncations of a valid frame are short, not corrupt.
+	for i := 0; i < len(frame); i++ {
+		if _, _, _, err := DecodeRecord(frame[:i]); err == nil {
+			t.Fatalf("DecodeRecord accepted %d/%d bytes", i, len(frame))
+		}
+	}
+	// A flipped payload byte fails the checksum.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, _, err := DecodeRecord(bad); err == nil {
+		t.Fatal("DecodeRecord accepted corrupt payload")
+	}
+}
