@@ -202,6 +202,11 @@ type healthResponse struct {
 	Engine    jobs.Stats     `json:"engine"`
 	Events    obs.EventStats `json:"events"`
 	Storage   storage.Stats  `json:"storage"`
+	// PersistFailures and PersistError report history records that
+	// completed in memory but failed to become durable; any failure
+	// flips Status to "degraded".
+	PersistFailures int64  `json:"persistFailures,omitempty"`
+	PersistError    string `json:"persistError,omitempty"`
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -211,6 +216,13 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Engine:  s.engine.Stats(),
 		Events:  s.events.Stats(),
 		Storage: s.storage.Stats(),
+	}
+	if n, err := s.svc.PersistHealth(); n > 0 {
+		resp.Status = "degraded"
+		resp.PersistFailures = n
+		if err != nil {
+			resp.PersistError = err.Error()
+		}
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		resp.GoVersion = bi.GoVersion

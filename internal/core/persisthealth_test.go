@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/obs"
+	"seamlesstune/internal/storage"
+)
+
+// failingBackend accepts recovery but fails every record append — the
+// sticky-error shape of a full disk or a failed WAL segment.
+type failingBackend struct {
+	err error
+}
+
+func (f failingBackend) Name() string                                { return "failing" }
+func (f failingBackend) Recover(*history.Store) ([]obs.Event, error) { return nil, nil }
+func (f failingBackend) AppendRecord(history.Record) error           { return f.err }
+func (f failingBackend) AppendEvent(obs.Event) error                 { return nil }
+func (f failingBackend) FlushEvents([]obs.Event) error               { return nil }
+func (f failingBackend) Saturated() (bool, time.Duration)            { return false, 0 }
+func (f failingBackend) Compact() error                              { return nil }
+func (f failingBackend) Stats() storage.Stats                        { return storage.Stats{Backend: "failing"} }
+func (f failingBackend) Close() error                                { return nil }
+
+// TestPersistHealthSurfacesAppendFailures: the persist hook must not
+// swallow backend errors — a record that completed in memory but never
+// became durable has to show up in PersistHealth (and from there in
+// /healthz as a degraded status).
+func TestPersistHealthSurfacesAppendFailures(t *testing.T) {
+	sticky := errors.New("disk full")
+	svc, err := NewService(WithStorage(failingBackend{err: sticky}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, last := svc.PersistHealth(); n != 0 || last != nil {
+		t.Fatalf("fresh service PersistHealth = (%d, %v), want (0, nil)", n, last)
+	}
+	for i := 0; i < 3; i++ {
+		svc.Store().Append(history.Record{Tenant: "acme", Workload: "wordcount"})
+	}
+	n, last := svc.PersistHealth()
+	if n != 3 {
+		t.Errorf("PersistHealth failures = %d, want 3", n)
+	}
+	if !errors.Is(last, sticky) {
+		t.Errorf("PersistHealth last = %v, want %v", last, sticky)
+	}
+}
+
+// TestPersistHealthHealthyPath: successful appends leave the signal
+// clean.
+func TestPersistHealthHealthyPath(t *testing.T) {
+	svc, err := NewService(WithStorage(failingBackend{err: nil}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Store().Append(history.Record{Tenant: "acme", Workload: "wordcount"})
+	if n, last := svc.PersistHealth(); n != 0 || last != nil {
+		t.Errorf("PersistHealth = (%d, %v), want (0, nil)", n, last)
+	}
+}

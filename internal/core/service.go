@@ -23,10 +23,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seamlesstune/internal/cloud"
@@ -75,6 +77,15 @@ type Service struct {
 	// recoveredEvents are the telemetry events the backend replayed.
 	storage         storage.Backend
 	recoveredEvents []obs.Event
+
+	// persistFailures counts history records the persist hook failed to
+	// make durable; lastPersistErr (under persistMu) is the most recent
+	// failure. Together they are the health signal behind /healthz's
+	// degraded status — the in-memory store stays authoritative for the
+	// process, but silent non-durability must be visible.
+	persistFailures atomic.Int64
+	persistMu       sync.Mutex
+	lastPersistErr  error
 
 	// subMu guards subs, the per-(kind, tenant, workload) submission
 	// counters that make repeated submissions of the same workload draw
@@ -248,9 +259,20 @@ func NewService(opts ...Option) (*Service, error) {
 		s.recoveredEvents = events
 		b := s.storage
 		s.store.SetPersist(func(r history.Record) {
-			// A failed append is already counted in the backend's stats;
-			// the in-memory store stays authoritative for this process.
-			_ = b.AppendRecord(r)
+			if err := b.AppendRecord(r); err != nil {
+				// The record is in the in-memory store but NOT durable
+				// (disk full, sticky WAL write error). Count it, keep the
+				// error for PersistHealth, and log — but rate-limited,
+				// because a sticky backend error fails every subsequent
+				// append.
+				n := s.persistFailures.Add(1)
+				s.persistMu.Lock()
+				s.lastPersistErr = err
+				s.persistMu.Unlock()
+				if n == 1 || n%100 == 0 {
+					log.Printf("core: persisting history record seq=%d failed (%d failures so far): %v", r.Seq, n, err)
+				}
+			}
 		})
 	}
 	return s, nil
@@ -258,6 +280,21 @@ func NewService(opts ...Option) (*Service, error) {
 
 // Storage returns the attached persistence backend (nil without one).
 func (s *Service) Storage() storage.Backend { return s.storage }
+
+// PersistHealth reports how many history records the persist hook failed
+// to make durable and the most recent failure (nil when every record
+// reached the backend). A non-zero count means completed tuning results
+// exist only in memory — the signal /healthz degrades on.
+func (s *Service) PersistHealth() (failures int64, last error) {
+	failures = s.persistFailures.Load()
+	if failures == 0 {
+		return 0, nil
+	}
+	s.persistMu.Lock()
+	last = s.lastPersistErr
+	s.persistMu.Unlock()
+	return failures, last
+}
 
 // RecoveredEvents returns the telemetry events the storage backend
 // replayed at construction, oldest first. They are history, not live

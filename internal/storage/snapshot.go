@@ -99,7 +99,14 @@ func (b *snapshotBackend) FlushEvents(events []obs.Event) error {
 	if b.cfg.EventsPath == "" {
 		return nil
 	}
-	tmp := b.cfg.EventsPath + ".tmp"
+	return writeEventsFile(b.cfg.EventsPath, events)
+}
+
+// writeEventsFile durably writes events to path as JSONL: temp file,
+// fsync, rename, parent-directory fsync — a crash at any point leaves
+// either the old file or the new one, both complete.
+func writeEventsFile(path string, events []obs.Event) error {
+	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
@@ -114,10 +121,10 @@ func (b *snapshotBackend) FlushEvents(events []obs.Event) error {
 	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, b.cfg.EventsPath); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
-	return wal.SyncDir(filepath.Dir(b.cfg.EventsPath))
+	return wal.SyncDir(filepath.Dir(path))
 }
 
 // Saturated never sheds: snapshot writes are already coalesced.

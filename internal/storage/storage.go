@@ -54,7 +54,9 @@ type Backend interface {
 	AppendEvent(e obs.Event) error
 	// FlushEvents is the shutdown hook: the caller passes the retained
 	// event ring. The snapshot backend writes it as events.jsonl; the
-	// WAL backend — whose events are already on disk — just syncs.
+	// WAL backend — whose events are already on disk — syncs, and also
+	// writes the ring when an events path is configured alongside the
+	// data directory.
 	FlushEvents(events []obs.Event) error
 	// Saturated reports whether appends are backed up, and a suggested
 	// client retry delay — the admission-control probe the job engine
@@ -108,8 +110,9 @@ type Config struct {
 	Backend string
 	// DataDir is the WAL directory (wal backend).
 	DataDir string
-	// StatePath and EventsPath are the snapshot backend's history file
-	// and shutdown event flush.
+	// StatePath is the snapshot backend's history file. EventsPath is
+	// the shutdown event flush — written by the snapshot backend and,
+	// when set alongside DataDir, by the wal backend too.
 	StatePath  string
 	EventsPath string
 	// FsyncInterval bounds the WAL group-commit window (0 = 2ms).

@@ -42,8 +42,12 @@ type walBackend struct {
 	compactions   atomic.Int64
 	lastCompact   atomic.Int64
 
-	// mu guards the recovery-bound fields and compaction exclusivity.
+	// mu guards the recovery-bound fields; compactMu serializes Compact
+	// itself — the admin endpoint and the background compactor may invoke
+	// it concurrently, and an overlapped fold could append an older
+	// snapshot after a newer one, regressing the recovered event tail.
 	mu             sync.Mutex
+	compactMu      sync.Mutex
 	store          *history.Store
 	recovered      recoveryInfo
 	compactStarted bool
@@ -54,6 +58,7 @@ type walBackend struct {
 
 	stopCompact chan struct{}
 	compactDone chan struct{}
+	closeOnce   sync.Once
 }
 
 type recoveryInfo struct {
@@ -66,11 +71,37 @@ type recoveryInfo struct {
 // history through MaxSeq plus the retained tail of the event stream.
 // Records replayed after a snapshot supersede it; records before it are
 // already folded in.
+//
+// A history too large for one WAL record is chunked: Part/Parts frame a
+// run of consecutive snapshot records, each carrying a slice of the
+// history (ascending, with the event tail on the last part) and all
+// sharing MaxSeq. Replay applies a chunked snapshot only once every part
+// has arrived; an incomplete run — the crash window of an interrupted
+// compaction — is discarded, which loses nothing because the folded
+// segments are only removed after the final part is durable. Zero values
+// (absent fields) mean the legacy single-record form.
 type walSnapshot struct {
 	MaxSeq  int              `json:"maxSeq"`
 	Records []history.Record `json:"records"`
 	Events  []obs.Event      `json:"events,omitempty"`
+	Part    int              `json:"part,omitempty"`
+	Parts   int              `json:"parts,omitempty"`
 }
+
+// walSnapshotWire is walSnapshot's encode-side twin: records are
+// pre-marshaled so chunking can budget bytes without marshaling twice.
+type walSnapshotWire struct {
+	MaxSeq  int               `json:"maxSeq"`
+	Records []json.RawMessage `json:"records"`
+	Events  []obs.Event       `json:"events,omitempty"`
+	Part    int               `json:"part,omitempty"`
+	Parts   int               `json:"parts,omitempty"`
+}
+
+// snapshotChunkBytes is the target payload size of one snapshot chunk —
+// comfortably under wal.MaxRecordBytes so framing and JSON overhead can
+// never push a chunk past the write-side bound. Variable for tests.
+var snapshotChunkBytes = 8 << 20
 
 func openWAL(cfg Config) (Backend, error) {
 	if cfg.CompactSegments == 0 {
@@ -113,6 +144,28 @@ func (w *walBackend) Recover(st *history.Store) ([]obs.Event, error) {
 	recs := make(map[int]history.Record)
 	maxSnapSeq := -1
 	var events []obs.Event
+	// applySnap folds one complete snapshot: it replaces the replayed
+	// records with the snapshot's, keeping only newer records already
+	// replayed (defensive — they can only exist if appends raced the
+	// snapshot into earlier segments), and resets the event tail.
+	applySnap := func(snap *walSnapshot) {
+		kept := make(map[int]history.Record, len(snap.Records))
+		for _, r := range snap.Records {
+			kept[r.Seq] = r
+		}
+		for seq, r := range recs {
+			if seq > snap.MaxSeq {
+				kept[seq] = r
+			}
+		}
+		recs = kept
+		maxSnapSeq = snap.MaxSeq
+		events = append(events[:0], snap.Events...)
+	}
+	// pending assembles a chunked snapshot across consecutive parts; it
+	// is applied only when complete, so a compaction that crashed mid-
+	// chunk leaves the pre-fold records (still on disk) authoritative.
+	var pending *walSnapshot
 	_, err := wal.Replay(w.cfg.DataDir, func(_ uint64, typ byte, payload []byte) error {
 		switch typ {
 		case recHistory:
@@ -137,23 +190,35 @@ func (w *walBackend) Recover(st *history.Store) ([]obs.Event, error) {
 			var snap walSnapshot
 			if json.Unmarshal(payload, &snap) != nil {
 				w.errors.Add(1)
+				pending = nil
 				return nil
 			}
-			// The snapshot folds everything through MaxSeq; keep only
-			// newer records already replayed (defensive — they can only
-			// exist if appends raced the snapshot into earlier segments).
-			kept := make(map[int]history.Record, len(snap.Records))
-			for _, r := range snap.Records {
-				kept[r.Seq] = r
+			if snap.Parts <= 1 {
+				pending = nil
+				applySnap(&snap)
+				return nil
 			}
-			for seq, r := range recs {
-				if seq > snap.MaxSeq {
-					kept[seq] = r
+			// One part of a chunked snapshot: extend the pending run if
+			// it is the expected next part, otherwise abandon the run
+			// (the pre-fold records are still in the surviving segments).
+			switch {
+			case snap.Part == 1:
+				pending = &snap
+			case pending != nil && snap.Part == pending.Part+1 &&
+				snap.Parts == pending.Parts && snap.MaxSeq == pending.MaxSeq:
+				pending.Part = snap.Part
+				pending.Records = append(pending.Records, snap.Records...)
+				if len(snap.Events) > 0 {
+					pending.Events = snap.Events
 				}
+			default:
+				pending = nil
+				w.errors.Add(1)
 			}
-			recs = kept
-			maxSnapSeq = snap.MaxSeq
-			events = append(events[:0], snap.Events...)
+			if pending != nil && pending.Part == pending.Parts {
+				applySnap(pending)
+				pending = nil
+			}
 		}
 		return nil
 	})
@@ -227,19 +292,34 @@ func (w *walBackend) AppendEvent(e obs.Event) error {
 }
 
 // FlushEvents syncs the log; the events themselves were appended as they
-// were published.
-func (w *walBackend) FlushEvents([]obs.Event) error { return w.log.Sync() }
+// were published. When the configuration also names an events file
+// (-events-out alongside -data-dir), the passed ring is additionally written
+// there as JSONL — the flag is honored, not silently ignored.
+func (w *walBackend) FlushEvents(events []obs.Event) error {
+	if err := w.log.Sync(); err != nil {
+		return err
+	}
+	if w.cfg.EventsPath == "" {
+		return nil
+	}
+	return writeEventsFile(w.cfg.EventsPath, events)
+}
 
 // Saturated reports the WAL queue's admission state.
 func (w *walBackend) Saturated() (bool, time.Duration) {
 	return w.log.Saturated(), time.Second
 }
 
-// Compact folds all sealed segments into one snapshot record — the full
-// history plus the retained event tail — then deletes them, bounding
-// disk usage and recovery time. Crash-safe at every step: until the old
-// segments are removed, replay deduplicates against the snapshot.
+// Compact folds all sealed segments into a snapshot — the full history
+// plus the retained event tail, chunked into as many records as its size
+// requires — then deletes them, bounding disk usage and recovery time.
+// Crash-safe at every step: the folded segments are removed only after
+// every chunk has appended durably, and until then replay deduplicates
+// against (or, for an incomplete chunk run, discards) the snapshot.
+// Concurrent invocations serialize.
 func (w *walBackend) Compact() error {
+	w.compactMu.Lock()
+	defer w.compactMu.Unlock()
 	w.mu.Lock()
 	st := w.store
 	w.mu.Unlock()
@@ -252,21 +332,45 @@ func (w *walBackend) Compact() error {
 	}
 	records := st.Query(history.Filter{})
 	maxSeq := -1
-	for _, r := range records {
+	raw := make([]json.RawMessage, len(records))
+	for i, r := range records {
 		if r.Seq > maxSeq {
 			maxSeq = r.Seq
 		}
+		if raw[i], err = json.Marshal(r); err != nil {
+			return err
+		}
 	}
-	payload, err := json.Marshal(walSnapshot{
-		MaxSeq:  maxSeq,
-		Records: records,
-		Events:  w.ring.snapshot(),
-	})
-	if err != nil {
-		return err
+	// Chunk by byte budget so no snapshot record outgrows the WAL's
+	// write-side bound; the event tail rides the final chunk.
+	chunks := [][]json.RawMessage{nil}
+	chunkBytes := 0
+	for _, rm := range raw {
+		last := len(chunks) - 1
+		if len(chunks[last]) > 0 && chunkBytes+len(rm) > snapshotChunkBytes {
+			chunks = append(chunks, nil)
+			last++
+			chunkBytes = 0
+		}
+		chunks[last] = append(chunks[last], rm)
+		chunkBytes += len(rm) + 1
 	}
-	if err := w.log.Append(recSnapshot, payload); err != nil {
-		return err
+	parts := len(chunks)
+	for i, c := range chunks {
+		snap := walSnapshotWire{MaxSeq: maxSeq, Records: c, Part: i + 1, Parts: parts}
+		if parts == 1 {
+			snap.Part, snap.Parts = 0, 0 // legacy single-record form
+		}
+		if i == parts-1 {
+			snap.Events = w.ring.snapshot()
+		}
+		payload, err := json.Marshal(snap)
+		if err != nil {
+			return err
+		}
+		if err := w.log.Append(recSnapshot, payload); err != nil {
+			return err
+		}
 	}
 	if err := w.log.RemoveThrough(sealedThrough); err != nil {
 		return err
@@ -329,20 +433,22 @@ func (w *walBackend) Stats() Stats {
 	return st
 }
 
-// Close stops the compactor and flushes and closes the log.
+// Close stops the compactor and flushes and closes the log. Idempotent
+// and safe for concurrent callers; only the first call reports the
+// close error.
 func (w *walBackend) Close() error {
-	w.mu.Lock()
-	started := w.compactStarted
-	w.mu.Unlock()
-	select {
-	case <-w.stopCompact:
-	default:
+	var err error
+	w.closeOnce.Do(func() {
+		w.mu.Lock()
+		started := w.compactStarted
+		w.mu.Unlock()
 		close(w.stopCompact)
-	}
-	if started {
-		<-w.compactDone
-	}
-	return w.log.Close()
+		if started {
+			<-w.compactDone
+		}
+		err = w.log.Close()
+	})
+	return err
 }
 
 // eventRing retains the most recent events for compaction snapshots.

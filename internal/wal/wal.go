@@ -74,10 +74,16 @@ func (o *Options) fill() {
 
 // ErrClosed reports an append against a closed log; ErrQueueFull an
 // AppendAsync rejected at the queue bound (the caller's record is NOT
-// durable — shed or retry).
+// durable — shed or retry); ErrTooLarge a payload beyond MaxRecordBytes.
+// The size bound is enforced here, on the write side, because replay
+// treats oversized lengths as corruption: a record that slipped past it
+// would be written "successfully" and then silently truncate recovery
+// at its offset — the worst possible failure mode for a durability
+// layer. (It would also overflow the uint32 length field past 4 GiB.)
 var (
 	ErrClosed    = fmt.Errorf("wal: log closed")
 	ErrQueueFull = fmt.Errorf("wal: append queue full")
+	ErrTooLarge  = fmt.Errorf("wal: record payload exceeds %d bytes", MaxRecordBytes)
 )
 
 // SegmentInfo describes one on-disk segment.
@@ -270,6 +276,9 @@ func (l *Log) Append(typ byte, payload []byte) error {
 	if l.closed.Load() {
 		return ErrClosed
 	}
+	if len(payload) > MaxRecordBytes {
+		return ErrTooLarge
+	}
 	frame := l.encode(typ, payload)
 	req := request{frame: frame, done: make(chan error, 1)}
 	select {
@@ -299,6 +308,9 @@ func (l *Log) Append(typ byte, payload []byte) error {
 func (l *Log) AppendAsync(typ byte, payload []byte) error {
 	if l.closed.Load() {
 		return ErrClosed
+	}
+	if len(payload) > MaxRecordBytes {
+		return ErrTooLarge
 	}
 	frame := l.encode(typ, payload)
 	select {

@@ -298,6 +298,36 @@ func TestReplayMissingDir(t *testing.T) {
 	}
 }
 
+// TestAppendRejectsOversizedPayload holds the write side to the replay
+// side's record bound: a payload beyond MaxRecordBytes must fail the
+// append — never be written "successfully" only to be treated as
+// corruption (and silently truncate the log) at the next recovery.
+func TestAppendRejectsOversizedPayload(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, MaxRecordBytes+1)
+	if err := l.Append(1, big); err != ErrTooLarge {
+		t.Fatalf("Append(oversized) = %v, want ErrTooLarge", err)
+	}
+	if err := l.AppendAsync(1, big); err != ErrTooLarge {
+		t.Fatalf("AppendAsync(oversized) = %v, want ErrTooLarge", err)
+	}
+	// The rejection is not sticky: the log stays usable.
+	if err := l.Append(1, []byte("still fine")); err != nil {
+		t.Fatalf("Append after rejection: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collectAll(t, dir)
+	if len(recs) != 1 || string(recs[0].payload) != "still fine" {
+		t.Fatalf("replayed %d records, want only the in-bounds one", len(recs))
+	}
+}
+
 func TestRecordFraming(t *testing.T) {
 	frame := AppendRecord(nil, 7, []byte("hello"))
 	typ, payload, n, err := DecodeRecord(frame)
