@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim bench-prune bench-diag bench-wal bench-check fuzz experiments examples vet staticcheck fmt clean
+.PHONY: all check build test test-short test-race cover bench bench-substrate bench-obs bench-sim bench-prune bench-diag bench-wal bench-telemetry bench-check fuzz experiments examples vet staticcheck fmt clean
 
 all: build vet test
 
@@ -59,7 +59,7 @@ bench-substrate:
 # span primitives, alongside BayesOptStep as the macro-level guard that
 # instrumentation stays under its <5% budget (see docs/OBSERVABILITY.md).
 bench-obs:
-	$(GO) test -run '^$$' -bench 'ObsOverhead|BayesOptStep' \
+	$(GO) test -run '^$$' -bench 'ObsOverhead|^BenchmarkBayesOptStep$$' \
 		-benchmem -count=5 ./internal/obs . | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@echo wrote BENCH_obs.json
 
@@ -100,6 +100,16 @@ bench-wal:
 		-benchmem -count=5 ./internal/wal | $(GO) run ./cmd/benchjson > BENCH_wal.json
 	@echo wrote BENCH_wal.json
 
+# Telemetry-tier benchmarks: the per-interval registry snapshot, range
+# queries over 1h and 24h of history, and a full default-rule alert
+# evaluation — alongside BayesOptStep as the denominator. The acceptance
+# number for the telemetry tier: snapshot + alert eval per 1s interval
+# must stay under 1% of one BayesOptStep (see docs/OBSERVABILITY.md).
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'TelemetrySnapshot|TelemetryRangeQuery|AlertEval|^BenchmarkBayesOptStep$$' \
+		-benchmem -count=5 ./internal/telemetry . | $(GO) run ./cmd/benchjson > BENCH_telemetry.json
+	@echo wrote BENCH_telemetry.json
+
 # Short fuzz pass over the WAL record decoder — the parser that faces
 # arbitrary on-disk bytes after a crash. CI runs the same smoke; longer
 # runs extend -fuzztime.
@@ -138,6 +148,10 @@ bench-check:
 		-benchmem -count=3 ./internal/wal | $(GO) run ./cmd/benchjson > $(BENCHTMP)/wal.json
 	$(GO) run ./cmd/benchguard -old BENCH_wal.json -new $(BENCHTMP)/wal.json \
 		-guard 'BenchmarkWALAppend/async$$|BenchmarkWALReplay$$' -max-regress 0.5
+	$(GO) test -run '^$$' -bench 'TelemetrySnapshot$$|AlertEval$$' \
+		-benchmem -count=3 ./internal/telemetry | $(GO) run ./cmd/benchjson > $(BENCHTMP)/telemetry.json
+	$(GO) run ./cmd/benchguard -old BENCH_telemetry.json -new $(BENCHTMP)/telemetry.json \
+		-guard 'BenchmarkTelemetrySnapshot$$|BenchmarkAlertEval$$' -max-regress 0.25
 
 # Regenerate every paper artifact (T1, F1-F3, C1-C12, T1X, A1).
 experiments:

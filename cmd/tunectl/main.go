@@ -15,6 +15,8 @@
 //	tunectl explain job-000001 -server http://localhost:8642  # tuner decision process, calibration, stalls
 //	tunectl storage -server http://localhost:8642             # persistence tier: segments, fsync latency
 //	tunectl storage -compact                                  # force a WAL compaction, then report
+//	tunectl top -server http://localhost:8642                 # live ops view: throughput, queue, fsync p99, alerts
+//	tunectl alerts -server http://localhost:8642              # alert rules and their lifecycle states
 //	tunectl -list
 package main
 
@@ -77,6 +79,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "storage" {
 		return runStorage(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "top" {
+		return runTop(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "alerts" {
+		return runAlerts(args[1:], out)
 	}
 	fs := flag.NewFlagSet("tunectl", flag.ContinueOnError)
 	wlName := fs.String("workload", "wordcount", "workload: "+strings.Join(workload.Names(), ", "))

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seamlesstune/internal/telemetry"
+)
+
+// fakeTelemetryServer serves canned /v1/query and /v1/alerts responses
+// shaped like tuneserve's.
+func fakeTelemetryServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		metric := r.URL.Query().Get("metric")
+		if metric == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":{"code":"invalid_argument","message":"metric is required"}}`)
+			return
+		}
+		now := time.Now().UnixMilli()
+		fmt.Fprintf(w, `{"metric":%q,"series":[`+
+			`{"metric":%q,"labels":{"tenant":"acme"},"points":[{"t":%d,"avg":1.5,"min":1,"max":2,"last":2,"count":4},{"t":%d,"avg":2.5,"min":2,"max":3,"last":3,"count":4}]},`+
+			`{"metric":%q,"labels":{"tenant":"beta"},"points":[{"t":%d,"avg":0.5,"min":0,"max":1,"last":1,"count":4}]}]}`,
+			metric, metric, now-10_000, now-5_000, metric, now-10_000)
+	})
+	mux.HandleFunc("GET /v1/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, `{"firing":1,"alerts":[`+
+			`{"name":"fsync-p99-high","severity":"warn","kind":"threshold","state":"firing","sinceNS":%d,"value":0.12,"detail":"wal_fsync_seconds:p99 > 0.05 over 1m0s"},`+
+			`{"name":"job-queue-backlog","severity":"warn","kind":"threshold","state":"inactive","value":0,"detail":"jobs_queue_depth > 32 over 1m0s"}]}`,
+			time.Now().Add(-time.Minute).UnixNano())
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunTopRendersFrame(t *testing.T) {
+	srv := fakeTelemetryServer(t)
+	var out strings.Builder
+	if err := runTop([]string{"-server", srv.URL, "-count", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"jobs finished/s", "queue depth", "fsync p99",
+		"alerts: 1 firing", "fsync-p99-high", "firing",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame missing %q:\n%s", want, got)
+		}
+	}
+	// Same-window averages sum across series: 1.5 + 0.5 = 2.0 in the
+	// first window, so the current value column reflects the last window.
+	if !strings.Contains(got, "2.50") {
+		t.Errorf("current value not rendered:\n%s", got)
+	}
+	// The inactive rule stays out of the alert list.
+	if strings.Contains(got, "job-queue-backlog") {
+		t.Errorf("inactive rule rendered:\n%s", got)
+	}
+}
+
+func TestRunAlertsTableAndJSON(t *testing.T) {
+	srv := fakeTelemetryServer(t)
+	var out strings.Builder
+	if err := runAlerts([]string{"-server", srv.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1 firing / 2 rules") {
+		t.Errorf("summary line wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "! [warn") {
+		t.Errorf("firing marker missing:\n%s", got)
+	}
+	if !strings.Contains(got, "job-queue-backlog") {
+		t.Errorf("table omits inactive rules:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runAlerts([]string{"-server", srv.URL, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"firing": 1`) {
+		t.Errorf("json output wrong:\n%s", out.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 8); got != strings.Repeat("·", 8) {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := sparkline([]float64{0, 1, 2, 3}, 8)
+	if len([]rune(got)) != 8 {
+		t.Errorf("width = %d runes, want 8: %q", len([]rune(got)), got)
+	}
+	if !strings.HasPrefix(got, "····") {
+		t.Errorf("missing left padding: %q", got)
+	}
+	if !strings.HasSuffix(got, "█") {
+		t.Errorf("max value should render full block: %q", got)
+	}
+	// Flat series renders low blocks, not a divide-by-zero artifact.
+	flat := sparkline([]float64{5, 5, 5}, 3)
+	if flat != "▁▁▁" {
+		t.Errorf("flat series = %q", flat)
+	}
+	// Longer than width keeps the newest values.
+	long := sparkline([]float64{9, 0, 0, 0}, 3)
+	if strings.ContainsRune(long, '█') {
+		t.Errorf("stale max leaked into window: %q", long)
+	}
+}
+
+func TestFlattenAvg(t *testing.T) {
+	series := []telemetry.SeriesResult{
+		{Points: []telemetry.Point{{T: 1000, Avg: 1}, {T: 2000, Avg: 2}}},
+		{Points: []telemetry.Point{{T: 1000, Avg: 10}, {T: 2000, Avg: 20}}},
+	}
+	got := flattenAvg(series)
+	if len(got) != 2 || got[0] != 11 || got[1] != 22 {
+		t.Errorf("flattenAvg = %v, want [11 22]", got)
+	}
+}
+
+func TestQueryRangeErrorEnvelope(t *testing.T) {
+	srv := fakeTelemetryServer(t)
+	if _, err := queryRange(srv.URL, "", time.Now().Add(-time.Minute), time.Now(), time.Second); err == nil ||
+		!strings.Contains(err.Error(), "metric is required") {
+		t.Errorf("error envelope not decoded: %v", err)
+	}
+}

@@ -34,11 +34,26 @@ const dashboardHTML = `<!DOCTYPE html>
   .kpi b { display:block; font-size:16px; } .kpi span { color:var(--dim); font-size:12px; }
   .viol { color:var(--bad); font-size:12px; margin-top:8px; white-space:pre-wrap; }
   #empty { color:var(--dim); }
+  #ops { background:var(--panel); border-radius:8px; padding:10px 14px; margin-bottom:14px; }
+  #ops .charts { display:flex; gap:14px; flex-wrap:wrap; }
+  #ops canvas { height:56px; }
+  #ops .chart .v { font-size:13px; }
+  #alerts { margin-top:8px; font-size:12px; }
+  #alerts .firing { color:var(--bad); }
+  #alerts .pending { color:#e8c268; }
 </style>
 </head>
 <body>
 <h1>seamlesstune <span>live tuning telemetry</span></h1>
 <div id="status">connecting…</div>
+<div id="ops">
+  <div class="charts">
+    <div class="chart"><div class="t">jobs finished/s <span class="v" data-o="v-jobs"></span></div><canvas data-o="jobs_finished_total" width="520" height="112"></canvas></div>
+    <div class="chart"><div class="t">queue depth <span class="v" data-o="v-queue"></span></div><canvas data-o="jobs_queue_depth" width="520" height="112"></canvas></div>
+    <div class="chart"><div class="t">fsync p99 (ms) <span class="v" data-o="v-fsync"></span></div><canvas data-o="wal_fsync_seconds:p99" width="520" height="112"></canvas></div>
+  </div>
+  <div id="alerts"></div>
+</div>
 <div id="sessions"><p id="empty">No sessions yet — submit a job with POST /v1/jobs.</p></div>
 <script>
 "use strict";
@@ -176,9 +191,48 @@ setInterval(() => {
   sessions.forEach(s => { if (s.dirty) { s.dirty = false; draw(s); } });
 }, 200);
 
+// Ops strip: sparklines come from the server's durable time-series
+// store (/v1/query) instead of in-page accumulation, so a freshly
+// opened page — or a restarted server — shows real history at once.
+const opsScales = { "jobs_finished_total": 1, "jobs_queue_depth": 1, "wal_fsync_seconds:p99": 1000 };
+const opsValues = { "jobs_finished_total": "v-jobs", "jobs_queue_depth": "v-queue", "wal_fsync_seconds:p99": "v-fsync" };
+function spark(canvas, pts, scale) {
+  const ctx = canvas.getContext("2d");
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  if (!pts.length) return "–";
+  const vals = pts.map(p => p.avg * scale);
+  line(ctx, vals.map((v, i) => [i + 1, v]), vals.length, Math.min(...vals, 0), Math.max(...vals, 1e-9), "#5ab0f7");
+  return vals[vals.length - 1].toFixed(2);
+}
+async function refreshOps() {
+  const now = Math.floor(Date.now() / 1000);
+  for (const canvas of document.querySelectorAll("#ops canvas")) {
+    const metric = canvas.dataset.o;
+    try {
+      const r = await fetch("/v1/query?metric=" + encodeURIComponent(metric) +
+        "&from=" + (now - 300) + "&to=" + now + "&step=5s");
+      const q = await r.json();
+      const pts = (q.series && q.series.length) ? q.series[0].points : [];
+      const cur = spark(canvas, pts, opsScales[metric] || 1);
+      document.querySelector('[data-o="' + opsValues[metric] + '"]').textContent = cur;
+    } catch (_) { /* server briefly away; the next tick retries */ }
+  }
+  try {
+    const r = await fetch("/v1/alerts");
+    const a = await r.json();
+    const active = (a.alerts || []).filter(x => x.state !== "inactive");
+    document.getElementById("alerts").innerHTML = active.length
+      ? active.map(x => '<span class="' + x.state + '">' + (x.state === "firing" ? "🔥 " : "⏳ ") +
+          x.name + " (" + x.severity + ", " + x.state + ")</span>").join(" · ")
+      : (a.firing === 0 ? "alerts: all clear" : "");
+  } catch (_) {}
+}
+refreshOps();
+setInterval(refreshOps, 5000);
+
 const status = document.getElementById("status");
 const src = new EventSource("/v1/events");
-["session_start","trial","execution","prune","decide","model_health","stall","slo_violation","session_end"].forEach(
+["session_start","trial","execution","prune","decide","model_health","stall","slo_violation","session_end","alert"].forEach(
   t => src.addEventListener(t, onEvent));
 src.onopen = () => { status.textContent = "streaming /v1/events"; status.className = "live"; };
 src.onerror = () => { status.textContent = "stream interrupted — retrying"; status.className = "down"; };

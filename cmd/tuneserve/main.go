@@ -21,6 +21,8 @@
 //	GET  /v1/workloads       registered (tenant, workload) pairs
 //	GET  /v1/history         ?tenant=&workload=&limit=
 //	GET  /v1/effectiveness   ?tenant=&workload=
+//	GET  /v1/query           ?metric=&from=&to=&step= range query over the embedded telemetry time-series store
+//	GET  /v1/alerts          every alert rule's lifecycle state (firing first)
 //	GET  /healthz            readiness: uptime, build info, worker-pool and event-bus occupancy
 //	GET  /metrics            Prometheus text exposition (?format=json for the JSON mirror with sketch quantiles)
 //
@@ -66,6 +68,9 @@ func main() {
 	simCacheCap := fs.Int("simcache-capacity", 0, "evaluation cache entry bound (0 = default)")
 	eventsCap := fs.Int("events-capacity", 0, "telemetry event ring capacity (0 = default)")
 	eventsOut := fs.String("events-out", "", "path to flush the telemetry event ring to as JSONL on shutdown")
+	telemetryInterval := fs.Duration("telemetry-interval", time.Second, "metrics sampling period of the embedded time-series store (raw tier resolution)")
+	telemetryRetention := fs.Duration("telemetry-retention", 24*time.Hour, "how far back the coarsest telemetry rollup tier retains history")
+	alertRules := fs.String("alert-rules", "", "path to a JSON alert rules file (empty = built-in defaults: telemetry loss, fsync latency, queue backlog, SLO burn rate)")
 	surrogateKind := fs.String("surrogate", "", "default surrogate model for BayesOpt sessions: gp (exact, default), rffgp, or forest; per-request \"surrogate\" overrides")
 	prune := fs.Bool("prune", false, "enable significance-aware config-space pruning for every stage-2 session (per-request \"pruning\" opts in individually)")
 	diagnostics := fs.Bool("diagnostics", true, "publish tuner explainability diagnostics (decide/model_health/stall events, /v1/jobs/{id}/explain); trajectories are identical either way")
@@ -91,6 +96,9 @@ func main() {
 		SimCacheCapacity:   *simCacheCap,
 		EventsCapacity:     *eventsCap,
 		EventsPath:         *eventsOut,
+		TelemetryInterval:  *telemetryInterval,
+		TelemetryRetention: *telemetryRetention,
+		AlertRules:         *alertRules,
 		Surrogate:          *surrogateKind,
 		Pruning:            *prune,
 		DisableDiagnostics: !*diagnostics,
@@ -177,6 +185,13 @@ type serverConfig struct {
 	// EventsPath, when set, flushes the event ring to a JSONL file on
 	// shutdown, so a session's telemetry survives the process.
 	EventsPath string
+	// TelemetryInterval is the embedded time-series store's sampling
+	// period (0 = 1s); TelemetryRetention bounds its coarsest rollup
+	// tier's history (0 = 24h).
+	TelemetryInterval  time.Duration
+	TelemetryRetention time.Duration
+	// AlertRules names a JSON alert rules file ("" = built-in defaults).
+	AlertRules string
 	// Surrogate sets the server-wide default model backend for BayesOpt
 	// sessions ("" = exact gp); individual requests may override it.
 	Surrogate string

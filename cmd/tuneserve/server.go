@@ -21,6 +21,7 @@ import (
 	"seamlesstune/internal/slo"
 	"seamlesstune/internal/storage"
 	"seamlesstune/internal/surrogate"
+	"seamlesstune/internal/telemetry"
 	"seamlesstune/internal/workload"
 )
 
@@ -48,6 +49,11 @@ type server struct {
 	// store's persist hook, events through the log's sink, and admission
 	// control sheds submissions when it saturates.
 	storage storage.Backend
+	// telemetry samples the metrics registry into the embedded
+	// time-series store behind /v1/query; alerts evaluates the rule set
+	// on every sample and surfaces lifecycle state on /v1/alerts.
+	telemetry *telemetry.Store
+	alerts    *telemetry.Engine
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -104,6 +110,41 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cache != nil {
 		s.engine.SetCacheStats(cache.Stats)
 	}
+	// Telemetry tier: restore rollup history from the backend's replay,
+	// then persist newly sealed buckets through it, and let compaction
+	// snapshots carry the full sealed state forward. The alert engine
+	// evaluates on every sample and publishes transitions onto the event
+	// bus (and from there the SSE stream and the WAL sink).
+	tel := telemetry.NewStore(telemetry.Config{
+		Interval:  cfg.TelemetryInterval,
+		Retention: cfg.TelemetryRetention,
+	})
+	recovered := backend.RecoveredTelemetry()
+	tel.Restore(recovered)
+	tel.SetPersist(backend.AppendTelemetry)
+	backend.SetTelemetrySource(tel.PersistedState)
+	rules, err := telemetry.LoadRules(cfg.AlertRules)
+	if err != nil {
+		s.shutdownPartial()
+		return nil, fmt.Errorf("loading alert rules: %w", err)
+	}
+	alerts, err := telemetry.NewEngine(tel, rules)
+	if err != nil {
+		s.shutdownPartial()
+		return nil, fmt.Errorf("alert rules: %w", err)
+	}
+	alerts.SetSink(s.events.Publish)
+	tel.OnSample(alerts.Eval)
+	if len(recovered) > 0 {
+		// Replay restored history through the rules silently, then emit a
+		// single firing event per rule still firing — a restart inside an
+		// incident re-pages once instead of replaying the flap history.
+		now := time.Now()
+		alerts.Rearm(now.Add(-time.Hour), now, tel.TierWidths()[2])
+	}
+	tel.Start()
+	s.telemetry = tel
+	s.alerts = alerts
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
@@ -122,7 +163,18 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /v1/effectiveness", s.handleEffectiveness)
 	s.mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /v1/admin/storage", s.handleStorage)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
 	return s, nil
+}
+
+// shutdownPartial unwinds a half-constructed server on a newServer error
+// path: the engine, the event bus, the usage pump, and the backend.
+func (s *server) shutdownPartial() {
+	s.engine.Close()
+	s.events.Close()
+	<-s.pumpDone
+	s.storage.Close()
 }
 
 // Close drains the worker pool, flushes the event ring to the storage
@@ -131,6 +183,11 @@ func newServer(cfg serverConfig) (*server, error) {
 // ones of draining jobs and in-flight SSE handlers return before the
 // process exits.
 func (s *server) Close() {
+	// Stop sampling first: a graceful stop loses at most the open (<1
+	// window) bucket per tier — everything sealed is already queued.
+	if s.telemetry != nil {
+		s.telemetry.Stop()
+	}
 	s.engine.Close()
 	if err := s.storage.FlushEvents(s.events.Snapshot(0)); err != nil {
 		log.Printf("tuneserve: flushing events: %v", err)
@@ -202,6 +259,11 @@ type healthResponse struct {
 	Engine    jobs.Stats     `json:"engine"`
 	Events    obs.EventStats `json:"events"`
 	Storage   storage.Stats  `json:"storage"`
+	// Telemetry summarizes the embedded time-series store (the storage
+	// block's telemetryBlocks/telemetryDropped count its durable side);
+	// AlertsFiring is the number of alert rules currently firing.
+	Telemetry    telemetry.Stats `json:"telemetry"`
+	AlertsFiring int             `json:"alertsFiring,omitempty"`
 	// PersistFailures and PersistError report history records that
 	// completed in memory but failed to become durable; any failure
 	// flips Status to "degraded".
@@ -211,11 +273,13 @@ type healthResponse struct {
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := healthResponse{
-		Status:  "ok",
-		UptimeS: time.Since(s.started).Seconds(),
-		Engine:  s.engine.Stats(),
-		Events:  s.events.Stats(),
-		Storage: s.storage.Stats(),
+		Status:       "ok",
+		UptimeS:      time.Since(s.started).Seconds(),
+		Engine:       s.engine.Stats(),
+		Events:       s.events.Stats(),
+		Storage:      s.storage.Stats(),
+		Telemetry:    s.telemetry.Stats(),
+		AlertsFiring: s.alerts.Firing(),
 	}
 	if n, err := s.svc.PersistHealth(); n > 0 {
 		resp.Status = "degraded"

@@ -21,6 +21,9 @@ func (f failingBackend) Recover(*history.Store) ([]obs.Event, error) { return ni
 func (f failingBackend) AppendRecord(history.Record) error           { return f.err }
 func (f failingBackend) AppendEvent(obs.Event) error                 { return nil }
 func (f failingBackend) FlushEvents([]obs.Event) error               { return nil }
+func (f failingBackend) AppendTelemetry([]byte) error                { return nil }
+func (f failingBackend) RecoveredTelemetry() [][]byte                { return nil }
+func (f failingBackend) SetTelemetrySource(func() [][]byte)          {}
 func (f failingBackend) Saturated() (bool, time.Duration)            { return false, 0 }
 func (f failingBackend) Compact() error                              { return nil }
 func (f failingBackend) Stats() storage.Stats                        { return storage.Stats{Backend: "failing"} }

@@ -205,6 +205,7 @@ func (st *sessionTelemetry) trialHook(phase string) tuner.TrialHook {
 			ev.BestSoFar = st.best
 			ev.RegretS = tr.Objective - st.best
 			ev.Attainment = st.lo.Attainment(st.bestRuntime, st.bestCost, 0)
+			slo.RecordAttainment(ev.Attainment)
 		}
 		p := st.progressLocked()
 		ev.BurnRate = p.BurnRate()
@@ -326,6 +327,10 @@ func (st *sessionTelemetry) progressLocked() slo.Progress {
 func (st *sessionTelemetry) checkSLOLocked() *obs.Event {
 	p := st.progressLocked()
 	v := st.lo.LiveViolations(p, st.totalExecs)
+	// Every evaluation feeds the burn-rate counters — before the event
+	// dedupe, so the alert engine sees the true violation ratio, not the
+	// rate of *changes* to the violation set.
+	slo.RecordCheck(len(v) > 0)
 	if len(v) == 0 {
 		return nil
 	}

@@ -39,6 +39,10 @@ const (
 	// best-so-far plateau length with EI-decay context, graded by
 	// severity (emitted again on recovery, so consumers can clear).
 	EventStall EventType = "stall"
+	// EventAlert reports an alert-engine state transition: the rule name
+	// in Alert, the new state (firing, resolved) in State, the observed
+	// value that drove the decision in Value, graded by Severity.
+	EventAlert EventType = "alert"
 )
 
 // Event is one structured telemetry record. Every field is a value type
@@ -144,13 +148,30 @@ type Event struct {
 	Plateau int     `json:"plateau,omitempty"`
 	EIPeak  float64 `json:"eiPeak,omitempty"`
 	EIDecay float64 `json:"eiDecay,omitempty"`
-	// Severity grades model_health and stall events: ok, warn, critical.
+	// Severity grades model_health, stall and alert events: ok, warn,
+	// critical.
 	Severity string `json:"severity,omitempty"`
+
+	// Alert fields: Alert is the rule name, State the new lifecycle state
+	// ("firing", "resolved"), and Value the observed metric or burn-rate
+	// value at the transition.
+	Alert string  `json:"alert,omitempty"`
+	State string  `json:"state,omitempty"`
+	Value float64 `json:"value,omitempty"`
 
 	// Detail carries human-readable context (violation text, session
 	// outcome, prune-round reason, diagnostic verdicts).
 	Detail string `json:"detail,omitempty"`
 }
+
+// Event-log loss is itself telemetry: the alert engine watches these to
+// page on observability-pipeline degradation (see internal/telemetry).
+var (
+	mEventsPublished = Default().Counter("events_published_total",
+		"Telemetry events accepted by the event log.")
+	mEventsDropped = Default().Counter("events_dropped_total",
+		"Telemetry events lost to full subscriber buffers (slow readers).")
+)
 
 // EventLog is a bounded, subscribable log of telemetry events: a ring
 // buffer of the most recent events plus non-blocking fan-out to live
@@ -228,9 +249,11 @@ func (l *EventLog) Publish(e Event) {
 		default:
 			sub.dropped++
 			l.dropTotal++
+			mEventsDropped.Inc()
 		}
 	}
 	l.mu.Unlock()
+	mEventsPublished.Inc()
 }
 
 // EventSub is one live subscription. Receive from C; Close when done.
@@ -428,6 +451,9 @@ func (e Event) AppendJSONL(b []byte) []byte {
 	b = appendNumField(b, "eiPeak", e.EIPeak)
 	b = appendNumField(b, "eiDecay", e.EIDecay)
 	b = appendStrField(b, "severity", e.Severity)
+	b = appendStrField(b, "alert", e.Alert)
+	b = appendStrField(b, "state", e.State)
+	b = appendNumField(b, "value", e.Value)
 	b = appendStrField(b, "detail", e.Detail)
 	return append(b, '}')
 }

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// promParseLine decodes one sample line of the Prometheus text format
+// ("name{k="v",...} value"), undoing the exposition escaping — a strict
+// round-trip parser for the escaping audit below. It returns the metric
+// name, decoded label map, and the raw value string.
+func promParseLine(t *testing.T, line string) (string, map[string]string, string) {
+	t.Helper()
+	name := line
+	labels := map[string]string{}
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		rest := line[i+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				t.Fatalf("malformed label pair in %q", line)
+			}
+			key := rest[:eq]
+			if rest[eq+1] != '"' {
+				t.Fatalf("unquoted label value in %q", line)
+			}
+			rest = rest[eq+2:]
+			// Scan the quoted value, decoding \\ \" \n — the only
+			// escapes the format defines for label values.
+			var val strings.Builder
+			j := 0
+			for ; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' {
+					j++
+					if j >= len(rest) {
+						t.Fatalf("dangling backslash in %q", line)
+					}
+					switch rest[j] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("undefined escape \\%c in %q", rest[j], line)
+					}
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				if c == '\n' {
+					t.Fatalf("raw newline inside label value in %q", line)
+				}
+				val.WriteByte(c)
+			}
+			if j >= len(rest) {
+				t.Fatalf("unterminated label value in %q", line)
+			}
+			labels[key] = val.String()
+			rest = rest[j+1:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			t.Fatalf("expected , or } after label value in %q", line)
+		}
+		sp := strings.TrimLeft(rest, " ")
+		return name, labels, sp
+	}
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		t.Fatalf("no value in %q", line)
+	}
+	return line[:sp], labels, line[sp+1:]
+}
+
+// TestPrometheusEscapingRoundTrip feeds hostile label values and help
+// strings through the exposition writer and re-parses the output with a
+// strict decoder: every value must round-trip byte for byte, every line
+// must stay a single line, and no undefined escapes may appear.
+func TestPrometheusEscapingRoundTrip(t *testing.T) {
+	nasty := []string{
+		`plain`,
+		`with "quotes"`,
+		`back\slash`,
+		"new\nline",
+		`trailing backslash\`,
+		"\\n literal-backslash-n",
+		`mixed "q\uote"` + "\nand newline",
+		`comma,equals=brace}`,
+		"unicode — ünïcodé ✓",
+	}
+	r := NewRegistry()
+	vec := r.CounterVec("escape_test_total", "help with \"quotes\", back\\slash and\nnewline", "tenant")
+	for _, v := range nasty {
+		vec.With(v).Inc()
+	}
+
+	var sb strings.Builder
+	if err := r.Gather().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# HELP ") {
+			// Help escaping: decoding \\ and \n must reproduce the help.
+			decoded := strings.NewReplacer(`\\`, "\x00", `\n`, "\n").Replace(
+				strings.TrimPrefix(line, "# HELP escape_test_total "))
+			decoded = strings.ReplaceAll(decoded, "\x00", `\`)
+			want := "help with \"quotes\", back\\slash and\nnewline"
+			if decoded != want {
+				t.Errorf("help round-trip = %q, want %q", decoded, want)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		name, labels, value := promParseLine(t, line)
+		if name != "escape_test_total" {
+			t.Errorf("unexpected metric %q", name)
+		}
+		if value != "1" {
+			t.Errorf("value = %q, want 1", value)
+		}
+		seen[labels["tenant"]] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range nasty {
+		if !seen[v] {
+			t.Errorf("label value %q did not round-trip; exposition:\n%s", v, out)
+		}
+	}
+	if len(seen) != len(nasty) {
+		t.Errorf("parsed %d distinct values, want %d (a collision means lossy escaping)", len(seen), len(nasty))
+	}
+}
+
+// TestPrometheusHelpSingleLine guards the HELP line against embedded
+// newlines breaking the line-oriented format.
+func TestPrometheusHelpSingleLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("multi_total", "line one\nline two").Inc()
+	var sb strings.Builder
+	if err := r.Gather().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		ok := strings.HasPrefix(line, "#") || strings.HasPrefix(line, "multi_total")
+		if !ok {
+			t.Errorf("stray continuation line %q — HELP newline not escaped", line)
+		}
+	}
+}
+
+// TestPrometheusHistogramSeriesWellFormed re-parses a labeled histogram
+// exposition, checking the bucket/sum/count family stays parseable with
+// escaped label values present.
+func TestPrometheusHistogramSeriesWellFormed(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("lat_seconds", "h", []float64{0.1, 1}, "route")
+	hv.With(`/v1/"q"`).Observe(0.5)
+	var sb strings.Builder
+	if err := r.Gather().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var buckets, sums, counts int
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, _ := promParseLine(t, line)
+		if labels["route"] != `/v1/"q"` {
+			t.Errorf("route label corrupted: %q in %q", labels["route"], line)
+		}
+		switch {
+		case name == "lat_seconds_bucket":
+			buckets++
+			if labels["le"] == "" {
+				t.Errorf("bucket line without le: %q", line)
+			}
+		case name == "lat_seconds_sum":
+			sums++
+		case name == "lat_seconds_count":
+			counts++
+		default:
+			t.Errorf("unexpected series %q", name)
+		}
+	}
+	if buckets != 3 || sums != 1 || counts != 1 {
+		t.Errorf("series counts: %d buckets %d sum %d count, want 3/1/1\n%s", buckets, sums, counts, sb.String())
+	}
+}

@@ -1,0 +1,27 @@
+package slo
+
+import "seamlesstune/internal/obs"
+
+// Live-SLO instrumentation: the telemetry tier turns these counters into
+// rate series, and the alert engine's burn-rate rules divide
+// slo_violations_total by slo_checks_total to measure error-budget burn
+// (see internal/telemetry.DefaultRules).
+var (
+	mChecks = obs.Default().Counter("slo_checks_total",
+		"Live SLO evaluations performed (one per trial with active clauses).")
+	mViolations = obs.Default().Counter("slo_violations_total",
+		"Live SLO evaluations that found at least one violated clause.")
+	mAttainment = obs.Default().Gauge("slo_attainment",
+		"Fraction of active SLO clauses the current incumbent meets.")
+)
+
+// RecordCheck counts one live SLO evaluation and whether it violated.
+func RecordCheck(violated bool) {
+	mChecks.Inc()
+	if violated {
+		mViolations.Inc()
+	}
+}
+
+// RecordAttainment publishes the incumbent's clause attainment.
+func RecordAttainment(a float64) { mAttainment.Set(a) }

@@ -127,6 +127,15 @@ func writeEventsFile(path string, events []obs.Event) error {
 	return wal.SyncDir(filepath.Dir(path))
 }
 
+// AppendTelemetry discards: the legacy contract has no rollup history.
+func (b *snapshotBackend) AppendTelemetry([]byte) error { return nil }
+
+// RecoveredTelemetry is always empty for the snapshot backend.
+func (b *snapshotBackend) RecoveredTelemetry() [][]byte { return nil }
+
+// SetTelemetrySource is a no-op: nothing here compacts rollups.
+func (b *snapshotBackend) SetTelemetrySource(func() [][]byte) {}
+
 // Saturated never sheds: snapshot writes are already coalesced.
 func (b *snapshotBackend) Saturated() (bool, time.Duration) { return false, 0 }
 
@@ -201,6 +210,9 @@ func (memoryBackend) Recover(*history.Store) ([]obs.Event, error) { return nil, 
 func (memoryBackend) AppendRecord(history.Record) error           { return nil }
 func (memoryBackend) AppendEvent(obs.Event) error                 { return nil }
 func (memoryBackend) FlushEvents([]obs.Event) error               { return nil }
+func (memoryBackend) AppendTelemetry([]byte) error                { return nil }
+func (memoryBackend) RecoveredTelemetry() [][]byte                { return nil }
+func (memoryBackend) SetTelemetrySource(func() [][]byte)          {}
 func (memoryBackend) Saturated() (bool, time.Duration)            { return false, 0 }
 func (memoryBackend) Compact() error                              { return nil }
 func (memoryBackend) Stats() Stats                                { return Stats{Backend: "memory"} }

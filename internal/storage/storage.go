@@ -29,9 +29,10 @@ import (
 
 // Record types in the WAL framing (type 0 is the log's own no-op).
 const (
-	recHistory  byte = 1
-	recEvent    byte = 2
-	recSnapshot byte = 3
+	recHistory   byte = 1
+	recEvent     byte = 2
+	recSnapshot  byte = 3
+	recTelemetry byte = 4
 )
 
 // Backend is one persistence strategy for the history store and the
@@ -58,6 +59,18 @@ type Backend interface {
 	// writes the ring when an events path is configured alongside the
 	// data directory.
 	FlushEvents(events []obs.Event) error
+	// AppendTelemetry persists one opaque telemetry rollup block (sealed
+	// downsampled buckets from internal/telemetry). Like AppendEvent it
+	// never blocks the hot path: the WAL backend enqueues asynchronously
+	// and drops (counted) at the queue bound; the other backends discard.
+	AppendTelemetry(block []byte) error
+	// RecoveredTelemetry returns the rollup blocks that survived the last
+	// Recover, oldest first. The slices are owned by the caller.
+	RecoveredTelemetry() [][]byte
+	// SetTelemetrySource installs the compaction hook that dumps the full
+	// sealed-rollup state (telemetry.Store.PersistedState), so a
+	// compacted WAL still reconstructs telemetry history. Nil removes it.
+	SetTelemetrySource(fn func() [][]byte)
 	// Saturated reports whether appends are backed up, and a suggested
 	// client retry delay — the admission-control probe the job engine
 	// sheds load on.
@@ -83,6 +96,10 @@ type Stats struct {
 	Events        int64 `json:"events"`
 	Errors        int64 `json:"errors,omitempty"`
 	EventsDropped int64 `json:"eventsDropped,omitempty"`
+	// TelemetryBlocks counts rollup blocks appended this process;
+	// TelemetryDropped blocks shed at the queue bound.
+	TelemetryBlocks  int64 `json:"telemetryBlocks,omitempty"`
+	TelemetryDropped int64 `json:"telemetryDropped,omitempty"`
 	// WAL-backend geometry.
 	Segments       int    `json:"segments,omitempty"`
 	SealedSegments int    `json:"sealedSegments,omitempty"`
@@ -97,9 +114,10 @@ type Stats struct {
 	Compactions        int64 `json:"compactions,omitempty"`
 	LastCompactionUnix int64 `json:"lastCompactionUnix,omitempty"`
 	// Recovery facts from the last Recover call.
-	RecoveredRecords int     `json:"recoveredRecords,omitempty"`
-	RecoveredEvents  int     `json:"recoveredEvents,omitempty"`
-	RecoverySeconds  float64 `json:"recoverySeconds,omitempty"`
+	RecoveredRecords   int     `json:"recoveredRecords,omitempty"`
+	RecoveredEvents    int     `json:"recoveredEvents,omitempty"`
+	RecoveredTelemetry int     `json:"recoveredTelemetry,omitempty"`
+	RecoverySeconds    float64 `json:"recoverySeconds,omitempty"`
 }
 
 // Config selects and parameterizes a backend.

@@ -26,6 +26,14 @@ var (
 		"History records recovered at the last startup.")
 	mRecoverySeconds = obs.Default().Gauge("storage_recovery_seconds",
 		"Wall-clock time of the last startup recovery.")
+	// Persist-sink loss is first-class telemetry: the alert engine's
+	// default rules watch these to flag observability degradation.
+	mEventsDropped = obs.Default().Counter("storage_events_dropped_total",
+		"Telemetry events shed at the storage append queue bound.")
+	mTelemetry = obs.Default().Counter("storage_telemetry_blocks_total",
+		"Telemetry rollup blocks appended to the storage backend.")
+	mTelemetryDropped = obs.Default().Counter("storage_telemetry_dropped_total",
+		"Telemetry rollup blocks shed at the storage append queue bound.")
 )
 
 // walBackend persists history records and telemetry events as O(1)
@@ -35,12 +43,14 @@ type walBackend struct {
 	cfg Config
 	log *wal.Log
 
-	records       atomic.Int64
-	events        atomic.Int64
-	errors        atomic.Int64
-	eventsDropped atomic.Int64
-	compactions   atomic.Int64
-	lastCompact   atomic.Int64
+	records          atomic.Int64
+	events           atomic.Int64
+	errors           atomic.Int64
+	eventsDropped    atomic.Int64
+	telemetry        atomic.Int64
+	telemetryDropped atomic.Int64
+	compactions      atomic.Int64
+	lastCompact      atomic.Int64
 
 	// mu guards the recovery-bound fields; compactMu serializes Compact
 	// itself — the admin endpoint and the background compactor may invoke
@@ -51,6 +61,8 @@ type walBackend struct {
 	store          *history.Store
 	recovered      recoveryInfo
 	compactStarted bool
+	recoveredTel   [][]byte
+	telSource      func() [][]byte
 
 	ring *eventRing
 
@@ -62,9 +74,10 @@ type walBackend struct {
 }
 
 type recoveryInfo struct {
-	records int
-	events  int
-	seconds float64
+	records   int
+	events    int
+	telemetry int
+	seconds   float64
 }
 
 // walSnapshot is the payload of a compaction snapshot record: the whole
@@ -84,18 +97,23 @@ type walSnapshot struct {
 	MaxSeq  int              `json:"maxSeq"`
 	Records []history.Record `json:"records"`
 	Events  []obs.Event      `json:"events,omitempty"`
-	Part    int              `json:"part,omitempty"`
-	Parts   int              `json:"parts,omitempty"`
+	// Telemetry is the full sealed-rollup dump of the telemetry store at
+	// compaction time (base64-encoded blocks); it rides the final part
+	// alongside Events.
+	Telemetry [][]byte `json:"telemetry,omitempty"`
+	Part      int      `json:"part,omitempty"`
+	Parts     int      `json:"parts,omitempty"`
 }
 
 // walSnapshotWire is walSnapshot's encode-side twin: records are
 // pre-marshaled so chunking can budget bytes without marshaling twice.
 type walSnapshotWire struct {
-	MaxSeq  int               `json:"maxSeq"`
-	Records []json.RawMessage `json:"records"`
-	Events  []obs.Event       `json:"events,omitempty"`
-	Part    int               `json:"part,omitempty"`
-	Parts   int               `json:"parts,omitempty"`
+	MaxSeq    int               `json:"maxSeq"`
+	Records   []json.RawMessage `json:"records"`
+	Events    []obs.Event       `json:"events,omitempty"`
+	Telemetry [][]byte          `json:"telemetry,omitempty"`
+	Part      int               `json:"part,omitempty"`
+	Parts     int               `json:"parts,omitempty"`
 }
 
 // snapshotChunkBytes is the target payload size of one snapshot chunk —
@@ -144,10 +162,12 @@ func (w *walBackend) Recover(st *history.Store) ([]obs.Event, error) {
 	recs := make(map[int]history.Record)
 	maxSnapSeq := -1
 	var events []obs.Event
+	var telemetry [][]byte
 	// applySnap folds one complete snapshot: it replaces the replayed
 	// records with the snapshot's, keeping only newer records already
 	// replayed (defensive — they can only exist if appends raced the
-	// snapshot into earlier segments), and resets the event tail.
+	// snapshot into earlier segments), and resets the event and
+	// telemetry tails.
 	applySnap := func(snap *walSnapshot) {
 		kept := make(map[int]history.Record, len(snap.Records))
 		for _, r := range snap.Records {
@@ -161,6 +181,7 @@ func (w *walBackend) Recover(st *history.Store) ([]obs.Event, error) {
 		recs = kept
 		maxSnapSeq = snap.MaxSeq
 		events = append(events[:0], snap.Events...)
+		telemetry = append(telemetry[:0], snap.Telemetry...)
 	}
 	// pending assembles a chunked snapshot across consecutive parts; it
 	// is applied only when complete, so a compaction that crashed mid-
@@ -186,6 +207,9 @@ func (w *walBackend) Recover(st *history.Store) ([]obs.Event, error) {
 				return nil
 			}
 			events = append(events, e)
+		case recTelemetry:
+			// Replay may reuse the payload buffer across records: copy.
+			telemetry = append(telemetry, append([]byte(nil), payload...))
 		case recSnapshot:
 			var snap walSnapshot
 			if json.Unmarshal(payload, &snap) != nil {
@@ -238,10 +262,12 @@ func (w *walBackend) Recover(st *history.Store) ([]obs.Event, error) {
 	}
 	w.mu.Lock()
 	w.store = st
+	w.recoveredTel = telemetry
 	w.recovered = recoveryInfo{
-		records: len(ordered),
-		events:  len(events),
-		seconds: time.Since(start).Seconds(),
+		records:   len(ordered),
+		events:    len(events),
+		telemetry: len(telemetry),
+		seconds:   time.Since(start).Seconds(),
 	}
 	w.mu.Unlock()
 	mRecoveredRecords.Set(float64(len(ordered)))
@@ -283,12 +309,40 @@ func (w *walBackend) AppendEvent(e obs.Event) error {
 	w.bufPool.Put(bp)
 	if err != nil {
 		w.eventsDropped.Add(1)
+		mEventsDropped.Inc()
 		return err
 	}
 	w.ring.push(e)
 	w.events.Add(1)
 	mEvents.Inc()
 	return nil
+}
+
+// AppendTelemetry appends one rollup block asynchronously, shedding
+// (counted) at the queue bound like AppendEvent does.
+func (w *walBackend) AppendTelemetry(block []byte) error {
+	if err := w.log.AppendAsync(recTelemetry, block); err != nil {
+		w.telemetryDropped.Add(1)
+		mTelemetryDropped.Inc()
+		return err
+	}
+	w.telemetry.Add(1)
+	mTelemetry.Inc()
+	return nil
+}
+
+// RecoveredTelemetry returns the rollup blocks the last Recover found.
+func (w *walBackend) RecoveredTelemetry() [][]byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recoveredTel
+}
+
+// SetTelemetrySource installs the compaction-time rollup dump hook.
+func (w *walBackend) SetTelemetrySource(fn func() [][]byte) {
+	w.mu.Lock()
+	w.telSource = fn
+	w.mu.Unlock()
 }
 
 // FlushEvents syncs the log; the events themselves were appended as they
@@ -363,6 +417,15 @@ func (w *walBackend) Compact() error {
 		}
 		if i == parts-1 {
 			snap.Events = w.ring.snapshot()
+			w.mu.Lock()
+			src := w.telSource
+			w.mu.Unlock()
+			if src != nil {
+				// The rollup dump replaces every recTelemetry record in the
+				// folded segments: replay applies the snapshot's blocks and
+				// then any blocks appended after it.
+				snap.Telemetry = src()
+			}
 		}
 		payload, err := json.Marshal(snap)
 		if err != nil {
@@ -414,6 +477,8 @@ func (w *walBackend) Stats() Stats {
 		Events:             w.events.Load(),
 		Errors:             w.errors.Load(),
 		EventsDropped:      w.eventsDropped.Load(),
+		TelemetryBlocks:    w.telemetry.Load(),
+		TelemetryDropped:   w.telemetryDropped.Load(),
 		Segments:           ls.Segments,
 		SealedSegments:     ls.SealedSegments,
 		ActiveSegment:      ls.ActiveIndex,
@@ -428,6 +493,7 @@ func (w *walBackend) Stats() Stats {
 	if started {
 		st.RecoveredRecords = rec.records
 		st.RecoveredEvents = rec.events
+		st.RecoveredTelemetry = rec.telemetry
 		st.RecoverySeconds = rec.seconds
 	}
 	return st

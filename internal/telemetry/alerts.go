@@ -1,0 +1,464 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seamlesstune/internal/obs"
+)
+
+// AlertState is one rule's lifecycle position.
+type AlertState string
+
+const (
+	// StateInactive: the condition does not hold.
+	StateInactive AlertState = "inactive"
+	// StatePending: the condition holds but has not yet held For long.
+	StatePending AlertState = "pending"
+	// StateFiring: the condition held For long; an alert event was
+	// emitted and the rule stays firing until the condition stays false
+	// continuously for ResolveAfter (flap damping).
+	StateFiring AlertState = "firing"
+)
+
+// Duration is a time.Duration that unmarshals from JSON strings like
+// "5m" or "1h30m" (and bare numbers as nanoseconds, json.Marshal's
+// native encoding of time.Duration).
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler: the human-readable form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Rule is one declarative alert. Two kinds:
+//
+//   - "threshold": the window-averaged value of Metric (filtered by
+//     Labels) compared against Value with Op. Window defaults to the
+//     store interval (latest sample).
+//   - "burn_rate": SRE multi-window multi-burn-rate SLO alerting over a
+//     pair of counter-rate series. The error ratio BadMetric/TotalMetric
+//     is measured over ShortWindow and LongWindow; the burn rate is
+//     ratio / (1 - Objective); the condition holds when burn > Factor
+//     on BOTH windows — the short window gates on "still happening",
+//     the long window on "material budget spend".
+type Rule struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`               // "threshold" | "burn_rate"
+	Severity string `json:"severity,omitempty"` // "warn" | "critical" (default warn)
+
+	// Threshold fields.
+	Metric string            `json:"metric,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Op     string            `json:"op,omitempty"` // ">" | "<" (default ">")
+	Value  float64           `json:"value,omitempty"`
+	Window Duration          `json:"window,omitempty"`
+
+	// Burn-rate fields.
+	BadMetric   string   `json:"badMetric,omitempty"`
+	TotalMetric string   `json:"totalMetric,omitempty"`
+	Objective   float64  `json:"objective,omitempty"` // e.g. 0.99
+	ShortWindow Duration `json:"shortWindow,omitempty"`
+	LongWindow  Duration `json:"longWindow,omitempty"`
+	Factor      float64  `json:"factor,omitempty"`
+
+	// Lifecycle. For is how long the condition must hold before firing
+	// (0 = fire on first observation). ResolveAfter is how long the
+	// condition must stay false before a firing alert resolves
+	// (0 = max(For, 1m) — hysteresis against flapping).
+	For          Duration `json:"for,omitempty"`
+	ResolveAfter Duration `json:"resolveAfter,omitempty"`
+}
+
+// validate normalizes defaults and rejects malformed rules.
+func (r *Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("alert rule missing name")
+	}
+	if r.Severity == "" {
+		r.Severity = "warn"
+	}
+	if r.Severity != "warn" && r.Severity != "critical" {
+		return fmt.Errorf("alert %q: severity %q (want warn|critical)", r.Name, r.Severity)
+	}
+	switch r.Kind {
+	case "threshold":
+		if r.Metric == "" {
+			return fmt.Errorf("alert %q: threshold rule missing metric", r.Name)
+		}
+		if r.Op == "" {
+			r.Op = ">"
+		}
+		if r.Op != ">" && r.Op != "<" {
+			return fmt.Errorf("alert %q: op %q (want > or <)", r.Name, r.Op)
+		}
+	case "burn_rate":
+		if r.BadMetric == "" || r.TotalMetric == "" {
+			return fmt.Errorf("alert %q: burn_rate rule needs badMetric and totalMetric", r.Name)
+		}
+		if r.Objective <= 0 || r.Objective >= 1 {
+			return fmt.Errorf("alert %q: objective %v (want 0 < o < 1)", r.Name, r.Objective)
+		}
+		if r.ShortWindow <= 0 || r.LongWindow <= 0 || r.ShortWindow > r.LongWindow {
+			return fmt.Errorf("alert %q: want 0 < shortWindow <= longWindow", r.Name)
+		}
+		if r.Factor <= 0 {
+			return fmt.Errorf("alert %q: factor %v (want > 0)", r.Name, r.Factor)
+		}
+	default:
+		return fmt.Errorf("alert %q: kind %q (want threshold|burn_rate)", r.Name, r.Kind)
+	}
+	if r.ResolveAfter <= 0 {
+		r.ResolveAfter = r.For
+		if r.ResolveAfter < Duration(time.Minute) {
+			r.ResolveAfter = Duration(time.Minute)
+		}
+	}
+	return nil
+}
+
+// AlertStatus is one rule's externally visible state (/v1/alerts).
+type AlertStatus struct {
+	Name     string     `json:"name"`
+	Severity string     `json:"severity"`
+	Kind     string     `json:"kind"`
+	State    AlertState `json:"state"`
+	// SinceNS is when the rule entered its current state (unix ns).
+	SinceNS int64 `json:"sinceNS,omitempty"`
+	// Value is the last observed value the condition was judged on
+	// (metric average for thresholds, the smaller window burn rate for
+	// burn_rate rules).
+	Value float64 `json:"value"`
+	// Detail renders the rule condition human-readably.
+	Detail string `json:"detail,omitempty"`
+}
+
+// ruleState is the engine's per-rule book-keeping.
+type ruleState struct {
+	rule  Rule
+	state AlertState
+	since time.Time // entered current state
+	// lastTrue is the most recent instant the condition held — a firing
+	// rule resolves only when now-lastTrue >= ResolveAfter.
+	lastTrue time.Time
+	value    float64
+}
+
+// Engine evaluates alert rules against a telemetry store on every
+// sample. Wire with store.OnSample(engine.Eval); alerts surface as
+// events through SetSink and as statuses through Alerts.
+type Engine struct {
+	store *Store
+
+	mu    sync.Mutex
+	rules []*ruleState
+	sink  func(obs.Event)
+	// silent suppresses event emission (history replay in Rearm).
+	silent bool
+	evals  uint64
+}
+
+// NewEngine builds an engine over the store with the given rules.
+// Invalid rules are rejected as an error listing every problem.
+func NewEngine(store *Store, rules []Rule) (*Engine, error) {
+	e := &Engine{store: store}
+	var errs []string
+	for _, r := range rules {
+		r := r
+		if err := r.validate(); err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		e.rules = append(e.rules, &ruleState{rule: r, state: StateInactive})
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("%s", strings.Join(errs, "; "))
+	}
+	return e, nil
+}
+
+// SetSink installs fn to receive alert transition events (nil removes).
+func (e *Engine) SetSink(fn func(obs.Event)) {
+	e.mu.Lock()
+	e.sink = fn
+	e.mu.Unlock()
+}
+
+// condition evaluates the rule at ts, returning whether it holds and
+// the observed value.
+func (e *Engine) condition(r Rule, ts time.Time) (bool, float64) {
+	switch r.Kind {
+	case "threshold":
+		w := time.Duration(r.Window)
+		if w <= 0 {
+			w = e.store.Interval()
+		}
+		agg := e.store.Aggregate(r.Metric, r.Labels, ts.Add(-w), ts)
+		if agg.Count == 0 {
+			return false, 0
+		}
+		v := agg.Avg()
+		if r.Op == "<" {
+			return v < r.Value, v
+		}
+		return v > r.Value, v
+	case "burn_rate":
+		short := e.burn(r, ts, time.Duration(r.ShortWindow))
+		long := e.burn(r, ts, time.Duration(r.LongWindow))
+		// Report the tighter (short-window) burn; it is what pages clear
+		// fastest on.
+		return short > r.Factor && long > r.Factor, short
+	}
+	return false, 0
+}
+
+// burn computes the window burn rate: the bad/total event ratio over
+// the window divided by the SLO error budget (1 - objective). Rate
+// series sampled on a fixed grid make sums-of-rates a faithful stand-in
+// for event counts: the interval factors cancel in the ratio.
+func (e *Engine) burn(r Rule, ts time.Time, window time.Duration) float64 {
+	from := ts.Add(-window)
+	bad := e.store.Aggregate(r.BadMetric, r.Labels, from, ts)
+	total := e.store.Aggregate(r.TotalMetric, r.Labels, from, ts)
+	if total.Sum <= 0 {
+		return 0
+	}
+	ratio := bad.Sum / total.Sum
+	return ratio / (1 - r.Objective)
+}
+
+// Eval evaluates every rule at ts, advancing lifecycle states and
+// emitting alert events on firing/resolved transitions. It is the
+// store's OnSample hook.
+func (e *Engine) Eval(ts time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evals++
+	for _, rs := range e.rules {
+		holds, v := e.condition(rs.rule, ts)
+		rs.value = v
+		if holds {
+			rs.lastTrue = ts
+		}
+		switch rs.state {
+		case StateInactive:
+			if holds {
+				rs.state, rs.since = StatePending, ts
+				if rs.rule.For <= 0 {
+					rs.state = StateFiring
+					e.emitLocked(rs, "firing", ts)
+				}
+			}
+		case StatePending:
+			if !holds {
+				rs.state, rs.since = StateInactive, ts
+			} else if ts.Sub(rs.since) >= time.Duration(rs.rule.For) {
+				rs.state, rs.since = StateFiring, ts
+				e.emitLocked(rs, "firing", ts)
+			}
+		case StateFiring:
+			// Resolve only after the condition has been false
+			// continuously for ResolveAfter: brief recoveries inside the
+			// hysteresis window keep the alert firing without event
+			// churn (flap damping).
+			if !holds && ts.Sub(rs.lastTrue) >= time.Duration(rs.rule.ResolveAfter) {
+				rs.state, rs.since = StateInactive, ts
+				e.emitLocked(rs, "resolved", ts)
+			}
+		}
+	}
+}
+
+// emitLocked publishes one transition event (caller holds e.mu).
+func (e *Engine) emitLocked(rs *ruleState, state string, ts time.Time) {
+	if e.sink == nil || e.silent {
+		return
+	}
+	sev := rs.rule.Severity
+	if state == "resolved" {
+		sev = "ok"
+	}
+	e.sink(obs.Event{
+		Type:     obs.EventAlert,
+		TimeNS:   ts.UnixNano(),
+		Alert:    rs.rule.Name,
+		State:    state,
+		Value:    rs.value,
+		Severity: sev,
+		Detail:   ruleDetail(rs.rule),
+	})
+}
+
+// ruleDetail renders the rule condition for event/status consumers.
+func ruleDetail(r Rule) string {
+	switch r.Kind {
+	case "threshold":
+		return fmt.Sprintf("%s %s %g over %s", r.Metric, r.Op, r.Value,
+			time.Duration(r.Window))
+	case "burn_rate":
+		return fmt.Sprintf("%s/%s burn > %gx of %.3g-objective budget over %s and %s",
+			r.BadMetric, r.TotalMetric, r.Factor, r.Objective,
+			time.Duration(r.ShortWindow), time.Duration(r.LongWindow))
+	}
+	return ""
+}
+
+// Alerts returns every rule's status, firing first, then pending, then
+// inactive, name-ordered within each state.
+func (e *Engine) Alerts() []AlertStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]AlertStatus, 0, len(e.rules))
+	for _, rs := range e.rules {
+		st := AlertStatus{
+			Name:     rs.rule.Name,
+			Severity: rs.rule.Severity,
+			Kind:     rs.rule.Kind,
+			State:    rs.state,
+			Value:    rs.value,
+			Detail:   ruleDetail(rs.rule),
+		}
+		if !rs.since.IsZero() {
+			st.SinceNS = rs.since.UnixNano()
+		}
+		out = append(out, st)
+	}
+	rank := map[AlertState]int{StateFiring: 0, StatePending: 1, StateInactive: 2}
+	sort.Slice(out, func(i, j int) bool {
+		if rank[out[i].State] != rank[out[j].State] {
+			return rank[out[i].State] < rank[out[j].State]
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Firing returns how many rules are currently firing.
+func (e *Engine) Firing() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, rs := range e.rules {
+		if rs.state == StateFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// Rearm replays restored telemetry history through the rules without
+// emitting transition events, then emits a single firing event for each
+// rule that ends the replay firing — so a restart inside an incident
+// re-pages once instead of replaying the whole flap history. Call after
+// Restore and before Start.
+func (e *Engine) Rearm(from, to time.Time, step time.Duration) {
+	if step <= 0 || !to.After(from) {
+		return
+	}
+	e.mu.Lock()
+	e.silent = true
+	e.mu.Unlock()
+	for ts := from; !ts.After(to); ts = ts.Add(step) {
+		e.Eval(ts)
+	}
+	e.mu.Lock()
+	e.silent = false
+	for _, rs := range e.rules {
+		if rs.state == StateFiring {
+			e.emitLocked(rs, "firing", to)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// DefaultRules is the built-in rule set: telemetry self-monitoring,
+// storage pressure, and the two-tier SLO burn policy (page at 14.4x on
+// 5m/1h, ticket at 6x on 30m/6h — the SRE workbook defaults).
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name: "telemetry-event-loss", Kind: "threshold", Severity: "warn",
+			Metric: "events_dropped_total", Op: ">", Value: 0,
+			Window: Duration(time.Minute), For: Duration(30 * time.Second),
+		},
+		{
+			Name: "storage-sink-loss", Kind: "threshold", Severity: "warn",
+			Metric: "storage_events_dropped_total", Op: ">", Value: 0,
+			Window: Duration(time.Minute), For: Duration(30 * time.Second),
+		},
+		{
+			Name: "fsync-p99-high", Kind: "threshold", Severity: "warn",
+			Metric: "wal_fsync_seconds:p99", Op: ">", Value: 0.05,
+			Window: Duration(time.Minute), For: Duration(time.Minute),
+		},
+		{
+			Name: "job-queue-backlog", Kind: "threshold", Severity: "warn",
+			Metric: "jobs_queue_depth", Op: ">", Value: 32,
+			Window: Duration(time.Minute), For: Duration(2 * time.Minute),
+		},
+		{
+			Name: "slo-burn-page", Kind: "burn_rate", Severity: "critical",
+			BadMetric: "slo_violations_total", TotalMetric: "slo_checks_total",
+			Objective: 0.99, Factor: 14.4,
+			ShortWindow: Duration(5 * time.Minute), LongWindow: Duration(time.Hour),
+			For: Duration(time.Minute),
+		},
+		{
+			Name: "slo-burn-ticket", Kind: "burn_rate", Severity: "warn",
+			BadMetric: "slo_violations_total", TotalMetric: "slo_checks_total",
+			Objective: 0.99, Factor: 6,
+			ShortWindow: Duration(30 * time.Minute), LongWindow: Duration(6 * time.Hour),
+			For: Duration(5 * time.Minute),
+		},
+	}
+}
+
+// LoadRules reads a JSON rules file: either a bare array of rules or
+// an object {"rules": [...]}. An empty path returns DefaultRules.
+func LoadRules(path string) ([]Rule, error) {
+	if path == "" {
+		return DefaultRules(), nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var arr []Rule
+	if err := json.Unmarshal(b, &arr); err == nil {
+		return arr, nil
+	}
+	var obj struct {
+		Rules []Rule `json:"rules"`
+	}
+	if err := json.Unmarshal(b, &obj); err != nil {
+		return nil, fmt.Errorf("alert rules %s: %w", path, err)
+	}
+	return obj.Rules, nil
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"seamlesstune/internal/history"
+	"seamlesstune/internal/obs"
+	"seamlesstune/internal/storage"
+)
+
+// openWAL opens a wal backend on dir with automatic compaction off (the
+// compaction path is exercised explicitly below) and runs Recover.
+func openWAL(t *testing.T, dir string) (storage.Backend, [][]byte) {
+	t.Helper()
+	b, err := storage.Open(storage.Config{Backend: "wal", DataDir: dir, CompactSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recover(&history.Store{}); err != nil {
+		t.Fatal(err)
+	}
+	return b, b.RecoveredTelemetry()
+}
+
+// TestKillAndRestartServesHistory is the durability acceptance bar for
+// the telemetry tier: a WAL-backed store whose process dies without
+// shutdown (the backend is abandoned, never closed) restarts with its
+// sealed rollup history intact — queries answer pre-crash points, the
+// tiers hold the same buckets, the only loss is the open (torn-tail)
+// windows, and the alert engine re-arms into the incident.
+func TestKillAndRestartServesHistory(t *testing.T) {
+	dir := t.TempDir()
+	b1, rec := openWAL(t, dir)
+	if len(rec) != 0 {
+		t.Fatalf("fresh dir recovered %d blocks", len(rec))
+	}
+
+	reg := obs.NewRegistry()
+	g := reg.Gauge("load", "test gauge")
+	src := NewStore(Config{Registry: reg, Interval: time.Second, Retention: time.Hour})
+	src.SetPersist(b1.AppendTelemetry)
+
+	rng := prng(99)
+	var last time.Time
+	for i := 0; i < 200; i++ {
+		// Keep the gauge high so the re-armed alert finds an incident.
+		g.Set(100 + rng.next())
+		last = base.Add(time.Duration(i) * time.Second)
+		src.Poll(last)
+	}
+	preCrash := decodeAll(t, src.PersistedState())
+	if len(preCrash) == 0 {
+		t.Fatal("no sealed state before the crash")
+	}
+	// Barrier: AppendTelemetry is asynchronous; a sync makes everything
+	// acknowledged so far durable. A real crash would lose at most the
+	// unsynced tail on top of the open windows.
+	if err := b1.FlushEvents(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: b1 is abandoned, never closed.
+
+	b2, rec2 := openWAL(t, dir)
+	defer b2.Close()
+	if len(rec2) == 0 {
+		t.Fatal("restart recovered no telemetry blocks")
+	}
+	if b2.Stats().RecoveredTelemetry != len(rec2) {
+		t.Errorf("Stats.RecoveredTelemetry = %d, want %d", b2.Stats().RecoveredTelemetry, len(rec2))
+	}
+	dst := NewStore(Config{Registry: obs.NewRegistry(), Interval: time.Second, Retention: time.Hour})
+	dst.Restore(rec2)
+
+	got := decodeAll(t, dst.PersistedState())
+	if !reflect.DeepEqual(got, preCrash) {
+		t.Fatalf("restored %d buckets != pre-crash %d sealed buckets", len(got), len(preCrash))
+	}
+
+	// The restarted server answers range queries over pre-crash history
+	// with no gaps beyond the torn tail: consecutive mid-tier windows.
+	res := dst.Query("load", nil, base, last, 10*time.Second)
+	if len(res) != 1 || len(res[0].Points) < 15 {
+		t.Fatalf("query after restart: %+v", res)
+	}
+	pts := res[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T-pts[i-1].T != 10_000 {
+			t.Fatalf("gap between windows %d and %d: %dms apart", i-1, i, pts[i].T-pts[i-1].T)
+		}
+	}
+
+	// Alert re-arm: the gauge was high for the whole run, so a threshold
+	// rule replayed over the restored window must come back firing, with
+	// exactly one re-page.
+	eng, err := NewEngine(dst, []Rule{{
+		Name: "overload", Kind: "threshold", Metric: "load", Op: ">", Value: 50,
+		Window: Duration(time.Minute), For: Duration(10 * time.Second),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []obs.Event
+	eng.SetSink(func(e obs.Event) { events = append(events, e) })
+	eng.Rearm(base, last, time.Minute)
+	if eng.Firing() != 1 {
+		t.Fatalf("alert did not re-arm: Firing() = %d", eng.Firing())
+	}
+	if len(events) != 1 || events[0].State != "firing" {
+		t.Fatalf("rearm events = %+v, want one firing", events)
+	}
+}
+
+// TestTelemetrySurvivesCompaction: a WAL compaction folds telemetry
+// records into the snapshot via the SetTelemetrySource hook, and a
+// subsequent recovery still reconstructs full rollup history.
+func TestTelemetrySurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	b1, _ := openWAL(t, dir)
+
+	reg := obs.NewRegistry()
+	g := reg.Gauge("load", "test gauge")
+	src := NewStore(Config{Registry: reg, Interval: time.Second, Retention: time.Hour})
+	src.SetPersist(b1.AppendTelemetry)
+	b1.SetTelemetrySource(src.PersistedState)
+
+	rng := prng(5)
+	for i := 0; i < 150; i++ {
+		g.Set(rng.next())
+		src.Poll(base.Add(time.Duration(i) * time.Second))
+	}
+	want := decodeAll(t, src.PersistedState())
+	if err := b1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, rec := openWAL(t, dir)
+	defer b2.Close()
+	if len(rec) == 0 {
+		t.Fatal("post-compaction recovery found no telemetry")
+	}
+	dst := NewStore(Config{Registry: obs.NewRegistry(), Interval: time.Second, Retention: time.Hour})
+	dst.Restore(rec)
+	got := decodeAll(t, dst.PersistedState())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-compaction state: %d buckets, want %d", len(got), len(want))
+	}
+}
+
+// TestRestartWithDifferentIntervalSkipsForeignWidths: rollups persisted
+// at one -telemetry-interval don't corrupt a store restarted with
+// another; they are skipped, not misfiled.
+func TestRestartWithDifferentIntervalSkipsForeignWidths(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v", "test")
+	src := NewStore(Config{Registry: reg, Interval: time.Second})
+	var blocks [][]byte
+	src.SetPersist(func(b []byte) error {
+		blocks = append(blocks, append([]byte(nil), b...))
+		return nil
+	})
+	for i := 0; i < 100; i++ {
+		g.Set(float64(i))
+		src.Poll(base.Add(time.Duration(i) * time.Second))
+	}
+	if len(blocks) == 0 {
+		t.Fatal("nothing persisted")
+	}
+	dst := NewStore(Config{Registry: obs.NewRegistry(), Interval: 2 * time.Second})
+	dst.Restore(blocks)
+	if got := dst.Stats().Restored; got != 0 {
+		t.Fatalf("restored %d buckets across an interval change, want 0", got)
+	}
+}

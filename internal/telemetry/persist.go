@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// sealedBucket is the durable form of one closed rollup window. Blocks
+// are JSON arrays of these — small (one poll seals at most one mid and
+// one top bucket per series), self-describing, and stable across
+// versions, which matters more than byte compactness for an embedded
+// store whose WAL already batches and compacts.
+type sealedBucket struct {
+	Metric  string            `json:"m"`
+	Labels  map[string]string `json:"l,omitempty"`
+	WidthNS int64             `json:"w"`
+	Start   int64             `json:"s"`
+	Agg     Agg               `json:"a"`
+}
+
+// encodeBlock serializes sealed buckets into one persistable block.
+func encodeBlock(bs []sealedBucket) []byte {
+	b, err := json.Marshal(bs)
+	if err != nil {
+		return nil // unreachable: sealedBucket has no unmarshalable fields
+	}
+	return b
+}
+
+// Restore replays recovered rollup blocks (oldest first, as the storage
+// tier returns them) into the in-memory rings. Unknown tier widths —
+// from a process restarted with a different -telemetry-interval — are
+// skipped: mixing widths inside a ring would corrupt the rollup
+// algebra. Call before Start, and before SetPersist to avoid re-writing
+// restored history.
+func (s *Store) Restore(blocks [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, blk := range blocks {
+		var bs []sealedBucket
+		if err := json.Unmarshal(blk, &bs); err != nil {
+			continue // torn or foreign block: the WAL tail may be ragged
+		}
+		for _, sb := range bs {
+			ti := -1
+			for i, w := range s.widths {
+				if int64(w) == sb.WidthNS {
+					ti = i
+					break
+				}
+			}
+			if ti <= 0 {
+				continue // unknown width, or raw tier (never persisted)
+			}
+			names, vals := labelPairs(sb.Labels)
+			sr := s.getSeries(sb.Metric, names, vals, kindGauge)
+			sr.tiers[ti].push(bucket{start: sb.Start, agg: sb.Agg})
+			s.restored++
+		}
+	}
+}
+
+// PersistedState dumps every sealed mid/top-tier bucket as blocks — the
+// storage tier's compaction snapshot source, so a compacted WAL still
+// reconstructs full history. One block per series keeps individual
+// records well under the WAL record size bound.
+func (s *Store) PersistedState() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [][]byte
+	for _, srs := range s.byMetric {
+		for _, sr := range srs {
+			var bs []sealedBucket
+			for i := 1; i < len(sr.tiers); i++ {
+				t := &sr.tiers[i]
+				for j := 0; j < t.n; j++ {
+					b := t.buf[(t.head+j)%len(t.buf)]
+					bs = append(bs, sealedBucket{
+						Metric: sr.metric, Labels: sr.labels,
+						WidthNS: t.width, Start: b.start, Agg: b.agg,
+					})
+				}
+			}
+			if len(bs) > 0 {
+				out = append(out, encodeBlock(bs))
+			}
+		}
+	}
+	return out
+}
+
+// labelPairs splits a label map into sorted parallel name/value slices
+// matching the registry's family ordering (obs sorts label names at
+// family registration, so map iteration order must be normalized the
+// same way).
+func labelPairs(m map[string]string) (names, vals []string) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	names = make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	// insertion sort: label sets are tiny (1-3 entries)
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	vals = make([]string, len(names))
+	for i, n := range names {
+		vals[i] = m[n]
+	}
+	return names, vals
+}
+
+// OldestRetained returns the earliest timestamp any tier still covers
+// for the metric (zero time when the metric is unknown).
+func (s *Store) OldestRetained(metric string) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var oldest int64 = -1
+	for _, sr := range s.byMetric[metric] {
+		for i := range sr.tiers {
+			if st, ok := sr.tiers[i].oldestStart(); ok && (oldest < 0 || st < oldest) {
+				oldest = st
+			}
+		}
+	}
+	if oldest < 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, oldest)
+}

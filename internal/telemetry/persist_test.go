@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"seamlesstune/internal/obs"
+)
+
+// decodeAll flattens persisted blocks into a sorted bucket list so two
+// stores' durable state can be compared structurally.
+func decodeAll(t *testing.T, blocks [][]byte) []sealedBucket {
+	t.Helper()
+	var out []sealedBucket
+	for _, blk := range blocks {
+		var bs []sealedBucket
+		if err := json.Unmarshal(blk, &bs); err != nil {
+			t.Fatalf("undecodable block: %v", err)
+		}
+		out = append(out, bs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Metric != out[j].Metric {
+			return out[i].Metric < out[j].Metric
+		}
+		if out[i].WidthNS != out[j].WidthNS {
+			return out[i].WidthNS < out[j].WidthNS
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// TestPersistRestoreRoundTrip streams sealed blocks from one store into
+// a fresh one and checks the durable state is reproduced exactly: the
+// restored store's PersistedState decodes to the same buckets.
+func TestPersistRestoreRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v", "test")
+	c := reg.Counter("n_total", "test")
+	src := NewStore(Config{Registry: reg, Interval: time.Second, Retention: time.Hour})
+
+	var blocks [][]byte
+	src.SetPersist(func(b []byte) error {
+		blocks = append(blocks, append([]byte(nil), b...))
+		return nil
+	})
+	rng := prng(3)
+	for i := 0; i < 200; i++ {
+		g.Set(rng.next())
+		c.Add(2)
+		src.Poll(base.Add(time.Duration(i) * time.Second))
+	}
+	if len(blocks) == 0 {
+		t.Fatal("no blocks persisted over 200 polls")
+	}
+
+	dst := NewStore(Config{Registry: obs.NewRegistry(), Interval: time.Second, Retention: time.Hour})
+	dst.Restore(blocks)
+	if dst.Stats().Restored == 0 {
+		t.Fatal("Restore counted nothing")
+	}
+
+	want := decodeAll(t, src.PersistedState())
+	got := decodeAll(t, dst.PersistedState())
+	if len(want) == 0 {
+		t.Fatal("source has no sealed state")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored state diverged: %d buckets vs %d", len(got), len(want))
+	}
+
+	// Queries over sealed history answer identically at rollup steps.
+	from, to := base, base.Add(200*time.Second)
+	qw := src.Query("v", nil, from, to, 10*time.Second)
+	qg := dst.Query("v", nil, from, to, 10*time.Second)
+	// The source also holds the raw tier; force both onto the mid tier by
+	// comparing only windows the restored store has (the open mid/top
+	// windows never persisted).
+	if len(qg) != 1 || len(qw) != 1 {
+		t.Fatalf("query shape: src=%d dst=%d series", len(qw), len(qg))
+	}
+	if len(qg[0].Points) == 0 {
+		t.Fatal("restored store answers no points")
+	}
+	for i, p := range qg[0].Points {
+		if i >= len(qw[0].Points) {
+			break
+		}
+		if p != qw[0].Points[i] {
+			t.Errorf("point %d: restored %+v != source %+v", i, p, qw[0].Points[i])
+		}
+	}
+}
+
+func TestRestoreSkipsTornAndForeignBlocks(t *testing.T) {
+	s := NewStore(Config{Registry: obs.NewRegistry(), Interval: time.Second})
+	good := encodeBlock([]sealedBucket{{
+		Metric: "v", WidthNS: int64(10 * time.Second), Start: base.UnixNano(),
+		Agg: Agg{Min: 1, Max: 2, Sum: 3, Count: 2, Last: 2},
+	}})
+	s.Restore([][]byte{
+		[]byte("{torn"), // ragged WAL tail
+		[]byte(`[{"m":"x","w":12345,"s":1,"a":{}}]`),                         // unknown tier width
+		[]byte(`[{"m":"x","w":` + "1000000000" + `,"s":1,"a":{"count":1}}]`), // raw tier: never persisted, never restored
+		good,
+	})
+	if got := s.Stats().Restored; got != 1 {
+		t.Fatalf("Restored = %d, want 1 (only the well-formed mid-tier bucket)", got)
+	}
+}
+
+// TestRestoreThenResumeMergesOpenWindow pins the restart seam: a bucket
+// restored for window W merges with samples the resumed process seals
+// into the same window instead of duplicating it.
+func TestRestoreThenResumeMergesOpenWindow(t *testing.T) {
+	var ti tier
+	ti = tier{width: int64(10 * time.Second), buf: make([]bucket, 8)}
+	w0 := base.UnixNano() - base.UnixNano()%ti.width
+	ti.push(bucket{start: w0, agg: Agg{Min: 1, Max: 1, Sum: 2, Count: 2, Last: 1}})
+	// The resumed process seals the same window again (it re-entered W
+	// before the window closed).
+	ti.push(bucket{start: w0, agg: Agg{Min: 3, Max: 4, Sum: 7, Count: 2, Last: 4}})
+	if ti.n != 1 {
+		t.Fatalf("same-start push duplicated the window: n=%d", ti.n)
+	}
+	got := ti.buf[ti.head].agg
+	want := Agg{Min: 1, Max: 4, Sum: 9, Count: 4, Last: 4}
+	if got != want {
+		t.Fatalf("merged agg = %+v, want %+v", got, want)
+	}
+}
+
+func TestOldestRetained(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v", "test")
+	s := NewStore(Config{Registry: reg, Interval: time.Second})
+	if !s.OldestRetained("v").IsZero() {
+		t.Error("unknown metric should report zero time")
+	}
+	g.Set(1)
+	s.Poll(base)
+	s.Poll(base.Add(time.Second))
+	got := s.OldestRetained("v")
+	if got.IsZero() || got.After(base) {
+		t.Errorf("OldestRetained = %v, want <= %v", got, base)
+	}
+}

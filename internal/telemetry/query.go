@@ -1,0 +1,151 @@
+package telemetry
+
+import "time"
+
+// Point is one step-aligned window of a query result. T is the window
+// start in unix milliseconds; the aggregates cover every underlying
+// sample whose bucket start falls inside [T, T+step).
+type Point struct {
+	T     int64   `json:"t"`
+	Avg   float64 `json:"avg"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Last  float64 `json:"last"`
+	Count int64   `json:"count"`
+}
+
+// SeriesResult is one matched series with its windowed points.
+type SeriesResult struct {
+	Metric string            `json:"metric"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points []Point           `json:"points"`
+}
+
+// matchLabels reports whether the series labels satisfy every matcher
+// (exact equality; a matcher on an absent label fails).
+func matchLabels(labels map[string]string, match map[string]string) bool {
+	for k, v := range match {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// pickTier chooses the tier to serve a query from: the finest tier
+// whose bucket width does not exceed step AND whose retention still
+// covers `from`. When no such tier reaches back to `from`, the tier
+// retaining the most history serves a coarser (or truncated) result —
+// long-range queries fall back to the rollup tiers rather than
+// answering only the raw window.
+func pickTier(sr *series, fromNS int64, stepNS int64) int {
+	// Finest step-aligned tier covering the range wins outright.
+	for i := 0; i < len(sr.tiers); i++ {
+		if sr.tiers[i].width > stepNS {
+			continue
+		}
+		if oldest, ok := sr.tiers[i].oldestStart(); ok && oldest <= fromNS {
+			return i
+		}
+	}
+	// No tier retains back to `from`. The coarsest tier with data
+	// reaches furthest — but bucket starts are width-aligned, so a finer
+	// tier whose first bucket falls inside the coarsest's first window
+	// holds the same full history at better resolution; prefer the
+	// finest such tier.
+	chosen, coarseEnd := -1, int64(0)
+	for i := len(sr.tiers) - 1; i >= 0; i-- {
+		oldest, ok := sr.tiers[i].oldestStart()
+		if !ok {
+			continue
+		}
+		if chosen == -1 {
+			chosen, coarseEnd = i, oldest+sr.tiers[i].width
+		} else if oldest < coarseEnd {
+			chosen = i
+		}
+	}
+	if chosen < 0 {
+		return 0 // empty series: any tier yields no points
+	}
+	return chosen
+}
+
+// Query returns the matched series for metric over [from, to], windowed
+// at step. Matchers are exact label equality. Series with no samples in
+// range are omitted; a nil return means nothing matched.
+func (s *Store) Query(metric string, match map[string]string, from, to time.Time, step time.Duration) []SeriesResult {
+	if step <= 0 {
+		step = s.interval
+	}
+	stepNS := int64(step)
+	fromNS, toNS := from.UnixNano(), to.UnixNano()
+	if toNS < fromNS {
+		return nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []SeriesResult
+	for _, sr := range s.byMetric[metric] {
+		if !matchLabels(sr.labels, match) {
+			continue
+		}
+		t := &sr.tiers[pickTier(sr, fromNS, stepNS)]
+		var pts []Point
+		var cur Agg
+		var curT int64 = -1
+		flush := func() {
+			if curT >= 0 && cur.Count > 0 {
+				pts = append(pts, Point{
+					T: curT / int64(time.Millisecond), Avg: cur.Avg(),
+					Min: cur.Min, Max: cur.Max, Last: cur.Last, Count: cur.Count,
+				})
+			}
+		}
+		// Step windows are anchored at `from` rounded down to the step.
+		anchor := fromNS - fromNS%stepNS
+		t.each(func(b bucket) {
+			if b.start < anchor || b.start > toNS {
+				return
+			}
+			w := anchor + (b.start-anchor)/stepNS*stepNS
+			if w != curT {
+				flush()
+				cur, curT = Agg{}, w
+			}
+			cur.Merge(b.agg)
+		})
+		flush()
+		if len(pts) > 0 {
+			out = append(out, SeriesResult{Metric: sr.metric, Labels: sr.labels, Points: pts})
+		}
+	}
+	return out
+}
+
+// Aggregate merges every retained bucket of the matched series over
+// [from, to] into one Agg — the alert engine's window primitive. The
+// finest tier covering `from` serves the window so short windows see
+// raw resolution.
+func (s *Store) Aggregate(metric string, match map[string]string, from, to time.Time) Agg {
+	fromNS, toNS := from.UnixNano(), to.UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total Agg
+	for _, sr := range s.byMetric[metric] {
+		if !matchLabels(sr.labels, match) {
+			continue
+		}
+		// Width ≤ any window: pass the raw tier width as step so
+		// pickTier only falls coarser when retention requires it.
+		t := &sr.tiers[pickTier(sr, fromNS, int64(sr.tiers[len(sr.tiers)-1].width))]
+		t.each(func(b bucket) {
+			if b.start+t.width <= fromNS || b.start > toNS {
+				return
+			}
+			total.Merge(b.agg)
+		})
+	}
+	return total
+}

@@ -1,0 +1,515 @@
+// Package telemetry is the durable metrics time-series tier of the
+// tuning service: a zero-dependency embedded store that periodically
+// snapshots an obs metrics registry into fixed-interval samples, holds
+// them in ring-buffered in-memory series with tiered downsampling
+// rollups, and (optionally) persists sealed rollup buckets through the
+// storage tier so history survives crash and restart.
+//
+// The sampling model:
+//
+//   - Counters become rates: each poll records the monotonic delta since
+//     the previous poll divided by the elapsed time, so a counter series
+//     reads in events-per-second. A counter reset (an embedded registry
+//     restarting) is treated as a restart from zero.
+//   - Gauges record their instantaneous value.
+//   - Histograms contribute derived series: "<name>:rate" (observation
+//     throughput), "<name>:avg" (mean observed value over the poll
+//     interval, delta-sum over delta-count), and — for sketched
+//     families — "<name>:p50" / ":p90" / ":p99" gauges from the
+//     registry's quantile sketches.
+//
+// Every sample lands in all rollup tiers at once: the raw tier at the
+// poll interval, a mid tier at 10x, and a top tier at 60x (1s → 10s →
+// 1m at the default interval). A tier bucket keeps min / max / sum /
+// count / last, so rollups compose losslessly: aggregating a run of
+// finer buckets yields exactly the coarser bucket covering them (the
+// property tests pin this bit for bit). Each tier is a ring with its
+// own retention — short and fine near now, long and coarse into the
+// past — and the coarser tier always retains at least as long, so the
+// union of tiers covers a contiguous window ending at the present.
+//
+// Sealed mid- and top-tier buckets are handed to the persist hook as
+// compact batched blocks; Restore replays recovered blocks back into
+// the rings at startup. Only buckets whose window has closed are ever
+// persisted, so a crash loses at most the currently-open window per
+// tier — the torn tail.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seamlesstune/internal/obs"
+)
+
+// Tier multipliers over the base interval: raw, 10x, 60x.
+var tierMultipliers = [3]int64{1, 10, 60}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Registry is the metrics registry to sample (nil = obs.Default()).
+	Registry *obs.Registry
+	// Interval is the raw sampling period (0 = 1s).
+	Interval time.Duration
+	// Retention bounds the top (coarsest) tier's history (0 = 24h). The
+	// mid tier retains min(1h, Retention) and the raw tier
+	// min(10m, mid retention); coarser tiers never retain less than
+	// finer ones, so tier windows nest and coverage stays contiguous.
+	Retention time.Duration
+	// Now supplies the clock (tests); nil = time.Now.
+	Now func() time.Time
+}
+
+// Store is the embedded time-series store. Construct with NewStore;
+// safe for concurrent use.
+type Store struct {
+	reg      *obs.Registry
+	interval time.Duration
+	now      func() time.Time
+
+	// widths[i] and caps[i] are tier i's bucket width and ring capacity.
+	widths [3]time.Duration
+	caps   [3]int
+
+	mu        sync.Mutex
+	series    map[string]*series   // key: metric + "\xff" + label values
+	byMetric  map[string][]*series // metric name -> its series
+	lastPoll  time.Time
+	samples   uint64 // raw samples recorded across all series
+	persisted uint64 // blocks handed to the persist hook
+	restored  int    // buckets restored from recovered blocks
+
+	persist  func(block []byte) error
+	onSample []func(ts time.Time)
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// sampleKind selects how a raw registry reading becomes a sample value.
+type sampleKind uint8
+
+const (
+	kindGauge sampleKind = iota // instantaneous value
+	kindRate                    // monotonic delta / elapsed seconds
+	kindAvg                     // delta-sum / delta-count (histograms)
+)
+
+// series is one stored time series: a metric name (possibly with a
+// derived suffix such as ":p99"), its label set, and one ring per tier.
+type series struct {
+	metric string
+	labels map[string]string
+
+	tiers [3]tier
+
+	// delta state for kindRate / kindAvg series.
+	kind      sampleKind
+	lastRaw   float64 // previous counter value (rate) or sum (avg)
+	lastCount float64 // previous count (avg)
+	lastTS    time.Time
+	hasLast   bool
+}
+
+// Agg is the lossless per-bucket aggregate. Merging Aggs in time order
+// reproduces exactly the Agg a single pass over the same samples would
+// build.
+type Agg struct {
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+	Count int64   `json:"count"`
+	Last  float64 `json:"last"`
+}
+
+// observe folds one sample into the aggregate.
+func (a *Agg) observe(v float64) {
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Sum += v
+	a.Count++
+	a.Last = v
+}
+
+// Merge folds a later aggregate into a (b's samples follow a's in time).
+func (a *Agg) Merge(b Agg) {
+	if b.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = b
+		return
+	}
+	if b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+	a.Sum += b.Sum
+	a.Count += b.Count
+	a.Last = b.Last
+}
+
+// Avg returns the mean sample value (0 when empty).
+func (a Agg) Avg() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// bucket is one sealed or open rollup window.
+type bucket struct {
+	start int64 // window start, unix nanoseconds, aligned to the tier width
+	agg   Agg
+}
+
+// tier is one downsampling level: the open bucket plus a ring of sealed
+// ones, newest last.
+type tier struct {
+	width  int64 // ns
+	buf    []bucket
+	head   int // ring slot of the oldest sealed bucket
+	n      int // sealed buckets held
+	cur    bucket
+	curSet bool
+}
+
+// observe folds a sample; when the sample opens a new window the
+// previous bucket seals and is returned (for persistence).
+func (t *tier) observe(tsNS int64, v float64) (sealed bucket, didSeal bool) {
+	aligned := tsNS - tsNS%t.width
+	if !t.curSet {
+		t.cur = bucket{start: aligned}
+		t.cur.agg.observe(v)
+		t.curSet = true
+		return bucket{}, false
+	}
+	if aligned <= t.cur.start {
+		// Same window (or clock skew backwards): fold in place.
+		t.cur.agg.observe(v)
+		return bucket{}, false
+	}
+	sealed = t.cur
+	t.push(t.cur)
+	t.cur = bucket{start: aligned}
+	t.cur.agg.observe(v)
+	return sealed, true
+}
+
+// push appends a sealed bucket, evicting the oldest when full. Buckets
+// with the same start as the ring's newest merge instead of duplicating
+// the window (the restore-then-resume path).
+func (t *tier) push(b bucket) {
+	if t.n > 0 {
+		newest := &t.buf[(t.head+t.n-1)%len(t.buf)]
+		if newest.start == b.start {
+			newest.agg.Merge(b.agg)
+			return
+		}
+	}
+	if t.n == len(t.buf) {
+		t.buf[t.head] = b
+		t.head = (t.head + 1) % len(t.buf)
+		return
+	}
+	t.buf[(t.head+t.n)%len(t.buf)] = b
+	t.n++
+}
+
+// each calls fn over the sealed buckets oldest-first, then the open one.
+func (t *tier) each(fn func(b bucket)) {
+	for i := 0; i < t.n; i++ {
+		fn(t.buf[(t.head+i)%len(t.buf)])
+	}
+	if t.curSet {
+		fn(t.cur)
+	}
+}
+
+// oldestStart returns the start of the earliest retained window (sealed
+// or open) and whether the tier holds anything.
+func (t *tier) oldestStart() (int64, bool) {
+	if t.n > 0 {
+		return t.buf[t.head].start, true
+	}
+	if t.curSet {
+		return t.cur.start, true
+	}
+	return 0, false
+}
+
+// NewStore builds a store with the configured geometry. Call Start for
+// background sampling, or drive Poll manually (tests, custom loops).
+func NewStore(cfg Config) *Store {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 24 * time.Hour
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Store{
+		reg:      cfg.Registry,
+		interval: cfg.Interval,
+		now:      cfg.Now,
+		series:   make(map[string]*series),
+		byMetric: make(map[string][]*series),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// Tier retentions nest: top = Retention, mid = min(1h, top),
+	// raw = min(10m, mid). Capacities are windows-per-retention.
+	topRet := cfg.Retention
+	midRet := time.Hour
+	if midRet > topRet {
+		midRet = topRet
+	}
+	rawRet := 10 * time.Minute
+	if rawRet > midRet {
+		rawRet = midRet
+	}
+	rets := [3]time.Duration{rawRet, midRet, topRet}
+	for i, mult := range tierMultipliers {
+		s.widths[i] = cfg.Interval * time.Duration(mult)
+		c := int(rets[i]/s.widths[i]) + 1
+		if c < 2 {
+			c = 2
+		}
+		s.caps[i] = c
+	}
+	return s
+}
+
+// Interval returns the raw sampling period.
+func (s *Store) Interval() time.Duration { return s.interval }
+
+// TierWidths returns each tier's bucket width, finest first.
+func (s *Store) TierWidths() []time.Duration { return s.widths[:] }
+
+// SetPersist installs fn to receive sealed-rollup blocks (nil removes
+// it). Blocks are produced outside the store lock, at most one per
+// poll; fn should enqueue asynchronously and may drop under pressure —
+// the in-memory rings stay authoritative for the process lifetime.
+func (s *Store) SetPersist(fn func(block []byte) error) {
+	s.mu.Lock()
+	s.persist = fn
+	s.mu.Unlock()
+}
+
+// OnSample registers fn to run after every poll (the alert engine's
+// evaluation hook). Hooks run outside the store lock, on the polling
+// goroutine, in registration order.
+func (s *Store) OnSample(fn func(ts time.Time)) {
+	s.mu.Lock()
+	s.onSample = append(s.onSample, fn)
+	s.mu.Unlock()
+}
+
+// Start launches the background sampler at the configured interval.
+// Subsequent calls are no-ops.
+func (s *Store) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.Poll(s.now())
+			}
+		}
+	}()
+}
+
+// Stop halts the background sampler and waits for it to exit.
+// Idempotent; safe without a prior Start.
+func (s *Store) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.started.Load() {
+		<-s.done
+	}
+}
+
+// seriesKey builds the map key for (metric, label values in family
+// order). Label values cannot contain \xff in practice (they are
+// tenant/route/phase names); a collision would only merge histories.
+func seriesKey(metric string, labelVals []string) string {
+	if len(labelVals) == 0 {
+		return metric
+	}
+	return metric + "\xff" + strings.Join(labelVals, "\xff")
+}
+
+// getSeries finds or creates the series.
+func (s *Store) getSeries(metric string, labelNames, labelVals []string, kind sampleKind) *series {
+	key := seriesKey(metric, labelVals)
+	if sr, ok := s.series[key]; ok {
+		return sr
+	}
+	sr := &series{metric: metric, kind: kind}
+	if len(labelNames) > 0 {
+		sr.labels = make(map[string]string, len(labelNames))
+		for i, n := range labelNames {
+			if i < len(labelVals) {
+				sr.labels[n] = labelVals[i]
+			}
+		}
+	}
+	for i := range sr.tiers {
+		sr.tiers[i] = tier{width: int64(s.widths[i]), buf: make([]bucket, s.caps[i])}
+	}
+	s.series[key] = sr
+	s.byMetric[metric] = append(s.byMetric[metric], sr)
+	return sr
+}
+
+// Poll takes one sample of the registry at ts, folding every family
+// into the rollup tiers, and hands sealed mid/top-tier buckets to the
+// persist hook. Manual calls compose with Start only if the caller
+// guarantees monotone timestamps.
+func (s *Store) Poll(ts time.Time) {
+	snap := s.reg.Gather()
+	tsNS := ts.UnixNano()
+
+	s.mu.Lock()
+	var sealed []sealedBucket
+	// record folds one reading. For kindRate, raw is the counter value;
+	// for kindAvg, raw is the histogram sum and count the sample count.
+	record := func(metric string, labelNames, labelVals []string, kind sampleKind, raw, count float64) {
+		sr := s.getSeries(metric, labelNames, labelVals, kind)
+		value := raw
+		switch kind {
+		case kindRate:
+			prev, prevTS, ok := sr.lastRaw, sr.lastTS, sr.hasLast
+			sr.lastRaw, sr.lastTS, sr.hasLast = raw, ts, true
+			if !ok {
+				return // first observation: no delta yet
+			}
+			dt := ts.Sub(prevTS).Seconds()
+			if dt <= 0 {
+				return
+			}
+			delta := raw - prev
+			if delta < 0 {
+				delta = raw // counter reset: restart from zero
+			}
+			value = delta / dt
+		case kindAvg:
+			prevSum, prevCount, ok := sr.lastRaw, sr.lastCount, sr.hasLast
+			sr.lastRaw, sr.lastCount, sr.lastTS, sr.hasLast = raw, count, ts, true
+			if !ok {
+				return
+			}
+			dc := count - prevCount
+			if dc <= 0 {
+				return // no new observations this interval (or reset)
+			}
+			value = (raw - prevSum) / dc
+		}
+		s.samples++
+		for i := range sr.tiers {
+			if b, ok := sr.tiers[i].observe(tsNS, value); ok && i > 0 {
+				// Raw buckets stay in memory only; sealed mid/top
+				// buckets are the durable rollup stream.
+				sealed = append(sealed, sealedBucket{
+					Metric: sr.metric, Labels: sr.labels,
+					WidthNS: int64(s.widths[i]), Start: b.start, Agg: b.agg,
+				})
+			}
+		}
+	}
+
+	for _, f := range snap.Families {
+		for _, ss := range f.Series {
+			switch f.Kind {
+			case "counter":
+				record(f.Name, f.Labels, ss.LabelValues, kindRate, ss.Value, 0)
+			case "gauge":
+				record(f.Name, f.Labels, ss.LabelValues, kindGauge, ss.Value, 0)
+			case "histogram":
+				record(f.Name+":rate", f.Labels, ss.LabelValues, kindRate, float64(ss.Count), 0)
+				record(f.Name+":avg", f.Labels, ss.LabelValues, kindAvg, ss.Sum, float64(ss.Count))
+				for _, q := range [...]string{"p50", "p90", "p99"} {
+					if v, ok := ss.Quantiles[q]; ok {
+						record(f.Name+":"+q, f.Labels, ss.LabelValues, kindGauge, v, 0)
+					}
+				}
+			}
+		}
+	}
+	s.lastPoll = ts
+	persist := s.persist
+	hooks := s.onSample
+	if len(sealed) > 0 && persist != nil {
+		s.persisted++
+	}
+	s.mu.Unlock()
+
+	if len(sealed) > 0 && persist != nil {
+		persist(encodeBlock(sealed))
+	}
+	for _, fn := range hooks {
+		fn(ts)
+	}
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	Series     int     `json:"series"`
+	Samples    uint64  `json:"samples"`
+	Blocks     uint64  `json:"blocks,omitempty"`
+	Restored   int     `json:"restoredBuckets,omitempty"`
+	IntervalS  float64 `json:"intervalS"`
+	LastPollNS int64   `json:"lastPollNS,omitempty"`
+}
+
+// Stats summarizes the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Series:    len(s.series),
+		Samples:   s.samples,
+		Blocks:    s.persisted,
+		Restored:  s.restored,
+		IntervalS: s.interval.Seconds(),
+	}
+	if !s.lastPoll.IsZero() {
+		st.LastPollNS = s.lastPoll.UnixNano()
+	}
+	return st
+}
+
+// Metrics lists the stored metric names, sorted — the discovery surface
+// behind /v1/query's error hint.
+func (s *Store) Metrics() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byMetric))
+	for m := range s.byMetric {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

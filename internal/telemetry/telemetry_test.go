@@ -1,0 +1,336 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"seamlesstune/internal/obs"
+)
+
+// base is the fake-clock epoch for the tests: an arbitrary instant far
+// from zero so bucket alignment sees realistic unix-nano values.
+var base = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+// prng is a tiny deterministic value source (splitmix-style) so the
+// property tests exercise varied sample values without math/rand noise
+// in the fixtures. Values are integers below 1e6: integer float64 sums
+// this small are exact, so aggregate equality checks hold bit for bit
+// regardless of addition order.
+type prng uint64
+
+func (p *prng) next() float64 {
+	*p += 0x9e3779b97f4a7c15
+	z := uint64(*p)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return float64((z ^ (z >> 31)) % 1_000_000)
+}
+
+func TestCounterBecomesRate(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("requests_total", "test counter")
+	s := NewStore(Config{Registry: reg, Interval: time.Second})
+
+	// 5 req/s for 10 polls: every sample after the first reads 5.
+	for i := 0; i < 10; i++ {
+		c.Add(5)
+		s.Poll(base.Add(time.Duration(i) * time.Second))
+	}
+	res := s.Query("requests_total", nil, base, base.Add(10*time.Second), time.Second)
+	if len(res) != 1 {
+		t.Fatalf("got %d series, want 1", len(res))
+	}
+	// The first poll records no sample (no delta yet), so 9 points.
+	if got := len(res[0].Points); got != 9 {
+		t.Fatalf("got %d points, want 9", got)
+	}
+	for _, p := range res[0].Points {
+		if p.Avg != 5 {
+			t.Errorf("rate at t=%d = %v, want 5", p.T, p.Avg)
+		}
+	}
+}
+
+func TestCounterResetRestartsFromZero(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewStore(Config{Registry: reg, Interval: time.Second})
+
+	// Registry counters cannot go backwards, so simulate the reset by
+	// swapping in a fresh registry where the same counter restarts low —
+	// exactly what an embedded-registry restart looks like to the store.
+	c1 := reg.Counter("c", "h")
+	c1.Add(100)
+	s.Poll(base)
+	c1.Add(10)
+	s.Poll(base.Add(time.Second)) // delta 10 -> rate 10
+
+	reg2 := obs.NewRegistry()
+	c2 := reg2.Counter("c", "h")
+	c2.Add(3)
+	s.reg = reg2
+	s.Poll(base.Add(2 * time.Second)) // 3 < 110: reset, delta = 3
+
+	res := s.Query("c", nil, base, base.Add(3*time.Second), time.Second)
+	if len(res) != 1 || len(res[0].Points) != 2 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	if res[0].Points[0].Avg != 10 {
+		t.Errorf("pre-reset rate = %v, want 10", res[0].Points[0].Avg)
+	}
+	if res[0].Points[1].Avg != 3 {
+		t.Errorf("post-reset rate = %v, want 3 (restart from zero)", res[0].Points[1].Avg)
+	}
+}
+
+func TestHistogramDerivedSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.HistogramSketched("lat_seconds", "test", obs.ExpBuckets(0.001, 2, 10))
+	s := NewStore(Config{Registry: reg, Interval: time.Second})
+
+	s.Poll(base)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.010)
+	}
+	s.Poll(base.Add(time.Second))
+
+	to := base.Add(2 * time.Second)
+	if res := s.Query("lat_seconds:rate", nil, base, to, time.Second); len(res) != 1 ||
+		len(res[0].Points) != 1 || res[0].Points[0].Avg != 100 {
+		t.Errorf("rate series wrong: %+v", res)
+	}
+	res := s.Query("lat_seconds:avg", nil, base, to, time.Second)
+	if len(res) != 1 || len(res[0].Points) != 1 {
+		t.Fatalf("avg series wrong: %+v", res)
+	}
+	if avg := res[0].Points[0].Avg; avg < 0.0099 || avg > 0.0101 {
+		t.Errorf("avg = %v, want ~0.010", avg)
+	}
+	for _, q := range []string{"p50", "p90", "p99"} {
+		res := s.Query("lat_seconds:"+q, nil, base, to, time.Second)
+		if len(res) != 1 || len(res[0].Points) == 0 {
+			t.Errorf("missing quantile series %s", q)
+		}
+	}
+}
+
+// TestRollupOfRollupsEqualsRollupOfRaw pins the lossless-composition
+// property: merging the raw buckets inside a mid window reproduces the
+// mid bucket, and merging mid buckets inside a top window reproduces
+// the top bucket. Min/max/count/last compose exactly for any values;
+// the fixture uses integer samples so Sum is exact too (float addition
+// of small integers is associative), making the check bit for bit.
+func TestRollupOfRollupsEqualsRollupOfRaw(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v", "test gauge")
+	s := NewStore(Config{Registry: reg, Interval: time.Second, Retention: time.Hour})
+
+	rng := prng(42)
+	for i := 0; i < 400; i++ {
+		g.Set(rng.next())
+		s.Poll(base.Add(time.Duration(i) * time.Second))
+	}
+
+	sr := s.series["v"]
+	if sr == nil {
+		t.Fatal("series missing")
+	}
+	// For each adjacent tier pair, every sealed coarse bucket must equal
+	// the merge of the finer buckets covering its window.
+	for level := 1; level < len(sr.tiers); level++ {
+		coarse, fine := &sr.tiers[level], &sr.tiers[level-1]
+		checked := 0
+		coarse.each(func(cb bucket) {
+			// Only windows fully covered by the finer tier's retention.
+			fineOldest, ok := fine.oldestStart()
+			if !ok || cb.start < fineOldest {
+				return
+			}
+			var merged Agg
+			found := 0
+			fine.each(func(fb bucket) {
+				if fb.start >= cb.start && fb.start < cb.start+coarse.width {
+					merged.Merge(fb.agg)
+					found++
+				}
+			})
+			if found == 0 {
+				return
+			}
+			if merged != cb.agg {
+				t.Errorf("tier %d bucket @%d: rollup-of-rollups %+v != direct %+v",
+					level, cb.start, merged, cb.agg)
+			}
+			checked++
+		})
+		if checked == 0 {
+			t.Errorf("tier %d: no comparable buckets — fixture too short", level)
+		}
+	}
+}
+
+// TestRetentionLeavesNoInterTierGaps drives enough polls to evict from
+// every ring and then asserts the union of tier windows still covers a
+// contiguous interval ending at the newest sample: eviction from a fine
+// tier may only shed history the coarser tier still retains.
+func TestRetentionLeavesNoInterTierGaps(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v", "test gauge")
+	// Retention 2m at a 1s interval: raw/mid/top retain 2m each with
+	// caps 121/13/3 — 400 polls wrap every ring multiple times.
+	s := NewStore(Config{Registry: reg, Interval: time.Second, Retention: 2 * time.Minute})
+	rng := prng(7)
+	last := base
+	for i := 0; i < 400; i++ {
+		g.Set(rng.next())
+		last = base.Add(time.Duration(i) * time.Second)
+		s.Poll(last)
+	}
+
+	sr := s.series["v"]
+	// Collect every retained window [start, start+width).
+	type span struct{ start, end int64 }
+	var spans []span
+	for i := range sr.tiers {
+		ti := &sr.tiers[i]
+		ti.each(func(b bucket) {
+			spans = append(spans, span{b.start, b.start + ti.width})
+		})
+	}
+	if len(spans) == 0 {
+		t.Fatal("nothing retained")
+	}
+	// Union must be one contiguous interval reaching the last sample.
+	oldest, newest := spans[0].start, spans[0].end
+	for _, sp := range spans {
+		if sp.start < oldest {
+			oldest = sp.start
+		}
+		if sp.end > newest {
+			newest = sp.end
+		}
+	}
+	if lastNS := last.UnixNano(); newest <= lastNS {
+		t.Fatalf("coverage ends at %d, before last sample %d", newest, lastNS)
+	}
+	// Walk forward: at every point of [oldest, newest) some span covers.
+	for cur := oldest; cur < newest; {
+		advanced := false
+		for _, sp := range spans {
+			if sp.start <= cur && cur < sp.end {
+				cur = sp.end
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			t.Fatalf("coverage gap at %d (%s after oldest)",
+				cur, time.Duration(cur-oldest))
+		}
+	}
+	// And the coarsest tier must retain roughly its configured window.
+	if got, ok := sr.tiers[2].oldestStart(); ok {
+		if age := last.UnixNano() - got; age < int64(time.Minute) {
+			t.Errorf("top tier retains only %s, want ~2m", time.Duration(age))
+		}
+	}
+}
+
+func TestQueryLabelsAndStepWindows(t *testing.T) {
+	reg := obs.NewRegistry()
+	vec := reg.GaugeVec("depth", "test", "tenant")
+	a, b := vec.With("acme"), vec.With("beta")
+	s := NewStore(Config{Registry: reg, Interval: time.Second})
+
+	for i := 0; i < 10; i++ {
+		a.Set(float64(i))
+		b.Set(float64(100 + i))
+		s.Poll(base.Add(time.Duration(i) * time.Second))
+	}
+
+	// Label matcher narrows to one series.
+	res := s.Query("depth", map[string]string{"tenant": "acme"}, base, base.Add(10*time.Second), time.Second)
+	if len(res) != 1 || res[0].Labels["tenant"] != "acme" {
+		t.Fatalf("matcher failed: %+v", res)
+	}
+	// No matcher returns both.
+	if res := s.Query("depth", nil, base, base.Add(10*time.Second), time.Second); len(res) != 2 {
+		t.Fatalf("got %d series, want 2", len(res))
+	}
+	// A 5s step folds 10 raw samples into 2 windows of 5.
+	res = s.Query("depth", map[string]string{"tenant": "acme"}, base, base.Add(9*time.Second), 5*time.Second)
+	if len(res) != 1 || len(res[0].Points) != 2 {
+		t.Fatalf("step windows wrong: %+v", res)
+	}
+	p := res[0].Points[0]
+	if p.Count != 5 || p.Min != 0 || p.Max != 4 || p.Avg != 2 {
+		t.Errorf("first window = %+v, want count=5 min=0 max=4 avg=2", p)
+	}
+	// A matcher on an absent label matches nothing.
+	if res := s.Query("depth", map[string]string{"zone": "x"}, base, base.Add(10*time.Second), time.Second); res != nil {
+		t.Errorf("absent-label matcher matched: %+v", res)
+	}
+}
+
+// TestQueryCoarseStepWindows checks that a coarse-step query folds raw
+// history into full-width windows.
+func TestQueryCoarseStepWindows(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v", "test")
+	s := NewStore(Config{Registry: reg, Interval: time.Second, Retention: time.Hour})
+	for i := 0; i < 300; i++ {
+		g.Set(float64(i))
+		s.Poll(base.Add(time.Duration(i) * time.Second))
+	}
+	res := s.Query("v", nil, base, base.Add(300*time.Second), time.Minute)
+	if len(res) != 1 {
+		t.Fatalf("got %d series", len(res))
+	}
+	pts := res[0].Points
+	if len(pts) < 4 || len(pts) > 6 {
+		t.Fatalf("got %d 1m windows over 5m, want ~5", len(pts))
+	}
+	// Full minute windows hold 60 samples each.
+	if pts[1].Count != 60 {
+		t.Errorf("window count = %d, want 60", pts[1].Count)
+	}
+}
+
+func TestStatsAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a_total", "h").Inc()
+	reg.Gauge("b", "h").Set(1)
+	s := NewStore(Config{Registry: reg, Interval: time.Second})
+	s.Poll(base)
+	s.Poll(base.Add(time.Second))
+
+	st := s.Stats()
+	if st.Series != 2 {
+		t.Errorf("Series = %d, want 2", st.Series)
+	}
+	if st.Samples == 0 {
+		t.Error("Samples = 0")
+	}
+	if st.IntervalS != 1 {
+		t.Errorf("IntervalS = %v", st.IntervalS)
+	}
+	names := s.Metrics()
+	if len(names) != 2 || names[0] != "a_total" || names[1] != "b" {
+		t.Errorf("Metrics() = %v", names)
+	}
+}
+
+func TestStartStopSamplesInBackground(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v", "h")
+	g.Set(3)
+	s := NewStore(Config{Registry: reg, Interval: 5 * time.Millisecond})
+	s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Samples == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Stop()
+	if s.Stats().Samples == 0 {
+		t.Fatal("background sampler recorded nothing")
+	}
+}
